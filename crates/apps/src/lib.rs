@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! `beehive-apps` — the control applications from the Beehive paper.
+//!
+//! * [`te`] — the running Traffic Engineering example (paper §2, Figure 2,
+//!   §5): the **naive** variant whose `Route` maps whole dictionaries (and is
+//!   therefore effectively centralized), and the **decoupled** variant that
+//!   splits collection from routing via aggregated `MatrixUpdate` events.
+//! * [`discovery`] — switch/link discovery feeding topology consumers.
+//! * [`learning_switch`] — a Kandoo-style local application (per-switch L2
+//!   learning).
+//! * [`routing`] — distributed routing: per-prefix RIB cells plus a
+//!   path-computation app (paper §4 "Routing").
+//! * [`nib`] — an ONIX NIB emulation: a network graph whose nodes are cells
+//!   (paper §4 "ONIX's NIB").
+//! * [`vnet`] — NVP-style network virtualization sharded by virtual network
+//!   (paper §4 "Network Virtualization").
+//! * [`kandoo`] — the Kandoo two-tier emulation: local elephant detection,
+//!   centralized rerouting (paper §4 "Kandoo").
+//! * [`acl`] — a centralized policy application (paper §4 "Centralized
+//!   Applications"): whole-dictionary mapping collocates the rule table on
+//!   one bee.
+
+pub mod acl;
+pub mod discovery;
+pub mod kandoo;
+pub mod learning_switch;
+pub mod nib;
+pub mod routing;
+pub mod te;
+pub mod vnet;

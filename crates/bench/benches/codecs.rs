@@ -1,0 +1,127 @@
+//! Codec benchmarks: the beehive-wire serde format and the OpenFlow 1.0
+//! codec — both sit on every inter-hive / controller-switch byte.
+
+use beehive_openflow::{Action, FlowStatsEntry, Match, OfMessage};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Payload {
+    id: u64,
+    name: String,
+    values: Vec<u64>,
+    tags: Vec<(String, String)>,
+}
+
+fn payload(n: usize) -> Payload {
+    Payload {
+        id: 42,
+        name: "beehive-message".into(),
+        values: (0..n as u64).collect(),
+        tags: (0..4).map(|i| (format!("key{i}"), format!("value{i}"))).collect(),
+    }
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    for n in [8usize, 128, 2048] {
+        let p = payload(n);
+        let encoded = beehive_wire::to_vec(&p).unwrap();
+        group.throughput(Throughput::Bytes(encoded.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode", n), &p, |b, p| {
+            b.iter(|| criterion::black_box(beehive_wire::to_vec(p).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("decode", n), &encoded, |b, bytes| {
+            b.iter(|| criterion::black_box(beehive_wire::from_slice::<Payload>(bytes).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("encoded_len", n), &p, |b, p| {
+            b.iter(|| criterion::black_box(beehive_wire::encoded_len(p).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn stats_reply(flows: usize) -> OfMessage {
+    OfMessage::FlowStatsReply {
+        xid: 1,
+        flows: (0..flows)
+            .map(|i| FlowStatsEntry {
+                table_id: 0,
+                match_: Match::nw_pair(i as u32, (i + 1) as u32),
+                duration_sec: 10,
+                priority: 1,
+                cookie: i as u64,
+                packet_count: 1000 + i as u64,
+                byte_count: 64_000 + i as u64,
+                actions: vec![Action::Output { port: 1, max_len: 0 }],
+            })
+            .collect(),
+    }
+}
+
+fn bench_openflow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("openflow");
+    // The dominant message of the TE evaluation: a 100-flow stats reply.
+    for flows in [1usize, 100] {
+        let msg = stats_reply(flows);
+        let encoded = msg.encode();
+        group.throughput(Throughput::Bytes(encoded.len() as u64));
+        group.bench_with_input(BenchmarkId::new("stats_encode", flows), &msg, |b, m| {
+            b.iter(|| criterion::black_box(m.encode()));
+        });
+        group.bench_with_input(BenchmarkId::new("stats_decode", flows), &encoded, |b, bytes| {
+            b.iter(|| criterion::black_box(OfMessage::decode(bytes).unwrap()));
+        });
+    }
+    group.bench_function("flow_mod_roundtrip", |b| {
+        let m = OfMessage::FlowMod {
+            xid: 7,
+            match_: Match::dl_dst_exact([1, 2, 3, 4, 5, 6]),
+            cookie: 9,
+            command: beehive_openflow::FlowModCommand::Add,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            priority: 10,
+            actions: vec![Action::Output { port: 3, max_len: 0 }],
+        };
+        b.iter(|| {
+            let bytes = m.encode();
+            criterion::black_box(OfMessage::decode(&bytes).unwrap())
+        });
+    });
+    group.finish();
+}
+
+fn bench_flow_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("openflow/table");
+    for flows in [10usize, 100, 1000] {
+        group.bench_with_input(BenchmarkId::new("lookup", flows), &flows, |b, &flows| {
+            let mut sw = beehive_openflow::SwitchModel::new(1, 4);
+            for i in 0..flows {
+                sw.handle(OfMessage::FlowMod {
+                    xid: 0,
+                    match_: Match::nw_pair(i as u32, i as u32),
+                    cookie: 0,
+                    command: beehive_openflow::FlowModCommand::Add,
+                    idle_timeout: 0,
+                    hard_timeout: 0,
+                    priority: 1,
+                    actions: vec![Action::Output { port: 1, max_len: 0 }],
+                });
+            }
+            // Worst case: match the lowest-priority (last) flow.
+            let target = Match {
+                wildcards: 0,
+                nw_src: (flows - 1) as u32,
+                nw_dst: (flows - 1) as u32,
+                dl_type: 0,
+                ..Default::default()
+            };
+            b.iter(|| criterion::black_box(sw.account_traffic(&target, 1, 64)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire, bench_openflow, bench_flow_table);
+criterion_main!(benches);

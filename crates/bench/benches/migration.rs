@@ -1,0 +1,82 @@
+//! Live-migration latency vs colony/state size (an ablation for DESIGN.md's
+//! "migration = stop → snapshot → ship → reinstall → drain" design): how
+//! much virtual protocol work and real CPU a migration costs as the bee's
+//! state grows.
+
+use beehive_core::prelude::*;
+use beehive_sim::{ClusterConfig, SimCluster};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Put {
+    key: String,
+    field: String,
+    value: Vec<u8>,
+}
+beehive_core::impl_message!(Put);
+
+fn kv_app() -> App {
+    App::builder("kv")
+        .handle::<Put>(
+            |m| Mapped::cell("data", &m.key),
+            |m, ctx| {
+                ctx.put("data", format!("{}:{}", m.key, m.field), &m.value)
+                    .map_err(|e| e.to_string())
+            },
+        )
+        .build()
+}
+
+fn bench_migration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("migration");
+    group.sample_size(10);
+    for entries in [10usize, 100, 1000] {
+        group.bench_with_input(
+            BenchmarkId::new("roundtrip_entries", entries),
+            &entries,
+            |b, &entries| {
+                // One cluster per iteration batch; migrate back and forth.
+                let mut cluster = SimCluster::new(
+                    ClusterConfig { hives: 2, voters: 2, ..Default::default() },
+                    |h| h.install(kv_app()),
+                );
+                cluster.elect_registry(120_000).unwrap();
+                for i in 0..entries {
+                    cluster.hive_mut(HiveId(1)).emit(Put {
+                        key: "big".into(),
+                        field: format!("f{i}"),
+                        value: vec![0xAB; 64],
+                    });
+                }
+                cluster.advance(5_000, 50);
+                let cell = beehive_core::Cell::new("data", "big");
+                let bee =
+                    cluster.hive(HiveId(1)).registry_view().owner("kv", &cell).unwrap();
+
+                let mut at_one = true;
+                b.iter(|| {
+                    let (from, to) = if at_one {
+                        (HiveId(1), HiveId(2))
+                    } else {
+                        (HiveId(2), HiveId(1))
+                    };
+                    at_one = !at_one;
+                    cluster.hive_mut(from).request_migration("kv", bee, from, to);
+                    // Drive virtual time until the move committed and landed.
+                    let mut guard = 0;
+                    while cluster.hive(to).registry_view().hive_of(bee) != Some(to) && guard < 200
+                    {
+                        cluster.advance(100, 50);
+                        guard += 1;
+                    }
+                    assert!(guard < 200, "migration did not complete");
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_migration);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Placement-optimizer ablation: the greedy heuristic's cost as the number
+//! of bees grows (the paper argues optimal placement is NP-hard; the greedy
+//! pass must stay cheap enough to run every few seconds on aggregated data).
+
+use std::collections::BTreeMap;
+
+use beehive_core::optimizer::{plan_migrations, BeeLoad, OptimizerConfig};
+use beehive_core::{BeeId, HiveId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn loads(bees: usize, hives: u32) -> Vec<BeeLoad> {
+    (0..bees)
+        .map(|i| {
+            let current = (i as u32 % hives) + 1;
+            let dominant = ((i as u32 + 1) % hives) + 1;
+            let mut in_by_hive = BTreeMap::new();
+            in_by_hive.insert(dominant, 90u64);
+            in_by_hive.insert(current, 10u64);
+            BeeLoad {
+                app: format!("app{}", i % 8),
+                bee: BeeId::new(HiveId(current), i as u32),
+                hive: HiveId(current),
+                pinned: i % 16 == 0,
+                cells: 1 + (i % 50) as u64,
+                in_by_hive,
+            }
+        })
+        .collect()
+}
+
+fn bench_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement/plan");
+    for bees in [100usize, 1_000, 10_000] {
+        let l = loads(bees, 40);
+        let occupancy: BTreeMap<u32, usize> =
+            (1..=40u32).map(|h| (h, bees / 40)).collect();
+        group.throughput(Throughput::Elements(bees as u64));
+        group.bench_with_input(BenchmarkId::new("bees", bees), &l, |b, l| {
+            let cfg = OptimizerConfig::default();
+            b.iter(|| criterion::black_box(plan_migrations(l, &occupancy, &cfg)));
+        });
+        // Ablation: with capacity limits the plan must track occupancy.
+        group.bench_with_input(BenchmarkId::new("bees_capped", bees), &l, |b, l| {
+            let cfg = OptimizerConfig {
+                max_bees_per_hive: Some(bees / 40 + 5),
+                ..Default::default()
+            };
+            b.iter(|| criterion::black_box(plan_migrations(l, &occupancy, &cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! Microbenchmarks of the platform's hot paths: message dispatch + mapping +
+//! rcv on the local fast path, state dictionary/transaction operations, and
+//! the queen's routing table.
+
+use std::sync::Arc;
+
+use beehive_core::prelude::*;
+use beehive_core::state::{BeeState, TxState};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Bump {
+    key: String,
+}
+beehive_core::impl_message!(Bump);
+
+fn counter_app() -> App {
+    App::builder("counter")
+        .handle::<Bump>(
+            |m| Mapped::cell("c", &m.key),
+            |m, ctx| {
+                let n: u64 = ctx.get("c", &m.key).map_err(|e| e.to_string())?.unwrap_or(0);
+                ctx.put("c", m.key.clone(), &(n + 1)).map_err(|e| e.to_string())?;
+                Ok(())
+            },
+        )
+        .build()
+}
+
+fn standalone_hive() -> Hive {
+    let mut cfg = beehive_core::HiveConfig::standalone(HiveId(1));
+    cfg.tick_interval_ms = 0;
+    let mut hive =
+        Hive::new(cfg, Arc::new(SystemClock::new()), Box::new(Loopback::new(HiveId(1))));
+    hive.install(counter_app());
+    hive
+}
+
+/// End-to-end local message cost: emit → map → route (fast path) → rcv with
+/// a read-modify-write transaction.
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch");
+    for keys in [1usize, 64, 1024] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("local_rmw", keys), &keys, |b, &keys| {
+            let mut hive = standalone_hive();
+            // Pre-create the bees so we measure the fast path.
+            for k in 0..keys {
+                hive.emit(Bump { key: format!("k{k}") });
+            }
+            hive.step_until_quiescent(1_000_000);
+            let mut i = 0usize;
+            b.iter(|| {
+                hive.emit(Bump { key: format!("k{}", i % keys) });
+                i += 1;
+                hive.step_until_quiescent(1_000);
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Cold-path cost: the first message for a key (registry proposal + bee
+/// creation) vs the steady path.
+fn bench_bee_creation(c: &mut Criterion) {
+    c.bench_function("dispatch/create_bee", |b| {
+        let mut hive = standalone_hive();
+        let mut i = 0u64;
+        b.iter(|| {
+            hive.emit(Bump { key: format!("fresh-{i}") });
+            i += 1;
+            hive.step_until_quiescent(1_000);
+        });
+    });
+}
+
+fn bench_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state");
+    group.bench_function("dict_put_get", |b| {
+        let mut state = BeeState::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = format!("k{}", i % 1000);
+            state.dict_mut("d").put(&key, &i).unwrap();
+            let v: Option<u64> = state.dict("d").unwrap().get(&key).unwrap();
+            criterion::black_box(v);
+            i += 1;
+        });
+    });
+    group.bench_function("tx_commit_3_writes", |b| {
+        let mut state = BeeState::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            let mut tx = TxState::begin(&mut state);
+            tx.put("d", format!("a{}", i % 100), &i).unwrap();
+            tx.put("d", format!("b{}", i % 100), &i).unwrap();
+            tx.put("e", "shared", &i).unwrap();
+            criterion::black_box(tx.commit());
+            i += 1;
+        });
+    });
+    group.bench_function("tx_rollback_3_writes", |b| {
+        let mut state = BeeState::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            let mut tx = TxState::begin(&mut state);
+            tx.put("d", format!("a{}", i % 100), &i).unwrap();
+            tx.put("d", format!("b{}", i % 100), &i).unwrap();
+            tx.put("e", "shared", &i).unwrap();
+            criterion::black_box(tx.rollback());
+            i += 1;
+        });
+    });
+    // Ablation: snapshot cost vs colony size — the dominant term of
+    // migration latency.
+    for entries in [10usize, 100, 1000] {
+        group.bench_with_input(
+            BenchmarkId::new("snapshot", entries),
+            &entries,
+            |b, &entries| {
+                let mut state = BeeState::new();
+                for i in 0..entries {
+                    state.dict_mut("d").put(format!("k{i}"), &(i as u64)).unwrap();
+                }
+                b.iter(|| criterion::black_box(state.snapshot().unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch, bench_bee_creation, bench_state);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Raft benchmarks: proposal→commit throughput (the registry's write path)
+//! and election latency, in deterministic virtual time.
+
+use beehive_raft::harness::Cluster;
+use beehive_raft::{Config, KvCounter};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_commit_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("raft/commit");
+    for n in [1usize, 3, 5] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("nodes", n), &n, |b, &n| {
+            let mut cluster = Cluster::new(n, Config::default(), 7, KvCounter::default);
+            let leader = cluster.run_until_leader(5_000).unwrap();
+            b.iter(|| {
+                let target = cluster.node(leader).unwrap().state_machine().applied + 1;
+                cluster.propose(leader, vec![1]).unwrap();
+                // Tick until the proposal is applied everywhere.
+                let ok = cluster
+                    .run_until(1_000, |c| c.nodes().all(|nd| nd.state_machine().applied >= target));
+                assert!(ok);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_batched_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("raft/batched");
+    group.throughput(Throughput::Elements(64));
+    group.bench_function("64_proposals_3_nodes", |b| {
+        let mut cluster = Cluster::new(3, Config::default(), 9, KvCounter::default);
+        let leader = cluster.run_until_leader(5_000).unwrap();
+        b.iter(|| {
+            let target = cluster.node(leader).unwrap().state_machine().applied + 64;
+            for _ in 0..64 {
+                cluster.propose(leader, vec![1]).unwrap();
+            }
+            let ok = cluster
+                .run_until(5_000, |c| c.nodes().all(|nd| nd.state_machine().applied >= target));
+            assert!(ok);
+        });
+    });
+    group.finish();
+}
+
+fn bench_election(c: &mut Criterion) {
+    let mut group = c.benchmark_group("raft/election");
+    for n in [3usize, 5] {
+        group.bench_with_input(BenchmarkId::new("cold", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut cluster = Cluster::new(n, Config::default(), seed, KvCounter::default);
+                let leader = cluster.run_until_leader(10_000).unwrap();
+                criterion::black_box(leader);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_commit_throughput, bench_batched_commit, bench_election);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Registry ablation: the cost of consistency. The paper's §6 discussion
+//! ("Can't we simply use a distributed database?") argues for an integrated
+//! registry; this bench quantifies our design's knob — the Raft quorum size
+//! — against the latency of routing a message to a *fresh* key (which needs
+//! a committed `LookupOrCreate`) and to a *known* key (local-mirror fast
+//! path, no consensus on the critical path).
+
+use beehive_core::prelude::*;
+use beehive_sim::{ClusterConfig, SimCluster};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Hit {
+    key: String,
+}
+beehive_core::impl_message!(Hit);
+
+fn kv() -> App {
+    App::builder("kv")
+        .handle::<Hit>(
+            |m| Mapped::cell("d", &m.key),
+            |m, ctx| {
+                let n: u64 = ctx.get("d", &m.key).map_err(|e| e.to_string())?.unwrap_or(0);
+                ctx.put("d", m.key.clone(), &(n + 1)).map_err(|e| e.to_string())?;
+                Ok(())
+            },
+        )
+        .build()
+}
+
+fn cluster(hives: usize, voters: usize) -> SimCluster {
+    let mut c = SimCluster::new(
+        ClusterConfig { hives, voters, tick_interval_ms: 0, ..Default::default() },
+        |h| h.install(kv()),
+    );
+    c.elect_registry(120_000).expect("leader");
+    c
+}
+
+/// Virtual milliseconds until a freshly keyed message lands in a bee.
+fn route_fresh_key(c: &mut SimCluster, key: &str) -> u64 {
+    let start = c.clock.now_ms();
+    // Emit on a NON-leader, non-voter hive when possible (worst case:
+    // forward to leader, commit, apply).
+    let src = c.ids().into_iter().last().unwrap();
+    c.hive_mut(src).emit(Hit { key: key.to_string() });
+    let cell = Cell::new("d", key);
+    for _ in 0..10_000 {
+        c.clock.advance(5);
+        c.settle(10_000);
+        let routed = c.ids().iter().any(|&h| {
+            let m = c.hive(h).registry_view();
+            m.owner("kv", &cell)
+                .and_then(|b| m.hive_of(b))
+                .map(|owner| {
+                    c.hive(owner)
+                        .peek_state::<u64>("kv", m.owner("kv", &cell).unwrap(), "d", key)
+                        .is_some()
+                })
+                .unwrap_or(false)
+        });
+        if routed {
+            return c.clock.now_ms() - start;
+        }
+    }
+    panic!("fresh key never routed");
+}
+
+fn bench_quorum_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("registry/fresh_key_route");
+    group.sample_size(10);
+    for (hives, voters) in [(3usize, 1usize), (3, 3), (9, 3), (9, 5), (9, 9)] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("hives{hives}"), format!("voters{voters}")),
+            &(hives, voters),
+            |b, &(hives, voters)| {
+                let mut cluster = cluster(hives, voters);
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    criterion::black_box(route_fresh_key(&mut cluster, &format!("k{i}")));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_known_key_fast_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("registry/known_key_route");
+    group.sample_size(10);
+    for voters in [1usize, 5] {
+        group.bench_with_input(BenchmarkId::new("voters", voters), &voters, |b, &voters| {
+            let mut cluster = cluster(5.max(voters), voters);
+            // Warm the key so the mirror everywhere knows the owner.
+            route_fresh_key(&mut cluster, "hot");
+            cluster.advance(2_000, 50);
+            b.iter(|| {
+                cluster.hive_mut(HiveId(1)).emit(Hit { key: "hot".into() });
+                cluster.settle(10_000);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quorum_sweep, bench_known_key_fast_path);
+criterion_main!(benches);

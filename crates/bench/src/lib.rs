@@ -1,0 +1,17 @@
+#![warn(missing_docs)]
+
+//! `beehive-bench` — the evaluation harness regenerating the Beehive
+//! HotNets'14 paper's Figure 4, plus Criterion microbenchmarks of the
+//! platform's moving parts.
+//!
+//! The paper's whole quantitative evaluation is Figure 4 (a–f): inter-hive
+//! traffic matrices and control-channel bandwidth over time for the Traffic
+//! Engineering app in three configurations — naive, decoupled, and
+//! runtime-optimized. [`scenario::run_figure4`] reproduces the experiment:
+//! 40 hives, 400 switches in a tree, 100 fixed-rate flows per switch with
+//! 10% elephants, 60 virtual seconds.
+
+pub mod report;
+pub mod scenario;
+
+pub use scenario::{run_figure4, Figure4Config, Figure4Result, TeVariant};

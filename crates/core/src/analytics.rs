@@ -1,0 +1,272 @@
+//! Application analytics over merged instrumentation data (paper §3: "This
+//! merged instrumentation data is further used to find the optimal placement
+//! of bees and is also utilized for application analytics.").
+//!
+//! Builds human-readable reports from [`HiveMetrics`] windows: per-app load
+//! distribution, message provenance ("packet out messages are emitted …
+//! upon receiving 80% of packet in's"), and hive load balance.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::HiveId;
+use crate::metrics::{HiveMetrics, ProvenanceKey};
+
+/// Short type name (drop module path) for display.
+fn short(ty: &str) -> &str {
+    ty.rsplit("::").next().unwrap_or(ty)
+}
+
+/// Aggregated analytics across any number of metrics windows.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Analytics {
+    /// Per-app totals: (messages, bytes, handler nanos, errors).
+    per_app: BTreeMap<String, AppLoad>,
+    /// Provenance counters.
+    provenance: BTreeMap<ProvenanceKey, u64>,
+    /// Typed-input counters per app+type (provenance denominators), summed
+    /// from each app's message counts.
+    msgs_per_hive: BTreeMap<u32, u64>,
+    /// Per (app, bee) message counts (for skew analysis).
+    per_bee: BTreeMap<(String, u64), u64>,
+}
+
+/// One application's aggregate load.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AppLoad {
+    /// Messages processed.
+    pub msgs: u64,
+    /// Wire bytes received.
+    pub bytes: u64,
+    /// Nanoseconds spent in handlers.
+    pub handler_nanos: u64,
+    /// Handler errors (rolled-back transactions).
+    pub errors: u64,
+    /// Number of distinct bees observed.
+    pub bees: u64,
+}
+
+impl Analytics {
+    /// Empty analytics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one metrics report in.
+    pub fn ingest(&mut self, report: &HiveMetrics) {
+        for snap in &report.bees {
+            let load = self.per_app.entry(snap.app.clone()).or_default();
+            load.msgs += snap.stats.msgs_in;
+            load.bytes += snap.stats.bytes_in;
+            load.handler_nanos += snap.stats.handler_nanos;
+            load.errors += snap.stats.errors;
+            *self.msgs_per_hive.entry(snap.hive.0).or_insert(0) += snap.stats.msgs_in;
+            *self.per_bee.entry((snap.app.clone(), snap.bee.0)).or_insert(0) +=
+                snap.stats.msgs_in;
+        }
+        for (key, count) in &report.provenance {
+            *self.provenance.entry(key.clone()).or_insert(0) += count;
+        }
+        // Recompute bee counts.
+        let mut bees_per_app: BTreeMap<&String, u64> = BTreeMap::new();
+        for (app, _) in self.per_bee.keys() {
+            *bees_per_app.entry(app).or_insert(0) += 1;
+        }
+        let counts: Vec<(String, u64)> =
+            bees_per_app.into_iter().map(|(a, c)| (a.clone(), c)).collect();
+        for (app, count) in counts {
+            if let Some(load) = self.per_app.get_mut(&app) {
+                load.bees = count;
+            }
+        }
+    }
+
+    /// Per-app loads.
+    pub fn apps(&self) -> impl Iterator<Item = (&String, &AppLoad)> {
+        self.per_app.iter()
+    }
+
+    /// The load of one app.
+    pub fn app(&self, name: &str) -> Option<AppLoad> {
+        self.per_app.get(name).copied()
+    }
+
+    /// Message skew for an app: the share of its messages processed by its
+    /// busiest bee (1.0 = fully centralized, 1/n = perfectly balanced).
+    pub fn skew(&self, app: &str) -> Option<f64> {
+        let counts: Vec<u64> = self
+            .per_bee
+            .iter()
+            .filter(|((a, _), _)| a == app)
+            .map(|(_, &c)| c)
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        counts.iter().max().map(|&m| m as f64 / total as f64)
+    }
+
+    /// Hive balance: (busiest hive, its share of all messages).
+    pub fn hot_hive(&self) -> Option<(HiveId, f64)> {
+        let total: u64 = self.msgs_per_hive.values().sum();
+        if total == 0 {
+            return None;
+        }
+        self.msgs_per_hive
+            .iter()
+            .max_by_key(|(_, &c)| c)
+            .map(|(&h, &c)| (HiveId(h), c as f64 / total as f64))
+    }
+
+    /// Provenance ratios: for each `(app, in_type, out_type)`, emissions per
+    /// delivered input of that type (requires the denominators shipped in
+    /// the same reports via `BeeStats::msgs_in`; we use per-app totals when
+    /// exact per-type counts are unavailable in the aggregate).
+    pub fn provenance_rows(&self) -> Vec<ProvenanceRow> {
+        self.provenance
+            .iter()
+            .map(|(k, &count)| {
+                let denom = self.per_app.get(&k.app).map(|l| l.msgs).unwrap_or(0).max(1);
+                ProvenanceRow {
+                    app: k.app.clone(),
+                    in_type: short(&k.in_type).to_string(),
+                    out_type: short(&k.out_type).to_string(),
+                    emissions: count,
+                    per_app_input_ratio: count as f64 / denom as f64,
+                }
+            })
+            .collect()
+    }
+}
+
+/// One provenance line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProvenanceRow {
+    /// Application.
+    pub app: String,
+    /// Input message type (short name).
+    pub in_type: String,
+    /// Output message type (short name).
+    pub out_type: String,
+    /// Total emissions observed.
+    pub emissions: u64,
+    /// Emissions per message the app processed.
+    pub per_app_input_ratio: f64,
+}
+
+impl fmt::Display for Analytics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "application analytics:")?;
+        for (app, load) in &self.per_app {
+            writeln!(
+                f,
+                "  {app}: {} msgs, {} bytes, {:.1} ms in handlers, {} errors, {} bees{}",
+                load.msgs,
+                load.bytes,
+                load.handler_nanos as f64 / 1e6,
+                load.errors,
+                load.bees,
+                self.skew(app)
+                    .map(|s| format!(", top-bee share {:.0}%", s * 100.0))
+                    .unwrap_or_default()
+            )?;
+        }
+        if let Some((hive, share)) = self.hot_hive() {
+            writeln!(f, "  busiest hive: {hive} ({:.0}% of messages)", share * 100.0)?;
+        }
+        let rows = self.provenance_rows();
+        if !rows.is_empty() {
+            writeln!(f, "  provenance:")?;
+            for r in rows {
+                writeln!(
+                    f,
+                    "    {}: {} -> {} ({} emissions, {:.2} per input)",
+                    r.app, r.in_type, r.out_type, r.emissions, r.per_app_input_ratio
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::BeeId;
+    use crate::metrics::{BeeStats, BeeStatsSnapshot};
+
+    fn report(hive: u32, app: &str, bee: u32, msgs: u64) -> HiveMetrics {
+        let mut stats = BeeStats::default();
+        for _ in 0..msgs {
+            stats.record_in(HiveId(hive), Some(BeeId::new(HiveId(9), 9)), 100);
+        }
+        HiveMetrics {
+            hive: HiveId(hive),
+            seq: 1,
+            now_ms: 1000,
+            bees: vec![BeeStatsSnapshot {
+                app: app.into(),
+                bee: BeeId::new(HiveId(hive), bee),
+                hive: HiveId(hive),
+                pinned: false,
+                cells: 1,
+                stats,
+            }],
+            provenance: vec![(
+                ProvenanceKey {
+                    app: app.into(),
+                    in_type: "mod::PacketIn".into(),
+                    out_type: "mod::PacketOut".into(),
+                },
+                msgs * 8 / 10,
+            )],
+        }
+    }
+
+    #[test]
+    fn ingest_accumulates_loads() {
+        let mut a = Analytics::new();
+        a.ingest(&report(1, "ls", 1, 10));
+        a.ingest(&report(2, "ls", 2, 30));
+        let load = a.app("ls").unwrap();
+        assert_eq!(load.msgs, 40);
+        assert_eq!(load.bytes, 4000);
+        assert_eq!(load.bees, 2);
+    }
+
+    #[test]
+    fn skew_detects_imbalance() {
+        let mut a = Analytics::new();
+        a.ingest(&report(1, "ls", 1, 90));
+        a.ingest(&report(2, "ls", 2, 10));
+        assert!((a.skew("ls").unwrap() - 0.9).abs() < 1e-9);
+        assert_eq!(a.skew("nope"), None);
+    }
+
+    #[test]
+    fn hot_hive_share() {
+        let mut a = Analytics::new();
+        a.ingest(&report(1, "ls", 1, 75));
+        a.ingest(&report(2, "ls", 2, 25));
+        let (h, share) = a.hot_hive().unwrap();
+        assert_eq!(h, HiveId(1));
+        assert!((share - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn provenance_rows_report_the_papers_example() {
+        // "packet out messages are emitted … upon receiving 80% of packet in's"
+        let mut a = Analytics::new();
+        a.ingest(&report(1, "learning-switch", 1, 100));
+        let rows = a.provenance_rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].in_type, "PacketIn");
+        assert_eq!(rows[0].out_type, "PacketOut");
+        assert!((rows[0].per_app_input_ratio - 0.8).abs() < 1e-9);
+        let text = a.to_string();
+        assert!(text.contains("PacketIn -> PacketOut"));
+    }
+}

@@ -1,0 +1,498 @@
+//! The programming abstraction: applications as sets of stateful functions
+//! triggered by asynchronous messages (paper §2).
+//!
+//! An application declares, per message type, how the message **maps** to
+//! state cells and what the **rcv** function does. The map declaration is
+//! data ([`MapSpec`]), which is exactly what lets the platform infer the
+//! paper's "how applications maintain their state": whole-dictionary access
+//! is statically visible, so dictionaries become *monolithic* and the
+//! feedback system can point at the handler responsible.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+use crate::cell::{Cell, Mapped};
+use crate::control::ControlMsg;
+use crate::error::Result;
+use crate::id::{AppName, BeeId, HiveId};
+use crate::message::{cast, Dst, Envelope, Message, MessageRegistry, Source, TypedMessage};
+use crate::state::TxState;
+
+/// Outcome of a rcv function. An `Err` rolls back the state transaction and
+/// discards emitted messages.
+pub type HandlerResult = std::result::Result<(), String>;
+
+/// How a handler maps messages to cells.
+#[allow(clippy::type_complexity)]
+pub enum MapSpec {
+    /// Compute per-message cells from the payload (`with S[msg.key]`).
+    Custom(Box<dyn Fn(&dyn Message) -> Mapped + Send + Sync>),
+    /// The handler needs these dictionaries *in their entirety*
+    /// (`with S and T`). Declaring this makes every listed dictionary
+    /// monolithic for the whole application.
+    WholeDicts(Vec<String>),
+    /// Process on a pinned, hive-local singleton bee (drivers, per-hive
+    /// platform functions).
+    LocalSingleton,
+    /// Deliver to every existing local bee of the application
+    /// (`foreach` clauses, e.g. periodic timers iterating local keys).
+    LocalBroadcast,
+}
+
+impl std::fmt::Debug for MapSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapSpec::Custom(_) => write!(f, "Custom(..)"),
+            MapSpec::WholeDicts(d) => write!(f, "WholeDicts({d:?})"),
+            MapSpec::LocalSingleton => write!(f, "LocalSingleton"),
+            MapSpec::LocalBroadcast => write!(f, "LocalBroadcast"),
+        }
+    }
+}
+
+type RcvFn = Box<dyn Fn(&dyn Message, &mut RcvCtx<'_>) -> HandlerResult + Send + Sync>;
+
+/// One `on <Message>` clause: a map declaration plus a rcv function.
+pub struct HandlerDef {
+    /// Human-readable handler name (feedback reports).
+    pub name: String,
+    /// Wire name of the message type this handler is triggered by.
+    pub msg_type: &'static str,
+    /// The map declaration.
+    pub map: MapSpec,
+    rcv: RcvFn,
+}
+
+impl HandlerDef {
+    /// Runs the rcv function.
+    pub fn rcv(&self, msg: &dyn Message, ctx: &mut RcvCtx<'_>) -> HandlerResult {
+        (self.rcv)(msg, ctx)
+    }
+}
+
+/// A control application.
+pub struct App {
+    name: AppName,
+    handlers: Vec<HandlerDef>,
+    /// msg type → handler indices.
+    by_type: HashMap<&'static str, Vec<u16>>,
+    monolithic: HashSet<String>,
+    registrations: Vec<fn(&mut MessageRegistry)>,
+}
+
+impl App {
+    /// Starts building an application.
+    pub fn builder(name: impl Into<AppName>) -> AppBuilder {
+        AppBuilder {
+            name: name.into(),
+            handlers: Vec::new(),
+            registrations: Vec::new(),
+        }
+    }
+
+    /// The application's name.
+    pub fn name(&self) -> &AppName {
+        &self.name
+    }
+
+    /// All handlers.
+    pub fn handlers(&self) -> &[HandlerDef] {
+        &self.handlers
+    }
+
+    /// The handler at `idx`.
+    pub fn handler(&self, idx: u16) -> Option<&HandlerDef> {
+        self.handlers.get(idx as usize)
+    }
+
+    /// Indices of handlers triggered by `msg_type`.
+    pub fn handlers_for(&self, msg_type: &str) -> &[u16] {
+        self.by_type.get(msg_type).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether `dict` is monolithic (some handler maps it whole).
+    pub fn is_monolithic(&self, dict: &str) -> bool {
+        self.monolithic.contains(dict)
+    }
+
+    /// The monolithic dictionaries.
+    pub fn monolithic_dicts(&self) -> impl Iterator<Item = &String> {
+        self.monolithic.iter()
+    }
+
+    /// Evaluates handler `idx`'s map for `msg`, canonicalized against the
+    /// application's monolithic dictionaries.
+    pub fn map(&self, idx: u16, msg: &dyn Message) -> Mapped {
+        let h = &self.handlers[idx as usize];
+        let mapped = match &h.map {
+            MapSpec::Custom(f) => f(msg),
+            MapSpec::WholeDicts(dicts) => {
+                Mapped::Cells(dicts.iter().map(Cell::whole).collect())
+            }
+            MapSpec::LocalSingleton => Mapped::LocalSingleton,
+            MapSpec::LocalBroadcast => Mapped::LocalBroadcast,
+        };
+        mapped.canonicalize(|d| self.is_monolithic(d))
+    }
+
+    /// Registers this app's message decoders into a hive's registry.
+    pub fn register_messages(&self, registry: &mut MessageRegistry) {
+        for f in &self.registrations {
+            f(registry);
+        }
+    }
+
+    /// Handlers that statically declare whole-dict access, per dictionary —
+    /// the raw material for design feedback.
+    pub fn whole_dict_handlers(&self) -> BTreeMap<String, Vec<String>> {
+        let mut out: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for h in &self.handlers {
+            if let MapSpec::WholeDicts(dicts) = &h.map {
+                for d in dicts {
+                    out.entry(d.clone()).or_default().push(h.name.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for App {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("App")
+            .field("name", &self.name)
+            .field("handlers", &self.handlers.len())
+            .field("monolithic", &self.monolithic)
+            .finish()
+    }
+}
+
+/// Fluent constructor for [`App`]s.
+pub struct AppBuilder {
+    name: AppName,
+    handlers: Vec<HandlerDef>,
+    registrations: Vec<fn(&mut MessageRegistry)>,
+}
+
+impl AppBuilder {
+    fn push<M: TypedMessage>(
+        &mut self,
+        name: Option<String>,
+        map: MapSpec,
+        rcv: impl Fn(&M, &mut RcvCtx<'_>) -> HandlerResult + Send + Sync + 'static,
+    ) {
+        let msg_type = M::wire_name();
+        let default_name = format!(
+            "on<{}>#{}",
+            msg_type.rsplit("::").next().unwrap_or(msg_type),
+            self.handlers.len()
+        );
+        self.handlers.push(HandlerDef {
+            name: name.unwrap_or(default_name),
+            msg_type,
+            map,
+            rcv: Box::new(move |msg, ctx| {
+                let typed = cast::<M>(msg).expect("handler invoked with wrong message type");
+                rcv(typed, ctx)
+            }),
+        });
+        self.registrations.push(|r| r.register::<M>());
+    }
+
+    /// `on M: with <cells from map(msg)>` — per-message cell mapping.
+    pub fn handle<M: TypedMessage>(
+        mut self,
+        map: impl Fn(&M) -> Mapped + Send + Sync + 'static,
+        rcv: impl Fn(&M, &mut RcvCtx<'_>) -> HandlerResult + Send + Sync + 'static,
+    ) -> Self {
+        self.push::<M>(
+            None,
+            MapSpec::Custom(Box::new(move |msg| {
+                map(cast::<M>(msg).expect("map invoked with wrong message type"))
+            })),
+            rcv,
+        );
+        self
+    }
+
+    /// Like [`AppBuilder::handle`], with an explicit handler name for
+    /// instrumentation and feedback reports.
+    pub fn handle_named<M: TypedMessage>(
+        mut self,
+        name: impl Into<String>,
+        map: impl Fn(&M) -> Mapped + Send + Sync + 'static,
+        rcv: impl Fn(&M, &mut RcvCtx<'_>) -> HandlerResult + Send + Sync + 'static,
+    ) -> Self {
+        self.push::<M>(
+            Some(name.into()),
+            MapSpec::Custom(Box::new(move |msg| {
+                map(cast::<M>(msg).expect("map invoked with wrong message type"))
+            })),
+            rcv,
+        );
+        self
+    }
+
+    /// `on M: with D1 and D2 (whole dictionaries)` — marks every listed
+    /// dictionary monolithic for the whole app.
+    pub fn handle_whole<M: TypedMessage>(
+        mut self,
+        name: impl Into<String>,
+        dicts: &[&str],
+        rcv: impl Fn(&M, &mut RcvCtx<'_>) -> HandlerResult + Send + Sync + 'static,
+    ) -> Self {
+        self.push::<M>(
+            Some(name.into()),
+            MapSpec::WholeDicts(dicts.iter().map(|s| s.to_string()).collect()),
+            rcv,
+        );
+        self
+    }
+
+    /// `on M` handled by a pinned hive-local singleton bee.
+    pub fn handle_local<M: TypedMessage>(
+        mut self,
+        name: impl Into<String>,
+        rcv: impl Fn(&M, &mut RcvCtx<'_>) -> HandlerResult + Send + Sync + 'static,
+    ) -> Self {
+        self.push::<M>(Some(name.into()), MapSpec::LocalSingleton, rcv);
+        self
+    }
+
+    /// `on M: foreach local bee` — e.g. periodic ticks iterating local keys.
+    pub fn handle_broadcast<M: TypedMessage>(
+        mut self,
+        name: impl Into<String>,
+        rcv: impl Fn(&M, &mut RcvCtx<'_>) -> HandlerResult + Send + Sync + 'static,
+    ) -> Self {
+        self.push::<M>(Some(name.into()), MapSpec::LocalBroadcast, rcv);
+        self
+    }
+
+    /// Finalizes the application.
+    pub fn build(self) -> App {
+        let mut by_type: HashMap<&'static str, Vec<u16>> = HashMap::new();
+        let mut monolithic = HashSet::new();
+        for (i, h) in self.handlers.iter().enumerate() {
+            by_type.entry(h.msg_type).or_default().push(i as u16);
+            if let MapSpec::WholeDicts(dicts) = &h.map {
+                monolithic.extend(dicts.iter().cloned());
+            }
+        }
+        App {
+            name: self.name,
+            handlers: self.handlers,
+            by_type,
+            monolithic,
+            registrations: self.registrations,
+        }
+    }
+}
+
+/// Everything a rcv function can do: transactional state access, emitting
+/// messages, and platform operations. Created by the hive per invocation.
+pub struct RcvCtx<'a> {
+    pub(crate) hive: HiveId,
+    pub(crate) app: AppName,
+    pub(crate) bee: BeeId,
+    pub(crate) src: Source,
+    pub(crate) now_ms: u64,
+    pub(crate) tx: TxState<'a>,
+    pub(crate) outbox: Vec<Envelope>,
+    pub(crate) control_out: Vec<(HiveId, ControlMsg)>,
+    pub(crate) retire: bool,
+}
+
+impl RcvCtx<'_> {
+    /// The hive this invocation runs on.
+    pub fn hive(&self) -> HiveId {
+        self.hive
+    }
+
+    /// The bee executing this invocation.
+    pub fn bee(&self) -> BeeId {
+        self.bee
+    }
+
+    /// The application's name.
+    pub fn app(&self) -> &str {
+        &self.app
+    }
+
+    /// The source of the message being processed.
+    pub fn src(&self) -> Source {
+        self.src
+    }
+
+    /// Current platform time in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    // ----- state (transactional) -----
+
+    /// Typed read of `dict[key]` through the transaction.
+    pub fn get<T: serde::de::DeserializeOwned>(&self, dict: &str, key: &str) -> Result<Option<T>> {
+        self.tx.get(dict, key)
+    }
+
+    /// Typed buffered write of `dict[key]`.
+    pub fn put<T: serde::Serialize>(&mut self, dict: &str, key: impl Into<String>, value: &T) -> Result<()> {
+        self.tx.put(dict, key, value)
+    }
+
+    /// Buffered delete of `dict[key]`.
+    pub fn del(&mut self, dict: &str, key: &str) {
+        self.tx.del(dict, key)
+    }
+
+    /// Whether `dict[key]` is visible.
+    pub fn contains(&self, dict: &str, key: &str) -> bool {
+        self.tx.contains(dict, key)
+    }
+
+    /// Keys of `dict` owned by this bee (through the transaction overlay).
+    /// This is the `foreach` iteration surface: a bee sees only its colony.
+    pub fn keys(&self, dict: &str) -> Vec<String> {
+        self.tx.keys(dict)
+    }
+
+    // ----- messaging -----
+
+    /// Emits a message to the whole control plane: every application whose
+    /// handlers are triggered by this type will map and process it.
+    pub fn emit<M: Message>(&mut self, msg: M) {
+        self.outbox.push(Envelope {
+            msg: Arc::new(msg),
+            src: Source::Bee { bee: self.bee, hive: self.hive },
+            dst: Dst::Broadcast,
+        });
+    }
+
+    /// Emits a message only to one application.
+    pub fn emit_to_app<M: Message>(&mut self, app: impl Into<AppName>, msg: M) {
+        self.outbox.push(Envelope {
+            msg: Arc::new(msg),
+            src: Source::Bee { bee: self.bee, hive: self.hive },
+            dst: Dst::App(app.into()),
+        });
+    }
+
+    /// Sends a message directly to a specific bee of an application (replies).
+    pub fn send_to_bee<M: Message>(&mut self, app: impl Into<AppName>, bee: BeeId, msg: M) {
+        self.outbox.push(Envelope {
+            msg: Arc::new(msg),
+            src: Source::Bee { bee: self.bee, hive: self.hive },
+            dst: Dst::Bee { app: app.into(), bee, handler: None, fence: 0 },
+        });
+    }
+
+    // ----- platform operations -----
+
+    /// Orders a live migration of `bee` (of app `app`, currently on
+    /// `current`) to hive `to`. Used by the placement optimizer; available to
+    /// applications implementing custom optimization strategies (paper §3:
+    /// "it is straightforward to implement other optimization strategies").
+    pub fn order_migration(&mut self, app: impl Into<AppName>, bee: BeeId, current: HiveId, to: HiveId) {
+        self.control_out.push((current, ControlMsg::RequestMigration { app: app.into(), bee, to }));
+    }
+
+    /// Retires this bee once the current transaction commits **and** its
+    /// state is empty: the colony is deleted from the registry and the bee
+    /// is garbage-collected. Use after deleting the last entry of a
+    /// fine-grained cell (e.g. a RIB prefix withdrawal) so empty colonies
+    /// don't accumulate. A retire request on a bee with remaining state is
+    /// ignored. Pinned (local singleton) bees never retire.
+    pub fn retire(&mut self) {
+        self.retire = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, Clone, Serialize, Deserialize)]
+    struct MsgA {
+        key: String,
+    }
+    crate::impl_message!(MsgA);
+
+    #[derive(Debug, Clone, Serialize, Deserialize)]
+    struct MsgB;
+    crate::impl_message!(MsgB);
+
+    fn sample_app() -> App {
+        App::builder("test")
+            .handle::<MsgA>(
+                |m| Mapped::cell("S", &m.key),
+                |_m, _ctx| Ok(()),
+            )
+            .handle_whole::<MsgB>("route", &["S", "T"], |_m, _ctx| Ok(()))
+            .handle_broadcast::<MsgB>("query", |_m, _ctx| Ok(()))
+            .build()
+    }
+
+    #[test]
+    fn builder_indexes_handlers_by_type() {
+        let app = sample_app();
+        assert_eq!(app.handlers_for(MsgA::wire_name()).len(), 1);
+        assert_eq!(app.handlers_for(MsgB::wire_name()).len(), 2);
+        assert!(app.handlers_for("unknown").is_empty());
+    }
+
+    #[test]
+    fn whole_dict_declaration_makes_dict_monolithic() {
+        let app = sample_app();
+        assert!(app.is_monolithic("S"));
+        assert!(app.is_monolithic("T"));
+        assert!(!app.is_monolithic("U"));
+    }
+
+    #[test]
+    fn per_key_maps_canonicalize_to_whole_when_monolithic() {
+        let app = sample_app();
+        let idx = app.handlers_for(MsgA::wire_name())[0];
+        let mapped = app.map(idx, &MsgA { key: "sw1".into() });
+        assert_eq!(mapped, Mapped::Cells(vec![Cell::whole("S")]));
+    }
+
+    #[test]
+    fn per_key_maps_stay_per_key_without_monolithic_declaration() {
+        let app = App::builder("clean")
+            .handle::<MsgA>(|m| Mapped::cell("S", &m.key), |_m, _ctx| Ok(()))
+            .build();
+        let idx = app.handlers_for(MsgA::wire_name())[0];
+        let mapped = app.map(idx, &MsgA { key: "sw1".into() });
+        assert_eq!(mapped, Mapped::Cells(vec![Cell::new("S", "sw1")]));
+    }
+
+    #[test]
+    fn whole_dict_handlers_reported_for_feedback() {
+        let app = sample_app();
+        let report = app.whole_dict_handlers();
+        assert_eq!(report["S"], vec!["route".to_string()]);
+        assert_eq!(report["T"], vec!["route".to_string()]);
+    }
+
+    #[test]
+    fn map_evaluates_specs() {
+        let app = sample_app();
+        let b_handlers = app.handlers_for(MsgB::wire_name());
+        assert_eq!(
+            app.map(b_handlers[0], &MsgB),
+            Mapped::Cells(vec![Cell::whole("S"), Cell::whole("T")])
+        );
+        assert_eq!(app.map(b_handlers[1], &MsgB), Mapped::LocalBroadcast);
+    }
+
+    #[test]
+    fn app_registers_its_message_types() {
+        let app = sample_app();
+        let mut reg = MessageRegistry::new();
+        app.register_messages(&mut reg);
+        assert!(reg.knows(MsgA::wire_name()));
+        assert!(reg.knows(MsgB::wire_name()));
+    }
+}

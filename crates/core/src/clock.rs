@@ -1,0 +1,90 @@
+//! Time sources. Hives never read the system clock directly; they go through
+//! a [`Clock`] so whole clusters can run in deterministic virtual time (the
+//! simulator) or in real time (production).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonic millisecond clock.
+pub trait Clock: Send + Sync {
+    /// Milliseconds since an arbitrary epoch.
+    fn now_ms(&self) -> u64;
+}
+
+/// Wall-clock time relative to process start.
+pub struct SystemClock {
+    start: std::time::Instant,
+}
+
+impl SystemClock {
+    /// A clock starting at 0 now.
+    pub fn new() -> Self {
+        SystemClock { start: std::time::Instant::now() }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+}
+
+/// A manually advanced virtual clock, shareable across hives.
+#[derive(Clone, Default)]
+pub struct SimClock {
+    now: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// A virtual clock at time 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances time by `ms` milliseconds.
+    pub fn advance(&self, ms: u64) {
+        self.now.fetch_add(ms, Ordering::SeqCst);
+    }
+
+    /// Sets the absolute time (must not go backwards).
+    pub fn set(&self, ms: u64) {
+        let prev = self.now.swap(ms, Ordering::SeqCst);
+        debug_assert!(ms >= prev, "SimClock moved backwards: {prev} -> {ms}");
+    }
+}
+
+impl Clock for SimClock {
+    fn now_ms(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_clock_advances_and_shares() {
+        let c = SimClock::new();
+        let c2 = c.clone();
+        assert_eq!(c.now_ms(), 0);
+        c.advance(250);
+        assert_eq!(c2.now_ms(), 250);
+        c2.set(1000);
+        assert_eq!(c.now_ms(), 1000);
+    }
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let c = SystemClock::new();
+        let a = c.now_ms();
+        let b = c.now_ms();
+        assert!(b >= a);
+    }
+}

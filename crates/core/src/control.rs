@@ -1,0 +1,118 @@
+//! Platform-internal control messages exchanged between hives (migration
+//! protocol, registry forwarding, colony merges).
+
+use serde::{Deserialize, Serialize};
+
+use crate::cell::Cell;
+use crate::id::{AppName, BeeId, HiveId};
+use crate::registry::RegistryCommand;
+
+/// Hive-to-hive platform traffic. Not visible to applications.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ControlMsg {
+    /// A registry command forwarded toward the current registry leader.
+    RegistryForward(RegistryCommand),
+    /// Asks the hive currently hosting `bee` to migrate it to `to`.
+    RequestMigration {
+        /// Owning application.
+        app: AppName,
+        /// The bee to move.
+        bee: BeeId,
+        /// Destination hive.
+        to: HiveId,
+    },
+    /// Ships a migrating bee's cells to the destination hive.
+    MigrateState {
+        /// Owning application.
+        app: AppName,
+        /// The migrating bee.
+        bee: BeeId,
+        /// Serialized [`crate::state::BeeState`].
+        state: Vec<u8>,
+        /// The bee's colony.
+        colony: Vec<Cell>,
+        /// The bee's replication sequence (continues on the new owner).
+        repl_seq: u64,
+    },
+    /// Ships a merged-away (loser) bee's cells to the winner's hive.
+    MergeState {
+        /// Owning application.
+        app: AppName,
+        /// The surviving bee.
+        winner: BeeId,
+        /// The absorbed bee.
+        loser: BeeId,
+        /// Serialized [`crate::state::BeeState`] of the loser.
+        state: Vec<u8>,
+    },
+    /// Replicates a committed transaction journal to colony replicas
+    /// (fault-tolerance extension).
+    ReplicateTx {
+        /// Owning application.
+        app: AppName,
+        /// The bee whose state changed.
+        bee: BeeId,
+        /// Monotonic per-bee sequence for gap detection.
+        seq: u64,
+        /// Serialized [`crate::state::TxJournal`].
+        journal: Vec<u8>,
+    },
+    /// A replica detected a sequence gap and asks the owner for full state.
+    ReplicaSyncRequest {
+        /// Owning application.
+        app: AppName,
+        /// The bee.
+        bee: BeeId,
+    },
+    /// The owner's full-state answer to [`ControlMsg::ReplicaSyncRequest`].
+    ReplicaSyncState {
+        /// Owning application.
+        app: AppName,
+        /// The bee.
+        bee: BeeId,
+        /// The owner's current replication sequence.
+        seq: u64,
+        /// Serialized [`crate::state::BeeState`].
+        state: Vec<u8>,
+    },
+}
+
+impl ControlMsg {
+    /// Encodes for a transport frame.
+    pub fn encode(&self) -> crate::error::Result<Vec<u8>> {
+        beehive_wire::to_vec(self).map_err(crate::error::Error::from)
+    }
+
+    /// Decodes from a transport frame.
+    pub fn decode(bytes: &[u8]) -> crate::error::Result<Self> {
+        beehive_wire::from_slice(bytes).map_err(crate::error::Error::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_roundtrip() {
+        let m = ControlMsg::MigrateState {
+            app: "te".into(),
+            bee: BeeId::new(HiveId(1), 7),
+            state: vec![1, 2, 3],
+            colony: vec![Cell::new("S", "sw1")],
+            repl_seq: 5,
+        };
+        let bytes = m.encode().unwrap();
+        let back = ControlMsg::decode(&bytes).unwrap();
+        match back {
+            ControlMsg::MigrateState { app, bee, state, colony, repl_seq } => {
+                assert_eq!(app, "te");
+                assert_eq!(bee, BeeId::new(HiveId(1), 7));
+                assert_eq!(state, vec![1, 2, 3]);
+                assert_eq!(colony, vec![Cell::new("S", "sw1")]);
+                assert_eq!(repl_seq, 5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Design feedback (paper §3, §5): the platform analyzes applications and
+//! their runtime behaviour and tells the developer where the design
+//! bottlenecks are — e.g. that the naive TE's `Route` makes the whole
+//! application effectively centralized.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::app::App;
+use crate::id::{BeeId, HiveId};
+use crate::metrics::BeeStatsSnapshot;
+
+/// One observation about an application's design or behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FeedbackItem {
+    /// A dictionary is monolithic: some handler maps it whole, so *all* its
+    /// cells collocate on a single bee, centralizing every function that
+    /// shares the dictionary.
+    MonolithicDict {
+        /// The dictionary.
+        dict: String,
+        /// Handlers that declare whole-dictionary access.
+        handlers: Vec<String>,
+    },
+    /// At runtime, one bee processes a dominant share of the app's messages:
+    /// the application is effectively centralized.
+    CentralizedExecution {
+        /// The hot bee.
+        bee: BeeId,
+        /// The hive hosting it.
+        hive: HiveId,
+        /// Fraction of the app's messages it processed (0..=1).
+        share: f64,
+    },
+    /// A bee receives the majority of its messages from a *different* hive —
+    /// placement is suboptimal (the optimizer will usually fix this; if it
+    /// can't, the hint points at pinned producers).
+    RemoteChatter {
+        /// The bee.
+        bee: BeeId,
+        /// Its current hive.
+        hive: HiveId,
+        /// The hive most of its input comes from.
+        dominant_source: HiveId,
+        /// Fraction of its input from that hive (0..=1).
+        share: f64,
+    },
+    /// Handlers wrote keys outside their mapped cells and collided with
+    /// other colonies — a consistency-endangering design error.
+    OutOfCellWrites {
+        /// Number of conflicting writes observed.
+        conflicts: u64,
+    },
+}
+
+impl fmt::Display for FeedbackItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeedbackItem::MonolithicDict { dict, handlers } => write!(
+                f,
+                "dictionary {dict:?} is monolithic because handler(s) {handlers:?} map it whole; \
+                 every function sharing {dict:?} is effectively centralized"
+            ),
+            FeedbackItem::CentralizedExecution { bee, hive, share } => write!(
+                f,
+                "{:.0}% of this app's messages are processed by {bee} on {hive}: \
+                 the app is effectively centralized",
+                share * 100.0
+            ),
+            FeedbackItem::RemoteChatter { bee, hive, dominant_source, share } => write!(
+                f,
+                "{bee} on {hive} receives {:.0}% of its messages from {dominant_source}: \
+                 placement is suboptimal",
+                share * 100.0
+            ),
+            FeedbackItem::OutOfCellWrites { conflicts } => write!(
+                f,
+                "{conflicts} write(s) outside the mapped cells collided with other colonies; \
+                 map functions must cover every key the handler writes"
+            ),
+        }
+    }
+}
+
+/// A feedback report for one application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeedbackReport {
+    /// The application.
+    pub app: String,
+    /// Observations, most severe first.
+    pub items: Vec<FeedbackItem>,
+}
+
+impl FeedbackReport {
+    /// Whether the report flags the app as (effectively) centralized.
+    pub fn is_centralized(&self) -> bool {
+        self.items.iter().any(|i| {
+            matches!(
+                i,
+                FeedbackItem::MonolithicDict { .. } | FeedbackItem::CentralizedExecution { .. }
+            )
+        })
+    }
+}
+
+impl fmt::Display for FeedbackReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "feedback for app {:?}:", self.app)?;
+        if self.items.is_empty() {
+            writeln!(f, "  no design bottlenecks detected")?;
+        }
+        for item in &self.items {
+            writeln!(f, "  - {item}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Static analysis: inspects an application's declared mappings.
+pub fn design_feedback(app: &App) -> FeedbackReport {
+    let mut items = Vec::new();
+    for (dict, handlers) in app.whole_dict_handlers() {
+        items.push(FeedbackItem::MonolithicDict { dict, handlers });
+    }
+    FeedbackReport { app: app.name().clone(), items }
+}
+
+/// Runtime analysis: inspects aggregated per-bee statistics for one app.
+///
+/// `centralization_threshold` — flag when one bee's share of messages exceeds
+/// it (paper-style default: 0.9). `chatter_threshold` — flag bees receiving
+/// more than this fraction of their input from one remote hive.
+pub fn runtime_feedback(
+    app: &str,
+    snapshots: &[BeeStatsSnapshot],
+    assign_conflicts: u64,
+    centralization_threshold: f64,
+    chatter_threshold: f64,
+) -> FeedbackReport {
+    let mut items = Vec::new();
+
+    let relevant: Vec<&BeeStatsSnapshot> =
+        snapshots.iter().filter(|s| s.app == app && !s.pinned).collect();
+    let total_msgs: u64 = relevant.iter().map(|s| s.stats.msgs_in).sum();
+
+    if total_msgs > 0 {
+        if let Some(top) = relevant.iter().max_by_key(|s| s.stats.msgs_in) {
+            let share = top.stats.msgs_in as f64 / total_msgs as f64;
+            if relevant.len() > 1 && share >= centralization_threshold {
+                items.push(FeedbackItem::CentralizedExecution {
+                    bee: top.bee,
+                    hive: top.hive,
+                    share,
+                });
+            }
+        }
+    }
+
+    for s in &relevant {
+        if let Some((src, count, total)) = s.stats.dominant_source_hive() {
+            if src != s.hive && total >= 10 {
+                let share = count as f64 / total as f64;
+                if share > chatter_threshold {
+                    items.push(FeedbackItem::RemoteChatter {
+                        bee: s.bee,
+                        hive: s.hive,
+                        dominant_source: src,
+                        share,
+                    });
+                }
+            }
+        }
+    }
+
+    if assign_conflicts > 0 {
+        items.push(FeedbackItem::OutOfCellWrites { conflicts: assign_conflicts });
+    }
+
+    FeedbackReport { app: app.to_string(), items }
+}
+
+/// Merges per-window snapshots of the same bees (helper for analytics over
+/// several collection periods).
+pub fn merge_snapshots(windows: &[Vec<BeeStatsSnapshot>]) -> Vec<BeeStatsSnapshot> {
+    let mut merged: BTreeMap<(String, u64), BeeStatsSnapshot> = BTreeMap::new();
+    for window in windows {
+        for snap in window {
+            match merged.entry((snap.app.clone(), snap.bee.0)) {
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(snap.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut o) => {
+                    let cur = o.get_mut();
+                    cur.stats.merge(&snap.stats);
+                    cur.hive = snap.hive; // latest placement wins
+                    cur.cells = snap.cells;
+                    cur.pinned |= snap.pinned;
+                }
+            }
+        }
+    }
+    merged.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Mapped;
+    use crate::metrics::BeeStats;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, Clone, Serialize, Deserialize)]
+    struct M {
+        k: String,
+    }
+    crate::impl_message!(M);
+
+    fn snap(app: &str, bee: u32, hive: u32, msgs: u64, from_hive: u32) -> BeeStatsSnapshot {
+        let mut stats = BeeStats::default();
+        for _ in 0..msgs {
+            stats.record_in(HiveId(from_hive), Some(BeeId::new(HiveId(from_hive), 99)), 10);
+        }
+        BeeStatsSnapshot {
+            app: app.into(),
+            bee: BeeId::new(HiveId(1), bee),
+            hive: HiveId(hive),
+            pinned: false,
+            cells: 1,
+            stats,
+        }
+    }
+
+    #[test]
+    fn monolithic_dict_is_flagged() {
+        let app = App::builder("naive-te")
+            .handle::<M>(|m| Mapped::cell("S", &m.k), |_m, _c| Ok(()))
+            .handle_whole::<M>("Route", &["S", "T"], |_m, _c| Ok(()))
+            .build();
+        let report = design_feedback(&app);
+        assert!(report.is_centralized());
+        assert_eq!(report.items.len(), 2); // S and T
+        assert!(report.to_string().contains("Route"));
+    }
+
+    #[test]
+    fn clean_app_gets_clean_report() {
+        let app = App::builder("clean")
+            .handle::<M>(|m| Mapped::cell("S", &m.k), |_m, _c| Ok(()))
+            .build();
+        let report = design_feedback(&app);
+        assert!(!report.is_centralized());
+        assert!(report.items.is_empty());
+    }
+
+    #[test]
+    fn centralized_execution_detected() {
+        let snaps =
+            vec![snap("te", 1, 1, 95, 1), snap("te", 2, 2, 3, 2), snap("te", 3, 3, 2, 3)];
+        let report = runtime_feedback("te", &snaps, 0, 0.9, 0.5);
+        assert!(report.is_centralized());
+    }
+
+    #[test]
+    fn balanced_execution_not_flagged() {
+        let snaps = vec![snap("te", 1, 1, 30, 1), snap("te", 2, 2, 35, 2), snap("te", 3, 3, 35, 3)];
+        let report = runtime_feedback("te", &snaps, 0, 0.9, 0.95);
+        assert!(!report.is_centralized());
+    }
+
+    #[test]
+    fn remote_chatter_detected() {
+        // Bee on hive 1 fed overwhelmingly from hive 4.
+        let snaps = vec![snap("te", 1, 1, 100, 4)];
+        let report = runtime_feedback("te", &snaps, 0, 2.0, 0.5);
+        assert!(matches!(
+            report.items.first(),
+            Some(FeedbackItem::RemoteChatter { dominant_source: HiveId(4), .. })
+        ));
+    }
+
+    #[test]
+    fn conflicts_reported() {
+        let report = runtime_feedback("te", &[], 3, 0.9, 0.5);
+        assert_eq!(report.items, vec![FeedbackItem::OutOfCellWrites { conflicts: 3 }]);
+    }
+
+    #[test]
+    fn merge_snapshots_accumulates() {
+        let w1 = vec![snap("te", 1, 1, 10, 2)];
+        let w2 = vec![snap("te", 1, 5, 20, 2)];
+        let merged = merge_snapshots(&[w1, w2]);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].stats.msgs_in, 30);
+        assert_eq!(merged[0].hive, HiveId(5), "latest placement wins");
+    }
+}

@@ -1,0 +1,1383 @@
+//! The hive: one Beehive controller instance.
+//!
+//! A hive hosts installed applications' bees, routes messages by mapped
+//! cells through the replicated registry, relays messages to remote hives,
+//! executes the live-migration and colony-merge protocols, and drives the
+//! registry Raft group.
+//!
+//! The hive is **sans-IO by construction**: all work happens inside
+//! [`Hive::step`], time comes from a [`Clock`], and frames move through a
+//! [`Transport`]. The simulator calls `step` in virtual time; production
+//! deployments call [`Hive::run`] on a thread.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::app::{App, RcvCtx};
+use crate::cell::{Cell, Mapped};
+use crate::clock::Clock;
+use crate::control::ControlMsg;
+use crate::id::{AppName, BeeId, HiveId};
+use crate::message::{Dst, Envelope, Message, MessageRegistry, WireEnvelope};
+use crate::metrics::Instrumentation;
+use crate::platform::Tick;
+use crate::queen::{BeeStatus, Queen};
+use crate::registry::{RegistryCommand, RegistryEvent, RegistryOp, RegistryState};
+use crate::replication::{replicas_of, ApplyOutcome, ShadowStore};
+use crate::state::{BeeState, TxState};
+use crate::transport::{Frame, FrameKind, Transport};
+
+/// Configuration of a hive.
+#[derive(Clone)]
+pub struct HiveConfig {
+    /// This hive's id. Must be unique in the cluster.
+    pub id: HiveId,
+    /// All hives in the cluster (including this one). Leave it at just `id`
+    /// for a standalone hive.
+    pub all_hives: Vec<HiveId>,
+    /// The subset of hives that vote in the registry Raft group; the rest
+    /// follow as learners. Empty means "standalone": a purely local registry
+    /// with no consensus traffic.
+    pub registry_voters: Vec<HiveId>,
+    /// Raft tunables for the registry group.
+    pub raft: beehive_raft::Config,
+    /// How many milliseconds one registry Raft tick lasts.
+    pub raft_tick_ms: u64,
+    /// Period of the platform [`Tick`] message (the paper's `TimeOut`),
+    /// 0 disables ticks.
+    pub tick_interval_ms: u64,
+    /// Maximum units of work per [`Hive::step`] call.
+    pub step_budget: usize,
+    /// Registry proposals unanswered for this long are resubmitted.
+    pub pending_retry_ms: u64,
+    /// Messages for bees the registry doesn't know yet are retried for this
+    /// long before being dropped.
+    pub orphan_ttl_ms: u64,
+    /// Colony replication factor: 1 disables replication; `r > 1` ships
+    /// every committed transaction to `r - 1` shadow hives (see
+    /// [`crate::replication`]).
+    pub replication_factor: usize,
+    /// Directory for durable registry-Raft state (term, vote, log,
+    /// snapshots). `None` keeps it in memory — fine for simulations; set it
+    /// in production so a restarted hive rejoins with its Raft state intact.
+    pub registry_storage_dir: Option<std::path::PathBuf>,
+}
+
+impl HiveConfig {
+    /// A standalone single-hive configuration.
+    pub fn standalone(id: HiveId) -> Self {
+        HiveConfig {
+            id,
+            all_hives: vec![id],
+            registry_voters: Vec::new(),
+            raft: beehive_raft::Config::default(),
+            raft_tick_ms: 50,
+            tick_interval_ms: 1000,
+            step_budget: 100_000,
+            pending_retry_ms: 2_000,
+            orphan_ttl_ms: 10_000,
+            replication_factor: 1,
+            registry_storage_dir: None,
+        }
+    }
+
+    /// A clustered configuration: `id` among `all_hives`, with the first
+    /// `voters` hives forming the registry quorum.
+    pub fn clustered(id: HiveId, all_hives: Vec<HiveId>, voters: usize) -> Self {
+        let mut voters_list: Vec<HiveId> = all_hives.iter().copied().take(voters.max(1)).collect();
+        if !voters_list.contains(&id) && voters_list.len() < all_hives.len() {
+            // keep deterministic: voters are simply the first N hives
+        }
+        voters_list.sort();
+        HiveConfig {
+            registry_voters: voters_list,
+            all_hives,
+            ..HiveConfig::standalone(id)
+        }
+    }
+}
+
+/// Diagnostic counters exposed for tests, feedback and operations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HiveCounters {
+    /// Frames whose payload failed to decode.
+    pub decode_errors: u64,
+    /// Direct-addressed messages dropped because the bee is unknown and the
+    /// orphan TTL expired.
+    pub dropped_orphans: u64,
+    /// Direct-addressed messages dropped because the handler was ambiguous.
+    pub dropped_ambiguous: u64,
+    /// Cells written outside a bee's mapped cells that turned out to be owned
+    /// by another bee (an application design error).
+    pub assign_conflicts: u64,
+    /// Registry commands that were rejected.
+    pub rejected_commands: u64,
+    /// Registry commands forwarded toward the leader.
+    pub forwarded_commands: u64,
+    /// Outbound migrations started / completed.
+    pub migrations_started: u64,
+    /// Migrations whose state arrived and activated here.
+    pub migrations_in: u64,
+    /// Colony merges this hive participated in.
+    pub merges: u64,
+    /// Handler invocations that returned an error.
+    pub handler_errors: u64,
+    /// Messages relayed to other hives.
+    pub relays_out: u64,
+    /// Transactions replicated to shadow hives.
+    pub replicated_txs: u64,
+    /// Full-state replica resyncs served or installed.
+    pub replica_syncs: u64,
+    /// Bees recovered from local shadows after a hive failure.
+    pub failovers: u64,
+}
+
+/// A handle for injecting messages into a hive from other threads (drivers,
+/// IO loops, tests).
+#[derive(Clone)]
+pub struct HiveHandle {
+    id: HiveId,
+    tx: Sender<Envelope>,
+}
+
+impl HiveHandle {
+    /// The hive this handle feeds.
+    pub fn hive(&self) -> HiveId {
+        self.id
+    }
+
+    /// Emits a message into the hive as external input.
+    pub fn emit<M: Message>(&self, msg: M) {
+        let _ = self.tx.send(Envelope::external(self.id, Arc::new(msg)));
+    }
+
+    /// Emits a pre-wrapped message.
+    pub fn emit_arc(&self, msg: Arc<dyn Message>) {
+        let _ = self.tx.send(Envelope::external(self.id, msg));
+    }
+
+    /// Injects a fully formed envelope.
+    pub fn send(&self, env: Envelope) {
+        let _ = self.tx.send(env);
+    }
+}
+
+enum RegBackend {
+    Local { state: RegistryState, applied: Vec<(RegistryCommand, RegistryEvent)> },
+    Raft(Box<beehive_raft::RaftNode<RegistryState>>),
+}
+
+struct PendingRoute {
+    app_name: AppName,
+    cells_key: Vec<Cell>,
+    cmd: RegistryCommand,
+    waiting: Vec<(u16, Envelope)>,
+    submitted_ms: u64,
+}
+
+struct StagedBee {
+    state: BeeState,
+    colony: Vec<Cell>,
+    repl_seq: u64,
+}
+
+/// One Beehive controller.
+pub struct Hive {
+    cfg: HiveConfig,
+    clock: Arc<dyn Clock>,
+    transport: Box<dyn Transport>,
+    apps: Vec<App>,
+    app_idx: HashMap<AppName, usize>,
+    msg_registry: MessageRegistry,
+    queens: Vec<Queen>,
+    registry: RegBackend,
+    instr: Arc<Mutex<Instrumentation>>,
+    counters: HiveCounters,
+    next_bee_seq: u32,
+    next_cmd_seq: u64,
+    pending_routes: HashMap<u64, PendingRoute>,
+    /// Fire-and-forget registry commands (moves, removals, assignments)
+    /// awaiting their applied event; resubmitted on the retry timer so a
+    /// leaderless window can't strand a migration.
+    pending_ops: HashMap<u64, (RegistryCommand, u64)>,
+    inflight: HashMap<(AppName, Vec<Cell>), u64>,
+    staged: HashMap<(AppName, BeeId), StagedBee>,
+    orphans: VecDeque<(Envelope, u64)>,
+    dispatch_queue: VecDeque<Envelope>,
+    run_queue: VecDeque<(usize, BeeId)>,
+    handle_tx: Sender<Envelope>,
+    handle_rx: Receiver<Envelope>,
+    last_raft_tick_ms: u64,
+    last_app_tick_ms: u64,
+    tick_seq: u64,
+    /// Number of registry events applied locally (identical across hives
+    /// for the same committed prefix — the relay fence).
+    applied_seq: u64,
+    /// Shadow copies of remote bees this hive replicates (colony replication).
+    shadows: ShadowStore,
+    /// Bees being recovered from local shadows (failover in progress).
+    recovering: HashSet<(AppName, BeeId)>,
+}
+
+impl Hive {
+    /// Creates a hive. Install applications with [`Hive::install`] before
+    /// stepping.
+    pub fn new(cfg: HiveConfig, clock: Arc<dyn Clock>, transport: Box<dyn Transport>) -> Self {
+        assert_eq!(cfg.id, transport.local(), "transport endpoint must match hive id");
+        let registry = if cfg.registry_voters.is_empty() {
+            RegBackend::Local { state: RegistryState::new(), applied: Vec::new() }
+        } else {
+            let me = cfg.id.as_raft();
+            let voters: Vec<u64> = cfg.registry_voters.iter().map(|h| h.as_raft()).collect();
+            let learners: Vec<u64> = cfg
+                .all_hives
+                .iter()
+                .map(|h| h.as_raft())
+                .filter(|id| !voters.contains(id))
+                .collect();
+            let raft_cfg = beehive_raft::Config {
+                rng_seed: cfg.raft.rng_seed ^ me.wrapping_mul(0xA076_1D64_78BD_642F),
+                ..cfg.raft.clone()
+            };
+            let storage: Box<dyn beehive_raft::Storage> = match &cfg.registry_storage_dir {
+                Some(dir) => {
+                    std::fs::create_dir_all(dir).expect("create registry storage dir");
+                    Box::new(
+                        beehive_raft::FileStorage::open(dir.join(format!("hive-{}.raft", cfg.id.0)))
+                            .expect("open registry storage"),
+                    )
+                }
+                None => Box::new(beehive_raft::MemStorage::new()),
+            };
+            let node = if voters.contains(&me) {
+                let peers: Vec<u64> = voters.iter().copied().filter(|&v| v != me).collect();
+                let peer_learners: Vec<u64> = learners.clone();
+                beehive_raft::RaftNode::with_membership(
+                    me,
+                    peers,
+                    peer_learners,
+                    false,
+                    raft_cfg,
+                    RegistryState::new(),
+                    storage,
+                )
+            } else {
+                beehive_raft::RaftNode::new_learner(
+                    me,
+                    voters,
+                    raft_cfg,
+                    RegistryState::new(),
+                    storage,
+                )
+            };
+            RegBackend::Raft(Box::new(node))
+        };
+        let (handle_tx, handle_rx) = unbounded();
+        let mut msg_registry = MessageRegistry::new();
+        msg_registry.register::<Tick>();
+        msg_registry.register::<crate::metrics::HiveMetrics>();
+        let mut hive = Hive {
+            cfg,
+            clock,
+            transport,
+            apps: Vec::new(),
+            app_idx: HashMap::new(),
+            msg_registry,
+            queens: Vec::new(),
+            registry,
+            instr: Arc::new(Mutex::new(Instrumentation::default())),
+            counters: HiveCounters::default(),
+            next_bee_seq: 1,
+            next_cmd_seq: 1,
+            pending_routes: HashMap::new(),
+            pending_ops: HashMap::new(),
+            inflight: HashMap::new(),
+            staged: HashMap::new(),
+            orphans: VecDeque::new(),
+            dispatch_queue: VecDeque::new(),
+            run_queue: VecDeque::new(),
+            handle_tx,
+            handle_rx,
+            last_raft_tick_ms: 0,
+            last_app_tick_ms: 0,
+            tick_seq: 0,
+            applied_seq: 0,
+            shadows: ShadowStore::new(),
+            recovering: HashSet::new(),
+        };
+        if let RegBackend::Raft(node) = &hive.registry {
+            // Restored durable state: start the fence at the snapshot point.
+            hive.applied_seq = node.last_applied();
+        }
+        hive
+    }
+
+    /// This hive's id.
+    pub fn id(&self) -> HiveId {
+        self.cfg.id
+    }
+
+    /// Installs an application. All hives in a cluster must install the same
+    /// applications (the platform replicates *functions* everywhere; only
+    /// state placement differs).
+    pub fn install(&mut self, app: App) {
+        assert!(
+            !self.app_idx.contains_key(app.name()),
+            "app {:?} installed twice",
+            app.name()
+        );
+        app.register_messages(&mut self.msg_registry);
+        self.app_idx.insert(app.name().clone(), self.apps.len());
+        self.queens.push(Queen::new(app.name().clone()));
+        self.apps.push(app);
+    }
+
+    /// A cloneable handle for injecting external messages.
+    pub fn handle(&self) -> HiveHandle {
+        HiveHandle { id: self.cfg.id, tx: self.handle_tx.clone() }
+    }
+
+    /// Emits a message as external input (convenience for tests/drivers).
+    pub fn emit<M: Message>(&mut self, msg: M) {
+        self.dispatch_queue.push_back(Envelope::external(self.cfg.id, Arc::new(msg)));
+    }
+
+    /// Shared instrumentation store (used by the collector platform app).
+    pub fn instrumentation(&self) -> Arc<Mutex<Instrumentation>> {
+        self.instr.clone()
+    }
+
+    /// Diagnostic counters.
+    pub fn counters(&self) -> &HiveCounters {
+        &self.counters
+    }
+
+    /// Read-only view of the registry mirror. In Raft mode this is the local
+    /// applied state (may lag the leader slightly).
+    pub fn registry_view(&self) -> &RegistryState {
+        match &self.registry {
+            RegBackend::Local { state, .. } => state,
+            RegBackend::Raft(node) => node.state_machine(),
+        }
+    }
+
+    /// Whether this hive currently leads the registry group (standalone
+    /// hives trivially do).
+    pub fn is_registry_leader(&self) -> bool {
+        match &self.registry {
+            RegBackend::Local { .. } => true,
+            RegBackend::Raft(node) => node.is_leader(),
+        }
+    }
+
+    /// The installed applications.
+    pub fn apps(&self) -> &[App] {
+        &self.apps
+    }
+
+    /// Number of local bees of `app`.
+    pub fn local_bee_count(&self, app: &str) -> usize {
+        self.app_idx.get(app).map(|&i| self.queens[i].len()).unwrap_or(0)
+    }
+
+    /// All local bees of `app` with their colony sizes.
+    pub fn local_bees(&self, app: &str) -> Vec<(BeeId, usize)> {
+        let Some(&i) = self.app_idx.get(app) else { return Vec::new() };
+        self.queens[i]
+            .bee_ids()
+            .into_iter()
+            .map(|b| (b, self.queens[i].bee(b).map(|lb| lb.colony.len()).unwrap_or(0)))
+            .collect()
+    }
+
+    /// Reads a value from a local bee's state (test/inspection API).
+    pub fn peek_state<T: serde::de::DeserializeOwned>(
+        &self,
+        app: &str,
+        bee: BeeId,
+        dict: &str,
+        key: &str,
+    ) -> Option<T> {
+        let &i = self.app_idx.get(app)?;
+        let lb = self.queens[i].bee(bee)?;
+        lb.state.dict(dict)?.get(key).ok().flatten()
+    }
+
+    /// Pre-claims cells for `app` on this hive (used by evaluations to
+    /// reproduce the paper's "artificially assign the cells of all switches
+    /// to the bees on the first hive").
+    pub fn preclaim(&mut self, app: &str, cells: Vec<Cell>) {
+        let Some(&app_idx) = self.app_idx.get(app) else { return };
+        let canonical = Mapped::Cells(cells).canonicalize(|d| self.apps[app_idx].is_monolithic(d));
+        let Mapped::Cells(cells) = canonical else { return };
+        self.route_cells(app_idx, None, cells, None);
+    }
+
+    /// Requests a live migration of `bee` (of `app`, currently on `from`)
+    /// to hive `to`.
+    pub fn request_migration(&mut self, app: &str, bee: BeeId, from: HiveId, to: HiveId) {
+        let msg = ControlMsg::RequestMigration { app: app.to_string(), bee, to };
+        if from == self.cfg.id {
+            self.handle_control(self.cfg.id, msg);
+        } else {
+            self.send_control(from, &msg);
+        }
+    }
+
+    /// Fails over every bee this hive shadows whose registry record still
+    /// points at `dead`: proposes `MoveBee(bee → self)` and, once the move
+    /// commits, promotes the local shadow to the live bee. Failure detection
+    /// is the deployment's job; call this once the registry group has a live
+    /// leader again. Returns the number of recoveries initiated.
+    pub fn recover_from(&mut self, dead: HiveId) -> usize {
+        let candidates: Vec<(AppName, BeeId)> = self
+            .shadows
+            .keys()
+            .filter(|(_, bee)| self.registry_view().hive_of(*bee) == Some(dead))
+            .map(|(a, b)| (a.clone(), b))
+            .collect();
+        let n = candidates.len();
+        for (app, bee) in candidates {
+            self.recovering.insert((app, bee));
+            self.submit_tracked(RegistryOp::MoveBee { bee, to: self.cfg.id });
+        }
+        n
+    }
+
+    /// Number of shadow bees this hive currently holds (colony replication).
+    pub fn shadow_count(&self) -> usize {
+        self.shadows.len()
+    }
+
+    // ------------------------------------------------------------------
+    // The step loop
+    // ------------------------------------------------------------------
+
+    /// Performs one scheduling round: ingests external input and transport
+    /// frames, drives the registry, fires timers, dispatches messages and
+    /// runs bees — up to the configured budget. Returns the number of work
+    /// units performed (0 = fully quiescent).
+    pub fn step(&mut self) -> usize {
+        let now = self.clock.now_ms();
+        let mut work = 0usize;
+
+        // 1. External input.
+        while let Ok(env) = self.handle_rx.try_recv() {
+            self.dispatch_queue.push_back(env);
+            work += 1;
+        }
+
+        // 2. Transport frames.
+        while let Some((from, frame)) = self.transport.try_recv() {
+            work += 1;
+            match frame.kind {
+                FrameKind::App => match WireEnvelope::to_envelope(&frame.bytes, &self.msg_registry) {
+                    Ok(env) => self.dispatch_queue.push_back(env),
+                    Err(_) => self.counters.decode_errors += 1,
+                },
+                FrameKind::Raft => {
+                    match beehive_wire::from_slice::<beehive_raft::RaftMessage>(&frame.bytes) {
+                        Ok(msg) => {
+                            if let RegBackend::Raft(node) = &mut self.registry {
+                                let outs = node.step(from.as_raft(), msg);
+                                self.send_raft(outs);
+                            }
+                        }
+                        Err(_) => self.counters.decode_errors += 1,
+                    }
+                }
+                FrameKind::Control => match ControlMsg::decode(&frame.bytes) {
+                    Ok(msg) => self.handle_control(from, msg),
+                    Err(_) => self.counters.decode_errors += 1,
+                },
+            }
+        }
+
+        // 3. Registry Raft ticks.
+        if let RegBackend::Raft(_) = self.registry {
+            if self.last_raft_tick_ms == 0 {
+                self.last_raft_tick_ms = now;
+            }
+            while now.saturating_sub(self.last_raft_tick_ms) >= self.cfg.raft_tick_ms {
+                self.last_raft_tick_ms += self.cfg.raft_tick_ms;
+                if let RegBackend::Raft(node) = &mut self.registry {
+                    let outs = node.tick();
+                    self.send_raft(outs);
+                }
+                work += 1;
+            }
+        }
+
+        // 4. Applied registry events.
+        work += self.drain_applied();
+
+        // 5. Platform tick.
+        if self.cfg.tick_interval_ms > 0
+            && now.saturating_sub(self.last_app_tick_ms) >= self.cfg.tick_interval_ms
+        {
+            self.last_app_tick_ms = now;
+            self.tick_seq += 1;
+            let tick = Tick { seq: self.tick_seq, now_ms: now };
+            self.dispatch_queue.push_back(Envelope::external(self.cfg.id, Arc::new(tick)));
+            work += 1;
+        }
+
+        // 6. Pending-proposal retries.
+        self.retry_pending(now);
+
+        // 7. Orphan retries. Retried orphans re-enter dispatch with their
+        // ORIGINAL park time, so a message that keeps failing to route is
+        // re-parked with that time and genuinely expires after the TTL
+        // (pushing through dispatch_queue would reset the clock each cycle).
+        let orphan_count = self.orphans.len();
+        for _ in 0..orphan_count {
+            if let Some((env, since)) = self.orphans.pop_front() {
+                if now.saturating_sub(since) > self.cfg.orphan_ttl_ms {
+                    self.counters.dropped_orphans += 1;
+                } else {
+                    self.dispatch(env, since);
+                }
+            }
+        }
+
+        // 8. Main dispatch/run loop. Applied registry events are drained
+        // inside the loop so locally applied (or freshly committed) routing
+        // decisions release their buffered messages within the same step.
+        while work < self.cfg.step_budget {
+            work += self.drain_applied();
+            if let Some(env) = self.dispatch_queue.pop_front() {
+                self.dispatch(env, now);
+                work += 1;
+                continue;
+            }
+            if let Some((app_idx, bee)) = self.run_queue.pop_front() {
+                if self.run_bee(app_idx, bee, now) {
+                    work += 1;
+                }
+                continue;
+            }
+            if self.drain_applied() == 0 {
+                break;
+            }
+        }
+        work
+    }
+
+    fn drain_applied(&mut self) -> usize {
+        let applied = match &mut self.registry {
+            RegBackend::Local { applied, .. } => {
+                // Local mode: the fence is a simple event counter.
+                let taken = std::mem::take(applied);
+                self.applied_seq += taken.len() as u64;
+                taken
+            }
+            RegBackend::Raft(node) => {
+                let out: Vec<_> = node.take_applied().into_iter().map(|a| a.output).collect();
+                // Raft mode: the fence is the applied LOG INDEX — durable
+                // across restarts (a snapshot restores last_applied) and
+                // identical on every hive for the same committed prefix.
+                self.applied_seq = node.last_applied();
+                out
+            }
+        };
+        let n = applied.len();
+        for (cmd, event) in applied {
+            self.on_registry_event(cmd, event);
+        }
+        n
+    }
+
+    /// Steps until quiescent or `max_rounds` is reached. Returns total work.
+    pub fn step_until_quiescent(&mut self, max_rounds: usize) -> usize {
+        let mut total = 0;
+        for _ in 0..max_rounds {
+            let w = self.step();
+            total += w;
+            if w == 0 {
+                break;
+            }
+        }
+        total
+    }
+
+    /// Runs the hive on the current thread until `stop` becomes true,
+    /// sleeping briefly when idle. Production entry point.
+    pub fn run(&mut self, stop: &std::sync::atomic::AtomicBool) {
+        while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+            if self.step() == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, env: Envelope, now: u64) {
+        match env.dst.clone() {
+            Dst::Broadcast => {
+                for app_idx in 0..self.apps.len() {
+                    self.offer_to_app(app_idx, &env);
+                }
+            }
+            Dst::App(name) => {
+                if let Some(&app_idx) = self.app_idx.get(&name) {
+                    self.offer_to_app(app_idx, &env);
+                }
+            }
+            Dst::Bee { app, bee, handler, fence } => {
+                self.deliver_direct(&app, bee, handler, fence, env, now);
+            }
+        }
+    }
+
+    fn offer_to_app(&mut self, app_idx: usize, env: &Envelope) {
+        let type_name = env.msg.type_name();
+        let handler_indices: Vec<u16> = self.apps[app_idx].handlers_for(type_name).to_vec();
+        for hidx in handler_indices {
+            let mapped = self.apps[app_idx].map(hidx, env.msg.as_ref());
+            match mapped {
+                Mapped::Skip => {}
+                Mapped::LocalSingleton => {
+                    let me = self.cfg.id;
+                    let seq = &mut self.next_bee_seq;
+                    let bee = self.queens[app_idx].ensure_singleton(|| {
+                        let id = BeeId::new(me, *seq);
+                        *seq += 1;
+                        id
+                    });
+                    self.instr.lock().pinned.insert(bee.0);
+                    if self.queens[app_idx].deliver(bee, hidx, env.clone()) {
+                        self.run_queue.push_back((app_idx, bee));
+                    }
+                }
+                Mapped::LocalBroadcast => {
+                    let targets: Vec<BeeId> = self.queens[app_idx].active_bees().collect();
+                    for bee in targets {
+                        if self.queens[app_idx].deliver(bee, hidx, env.clone()) {
+                            self.run_queue.push_back((app_idx, bee));
+                        }
+                    }
+                }
+                Mapped::Cells(cells) => {
+                    self.route_cells(app_idx, Some(hidx), cells, Some(env.clone()));
+                }
+            }
+        }
+    }
+
+    /// Routes a message (or a pre-claim with no message) by cells.
+    fn route_cells(
+        &mut self,
+        app_idx: usize,
+        handler: Option<u16>,
+        mut cells: Vec<Cell>,
+        env: Option<Envelope>,
+    ) {
+        cells.sort();
+        cells.dedup();
+        let app_name = self.apps[app_idx].name().clone();
+
+        // A proposal for these exact cells is already in flight: queue behind
+        // it to preserve delivery order (the mirror may already know the
+        // owner, but earlier messages are still parked on the pending route).
+        let key = (app_name.clone(), cells.clone());
+        if let Some(&seq) = self.inflight.get(&key) {
+            if let (Some(h), Some(env)) = (handler, env) {
+                if let Some(p) = self.pending_routes.get_mut(&seq) {
+                    p.waiting.push((h, env));
+                }
+            }
+            return;
+        }
+
+        // A pending route whose cells merely *intersect* ours also carries
+        // messages that must run first: queue behind the earliest such
+        // proposal, and re-route when it resolves. (Without this, a message
+        // mapping a subset of an in-flight set could take the fast path and
+        // overtake the message that created the colony.)
+        let intersecting = self
+            .pending_routes
+            .iter()
+            .filter(|(_, p)| {
+                p.app_name == app_name && p.cells_key.iter().any(|c| cells.contains(c))
+            })
+            .map(|(&seq, _)| seq)
+            .min();
+        if let Some(seq) = intersecting {
+            if let (Some(h), Some(env)) = (handler, env) {
+                if let Some(p) = self.pending_routes.get_mut(&seq) {
+                    p.waiting.push((h, env));
+                }
+            }
+            return;
+        }
+
+        // Fast path: a single bee already owns every cell.
+        if let Some((bee, hive)) = self.registry_view().lookup_exact(&app_name, &cells) {
+            if let (Some(h), Some(env)) = (handler, env) {
+                self.deliver_or_relay(app_idx, bee, hive, h, env);
+            }
+            return;
+        }
+        let new_bee = BeeId::new(self.cfg.id, self.next_bee_seq);
+        self.next_bee_seq += 1;
+        let seq = self.next_cmd_seq;
+        self.next_cmd_seq += 1;
+        let cmd = RegistryCommand {
+            origin: self.cfg.id,
+            seq,
+            op: RegistryOp::LookupOrCreate { app: app_name.clone(), cells: cells.clone(), new_bee },
+        };
+        let waiting = match (handler, env) {
+            (Some(h), Some(env)) => vec![(h, env)],
+            _ => Vec::new(),
+        };
+        self.pending_routes.insert(
+            seq,
+            PendingRoute {
+                app_name: app_name.clone(),
+                cells_key: cells.clone(),
+                cmd: cmd.clone(),
+                waiting,
+                submitted_ms: self.clock.now_ms(),
+            },
+        );
+        self.inflight.insert(key, seq);
+        self.submit_cmd(cmd);
+    }
+
+    fn deliver_direct(
+        &mut self,
+        app: &str,
+        bee: BeeId,
+        handler: Option<u16>,
+        fence: u64,
+        env: Envelope,
+        now: u64,
+    ) {
+        let Some(&app_idx) = self.app_idx.get(app) else { return };
+        // Registry fence: don't act on a routing decision we haven't applied
+        // yet — park and retry (our mirror will catch up within a heartbeat).
+        if fence > self.applied_seq {
+            self.orphans.push_back((env, now));
+            return;
+        }
+        // Resolve the handler index.
+        let hidx = match handler {
+            Some(h) => h,
+            None => {
+                let hs = self.apps[app_idx].handlers_for(env.msg.type_name());
+                match hs {
+                    [one] => *one,
+                    [] => return,
+                    _ => {
+                        self.counters.dropped_ambiguous += 1;
+                        return;
+                    }
+                }
+            }
+        };
+        // Local?
+        if self.queens[app_idx].bee(bee).is_some() {
+            if self.queens[app_idx].deliver(bee, hidx, env) {
+                self.run_queue.push_back((app_idx, bee));
+            }
+            return;
+        }
+        // Merged away? Re-aim at the surviving colony.
+        if let Some(winner) = self.queens[app_idx].merge_redirect(bee) {
+            let mut env = env;
+            env.dst = Dst::Bee { app: app.to_string(), bee: winner, handler: Some(hidx), fence };
+            self.dispatch_queue.push_back(env);
+            return;
+        }
+        // Tombstone (moved away)?
+        if let Some(to) = self.queens[app_idx].tombstone(bee) {
+            let mut env = env;
+            env.dst =
+                Dst::Bee { app: app.to_string(), bee, handler: Some(hidx), fence: self.applied_seq };
+            self.relay(to, &env);
+            return;
+        }
+        // Registry mirror?
+        match self.registry_view().hive_of(bee) {
+            Some(h) if h == self.cfg.id => {
+                // The registry says it's ours but the queen doesn't have it
+                // yet (e.g. created by a remote LookupOrCreate, or a staged
+                // migration). Materialize it.
+                let colony: Vec<Cell> = self
+                    .registry_view()
+                    .bee(bee)
+                    .map(|r| r.colony.iter().cloned().collect())
+                    .unwrap_or_default();
+                if self.staged.contains_key(&(app.to_string(), bee)) {
+                    let staged = self.staged.remove(&(app.to_string(), bee)).unwrap();
+                    self.queens[app_idx]
+                        .install_migrated(bee, staged.state, staged.colony, staged.repl_seq);
+                    self.counters.migrations_in += 1;
+                } else {
+                    self.queens[app_idx].ensure_bee(bee, colony);
+                }
+                if self.queens[app_idx].deliver(bee, hidx, env) {
+                    self.run_queue.push_back((app_idx, bee));
+                }
+            }
+            Some(h) => {
+                let mut env = env;
+                env.dst = Dst::Bee {
+                    app: app.to_string(),
+                    bee,
+                    handler: Some(hidx),
+                    fence: fence.max(self.applied_seq),
+                };
+                self.relay(h, &env);
+            }
+            None => {
+                // Unknown (our mirror may lag the leader). Park and retry.
+                let mut env = env;
+                env.dst = Dst::Bee { app: app.to_string(), bee, handler: Some(hidx), fence };
+                self.orphans.push_back((env, now));
+            }
+        }
+    }
+
+    fn deliver_or_relay(&mut self, app_idx: usize, bee: BeeId, hive: HiveId, hidx: u16, env: Envelope) {
+        if hive == self.cfg.id {
+            // Make sure the bee exists locally (it may have been created by
+            // our own LookupOrCreate).
+            let colony: Vec<Cell> = self
+                .registry_view()
+                .bee(bee)
+                .map(|r| r.colony.iter().cloned().collect())
+                .unwrap_or_default();
+            self.queens[app_idx].ensure_bee(bee, colony);
+            if self.queens[app_idx].deliver(bee, hidx, env) {
+                self.run_queue.push_back((app_idx, bee));
+            }
+        } else {
+            let mut env = env;
+            env.dst = Dst::Bee {
+                app: self.apps[app_idx].name().clone(),
+                bee,
+                handler: Some(hidx),
+                fence: self.applied_seq,
+            };
+            self.relay(hive, &env);
+        }
+    }
+
+    fn relay(&mut self, to: HiveId, env: &Envelope) {
+        if to == self.cfg.id {
+            self.dispatch_queue.push_back(env.clone());
+            return;
+        }
+        match WireEnvelope::from_envelope(env) {
+            Ok(bytes) => {
+                self.counters.relays_out += 1;
+                self.transport.send(to, Frame::app(bytes));
+            }
+            Err(_) => self.counters.decode_errors += 1,
+        }
+    }
+
+    fn send_control(&mut self, to: HiveId, msg: &ControlMsg) {
+        if to == self.cfg.id {
+            // Loop back through the control handler directly.
+            let msg = msg.clone();
+            self.handle_control(self.cfg.id, msg);
+            return;
+        }
+        match msg.encode() {
+            Ok(bytes) => self.transport.send(to, Frame::control(bytes)),
+            Err(_) => self.counters.decode_errors += 1,
+        }
+    }
+
+    fn send_raft(&mut self, outs: Vec<beehive_raft::Outbound>) {
+        for o in outs {
+            let to = HiveId::from_raft(o.to);
+            match beehive_wire::to_vec(&o.msg) {
+                Ok(bytes) => self.transport.send(to, Frame::raft(bytes)),
+                Err(_) => self.counters.decode_errors += 1,
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Registry plumbing
+    // ------------------------------------------------------------------
+
+    fn submit_cmd(&mut self, cmd: RegistryCommand) {
+        match &mut self.registry {
+            RegBackend::Local { state, applied } => {
+                let ev = state.apply_command(&cmd);
+                applied.push((cmd, ev));
+            }
+            RegBackend::Raft(node) => {
+                if node.is_leader() {
+                    if let Ok((_token, outs)) = node.propose_now(cmd.encode()) {
+                        self.send_raft(outs);
+                    }
+                } else if let Some(leader) = node.leader_hint() {
+                    let to = HiveId::from_raft(leader);
+                    if to != self.cfg.id {
+                        self.counters.forwarded_commands += 1;
+                        self.send_control(to, &ControlMsg::RegistryForward(cmd));
+                    }
+                }
+                // No leader known: the pending-retry timer will resubmit.
+            }
+        }
+    }
+
+    /// Submits a non-routing registry op and tracks it for retry until its
+    /// applied event comes back.
+    fn submit_tracked(&mut self, op: RegistryOp) {
+        let seq = self.next_cmd_seq;
+        self.next_cmd_seq += 1;
+        let cmd = RegistryCommand { origin: self.cfg.id, seq, op };
+        self.pending_ops.insert(seq, (cmd.clone(), self.clock.now_ms()));
+        self.submit_cmd(cmd);
+    }
+
+    fn retry_pending(&mut self, now: u64) {
+        let mut retry: Vec<RegistryCommand> = self
+            .pending_routes
+            .values_mut()
+            .filter(|p| now.saturating_sub(p.submitted_ms) >= self.cfg.pending_retry_ms)
+            .map(|p| {
+                p.submitted_ms = now;
+                p.cmd.clone()
+            })
+            .collect();
+        retry.extend(
+            self.pending_ops
+                .values_mut()
+                .filter(|(_, submitted)| now.saturating_sub(*submitted) >= self.cfg.pending_retry_ms)
+                .map(|(cmd, submitted)| {
+                    *submitted = now;
+                    cmd.clone()
+                }),
+        );
+        // Resubmit in original proposal order: commit order determines the
+        // order buffered messages are released, and that must follow arrival
+        // order (e.g. proposals parked while no registry leader existed).
+        retry.sort_by_key(|c| c.seq);
+        for cmd in retry {
+            self.submit_cmd(cmd);
+        }
+    }
+
+    fn on_registry_event(&mut self, cmd: RegistryCommand, event: RegistryEvent) {
+        if cmd.origin == self.cfg.id {
+            self.pending_ops.remove(&cmd.seq);
+        }
+        match event {
+            RegistryEvent::Routed { app, bee, hive, created: _, merged } => {
+                let app_idx = self.app_idx.get(&app).copied();
+
+                // Handle colony merges this hive participates in. Every
+                // hive records the redirect so late mail addressed to a
+                // merged-away bee still finds the surviving colony.
+                if let Some(ai) = app_idx {
+                    for (loser, _) in &merged {
+                        self.queens[ai].record_merge(*loser, bee);
+                    }
+                    for (loser, loser_hive) in &merged {
+                        if *loser_hive == self.cfg.id {
+                            if let Some((state, mail)) = self.queens[ai].remove_loser(*loser) {
+                                self.counters.merges += 1;
+                                if hive == self.cfg.id {
+                                    self.queens[ai].ensure_bee(bee, []);
+                                    self.queens[ai].absorb_merge(bee, *loser, state);
+                                } else {
+                                    let snapshot =
+                                        state.snapshot().expect("loser state snapshots");
+                                    self.send_control(
+                                        hive,
+                                        &ControlMsg::MergeState {
+                                            app: app.clone(),
+                                            winner: bee,
+                                            loser: *loser,
+                                            state: snapshot,
+                                        },
+                                    );
+                                }
+                                // Forward the loser's buffered mail to the winner.
+                                for (h, mut env) in mail {
+                                    env.dst = Dst::Bee {
+                                        app: app.clone(),
+                                        bee,
+                                        handler: Some(h),
+                                        fence: self.applied_seq,
+                                    };
+                                    self.dispatch_queue.push_back(env);
+                                }
+                            }
+                        }
+                    }
+                    if hive == self.cfg.id {
+                        let colony: Vec<Cell> = self
+                            .registry_view()
+                            .bee(bee)
+                            .map(|r| r.colony.iter().cloned().collect())
+                            .unwrap_or_default();
+                        self.queens[ai].ensure_bee(bee, colony);
+                        let remote_losers: HashSet<BeeId> = merged
+                            .iter()
+                            .filter(|(_, lh)| *lh != self.cfg.id)
+                            .map(|(l, _)| *l)
+                            .collect();
+                        let conflicts = self.queens[ai].await_merges(bee, remote_losers);
+                        self.counters.assign_conflicts += conflicts as u64;
+                        if self.queens[ai].bee(bee).is_some_and(|b| b.runnable()) {
+                            self.run_queue.push_back((ai, bee));
+                        }
+                        self.instr.lock().bee_cells.insert(
+                            bee.0,
+                            self.queens[ai].bee(bee).map(|b| b.colony.len() as u64).unwrap_or(0),
+                        );
+                    }
+                }
+
+                // Resolve our own pending route: re-route every buffered
+                // message. The proposal's own message now takes the fast
+                // path; messages that queued behind it because their cells
+                // merely intersected re-evaluate their own mapping (their
+                // cell set may extend beyond this colony).
+                if cmd.origin == self.cfg.id {
+                    if let Some(p) = self.pending_routes.remove(&cmd.seq) {
+                        self.inflight.remove(&(app.clone(), p.cells_key.clone()));
+                        if let Some(ai) = app_idx {
+                            for (h, env) in p.waiting {
+                                match self.apps[ai].map(h, env.msg.as_ref()) {
+                                    Mapped::Cells(cells) => {
+                                        self.route_cells(ai, Some(h), cells, Some(env));
+                                    }
+                                    // Non-cell mappings never buffer here, but
+                                    // fall back to direct delivery defensively.
+                                    _ => self.deliver_or_relay(ai, bee, hive, h, env),
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            RegistryEvent::Moved { app, bee, from, to } => {
+                let Some(&ai) = self.app_idx.get(&app) else { return };
+                if from == self.cfg.id && to != self.cfg.id {
+                    let mail = self.queens[ai].finish_migration_out(bee, to);
+                    for (h, mut env) in mail {
+                        env.dst = Dst::Bee {
+                            app: app.clone(),
+                            bee,
+                            handler: Some(h),
+                            fence: self.applied_seq,
+                        };
+                        self.relay(to, &env);
+                    }
+                } else if to == self.cfg.id && from != self.cfg.id {
+                    if let Some(staged) = self.staged.remove(&(app.clone(), bee)) {
+                        self.queens[ai].install_migrated(bee, staged.state, staged.colony, staged.repl_seq);
+                        self.counters.migrations_in += 1;
+                        if self.queens[ai].bee(bee).is_some_and(|b| b.runnable()) {
+                            self.run_queue.push_back((ai, bee));
+                        }
+                    } else if self.recovering.remove(&(app.clone(), bee)) {
+                        // Failover: promote the local shadow instead of
+                        // waiting for a state shipment from the dead owner.
+                        let shadow = self.shadows.take(&app, bee).unwrap_or_default();
+                        let colony: Vec<Cell> = self
+                            .registry_view()
+                            .bee(bee)
+                            .map(|r| r.colony.iter().cloned().collect())
+                            .unwrap_or_default();
+                        self.queens[ai].install_migrated(bee, shadow.state, colony, shadow.seq);
+                        self.counters.failovers += 1;
+                    } else {
+                        self.queens[ai].stage_in(bee);
+                    }
+                }
+            }
+            RegistryEvent::Assigned { conflicts, .. } => {
+                self.counters.assign_conflicts += conflicts.len() as u64;
+            }
+            RegistryEvent::Removed { app, bee, hive } => {
+                if hive == self.cfg.id {
+                    if let Some(&ai) = self.app_idx.get(&app) {
+                        self.queens[ai].remove(bee);
+                    }
+                }
+            }
+            RegistryEvent::Rejected { .. } => {
+                self.counters.rejected_commands += 1;
+                if cmd.origin == self.cfg.id {
+                    if let Some(p) = self.pending_routes.remove(&cmd.seq) {
+                        if let RegistryOp::LookupOrCreate { app, .. } = &cmd.op {
+                            self.inflight.remove(&(app.clone(), p.cells_key));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Control protocol
+    // ------------------------------------------------------------------
+
+    fn handle_control(&mut self, from: HiveId, msg: ControlMsg) {
+        match msg {
+            ControlMsg::RegistryForward(cmd) => {
+                // We may be the leader — or know who is.
+                self.submit_cmd(cmd);
+            }
+            ControlMsg::RequestMigration { app, bee, to } => {
+                let Some(&ai) = self.app_idx.get(&app) else { return };
+                if to == self.cfg.id {
+                    return; // already here (or a stale order)
+                }
+                if let Some((state, colony, repl_seq)) = self.queens[ai].start_migration(bee, to) {
+                    self.counters.migrations_started += 1;
+                    self.send_control(
+                        to,
+                        &ControlMsg::MigrateState { app: app.clone(), bee, state, colony, repl_seq },
+                    );
+                    self.submit_tracked(RegistryOp::MoveBee { bee, to });
+                }
+            }
+            ControlMsg::MigrateState { app, bee, state, colony, repl_seq } => {
+                let Some(&ai) = self.app_idx.get(&app) else { return };
+                let state = match BeeState::from_snapshot(&state) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        self.counters.decode_errors += 1;
+                        return;
+                    }
+                };
+                if self.registry_view().hive_of(bee) == Some(self.cfg.id) {
+                    self.queens[ai].install_migrated(bee, state, colony, repl_seq);
+                    self.counters.migrations_in += 1;
+                    if self.queens[ai].bee(bee).is_some_and(|b| b.runnable()) {
+                        self.run_queue.push_back((ai, bee));
+                    }
+                } else {
+                    self.staged.insert((app, bee), StagedBee { state, colony, repl_seq });
+                }
+            }
+            ControlMsg::MergeState { app, winner, loser, state } => {
+                let Some(&ai) = self.app_idx.get(&app) else { return };
+                let state = match BeeState::from_snapshot(&state) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        self.counters.decode_errors += 1;
+                        return;
+                    }
+                };
+                if self.queens[ai].expects_merge(winner, loser) {
+                    let conflicts = self.queens[ai].absorb_merge(winner, loser, state);
+                    self.counters.assign_conflicts += conflicts as u64;
+                    self.counters.merges += 1;
+                    if self.queens[ai].bee(winner).is_some_and(|b| b.runnable()) {
+                        self.run_queue.push_back((ai, winner));
+                    }
+                } else {
+                    // The shipment outran our registry apply: stash it; the
+                    // Routed event's await_merges will consume it.
+                    self.queens[ai].stash_early_merge(winner, loser, state);
+                }
+            }
+            ControlMsg::ReplicateTx { app, bee, seq, journal } => {
+                let journal = match beehive_wire::from_slice::<crate::state::TxJournal>(&journal) {
+                    Ok(j) => j,
+                    Err(_) => {
+                        self.counters.decode_errors += 1;
+                        return;
+                    }
+                };
+                match self.shadows.apply(&app, bee, seq, &journal) {
+                    ApplyOutcome::Applied | ApplyOutcome::Stale => {}
+                    ApplyOutcome::NeedSync => {
+                        self.send_control(from, &ControlMsg::ReplicaSyncRequest { app, bee });
+                    }
+                }
+            }
+            ControlMsg::ReplicaSyncRequest { app, bee } => {
+                let Some(&ai) = self.app_idx.get(&app) else { return };
+                let Some(local) = self.queens[ai].bee(bee) else { return };
+                let Ok(state) = local.state.snapshot() else { return };
+                let seq = local.repl_seq;
+                self.counters.replica_syncs += 1;
+                self.send_control(from, &ControlMsg::ReplicaSyncState { app, bee, seq, state });
+            }
+            ControlMsg::ReplicaSyncState { app, bee, seq, state } => {
+                let Ok(state) = BeeState::from_snapshot(&state) else {
+                    self.counters.decode_errors += 1;
+                    return;
+                };
+                self.shadows.install(&app, bee, seq, state);
+                self.counters.replica_syncs += 1;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Bee execution
+    // ------------------------------------------------------------------
+
+    /// Runs one message on a bee. Returns whether work was done.
+    fn run_bee(&mut self, app_idx: usize, bee_id: BeeId, now: u64) -> bool {
+        // Pull one message (and the data the handler needs) out of the queen.
+        let me = self.cfg.id;
+        let app_name = self.apps[app_idx].name().clone();
+
+        let queen = &mut self.queens[app_idx];
+        let Some(bee) = queen.bee_mut(bee_id) else { return false };
+        if bee.status != BeeStatus::Active {
+            return false;
+        }
+        let Some((hidx, env)) = bee.mailbox.pop_front() else { return false };
+        let has_more = !bee.mailbox.is_empty();
+        let pinned = bee.pinned;
+
+        // Execute the handler inside a transaction.
+        let apps = &self.apps;
+        let handler = apps[app_idx].handler(hidx).expect("handler index valid");
+        let in_type = env.msg.type_name().to_string();
+        let msg_len = env.msg.encoded_len();
+
+        let mut ctx = RcvCtx {
+            hive: me,
+            app: app_name.clone(),
+            bee: bee_id,
+            src: env.src,
+            now_ms: now,
+            tx: TxState::begin(&mut bee.state),
+            outbox: Vec::new(),
+            control_out: Vec::new(),
+            retire: false,
+        };
+        let started = std::time::Instant::now();
+        let result = handler.rcv(env.msg.as_ref(), &mut ctx);
+        let elapsed = started.elapsed().as_nanos() as u64;
+
+        let RcvCtx { tx, outbox, control_out, retire, .. } = ctx;
+        let (journal, outbox, control_out, ok) = match result {
+            Ok(()) => (tx.commit(), outbox, control_out, true),
+            Err(_) => (tx.rollback(), Vec::new(), Vec::new(), false),
+        };
+        let retire = ok && retire;
+
+        // Claim newly written cells that fall outside the colony.
+        let mut new_cells: Vec<Cell> = Vec::new();
+        if ok && !pinned {
+            for op in &journal.ops {
+                let (dict, key) = match op {
+                    crate::state::JournalOp::Put { dict, key, .. } => (dict, key),
+                    crate::state::JournalOp::Del { dict, key } => (dict, key),
+                };
+                if key == crate::cell::WHOLE_DICT_KEY {
+                    continue;
+                }
+                let covered = bee.colony.contains(&Cell { dict: dict.clone(), key: key.clone() })
+                    || bee.colony.contains(&Cell::whole(dict.clone()));
+                if !covered {
+                    let cell = Cell { dict: dict.clone(), key: key.clone() };
+                    bee.colony.insert(cell.clone());
+                    new_cells.push(cell);
+                }
+            }
+        }
+        let colony_len = bee.colony.len() as u64;
+
+        // Colony replication: sequence and encode the committed journal for
+        // shipping to this bee's shadow hives.
+        let mut replicate: Option<(u64, Vec<u8>)> = None;
+        if ok && !pinned && self.cfg.replication_factor > 1 && !journal.is_empty() {
+            bee.repl_seq += 1;
+            if let Ok(bytes) = beehive_wire::to_vec(&journal) {
+                replicate = Some((bee.repl_seq, bytes));
+            }
+        }
+
+        // Instrumentation.
+        {
+            let mut instr = self.instr.lock();
+            if env.src.bee().is_some() {
+                instr.record_matrix(env.src.hive(), me);
+            }
+            let stats = instr.bee(&app_name, bee_id);
+            stats.record_in(env.src.hive(), env.src.bee(), msg_len);
+            stats.handler_nanos += elapsed;
+            if !ok {
+                stats.errors += 1;
+            }
+            for out in &outbox {
+                instr.bee(&app_name, bee_id).record_out(out.msg.encoded_len());
+                instr.record_provenance(&app_name, &in_type, out.msg.type_name());
+            }
+            instr.record_in_type(&app_name, &in_type);
+            instr.bee_cells.insert(bee_id.0, colony_len);
+        }
+        if !ok {
+            self.counters.handler_errors += 1;
+        }
+
+        // Requeue if there is more mail.
+        if has_more {
+            self.run_queue.push_back((app_idx, bee_id));
+        }
+
+        // Emit the handler's outputs.
+        for env in outbox {
+            self.dispatch_queue.push_back(env);
+        }
+        for (to, cmsg) in control_out {
+            self.send_control(to, &cmsg);
+        }
+        if let Some((seq, bytes)) = replicate {
+            for replica in replicas_of(me, &self.cfg.all_hives, self.cfg.replication_factor) {
+                self.counters.replicated_txs += 1;
+                self.send_control(
+                    replica,
+                    &ControlMsg::ReplicateTx {
+                        app: app_name.clone(),
+                        bee: bee_id,
+                        seq,
+                        journal: bytes.clone(),
+                    },
+                );
+            }
+        }
+        if !new_cells.is_empty() {
+            self.submit_tracked(RegistryOp::AssignCells { bee: bee_id, cells: new_cells });
+        }
+        // Colony garbage collection: a retired bee with empty state and an
+        // idle mailbox is removed from the registry (the queen drops it when
+        // the Removed event applies).
+        if retire && !pinned {
+            let empty_and_idle = self.queens[app_idx]
+                .bee(bee_id)
+                .is_some_and(|b| b.state.total_entries() == 0 && b.mailbox.is_empty());
+            if empty_and_idle {
+                self.submit_tracked(RegistryOp::RemoveBee { bee: bee_id });
+            }
+        }
+        true
+    }
+}
+
+impl std::fmt::Debug for Hive {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hive")
+            .field("id", &self.cfg.id)
+            .field("apps", &self.apps.len())
+            .field("pending_routes", &self.pending_routes.len())
+            .finish()
+    }
+}

@@ -1,0 +1,92 @@
+//! Identifiers: hives, bees and applications.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a hive (a controller instance / physical machine).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct HiveId(pub u32);
+
+impl HiveId {
+    /// The corresponding Raft node id (hives double as registry Raft members).
+    pub fn as_raft(self) -> u64 {
+        self.0 as u64
+    }
+
+    /// Inverse of [`HiveId::as_raft`].
+    pub fn from_raft(id: u64) -> Self {
+        HiveId(id as u32)
+    }
+}
+
+impl fmt::Display for HiveId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "hive-{}", self.0)
+    }
+}
+
+/// Identifier of a bee: globally unique without coordination, because it
+/// embeds the id of the hive that created it plus a per-hive sequence number.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct BeeId(pub u64);
+
+impl BeeId {
+    /// Packs a creator hive and a local sequence number.
+    pub fn new(creator: HiveId, seq: u32) -> Self {
+        BeeId(((creator.0 as u64) << 32) | seq as u64)
+    }
+
+    /// The hive that allocated this id (not necessarily where the bee now
+    /// lives — bees migrate).
+    pub fn creator(self) -> HiveId {
+        HiveId((self.0 >> 32) as u32)
+    }
+
+    /// The per-creator sequence number.
+    pub fn seq(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+impl fmt::Display for BeeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bee-{}.{}", self.creator().0, self.seq())
+    }
+}
+
+/// Application name. Applications are identified by name cluster-wide.
+pub type AppName = String;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bee_id_packs_and_unpacks() {
+        let id = BeeId::new(HiveId(7), 42);
+        assert_eq!(id.creator(), HiveId(7));
+        assert_eq!(id.seq(), 42);
+    }
+
+    #[test]
+    fn bee_ids_from_different_hives_never_collide() {
+        assert_ne!(BeeId::new(HiveId(1), 5), BeeId::new(HiveId(2), 5));
+        assert_ne!(BeeId::new(HiveId(1), 5), BeeId::new(HiveId(1), 6));
+    }
+
+    #[test]
+    fn hive_raft_mapping_roundtrips() {
+        let h = HiveId(39);
+        assert_eq!(HiveId::from_raft(h.as_raft()), h);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(HiveId(3).to_string(), "hive-3");
+        assert_eq!(BeeId::new(HiveId(3), 9).to_string(), "bee-3.9");
+    }
+}

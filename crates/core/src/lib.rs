@@ -1,0 +1,107 @@
+#![warn(missing_docs)]
+
+//! `beehive-core` — a distributed SDN control platform with a programming
+//! abstraction that is almost identical to a centralized controller.
+//!
+//! This crate implements the system described in *"Beehive: Towards a Simple
+//! Abstraction for Scalable Software-Defined Networking"* (HotNets-XIII,
+//! 2014):
+//!
+//! * **Applications** ([`App`]) are sets of functions triggered by
+//!   asynchronous [`Message`]s. Functions declare the state entries they
+//!   need; state lives in transactional dictionaries.
+//! * The platform infers each message's **mapped cells** and guarantees that
+//!   messages with intersecting cells are processed by the same **bee** — an
+//!   exclusive owner of those cells — wherever in the cluster it lives.
+//! * **Hives** ([`Hive`]) are controller instances; the cell→bee registry is
+//!   replicated across hives with Raft ([`beehive_raft`]).
+//! * Bees **migrate** live between hives; the platform **instruments**
+//!   applications at runtime, **optimizes placement** with a greedy
+//!   heuristic ([`optimizer`]), and produces **design feedback**
+//!   ([`feedback`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use beehive_core::prelude::*;
+//! use serde::{Serialize, Deserialize};
+//!
+//! // 1. Define messages.
+//! #[derive(Debug, Clone, Serialize, Deserialize)]
+//! struct Seen { host: String }
+//! beehive_core::impl_message!(Seen);
+//!
+//! // 2. Define an app: count sightings per host, one cell per host.
+//! let counter = App::builder("counter")
+//!     .handle::<Seen>(
+//!         |m| Mapped::cell("counts", &m.host),
+//!         |m, ctx| {
+//!             let n: u64 = ctx.get("counts", &m.host).map_err(|e| e.to_string())?.unwrap_or(0);
+//!             ctx.put("counts", m.host.clone(), &(n + 1)).map_err(|e| e.to_string())?;
+//!             Ok(())
+//!         },
+//!     )
+//!     .build();
+//!
+//! // 3. Run a standalone hive.
+//! let mut hive = Hive::new(
+//!     HiveConfig::standalone(HiveId(1)),
+//!     Arc::new(SystemClock::new()),
+//!     Box::new(Loopback::new(HiveId(1))),
+//! );
+//! hive.install(counter);
+//! hive.emit(Seen { host: "h1".into() });
+//! hive.emit(Seen { host: "h1".into() });
+//! hive.step_until_quiescent(100);
+//!
+//! let (bee, _) = hive.local_bees("counter")[0];
+//! assert_eq!(hive.peek_state::<u64>("counter", bee, "counts", "h1"), Some(2));
+//! ```
+
+pub mod analytics;
+pub mod app;
+pub mod cell;
+pub mod clock;
+pub mod control;
+pub mod error;
+pub mod feedback;
+pub mod hive;
+pub mod id;
+pub mod message;
+pub mod metrics;
+pub mod optimizer;
+pub mod platform;
+pub mod queen;
+pub mod registry;
+pub mod replication;
+pub mod state;
+pub mod transport;
+
+pub use analytics::{Analytics, AppLoad, ProvenanceRow};
+pub use app::{App, AppBuilder, HandlerResult, MapSpec, RcvCtx};
+pub use cell::{Cell, Mapped};
+pub use clock::{Clock, SimClock, SystemClock};
+pub use error::{Error, Result};
+pub use hive::{Hive, HiveConfig, HiveCounters, HiveHandle};
+pub use id::{AppName, BeeId, HiveId};
+pub use message::{cast, Dst, Envelope, Message, MessageRegistry, Source, TypedMessage};
+pub use metrics::{BeeStats, BeeStatsSnapshot, HiveMetrics, Instrumentation};
+pub use platform::{collector_app, optimizer_app, Tick, COLLECTOR_APP, OPTIMIZER_APP};
+pub use registry::{RegistryCommand, RegistryEvent, RegistryOp, RegistryState};
+pub use replication::{replicas_of, ShadowStore};
+pub use state::{BeeState, Dict, JournalOp, TxJournal, TxState};
+pub use transport::{Frame, FrameKind, Loopback, Transport};
+
+/// Common imports for application authors.
+pub mod prelude {
+    pub use crate::app::{App, HandlerResult, RcvCtx};
+    pub use crate::cell::{Cell, Mapped};
+    pub use crate::clock::{Clock, SimClock, SystemClock};
+    pub use crate::hive::{Hive, HiveConfig, HiveHandle};
+    pub use crate::id::{AppName, BeeId, HiveId};
+    pub use crate::impl_message;
+    pub use crate::message::{cast, Message, TypedMessage};
+    pub use crate::platform::Tick;
+    pub use crate::transport::Loopback;
+}

@@ -1,0 +1,260 @@
+//! Runtime instrumentation (paper §3): per-bee resource consumption, message
+//! exchange counts, and provenance (which input types produce which output
+//! types). Collected locally on each hive and periodically aggregated on one
+//! hive by the platform applications in [`crate::platform`].
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::{AppName, BeeId, HiveId};
+
+/// Counters for a single bee.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BeeStats {
+    /// Messages delivered to this bee.
+    pub msgs_in: u64,
+    /// Messages emitted by this bee.
+    pub msgs_out: u64,
+    /// Wire bytes of delivered messages.
+    pub bytes_in: u64,
+    /// Wire bytes of emitted messages.
+    pub bytes_out: u64,
+    /// Nanoseconds spent in rcv functions.
+    pub handler_nanos: u64,
+    /// Handler invocations that returned an error (rolled-back transactions).
+    pub errors: u64,
+    /// Deliveries *from other bees*, broken down by the hive the sender was
+    /// on — the optimizer's primary signal ("the majority of messages
+    /// processed by B1 are from bees deployed on H2"). External inputs
+    /// (timeouts, IO) are counted in `external_in`, not here, because they
+    /// say nothing about inter-bee affinity.
+    pub in_by_hive: BTreeMap<u32, u64>,
+    /// Deliveries broken down by source bee.
+    pub in_by_bee: BTreeMap<u64, u64>,
+    /// Deliveries from external sources (timers, drivers' IO threads).
+    pub external_in: u64,
+}
+
+impl BeeStats {
+    /// Records a delivery from `src_hive`/`src_bee` of `bytes` wire bytes.
+    pub fn record_in(&mut self, src_hive: HiveId, src_bee: Option<BeeId>, bytes: usize) {
+        self.msgs_in += 1;
+        self.bytes_in += bytes as u64;
+        match src_bee {
+            Some(b) => {
+                *self.in_by_hive.entry(src_hive.0).or_insert(0) += 1;
+                *self.in_by_bee.entry(b.0).or_insert(0) += 1;
+            }
+            None => self.external_in += 1,
+        }
+    }
+
+    /// Records an emission of `bytes` wire bytes.
+    pub fn record_out(&mut self, bytes: usize) {
+        self.msgs_out += 1;
+        self.bytes_out += bytes as u64;
+    }
+
+    /// The hive sending this bee the most messages, with its count and the
+    /// total over all hives.
+    pub fn dominant_source_hive(&self) -> Option<(HiveId, u64, u64)> {
+        let total: u64 = self.in_by_hive.values().sum();
+        let (&hive, &count) = self.in_by_hive.iter().max_by_key(|(_, &c)| c)?;
+        Some((HiveId(hive), count, total))
+    }
+
+    /// Folds another stats delta into this one.
+    pub fn merge(&mut self, other: &BeeStats) {
+        self.msgs_in += other.msgs_in;
+        self.msgs_out += other.msgs_out;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+        self.handler_nanos += other.handler_nanos;
+        self.errors += other.errors;
+        self.external_in += other.external_in;
+        for (h, c) in &other.in_by_hive {
+            *self.in_by_hive.entry(*h).or_insert(0) += c;
+        }
+        for (b, c) in &other.in_by_bee {
+            *self.in_by_bee.entry(*b).or_insert(0) += c;
+        }
+    }
+}
+
+/// Key for provenance counters: within `app`, messages of `in_type` caused
+/// emissions of `out_type`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ProvenanceKey {
+    /// Application.
+    pub app: AppName,
+    /// Triggering message type.
+    pub in_type: String,
+    /// Emitted message type.
+    pub out_type: String,
+}
+
+/// A hive's local instrumentation store.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Instrumentation {
+    /// Stats per (app, bee).
+    pub bees: BTreeMap<(AppName, u64), BeeStats>,
+    /// Where each instrumented bee currently lives (this hive) and how many
+    /// cells it owns.
+    pub bee_cells: BTreeMap<u64, u64>,
+    /// Provenance counters: how often `in_type` produced `out_type`.
+    pub provenance: BTreeMap<ProvenanceKey, u64>,
+    /// Deliveries per (app, message type) — the denominators for
+    /// [`Instrumentation::provenance_ratios`].
+    pub in_type_counts: BTreeMap<(AppName, String), u64>,
+    /// Bees that are pinned to this hive (local singletons).
+    pub pinned: std::collections::BTreeSet<u64>,
+    /// Cumulative bee-to-bee message matrix: `(src_hive, dst_hive) → msgs`.
+    /// Never reset by [`Instrumentation::take`]; this is what regenerates
+    /// the paper's Figure 4a–c inter-hive traffic matrices (which include
+    /// the diagonal: locally processed messages).
+    pub msg_matrix: BTreeMap<(u32, u32), u64>,
+}
+
+impl Instrumentation {
+    /// Mutable stats for a bee.
+    pub fn bee(&mut self, app: &str, bee: BeeId) -> &mut BeeStats {
+        self.bees.entry((app.to_string(), bee.0)).or_default()
+    }
+
+    /// Records one bee-to-bee message for the cumulative matrix.
+    pub fn record_matrix(&mut self, src_hive: HiveId, dst_hive: HiveId) {
+        *self.msg_matrix.entry((src_hive.0, dst_hive.0)).or_insert(0) += 1;
+    }
+
+    /// Records a typed delivery (denominator for provenance ratios).
+    pub fn record_in_type(&mut self, app: &str, in_type: &str) {
+        *self.in_type_counts.entry((app.to_string(), in_type.to_string())).or_insert(0) += 1;
+    }
+
+    /// Records that processing one `in_type` message emitted one `out_type`.
+    pub fn record_provenance(&mut self, app: &str, in_type: &str, out_type: &str) {
+        *self
+            .provenance
+            .entry(ProvenanceKey {
+                app: app.to_string(),
+                in_type: in_type.to_string(),
+                out_type: out_type.to_string(),
+            })
+            .or_insert(0) += 1;
+    }
+
+    /// Takes the counter deltas, leaving the store empty. Metadata (pinned
+    /// bees, colony sizes) is retained — it describes current state, not a
+    /// delta.
+    pub fn take(&mut self) -> Instrumentation {
+        let taken = std::mem::take(self);
+        self.pinned = taken.pinned.clone();
+        self.bee_cells = taken.bee_cells.clone();
+        self.msg_matrix = taken.msg_matrix.clone();
+        taken
+    }
+
+    /// Probability-style provenance summary: for each (app, in, out), the
+    /// fraction of `in_type` deliveries that produced an `out_type` emission.
+    /// (The paper's example: "packet out messages are emitted … upon
+    /// receiving 80% of packet in's".)
+    pub fn provenance_ratios(&self) -> Vec<(ProvenanceKey, f64)> {
+        self.provenance
+            .iter()
+            .map(|(k, &count)| {
+                let denom = self
+                    .in_type_counts
+                    .get(&(k.app.clone(), k.in_type.clone()))
+                    .copied()
+                    .unwrap_or(0)
+                    .max(1);
+                (k.clone(), count as f64 / denom as f64)
+            })
+            .collect()
+    }
+}
+
+/// One bee's stats snapshot inside a [`HiveMetrics`] report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BeeStatsSnapshot {
+    /// Application.
+    pub app: AppName,
+    /// The bee.
+    pub bee: BeeId,
+    /// The hive hosting it at snapshot time.
+    pub hive: HiveId,
+    /// Whether the bee is pinned (local singleton — never migrated).
+    pub pinned: bool,
+    /// Number of cells in its colony.
+    pub cells: u64,
+    /// The counters.
+    pub stats: BeeStats,
+}
+
+/// The periodic per-hive metrics report, emitted by the collector app and
+/// aggregated by the aggregator app (both in [`crate::platform`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HiveMetrics {
+    /// Reporting hive.
+    pub hive: HiveId,
+    /// Report sequence number.
+    pub seq: u64,
+    /// Virtual/real timestamp (ms).
+    pub now_ms: u64,
+    /// Per-bee deltas since the previous report.
+    pub bees: Vec<BeeStatsSnapshot>,
+    /// Provenance deltas.
+    pub provenance: Vec<(ProvenanceKey, u64)>,
+}
+crate::impl_message!(HiveMetrics);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_dominant_hive() {
+        let mut s = BeeStats::default();
+        let b = |h: u32| Some(BeeId::new(HiveId(h), 1));
+        s.record_in(HiveId(1), b(1), 100);
+        s.record_in(HiveId(2), b(2), 50);
+        s.record_in(HiveId(2), b(2), 50);
+        // External inputs (timers) are not part of the affinity signal.
+        s.record_in(HiveId(1), None, 10);
+        assert_eq!(s.msgs_in, 4);
+        assert_eq!(s.bytes_in, 210);
+        assert_eq!(s.external_in, 1);
+        let (hive, count, total) = s.dominant_source_hive().unwrap();
+        assert_eq!(hive, HiveId(2));
+        assert_eq!(count, 2);
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let src = Some(BeeId::new(HiveId(1), 9));
+        let mut a = BeeStats::default();
+        a.record_in(HiveId(1), src, 10);
+        let mut b = BeeStats::default();
+        b.record_in(HiveId(1), src, 20);
+        b.record_out(5);
+        a.merge(&b);
+        assert_eq!(a.msgs_in, 2);
+        assert_eq!(a.bytes_in, 30);
+        assert_eq!(a.msgs_out, 1);
+        assert_eq!(a.in_by_hive[&1], 2);
+    }
+
+    #[test]
+    fn take_resets_store() {
+        let mut inst = Instrumentation::default();
+        inst.bee("te", BeeId::new(HiveId(1), 1)).record_in(HiveId(1), None, 8);
+        inst.record_provenance("te", "StatReply", "FlowMod");
+        let taken = inst.take();
+        assert_eq!(taken.bees.len(), 1);
+        assert_eq!(taken.provenance.len(), 1);
+        assert!(inst.bees.is_empty());
+        assert!(inst.provenance.is_empty());
+    }
+}

@@ -1,0 +1,210 @@
+//! The greedy placement heuristic (paper §3, "On Optimal Placement").
+//!
+//! Finding the optimal placement of bees is NP-hard (facility location
+//! reduces to it), so Beehive migrates a bee `B` from `H1` to `H2` when the
+//! majority of the messages `B` processes come from bees on `H2` and `H2`
+//! has capacity. The decision logic is a pure function here; the
+//! [`crate::platform`] aggregator app feeds it and issues the migrations.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::{AppName, BeeId, HiveId};
+
+/// Aggregated load of one bee, as seen by the optimizer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BeeLoad {
+    /// Application.
+    pub app: AppName,
+    /// The bee.
+    pub bee: BeeId,
+    /// Where it currently lives.
+    pub hive: HiveId,
+    /// Pinned bees (singletons) never move.
+    pub pinned: bool,
+    /// Number of cells in the colony (weight for capacity checks).
+    pub cells: u64,
+    /// Messages received, by source hive.
+    pub in_by_hive: BTreeMap<u32, u64>,
+}
+
+/// Optimizer tunables.
+#[derive(Debug, Clone)]
+pub struct OptimizerConfig {
+    /// Required fraction of a bee's inbound messages from the target hive
+    /// (strictly more than this). The paper uses "the majority": 0.5.
+    pub majority_threshold: f64,
+    /// Minimum number of observed messages before a bee is considered
+    /// (avoids migrating on noise).
+    pub min_messages: u64,
+    /// Maximum bees a hive may host (`None` = unbounded).
+    pub max_bees_per_hive: Option<usize>,
+    /// Applications that must never be migrated (platform apps by default).
+    pub frozen_apps: Vec<AppName>,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            majority_threshold: 0.5,
+            min_messages: 10,
+            max_bees_per_hive: None,
+            frozen_apps: vec![],
+        }
+    }
+}
+
+/// A migration decision.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationPlan {
+    /// Application.
+    pub app: AppName,
+    /// The bee to move.
+    pub bee: BeeId,
+    /// Where it currently lives.
+    pub from: HiveId,
+    /// Where to move it.
+    pub to: HiveId,
+}
+
+/// Applies the greedy heuristic to a set of bee loads, producing migrations.
+///
+/// Deterministic: bees are considered in `(app, bee)` order and capacity is
+/// accounted as decisions accumulate.
+pub fn plan_migrations(
+    loads: &[BeeLoad],
+    current_bees_per_hive: &BTreeMap<u32, usize>,
+    cfg: &OptimizerConfig,
+) -> Vec<MigrationPlan> {
+    let mut occupancy = current_bees_per_hive.clone();
+    let mut plans = Vec::new();
+
+    let mut sorted: Vec<&BeeLoad> = loads.iter().collect();
+    sorted.sort_by(|a, b| (&a.app, a.bee).cmp(&(&b.app, b.bee)));
+
+    for load in sorted {
+        if load.pinned
+            || cfg.frozen_apps.contains(&load.app)
+            || load.app.starts_with("beehive.")
+        {
+            continue;
+        }
+        let total: u64 = load.in_by_hive.values().sum();
+        if total < cfg.min_messages {
+            continue;
+        }
+        let Some((&best_hive, &best_count)) =
+            load.in_by_hive.iter().max_by_key(|(h, c)| (**c, std::cmp::Reverse(**h)))
+        else {
+            continue;
+        };
+        if HiveId(best_hive) == load.hive {
+            continue;
+        }
+        if (best_count as f64) <= cfg.majority_threshold * total as f64 {
+            continue;
+        }
+        if let Some(cap) = cfg.max_bees_per_hive {
+            if occupancy.get(&best_hive).copied().unwrap_or(0) >= cap {
+                continue;
+            }
+        }
+        *occupancy.entry(best_hive).or_insert(0) += 1;
+        if let Some(o) = occupancy.get_mut(&load.hive.0) {
+            *o = o.saturating_sub(1);
+        }
+        plans.push(MigrationPlan {
+            app: load.app.clone(),
+            bee: load.bee,
+            from: load.hive,
+            to: HiveId(best_hive),
+        });
+    }
+    plans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(app: &str, bee: u32, hive: u32, sources: &[(u32, u64)]) -> BeeLoad {
+        BeeLoad {
+            app: app.to_string(),
+            bee: BeeId::new(HiveId(1), bee),
+            hive: HiveId(hive),
+            pinned: false,
+            cells: 1,
+            in_by_hive: sources.iter().copied().collect(),
+        }
+    }
+
+    #[test]
+    fn migrates_to_majority_source() {
+        let loads = vec![load("te", 1, 1, &[(1, 2), (7, 98)])];
+        let plans = plan_migrations(&loads, &BTreeMap::new(), &OptimizerConfig::default());
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].to, HiveId(7));
+        assert_eq!(plans[0].from, HiveId(1));
+    }
+
+    #[test]
+    fn stays_when_majority_is_local() {
+        let loads = vec![load("te", 1, 1, &[(1, 90), (7, 10)])];
+        assert!(plan_migrations(&loads, &BTreeMap::new(), &OptimizerConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn no_migration_without_strict_majority() {
+        // Exactly half is not a majority.
+        let loads = vec![load("te", 1, 1, &[(1, 50), (7, 50)])];
+        assert!(plan_migrations(&loads, &BTreeMap::new(), &OptimizerConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn respects_min_messages() {
+        let loads = vec![load("te", 1, 1, &[(7, 5)])];
+        let cfg = OptimizerConfig { min_messages: 10, ..Default::default() };
+        assert!(plan_migrations(&loads, &BTreeMap::new(), &cfg).is_empty());
+        let cfg = OptimizerConfig { min_messages: 5, ..Default::default() };
+        assert_eq!(plan_migrations(&loads, &BTreeMap::new(), &cfg).len(), 1);
+    }
+
+    #[test]
+    fn pinned_and_platform_apps_never_move() {
+        let mut pinned = load("te", 1, 1, &[(7, 100)]);
+        pinned.pinned = true;
+        let platform = load("beehive.optimizer", 2, 1, &[(7, 100)]);
+        assert!(plan_migrations(&[pinned, platform], &BTreeMap::new(), &OptimizerConfig::default())
+            .is_empty());
+    }
+
+    #[test]
+    fn capacity_limits_are_enforced_incrementally() {
+        let loads =
+            vec![load("te", 1, 1, &[(7, 100)]), load("te", 2, 1, &[(7, 100)])];
+        let mut occupancy = BTreeMap::new();
+        occupancy.insert(7u32, 0usize);
+        let cfg = OptimizerConfig { max_bees_per_hive: Some(1), ..Default::default() };
+        let plans = plan_migrations(&loads, &occupancy, &cfg);
+        assert_eq!(plans.len(), 1, "second migration must be blocked by capacity");
+    }
+
+    #[test]
+    fn frozen_apps_are_skipped() {
+        let loads = vec![load("driver", 1, 1, &[(7, 100)])];
+        let cfg = OptimizerConfig { frozen_apps: vec!["driver".into()], ..Default::default() };
+        assert!(plan_migrations(&loads, &BTreeMap::new(), &cfg).is_empty());
+    }
+
+    #[test]
+    fn deterministic_order() {
+        let loads = vec![
+            load("te", 2, 1, &[(7, 100)]),
+            load("te", 1, 1, &[(7, 100)]),
+        ];
+        let plans = plan_migrations(&loads, &BTreeMap::new(), &OptimizerConfig::default());
+        assert_eq!(plans[0].bee, BeeId::new(HiveId(1), 1));
+        assert_eq!(plans[1].bee, BeeId::new(HiveId(1), 2));
+    }
+}

@@ -1,0 +1,178 @@
+//! Platform applications, built with the very abstraction they serve (the
+//! paper: "We implemented this mechanism using the proposed abstraction as a
+//! control application"):
+//!
+//! * [`Tick`] — the periodic timer message (`on TimeOut` in the paper);
+//! * [`collector_app`] — per-hive, reads the local instrumentation store and
+//!   emits [`HiveMetrics`] reports;
+//! * [`optimizer_app`] — aggregates reports on a single bee (its dictionary
+//!   is monolithic — dogfooding the centralized-app pattern) and issues
+//!   migration orders per the greedy heuristic.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::app::App;
+use crate::id::{BeeId, HiveId};
+use crate::metrics::{BeeStats, BeeStatsSnapshot, HiveMetrics, Instrumentation};
+use crate::optimizer::{plan_migrations, BeeLoad, OptimizerConfig};
+
+/// The periodic platform timer message; the abstraction's `on TimeOut`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tick {
+    /// Monotonic tick counter (per emitting hive).
+    pub seq: u64,
+    /// Platform time at emission, in ms.
+    pub now_ms: u64,
+}
+crate::impl_message!(Tick);
+
+/// Name of the collector platform app.
+pub const COLLECTOR_APP: &str = "beehive.collector";
+/// Name of the optimizer platform app.
+pub const OPTIMIZER_APP: &str = "beehive.optimizer";
+
+/// Builds the per-hive metrics collector. It runs on a pinned local
+/// singleton bee; on every [`Tick`] it drains the hive's instrumentation
+/// store and emits the delta as a [`HiveMetrics`] report.
+pub fn collector_app(instr: Arc<Mutex<Instrumentation>>) -> App {
+    App::builder(COLLECTOR_APP).handle_local::<Tick>("collect", move |tick, ctx| {
+        let delta = instr.lock().take();
+        if delta.bees.is_empty() && delta.provenance.is_empty() {
+            return Ok(());
+        }
+        let hive = ctx.hive();
+        let bees = delta
+            .bees
+            .iter()
+            .map(|((app, bee), stats)| BeeStatsSnapshot {
+                app: app.clone(),
+                bee: BeeId(*bee),
+                hive,
+                pinned: delta.pinned.contains(bee),
+                cells: delta.bee_cells.get(bee).copied().unwrap_or(0),
+                stats: stats.clone(),
+            })
+            .collect();
+        let provenance = delta.provenance.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        ctx.emit(HiveMetrics { hive, seq: tick.seq, now_ms: tick.now_ms, bees, provenance });
+        Ok(())
+    })
+    .build()
+}
+
+/// A per-bee aggregate stored by the optimizer app.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+struct AggRecord {
+    app: String,
+    bee: u64,
+    hive: u32,
+    pinned: bool,
+    cells: u64,
+    stats: BeeStats,
+    last_seen_ms: u64,
+}
+
+/// Builds the aggregator/optimizer. Its `agg` dictionary is declared whole
+/// (`MapSpec::WholeDicts`), so all reports flow to one bee cluster-wide —
+/// exactly the paper's "periodically aggregate them on a single hive". Every
+/// `optimize_every` ticks it applies the greedy heuristic and orders
+/// migrations.
+pub fn optimizer_app(cfg: OptimizerConfig, optimize_every: u64) -> App {
+    let cfg2 = cfg.clone();
+    App::builder(OPTIMIZER_APP)
+        .handle_whole::<HiveMetrics>("aggregate", &["agg"], move |m, ctx| {
+            for snap in &m.bees {
+                let key = format!("{}/{}", snap.app, snap.bee.0);
+                let mut rec: AggRecord =
+                    ctx.get("agg", &key).map_err(|e| e.to_string())?.unwrap_or_default();
+                rec.app = snap.app.clone();
+                rec.bee = snap.bee.0;
+                rec.hive = snap.hive.0;
+                rec.pinned = rec.pinned || snap.pinned;
+                rec.cells = snap.cells;
+                // A migration between windows means older in_by_hive data
+                // describes a stale placement; fold with decay by simply
+                // replacing with the latest window once the bee moved.
+                if rec.last_seen_ms != 0 && rec.stats.msgs_in > 0 && rec.hive != snap.hive.0 {
+                    rec.stats = BeeStats::default();
+                }
+                rec.stats.merge(&snap.stats);
+                rec.last_seen_ms = m.now_ms;
+                ctx.put("agg", key, &rec).map_err(|e| e.to_string())?;
+            }
+            Ok(())
+        })
+        .handle_whole::<Tick>("optimize", &["agg"], move |t, ctx| {
+            if optimize_every == 0 || t.seq % optimize_every != 0 {
+                return Ok(());
+            }
+            let keys = ctx.keys("agg");
+            let mut loads = Vec::with_capacity(keys.len());
+            let mut occupancy = std::collections::BTreeMap::new();
+            for k in &keys {
+                let Some(rec) = ctx.get::<AggRecord>("agg", k).map_err(|e| e.to_string())? else {
+                    continue;
+                };
+                *occupancy.entry(rec.hive).or_insert(0usize) += 1;
+                loads.push(BeeLoad {
+                    app: rec.app.clone(),
+                    bee: BeeId(rec.bee),
+                    hive: HiveId(rec.hive),
+                    pinned: rec.pinned,
+                    cells: rec.cells,
+                    in_by_hive: rec.stats.in_by_hive.clone(),
+                });
+            }
+            let plans = plan_migrations(&loads, &occupancy, &cfg2);
+            for plan in plans {
+                // Reset the moved bee's window so the next decision uses
+                // post-migration traffic only.
+                let key = format!("{}/{}", plan.app, plan.bee.0);
+                if let Some(mut rec) = ctx.get::<AggRecord>("agg", &key).map_err(|e| e.to_string())? {
+                    rec.stats = BeeStats::default();
+                    rec.hive = plan.to.0;
+                    ctx.put("agg", key, &rec).map_err(|e| e.to_string())?;
+                }
+                ctx.order_migration(plan.app, plan.bee, plan.from, plan.to);
+            }
+            Ok(())
+        })
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Mapped;
+    use crate::message::TypedMessage;
+
+    #[test]
+    fn tick_is_a_message() {
+        let t = Tick { seq: 1, now_ms: 1000 };
+        let bytes = crate::message::Message::encode(&t).unwrap();
+        let back = Tick::decode(&bytes).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn collector_is_local_singleton() {
+        let instr = Arc::new(Mutex::new(Instrumentation::default()));
+        let app = collector_app(instr);
+        assert_eq!(app.name(), COLLECTOR_APP);
+        let idx = app.handlers_for(Tick::wire_name());
+        assert_eq!(idx.len(), 1);
+        assert_eq!(app.map(idx[0], &Tick { seq: 1, now_ms: 0 }), Mapped::LocalSingleton);
+    }
+
+    #[test]
+    fn optimizer_agg_dict_is_monolithic() {
+        let app = optimizer_app(OptimizerConfig::default(), 5);
+        assert!(app.is_monolithic("agg"));
+        // Both handlers exist: one for HiveMetrics, one for Tick.
+        assert_eq!(app.handlers_for(HiveMetrics::wire_name()).len(), 1);
+        assert_eq!(app.handlers_for(Tick::wire_name()).len(), 1);
+    }
+}

@@ -1,0 +1,447 @@
+//! The queen: per-application, per-hive management of local bees — their
+//! state, mailboxes, lifecycle (creation, merge, migration) and tombstones.
+
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+use crate::cell::Cell;
+use crate::id::{AppName, BeeId, HiveId};
+use crate::message::Envelope;
+use crate::state::BeeState;
+
+/// Lifecycle of a local bee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BeeStatus {
+    /// Processing messages normally.
+    Active,
+    /// Waiting for `MergeState` shipments from losing colonies on other
+    /// hives before resuming (consistency: the merged state must be complete
+    /// before the next message is processed).
+    AwaitingMerges {
+        /// Losers whose state has not arrived yet.
+        remaining: HashSet<BeeId>,
+    },
+    /// Migrating away; the mailbox buffers until the registry's `Moved`
+    /// event commits, then everything is forwarded.
+    MigratingOut {
+        /// Destination hive.
+        to: HiveId,
+    },
+    /// Created here ahead of an inbound migration: the `Moved` event has been
+    /// applied but the state shipment hasn't arrived (or vice versa).
+    StagedIn,
+}
+
+/// A bee living on this hive.
+#[derive(Debug)]
+pub struct LocalBee {
+    /// Identity (stable across migrations).
+    pub id: BeeId,
+    /// The state slice this bee owns.
+    pub state: BeeState,
+    /// The cells this bee owns (mirrors the registry's view).
+    pub colony: BTreeSet<Cell>,
+    /// Buffered work: `(handler index, envelope)`.
+    pub mailbox: VecDeque<(u16, Envelope)>,
+    /// Lifecycle.
+    pub status: BeeStatus,
+    /// Pinned bees (hive-local singletons) are never migrated.
+    pub pinned: bool,
+    /// Replication sequence number: count of committed, replicated
+    /// transactions (colony replication).
+    pub repl_seq: u64,
+}
+
+impl LocalBee {
+    fn new(id: BeeId, colony: BTreeSet<Cell>, pinned: bool) -> Self {
+        LocalBee {
+            id,
+            state: BeeState::new(),
+            colony,
+            mailbox: VecDeque::new(),
+            status: BeeStatus::Active,
+            pinned,
+            repl_seq: 0,
+        }
+    }
+
+    /// Whether this bee can process mail right now.
+    pub fn runnable(&self) -> bool {
+        self.status == BeeStatus::Active && !self.mailbox.is_empty()
+    }
+}
+
+/// Per-application bee manager on one hive.
+pub struct Queen {
+    /// The application this queen serves.
+    pub app: AppName,
+    bees: HashMap<BeeId, LocalBee>,
+    singleton: Option<BeeId>,
+    /// Bees that moved away: `bee → destination hive` (used to forward
+    /// in-flight messages that raced with the migration).
+    tombstones: HashMap<BeeId, HiveId>,
+    /// Merge shipments that arrived before the local registry apply told us
+    /// to expect them: `(winner, loser) → loser state`. Consumed by
+    /// [`Queen::await_merges`].
+    early_merges: HashMap<(BeeId, BeeId), BeeState>,
+    /// Losers already absorbed (guards against the reverse race: the apply
+    /// arriving after the shipment was consumed).
+    absorbed: HashSet<BeeId>,
+    /// Merge redirects: every hive records `loser → winner` when it applies
+    /// a merge event, so late mail addressed to a merged-away bee can be
+    /// re-aimed at the surviving colony.
+    merge_redirects: HashMap<BeeId, BeeId>,
+}
+
+impl Queen {
+    /// A queen with no bees.
+    pub fn new(app: AppName) -> Self {
+        Queen {
+            app,
+            bees: HashMap::new(),
+            singleton: None,
+            tombstones: HashMap::new(),
+            early_merges: HashMap::new(),
+            absorbed: HashSet::new(),
+            merge_redirects: HashMap::new(),
+        }
+    }
+
+    /// The bee, if local.
+    pub fn bee(&self, id: BeeId) -> Option<&LocalBee> {
+        self.bees.get(&id)
+    }
+
+    /// Mutable access to a local bee.
+    pub fn bee_mut(&mut self, id: BeeId) -> Option<&mut LocalBee> {
+        self.bees.get_mut(&id)
+    }
+
+    /// Ids of all local bees.
+    pub fn bee_ids(&self) -> Vec<BeeId> {
+        self.bees.keys().copied().collect()
+    }
+
+    /// Number of local bees.
+    pub fn len(&self) -> usize {
+        self.bees.len()
+    }
+
+    /// Whether this queen manages no bees.
+    pub fn is_empty(&self) -> bool {
+        self.bees.is_empty()
+    }
+
+    /// Where a moved-away bee went, if we know.
+    pub fn tombstone(&self, id: BeeId) -> Option<HiveId> {
+        self.tombstones.get(&id).copied()
+    }
+
+    /// Records that `loser` was merged into `winner` (applied on every hive).
+    pub fn record_merge(&mut self, loser: BeeId, winner: BeeId) {
+        if loser != winner {
+            self.merge_redirects.insert(loser, winner);
+        }
+    }
+
+    /// The surviving colony for a merged-away bee, following redirect chains
+    /// (a winner can itself lose a later merge).
+    pub fn merge_redirect(&self, id: BeeId) -> Option<BeeId> {
+        let mut cur = *self.merge_redirects.get(&id)?;
+        let mut hops = 0;
+        while let Some(&next) = self.merge_redirects.get(&cur) {
+            cur = next;
+            hops += 1;
+            if hops > self.merge_redirects.len() {
+                break; // defensive: never loop forever
+            }
+        }
+        Some(cur)
+    }
+
+    /// Ensures a cell-routed bee exists locally with (at least) `colony`.
+    pub fn ensure_bee(&mut self, id: BeeId, colony: impl IntoIterator<Item = Cell>) -> &mut LocalBee {
+        self.tombstones.remove(&id); // a bee can migrate back
+        let bee = self.bees.entry(id).or_insert_with(|| LocalBee::new(id, BTreeSet::new(), false));
+        bee.colony.extend(colony);
+        bee
+    }
+
+    /// The hive-local singleton bee, created on first use with `alloc`.
+    pub fn ensure_singleton(&mut self, alloc: impl FnOnce() -> BeeId) -> BeeId {
+        if let Some(id) = self.singleton {
+            return id;
+        }
+        let id = alloc();
+        self.bees.insert(id, LocalBee::new(id, BTreeSet::new(), true));
+        self.singleton = Some(id);
+        id
+    }
+
+    /// The singleton's id, if created.
+    pub fn singleton(&self) -> Option<BeeId> {
+        self.singleton
+    }
+
+    /// Queues a message for a local bee. Returns false if the bee is not here.
+    pub fn deliver(&mut self, id: BeeId, handler: u16, env: Envelope) -> bool {
+        match self.bees.get_mut(&id) {
+            Some(bee) => {
+                bee.mailbox.push_back((handler, env));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Ids of local bees that can run now.
+    pub fn runnable(&self) -> impl Iterator<Item = BeeId> + '_ {
+        self.bees.values().filter(|b| b.runnable()).map(|b| b.id)
+    }
+
+    /// Active local bees (broadcast targets).
+    pub fn active_bees(&self) -> impl Iterator<Item = BeeId> + '_ {
+        self.bees
+            .values()
+            .filter(|b| b.status == BeeStatus::Active)
+            .map(|b| b.id)
+    }
+
+    /// Starts an outbound migration: freezes the bee and returns a snapshot
+    /// of its state, colony and replication sequence for shipping. `None` if
+    /// the bee isn't here, is pinned, or is already busy migrating/merging.
+    pub fn start_migration(&mut self, id: BeeId, to: HiveId) -> Option<(Vec<u8>, Vec<Cell>, u64)> {
+        let bee = self.bees.get_mut(&id)?;
+        if bee.pinned || bee.status != BeeStatus::Active {
+            return None;
+        }
+        let snapshot = bee.state.snapshot().ok()?;
+        let colony: Vec<Cell> = bee.colony.iter().cloned().collect();
+        bee.status = BeeStatus::MigratingOut { to };
+        Some((snapshot, colony, bee.repl_seq))
+    }
+
+    /// Completes an outbound migration after the registry committed the move:
+    /// removes the bee and returns its buffered mailbox for forwarding.
+    pub fn finish_migration_out(&mut self, id: BeeId, to: HiveId) -> Vec<(u16, Envelope)> {
+        let Some(bee) = self.bees.remove(&id) else { return Vec::new() };
+        self.tombstones.insert(id, to);
+        bee.mailbox.into_iter().collect()
+    }
+
+    /// Installs a migrated-in bee's state. The bee may already exist as a
+    /// `StagedIn` placeholder buffering early messages.
+    pub fn install_migrated(&mut self, id: BeeId, state: BeeState, colony: Vec<Cell>, repl_seq: u64) {
+        self.tombstones.remove(&id);
+        let bee = self.bees.entry(id).or_insert_with(|| LocalBee::new(id, BTreeSet::new(), false));
+        bee.state = state;
+        bee.colony.extend(colony);
+        bee.status = BeeStatus::Active;
+        bee.repl_seq = repl_seq;
+    }
+
+    /// Creates a placeholder for a bee the registry moved here whose state
+    /// shipment is still in flight; its mailbox buffers until installation.
+    pub fn stage_in(&mut self, id: BeeId) -> &mut LocalBee {
+        self.tombstones.remove(&id);
+        let bee = self.bees.entry(id).or_insert_with(|| LocalBee::new(id, BTreeSet::new(), false));
+        if bee.status == BeeStatus::Active && bee.state.total_entries() == 0 && bee.mailbox.is_empty()
+        {
+            bee.status = BeeStatus::StagedIn;
+        }
+        bee
+    }
+
+    /// Marks `winner` as waiting for merge shipments from `remote_losers`.
+    /// Shipments that already arrived (see [`Queen::stash_early_merge`]) are
+    /// absorbed immediately instead of being waited on.
+    pub fn await_merges(&mut self, winner: BeeId, mut remote_losers: HashSet<BeeId>) -> usize {
+        // Consume shipments that raced ahead of the registry apply.
+        let mut conflicts = 0;
+        let early: Vec<BeeId> = remote_losers
+            .iter()
+            .copied()
+            .filter(|l| {
+                self.early_merges.contains_key(&(winner, *l)) || self.absorbed.contains(l)
+            })
+            .collect();
+        for loser in early {
+            remote_losers.remove(&loser);
+            if let Some(state) = self.early_merges.remove(&(winner, loser)) {
+                conflicts += self.absorb_merge(winner, loser, state);
+            }
+        }
+        if remote_losers.is_empty() {
+            return conflicts;
+        }
+        if let Some(bee) = self.bees.get_mut(&winner) {
+            let remaining = match &mut bee.status {
+                BeeStatus::AwaitingMerges { remaining } => {
+                    remaining.extend(remote_losers);
+                    return conflicts;
+                }
+                _ => remote_losers,
+            };
+            bee.status = BeeStatus::AwaitingMerges { remaining };
+        }
+        conflicts
+    }
+
+    /// Stashes a merge shipment that arrived before this hive applied the
+    /// registry event announcing the merge.
+    pub fn stash_early_merge(&mut self, winner: BeeId, loser: BeeId, state: BeeState) {
+        self.early_merges.insert((winner, loser), state);
+    }
+
+    /// Whether the winner bee is currently expecting `loser`'s shipment.
+    pub fn expects_merge(&self, winner: BeeId, loser: BeeId) -> bool {
+        matches!(
+            self.bees.get(&winner).map(|b| &b.status),
+            Some(BeeStatus::AwaitingMerges { remaining }) if remaining.contains(&loser)
+        )
+    }
+
+    /// Absorbs a loser's state into the winner (local or shipped). Returns
+    /// the number of key conflicts (should be zero under the invariant).
+    pub fn absorb_merge(&mut self, winner: BeeId, loser: BeeId, state: BeeState) -> usize {
+        self.absorbed.insert(loser);
+        let Some(bee) = self.bees.get_mut(&winner) else { return 0 };
+        let conflicts = bee.state.absorb(state);
+        if let BeeStatus::AwaitingMerges { remaining } = &mut bee.status {
+            remaining.remove(&loser);
+            if remaining.is_empty() {
+                bee.status = BeeStatus::Active;
+            }
+        }
+        conflicts
+    }
+
+    /// Removes a merged-away loser locally, returning its state and mailbox
+    /// so the hive can ship/forward them to the winner.
+    pub fn remove_loser(&mut self, loser: BeeId) -> Option<(BeeState, Vec<(u16, Envelope)>)> {
+        let bee = self.bees.remove(&loser)?;
+        if self.singleton == Some(loser) {
+            self.singleton = None;
+        }
+        Some((bee.state, bee.mailbox.into_iter().collect()))
+    }
+
+    /// Removes a bee entirely (registry `Removed` event).
+    pub fn remove(&mut self, id: BeeId) {
+        self.bees.remove(&id);
+        if self.singleton == Some(id) {
+            self.singleton = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Dst, Source};
+    use serde::{Deserialize, Serialize};
+    use std::sync::Arc;
+
+    #[derive(Debug, Clone, Serialize, Deserialize)]
+    struct Dummy;
+    crate::impl_message!(Dummy);
+
+    fn env() -> Envelope {
+        Envelope { msg: Arc::new(Dummy), src: Source::External(HiveId(1)), dst: Dst::Broadcast }
+    }
+
+    fn bid(seq: u32) -> BeeId {
+        BeeId::new(HiveId(1), seq)
+    }
+
+    #[test]
+    fn ensure_and_deliver() {
+        let mut q = Queen::new("a".into());
+        q.ensure_bee(bid(1), [Cell::new("S", "k")]);
+        assert!(q.deliver(bid(1), 0, env()));
+        assert!(!q.deliver(bid(2), 0, env()));
+        assert_eq!(q.runnable().collect::<Vec<_>>(), vec![bid(1)]);
+    }
+
+    #[test]
+    fn singleton_is_created_once_and_pinned() {
+        let mut q = Queen::new("a".into());
+        let s1 = q.ensure_singleton(|| bid(7));
+        let s2 = q.ensure_singleton(|| bid(8));
+        assert_eq!(s1, s2);
+        assert!(q.bee(s1).unwrap().pinned);
+        // Pinned bees refuse to migrate.
+        assert!(q.start_migration(s1, HiveId(2)).is_none());
+    }
+
+    #[test]
+    fn migration_freezes_then_forwards() {
+        let mut q = Queen::new("a".into());
+        q.ensure_bee(bid(1), [Cell::new("S", "k")]);
+        let (snapshot, colony, repl_seq) = q.start_migration(bid(1), HiveId(2)).unwrap();
+        assert_eq!(repl_seq, 0);
+        assert!(!snapshot.is_empty() || snapshot.is_empty()); // snapshot produced
+        assert_eq!(colony, vec![Cell::new("S", "k")]);
+        // Frozen: message buffers, bee not runnable.
+        assert!(q.deliver(bid(1), 0, env()));
+        assert_eq!(q.runnable().count(), 0);
+        // Second migration attempt is rejected while in flight.
+        assert!(q.start_migration(bid(1), HiveId(3)).is_none());
+        // Registry commits: buffered mail comes back, tombstone set.
+        let mail = q.finish_migration_out(bid(1), HiveId(2));
+        assert_eq!(mail.len(), 1);
+        assert_eq!(q.tombstone(bid(1)), Some(HiveId(2)));
+        assert!(q.bee(bid(1)).is_none());
+    }
+
+    #[test]
+    fn stage_in_buffers_until_install() {
+        let mut q = Queen::new("a".into());
+        q.stage_in(bid(1));
+        assert!(q.deliver(bid(1), 0, env()));
+        assert_eq!(q.runnable().count(), 0, "staged bee must not run");
+        let mut state = BeeState::new();
+        state.dict_mut("S").put("k", &1u32).unwrap();
+        q.install_migrated(bid(1), state, vec![Cell::new("S", "k")], 3);
+        assert_eq!(q.bee(bid(1)).unwrap().repl_seq, 3);
+        assert_eq!(q.runnable().count(), 1);
+        assert_eq!(q.bee(bid(1)).unwrap().state.dict("S").unwrap().get::<u32>("k").unwrap(), Some(1));
+    }
+
+    #[test]
+    fn merge_wait_and_absorb() {
+        let mut q = Queen::new("a".into());
+        q.ensure_bee(bid(1), [Cell::new("S", "a")]);
+        q.await_merges(bid(1), [bid(9)].into_iter().collect());
+        assert!(q.deliver(bid(1), 0, env()));
+        assert_eq!(q.runnable().count(), 0, "awaiting merge must not run");
+        let mut loser_state = BeeState::new();
+        loser_state.dict_mut("S").put("b", &2u32).unwrap();
+        let conflicts = q.absorb_merge(bid(1), bid(9), loser_state);
+        assert_eq!(conflicts, 0);
+        assert_eq!(q.runnable().count(), 1);
+        let bee = q.bee(bid(1)).unwrap();
+        assert_eq!(bee.state.dict("S").unwrap().get::<u32>("b").unwrap(), Some(2));
+    }
+
+    #[test]
+    fn remove_loser_returns_state_and_mail() {
+        let mut q = Queen::new("a".into());
+        q.ensure_bee(bid(1), [Cell::new("S", "a")]);
+        q.deliver(bid(1), 0, env());
+        let (state, mail) = q.remove_loser(bid(1)).unwrap();
+        assert_eq!(state.total_entries(), 0);
+        assert_eq!(mail.len(), 1);
+        assert!(q.bee(bid(1)).is_none());
+    }
+
+    #[test]
+    fn migrate_back_clears_tombstone() {
+        let mut q = Queen::new("a".into());
+        q.ensure_bee(bid(1), [Cell::new("S", "a")]);
+        q.start_migration(bid(1), HiveId(2)).unwrap();
+        q.finish_migration_out(bid(1), HiveId(2));
+        assert_eq!(q.tombstone(bid(1)), Some(HiveId(2)));
+        q.install_migrated(bid(1), BeeState::new(), vec![], 0);
+        assert_eq!(q.tombstone(bid(1)), None);
+    }
+}

@@ -1,0 +1,203 @@
+//! Colony replication — the fault-tolerance direction the paper names as
+//! ongoing work ("we are enforcing the foundations of our framework
+//! specially for fault-tolerance", §7), implemented the way the published
+//! Beehive follow-up does it: each bee's committed transactions are
+//! replicated to **shadow bees** on other hives, and on hive failure a
+//! shadow is promoted by moving the bee's registry record to the replica.
+//!
+//! Mechanics:
+//!
+//! * With `replication_factor = r > 1`, a bee's owner hive ships every
+//!   committed [`crate::state::TxJournal`] (as `ControlMsg::ReplicateTx`,
+//!   sequence-numbered per bee) to the `r - 1` hives that follow the owner
+//!   in the cluster ring.
+//! * Replicas apply journals in order into a [`ShadowStore`]. A sequence gap
+//!   (migration, merge, message loss) triggers a full-state resync from the
+//!   owner.
+//! * Failure detection is **delegated to the operator/deployment** (as in
+//!   most control planes); recovery is [`crate::Hive::recover_from`]: the
+//!   surviving replica proposes `MoveBee(bee → self)` for every bee the
+//!   registry still places on the dead hive, and installs its shadow state
+//!   when the move commits.
+
+use std::collections::HashMap;
+
+use crate::id::{AppName, BeeId, HiveId};
+use crate::state::{BeeState, TxJournal};
+
+/// A replica's copy of one bee's state.
+#[derive(Debug, Clone, Default)]
+pub struct ShadowBee {
+    /// The replicated state.
+    pub state: BeeState,
+    /// Last applied replication sequence number.
+    pub seq: u64,
+    /// Whether the shadow is out of sync and awaiting a full resync.
+    pub dirty: bool,
+}
+
+/// All shadows a hive holds for remote bees.
+#[derive(Debug, Default)]
+pub struct ShadowStore {
+    shadows: HashMap<(AppName, BeeId), ShadowBee>,
+}
+
+/// Result of offering a journal to the store.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ApplyOutcome {
+    /// Applied in order.
+    Applied,
+    /// Sequence gap — caller should request a full resync from the owner.
+    NeedSync,
+    /// Stale duplicate; ignored.
+    Stale,
+}
+
+impl ShadowStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of shadows held.
+    pub fn len(&self) -> usize {
+        self.shadows.len()
+    }
+
+    /// Whether no shadows are held.
+    pub fn is_empty(&self) -> bool {
+        self.shadows.is_empty()
+    }
+
+    /// Applies a sequenced journal for `(app, bee)`.
+    pub fn apply(&mut self, app: &str, bee: BeeId, seq: u64, journal: &TxJournal) -> ApplyOutcome {
+        let shadow = self.shadows.entry((app.to_string(), bee)).or_default();
+        if shadow.dirty {
+            return ApplyOutcome::NeedSync;
+        }
+        if seq == shadow.seq + 1 {
+            journal.replay(&mut shadow.state);
+            shadow.seq = seq;
+            ApplyOutcome::Applied
+        } else if seq <= shadow.seq {
+            ApplyOutcome::Stale
+        } else {
+            shadow.dirty = true;
+            ApplyOutcome::NeedSync
+        }
+    }
+
+    /// Installs a full-state resync from the owner.
+    pub fn install(&mut self, app: &str, bee: BeeId, seq: u64, state: BeeState) {
+        self.shadows
+            .insert((app.to_string(), bee), ShadowBee { state, seq, dirty: false });
+    }
+
+    /// The shadow for `(app, bee)`, if any.
+    pub fn get(&self, app: &str, bee: BeeId) -> Option<&ShadowBee> {
+        self.shadows.get(&(app.to_string(), bee))
+    }
+
+    /// Removes and returns a shadow (promotion or owner change).
+    pub fn take(&mut self, app: &str, bee: BeeId) -> Option<ShadowBee> {
+        self.shadows.remove(&(app.to_string(), bee))
+    }
+
+    /// All `(app, bee)` pairs shadowed here.
+    pub fn keys(&self) -> impl Iterator<Item = (&AppName, BeeId)> {
+        self.shadows.keys().map(|(a, b)| (a, *b))
+    }
+}
+
+/// The replica hives for a bee hosted on `owner`: the next `factor - 1`
+/// hives after it in the (sorted) cluster ring. Deterministic, so the owner
+/// after a migration and any observer agree on the set.
+pub fn replicas_of(owner: HiveId, all_hives: &[HiveId], factor: usize) -> Vec<HiveId> {
+    if factor <= 1 || all_hives.len() < 2 {
+        return Vec::new();
+    }
+    let mut ring: Vec<HiveId> = all_hives.to_vec();
+    ring.sort();
+    let Some(pos) = ring.iter().position(|&h| h == owner) else { return Vec::new() };
+    (1..factor.min(ring.len()))
+        .map(|i| ring[(pos + i) % ring.len()])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::TxState;
+
+    fn journal(key: &str, value: u64) -> TxJournal {
+        let mut s = BeeState::new();
+        let mut tx = TxState::begin(&mut s);
+        tx.put("d", key, &value).unwrap();
+        tx.commit()
+    }
+
+    fn bee() -> BeeId {
+        BeeId::new(HiveId(1), 1)
+    }
+
+    #[test]
+    fn in_order_journals_apply() {
+        let mut store = ShadowStore::new();
+        assert_eq!(store.apply("a", bee(), 1, &journal("x", 1)), ApplyOutcome::Applied);
+        assert_eq!(store.apply("a", bee(), 2, &journal("x", 2)), ApplyOutcome::Applied);
+        let shadow = store.get("a", bee()).unwrap();
+        assert_eq!(shadow.seq, 2);
+        assert_eq!(shadow.state.dict("d").unwrap().get::<u64>("x").unwrap(), Some(2));
+    }
+
+    #[test]
+    fn gap_marks_dirty_until_resync() {
+        let mut store = ShadowStore::new();
+        store.apply("a", bee(), 1, &journal("x", 1));
+        assert_eq!(store.apply("a", bee(), 3, &journal("x", 3)), ApplyOutcome::NeedSync);
+        // Everything is refused until a resync lands.
+        assert_eq!(store.apply("a", bee(), 4, &journal("x", 4)), ApplyOutcome::NeedSync);
+        let mut fresh = BeeState::new();
+        fresh.dict_mut("d").put("x", &9u64).unwrap();
+        store.install("a", bee(), 10, fresh);
+        assert_eq!(store.apply("a", bee(), 11, &journal("y", 1)), ApplyOutcome::Applied);
+        assert_eq!(store.get("a", bee()).unwrap().seq, 11);
+    }
+
+    #[test]
+    fn duplicates_are_stale() {
+        let mut store = ShadowStore::new();
+        store.apply("a", bee(), 1, &journal("x", 1));
+        assert_eq!(store.apply("a", bee(), 1, &journal("x", 99)), ApplyOutcome::Stale);
+        assert_eq!(
+            store.get("a", bee()).unwrap().state.dict("d").unwrap().get::<u64>("x").unwrap(),
+            Some(1),
+            "stale journal must not overwrite"
+        );
+    }
+
+    #[test]
+    fn take_removes_shadow() {
+        let mut store = ShadowStore::new();
+        store.apply("a", bee(), 1, &journal("x", 1));
+        let shadow = store.take("a", bee()).unwrap();
+        assert_eq!(shadow.seq, 1);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn replica_ring_is_deterministic() {
+        let hives: Vec<HiveId> = (1..=5).map(HiveId).collect();
+        assert_eq!(replicas_of(HiveId(1), &hives, 3), vec![HiveId(2), HiveId(3)]);
+        assert_eq!(replicas_of(HiveId(4), &hives, 3), vec![HiveId(5), HiveId(1)]);
+        assert_eq!(replicas_of(HiveId(5), &hives, 2), vec![HiveId(1)]);
+        assert!(replicas_of(HiveId(1), &hives, 1).is_empty());
+        assert!(replicas_of(HiveId(1), &[HiveId(1)], 3).is_empty());
+    }
+
+    #[test]
+    fn factor_larger_than_cluster_is_clamped() {
+        let hives: Vec<HiveId> = (1..=3).map(HiveId).collect();
+        assert_eq!(replicas_of(HiveId(2), &hives, 10), vec![HiveId(3), HiveId(1)]);
+    }
+}

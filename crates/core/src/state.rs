@@ -1,0 +1,447 @@
+//! Application state: dictionaries of key→value entries with transactions.
+//!
+//! Each bee owns a [`BeeState`]: the slice of its application's dictionaries
+//! corresponding to the cells in its colony. Handlers run inside a
+//! transaction ([`TxState`]): writes are buffered and either committed
+//! atomically when the handler returns `Ok`, or discarded when it errors —
+//! the paper's "dictionaries … with support for transactions".
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::{de::DeserializeOwned, Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+
+/// A dictionary key. Applications typically use switch ids, MAC addresses,
+/// prefixes or virtual-network ids rendered as strings.
+pub type Key = String;
+
+/// An encoded dictionary value.
+pub type Value = Vec<u8>;
+
+/// One state dictionary: an ordered map of keys to encoded values.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dict {
+    entries: BTreeMap<Key, Value>,
+}
+
+impl Dict {
+    /// Empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raw get.
+    pub fn get_raw(&self, key: &str) -> Option<&Value> {
+        self.entries.get(key)
+    }
+
+    /// Typed get: decodes the stored bytes as `T`.
+    pub fn get<T: DeserializeOwned>(&self, key: &str) -> Result<Option<T>> {
+        match self.entries.get(key) {
+            None => Ok(None),
+            Some(bytes) => beehive_wire::from_slice(bytes).map(Some).map_err(|e| {
+                Error::StateDecode { dict: String::new(), key: key.to_string(), source: e }
+            }),
+        }
+    }
+
+    /// Raw put.
+    pub fn put_raw(&mut self, key: impl Into<Key>, value: Value) {
+        self.entries.insert(key.into(), value);
+    }
+
+    /// Typed put: encodes `value` with the wire format.
+    pub fn put<T: Serialize>(&mut self, key: impl Into<Key>, value: &T) -> Result<()> {
+        self.entries.insert(key.into(), beehive_wire::to_vec(value)?);
+        Ok(())
+    }
+
+    /// Removes a key, returning whether it existed.
+    pub fn del(&mut self, key: &str) -> bool {
+        self.entries.remove(key).is_some()
+    }
+
+    /// Whether a key exists.
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the dictionary has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates keys in order.
+    pub fn keys(&self) -> impl Iterator<Item = &Key> {
+        self.entries.keys()
+    }
+
+    /// Iterates entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Key, &Value)> {
+        self.entries.iter()
+    }
+}
+
+/// The state a single bee owns: its application dictionaries restricted to
+/// the bee's colony.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BeeState {
+    dicts: BTreeMap<String, Dict>,
+}
+
+impl BeeState {
+    /// Empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The dictionary named `name`, if it has any entries.
+    pub fn dict(&self, name: &str) -> Option<&Dict> {
+        self.dicts.get(name)
+    }
+
+    /// The dictionary named `name`, created on first use.
+    pub fn dict_mut(&mut self, name: &str) -> &mut Dict {
+        self.dicts.entry(name.to_string()).or_default()
+    }
+
+    /// Names of non-empty dictionaries.
+    pub fn dict_names(&self) -> impl Iterator<Item = &String> {
+        self.dicts.keys()
+    }
+
+    /// Total number of entries across all dictionaries.
+    pub fn total_entries(&self) -> usize {
+        self.dicts.values().map(Dict::len).sum()
+    }
+
+    /// Serializes the whole state (migration, colony merges, replication).
+    pub fn snapshot(&self) -> Result<Vec<u8>> {
+        beehive_wire::to_vec(self).map_err(Error::from)
+    }
+
+    /// Restores a state serialized by [`BeeState::snapshot`].
+    pub fn from_snapshot(bytes: &[u8]) -> Result<Self> {
+        beehive_wire::from_slice(bytes).map_err(Error::from)
+    }
+
+    /// Merges another bee's state into this one (colony merge). Keys from
+    /// `other` win on conflict — but by the platform's exclusivity invariant
+    /// there should be none; conflicts are counted and reported.
+    pub fn absorb(&mut self, other: BeeState) -> usize {
+        let mut conflicts = 0;
+        for (name, dict) in other.dicts {
+            let target = self.dicts.entry(name).or_default();
+            for (k, v) in dict.entries {
+                if target.entries.insert(k, v).is_some() {
+                    conflicts += 1;
+                }
+            }
+        }
+        conflicts
+    }
+}
+
+/// A buffered write.
+#[derive(Debug, Clone, PartialEq)]
+enum TxOp {
+    Put(Value),
+    Del,
+}
+
+/// A transaction over a [`BeeState`]: reads see through the overlay, writes
+/// buffer until [`TxState::commit`].
+#[derive(Debug)]
+pub struct TxState<'a> {
+    base: &'a mut BeeState,
+    ops: HashMap<(String, Key), TxOp>,
+    /// Ordered journal for deterministic replay (colony replication).
+    journal: Vec<(String, Key, TxOp)>,
+}
+
+impl<'a> TxState<'a> {
+    /// Opens a transaction over `base`.
+    pub fn begin(base: &'a mut BeeState) -> Self {
+        TxState { base, ops: HashMap::new(), journal: Vec::new() }
+    }
+
+    /// Raw read through the overlay.
+    pub fn get_raw(&self, dict: &str, key: &str) -> Option<Value> {
+        match self.ops.get(&(dict.to_string(), key.to_string())) {
+            Some(TxOp::Put(v)) => Some(v.clone()),
+            Some(TxOp::Del) => None,
+            None => self.base.dict(dict).and_then(|d| d.get_raw(key)).cloned(),
+        }
+    }
+
+    /// Typed read through the overlay.
+    pub fn get<T: DeserializeOwned>(&self, dict: &str, key: &str) -> Result<Option<T>> {
+        match self.get_raw(dict, key) {
+            None => Ok(None),
+            Some(bytes) => beehive_wire::from_slice(&bytes).map(Some).map_err(|e| {
+                Error::StateDecode { dict: dict.to_string(), key: key.to_string(), source: e }
+            }),
+        }
+    }
+
+    /// Raw buffered write.
+    pub fn put_raw(&mut self, dict: &str, key: impl Into<Key>, value: Value) {
+        let key = key.into();
+        self.ops.insert((dict.to_string(), key.clone()), TxOp::Put(value.clone()));
+        self.journal.push((dict.to_string(), key, TxOp::Put(value)));
+    }
+
+    /// Typed buffered write.
+    pub fn put<T: Serialize>(&mut self, dict: &str, key: impl Into<Key>, value: &T) -> Result<()> {
+        self.put_raw(dict, key, beehive_wire::to_vec(value)?);
+        Ok(())
+    }
+
+    /// Buffered delete.
+    pub fn del(&mut self, dict: &str, key: &str) {
+        self.ops.insert((dict.to_string(), key.to_string()), TxOp::Del);
+        self.journal.push((dict.to_string(), key.to_string(), TxOp::Del));
+    }
+
+    /// Whether a key is visible through the overlay.
+    pub fn contains(&self, dict: &str, key: &str) -> bool {
+        match self.ops.get(&(dict.to_string(), key.to_string())) {
+            Some(TxOp::Put(_)) => true,
+            Some(TxOp::Del) => false,
+            None => self.base.dict(dict).is_some_and(|d| d.contains(key)),
+        }
+    }
+
+    /// Keys visible through the overlay for `dict`, in order.
+    pub fn keys(&self, dict: &str) -> Vec<Key> {
+        let mut keys: std::collections::BTreeSet<Key> = self
+            .base
+            .dict(dict)
+            .map(|d| d.keys().cloned().collect())
+            .unwrap_or_default();
+        for ((d, k), op) in &self.ops {
+            if d == dict {
+                match op {
+                    TxOp::Put(_) => {
+                        keys.insert(k.clone());
+                    }
+                    TxOp::Del => {
+                        keys.remove(k);
+                    }
+                }
+            }
+        }
+        keys.into_iter().collect()
+    }
+
+    /// Keys *written* (put or deleted) so far — used by the platform to
+    /// detect writes outside the mapped cells.
+    pub fn written_keys(&self) -> impl Iterator<Item = (&String, &Key)> {
+        self.ops.keys().map(|(d, k)| (d, k))
+    }
+
+    /// True if no writes were buffered.
+    pub fn is_read_only(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Applies all buffered writes to the base state, returning the write
+    /// journal (for replication).
+    pub fn commit(self) -> TxJournal {
+        let mut journal = Vec::with_capacity(self.journal.len());
+        for (dict, key, op) in self.journal {
+            match &op {
+                TxOp::Put(v) => self.base.dict_mut(&dict).put_raw(key.clone(), v.clone()),
+                TxOp::Del => {
+                    self.base.dict_mut(&dict).del(&key);
+                }
+            }
+            journal.push(match op {
+                TxOp::Put(v) => JournalOp::Put { dict, key, value: v },
+                TxOp::Del => JournalOp::Del { dict, key },
+            });
+        }
+        TxJournal { ops: journal }
+    }
+
+    /// Discards all buffered writes.
+    pub fn rollback(self) -> TxJournal {
+        TxJournal { ops: Vec::new() }
+    }
+}
+
+/// A committed write, replayable on a replica.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalOp {
+    /// Set `dict[key] = value`.
+    Put {
+        /// Dictionary name.
+        dict: String,
+        /// Entry key.
+        key: Key,
+        /// Encoded value.
+        value: Value,
+    },
+    /// Remove `dict[key]`.
+    Del {
+        /// Dictionary name.
+        dict: String,
+        /// Entry key.
+        key: Key,
+    },
+}
+
+/// The ordered writes of one committed transaction.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TxJournal {
+    /// Writes in commit order.
+    pub ops: Vec<JournalOp>,
+}
+
+impl TxJournal {
+    /// Whether the transaction wrote anything.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Replays the journal onto `state` (colony replication).
+    pub fn replay(&self, state: &mut BeeState) {
+        for op in &self.ops {
+            match op {
+                JournalOp::Put { dict, key, value } => {
+                    state.dict_mut(dict).put_raw(key.clone(), value.clone())
+                }
+                JournalOp::Del { dict, key } => {
+                    state.dict_mut(dict).del(key);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dict_typed_roundtrip() {
+        let mut d = Dict::new();
+        d.put("k", &42u64).unwrap();
+        assert_eq!(d.get::<u64>("k").unwrap(), Some(42));
+        assert_eq!(d.get::<u64>("missing").unwrap(), None);
+        assert!(d.contains("k"));
+        assert!(d.del("k"));
+        assert!(!d.del("k"));
+    }
+
+    #[test]
+    fn dict_decode_error_is_reported() {
+        let mut d = Dict::new();
+        d.put_raw("k", vec![1]); // not a valid String encoding
+        assert!(matches!(d.get::<String>("k"), Err(Error::StateDecode { .. })));
+    }
+
+    #[test]
+    fn tx_reads_see_uncommitted_writes() {
+        let mut s = BeeState::new();
+        s.dict_mut("S").put("sw1", &1u32).unwrap();
+        let mut tx = TxState::begin(&mut s);
+        assert_eq!(tx.get::<u32>("S", "sw1").unwrap(), Some(1));
+        tx.put("S", "sw1", &2u32).unwrap();
+        assert_eq!(tx.get::<u32>("S", "sw1").unwrap(), Some(2));
+        tx.del("S", "sw1");
+        assert_eq!(tx.get::<u32>("S", "sw1").unwrap(), None);
+        assert!(!tx.contains("S", "sw1"));
+    }
+
+    #[test]
+    fn rollback_discards_everything() {
+        let mut s = BeeState::new();
+        s.dict_mut("S").put("a", &1u32).unwrap();
+        let mut tx = TxState::begin(&mut s);
+        tx.put("S", "a", &99u32).unwrap();
+        tx.put("S", "b", &100u32).unwrap();
+        tx.del("S", "a");
+        let j = tx.rollback();
+        assert!(j.is_empty());
+        assert_eq!(s.dict("S").unwrap().get::<u32>("a").unwrap(), Some(1));
+        assert!(!s.dict("S").unwrap().contains("b"));
+    }
+
+    #[test]
+    fn commit_applies_in_order_and_returns_journal() {
+        let mut s = BeeState::new();
+        let mut tx = TxState::begin(&mut s);
+        tx.put("S", "a", &1u32).unwrap();
+        tx.put("S", "a", &2u32).unwrap(); // overwrite within tx
+        tx.put("T", "x", &"y".to_string()).unwrap();
+        let j = tx.commit();
+        assert_eq!(j.ops.len(), 3);
+        assert_eq!(s.dict("S").unwrap().get::<u32>("a").unwrap(), Some(2));
+        assert_eq!(s.dict("T").unwrap().get::<String>("x").unwrap(), Some("y".to_string()));
+    }
+
+    #[test]
+    fn journal_replay_reproduces_state() {
+        let mut s1 = BeeState::new();
+        let mut tx = TxState::begin(&mut s1);
+        tx.put("S", "a", &5u32).unwrap();
+        tx.put("S", "b", &6u32).unwrap();
+        tx.del("S", "b");
+        let j = tx.commit();
+
+        let mut s2 = BeeState::new();
+        j.replay(&mut s2);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn tx_keys_merges_overlay() {
+        let mut s = BeeState::new();
+        s.dict_mut("S").put("a", &1u32).unwrap();
+        s.dict_mut("S").put("b", &2u32).unwrap();
+        let mut tx = TxState::begin(&mut s);
+        tx.del("S", "a");
+        tx.put("S", "c", &3u32).unwrap();
+        assert_eq!(tx.keys("S"), vec!["b".to_string(), "c".to_string()]);
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut s = BeeState::new();
+        s.dict_mut("S").put("sw1", &vec![1u64, 2, 3]).unwrap();
+        s.dict_mut("T").put("l1", &("sw1".to_string(), "sw2".to_string())).unwrap();
+        let snap = s.snapshot().unwrap();
+        assert_eq!(BeeState::from_snapshot(&snap).unwrap(), s);
+    }
+
+    #[test]
+    fn absorb_merges_and_counts_conflicts() {
+        let mut a = BeeState::new();
+        a.dict_mut("S").put("x", &1u32).unwrap();
+        let mut b = BeeState::new();
+        b.dict_mut("S").put("y", &2u32).unwrap();
+        b.dict_mut("S").put("x", &3u32).unwrap(); // conflict
+        let conflicts = a.absorb(b);
+        assert_eq!(conflicts, 1);
+        assert_eq!(a.dict("S").unwrap().get::<u32>("x").unwrap(), Some(3));
+        assert_eq!(a.dict("S").unwrap().get::<u32>("y").unwrap(), Some(2));
+    }
+
+    #[test]
+    fn written_keys_tracks_writes_only() {
+        let mut s = BeeState::new();
+        s.dict_mut("S").put("a", &1u32).unwrap();
+        let mut tx = TxState::begin(&mut s);
+        let _ = tx.get::<u32>("S", "a");
+        assert_eq!(tx.written_keys().count(), 0);
+        tx.put("S", "b", &2u32).unwrap();
+        assert_eq!(tx.written_keys().count(), 1);
+    }
+}

@@ -1,0 +1,276 @@
+//! Edge cases of the hive runtime: orphan expiry, ambiguous handlers, step
+//! budgets, rollback atomicity, ticks, singleton pinning, instrumentation
+//! content and feedback plumbing.
+
+use std::sync::Arc;
+
+use beehive_core::prelude::*;
+use beehive_core::{Dst, Envelope, HiveConfig, Source};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Ping {
+    key: String,
+}
+beehive_core::impl_message!(Ping);
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Boom;
+beehive_core::impl_message!(Boom);
+
+fn standalone(tick_ms: u64) -> Hive {
+    let mut cfg = HiveConfig::standalone(HiveId(1));
+    cfg.tick_interval_ms = tick_ms;
+    Hive::new(cfg, Arc::new(SystemClock::new()), Box::new(Loopback::new(HiveId(1))))
+}
+
+fn sim_hive(clock: SimClock, orphan_ttl_ms: u64) -> Hive {
+    let mut cfg = HiveConfig::standalone(HiveId(1));
+    cfg.tick_interval_ms = 0;
+    cfg.orphan_ttl_ms = orphan_ttl_ms;
+    Hive::new(cfg, Arc::new(clock), Box::new(Loopback::new(HiveId(1))))
+}
+
+fn counter() -> App {
+    App::builder("counter")
+        .handle::<Ping>(
+            |m| Mapped::cell("c", &m.key),
+            |m, ctx| {
+                let n: u64 = ctx.get("c", &m.key).map_err(|e| e.to_string())?.unwrap_or(0);
+                ctx.put("c", m.key.clone(), &(n + 1)).map_err(|e| e.to_string())?;
+                Ok(())
+            },
+        )
+        .build()
+}
+
+#[test]
+fn orphans_expire_after_ttl() {
+    let clock = SimClock::new();
+    let mut hive = sim_hive(clock.clone(), 500);
+    hive.install(counter());
+    // A direct-addressed message for a bee that will never exist.
+    let ghost = BeeId::new(HiveId(9), 99);
+    let env = Envelope {
+        msg: Arc::new(Ping { key: "x".into() }),
+        src: Source::External(HiveId(1)),
+        dst: Dst::Bee { app: "counter".into(), bee: ghost, handler: None, fence: 0 },
+    };
+    hive.handle().send(env);
+    hive.step_until_quiescent(1_000);
+    assert_eq!(hive.counters().dropped_orphans, 0, "still parked");
+    clock.advance(1_000);
+    hive.step_until_quiescent(1_000);
+    assert_eq!(hive.counters().dropped_orphans, 1, "TTL expired → dropped");
+}
+
+#[test]
+fn fence_ahead_of_applied_seq_parks_until_catchup() {
+    let clock = SimClock::new();
+    let mut hive = sim_hive(clock.clone(), 0);
+    hive.install(counter());
+    // Create the bee for key "k" so a real target exists.
+    hive.emit(Ping { key: "k".into() });
+    hive.step_until_quiescent(1_000);
+    let (bee, _) = hive.local_bees("counter")[0];
+    // A message fenced far in the future parks...
+    let env = Envelope {
+        msg: Arc::new(Ping { key: "k".into() }),
+        src: Source::External(HiveId(1)),
+        dst: Dst::Bee { app: "counter".into(), bee, handler: None, fence: 1_000 },
+    };
+    hive.handle().send(env);
+    hive.step_until_quiescent(1_000);
+    let count: u64 = hive.peek_state("counter", bee, "c", "k").unwrap();
+    assert_eq!(count, 1, "fenced message must not run yet");
+    // ...and applying more registry events (new keys) advances the counter —
+    // though reaching 1000 would take 999 more; instead verify it expires
+    // rather than running early.
+    clock.advance(60_000);
+    hive.step_until_quiescent(10_000);
+    assert_eq!(hive.counters().dropped_orphans, 1);
+    let count: u64 = hive.peek_state("counter", bee, "c", "k").unwrap();
+    assert_eq!(count, 1);
+}
+
+#[test]
+fn ambiguous_unicast_is_dropped_and_counted() {
+    let mut hive = standalone(0);
+    // Two handlers for the same message type: a bee-addressed message with
+    // no handler index is ambiguous.
+    hive.install(
+        App::builder("multi")
+            .handle::<Ping>(|m| Mapped::cell("a", &m.key), |_m, _c| Ok(()))
+            .handle::<Ping>(|m| Mapped::cell("b", &m.key), |_m, _c| Ok(()))
+            .build(),
+    );
+    hive.emit(Ping { key: "k".into() });
+    hive.step_until_quiescent(1_000);
+    let bees = hive.local_bees("multi");
+    assert_eq!(bees.len(), 2, "broadcast offer reached both handlers");
+    let env = Envelope {
+        msg: Arc::new(Ping { key: "k".into() }),
+        src: Source::External(HiveId(1)),
+        dst: Dst::Bee { app: "multi".into(), bee: bees[0].0, handler: None, fence: 0 },
+    };
+    hive.handle().send(env);
+    hive.step_until_quiescent(1_000);
+    assert_eq!(hive.counters().dropped_ambiguous, 1);
+}
+
+#[test]
+fn step_budget_bounds_work_per_call() {
+    let mut cfg = HiveConfig::standalone(HiveId(1));
+    cfg.tick_interval_ms = 0;
+    cfg.step_budget = 10;
+    let mut hive =
+        Hive::new(cfg, Arc::new(SystemClock::new()), Box::new(Loopback::new(HiveId(1))));
+    hive.install(counter());
+    for i in 0..100 {
+        hive.emit(Ping { key: format!("k{i}") });
+    }
+    let w1 = hive.step();
+    assert!(w1 <= 10 + 2, "budget respected (got {w1})");
+    // Everything still completes across steps.
+    hive.step_until_quiescent(1_000);
+    assert_eq!(hive.local_bee_count("counter"), 100);
+}
+
+#[test]
+fn handler_error_rolls_back_all_writes_and_emissions() {
+    let seen = Arc::new(Mutex::new(0usize));
+    let seen2 = seen.clone();
+    let mut hive = standalone(0);
+    hive.install(
+        App::builder("bomb")
+            .handle::<Boom>(
+                |_m| Mapped::cell("s", "x"),
+                |_m, ctx| {
+                    ctx.put("s", "a", &1u64).map_err(|e| e.to_string())?;
+                    ctx.emit(Ping { key: "should-not-escape".into() });
+                    Err("kaboom".into())
+                },
+            )
+            .build(),
+    );
+    hive.install(
+        App::builder("watcher")
+            .handle::<Ping>(
+                |m| Mapped::cell("w", &m.key),
+                move |_m, _c| {
+                    *seen2.lock() += 1;
+                    Ok(())
+                },
+            )
+            .build(),
+    );
+    hive.emit(Boom);
+    hive.step_until_quiescent(1_000);
+    assert_eq!(hive.counters().handler_errors, 1);
+    assert_eq!(*seen.lock(), 0, "emissions from failed handlers are discarded");
+    let (bee, _) = hive.local_bees("bomb")[0];
+    assert_eq!(hive.peek_state::<u64>("bomb", bee, "s", "a"), None, "write rolled back");
+}
+
+#[test]
+fn ticks_fire_on_schedule_in_virtual_time() {
+    let clock = SimClock::new();
+    let mut cfg = HiveConfig::standalone(HiveId(1));
+    cfg.tick_interval_ms = 1000;
+    let mut hive = Hive::new(cfg, Arc::new(clock.clone()), Box::new(Loopback::new(HiveId(1))));
+    let ticks = Arc::new(Mutex::new(Vec::new()));
+    let t2 = ticks.clone();
+    hive.install(
+        App::builder("ticker")
+            .handle_local::<Tick>("t", move |t, _c| {
+                t2.lock().push(t.seq);
+                Ok(())
+            })
+            .build(),
+    );
+    for _ in 0..5 {
+        clock.advance(1000);
+        hive.step_until_quiescent(1_000);
+    }
+    assert_eq!(ticks.lock().clone(), vec![1, 2, 3, 4, 5]);
+}
+
+#[test]
+fn singletons_are_per_hive_and_never_in_registry() {
+    let mut hive = standalone(0);
+    let hits = Arc::new(Mutex::new(0usize));
+    let h2 = hits.clone();
+    hive.install(
+        App::builder("single")
+            .handle_local::<Ping>("local", move |_m, _c| {
+                *h2.lock() += 1;
+                Ok(())
+            })
+            .build(),
+    );
+    hive.emit(Ping { key: "a".into() });
+    hive.emit(Ping { key: "b".into() });
+    hive.step_until_quiescent(1_000);
+    assert_eq!(*hits.lock(), 2);
+    assert_eq!(hive.local_bee_count("single"), 1, "one singleton for all keys");
+    assert_eq!(hive.registry_view().bee_count(), 0, "singletons stay out of the registry");
+}
+
+#[test]
+fn instrumentation_captures_messages_bytes_and_matrix() {
+    let mut hive = standalone(0);
+    hive.install(counter());
+    hive.emit(Ping { key: "k".into() });
+    hive.emit(Ping { key: "k".into() });
+    hive.step_until_quiescent(1_000);
+    let instr = hive.instrumentation();
+    let instr = instr.lock();
+    let (_, stats) = instr.bees.iter().next().expect("bee instrumented");
+    assert_eq!(stats.msgs_in, 2);
+    assert!(stats.bytes_in > 0);
+    assert_eq!(stats.external_in, 2, "external emits counted separately");
+    // External sources don't enter the bee-to-bee matrix.
+    assert!(instr.msg_matrix.is_empty());
+}
+
+#[test]
+fn emissions_between_bees_build_the_matrix_and_provenance() {
+    let mut hive = standalone(0);
+    hive.install(
+        App::builder("relay")
+            .handle::<Boom>(
+                |_m| Mapped::cell("r", "x"),
+                |_m, ctx| {
+                    ctx.emit(Ping { key: "derived".into() });
+                    Ok(())
+                },
+            )
+            .build(),
+    );
+    hive.install(counter());
+    hive.emit(Boom);
+    hive.step_until_quiescent(1_000);
+    let instr = hive.instrumentation();
+    let instr = instr.lock();
+    assert_eq!(instr.msg_matrix.get(&(1, 1)).copied(), Some(1), "bee→bee local delivery");
+    assert_eq!(instr.provenance.len(), 1, "Boom → Ping provenance recorded");
+    let ratios = instr.provenance_ratios();
+    assert_eq!(ratios.len(), 1);
+    assert!((ratios[0].1 - 1.0).abs() < 1e-9, "one Ping per Boom");
+}
+
+#[test]
+fn preclaim_pins_cells_before_traffic() {
+    let mut hive = standalone(0);
+    hive.install(counter());
+    hive.preclaim("counter", vec![Cell::new("c", "pinned")]);
+    hive.step_until_quiescent(1_000);
+    assert_eq!(hive.local_bee_count("counter"), 1);
+    let owner = hive.registry_view().owner("counter", &Cell::new("c", "pinned"));
+    assert!(owner.is_some());
+    // Traffic for the key lands on the preclaimed bee.
+    hive.emit(Ping { key: "pinned".into() });
+    hive.step_until_quiescent(1_000);
+    assert_eq!(hive.local_bee_count("counter"), 1);
+}

@@ -1,0 +1,280 @@
+//! The in-memory fabric: connects any number of hives in one process with
+//! full accounting and fault injection. Drives in virtual or real time —
+//! latency is expressed against the shared [`Clock`].
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
+
+use beehive_core::clock::Clock;
+use beehive_core::transport::{Frame, Transport};
+use beehive_core::HiveId;
+use parking_lot::Mutex;
+
+use crate::matrix::TrafficMatrix;
+
+/// Fault-injection knobs (applied at send time).
+#[derive(Debug, Clone, Default)]
+pub struct FabricFaults {
+    /// Probability in `[0, 1]` that a frame is silently dropped.
+    pub drop_rate: f64,
+    /// Fixed delivery latency in ms.
+    pub latency_ms: u64,
+}
+
+struct InFlight {
+    deliver_at_ms: u64,
+    from: HiveId,
+    frame: Frame,
+}
+
+struct Shared {
+    clock: Arc<dyn Clock>,
+    queues: Mutex<std::collections::BTreeMap<u32, VecDeque<InFlight>>>,
+    matrix: Mutex<TrafficMatrix>,
+    partitions: Mutex<HashSet<(u32, u32)>>,
+    faults: Mutex<FabricFaults>,
+    rng: Mutex<u64>, // xorshift state for drop decisions (deterministic)
+    hives: Vec<HiveId>,
+}
+
+/// An in-process fabric connecting a fixed set of hives.
+#[derive(Clone)]
+pub struct MemFabric {
+    shared: Arc<Shared>,
+}
+
+impl MemFabric {
+    /// A fabric for `hives`, accounting into 1-second buckets by default.
+    pub fn new(hives: Vec<HiveId>, clock: Arc<dyn Clock>) -> Self {
+        Self::with_bucket(hives, clock, 1000)
+    }
+
+    /// A fabric with a custom accounting bucket width.
+    pub fn with_bucket(hives: Vec<HiveId>, clock: Arc<dyn Clock>, bucket_ms: u64) -> Self {
+        let queues =
+            hives.iter().map(|h| (h.0, VecDeque::new())).collect();
+        MemFabric {
+            shared: Arc::new(Shared {
+                clock,
+                queues: Mutex::new(queues),
+                matrix: Mutex::new(TrafficMatrix::new(bucket_ms)),
+                partitions: Mutex::new(HashSet::new()),
+                faults: Mutex::new(FabricFaults::default()),
+                rng: Mutex::new(0x9E3779B97F4A7C15),
+                hives,
+            }),
+        }
+    }
+
+    /// The endpoint for hive `id` (panics if `id` is not in the fabric).
+    pub fn endpoint(&self, id: HiveId) -> MemEndpoint {
+        assert!(
+            self.shared.hives.contains(&id),
+            "hive {id} is not part of this fabric"
+        );
+        MemEndpoint { id, shared: self.shared.clone() }
+    }
+
+    /// Snapshot of the traffic accounting.
+    pub fn matrix(&self) -> TrafficMatrix {
+        self.shared.matrix.lock().clone()
+    }
+
+    /// Clears the traffic accounting (e.g. to discard warm-up noise).
+    pub fn reset_matrix(&self) {
+        let bucket = self.shared.matrix.lock().bucket_ms;
+        *self.shared.matrix.lock() = TrafficMatrix::new(bucket);
+    }
+
+    /// Updates the fault policy.
+    pub fn set_faults(&self, faults: FabricFaults) {
+        *self.shared.faults.lock() = faults;
+    }
+
+    /// Severs the link between `a` and `b` (both directions).
+    pub fn partition(&self, a: HiveId, b: HiveId) {
+        self.shared.partitions.lock().insert((a.0.min(b.0), a.0.max(b.0)));
+    }
+
+    /// Heals all partitions.
+    pub fn heal(&self) {
+        self.shared.partitions.lock().clear();
+    }
+
+    /// Frames currently queued (all hives) — useful for quiescence checks.
+    pub fn in_flight(&self) -> usize {
+        self.shared.queues.lock().values().map(VecDeque::len).sum()
+    }
+
+    /// The hives on this fabric.
+    pub fn hives(&self) -> &[HiveId] {
+        &self.shared.hives
+    }
+}
+
+/// One hive's endpoint into a [`MemFabric`].
+pub struct MemEndpoint {
+    id: HiveId,
+    shared: Arc<Shared>,
+}
+
+impl Transport for MemEndpoint {
+    fn local(&self) -> HiveId {
+        self.id
+    }
+
+    fn send(&self, to: HiveId, frame: Frame) {
+        if to == self.id {
+            // Local loopback: no accounting (it never touches the wire).
+            let mut queues = self.shared.queues.lock();
+            if let Some(q) = queues.get_mut(&to.0) {
+                q.push_back(InFlight { deliver_at_ms: 0, from: self.id, frame });
+            }
+            return;
+        }
+        {
+            let partitions = self.shared.partitions.lock();
+            if partitions.contains(&(self.id.0.min(to.0), self.id.0.max(to.0))) {
+                return;
+            }
+        }
+        let faults = self.shared.faults.lock().clone();
+        if faults.drop_rate > 0.0 {
+            // Deterministic xorshift64* coin flip.
+            let mut rng = self.shared.rng.lock();
+            *rng ^= *rng << 13;
+            *rng ^= *rng >> 7;
+            *rng ^= *rng << 17;
+            let roll = (*rng >> 11) as f64 / (1u64 << 53) as f64;
+            if roll < faults.drop_rate {
+                return;
+            }
+        }
+        let now = self.shared.clock.now_ms();
+        self.shared.matrix.lock().record(self.id, to, frame.kind, frame.wire_len(), now);
+        let mut queues = self.shared.queues.lock();
+        if let Some(q) = queues.get_mut(&to.0) {
+            q.push_back(InFlight {
+                deliver_at_ms: now + faults.latency_ms,
+                from: self.id,
+                frame,
+            });
+        }
+    }
+
+    fn try_recv(&self) -> Option<(HiveId, Frame)> {
+        let now = self.shared.clock.now_ms();
+        let mut queues = self.shared.queues.lock();
+        let q = queues.get_mut(&self.id.0)?;
+        // Preserve per-link FIFO: only deliver from the front; latency is
+        // uniform so the front is always the earliest.
+        if q.front().is_some_and(|m| m.deliver_at_ms <= now) {
+            let m = q.pop_front().unwrap();
+            return Some((m.from, m.frame));
+        }
+        None
+    }
+
+    fn peers(&self) -> Vec<HiveId> {
+        self.shared.hives.iter().copied().filter(|&h| h != self.id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beehive_core::clock::SimClock;
+    use beehive_core::transport::FrameKind;
+
+    fn fabric2() -> (MemFabric, SimClock) {
+        let clock = SimClock::new();
+        let f = MemFabric::new(vec![HiveId(1), HiveId(2)], Arc::new(clock.clone()));
+        (f, clock)
+    }
+
+    #[test]
+    fn delivers_between_endpoints() {
+        let (f, _clock) = fabric2();
+        let e1 = f.endpoint(HiveId(1));
+        let e2 = f.endpoint(HiveId(2));
+        e1.send(HiveId(2), Frame::app(vec![1, 2, 3]));
+        let (from, frame) = e2.try_recv().unwrap();
+        assert_eq!(from, HiveId(1));
+        assert_eq!(frame.bytes, vec![1, 2, 3]);
+        assert!(e2.try_recv().is_none());
+    }
+
+    #[test]
+    fn accounts_bytes_per_pair_and_kind() {
+        let (f, _clock) = fabric2();
+        let e1 = f.endpoint(HiveId(1));
+        e1.send(HiveId(2), Frame::app(vec![0; 100]));
+        e1.send(HiveId(2), Frame::raft(vec![0; 50]));
+        let m = f.matrix();
+        assert_eq!(m.get(HiveId(1), HiveId(2), FrameKind::App).bytes, 108);
+        assert_eq!(m.get(HiveId(1), HiveId(2), FrameKind::Raft).bytes, 58);
+    }
+
+    #[test]
+    fn loopback_is_not_accounted() {
+        let (f, _clock) = fabric2();
+        let e1 = f.endpoint(HiveId(1));
+        e1.send(HiveId(1), Frame::app(vec![0; 100]));
+        assert_eq!(f.matrix().total(&[FrameKind::App]), 0);
+        assert!(e1.try_recv().is_some());
+    }
+
+    #[test]
+    fn latency_holds_frames_until_clock_advances() {
+        let (f, clock) = fabric2();
+        f.set_faults(FabricFaults { drop_rate: 0.0, latency_ms: 10 });
+        let e1 = f.endpoint(HiveId(1));
+        let e2 = f.endpoint(HiveId(2));
+        e1.send(HiveId(2), Frame::app(vec![7]));
+        assert!(e2.try_recv().is_none(), "frame must be delayed");
+        clock.advance(10);
+        assert!(e2.try_recv().is_some());
+    }
+
+    #[test]
+    fn partition_blocks_and_heal_restores() {
+        let (f, _clock) = fabric2();
+        f.partition(HiveId(1), HiveId(2));
+        let e1 = f.endpoint(HiveId(1));
+        let e2 = f.endpoint(HiveId(2));
+        e1.send(HiveId(2), Frame::app(vec![1]));
+        assert!(e2.try_recv().is_none());
+        f.heal();
+        e1.send(HiveId(2), Frame::app(vec![2]));
+        assert_eq!(e2.try_recv().unwrap().1.bytes, vec![2]);
+    }
+
+    #[test]
+    fn full_drop_rate_loses_everything() {
+        let (f, _clock) = fabric2();
+        f.set_faults(FabricFaults { drop_rate: 1.0, latency_ms: 0 });
+        let e1 = f.endpoint(HiveId(1));
+        let e2 = f.endpoint(HiveId(2));
+        for _ in 0..10 {
+            e1.send(HiveId(2), Frame::app(vec![1]));
+        }
+        assert!(e2.try_recv().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "not part of this fabric")]
+    fn unknown_endpoint_panics() {
+        let (f, _clock) = fabric2();
+        let _ = f.endpoint(HiveId(99));
+    }
+
+    #[test]
+    fn reset_matrix_clears_accounting() {
+        let (f, _clock) = fabric2();
+        let e1 = f.endpoint(HiveId(1));
+        e1.send(HiveId(2), Frame::app(vec![0; 10]));
+        assert!(f.matrix().total(&[FrameKind::App]) > 0);
+        f.reset_matrix();
+        assert_eq!(f.matrix().total(&[FrameKind::App]), 0);
+    }
+}

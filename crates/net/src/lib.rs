@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+
+//! `beehive-net` — inter-hive transports.
+//!
+//! * [`MemFabric`] / [`MemEndpoint`]: an in-process fabric connecting many
+//!   hives with **byte-accurate control-channel accounting** (per source,
+//!   destination, traffic category and time bucket), optional latency, drops
+//!   and partitions. This is what the simulator and the Figure-4 evaluation
+//!   run on.
+//! * [`TcpTransport`]: a real TCP transport with length-prefixed framing for
+//!   multi-process deployments.
+
+mod fabric;
+mod matrix;
+mod tcp;
+
+pub use fabric::{FabricFaults, MemEndpoint, MemFabric};
+pub use matrix::{MatrixCell, TrafficMatrix};
+pub use tcp::TcpTransport;

@@ -1,0 +1,298 @@
+//! TCP transport for multi-process deployments.
+//!
+//! Framing: every frame is `[u32 len][u32 src_hive][u8 kind][payload]`, all
+//! integers little-endian. On connect, the dialer immediately sends a
+//! handshake frame (`kind = 0xFF`, empty payload) identifying itself.
+//! Outgoing connections are established lazily and re-established on error.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+
+use beehive_core::transport::{Frame, FrameKind, Transport};
+use beehive_core::HiveId;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+const KIND_APP: u8 = 0;
+const KIND_RAFT: u8 = 1;
+const KIND_CONTROL: u8 = 2;
+const KIND_HANDSHAKE: u8 = 0xFF;
+
+fn kind_to_byte(kind: FrameKind) -> u8 {
+    match kind {
+        FrameKind::App => KIND_APP,
+        FrameKind::Raft => KIND_RAFT,
+        FrameKind::Control => KIND_CONTROL,
+    }
+}
+
+fn byte_to_kind(b: u8) -> Option<FrameKind> {
+    match b {
+        KIND_APP => Some(FrameKind::App),
+        KIND_RAFT => Some(FrameKind::Raft),
+        KIND_CONTROL => Some(FrameKind::Control),
+        _ => None,
+    }
+}
+
+fn write_frame(stream: &mut TcpStream, src: HiveId, kind: u8, payload: &[u8]) -> std::io::Result<()> {
+    let len = (payload.len() + 5) as u32;
+    let mut header = [0u8; 9];
+    header[..4].copy_from_slice(&len.to_le_bytes());
+    header[4..8].copy_from_slice(&src.0.to_le_bytes());
+    header[8] = kind;
+    stream.write_all(&header)?;
+    stream.write_all(payload)?;
+    Ok(())
+}
+
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<(HiveId, u8, Vec<u8>)> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if !(5..=64 * 1024 * 1024).contains(&len) {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "bad frame length"));
+    }
+    let mut rest = vec![0u8; len];
+    stream.read_exact(&mut rest)?;
+    let src = HiveId(u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]));
+    let kind = rest[4];
+    Ok((src, kind, rest[5..].to_vec()))
+}
+
+/// TCP-backed [`Transport`]. One listener thread accepts inbound peers; a
+/// reader thread per connection feeds the shared inbox.
+pub struct TcpTransport {
+    id: HiveId,
+    peers: HashMap<HiveId, SocketAddr>,
+    outgoing: Mutex<HashMap<HiveId, TcpStream>>,
+    /// Last failed connect per peer: sends within the backoff window are
+    /// dropped instead of paying a blocking connect timeout on the hive
+    /// thread for every frame to a dead peer.
+    connect_failed_at: Mutex<HashMap<HiveId, std::time::Instant>>,
+    inbox_rx: Receiver<(HiveId, Frame)>,
+    _listener_addr: SocketAddr,
+    shutdown: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl TcpTransport {
+    /// Binds `listen` for hive `id` and records the peer address book.
+    /// The address book must contain every other hive in the cluster.
+    pub fn bind(
+        id: HiveId,
+        listen: SocketAddr,
+        peers: HashMap<HiveId, SocketAddr>,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(listen)?;
+        let local_addr = listener.local_addr()?;
+        let (inbox_tx, inbox_rx) = unbounded();
+        let shutdown = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+        let accept_tx = inbox_tx.clone();
+        let accept_shutdown = shutdown.clone();
+        std::thread::Builder::new()
+            .name(format!("bh-tcp-accept-{}", id.0))
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_shutdown.load(std::sync::atomic::Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let tx = accept_tx.clone();
+                    let stop = accept_shutdown.clone();
+                    std::thread::Builder::new()
+                        .name("bh-tcp-read".into())
+                        .spawn(move || reader_loop(stream, tx, stop))
+                        .ok();
+                }
+            })
+            .expect("spawn accept thread");
+
+        Ok(TcpTransport {
+            id,
+            peers,
+            outgoing: Mutex::new(HashMap::new()),
+            connect_failed_at: Mutex::new(HashMap::new()),
+            inbox_rx,
+            _listener_addr: local_addr,
+            shutdown,
+        })
+    }
+
+    /// The address this transport actually listens on (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self._listener_addr
+    }
+
+    /// Adds (or updates) a peer's address after binding — lets clusters bind
+    /// everyone on port 0 first and exchange the resulting addresses.
+    pub fn add_peer(&mut self, id: HiveId, addr: SocketAddr) {
+        self.peers.insert(id, addr);
+    }
+
+    fn connect(&self, to: HiveId) -> Option<TcpStream> {
+        let addr = self.peers.get(&to)?;
+        let mut stream = TcpStream::connect_timeout(addr, std::time::Duration::from_millis(500)).ok()?;
+        stream.set_nodelay(true).ok();
+        // Identify ourselves so the acceptor can label inbound frames.
+        write_frame(&mut stream, self.id, KIND_HANDSHAKE, &[]).ok()?;
+        Some(stream)
+    }
+}
+
+fn reader_loop(
+    mut stream: TcpStream,
+    tx: Sender<(HiveId, Frame)>,
+    stop: Arc<std::sync::atomic::AtomicBool>,
+) {
+    // The first frame must be a handshake naming the peer.
+    let peer = match read_frame(&mut stream) {
+        Ok((src, KIND_HANDSHAKE, _)) => src,
+        _ => return,
+    };
+    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+        match read_frame(&mut stream) {
+            Ok((_src, kind_byte, payload)) => {
+                let Some(kind) = byte_to_kind(kind_byte) else { continue };
+                if tx.send((peer, Frame { kind, bytes: payload })).is_err() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn local(&self) -> HiveId {
+        self.id
+    }
+
+    fn send(&self, to: HiveId, frame: Frame) {
+        if to == self.id {
+            return; // hives never send to themselves over TCP
+        }
+        // Dead-peer backoff: don't pay a blocking connect timeout per frame
+        // to a peer that just refused — Raft and the pending-retry timers
+        // re-drive the protocols once it returns.
+        const BACKOFF: std::time::Duration = std::time::Duration::from_millis(1000);
+        {
+            let failed = self.connect_failed_at.lock();
+            if failed.get(&to).is_some_and(|at| at.elapsed() < BACKOFF)
+                && !self.outgoing.lock().contains_key(&to)
+            {
+                return;
+            }
+        }
+        let mut outgoing = self.outgoing.lock();
+        // Try the cached connection, reconnect once on failure.
+        for attempt in 0..2 {
+            if let std::collections::hash_map::Entry::Vacant(e) = outgoing.entry(to) {
+                match self.connect(to) {
+                    Some(s) => {
+                        self.connect_failed_at.lock().remove(&to);
+                        e.insert(s);
+                    }
+                    None => {
+                        self.connect_failed_at.lock().insert(to, std::time::Instant::now());
+                        return; // peer unreachable; drop (protocols retry)
+                    }
+                }
+            }
+            let stream = outgoing.get_mut(&to).unwrap();
+            match write_frame(stream, self.id, kind_to_byte(frame.kind), &frame.bytes) {
+                Ok(()) => return,
+                Err(_) => {
+                    outgoing.remove(&to);
+                    if attempt == 1 {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn try_recv(&self) -> Option<(HiveId, Frame)> {
+        self.inbox_rx.try_recv().ok()
+    }
+
+    fn peers(&self) -> Vec<HiveId> {
+        self.peers.keys().copied().collect()
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shutdown.store(true, std::sync::atomic::Ordering::Relaxed);
+        // Wake the accept loop with a dummy connection so it can exit.
+        let _ = TcpStream::connect(self._listener_addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (TcpTransport, TcpTransport) {
+        let mut t1 = TcpTransport::bind(HiveId(1), "127.0.0.1:0".parse().unwrap(), HashMap::new())
+            .unwrap();
+        let mut t2 = TcpTransport::bind(HiveId(2), "127.0.0.1:0".parse().unwrap(), HashMap::new())
+            .unwrap();
+        let a1 = t1.local_addr();
+        let a2 = t2.local_addr();
+        t1.add_peer(HiveId(2), a2);
+        t2.add_peer(HiveId(1), a1);
+        (t1, t2)
+    }
+
+    fn recv_blocking(t: &TcpTransport, timeout_ms: u64) -> Option<(HiveId, Frame)> {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(timeout_ms);
+        while std::time::Instant::now() < deadline {
+            if let Some(x) = t.try_recv() {
+                return Some(x);
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        None
+    }
+
+    #[test]
+    fn frames_flow_both_ways() {
+        let (t1, t2) = pair();
+        t1.send(HiveId(2), Frame::app(vec![1, 2, 3]));
+        let (from, f) = recv_blocking(&t2, 2000).expect("frame arrives");
+        assert_eq!(from, HiveId(1));
+        assert_eq!(f.kind, FrameKind::App);
+        assert_eq!(f.bytes, vec![1, 2, 3]);
+
+        t2.send(HiveId(1), Frame::raft(vec![9]));
+        let (from, f) = recv_blocking(&t1, 2000).expect("reply arrives");
+        assert_eq!(from, HiveId(2));
+        assert_eq!(f.kind, FrameKind::Raft);
+        assert_eq!(f.bytes, vec![9]);
+    }
+
+    #[test]
+    fn send_to_unknown_peer_is_dropped() {
+        let (t1, _t2) = pair();
+        // No address for hive 9: silently dropped.
+        t1.send(HiveId(9), Frame::app(vec![1]));
+        assert!(t1.try_recv().is_none());
+    }
+
+    #[test]
+    fn frame_roundtrip_encoding() {
+        // Exercise the framing codec through a loopback socket pair.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+        write_frame(&mut client, HiveId(7), KIND_CONTROL, &[5, 6, 7]).unwrap();
+        let (src, kind, payload) = read_frame(&mut server).unwrap();
+        assert_eq!(src, HiveId(7));
+        assert_eq!(kind, KIND_CONTROL);
+        assert_eq!(payload, vec![5, 6, 7]);
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! `beehive-openflow` — an OpenFlow 1.0 subset, from scratch.
+//!
+//! Three layers:
+//!
+//! * [`wire`] — the binary codec for the OF 1.0 messages Beehive's
+//!   applications need: HELLO, ECHO, FEATURES, PACKET_IN/OUT, FLOW_MOD,
+//!   flow STATS_REQUEST/REPLY, PORT_STATUS and ERROR.
+//! * [`switch`] — a flow-table switch model speaking that wire format
+//!   (used by the simulator in place of hardware).
+//! * [`driver`] — the Beehive **OpenFlow driver** control application: one
+//!   bee per switch (cell = datapath id), translating wire messages into
+//!   platform messages ([`SwitchJoined`], [`StatReply`], …) and platform
+//!   commands ([`FlowStatQuery`], [`InstallRule`], …) back into wire
+//!   messages.
+
+pub mod driver;
+pub mod switch;
+pub mod wire;
+
+pub use driver::{
+    driver_app, FlowStat, FlowStatQuery, InstallRule, PacketInEvent, PacketOutCmd, StatReply,
+    SwitchIo, SwitchJoined, SwitchUpstream, DRIVER_APP,
+};
+pub use switch::{FlowEntry, SwitchModel};
+pub use wire::{
+    Action, FlowModCommand, FlowStatsEntry, Match, OfMessage, PacketInReason, PhyPort, OFP_VERSION,
+};

@@ -1,0 +1,416 @@
+//! A flow-table OpenFlow 1.0 switch model.
+//!
+//! The simulator instantiates one [`SwitchModel`] per emulated switch. The
+//! model speaks the wire format of [`crate::wire`]: feed it encoded
+//! controller-to-switch messages with [`SwitchModel::handle_bytes`] and it
+//! returns encoded replies — exactly what a hardware switch would put on the
+//! wire.
+
+use crate::wire::{
+    Action, FlowModCommand, FlowStatsEntry, Match, OfMessage, PacketInReason, PhyPort, WireError,
+};
+
+/// One installed flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowEntry {
+    /// Match.
+    pub match_: Match,
+    /// Priority (higher wins).
+    pub priority: u16,
+    /// Actions.
+    pub actions: Vec<Action>,
+    /// Controller cookie.
+    pub cookie: u64,
+    /// Packets accounted to this flow.
+    pub packet_count: u64,
+    /// Bytes accounted to this flow.
+    pub byte_count: u64,
+    /// Installation time (s, switch-local).
+    pub installed_at_sec: u32,
+}
+
+/// A simulated OpenFlow switch.
+#[derive(Debug)]
+pub struct SwitchModel {
+    dpid: u64,
+    ports: Vec<PhyPort>,
+    flows: Vec<FlowEntry>,
+    now_sec: u32,
+    next_xid: u32,
+}
+
+impl SwitchModel {
+    /// A switch with datapath id `dpid` and `n_ports` ports.
+    pub fn new(dpid: u64, n_ports: u16) -> Self {
+        let ports = (1..=n_ports)
+            .map(|p| {
+                let mut hw = [0u8; 6];
+                hw[..4].copy_from_slice(&(dpid as u32).to_be_bytes());
+                hw[4..].copy_from_slice(&p.to_be_bytes());
+                PhyPort { port_no: p, hw_addr: hw, name: format!("s{dpid}-eth{p}") }
+            })
+            .collect();
+        SwitchModel { dpid, ports, flows: Vec::new(), now_sec: 0, next_xid: 1 }
+    }
+
+    /// The datapath id.
+    pub fn dpid(&self) -> u64 {
+        self.dpid
+    }
+
+    /// Installed flows (inspection).
+    pub fn flows(&self) -> &[FlowEntry] {
+        &self.flows
+    }
+
+    /// Advances the switch's local clock (stats durations).
+    pub fn advance_time(&mut self, secs: u32) {
+        self.now_sec += secs;
+    }
+
+    fn xid(&mut self) -> u32 {
+        let x = self.next_xid;
+        self.next_xid += 1;
+        x
+    }
+
+    /// The HELLO the switch sends on connect.
+    pub fn hello(&mut self) -> Vec<u8> {
+        OfMessage::Hello { xid: self.xid() }.encode()
+    }
+
+    /// Handles one encoded controller-to-switch message and returns the
+    /// encoded replies the switch would send.
+    pub fn handle_bytes(&mut self, bytes: &[u8]) -> Result<Vec<Vec<u8>>, WireError> {
+        let msg = OfMessage::decode(bytes)?;
+        Ok(self.handle(msg).into_iter().map(|m| m.encode()).collect())
+    }
+
+    /// Handles a decoded message (the logic behind [`SwitchModel::handle_bytes`]).
+    pub fn handle(&mut self, msg: OfMessage) -> Vec<OfMessage> {
+        match msg {
+            OfMessage::Hello { .. } => Vec::new(),
+            OfMessage::EchoRequest { xid, data } => vec![OfMessage::EchoReply { xid, data }],
+            OfMessage::FeaturesRequest { xid } => vec![OfMessage::FeaturesReply {
+                xid,
+                datapath_id: self.dpid,
+                n_buffers: 256,
+                n_tables: 1,
+                capabilities: 0x0000_0001, // FLOW_STATS
+                ports: self.ports.clone(),
+            }],
+            OfMessage::FlowMod { match_, cookie, command, priority, actions, .. } => {
+                self.apply_flow_mod(match_, cookie, command, priority, actions);
+                Vec::new()
+            }
+            OfMessage::FlowStatsRequest { xid, match_, .. } => {
+                let flows = self
+                    .flows
+                    .iter()
+                    .filter(|f| match_.covers(&f.match_) || match_ == Match::any())
+                    .map(|f| FlowStatsEntry {
+                        table_id: 0,
+                        match_: f.match_,
+                        duration_sec: self.now_sec.saturating_sub(f.installed_at_sec),
+                        priority: f.priority,
+                        cookie: f.cookie,
+                        packet_count: f.packet_count,
+                        byte_count: f.byte_count,
+                        actions: f.actions.clone(),
+                    })
+                    .collect();
+                vec![OfMessage::FlowStatsReply { xid, flows }]
+            }
+            OfMessage::PacketOut { .. } => Vec::new(), // the sim handles forwarding
+            OfMessage::EchoReply { .. }
+            | OfMessage::FeaturesReply { .. }
+            | OfMessage::PacketIn { .. }
+            | OfMessage::FlowStatsReply { .. }
+            | OfMessage::PortStatus { .. } => Vec::new(), // switch-to-controller only
+            OfMessage::Error { .. } => Vec::new(),
+        }
+    }
+
+    fn apply_flow_mod(
+        &mut self,
+        match_: Match,
+        cookie: u64,
+        command: FlowModCommand,
+        priority: u16,
+        actions: Vec<Action>,
+    ) {
+        match command {
+            FlowModCommand::Add => {
+                // Identical match+priority replaces (per spec with
+                // OFPFF_CHECK_OVERLAP unset, ADD overwrites).
+                if let Some(f) = self
+                    .flows
+                    .iter_mut()
+                    .find(|f| f.match_ == match_ && f.priority == priority)
+                {
+                    f.actions = actions;
+                    f.cookie = cookie;
+                    return;
+                }
+                self.flows.push(FlowEntry {
+                    match_,
+                    priority,
+                    actions,
+                    cookie,
+                    packet_count: 0,
+                    byte_count: 0,
+                    installed_at_sec: self.now_sec,
+                });
+                // Keep highest priority first for lookup.
+                self.flows.sort_by_key(|f| std::cmp::Reverse(f.priority));
+            }
+            FlowModCommand::Modify => {
+                let mut touched = false;
+                for f in self.flows.iter_mut().filter(|f| match_.covers(&f.match_)) {
+                    f.actions = actions.clone();
+                    f.cookie = cookie;
+                    touched = true;
+                }
+                if !touched {
+                    // Per spec, MODIFY with no match acts like ADD.
+                    self.apply_flow_mod(match_, cookie, FlowModCommand::Add, priority, actions);
+                }
+            }
+            FlowModCommand::Delete => {
+                self.flows.retain(|f| !match_.covers(&f.match_));
+            }
+        }
+    }
+
+    /// Runs a packet (expressed as an exact-match header + size) through the
+    /// flow table. Returns the actions of the matching flow, or a `PacketIn`
+    /// to punt to the controller on table miss.
+    pub fn process_packet(&mut self, header: &Match, bytes: usize) -> Result<Vec<Action>, OfMessage> {
+        let xid = self.xid();
+        for f in self.flows.iter_mut() {
+            if f.match_.covers(header) {
+                f.packet_count += 1;
+                f.byte_count += bytes as u64;
+                return Ok(f.actions.clone());
+            }
+        }
+        Err(OfMessage::PacketIn {
+            xid,
+            buffer_id: u32::MAX,
+            total_len: bytes as u16,
+            in_port: header.in_port,
+            reason: PacketInReason::NoMatch,
+            data: encode_header_as_packet(header),
+        })
+    }
+
+    /// Directly accounts traffic to the flow matching `header` (used by the
+    /// simulator's fluid flow model, which doesn't emit per-packet events).
+    pub fn account_traffic(&mut self, header: &Match, packets: u64, bytes: u64) -> bool {
+        for f in self.flows.iter_mut() {
+            if f.match_.covers(header) {
+                f.packet_count += packets;
+                f.byte_count += bytes;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Renders a header as a minimal Ethernet/IPv4 packet so `PacketIn.data`
+/// carries parseable bytes.
+pub fn encode_header_as_packet(h: &Match) -> Vec<u8> {
+    let mut pkt = Vec::with_capacity(34);
+    pkt.extend_from_slice(&h.dl_dst);
+    pkt.extend_from_slice(&h.dl_src);
+    pkt.extend_from_slice(&0x0800u16.to_be_bytes());
+    // Minimal IPv4 header.
+    pkt.push(0x45);
+    pkt.push(h.nw_tos);
+    pkt.extend_from_slice(&20u16.to_be_bytes());
+    pkt.extend_from_slice(&[0; 5]);
+    pkt.push(h.nw_proto);
+    pkt.extend_from_slice(&[0, 0]); // checksum (unset in the model)
+    pkt.extend_from_slice(&h.nw_src.to_be_bytes());
+    pkt.extend_from_slice(&h.nw_dst.to_be_bytes());
+    pkt
+}
+
+/// Parses the destination/source MACs out of a packet produced by
+/// [`encode_header_as_packet`] (what a learning switch needs).
+pub fn parse_macs(data: &[u8]) -> Option<([u8; 6], [u8; 6])> {
+    if data.len() < 12 {
+        return None;
+    }
+    let mut dst = [0u8; 6];
+    let mut src = [0u8; 6];
+    dst.copy_from_slice(&data[0..6]);
+    src.copy_from_slice(&data[6..12]);
+    Some((dst, src))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::OFPP_CONTROLLER;
+
+    fn flow_mod(match_: Match, priority: u16, port: u16) -> OfMessage {
+        OfMessage::FlowMod {
+            xid: 1,
+            match_,
+            cookie: 0,
+            command: FlowModCommand::Add,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            priority,
+            actions: vec![Action::Output { port, max_len: 0 }],
+        }
+    }
+
+    #[test]
+    fn features_reply_describes_switch() {
+        let mut sw = SwitchModel::new(42, 4);
+        let replies = sw.handle(OfMessage::FeaturesRequest { xid: 9 });
+        match &replies[0] {
+            OfMessage::FeaturesReply { datapath_id, ports, xid, .. } => {
+                assert_eq!(*datapath_id, 42);
+                assert_eq!(ports.len(), 4);
+                assert_eq!(*xid, 9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn echo_is_answered_with_same_payload() {
+        let mut sw = SwitchModel::new(1, 1);
+        let replies = sw.handle(OfMessage::EchoRequest { xid: 3, data: vec![9, 8] });
+        assert_eq!(replies, vec![OfMessage::EchoReply { xid: 3, data: vec![9, 8] }]);
+    }
+
+    #[test]
+    fn table_miss_punts_to_controller() {
+        let mut sw = SwitchModel::new(1, 2);
+        let header = Match { wildcards: 0, in_port: 1, ..Default::default() };
+        let err = sw.process_packet(&header, 64).unwrap_err();
+        match err {
+            OfMessage::PacketIn { reason, in_port, .. } => {
+                assert_eq!(reason, PacketInReason::NoMatch);
+                assert_eq!(in_port, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn installed_flow_matches_and_counts() {
+        let mut sw = SwitchModel::new(1, 2);
+        let m = Match::nw_pair(10, 20);
+        sw.handle(flow_mod(m, 10, 2));
+        let header = Match { wildcards: 0, nw_src: 10, nw_dst: 20, ..Default::default() };
+        let actions = sw.process_packet(&header, 100).unwrap();
+        assert_eq!(actions, vec![Action::Output { port: 2, max_len: 0 }]);
+        assert_eq!(sw.flows()[0].packet_count, 1);
+        assert_eq!(sw.flows()[0].byte_count, 100);
+    }
+
+    #[test]
+    fn higher_priority_wins() {
+        let mut sw = SwitchModel::new(1, 2);
+        sw.handle(flow_mod(Match::any(), 1, 1));
+        sw.handle(flow_mod(Match::nw_pair(10, 20), 100, 2));
+        let header = Match { wildcards: 0, nw_src: 10, nw_dst: 20, ..Default::default() };
+        let actions = sw.process_packet(&header, 60).unwrap();
+        assert_eq!(actions, vec![Action::Output { port: 2, max_len: 0 }]);
+    }
+
+    #[test]
+    fn add_same_match_replaces() {
+        let mut sw = SwitchModel::new(1, 2);
+        sw.handle(flow_mod(Match::any(), 5, 1));
+        sw.handle(flow_mod(Match::any(), 5, 3));
+        assert_eq!(sw.flows().len(), 1);
+        assert_eq!(sw.flows()[0].actions, vec![Action::Output { port: 3, max_len: 0 }]);
+    }
+
+    #[test]
+    fn delete_removes_covered_flows() {
+        let mut sw = SwitchModel::new(1, 2);
+        sw.handle(flow_mod(Match::nw_pair(1, 2), 5, 1));
+        sw.handle(flow_mod(Match::nw_pair(3, 4), 5, 2));
+        sw.handle(OfMessage::FlowMod {
+            xid: 1,
+            match_: Match::any(),
+            cookie: 0,
+            command: FlowModCommand::Delete,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            priority: 0,
+            actions: vec![],
+        });
+        assert!(sw.flows().is_empty());
+    }
+
+    #[test]
+    fn stats_reply_reports_counters_over_the_wire() {
+        let mut sw = SwitchModel::new(7, 2);
+        sw.handle(flow_mod(Match::nw_pair(1, 2), 5, 1));
+        let header = Match { wildcards: 0, nw_src: 1, nw_dst: 2, ..Default::default() };
+        sw.process_packet(&header, 500).unwrap();
+        sw.advance_time(3);
+
+        let req = OfMessage::FlowStatsRequest { xid: 77, match_: Match::any(), table_id: 0xFF };
+        let replies = sw.handle_bytes(&req.encode()).unwrap();
+        assert_eq!(replies.len(), 1);
+        let reply = OfMessage::decode(&replies[0]).unwrap();
+        match reply {
+            OfMessage::FlowStatsReply { xid, flows } => {
+                assert_eq!(xid, 77);
+                assert_eq!(flows.len(), 1);
+                assert_eq!(flows[0].byte_count, 500);
+                assert_eq!(flows[0].duration_sec, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn account_traffic_feeds_counters() {
+        let mut sw = SwitchModel::new(1, 2);
+        sw.handle(flow_mod(Match::nw_pair(1, 2), 5, 1));
+        let header = Match { wildcards: 0, nw_src: 1, nw_dst: 2, ..Default::default() };
+        assert!(sw.account_traffic(&header, 10, 1000));
+        assert!(!sw.account_traffic(&Match { wildcards: 0, nw_src: 9, nw_dst: 9, ..Default::default() }, 1, 1));
+        assert_eq!(sw.flows()[0].packet_count, 10);
+    }
+
+    #[test]
+    fn packet_header_roundtrips_macs() {
+        let h = Match {
+            dl_src: [1, 1, 1, 1, 1, 1],
+            dl_dst: [2, 2, 2, 2, 2, 2],
+            ..Default::default()
+        };
+        let pkt = encode_header_as_packet(&h);
+        let (dst, src) = parse_macs(&pkt).unwrap();
+        assert_eq!(dst, [2, 2, 2, 2, 2, 2]);
+        assert_eq!(src, [1, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn controller_bound_messages_are_ignored_by_switch() {
+        let mut sw = SwitchModel::new(1, 1);
+        assert!(sw
+            .handle(OfMessage::PacketIn {
+                xid: 1,
+                buffer_id: 0,
+                total_len: 0,
+                in_port: 1,
+                reason: PacketInReason::NoMatch,
+                data: vec![]
+            })
+            .is_empty());
+        let _ = OFPP_CONTROLLER;
+    }
+}

@@ -1,0 +1,299 @@
+//! The in-memory replicated log with snapshot-based compaction.
+//!
+//! Indexing is 1-based. After compaction the log keeps `snapshot_index` /
+//! `snapshot_term` as the virtual entry preceding its first real entry.
+
+use crate::types::{Entry, LogIndex, Term};
+
+/// The replicated log of a single node.
+#[derive(Debug, Clone, Default)]
+pub struct RaftLog {
+    /// Entries after the snapshot point, ordered by index.
+    entries: Vec<Entry>,
+    /// Index covered by the latest snapshot (0 = none).
+    snapshot_index: LogIndex,
+    /// Term of the entry at `snapshot_index`.
+    snapshot_term: Term,
+}
+
+impl RaftLog {
+    /// An empty log with no snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Restores a log from persisted parts.
+    pub fn from_parts(snapshot_index: LogIndex, snapshot_term: Term, entries: Vec<Entry>) -> Self {
+        debug_assert!(entries
+            .windows(2)
+            .all(|w| w[1].index == w[0].index + 1));
+        debug_assert!(entries.first().is_none_or(|e| e.index == snapshot_index + 1));
+        RaftLog { entries, snapshot_index, snapshot_term }
+    }
+
+    /// Index of the last entry (or of the snapshot if the log is empty).
+    pub fn last_index(&self) -> LogIndex {
+        self.entries.last().map_or(self.snapshot_index, |e| e.index)
+    }
+
+    /// Term of the last entry (or of the snapshot if the log is empty).
+    pub fn last_term(&self) -> Term {
+        self.entries.last().map_or(self.snapshot_term, |e| e.term)
+    }
+
+    /// Index the current snapshot covers (0 when no snapshot was taken).
+    pub fn snapshot_index(&self) -> LogIndex {
+        self.snapshot_index
+    }
+
+    /// Term at the snapshot point.
+    pub fn snapshot_term(&self) -> Term {
+        self.snapshot_term
+    }
+
+    /// First index still present as a real entry.
+    pub fn first_index(&self) -> LogIndex {
+        self.snapshot_index + 1
+    }
+
+    /// Number of real (non-compacted) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no real entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Term of the entry at `index`. Returns `None` when the index was
+    /// compacted away (and isn't the snapshot point) or lies beyond the log.
+    pub fn term_at(&self, index: LogIndex) -> Option<Term> {
+        if index == 0 {
+            return Some(0);
+        }
+        if index == self.snapshot_index {
+            return Some(self.snapshot_term);
+        }
+        if index < self.first_index() || index > self.last_index() {
+            return None;
+        }
+        Some(self.entries[(index - self.first_index()) as usize].term)
+    }
+
+    /// The entry at `index`, if present.
+    pub fn entry_at(&self, index: LogIndex) -> Option<&Entry> {
+        if index < self.first_index() || index > self.last_index() {
+            return None;
+        }
+        Some(&self.entries[(index - self.first_index()) as usize])
+    }
+
+    /// Entries in `[from, to_inclusive]`, clamped to what exists, at most
+    /// `max` of them.
+    pub fn slice(&self, from: LogIndex, to_inclusive: LogIndex, max: usize) -> Vec<Entry> {
+        let from = from.max(self.first_index());
+        let to = to_inclusive.min(self.last_index());
+        if from > to {
+            return Vec::new();
+        }
+        let start = (from - self.first_index()) as usize;
+        let end = (to - self.first_index() + 1) as usize;
+        self.entries[start..end].iter().take(max).cloned().collect()
+    }
+
+    /// Appends a leader-created entry (index assigned automatically).
+    pub fn append_new(&mut self, term: Term, data: Vec<u8>, kind: crate::types::EntryKind) -> LogIndex {
+        let index = self.last_index() + 1;
+        self.entries.push(Entry { term, index, data, kind });
+        index
+    }
+
+    /// Follower-side append: truncates on conflict, skips duplicates, appends
+    /// the rest (Raft §5.3 receiver rules 3–4). Entries must be contiguous.
+    /// Returns the new last index.
+    pub fn append_entries(&mut self, incoming: &[Entry]) -> LogIndex {
+        for entry in incoming {
+            match self.term_at(entry.index) {
+                Some(t) if t == entry.term => continue, // already have it
+                Some(_) => {
+                    // Conflict: drop this entry and everything after it.
+                    if entry.index <= self.snapshot_index {
+                        // Cannot truncate into the snapshot; entries there are
+                        // committed and must agree. Skip defensively.
+                        continue;
+                    }
+                    let keep = (entry.index - self.first_index()) as usize;
+                    self.entries.truncate(keep);
+                    self.entries.push(entry.clone());
+                }
+                None => {
+                    if entry.index == self.last_index() + 1 {
+                        self.entries.push(entry.clone());
+                    }
+                    // else: gap; caller's prev-check should prevent this.
+                }
+            }
+        }
+        self.last_index()
+    }
+
+    /// Whether a candidate's log is at least as up-to-date as ours (§5.4.1).
+    pub fn candidate_up_to_date(&self, last_log_index: LogIndex, last_log_term: Term) -> bool {
+        (last_log_term, last_log_index) >= (self.last_term(), self.last_index())
+    }
+
+    /// Discards entries up to and including `index`, recording the snapshot
+    /// point. No-op if `index` is not beyond the current snapshot.
+    pub fn compact(&mut self, index: LogIndex) {
+        if index <= self.snapshot_index {
+            return;
+        }
+        let term = self.term_at(index).expect("compact index must be in log");
+        let first = self.first_index();
+        let drop = ((index - first) + 1) as usize;
+        self.entries.drain(..drop.min(self.entries.len()));
+        self.snapshot_index = index;
+        self.snapshot_term = term;
+    }
+
+    /// Resets the log to a snapshot received from the leader.
+    pub fn reset_to_snapshot(&mut self, index: LogIndex, term: Term) {
+        self.entries.clear();
+        self.snapshot_index = index;
+        self.snapshot_term = term;
+    }
+
+    /// For the leader's conflict-backoff optimization: the first index of the
+    /// term containing `index`, used as `conflict_index` hints.
+    pub fn first_index_of_term_at(&self, index: LogIndex) -> LogIndex {
+        let Some(term) = self.term_at(index) else { return self.first_index() };
+        let mut i = index;
+        while i > self.first_index() && self.term_at(i - 1) == Some(term) {
+            i -= 1;
+        }
+        i
+    }
+
+    /// All stored entries (for persistence).
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::EntryKind;
+
+    fn entry(term: Term, index: LogIndex) -> Entry {
+        Entry { term, index, data: vec![index as u8], kind: EntryKind::Normal }
+    }
+
+    fn log_with(terms: &[Term]) -> RaftLog {
+        let mut log = RaftLog::new();
+        for (i, &t) in terms.iter().enumerate() {
+            log.append_entries(&[entry(t, (i + 1) as LogIndex)]);
+        }
+        log
+    }
+
+    #[test]
+    fn empty_log_defaults() {
+        let log = RaftLog::new();
+        assert_eq!(log.last_index(), 0);
+        assert_eq!(log.last_term(), 0);
+        assert_eq!(log.term_at(0), Some(0));
+        assert_eq!(log.term_at(1), None);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn append_new_assigns_indices() {
+        let mut log = RaftLog::new();
+        assert_eq!(log.append_new(1, vec![], EntryKind::Noop), 1);
+        assert_eq!(log.append_new(1, vec![1], EntryKind::Normal), 2);
+        assert_eq!(log.last_index(), 2);
+        assert_eq!(log.term_at(1), Some(1));
+    }
+
+    #[test]
+    fn append_entries_truncates_on_conflict() {
+        let mut log = log_with(&[1, 1, 2, 2]);
+        // New leader in term 3 overwrites index 3 onward.
+        log.append_entries(&[entry(3, 3)]);
+        assert_eq!(log.last_index(), 3);
+        assert_eq!(log.term_at(3), Some(3));
+        assert_eq!(log.term_at(4), None);
+    }
+
+    #[test]
+    fn append_entries_idempotent() {
+        let mut log = log_with(&[1, 1]);
+        log.append_entries(&[entry(1, 1), entry(1, 2)]);
+        assert_eq!(log.last_index(), 2);
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn slice_respects_bounds_and_max() {
+        let log = log_with(&[1, 1, 1, 2, 2]);
+        let s = log.slice(2, 4, 10);
+        assert_eq!(s.iter().map(|e| e.index).collect::<Vec<_>>(), vec![2, 3, 4]);
+        let s = log.slice(1, 5, 2);
+        assert_eq!(s.len(), 2);
+        assert!(log.slice(6, 9, 10).is_empty());
+    }
+
+    #[test]
+    fn up_to_date_comparison() {
+        let log = log_with(&[1, 2, 2]);
+        assert!(log.candidate_up_to_date(3, 2)); // equal
+        assert!(log.candidate_up_to_date(4, 2)); // longer same term
+        assert!(log.candidate_up_to_date(1, 3)); // higher term wins
+        assert!(!log.candidate_up_to_date(2, 2)); // shorter same term
+        assert!(!log.candidate_up_to_date(9, 1)); // lower term loses
+    }
+
+    #[test]
+    fn compact_then_query() {
+        let mut log = log_with(&[1, 1, 2, 2, 3]);
+        log.compact(3);
+        assert_eq!(log.snapshot_index(), 3);
+        assert_eq!(log.snapshot_term(), 2);
+        assert_eq!(log.first_index(), 4);
+        assert_eq!(log.term_at(3), Some(2)); // snapshot point still answers
+        assert_eq!(log.term_at(2), None); // compacted away
+        assert_eq!(log.last_index(), 5);
+        // compaction is idempotent / monotonic
+        log.compact(2);
+        assert_eq!(log.snapshot_index(), 3);
+    }
+
+    #[test]
+    fn reset_to_snapshot_clears_entries() {
+        let mut log = log_with(&[1, 2, 3]);
+        log.reset_to_snapshot(10, 4);
+        assert_eq!(log.last_index(), 10);
+        assert_eq!(log.last_term(), 4);
+        assert!(log.is_empty());
+        assert_eq!(log.first_index(), 11);
+    }
+
+    #[test]
+    fn conflict_hint_finds_term_start() {
+        let log = log_with(&[1, 1, 2, 2, 2, 3]);
+        assert_eq!(log.first_index_of_term_at(5), 3);
+        assert_eq!(log.first_index_of_term_at(2), 1);
+        assert_eq!(log.first_index_of_term_at(6), 6);
+    }
+
+    #[test]
+    fn append_after_compaction() {
+        let mut log = log_with(&[1, 1, 1]);
+        log.compact(3);
+        log.append_entries(&[entry(2, 4)]);
+        assert_eq!(log.last_index(), 4);
+        assert_eq!(log.len(), 1);
+    }
+}

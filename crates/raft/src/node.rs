@@ -1,0 +1,762 @@
+//! The sans-IO Raft node: pure state transitions driven by `tick` and `step`.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::Config;
+use crate::log::RaftLog;
+use crate::storage::{HardState, SnapshotRecord, Storage};
+use crate::types::{Entry, EntryKind, LogIndex, NodeId, RaftMessage, Term};
+use crate::StateMachine;
+
+/// A node's current role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Passive replica (Raft §5.2).
+    Follower,
+    /// Probing whether a real election could succeed (pre-vote, §9.6).
+    PreCandidate,
+    /// Soliciting votes after an election timeout.
+    Candidate,
+    /// The (unique per term) log authority.
+    Leader,
+}
+
+/// A message the embedder must deliver to `to`.
+#[derive(Debug, Clone)]
+pub struct Outbound {
+    /// Destination node.
+    pub to: NodeId,
+    /// The RPC payload.
+    pub msg: RaftMessage,
+}
+
+/// A committed entry that has been applied to the local state machine.
+#[derive(Debug, Clone)]
+pub struct Applied<O> {
+    /// Log index of the applied entry.
+    pub index: LogIndex,
+    /// Term of the applied entry.
+    pub term: Term,
+    /// Correlation token if this node proposed the entry (see
+    /// [`RaftNode::propose`]).
+    pub token: Option<u64>,
+    /// The state machine's output for the entry.
+    pub output: O,
+}
+
+/// Why a proposal was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProposeError {
+    /// Only leaders accept proposals; the hint (if any) names the likely
+    /// leader for the embedder to forward to.
+    NotLeader(Option<NodeId>),
+}
+
+impl std::fmt::Display for ProposeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProposeError::NotLeader(hint) => write!(f, "not the leader (hint: {hint:?})"),
+        }
+    }
+}
+
+impl std::error::Error for ProposeError {}
+
+/// A Raft consensus participant bound to a replicated [`StateMachine`].
+pub struct RaftNode<SM: StateMachine> {
+    id: NodeId,
+    /// Other voting members.
+    peers: Vec<NodeId>,
+    /// Non-voting members (learners): replicated to, never counted for
+    /// quorum, never campaign. Beehive registers non-registry-voter hives as
+    /// learners so every hive can serve cell lookups from a local mirror.
+    learners: Vec<NodeId>,
+    /// Whether this node itself is a learner.
+    is_learner: bool,
+    cfg: Config,
+    rng: StdRng,
+
+    role: Role,
+    term: Term,
+    voted_for: Option<NodeId>,
+    leader_hint: Option<NodeId>,
+
+    log: RaftLog,
+    commit_index: LogIndex,
+    last_applied: LogIndex,
+    sm: SM,
+    storage: Box<dyn Storage>,
+
+    election_elapsed: u64,
+    randomized_timeout: u64,
+    heartbeat_elapsed: u64,
+
+    votes: HashSet<NodeId>,
+    pre_votes: HashSet<NodeId>,
+    next_index: HashMap<NodeId, LogIndex>,
+    match_index: HashMap<NodeId, LogIndex>,
+
+    next_token: u64,
+    pending: HashMap<LogIndex, (Term, u64)>,
+    applied_buf: Vec<Applied<SM::Output>>,
+}
+
+impl<SM: StateMachine> RaftNode<SM> {
+    /// Creates a voting node. `peers` lists the *other* voting members.
+    /// Persisted state in `storage` (if any) is restored.
+    pub fn new(id: NodeId, peers: Vec<NodeId>, cfg: Config, sm: SM, storage: Box<dyn Storage>) -> Self {
+        Self::with_membership(id, peers, Vec::new(), false, cfg, sm, storage)
+    }
+
+    /// Creates a non-voting learner that follows the `voters` group: it
+    /// receives and applies the log but never votes or campaigns.
+    pub fn new_learner(
+        id: NodeId,
+        voters: Vec<NodeId>,
+        cfg: Config,
+        sm: SM,
+        storage: Box<dyn Storage>,
+    ) -> Self {
+        Self::with_membership(id, voters, Vec::new(), true, cfg, sm, storage)
+    }
+
+    /// Full-control constructor: `peers` are the other voters, `learners` the
+    /// non-voting members this node (when leading) must replicate to.
+    pub fn with_membership(
+        id: NodeId,
+        peers: Vec<NodeId>,
+        learners: Vec<NodeId>,
+        is_learner: bool,
+        cfg: Config,
+        sm: SM,
+        storage: Box<dyn Storage>,
+    ) -> Self {
+        cfg.validate().expect("invalid raft config");
+        debug_assert!(!peers.contains(&id), "peers must not include self");
+        debug_assert!(!learners.contains(&id), "learners must not include self");
+        let mut node = RaftNode {
+            rng: StdRng::seed_from_u64(cfg.rng_seed ^ id.wrapping_mul(0x9E3779B97F4A7C15)),
+            id,
+            peers,
+            learners,
+            is_learner,
+            cfg,
+            role: Role::Follower,
+            term: 0,
+            voted_for: None,
+            leader_hint: None,
+            log: RaftLog::new(),
+            commit_index: 0,
+            last_applied: 0,
+            sm,
+            storage,
+            election_elapsed: 0,
+            randomized_timeout: 0,
+            heartbeat_elapsed: 0,
+            votes: HashSet::new(),
+            pre_votes: HashSet::new(),
+            next_index: HashMap::new(),
+            match_index: HashMap::new(),
+            next_token: 1,
+            pending: HashMap::new(),
+            applied_buf: Vec::new(),
+        };
+        if let Some(persisted) = node.storage.load() {
+            node.term = persisted.hard_state.term;
+            node.voted_for = persisted.hard_state.voted_for;
+            node.log = RaftLog::from_parts(
+                persisted.snapshot_index,
+                persisted.snapshot_term,
+                persisted.entries,
+            );
+            if let Some(snap) = persisted.snapshot {
+                node.sm.restore(&snap.data);
+                node.commit_index = snap.index;
+                node.last_applied = snap.index;
+            }
+        }
+        node.reset_election_timer();
+        node
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Current role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Whether this node currently believes it is the leader.
+    pub fn is_leader(&self) -> bool {
+        self.role == Role::Leader
+    }
+
+    /// Whether this node is a non-voting learner.
+    pub fn is_learner(&self) -> bool {
+        self.is_learner
+    }
+
+    /// Current term.
+    pub fn term(&self) -> Term {
+        self.term
+    }
+
+    /// Highest committed index.
+    pub fn commit_index(&self) -> LogIndex {
+        self.commit_index
+    }
+
+    /// Highest applied index.
+    pub fn last_applied(&self) -> LogIndex {
+        self.last_applied
+    }
+
+    /// The node this one believes to be leader (itself when leading).
+    pub fn leader_hint(&self) -> Option<NodeId> {
+        if self.role == Role::Leader {
+            Some(self.id)
+        } else {
+            self.leader_hint
+        }
+    }
+
+    /// Read-only view of the local state machine. Reads through this view on
+    /// a non-leader may be stale; Beehive routes linearizable operations
+    /// through [`RaftNode::propose`].
+    pub fn state_machine(&self) -> &SM {
+        &self.sm
+    }
+
+    /// The local log (inspection/testing).
+    pub fn log(&self) -> &RaftLog {
+        &self.log
+    }
+
+    /// Cluster size including self.
+    pub fn cluster_size(&self) -> usize {
+        self.peers.len() + 1
+    }
+
+    fn majority(&self) -> usize {
+        self.cluster_size() / 2 + 1
+    }
+
+    /// Drains entries applied since the last call.
+    pub fn take_applied(&mut self) -> Vec<Applied<SM::Output>> {
+        std::mem::take(&mut self.applied_buf)
+    }
+
+    /// Advances logical time by one tick, possibly starting an election or
+    /// emitting heartbeats.
+    pub fn tick(&mut self) -> Vec<Outbound> {
+        match self.role {
+            Role::Leader => {
+                self.heartbeat_elapsed += 1;
+                if self.heartbeat_elapsed >= self.cfg.heartbeat_interval {
+                    self.heartbeat_elapsed = 0;
+                    return self.broadcast_appends();
+                }
+                Vec::new()
+            }
+            Role::Follower | Role::Candidate | Role::PreCandidate => {
+                if self.is_learner {
+                    // Learners never campaign.
+                    return Vec::new();
+                }
+                self.election_elapsed += 1;
+                if self.election_elapsed >= self.randomized_timeout {
+                    if self.cfg.pre_vote {
+                        return self.start_pre_vote();
+                    }
+                    return self.start_election();
+                }
+                Vec::new()
+            }
+        }
+    }
+
+    /// Proposes a command. Returns a token that will come back in
+    /// [`Applied::token`] when the entry commits and applies locally.
+    pub fn propose(&mut self, data: Vec<u8>) -> Result<u64, ProposeError> {
+        if self.role != Role::Leader {
+            return Err(ProposeError::NotLeader(self.leader_hint()));
+        }
+        let index = self.log.append_new(self.term, data, EntryKind::Normal);
+        let token = self.next_token;
+        self.next_token += 1;
+        self.pending.insert(index, (self.term, token));
+        self.persist_log();
+        self.advance_commit();
+        Ok(token)
+    }
+
+    /// Like [`RaftNode::propose`] but immediately returns the messages needed
+    /// to replicate the entry, instead of waiting for the next heartbeat.
+    pub fn propose_now(&mut self, data: Vec<u8>) -> Result<(u64, Vec<Outbound>), ProposeError> {
+        let token = self.propose(data)?;
+        Ok((token, self.broadcast_appends()))
+    }
+
+    /// Processes an inbound RPC from `from`, returning replies / follow-ups.
+    pub fn step(&mut self, from: NodeId, msg: RaftMessage) -> Vec<Outbound> {
+        let is_pre_vote =
+            matches!(msg, RaftMessage::PreVote { .. } | RaftMessage::PreVoteResp { .. });
+        if !is_pre_vote && msg.term() > self.term {
+            self.become_follower(msg.term(), None);
+        }
+        match msg {
+            RaftMessage::RequestVote { term, last_log_index, last_log_term } => {
+                self.on_request_vote(from, term, last_log_index, last_log_term)
+            }
+            RaftMessage::RequestVoteResp { term, granted } => {
+                self.on_request_vote_resp(from, term, granted)
+            }
+            RaftMessage::AppendEntries { term, prev_log_index, prev_log_term, entries, leader_commit } => {
+                self.on_append_entries(from, term, prev_log_index, prev_log_term, entries, leader_commit)
+            }
+            RaftMessage::AppendEntriesResp { term, success, match_index, conflict_index } => {
+                self.on_append_entries_resp(from, term, success, match_index, conflict_index)
+            }
+            RaftMessage::InstallSnapshot { term, last_index, last_term, data } => {
+                self.on_install_snapshot(from, term, last_index, last_term, data)
+            }
+            RaftMessage::InstallSnapshotResp { term, match_index } => {
+                self.on_install_snapshot_resp(from, term, match_index)
+            }
+            RaftMessage::PreVote { term, last_log_index, last_log_term } => {
+                self.on_pre_vote(from, term, last_log_index, last_log_term)
+            }
+            RaftMessage::PreVoteResp { term, granted } => {
+                self.on_pre_vote_resp(from, term, granted)
+            }
+        }
+    }
+
+    // ----- elections -----
+
+    fn reset_election_timer(&mut self) {
+        self.election_elapsed = 0;
+        self.randomized_timeout = self
+            .rng
+            .gen_range(self.cfg.election_timeout_min..=self.cfg.election_timeout_max);
+    }
+
+    fn start_election(&mut self) -> Vec<Outbound> {
+        self.role = Role::Candidate;
+        self.term += 1;
+        self.voted_for = Some(self.id);
+        self.leader_hint = None;
+        self.votes.clear();
+        self.pre_votes.clear();
+        self.votes.insert(self.id);
+        self.persist_hard_state();
+        self.reset_election_timer();
+        if self.votes.len() >= self.majority() {
+            // Single-node cluster: win immediately.
+            return self.become_leader();
+        }
+        let msg = RaftMessage::RequestVote {
+            term: self.term,
+            last_log_index: self.log.last_index(),
+            last_log_term: self.log.last_term(),
+        };
+        self.peers.iter().map(|&to| Outbound { to, msg: msg.clone() }).collect()
+    }
+
+    fn start_pre_vote(&mut self) -> Vec<Outbound> {
+        self.role = Role::PreCandidate;
+        self.pre_votes.clear();
+        self.pre_votes.insert(self.id);
+        self.reset_election_timer();
+        if self.pre_votes.len() >= self.majority() {
+            // Single-node cluster: skip straight to the real election.
+            return self.start_election();
+        }
+        let msg = RaftMessage::PreVote {
+            term: self.term + 1,
+            last_log_index: self.log.last_index(),
+            last_log_term: self.log.last_term(),
+        };
+        self.peers.iter().map(|&to| Outbound { to, msg: msg.clone() }).collect()
+    }
+
+    fn on_pre_vote(
+        &mut self,
+        from: NodeId,
+        term: Term,
+        last_log_index: LogIndex,
+        last_log_term: Term,
+    ) -> Vec<Outbound> {
+        // Answer without mutating any state: would we vote for this log at
+        // that term?
+        let granted = !self.is_learner
+            && term > self.term
+            && self.log.candidate_up_to_date(last_log_index, last_log_term);
+        vec![Outbound { to: from, msg: RaftMessage::PreVoteResp { term, granted } }]
+    }
+
+    fn on_pre_vote_resp(&mut self, from: NodeId, term: Term, granted: bool) -> Vec<Outbound> {
+        if self.role != Role::PreCandidate || term != self.term + 1 || !granted {
+            return Vec::new();
+        }
+        self.pre_votes.insert(from);
+        if self.pre_votes.len() >= self.majority() {
+            return self.start_election();
+        }
+        Vec::new()
+    }
+
+    fn on_request_vote(
+        &mut self,
+        from: NodeId,
+        term: Term,
+        last_log_index: LogIndex,
+        last_log_term: Term,
+    ) -> Vec<Outbound> {
+        let granted = !self.is_learner
+            && term == self.term
+            && self.role == Role::Follower
+            && (self.voted_for.is_none() || self.voted_for == Some(from))
+            && self.log.candidate_up_to_date(last_log_index, last_log_term);
+        if granted {
+            self.voted_for = Some(from);
+            self.persist_hard_state();
+            self.reset_election_timer();
+        }
+        vec![Outbound { to: from, msg: RaftMessage::RequestVoteResp { term: self.term, granted } }]
+    }
+
+    fn on_request_vote_resp(&mut self, from: NodeId, term: Term, granted: bool) -> Vec<Outbound> {
+        if self.role != Role::Candidate || term != self.term || !granted {
+            return Vec::new();
+        }
+        self.votes.insert(from);
+        if self.votes.len() >= self.majority() {
+            return self.become_leader();
+        }
+        Vec::new()
+    }
+
+    fn become_leader(&mut self) -> Vec<Outbound> {
+        self.role = Role::Leader;
+        self.leader_hint = Some(self.id);
+        self.heartbeat_elapsed = 0;
+        let next = self.log.last_index() + 1;
+        self.next_index = self.repl_targets().map(|p| (p, next)).collect();
+        self.match_index = self.repl_targets().map(|p| (p, 0)).collect();
+        // Commit a no-op to learn the commit point of previous terms (§5.4.2).
+        self.log.append_new(self.term, Vec::new(), EntryKind::Noop);
+        self.persist_log();
+        self.advance_commit();
+        self.broadcast_appends()
+    }
+
+    fn become_follower(&mut self, term: Term, leader: Option<NodeId>) {
+        let term_changed = term != self.term;
+        self.role = Role::Follower;
+        self.term = term;
+        if term_changed {
+            self.voted_for = None;
+        }
+        self.leader_hint = leader;
+        self.votes.clear();
+        self.pre_votes.clear();
+        if term_changed {
+            self.persist_hard_state();
+        }
+        self.reset_election_timer();
+    }
+
+    // ----- replication -----
+
+    fn append_for(&mut self, peer: NodeId) -> Outbound {
+        let next = *self.next_index.get(&peer).unwrap_or(&1);
+        if next <= self.log.snapshot_index() {
+            // Peer is behind our compaction horizon: ship a snapshot.
+            return Outbound {
+                to: peer,
+                msg: RaftMessage::InstallSnapshot {
+                    term: self.term,
+                    last_index: self.log.snapshot_index(),
+                    last_term: self.log.snapshot_term(),
+                    data: self.sm.snapshot(),
+                },
+            };
+        }
+        let prev_log_index = next - 1;
+        let prev_log_term = self.log.term_at(prev_log_index).unwrap_or(0);
+        let entries =
+            self.log.slice(next, self.log.last_index(), self.cfg.max_entries_per_append);
+        Outbound {
+            to: peer,
+            msg: RaftMessage::AppendEntries {
+                term: self.term,
+                prev_log_index,
+                prev_log_term,
+                entries,
+                leader_commit: self.commit_index,
+            },
+        }
+    }
+
+    fn broadcast_appends(&mut self) -> Vec<Outbound> {
+        let targets: Vec<NodeId> = self.repl_targets().collect();
+        targets.into_iter().map(|p| self.append_for(p)).collect()
+    }
+
+    /// Everyone the leader replicates to: other voters plus learners.
+    fn repl_targets(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.peers.iter().chain(self.learners.iter()).copied()
+    }
+
+    fn on_append_entries(
+        &mut self,
+        from: NodeId,
+        term: Term,
+        prev_log_index: LogIndex,
+        prev_log_term: Term,
+        entries: Vec<Entry>,
+        leader_commit: LogIndex,
+    ) -> Vec<Outbound> {
+        if term < self.term {
+            return vec![Outbound {
+                to: from,
+                msg: RaftMessage::AppendEntriesResp {
+                    term: self.term,
+                    success: false,
+                    match_index: 0,
+                    conflict_index: 0,
+                },
+            }];
+        }
+        // Equal (or just-raised) term: `from` is the legitimate leader.
+        self.become_follower(term, Some(from));
+
+        // Entries at or below our snapshot are committed and necessarily match.
+        let effective_prev_ok = if prev_log_index <= self.log.snapshot_index() {
+            true
+        } else {
+            self.log.term_at(prev_log_index) == Some(prev_log_term)
+        };
+        if !effective_prev_ok {
+            let conflict_index = if prev_log_index > self.log.last_index() {
+                self.log.last_index() + 1
+            } else {
+                self.log.first_index_of_term_at(prev_log_index)
+            };
+            return vec![Outbound {
+                to: from,
+                msg: RaftMessage::AppendEntriesResp {
+                    term: self.term,
+                    success: false,
+                    match_index: 0,
+                    conflict_index,
+                },
+            }];
+        }
+
+        let new: Vec<Entry> =
+            entries.into_iter().filter(|e| e.index > self.log.snapshot_index()).collect();
+        let match_index = match new.last() {
+            Some(last_new) => last_new.index,
+            None => prev_log_index.max(self.log.snapshot_index()),
+        };
+        if !new.is_empty() {
+            self.log.append_entries(&new);
+            self.persist_log();
+        }
+        let new_commit = leader_commit.min(match_index);
+        if new_commit > self.commit_index {
+            self.commit_index = new_commit;
+            self.apply_committed();
+        }
+        vec![Outbound {
+            to: from,
+            msg: RaftMessage::AppendEntriesResp {
+                term: self.term,
+                success: true,
+                match_index,
+                conflict_index: 0,
+            },
+        }]
+    }
+
+    fn on_append_entries_resp(
+        &mut self,
+        from: NodeId,
+        term: Term,
+        success: bool,
+        match_index: LogIndex,
+        conflict_index: LogIndex,
+    ) -> Vec<Outbound> {
+        if self.role != Role::Leader || term != self.term {
+            return Vec::new();
+        }
+        if success {
+            let m = self.match_index.entry(from).or_insert(0);
+            if match_index > *m {
+                *m = match_index;
+            }
+            self.next_index.insert(from, match_index + 1);
+            self.advance_commit();
+            // Pipeline: if the follower is still behind, keep shipping.
+            if *self.next_index.get(&from).unwrap() <= self.log.last_index() {
+                return vec![self.append_for(from)];
+            }
+            Vec::new()
+        } else {
+            let next = self.next_index.entry(from).or_insert(1);
+            let fallback = (*next).saturating_sub(1).max(1);
+            *next = if conflict_index > 0 { conflict_index.min(fallback) } else { fallback };
+            vec![self.append_for(from)]
+        }
+    }
+
+    fn advance_commit(&mut self) {
+        if self.role != Role::Leader {
+            return;
+        }
+        let last = self.log.last_index();
+        let mut n = last;
+        while n > self.commit_index {
+            // Only entries from the current term commit by counting (§5.4.2).
+            if self.log.term_at(n) == Some(self.term) {
+                // Only voters count toward the quorum; learners are excluded.
+                let replicas = 1 + self
+                    .peers
+                    .iter()
+                    .filter(|p| self.match_index.get(p).is_some_and(|&m| m >= n))
+                    .count();
+                if replicas >= self.majority() {
+                    self.commit_index = n;
+                    self.apply_committed();
+                    return;
+                }
+            }
+            n -= 1;
+        }
+    }
+
+    fn apply_committed(&mut self) {
+        while self.last_applied < self.commit_index {
+            let idx = self.last_applied + 1;
+            let entry = self
+                .log
+                .entry_at(idx)
+                .cloned()
+                .expect("applying entry that was compacted before application");
+            self.last_applied = idx;
+            if entry.kind == EntryKind::Normal {
+                let output = self.sm.apply(entry.index, &entry.data);
+                let token = match self.pending.remove(&idx) {
+                    Some((t, tok)) if t == entry.term => Some(tok),
+                    _ => None,
+                };
+                self.applied_buf.push(Applied { index: entry.index, term: entry.term, token, output });
+            } else {
+                self.pending.remove(&idx);
+            }
+        }
+        self.maybe_compact();
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.cfg.snapshot_threshold == 0 {
+            return;
+        }
+        if self.last_applied - self.log.snapshot_index() >= self.cfg.snapshot_threshold {
+            let data = self.sm.snapshot();
+            let term = self.log.term_at(self.last_applied).unwrap_or(self.log.snapshot_term());
+            self.storage.save_snapshot(&SnapshotRecord {
+                index: self.last_applied,
+                term,
+                data,
+            });
+            self.log.compact(self.last_applied);
+            self.persist_log();
+        }
+    }
+
+    fn on_install_snapshot(
+        &mut self,
+        from: NodeId,
+        term: Term,
+        last_index: LogIndex,
+        last_term: Term,
+        data: Vec<u8>,
+    ) -> Vec<Outbound> {
+        if term < self.term {
+            return vec![Outbound {
+                to: from,
+                msg: RaftMessage::InstallSnapshotResp { term: self.term, match_index: 0 },
+            }];
+        }
+        self.become_follower(term, Some(from));
+        if last_index <= self.commit_index {
+            // Stale snapshot; we already have everything it covers.
+            return vec![Outbound {
+                to: from,
+                msg: RaftMessage::InstallSnapshotResp { term: self.term, match_index: self.commit_index },
+            }];
+        }
+        self.sm.restore(&data);
+        self.log.reset_to_snapshot(last_index, last_term);
+        self.commit_index = last_index;
+        self.last_applied = last_index;
+        self.storage.save_snapshot(&SnapshotRecord { index: last_index, term: last_term, data });
+        self.persist_log();
+        vec![Outbound {
+            to: from,
+            msg: RaftMessage::InstallSnapshotResp { term: self.term, match_index: last_index },
+        }]
+    }
+
+    fn on_install_snapshot_resp(&mut self, from: NodeId, term: Term, match_index: LogIndex) -> Vec<Outbound> {
+        if self.role != Role::Leader || term != self.term {
+            return Vec::new();
+        }
+        let m = self.match_index.entry(from).or_insert(0);
+        if match_index > *m {
+            *m = match_index;
+        }
+        self.next_index.insert(from, match_index + 1);
+        self.advance_commit();
+        if *self.next_index.get(&from).unwrap() <= self.log.last_index() {
+            return vec![self.append_for(from)];
+        }
+        Vec::new()
+    }
+
+    // ----- persistence -----
+
+    fn persist_hard_state(&mut self) {
+        self.storage.save_hard_state(&HardState { term: self.term, voted_for: self.voted_for });
+    }
+
+    fn persist_log(&mut self) {
+        self.storage.save_log(
+            self.log.snapshot_index(),
+            self.log.snapshot_term(),
+            self.log.entries(),
+        );
+    }
+}
+
+impl<SM: StateMachine> std::fmt::Debug for RaftNode<SM> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RaftNode")
+            .field("id", &self.id)
+            .field("role", &self.role)
+            .field("term", &self.term)
+            .field("commit", &self.commit_index)
+            .field("applied", &self.last_applied)
+            .field("last_log", &self.log.last_index())
+            .finish()
+    }
+}

@@ -1,0 +1,283 @@
+//! Durable state: current term, vote, log entries and snapshot.
+//!
+//! [`MemStorage`] is the default for simulations and tests; [`FileStorage`]
+//! persists through `beehive-wire` for single-process durability demos and
+//! restart tests.
+
+use std::io::{Read, Write};
+use std::path::PathBuf;
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::{Entry, LogIndex, Term};
+
+/// Term/vote pair that must be fsynced before answering RPCs (Raft Fig. 2).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HardState {
+    /// Latest term this node has seen.
+    pub term: Term,
+    /// Candidate voted for in `term`, if any.
+    pub voted_for: Option<crate::types::NodeId>,
+}
+
+/// Snapshot blob plus the log position it covers.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotRecord {
+    /// Index the snapshot covers.
+    pub index: LogIndex,
+    /// Term at `index`.
+    pub term: Term,
+    /// Serialized state machine.
+    pub data: Vec<u8>,
+}
+
+/// Persistence interface. Implementations must make `save_*` durable before
+/// returning (MemStorage trivially so).
+pub trait Storage: Send + 'static {
+    /// Persists term and vote.
+    fn save_hard_state(&mut self, hs: &HardState);
+    /// Persists the entire suffix of the log (called after mutation).
+    fn save_log(&mut self, snapshot_index: LogIndex, snapshot_term: Term, entries: &[Entry]);
+    /// Persists a snapshot blob.
+    fn save_snapshot(&mut self, snap: &SnapshotRecord);
+    /// Loads persisted state, if any.
+    fn load(&mut self) -> Option<PersistedState>;
+}
+
+/// Everything a node needs to restart.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PersistedState {
+    /// Term/vote.
+    pub hard_state: HardState,
+    /// Snapshot point of the persisted log.
+    pub snapshot_index: LogIndex,
+    /// Term at the snapshot point.
+    pub snapshot_term: Term,
+    /// Log entries after the snapshot.
+    pub entries: Vec<Entry>,
+    /// Latest snapshot blob.
+    pub snapshot: Option<SnapshotRecord>,
+}
+
+/// Volatile storage: keeps everything in memory. Restart tests can clone the
+/// inner state and feed it to a new node.
+#[derive(Debug, Default)]
+pub struct MemStorage {
+    state: PersistedState,
+}
+
+impl MemStorage {
+    /// Empty storage.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of the currently persisted state (for restart simulation).
+    pub fn persisted(&self) -> PersistedState {
+        self.state.clone()
+    }
+
+    /// Builds storage pre-loaded with `state` (simulated restart).
+    pub fn from_persisted(state: PersistedState) -> Self {
+        MemStorage { state }
+    }
+}
+
+impl Storage for MemStorage {
+    fn save_hard_state(&mut self, hs: &HardState) {
+        self.state.hard_state = hs.clone();
+    }
+
+    fn save_log(&mut self, snapshot_index: LogIndex, snapshot_term: Term, entries: &[Entry]) {
+        self.state.snapshot_index = snapshot_index;
+        self.state.snapshot_term = snapshot_term;
+        self.state.entries = entries.to_vec();
+    }
+
+    fn save_snapshot(&mut self, snap: &SnapshotRecord) {
+        self.state.snapshot = Some(snap.clone());
+    }
+
+    fn load(&mut self) -> Option<PersistedState> {
+        if self.state.hard_state == HardState::default()
+            && self.state.entries.is_empty()
+            && self.state.snapshot.is_none()
+        {
+            None
+        } else {
+            Some(self.state.clone())
+        }
+    }
+}
+
+/// Memory storage whose persisted state is shared behind an `Arc`, so a test
+/// harness can crash a node (dropping the `RaftNode`) and later restart it
+/// from exactly what it had persisted — including its vote, which matters for
+/// election safety.
+#[derive(Debug, Clone, Default)]
+pub struct SharedMemStorage {
+    state: std::sync::Arc<parking_lot::Mutex<PersistedState>>,
+}
+
+impl SharedMemStorage {
+    /// Empty shared storage.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A second handle to the same persisted state.
+    pub fn handle(&self) -> SharedMemStorage {
+        SharedMemStorage { state: self.state.clone() }
+    }
+
+    /// Snapshot of the persisted contents.
+    pub fn persisted(&self) -> PersistedState {
+        self.state.lock().clone()
+    }
+}
+
+impl Storage for SharedMemStorage {
+    fn save_hard_state(&mut self, hs: &HardState) {
+        self.state.lock().hard_state = hs.clone();
+    }
+
+    fn save_log(&mut self, snapshot_index: LogIndex, snapshot_term: Term, entries: &[Entry]) {
+        let mut st = self.state.lock();
+        st.snapshot_index = snapshot_index;
+        st.snapshot_term = snapshot_term;
+        st.entries = entries.to_vec();
+    }
+
+    fn save_snapshot(&mut self, snap: &SnapshotRecord) {
+        self.state.lock().snapshot = Some(snap.clone());
+    }
+
+    fn load(&mut self) -> Option<PersistedState> {
+        let st = self.state.lock();
+        if st.hard_state == HardState::default() && st.entries.is_empty() && st.snapshot.is_none() {
+            None
+        } else {
+            Some(st.clone())
+        }
+    }
+}
+
+/// File-backed storage. The whole persisted state is rewritten on each save —
+/// simple and adequate for a control-plane registry whose log is compacted
+/// aggressively; a production deployment would use an append-only segment
+/// format.
+#[derive(Debug)]
+pub struct FileStorage {
+    path: PathBuf,
+    state: PersistedState,
+}
+
+impl FileStorage {
+    /// Opens (or creates) storage at `path`.
+    pub fn open(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        let state = match std::fs::File::open(&path) {
+            Ok(mut f) => {
+                let mut buf = Vec::new();
+                f.read_to_end(&mut buf)?;
+                if buf.is_empty() {
+                    PersistedState::default()
+                } else {
+                    beehive_wire::from_slice(&buf).map_err(|e| {
+                        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+                    })?
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => PersistedState::default(),
+            Err(e) => return Err(e),
+        };
+        Ok(FileStorage { path, state })
+    }
+
+    fn flush(&self) {
+        let buf = beehive_wire::to_vec(&self.state).expect("serialize persisted state");
+        let tmp = self.path.with_extension("tmp");
+        let mut f = std::fs::File::create(&tmp).expect("create raft storage tmp");
+        f.write_all(&buf).expect("write raft storage");
+        f.sync_all().expect("sync raft storage");
+        std::fs::rename(&tmp, &self.path).expect("atomically replace raft storage");
+    }
+}
+
+impl Storage for FileStorage {
+    fn save_hard_state(&mut self, hs: &HardState) {
+        self.state.hard_state = hs.clone();
+        self.flush();
+    }
+
+    fn save_log(&mut self, snapshot_index: LogIndex, snapshot_term: Term, entries: &[Entry]) {
+        self.state.snapshot_index = snapshot_index;
+        self.state.snapshot_term = snapshot_term;
+        self.state.entries = entries.to_vec();
+        self.flush();
+    }
+
+    fn save_snapshot(&mut self, snap: &SnapshotRecord) {
+        self.state.snapshot = Some(snap.clone());
+        self.flush();
+    }
+
+    fn load(&mut self) -> Option<PersistedState> {
+        if self.state.hard_state == HardState::default()
+            && self.state.entries.is_empty()
+            && self.state.snapshot.is_none()
+        {
+            None
+        } else {
+            Some(self.state.clone())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::EntryKind;
+
+    fn sample_entries() -> Vec<Entry> {
+        vec![
+            Entry { term: 1, index: 1, data: vec![1], kind: EntryKind::Normal },
+            Entry { term: 2, index: 2, data: vec![], kind: EntryKind::Noop },
+        ]
+    }
+
+    #[test]
+    fn mem_storage_roundtrip() {
+        let mut s = MemStorage::new();
+        assert!(s.load().is_none());
+        s.save_hard_state(&HardState { term: 3, voted_for: Some(2) });
+        s.save_log(0, 0, &sample_entries());
+        let loaded = s.load().unwrap();
+        assert_eq!(loaded.hard_state.term, 3);
+        assert_eq!(loaded.entries.len(), 2);
+    }
+
+    #[test]
+    fn file_storage_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("bh-raft-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("node1.raft");
+        let _ = std::fs::remove_file(&path);
+
+        {
+            let mut s = FileStorage::open(&path).unwrap();
+            assert!(s.load().is_none());
+            s.save_hard_state(&HardState { term: 7, voted_for: None });
+            s.save_log(1, 1, &sample_entries());
+            s.save_snapshot(&SnapshotRecord { index: 1, term: 1, data: vec![42] });
+        }
+        {
+            let mut s = FileStorage::open(&path).unwrap();
+            let loaded = s.load().unwrap();
+            assert_eq!(loaded.hard_state.term, 7);
+            assert_eq!(loaded.snapshot_index, 1);
+            assert_eq!(loaded.snapshot.unwrap().data, vec![42]);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

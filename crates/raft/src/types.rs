@@ -1,0 +1,173 @@
+//! Wire-level types: identifiers, log entries and RPC messages.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a Raft node. In Beehive this is the hive id.
+pub type NodeId = u64;
+
+/// A Raft term.
+pub type Term = u64;
+
+/// Index into the replicated log (1-based; 0 means "empty log").
+pub type LogIndex = u64;
+
+/// What a log entry carries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EntryKind {
+    /// A client proposal carrying opaque state-machine bytes.
+    Normal,
+    /// An empty entry a new leader appends to commit entries from prior terms
+    /// (Raft §5.4.2 / §8).
+    Noop,
+}
+
+/// A single replicated log entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Entry {
+    /// Term in which the entry was created.
+    pub term: Term,
+    /// Position in the log.
+    pub index: LogIndex,
+    /// Entry payload; empty for no-ops.
+    pub data: Vec<u8>,
+    /// Normal proposal or leader no-op.
+    pub kind: EntryKind,
+}
+
+/// Raft RPCs, exchanged as plain values; the embedder is the transport.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RaftMessage {
+    /// Candidate solicits a vote (Raft §5.2).
+    RequestVote {
+        /// Candidate's term.
+        term: Term,
+        /// Index of candidate's last log entry.
+        last_log_index: LogIndex,
+        /// Term of candidate's last log entry.
+        last_log_term: Term,
+    },
+    /// Reply to `RequestVote`.
+    RequestVoteResp {
+        /// Responder's current term.
+        term: Term,
+        /// Whether the vote was granted.
+        granted: bool,
+    },
+    /// Leader replicates entries / heartbeats (Raft §5.3).
+    AppendEntries {
+        /// Leader's term.
+        term: Term,
+        /// Index of the entry immediately preceding `entries`.
+        prev_log_index: LogIndex,
+        /// Term of the `prev_log_index` entry.
+        prev_log_term: Term,
+        /// Entries to append (empty for heartbeat).
+        entries: Vec<Entry>,
+        /// Leader's commit index.
+        leader_commit: LogIndex,
+    },
+    /// Reply to `AppendEntries`.
+    AppendEntriesResp {
+        /// Responder's current term.
+        term: Term,
+        /// Whether the append matched.
+        success: bool,
+        /// Highest log index known to match the leader (valid when `success`).
+        match_index: LogIndex,
+        /// On failure, a hint for the leader to rewind `next_index` quickly.
+        conflict_index: LogIndex,
+    },
+    /// Leader transfers a snapshot to a slow follower (Raft §7).
+    InstallSnapshot {
+        /// Leader's term.
+        term: Term,
+        /// The snapshot replaces the log through this index.
+        last_index: LogIndex,
+        /// Term of `last_index`.
+        last_term: Term,
+        /// Serialized state machine.
+        data: Vec<u8>,
+    },
+    /// Reply to `InstallSnapshot`.
+    InstallSnapshotResp {
+        /// Responder's current term.
+        term: Term,
+        /// The follower's new match index.
+        match_index: LogIndex,
+    },
+    /// Pre-vote probe (Raft §9.6 / etcd PreVote): a would-be candidate asks
+    /// whether it *could* win an election at `term` before disturbing the
+    /// cluster by actually incrementing its term. Receivers answer without
+    /// changing any persistent state.
+    PreVote {
+        /// The term the sender would campaign at (its current term + 1).
+        term: Term,
+        /// Index of the sender's last log entry.
+        last_log_index: LogIndex,
+        /// Term of the sender's last log entry.
+        last_log_term: Term,
+    },
+    /// Reply to `PreVote`.
+    PreVoteResp {
+        /// The term the probe asked about (echoed).
+        term: Term,
+        /// Whether a real vote would be granted.
+        granted: bool,
+    },
+}
+
+impl RaftMessage {
+    /// The term carried by this message.
+    pub fn term(&self) -> Term {
+        match self {
+            RaftMessage::RequestVote { term, .. }
+            | RaftMessage::RequestVoteResp { term, .. }
+            | RaftMessage::AppendEntries { term, .. }
+            | RaftMessage::AppendEntriesResp { term, .. }
+            | RaftMessage::InstallSnapshot { term, .. }
+            | RaftMessage::InstallSnapshotResp { term, .. }
+            | RaftMessage::PreVote { term, .. }
+            | RaftMessage::PreVoteResp { term, .. } => *term,
+        }
+    }
+
+    /// Rough wire size used by simulators for bandwidth accounting.
+    pub fn encoded_len(&self) -> usize {
+        beehive_wire::encoded_len(self).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_roundtrip_through_wire() {
+        let msgs = vec![
+            RaftMessage::RequestVote { term: 3, last_log_index: 10, last_log_term: 2 },
+            RaftMessage::RequestVoteResp { term: 3, granted: true },
+            RaftMessage::AppendEntries {
+                term: 4,
+                prev_log_index: 9,
+                prev_log_term: 2,
+                entries: vec![Entry { term: 4, index: 10, data: vec![1, 2], kind: EntryKind::Normal }],
+                leader_commit: 8,
+            },
+            RaftMessage::AppendEntriesResp { term: 4, success: false, match_index: 0, conflict_index: 5 },
+            RaftMessage::InstallSnapshot { term: 5, last_index: 100, last_term: 4, data: vec![9; 16] },
+            RaftMessage::InstallSnapshotResp { term: 5, match_index: 100 },
+        ];
+        for m in msgs {
+            let buf = beehive_wire::to_vec(&m).unwrap();
+            let back: RaftMessage = beehive_wire::from_slice(&buf).unwrap();
+            assert_eq!(back, m);
+            assert_eq!(m.encoded_len(), buf.len());
+        }
+    }
+
+    #[test]
+    fn term_accessor_matches() {
+        let m = RaftMessage::RequestVote { term: 9, last_log_index: 0, last_log_term: 0 };
+        assert_eq!(m.term(), 9);
+    }
+}

@@ -1,0 +1,144 @@
+//! Tests for non-voting learners: they follow the log and apply entries but
+//! never vote, never campaign and never count toward the quorum.
+
+use beehive_raft::{Config, KvCounter, MemStorage, RaftMessage, RaftNode, Role};
+
+/// Builds a 3-voter + 1-learner group and hand-delivers messages, giving the
+/// test full control over scheduling.
+struct Net {
+    nodes: Vec<RaftNode<KvCounter>>, // ids 1..=4; node 4 is the learner
+    queue: Vec<(u64, u64, RaftMessage)>, // (from, to, msg)
+}
+
+impl Net {
+    fn new() -> Self {
+        let voters = vec![1u64, 2, 3];
+        let mut nodes = Vec::new();
+        for &id in &voters {
+            let peers: Vec<u64> = voters.iter().copied().filter(|&p| p != id).collect();
+            nodes.push(RaftNode::with_membership(
+                id,
+                peers,
+                vec![4],
+                false,
+                Config { rng_seed: id, ..Config::default() },
+                KvCounter::default(),
+                Box::new(MemStorage::new()),
+            ));
+        }
+        nodes.push(RaftNode::new_learner(
+            4,
+            voters,
+            Config { rng_seed: 4, ..Config::default() },
+            KvCounter::default(),
+            Box::new(MemStorage::new()),
+        ));
+        Net { nodes, queue: Vec::new() }
+    }
+
+    fn node(&self, id: u64) -> &RaftNode<KvCounter> {
+        &self.nodes[(id - 1) as usize]
+    }
+
+    fn node_mut(&mut self, id: u64) -> &mut RaftNode<KvCounter> {
+        &mut self.nodes[(id - 1) as usize]
+    }
+
+    fn tick_all(&mut self) {
+        for id in 1..=4u64 {
+            let out = self.node_mut(id).tick();
+            for o in out {
+                self.queue.push((id, o.to, o.msg));
+            }
+        }
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        while let Some((from, to, msg)) = self.queue.pop() {
+            let out = self.node_mut(to).step(from, msg);
+            for o in out {
+                self.queue.push((to, o.to, o.msg));
+            }
+        }
+    }
+
+    fn run_until_leader(&mut self) -> u64 {
+        for _ in 0..500 {
+            self.tick_all();
+            if let Some(l) = (1..=3u64).find(|&id| self.node(id).is_leader()) {
+                return l;
+            }
+        }
+        panic!("no leader");
+    }
+}
+
+#[test]
+fn learner_replicates_and_applies() {
+    let mut net = Net::new();
+    let leader = net.run_until_leader();
+    let (_, out) = net.node_mut(leader).propose_now(vec![10]).unwrap();
+    for o in out {
+        net.queue.push((leader, o.to, o.msg));
+    }
+    net.drain();
+    for _ in 0..20 {
+        net.tick_all();
+    }
+    assert_eq!(net.node(4).state_machine().total, 10, "learner did not apply");
+    assert!(net.node(4).is_learner());
+    assert_eq!(net.node(4).role(), Role::Follower);
+}
+
+#[test]
+fn learner_never_campaigns() {
+    let mut net = Net::new();
+    // Tick only the learner far past any election timeout: it must stay a
+    // term-0 follower and emit nothing.
+    for _ in 0..200 {
+        let out = net.node_mut(4).tick();
+        assert!(out.is_empty(), "learner emitted {out:?}");
+    }
+    assert_eq!(net.node(4).term(), 0);
+    assert_eq!(net.node(4).role(), Role::Follower);
+}
+
+#[test]
+fn learner_vote_is_never_granted() {
+    let mut net = Net::new();
+    let out = net.node_mut(4).step(
+        1,
+        RaftMessage::RequestVote { term: 5, last_log_index: 0, last_log_term: 0 },
+    );
+    assert_eq!(out.len(), 1);
+    match &out[0].msg {
+        RaftMessage::RequestVoteResp { granted, .. } => assert!(!granted),
+        other => panic!("unexpected response {other:?}"),
+    }
+}
+
+#[test]
+fn learner_does_not_count_toward_commit_quorum() {
+    let mut net = Net::new();
+    let leader = net.run_until_leader();
+    // Cut the leader off from the other two voters; only the learner remains
+    // reachable. Proposals must NOT commit.
+    let voters: Vec<u64> = (1..=3).filter(|&v| v != leader).collect();
+    let before = net.node(leader).commit_index();
+    let (_, out) = net.node_mut(leader).propose_now(vec![1]).unwrap();
+    // Deliver only to the learner.
+    for o in out {
+        if o.to == 4 {
+            let replies = net.node_mut(4).step(leader, o.msg);
+            for r in replies {
+                let more = net.node_mut(leader).step(4, r.msg);
+                // Discard further sends to the partitioned voters.
+                drop(more);
+            }
+        }
+    }
+    // Learner acked, but the entry must remain uncommitted.
+    assert_eq!(net.node(leader).commit_index(), before);
+    let _ = voters;
+}

@@ -1,0 +1,242 @@
+//! Integration tests driving whole Raft clusters in virtual time, including
+//! fault injection: partitions, crashes, restarts, message drops.
+
+use beehive_raft::harness::Cluster;
+use beehive_raft::{Config, KvCounter, ProposeError, Role};
+
+fn cluster(n: usize, seed: u64) -> Cluster<KvCounter> {
+    Cluster::new(n, Config::default(), seed, KvCounter::default)
+}
+
+#[test]
+fn three_nodes_elect_exactly_one_leader() {
+    let mut c = cluster(3, 1);
+    let leader = c.run_until_leader(500).unwrap();
+    c.assert_at_most_one_leader_per_term();
+    assert!(c.node(leader).unwrap().is_leader());
+    // Let heartbeats propagate so followers learn the leader.
+    c.run_ticks(20);
+    // The two others are followers of the same term.
+    for n in c.nodes() {
+        if n.id() != leader {
+            assert_eq!(n.role(), Role::Follower);
+            assert_eq!(n.leader_hint(), Some(leader));
+        }
+    }
+}
+
+#[test]
+fn five_nodes_replicate_proposals_to_all() {
+    let mut c = cluster(5, 2);
+    let leader = c.run_until_leader(500).unwrap();
+    for i in 0..10u8 {
+        c.propose(leader, vec![i]).unwrap();
+    }
+    assert!(c.run_until(500, |c| c.nodes().all(|n| n.state_machine().applied == 10)));
+    let expect: u64 = (0..10u64).sum();
+    for n in c.nodes() {
+        assert_eq!(n.state_machine().total, expect, "node {} diverged", n.id());
+    }
+    c.assert_committed_logs_agree();
+}
+
+#[test]
+fn proposals_on_followers_are_rejected_with_hint() {
+    let mut c = cluster(3, 3);
+    let leader = c.run_until_leader(500).unwrap();
+    c.run_ticks(20); // heartbeats teach followers who leads
+    let follower = c.nodes().map(|n| n.id()).find(|&id| id != leader).unwrap();
+    let err = c.propose(follower, vec![1]).unwrap_err();
+    assert_eq!(err, ProposeError::NotLeader(Some(leader)));
+}
+
+#[test]
+fn leader_crash_triggers_reelection_and_no_committed_data_is_lost() {
+    let mut c = cluster(5, 4);
+    let leader = c.run_until_leader(500).unwrap();
+    for i in 1..=5u8 {
+        c.propose(leader, vec![i]).unwrap();
+    }
+    assert!(c.run_until(500, |c| c.nodes().all(|n| n.state_machine().applied == 5)));
+
+    c.crash(leader);
+    let new_leader = c.run_until_leader(1000).unwrap();
+    assert_ne!(new_leader, leader);
+
+    c.propose(new_leader, vec![100]).unwrap();
+    assert!(c.run_until(500, |c| c.nodes().all(|n| n.state_machine().applied == 6)));
+    for n in c.nodes() {
+        assert_eq!(n.state_machine().total, 15 + 100);
+    }
+}
+
+#[test]
+fn crashed_node_rejoins_and_catches_up() {
+    let mut c = cluster(3, 5);
+    let leader = c.run_until_leader(500).unwrap();
+    let victim = c.nodes().map(|n| n.id()).find(|&id| id != leader).unwrap();
+    c.crash(victim);
+
+    for i in 1..=4u8 {
+        c.propose(leader, vec![i]).unwrap();
+    }
+    c.run_ticks(100);
+
+    c.restart(victim);
+    assert!(c.run_until(1000, |c| c.node(victim).unwrap().state_machine().applied == 4));
+    assert_eq!(c.node(victim).unwrap().state_machine().total, 10);
+    c.assert_committed_logs_agree();
+}
+
+#[test]
+fn minority_partition_cannot_commit() {
+    let mut c = cluster(5, 6);
+    let leader = c.run_until_leader(500).unwrap();
+    // Cut the leader plus one follower off from the rest.
+    let buddy = c.nodes().map(|n| n.id()).find(|&id| id != leader).unwrap();
+    for n in c.nodes().map(|n| n.id()).collect::<Vec<_>>() {
+        if n != leader && n != buddy {
+            c.partition(leader, n);
+            c.partition(buddy, n);
+        }
+    }
+    // The old leader may still accept proposals but must not commit them.
+    let before = c.node(leader).unwrap().commit_index();
+    let _ = c.propose(leader, vec![9]);
+    c.run_ticks(200);
+    assert_eq!(c.node(leader).unwrap().commit_index(), before, "minority leader committed!");
+
+    // The majority side elects its own leader and can commit.
+    let majority_leader = c.run_until_leader(1000);
+    // (run_until_leader needs a unique max-term leader; the stale one will
+    // have a lower term.)
+    let ml = majority_leader.unwrap();
+    assert_ne!(ml, leader);
+    c.propose(ml, vec![7]).unwrap();
+    assert!(c.run_until(500, |c| c.node(ml).unwrap().state_machine().applied >= 1));
+
+    // Heal: the minority leader steps down and converges.
+    c.heal();
+    assert!(c.run_until(1000, |c| c.nodes().all(|n| n.state_machine().applied
+        == c.node(ml).unwrap().state_machine().applied)));
+    c.assert_committed_logs_agree();
+    c.assert_at_most_one_leader_per_term();
+    // The uncommitted minority proposal must have been discarded everywhere.
+    for n in c.nodes() {
+        assert_eq!(n.state_machine().total, 7);
+    }
+}
+
+#[test]
+fn cluster_survives_heavy_message_drops() {
+    let mut c = cluster(3, 7);
+    c.faults.drop_rate = 0.2;
+    let leader = c.run_until_leader(5000).expect("leader despite 20% drops");
+    for i in 1..=10u8 {
+        // The leader may be deposed under drops; re-find it as needed.
+        let l = c.leader().unwrap_or(leader);
+        let _ = c.propose(l, vec![i]);
+        c.run_ticks(50);
+    }
+    c.faults.drop_rate = 0.0;
+    c.run_ticks(1000);
+    c.assert_committed_logs_agree();
+    // All live nodes agree on totals.
+    let totals: Vec<u64> = c.nodes().map(|n| n.state_machine().total).collect();
+    assert!(totals.windows(2).all(|w| w[0] == w[1]), "divergent totals {totals:?}");
+}
+
+#[test]
+fn slow_follower_catches_up_via_snapshot() {
+    let cfg = Config { snapshot_threshold: 8, ..Config::default() };
+    let mut c = Cluster::new(3, cfg, 8, KvCounter::default);
+    let leader = c.run_until_leader(500).unwrap();
+    let slow = c.nodes().map(|n| n.id()).find(|&id| id != leader).unwrap();
+    c.isolate(slow);
+
+    // Commit enough to trigger compaction on the leader.
+    for i in 0..32u8 {
+        c.propose(leader, vec![i]).unwrap();
+        c.run_ticks(5);
+    }
+    c.run_ticks(100);
+    assert!(
+        c.node(leader).unwrap().log().snapshot_index() > 0,
+        "leader should have compacted its log"
+    );
+
+    c.heal();
+    assert!(
+        c.run_until(2000, |c| c.node(slow).unwrap().state_machine().applied == 32),
+        "slow follower failed to catch up via InstallSnapshot"
+    );
+    let expect: u64 = (0..32u64).sum();
+    assert_eq!(c.node(slow).unwrap().state_machine().total, expect);
+}
+
+#[test]
+fn single_node_cluster_commits_immediately() {
+    let mut c = cluster(1, 9);
+    let leader = c.run_until_leader(100).unwrap();
+    c.propose(leader, vec![42]).unwrap();
+    // No peers: commit + apply happen synchronously inside propose.
+    assert_eq!(c.node(leader).unwrap().state_machine().total, 42);
+}
+
+#[test]
+fn proposal_tokens_come_back_on_apply() {
+    let mut c = cluster(3, 10);
+    let leader = c.run_until_leader(500).unwrap();
+    let t1 = c.propose(leader, vec![1]).unwrap();
+    let t2 = c.propose(leader, vec![2]).unwrap();
+    assert_ne!(t1, t2);
+    c.run_ticks(200);
+    let applied = c.node_mut(leader).unwrap().take_applied();
+    let tokens: Vec<u64> = applied.iter().filter_map(|a| a.token).collect();
+    assert_eq!(tokens, vec![t1, t2]);
+    // Followers see the entries but without tokens.
+    let follower = c.nodes().map(|n| n.id()).find(|&id| id != leader).unwrap();
+    let fapplied = c.node_mut(follower).unwrap().take_applied();
+    assert!(fapplied.iter().all(|a| a.token.is_none()));
+    assert_eq!(fapplied.len(), 2);
+}
+
+#[test]
+fn terms_are_monotonic_and_logs_match_under_churn() {
+    let mut c = cluster(5, 11);
+    let mut last_terms = [0u64; 6];
+    for round in 0..6 {
+        if let Ok(leader) = c.run_until_leader(2000) {
+            let _ = c.propose(leader, vec![round as u8]);
+            c.run_ticks(50);
+            if round % 2 == 0 {
+                c.crash(leader);
+                c.run_ticks(50);
+                c.restart(leader);
+            }
+        }
+        for n in c.nodes() {
+            let id = n.id() as usize;
+            assert!(n.term() >= last_terms[id], "term went backwards on {id}");
+            last_terms[id] = n.term();
+        }
+        c.assert_at_most_one_leader_per_term();
+        c.assert_committed_logs_agree();
+    }
+}
+
+#[test]
+fn delayed_messages_do_not_break_safety() {
+    let mut c = cluster(3, 12);
+    c.faults.delay = 2;
+    c.faults.jitter = 3;
+    let leader = c.run_until_leader(5000).unwrap();
+    for i in 1..=8u8 {
+        let l = c.leader().unwrap_or(leader);
+        let _ = c.propose(l, vec![i]);
+        c.run_ticks(30);
+    }
+    c.run_ticks(500);
+    c.assert_committed_logs_agree();
+    c.assert_at_most_one_leader_per_term();
+}

@@ -1,0 +1,274 @@
+//! The simulated cluster: N hives on an accounted in-memory fabric, driven
+//! in deterministic virtual time.
+
+use std::sync::Arc;
+
+use beehive_core::{Hive, HiveConfig, HiveId, SimClock};
+use beehive_net::{MemFabric, TrafficMatrix};
+
+/// Parameters for a [`SimCluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of hives (ids 1..=n).
+    pub hives: usize,
+    /// Number of registry Raft voters (first k hives); the rest are
+    /// learners. 0 = every hive standalone (no consensus; only valid for
+    /// single-hive clusters).
+    pub voters: usize,
+    /// Platform tick period (ms). The paper's TE uses 1-second timeouts.
+    pub tick_interval_ms: u64,
+    /// Raft tick duration (ms).
+    pub raft_tick_ms: u64,
+    /// Accounting bucket width (ms).
+    pub bucket_ms: u64,
+    /// Registry proposal retry (ms).
+    pub pending_retry_ms: u64,
+    /// Colony replication factor (1 = off).
+    pub replication_factor: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            hives: 3,
+            voters: 3,
+            tick_interval_ms: 1000,
+            raft_tick_ms: 50,
+            bucket_ms: 1000,
+            pending_retry_ms: 1000,
+            replication_factor: 1,
+        }
+    }
+}
+
+/// A whole Beehive cluster in one process, in virtual time.
+pub struct SimCluster {
+    /// The shared virtual clock.
+    pub clock: SimClock,
+    /// The accounted fabric.
+    pub fabric: MemFabric,
+    hives: Vec<Hive>,
+}
+
+impl SimCluster {
+    /// Builds the cluster and lets `install` add applications to each hive.
+    pub fn new(cfg: ClusterConfig, mut install: impl FnMut(&mut Hive)) -> Self {
+        assert!(cfg.hives >= 1);
+        let ids: Vec<HiveId> = (1..=cfg.hives as u32).map(HiveId).collect();
+        let clock = SimClock::new();
+        let fabric = MemFabric::with_bucket(ids.clone(), Arc::new(clock.clone()), cfg.bucket_ms);
+        let mut hives = Vec::with_capacity(cfg.hives);
+        for &id in &ids {
+            let mut hive_cfg = if cfg.voters == 0 {
+                assert_eq!(cfg.hives, 1, "voters=0 only makes sense standalone");
+                HiveConfig::standalone(id)
+            } else {
+                HiveConfig::clustered(id, ids.clone(), cfg.voters)
+            };
+            hive_cfg.tick_interval_ms = cfg.tick_interval_ms;
+            hive_cfg.raft_tick_ms = cfg.raft_tick_ms;
+            hive_cfg.pending_retry_ms = cfg.pending_retry_ms;
+            hive_cfg.replication_factor = cfg.replication_factor;
+            let mut hive =
+                Hive::new(hive_cfg, Arc::new(clock.clone()), Box::new(fabric.endpoint(id)));
+            install(&mut hive);
+            hives.push(hive);
+        }
+        SimCluster { clock, fabric, hives }
+    }
+
+    /// Number of hives.
+    pub fn len(&self) -> usize {
+        self.hives.len()
+    }
+
+    /// Whether the cluster has no hives (never true in practice).
+    pub fn is_empty(&self) -> bool {
+        self.hives.is_empty()
+    }
+
+    /// All hive ids.
+    pub fn ids(&self) -> Vec<HiveId> {
+        self.hives.iter().map(|h| h.id()).collect()
+    }
+
+    /// The hive with the given id.
+    pub fn hive(&self, id: HiveId) -> &Hive {
+        &self.hives[(id.0 - 1) as usize]
+    }
+
+    /// Mutable access to a hive.
+    pub fn hive_mut(&mut self, id: HiveId) -> &mut Hive {
+        &mut self.hives[(id.0 - 1) as usize]
+    }
+
+    /// Iterates the hives.
+    pub fn hives(&self) -> impl Iterator<Item = &Hive> {
+        self.hives.iter()
+    }
+
+    /// Steps every hive once; returns total work done.
+    pub fn step_all(&mut self) -> usize {
+        self.hives.iter_mut().map(|h| h.step()).sum()
+    }
+
+    /// Steps hives (and an external pump, e.g. a switch fleet) until
+    /// everything is quiescent or `max_rounds` is hit. Returns total work.
+    pub fn settle_with(&mut self, max_rounds: usize, mut pump: impl FnMut() -> usize) -> usize {
+        let mut total = 0;
+        for _ in 0..max_rounds {
+            let w = self.step_all() + pump();
+            total += w;
+            if w == 0 && self.fabric.in_flight() == 0 {
+                break;
+            }
+        }
+        total
+    }
+
+    /// Steps until quiescent (no external pump).
+    pub fn settle(&mut self, max_rounds: usize) -> usize {
+        self.settle_with(max_rounds, || 0)
+    }
+
+    /// Advances virtual time by `ms` in `dt_ms` increments, settling after
+    /// each increment (with an external pump).
+    pub fn advance_with(
+        &mut self,
+        ms: u64,
+        dt_ms: u64,
+        mut pump: impl FnMut() -> usize,
+    ) {
+        let dt = dt_ms.max(1);
+        let mut advanced = 0;
+        while advanced < ms {
+            let step = dt.min(ms - advanced);
+            self.clock.advance(step);
+            advanced += step;
+            self.settle_with(10_000, &mut pump);
+        }
+    }
+
+    /// Advances virtual time (no external pump).
+    pub fn advance(&mut self, ms: u64, dt_ms: u64) {
+        self.advance_with(ms, dt_ms, || 0);
+    }
+
+    /// Runs until a registry leader exists (clustered mode), up to `max_ms`
+    /// virtual time. Returns the leader.
+    pub fn elect_registry(&mut self, max_ms: u64) -> Result<HiveId, String> {
+        let mut elapsed = 0;
+        while elapsed < max_ms {
+            self.clock.advance(50);
+            elapsed += 50;
+            self.settle(1000);
+            if let Some(leader) = self.hives.iter().find(|h| h.is_registry_leader()) {
+                return Ok(leader.id());
+            }
+        }
+        Err(format!("no registry leader after {max_ms} virtual ms"))
+    }
+
+    /// Snapshot of the fabric's traffic accounting.
+    pub fn matrix(&self) -> TrafficMatrix {
+        self.fabric.matrix()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beehive_core::prelude::*;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, Clone, Serialize, Deserialize)]
+    struct Inc {
+        key: String,
+    }
+    beehive_core::impl_message!(Inc);
+
+    fn counter_app() -> App {
+        App::builder("counter")
+            .handle::<Inc>(
+                |m| Mapped::cell("c", &m.key),
+                |m, ctx| {
+                    let n: u64 =
+                        ctx.get("c", &m.key).map_err(|e| e.to_string())?.unwrap_or(0);
+                    ctx.put("c", m.key.clone(), &(n + 1)).map_err(|e| e.to_string())?;
+                    Ok(())
+                },
+            )
+            .build()
+    }
+
+    #[test]
+    fn cluster_elects_registry_leader() {
+        let mut c = SimCluster::new(
+            ClusterConfig { hives: 3, voters: 3, ..Default::default() },
+            |h| h.install(counter_app()),
+        );
+        let leader = c.elect_registry(60_000).unwrap();
+        assert!(c.ids().contains(&leader));
+    }
+
+    #[test]
+    fn messages_route_consistently_across_hives() {
+        let mut c = SimCluster::new(
+            ClusterConfig { hives: 3, voters: 3, ..Default::default() },
+            |h| h.install(counter_app()),
+        );
+        c.elect_registry(60_000).unwrap();
+
+        // The same key emitted on different hives must reach ONE bee.
+        c.hive_mut(HiveId(1)).emit(Inc { key: "k".into() });
+        c.hive_mut(HiveId(2)).emit(Inc { key: "k".into() });
+        c.hive_mut(HiveId(3)).emit(Inc { key: "k".into() });
+        c.advance(5_000, 50);
+
+        let total_bees: usize =
+            c.hives().map(|h| h.local_bee_count("counter")).sum();
+        assert_eq!(total_bees, 1, "one colony for one key");
+        let owner = c
+            .hives()
+            .find(|h| h.local_bee_count("counter") == 1)
+            .map(|h| h.id())
+            .unwrap();
+        let (bee, _) = c.hive(owner).local_bees("counter")[0];
+        let count: u64 = c.hive(owner).peek_state("counter", bee, "c", "k").unwrap();
+        assert_eq!(count, 3, "all three increments applied");
+    }
+
+    #[test]
+    fn learners_serve_local_lookups() {
+        // 5 hives, 3 voters: hives 4 and 5 are learners but must still route.
+        let mut c = SimCluster::new(
+            ClusterConfig { hives: 5, voters: 3, ..Default::default() },
+            |h| h.install(counter_app()),
+        );
+        c.elect_registry(60_000).unwrap();
+        c.hive_mut(HiveId(5)).emit(Inc { key: "x".into() });
+        c.advance(5_000, 50);
+        // The bee was created on hive 5 (message origin).
+        assert_eq!(c.hive(HiveId(5)).local_bee_count("counter"), 1);
+        // A later message from hive 4 routes to hive 5's bee.
+        c.hive_mut(HiveId(4)).emit(Inc { key: "x".into() });
+        c.advance(5_000, 50);
+        let (bee, _) = c.hive(HiveId(5)).local_bees("counter")[0];
+        let count: u64 = c.hive(HiveId(5)).peek_state("counter", bee, "c", "x").unwrap();
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn fabric_accounts_inter_hive_traffic() {
+        let mut c = SimCluster::new(
+            ClusterConfig { hives: 3, voters: 3, ..Default::default() },
+            |h| h.install(counter_app()),
+        );
+        c.elect_registry(60_000).unwrap();
+        c.hive_mut(HiveId(2)).emit(Inc { key: "k".into() });
+        c.advance(3_000, 50);
+        let m = c.matrix();
+        // Raft heartbeats alone guarantee nonzero traffic.
+        assert!(m.total(&[beehive_core::FrameKind::Raft]) > 0);
+    }
+}

@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+
+//! `beehive-sim` — a discrete-virtual-time simulator for Beehive clusters.
+//!
+//! Reproduces the paper's evaluation environment: a cluster of hives on an
+//! accounted in-memory fabric ([`beehive_net::MemFabric`]), emulated
+//! OpenFlow switches attached to their master hives, tree topologies and
+//! fixed-rate flow workloads. Everything runs deterministically against a
+//! shared [`beehive_core::SimClock`].
+
+pub mod cluster;
+pub mod fleet;
+pub mod topology;
+pub mod workload;
+
+pub use cluster::{ClusterConfig, SimCluster};
+pub use fleet::SwitchFleet;
+pub use topology::{Level, Link, SwitchNode, Topology};
+pub use workload::{generate_flows, FlowSpec, WorkloadConfig};

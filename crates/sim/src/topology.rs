@@ -1,0 +1,237 @@
+//! Network topologies. The paper's evaluation uses "400 switches in a simple
+//! tree topology"; [`Topology::tree`] builds k-ary trees of any size, and the
+//! structure also serves the routing and discovery applications (BFS paths).
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use beehive_core::HiveId;
+use serde::{Deserialize, Serialize};
+
+/// A switch's role in the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Level {
+    /// Tree root(s).
+    Core,
+    /// Interior switches.
+    Aggregation,
+    /// Leaves (hosts hang off these).
+    Edge,
+}
+
+/// One switch in the topology.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SwitchNode {
+    /// Datapath id (1-based).
+    pub dpid: u64,
+    /// Number of ports.
+    pub ports: u16,
+    /// Role.
+    pub level: Level,
+}
+
+/// An undirected link between two (switch, port) endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Link {
+    /// One endpoint.
+    pub a: (u64, u16),
+    /// The other endpoint.
+    pub b: (u64, u16),
+}
+
+/// A switch-level network topology.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Topology {
+    /// All switches, ordered by dpid.
+    pub switches: Vec<SwitchNode>,
+    /// All links.
+    pub links: Vec<Link>,
+}
+
+impl Topology {
+    /// Builds a k-ary tree with `levels` levels (root = level 0) and `fanout`
+    /// children per switch. `levels = 1` is a single switch.
+    pub fn tree(levels: u32, fanout: u32) -> Topology {
+        assert!(levels >= 1 && fanout >= 1);
+        let mut switches = Vec::new();
+        let mut links = Vec::new();
+        let mut next_dpid = 1u64;
+        // Build level by level; remember each level's dpids.
+        let mut prev_level: Vec<u64> = Vec::new();
+        for level in 0..levels {
+            let count = if level == 0 { 1 } else { prev_level.len() as u64 * fanout as u64 };
+            let role = if level == 0 {
+                Level::Core
+            } else if level == levels - 1 {
+                Level::Edge
+            } else {
+                Level::Aggregation
+            };
+            let mut this_level = Vec::with_capacity(count as usize);
+            for i in 0..count {
+                let dpid = next_dpid;
+                next_dpid += 1;
+                // Ports: fanout downlinks + 1 uplink + 2 host ports on edges.
+                let ports = (fanout as u16 + 1).max(4);
+                switches.push(SwitchNode { dpid, ports, level: role });
+                if level > 0 {
+                    let parent = prev_level[(i / fanout as u64) as usize];
+                    let parent_port = (i % fanout as u64) as u16 + 2; // port 1 = uplink
+                    links.push(Link { a: (parent, parent_port), b: (dpid, 1) });
+                }
+                this_level.push(dpid);
+            }
+            prev_level = this_level;
+        }
+        Topology { switches, links }
+    }
+
+    /// Builds a tree with *approximately* `n` switches by picking a fanout.
+    /// The result has at least `n` switches.
+    pub fn tree_with_about(n: usize, fanout: u32) -> Topology {
+        let mut levels = 1;
+        let mut total: u64 = 1;
+        let mut level_count: u64 = 1;
+        while (total as usize) < n {
+            levels += 1;
+            level_count *= fanout as u64;
+            total += level_count;
+        }
+        Topology::tree(levels, fanout)
+    }
+
+    /// Number of switches.
+    pub fn len(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Whether the topology is empty.
+    pub fn is_empty(&self) -> bool {
+        self.switches.is_empty()
+    }
+
+    /// All datapath ids.
+    pub fn dpids(&self) -> Vec<u64> {
+        self.switches.iter().map(|s| s.dpid).collect()
+    }
+
+    /// Edge-level switches (where hosts attach).
+    pub fn edges(&self) -> Vec<u64> {
+        self.switches.iter().filter(|s| s.level == Level::Edge).map(|s| s.dpid).collect()
+    }
+
+    /// The adjacency map: switch → (neighbor, local port).
+    pub fn adjacency(&self) -> BTreeMap<u64, Vec<(u64, u16)>> {
+        let mut adj: BTreeMap<u64, Vec<(u64, u16)>> = BTreeMap::new();
+        for l in &self.links {
+            adj.entry(l.a.0).or_default().push((l.b.0, l.a.1));
+            adj.entry(l.b.0).or_default().push((l.a.0, l.b.1));
+        }
+        adj
+    }
+
+    /// BFS shortest path from `src` to `dst`, as a list of dpids (inclusive).
+    pub fn path(&self, src: u64, dst: u64) -> Option<Vec<u64>> {
+        if src == dst {
+            return Some(vec![src]);
+        }
+        let adj = self.adjacency();
+        let mut prev: HashMap<u64, u64> = HashMap::new();
+        let mut queue = VecDeque::from([src]);
+        while let Some(cur) = queue.pop_front() {
+            for &(next, _) in adj.get(&cur).into_iter().flatten() {
+                if next != src && !prev.contains_key(&next) {
+                    prev.insert(next, cur);
+                    if next == dst {
+                        let mut path = vec![dst];
+                        let mut at = dst;
+                        while let Some(&p) = prev.get(&at) {
+                            path.push(p);
+                            at = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+
+    /// Round-robin assignment of switches to master hives (the paper's
+    /// "querying a switch on its master controller").
+    pub fn assign_masters(&self, hives: &[HiveId]) -> BTreeMap<u64, HiveId> {
+        assert!(!hives.is_empty());
+        self.switches
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.dpid, hives[i % hives.len()]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_switch_tree() {
+        let t = Topology::tree(1, 4);
+        assert_eq!(t.len(), 1);
+        assert!(t.links.is_empty());
+        assert_eq!(t.switches[0].level, Level::Core);
+    }
+
+    #[test]
+    fn three_level_binary_tree() {
+        let t = Topology::tree(3, 2);
+        // 1 + 2 + 4 switches.
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.links.len(), 6);
+        assert_eq!(t.edges().len(), 4);
+    }
+
+    #[test]
+    fn about_400_switches() {
+        let t = Topology::tree_with_about(400, 7);
+        assert!(t.len() >= 400, "got {}", t.len());
+        // 1 + 7 + 49 + 343 = 400 exactly with fanout 7.
+        assert_eq!(t.len(), 400);
+    }
+
+    #[test]
+    fn paths_exist_between_leaves() {
+        let t = Topology::tree(3, 2);
+        let edges = t.edges();
+        let p = t.path(edges[0], edges[3]).unwrap();
+        assert_eq!(p.first(), Some(&edges[0]));
+        assert_eq!(p.last(), Some(&edges[3]));
+        // Through the root for leaves in different subtrees: 5 hops.
+        assert_eq!(p.len(), 5);
+        // Same switch is a single-node path.
+        assert_eq!(t.path(edges[0], edges[0]).unwrap(), vec![edges[0]]);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let t = Topology::tree(3, 2);
+        let adj = t.adjacency();
+        for l in &t.links {
+            assert!(adj[&l.a.0].iter().any(|&(n, _)| n == l.b.0));
+            assert!(adj[&l.b.0].iter().any(|&(n, _)| n == l.a.0));
+        }
+    }
+
+    #[test]
+    fn master_assignment_is_balanced() {
+        let t = Topology::tree_with_about(400, 7);
+        let hives: Vec<HiveId> = (1..=40).map(HiveId).collect();
+        let masters = t.assign_masters(&hives);
+        let mut counts: BTreeMap<HiveId, usize> = BTreeMap::new();
+        for h in masters.values() {
+            *counts.entry(*h).or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), 40);
+        assert!(counts.values().all(|&c| c == 10), "400/40 = 10 each");
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type shared by the serializer and deserializer.
+
+use std::fmt;
+
+/// Result alias for wire-format operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while encoding or decoding the Beehive wire format.
+#[derive(Debug)]
+pub enum Error {
+    /// The input ended before the value was fully decoded.
+    Eof,
+    /// Bytes remained after the value was fully decoded.
+    TrailingBytes(usize),
+    /// A boolean byte was neither 0 nor 1.
+    InvalidBool(u8),
+    /// An `Option` tag byte was neither 0 nor 1.
+    InvalidOptionTag(u8),
+    /// A `char` was encoded as an invalid Unicode scalar value.
+    InvalidChar(u32),
+    /// A string's bytes were not valid UTF-8.
+    InvalidUtf8,
+    /// A varint did not terminate within 10 bytes.
+    VarintOverflow,
+    /// A decoded length does not fit in `usize`.
+    LengthOverflow(u64),
+    /// An enum variant index exceeded `u32::MAX`.
+    VariantOverflow(u64),
+    /// `deserialize_any` / `deserialize_ignored_any` was requested; the format
+    /// is not self-describing so this cannot be supported.
+    NotSelfDescribing,
+    /// An I/O error from the underlying writer.
+    Io(std::io::Error),
+    /// A custom error raised by a `Serialize`/`Deserialize` impl.
+    Custom(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Eof => write!(f, "unexpected end of input"),
+            Error::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            Error::InvalidBool(b) => write!(f, "invalid bool byte {b:#x}"),
+            Error::InvalidOptionTag(b) => write!(f, "invalid option tag {b:#x}"),
+            Error::InvalidChar(c) => write!(f, "invalid char scalar {c:#x}"),
+            Error::InvalidUtf8 => write!(f, "string is not valid UTF-8"),
+            Error::VarintOverflow => write!(f, "varint longer than 10 bytes"),
+            Error::LengthOverflow(n) => write!(f, "length {n} does not fit in usize"),
+            Error::VariantOverflow(n) => write!(f, "variant index {n} exceeds u32"),
+            Error::NotSelfDescribing => {
+                write!(f, "beehive-wire is not self-describing; deserialize_any unsupported")
+            }
+            Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Custom(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::Custom(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::Custom(msg.to_string())
+    }
+}

@@ -1,0 +1,307 @@
+//! Serializer: serde data model → Beehive wire bytes.
+
+use serde::ser::{self, Serialize};
+
+use crate::error::{Error, Result};
+use crate::varint::encode_varint;
+
+/// Serializes `value` into a freshly allocated `Vec<u8>`.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    let mut ser = Serializer::new();
+    value.serialize(&mut ser)?;
+    Ok(ser.into_inner())
+}
+
+/// Serializes `value` into any `std::io::Write`.
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(writer: &mut W, value: &T) -> Result<()> {
+    let buf = to_vec(value)?;
+    writer.write_all(&buf)?;
+    Ok(())
+}
+
+/// The wire-format serializer. Accumulates output into an internal buffer.
+pub struct Serializer {
+    out: Vec<u8>,
+}
+
+impl Serializer {
+    /// Creates a serializer with an empty output buffer.
+    pub fn new() -> Self {
+        Serializer { out: Vec::new() }
+    }
+
+    /// Creates a serializer with a pre-allocated buffer of `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        Serializer { out: Vec::with_capacity(cap) }
+    }
+
+    /// Consumes the serializer, returning the encoded bytes.
+    pub fn into_inner(self) -> Vec<u8> {
+        self.out
+    }
+
+    fn put_len(&mut self, len: usize) {
+        encode_varint(len as u64, &mut self.out);
+    }
+}
+
+impl Default for Serializer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+macro_rules! ser_int {
+    ($name:ident, $ty:ty) => {
+        fn $name(self, v: $ty) -> Result<()> {
+            self.out.extend_from_slice(&v.to_le_bytes());
+            Ok(())
+        }
+    };
+}
+
+impl<'a> ser::Serializer for &'a mut Serializer {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = Compound<'a>;
+    type SerializeTuple = Compound<'a>;
+    type SerializeTupleStruct = Compound<'a>;
+    type SerializeTupleVariant = Compound<'a>;
+    type SerializeMap = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+    type SerializeStructVariant = Compound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<()> {
+        self.out.push(v as u8);
+        Ok(())
+    }
+
+    ser_int!(serialize_i8, i8);
+    ser_int!(serialize_i16, i16);
+    ser_int!(serialize_i32, i32);
+    ser_int!(serialize_i64, i64);
+    ser_int!(serialize_i128, i128);
+    ser_int!(serialize_u8, u8);
+    ser_int!(serialize_u16, u16);
+    ser_int!(serialize_u32, u32);
+    ser_int!(serialize_u64, u64);
+    ser_int!(serialize_u128, u128);
+    ser_int!(serialize_f32, f32);
+    ser_int!(serialize_f64, f64);
+
+    fn serialize_char(self, v: char) -> Result<()> {
+        self.serialize_u32(v as u32)
+    }
+
+    fn serialize_str(self, v: &str) -> Result<()> {
+        self.put_len(v.len());
+        self.out.extend_from_slice(v.as_bytes());
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<()> {
+        self.put_len(v.len());
+        self.out.extend_from_slice(v);
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<()> {
+        self.out.push(0);
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<()> {
+        self.out.push(1);
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<()> {
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<()> {
+        Ok(())
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<()> {
+        encode_varint(variant_index as u64, &mut self.out);
+        Ok(())
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        encode_varint(variant_index as u64, &mut self.out);
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<Compound<'a>> {
+        let len = len.ok_or_else(|| {
+            Error::Custom("beehive-wire requires sequence lengths up front".into())
+        })?;
+        self.put_len(len);
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_tuple(self, _len: usize) -> Result<Compound<'a>> {
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_tuple_struct(self, _name: &'static str, _len: usize) -> Result<Compound<'a>> {
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>> {
+        encode_varint(variant_index as u64, &mut self.out);
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_map(self, len: Option<usize>) -> Result<Compound<'a>> {
+        let len = len
+            .ok_or_else(|| Error::Custom("beehive-wire requires map lengths up front".into()))?;
+        self.put_len(len);
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Compound<'a>> {
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>> {
+        encode_varint(variant_index as u64, &mut self.out);
+        Ok(Compound { ser: self })
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+/// Serializer state for compound types (seqs, tuples, maps, structs).
+pub struct Compound<'a> {
+    ser: &'a mut Serializer,
+}
+
+impl ser::SerializeSeq for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTuple for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTupleStruct for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTupleVariant for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeMap for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<()> {
+        key.serialize(&mut *self.ser)
+    }
+
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStruct for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, _key: &'static str, value: &T) -> Result<()> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, _key: &'static str, value: &T) -> Result<()> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}

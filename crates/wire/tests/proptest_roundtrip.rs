@@ -1,0 +1,117 @@
+//! Property tests: arbitrary values must round-trip through the wire format,
+//! and decoding must never panic on arbitrary input.
+
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+#[derive(Serialize, Deserialize, PartialEq, Debug, Clone)]
+enum WireEnum {
+    A,
+    B(u64),
+    C(String, Option<i32>),
+    D { flag: bool, data: Vec<u8> },
+}
+
+#[derive(Serialize, Deserialize, PartialEq, Debug, Clone)]
+struct WireStruct {
+    id: u64,
+    name: String,
+    tags: Vec<String>,
+    weights: BTreeMap<String, f64>,
+    variant: WireEnum,
+    maybe: Option<Box<WireStruct>>,
+}
+
+fn arb_enum() -> impl Strategy<Value = WireEnum> {
+    prop_oneof![
+        Just(WireEnum::A),
+        any::<u64>().prop_map(WireEnum::B),
+        (".{0,20}", proptest::option::of(any::<i32>())).prop_map(|(s, o)| WireEnum::C(s, o)),
+        (any::<bool>(), proptest::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(flag, data)| WireEnum::D { flag, data }),
+    ]
+}
+
+fn arb_struct(depth: u32) -> BoxedStrategy<WireStruct> {
+    let leaf = (
+        any::<u64>(),
+        ".{0,16}",
+        proptest::collection::vec(".{0,8}", 0..4),
+        proptest::collection::btree_map(".{0,8}", any::<f64>(), 0..4),
+        arb_enum(),
+    )
+        .prop_map(|(id, name, tags, weights, variant)| WireStruct {
+            id,
+            name,
+            tags,
+            weights,
+            variant,
+            maybe: None,
+        });
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        (leaf, proptest::option::of(arb_struct(depth - 1)))
+            .prop_map(|(mut s, inner)| {
+                s.maybe = inner.map(Box::new);
+                s
+            })
+            .boxed()
+    }
+}
+
+proptest! {
+    #[test]
+    fn u64_roundtrip(v in any::<u64>()) {
+        let buf = beehive_wire::to_vec(&v).unwrap();
+        prop_assert_eq!(beehive_wire::from_slice::<u64>(&buf).unwrap(), v);
+    }
+
+    #[test]
+    fn string_roundtrip(s in ".{0,256}") {
+        let buf = beehive_wire::to_vec(&s).unwrap();
+        prop_assert_eq!(beehive_wire::from_slice::<String>(&buf).unwrap(), s);
+    }
+
+    #[test]
+    fn float_roundtrip(v in any::<f64>()) {
+        let buf = beehive_wire::to_vec(&v).unwrap();
+        let back: f64 = beehive_wire::from_slice(&buf).unwrap();
+        prop_assert_eq!(v.to_bits(), back.to_bits());
+    }
+
+    #[test]
+    fn vec_roundtrip(v in proptest::collection::vec(any::<i32>(), 0..128)) {
+        let buf = beehive_wire::to_vec(&v).unwrap();
+        prop_assert_eq!(beehive_wire::from_slice::<Vec<i32>>(&buf).unwrap(), v);
+    }
+
+    #[test]
+    fn struct_roundtrip(s in arb_struct(2)) {
+        let buf = beehive_wire::to_vec(&s).unwrap();
+        let back: WireStruct = beehive_wire::from_slice(&buf).unwrap();
+        prop_assert_eq!(back, s);
+    }
+
+    #[test]
+    fn encoded_len_agrees(s in arb_struct(1)) {
+        let buf = beehive_wire::to_vec(&s).unwrap();
+        prop_assert_eq!(beehive_wire::encoded_len(&s).unwrap(), buf.len());
+    }
+
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Any of these may fail, but none may panic.
+        let _ = beehive_wire::from_slice::<WireStruct>(&bytes);
+        let _ = beehive_wire::from_slice::<Vec<String>>(&bytes);
+        let _ = beehive_wire::from_slice::<WireEnum>(&bytes);
+        let _ = beehive_wire::from_slice::<BTreeMap<u64, Vec<u8>>>(&bytes);
+    }
+
+    #[test]
+    fn map_roundtrip(m in proptest::collection::btree_map(any::<u32>(), ".{0,8}", 0..32)) {
+        let buf = beehive_wire::to_vec(&m).unwrap();
+        prop_assert_eq!(beehive_wire::from_slice::<BTreeMap<u32, String>>(&buf).unwrap(), m);
+    }
+}

@@ -1,0 +1,140 @@
+//! A real multi-threaded deployment: three hives over TCP on localhost,
+//! each on its own thread with the system clock — the production code path
+//! (no simulator involved).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use beehive::core::{Hive, HiveConfig, HiveHandle, Transport};
+use beehive::net::TcpTransport;
+use beehive::prelude::*;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Count {
+    key: String,
+}
+beehive::core::impl_message!(Count);
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ReadBack {
+    key: String,
+}
+beehive::core::impl_message!(ReadBack);
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Answer {
+    key: String,
+    value: u64,
+    hive: u32,
+}
+beehive::core::impl_message!(Answer);
+
+fn counter(answers: Arc<Mutex<Vec<Answer>>>) -> App {
+    App::builder("counter")
+        .handle::<Count>(
+            |m| Mapped::cell("c", &m.key),
+            |m, ctx| {
+                let n: u64 = ctx.get("c", &m.key).map_err(|e| e.to_string())?.unwrap_or(0);
+                ctx.put("c", m.key.clone(), &(n + 1)).map_err(|e| e.to_string())?;
+                Ok(())
+            },
+        )
+        .handle::<ReadBack>(
+            |m| Mapped::cell("c", &m.key),
+            move |m, ctx| {
+                let n: u64 = ctx.get("c", &m.key).map_err(|e| e.to_string())?.unwrap_or(0);
+                ctx.emit(Answer { key: m.key.clone(), value: n, hive: ctx.hive().0 });
+                Ok(())
+            },
+        )
+        .handle::<Answer>(
+            |_m| Mapped::LocalSingleton,
+            {
+                move |m, _ctx| {
+                    answers.lock().push(m.clone());
+                    Ok(())
+                }
+            },
+        )
+        .build()
+}
+
+#[test]
+fn three_hives_over_tcp_route_consistently() {
+    let n = 3u32;
+    // Bind everyone on port 0 first, then exchange addresses.
+    let mut transports: Vec<TcpTransport> = (1..=n)
+        .map(|i| {
+            TcpTransport::bind(HiveId(i), "127.0.0.1:0".parse().unwrap(), HashMap::new()).unwrap()
+        })
+        .collect();
+    let addrs: Vec<_> = transports.iter().map(|t| t.local_addr()).collect();
+    for (i, t) in transports.iter_mut().enumerate() {
+        for (j, &addr) in addrs.iter().enumerate() {
+            if i != j {
+                t.add_peer(HiveId(j as u32 + 1), addr);
+            }
+        }
+    }
+
+    let all: Vec<HiveId> = (1..=n).map(HiveId).collect();
+    let answers = Arc::new(Mutex::new(Vec::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles: Vec<HiveHandle> = Vec::new();
+    let mut threads = Vec::new();
+
+    for transport in transports {
+        let id = transport.local();
+        let mut cfg = HiveConfig::clustered(id, all.clone(), 3);
+        cfg.tick_interval_ms = 0;
+        cfg.raft_tick_ms = 5;
+        cfg.pending_retry_ms = 200;
+        let mut hive =
+            Hive::new(cfg, Arc::new(SystemClock::new()), Box::new(transport));
+        hive.install(counter(answers.clone()));
+        handles.push(hive.handle());
+        let stop2 = stop.clone();
+        threads.push(std::thread::spawn(move || {
+            hive.run(&stop2);
+            hive
+        }));
+    }
+
+    // Give the registry group a moment to elect.
+    std::thread::sleep(std::time::Duration::from_millis(500));
+
+    // The same key from every hive must land on one bee.
+    for h in &handles {
+        h.emit(Count { key: "k".into() });
+        h.emit(Count { key: "k".into() });
+    }
+    // Wait, then read back through a different hive than the writer.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    let mut value = 0;
+    while std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        handles[2].emit(ReadBack { key: "k".into() });
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        if let Some(a) = answers.lock().last() {
+            value = a.value;
+            if value == 6 {
+                break;
+            }
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    let hives: Vec<Hive> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+
+    assert_eq!(value, 6, "all six increments must reach the single bee");
+    let total_bees: usize = hives.iter().map(|h| h.local_bee_count("counter")).sum();
+    // One cell bee for "k" plus up to one LocalSingleton Answer bee per hive.
+    let cell_bees: usize = hives
+        .iter()
+        .flat_map(|h| h.local_bees("counter"))
+        .filter(|&(_, cells)| cells > 0)
+        .count();
+    assert_eq!(cell_bees, 1, "exactly one colony for key k (got {total_bees} bees total)");
+}
