@@ -79,8 +79,8 @@ fn evaluate(
         let Some(rule) = ctx.get::<Rule>(POLICY, &name).map_err(|e| e.to_string())? else {
             continue;
         };
-        let matches = rule.src_mac.is_none_or(|m| m == src)
-            && rule.dst_mac.is_none_or(|m| m == dst);
+        let matches =
+            rule.src_mac.is_none_or(|m| m == src) && rule.dst_mac.is_none_or(|m| m == dst);
         if matches && best.as_ref().is_none_or(|(p, _, _)| rule.priority > *p) {
             best = Some((rule.priority, name.clone(), rule.allow));
         }
@@ -125,7 +125,11 @@ pub fn acl_app() -> App {
                     out_port: DROP_PORT,
                 });
             }
-            ctx.emit(AclVerdict { switch: m.switch, allow, rule });
+            ctx.emit(AclVerdict {
+                switch: m.switch,
+                allow,
+                rule,
+            });
             Ok(())
         })
         .build()
@@ -154,8 +158,11 @@ mod tests {
     fn hive_with_acl() -> (Hive, Arc<Mutex<Vec<AclVerdict>>>) {
         let mut cfg = beehive_core::HiveConfig::standalone(HiveId(1));
         cfg.tick_interval_ms = 0;
-        let mut hive =
-            Hive::new(cfg, Arc::new(SystemClock::new()), Box::new(Loopback::new(HiveId(1))));
+        let mut hive = Hive::new(
+            cfg,
+            Arc::new(SystemClock::new()),
+            Box::new(Loopback::new(HiveId(1))),
+        );
         hive.install(acl_app());
         let verdicts = Arc::new(Mutex::new(Vec::new()));
         let v2 = verdicts.clone();
@@ -195,7 +202,11 @@ mod tests {
     #[test]
     fn default_is_allow() {
         let (mut hive, verdicts) = hive_with_acl();
-        hive.emit(PacketInEvent { switch: 1, in_port: 1, data: pkt(1, 2) });
+        hive.emit(PacketInEvent {
+            switch: 1,
+            in_port: 1,
+            data: pkt(1, 2),
+        });
         hive.step_until_quiescent(1000);
         let v = verdicts.lock().clone();
         assert_eq!(v.len(), 1);
@@ -226,7 +237,11 @@ mod tests {
             dst_mac: Some(mac(2)),
             allow: false,
         });
-        hive.emit(PacketInEvent { switch: 7, in_port: 1, data: pkt(1, 2) });
+        hive.emit(PacketInEvent {
+            switch: 7,
+            in_port: 1,
+            data: pkt(1, 2),
+        });
         hive.step_until_quiescent(1000);
         let v = verdicts.lock().clone();
         assert!(!v[0].allow);
@@ -251,8 +266,16 @@ mod tests {
             dst_mac: Some(mac(2)),
             allow: true,
         });
-        hive.emit(PacketInEvent { switch: 1, in_port: 1, data: pkt(1, 2) });
-        hive.emit(PacketInEvent { switch: 1, in_port: 1, data: pkt(9, 2) });
+        hive.emit(PacketInEvent {
+            switch: 1,
+            in_port: 1,
+            data: pkt(1, 2),
+        });
+        hive.emit(PacketInEvent {
+            switch: 1,
+            in_port: 1,
+            data: pkt(9, 2),
+        });
         hive.step_until_quiescent(1000);
         let v = verdicts.lock().clone();
         assert!(v[0].allow, "specific allow overrides");
@@ -270,8 +293,14 @@ mod tests {
             dst_mac: Some(mac(2)),
             allow: false,
         });
-        hive.emit(RemoveRule { name: "deny".into() });
-        hive.emit(PacketInEvent { switch: 1, in_port: 1, data: pkt(1, 2) });
+        hive.emit(RemoveRule {
+            name: "deny".into(),
+        });
+        hive.emit(PacketInEvent {
+            switch: 1,
+            in_port: 1,
+            data: pkt(1, 2),
+        });
         hive.step_until_quiescent(1000);
         assert!(verdicts.lock()[0].allow);
     }

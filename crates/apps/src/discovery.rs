@@ -58,8 +58,10 @@ pub fn discovery_app() -> App {
             |m| Mapped::cell(ADJ, m.src.to_string()),
             |m, ctx| {
                 let key = m.src.to_string();
-                let mut entry: AdjEntry =
-                    ctx.get(ADJ, &key).map_err(|e| e.to_string())?.unwrap_or_default();
+                let mut entry: AdjEntry = ctx
+                    .get(ADJ, &key)
+                    .map_err(|e| e.to_string())?
+                    .unwrap_or_default();
                 if !entry.neighbors.contains(&(m.dst, m.src_port)) {
                     entry.neighbors.push((m.dst, m.src_port));
                     entry.neighbors.sort();
@@ -76,7 +78,10 @@ pub fn discovery_app() -> App {
                     .get(ADJ, &m.switch.to_string())
                     .map_err(|e| e.to_string())?
                     .unwrap_or_default();
-                ctx.emit(Neighbors { switch: m.switch, neighbors: entry.neighbors });
+                ctx.emit(Neighbors {
+                    switch: m.switch,
+                    neighbors: entry.neighbors,
+                });
                 Ok(())
             },
         )
@@ -108,17 +113,37 @@ mod tests {
     fn standalone() -> Hive {
         let mut cfg = HiveConfig::standalone(HiveId(1));
         cfg.tick_interval_ms = 0;
-        Hive::new(cfg, Arc::new(SystemClock::new()), Box::new(Loopback::new(HiveId(1))))
+        Hive::new(
+            cfg,
+            Arc::new(SystemClock::new()),
+            Box::new(Loopback::new(HiveId(1))),
+        )
     }
 
     #[test]
     fn links_accumulate_per_switch() {
         let mut hive = standalone();
         hive.install(discovery_app());
-        hive.emit(LinkDiscovered { src: 1, src_port: 2, dst: 5 });
-        hive.emit(LinkDiscovered { src: 1, src_port: 3, dst: 6 });
-        hive.emit(LinkDiscovered { src: 1, src_port: 2, dst: 5 }); // dup
-        hive.emit(LinkDiscovered { src: 2, src_port: 1, dst: 1 });
+        hive.emit(LinkDiscovered {
+            src: 1,
+            src_port: 2,
+            dst: 5,
+        });
+        hive.emit(LinkDiscovered {
+            src: 1,
+            src_port: 3,
+            dst: 6,
+        });
+        hive.emit(LinkDiscovered {
+            src: 1,
+            src_port: 2,
+            dst: 5,
+        }); // dup
+        hive.emit(LinkDiscovered {
+            src: 2,
+            src_port: 1,
+            dst: 1,
+        });
         hive.step_until_quiescent(1000);
         assert_eq!(hive.local_bee_count(DISCOVERY_APP), 2, "one bee per switch");
         let bees = hive.local_bees(DISCOVERY_APP);
@@ -150,7 +175,11 @@ mod tests {
                 )
                 .build(),
         );
-        hive.emit(LinkDiscovered { src: 3, src_port: 1, dst: 9 });
+        hive.emit(LinkDiscovered {
+            src: 3,
+            src_port: 1,
+            dst: 9,
+        });
         hive.emit(NeighborQuery { switch: 3 });
         hive.step_until_quiescent(1000);
         let replies = seen.lock().clone();

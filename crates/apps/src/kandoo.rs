@@ -44,8 +44,10 @@ pub fn kandoo_local_app(threshold_bytes: u64) -> App {
             |m| Mapped::cell(SEEN, m.switch.to_string()),
             move |m, ctx| {
                 let key = m.switch.to_string();
-                let mut reported: Vec<(u32, u32)> =
-                    ctx.get(SEEN, &key).map_err(|e| e.to_string())?.unwrap_or_default();
+                let mut reported: Vec<(u32, u32)> = ctx
+                    .get(SEEN, &key)
+                    .map_err(|e| e.to_string())?
+                    .unwrap_or_default();
                 for f in &m.flows {
                     let id = (f.nw_src, f.nw_dst);
                     if f.bytes > threshold_bytes && !reported.contains(&id) {
@@ -96,13 +98,23 @@ mod tests {
     fn standalone() -> Hive {
         let mut cfg = HiveConfig::standalone(HiveId(1));
         cfg.tick_interval_ms = 0;
-        Hive::new(cfg, Arc::new(SystemClock::new()), Box::new(Loopback::new(HiveId(1))))
+        Hive::new(
+            cfg,
+            Arc::new(SystemClock::new()),
+            Box::new(Loopback::new(HiveId(1))),
+        )
     }
 
     fn reply(switch: u64, bytes: u64) -> StatReply {
         StatReply {
             switch,
-            flows: vec![FlowStat { nw_src: 1, nw_dst: 2, packets: 1, bytes, duration_sec: 1 }],
+            flows: vec![FlowStat {
+                nw_src: 1,
+                nw_dst: 2,
+                packets: 1,
+                bytes,
+                duration_sec: 1,
+            }],
         }
     }
 
@@ -147,10 +159,20 @@ mod tests {
                 )
                 .build(),
         );
-        let e = ElephantDetected { switch: 4, nw_src: 1, nw_dst: 2, bytes: 9000 };
+        let e = ElephantDetected {
+            switch: 4,
+            nw_src: 1,
+            nw_dst: 2,
+            bytes: 9000,
+        };
         hive.emit(e.clone());
         hive.emit(e);
-        hive.emit(ElephantDetected { switch: 4, nw_src: 3, nw_dst: 4, bytes: 9000 });
+        hive.emit(ElephantDetected {
+            switch: 4,
+            nw_src: 3,
+            nw_dst: 4,
+            bytes: 9000,
+        });
         hive.step_until_quiescent(1000);
         assert_eq!(rules.lock().len(), 2);
     }

@@ -34,8 +34,10 @@ pub fn learning_switch_app() -> App {
                     return Err("packet too short for Ethernet".into());
                 };
                 let key = m.switch.to_string();
-                let mut table: MacTable =
-                    ctx.get(MACS, &key).map_err(|e| e.to_string())?.unwrap_or_default();
+                let mut table: MacTable = ctx
+                    .get(MACS, &key)
+                    .map_err(|e| e.to_string())?
+                    .unwrap_or_default();
                 table.entries.insert(src, m.in_port);
                 let out = table.entries.get(&dst).copied();
                 ctx.put(MACS, key, &table).map_err(|e| e.to_string())?;
@@ -93,10 +95,16 @@ mod tests {
     fn hive_with_sinks() -> (Hive, Arc<Mutex<Captured>>) {
         let mut cfg = HiveConfig::standalone(HiveId(1));
         cfg.tick_interval_ms = 0;
-        let mut hive =
-            Hive::new(cfg, Arc::new(SystemClock::new()), Box::new(Loopback::new(HiveId(1))));
+        let mut hive = Hive::new(
+            cfg,
+            Arc::new(SystemClock::new()),
+            Box::new(Loopback::new(HiveId(1))),
+        );
         hive.install(learning_switch_app());
-        let cap = Arc::new(Mutex::new(Captured { rules: Vec::new(), outs: Vec::new() }));
+        let cap = Arc::new(Mutex::new(Captured {
+            rules: Vec::new(),
+            outs: Vec::new(),
+        }));
         let c1 = cap.clone();
         let c2 = cap.clone();
         hive.install(
@@ -126,7 +134,11 @@ mod tests {
     #[test]
     fn unknown_destination_floods() {
         let (mut hive, cap) = hive_with_sinks();
-        hive.emit(PacketInEvent { switch: 1, in_port: 3, data: pkt(A, B) });
+        hive.emit(PacketInEvent {
+            switch: 1,
+            in_port: 3,
+            data: pkt(A, B),
+        });
         hive.step_until_quiescent(1000);
         let c = cap.lock();
         assert!(c.rules.is_empty());
@@ -138,8 +150,16 @@ mod tests {
     fn learned_destination_installs_flow_and_forwards() {
         let (mut hive, cap) = hive_with_sinks();
         // A talks (learning A@3), then B replies (learning B@5, A known).
-        hive.emit(PacketInEvent { switch: 1, in_port: 3, data: pkt(A, B) });
-        hive.emit(PacketInEvent { switch: 1, in_port: 5, data: pkt(B, A) });
+        hive.emit(PacketInEvent {
+            switch: 1,
+            in_port: 3,
+            data: pkt(A, B),
+        });
+        hive.emit(PacketInEvent {
+            switch: 1,
+            in_port: 5,
+            data: pkt(B, A),
+        });
         hive.step_until_quiescent(1000);
         let c = cap.lock();
         assert_eq!(c.rules.len(), 1);
@@ -151,9 +171,17 @@ mod tests {
     #[test]
     fn tables_are_per_switch() {
         let (mut hive, cap) = hive_with_sinks();
-        hive.emit(PacketInEvent { switch: 1, in_port: 3, data: pkt(A, B) });
+        hive.emit(PacketInEvent {
+            switch: 1,
+            in_port: 3,
+            data: pkt(A, B),
+        });
         // Switch 2 never saw A: must flood even though switch 1 knows A.
-        hive.emit(PacketInEvent { switch: 2, in_port: 5, data: pkt(B, A) });
+        hive.emit(PacketInEvent {
+            switch: 2,
+            in_port: 5,
+            data: pkt(B, A),
+        });
         hive.step_until_quiescent(1000);
         let c = cap.lock();
         assert!(c.rules.is_empty());
@@ -165,7 +193,11 @@ mod tests {
     #[test]
     fn short_packet_is_an_error() {
         let (mut hive, _cap) = hive_with_sinks();
-        hive.emit(PacketInEvent { switch: 1, in_port: 1, data: vec![1, 2, 3] });
+        hive.emit(PacketInEvent {
+            switch: 1,
+            in_port: 1,
+            data: vec![1, 2, 3],
+        });
         hive.step_until_quiescent(1000);
         assert_eq!(hive.counters().handler_errors, 1);
     }

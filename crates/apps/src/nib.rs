@@ -108,10 +108,15 @@ pub fn nib_app() -> App {
                 let mut node: NibNode = ctx
                     .get(NODES, &m.id)
                     .map_err(|e| e.to_string())?
-                    .unwrap_or(NibNode { kind: m.kind, attrs: BTreeMap::new(), out_edges: vec![] });
+                    .unwrap_or(NibNode {
+                        kind: m.kind,
+                        attrs: BTreeMap::new(),
+                        out_edges: vec![],
+                    });
                 node.kind = m.kind;
                 node.attrs.extend(m.attrs.clone());
-                ctx.put(NODES, m.id.clone(), &node).map_err(|e| e.to_string())
+                ctx.put(NODES, m.id.clone(), &node)
+                    .map_err(|e| e.to_string())
             },
         )
         .handle_named::<NodeDelete>(
@@ -126,15 +131,17 @@ pub fn nib_app() -> App {
             "EdgeAdd",
             |m| Mapped::cell(NODES, &m.from),
             |m, ctx| {
-                let Some(mut node) =
-                    ctx.get::<NibNode>(NODES, &m.from).map_err(|e| e.to_string())?
+                let Some(mut node) = ctx
+                    .get::<NibNode>(NODES, &m.from)
+                    .map_err(|e| e.to_string())?
                 else {
                     return Err(format!("edge from unknown node {}", m.from));
                 };
                 if !node.out_edges.contains(&m.to) {
                     node.out_edges.push(m.to.clone());
                     node.out_edges.sort();
-                    ctx.put(NODES, m.from.clone(), &node).map_err(|e| e.to_string())?;
+                    ctx.put(NODES, m.from.clone(), &node)
+                        .map_err(|e| e.to_string())?;
                 }
                 Ok(())
             },
@@ -143,11 +150,13 @@ pub fn nib_app() -> App {
             "EdgeDel",
             |m| Mapped::cell(NODES, &m.from),
             |m, ctx| {
-                if let Some(mut node) =
-                    ctx.get::<NibNode>(NODES, &m.from).map_err(|e| e.to_string())?
+                if let Some(mut node) = ctx
+                    .get::<NibNode>(NODES, &m.from)
+                    .map_err(|e| e.to_string())?
                 {
                     node.out_edges.retain(|e| e != &m.to);
-                    ctx.put(NODES, m.from.clone(), &node).map_err(|e| e.to_string())?;
+                    ctx.put(NODES, m.from.clone(), &node)
+                        .map_err(|e| e.to_string())?;
                 }
                 Ok(())
             },
@@ -156,8 +165,13 @@ pub fn nib_app() -> App {
             "Query",
             |m| Mapped::cell(NODES, &m.id),
             |m, ctx| {
-                let node = ctx.get::<NibNode>(NODES, &m.id).map_err(|e| e.to_string())?;
-                ctx.emit(NodeReply { id: m.id.clone(), node });
+                let node = ctx
+                    .get::<NibNode>(NODES, &m.id)
+                    .map_err(|e| e.to_string())?;
+                ctx.emit(NodeReply {
+                    id: m.id.clone(),
+                    node,
+                });
                 Ok(())
             },
         )
@@ -173,7 +187,11 @@ mod tests {
     fn standalone() -> Hive {
         let mut cfg = HiveConfig::standalone(HiveId(1));
         cfg.tick_interval_ms = 0;
-        Hive::new(cfg, Arc::new(SystemClock::new()), Box::new(Loopback::new(HiveId(1))))
+        Hive::new(
+            cfg,
+            Arc::new(SystemClock::new()),
+            Box::new(Loopback::new(HiveId(1))),
+        )
     }
 
     fn with_sink() -> (Hive, Arc<Mutex<Vec<NodeReply>>>) {
@@ -196,7 +214,10 @@ mod tests {
     }
 
     fn attrs(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
     }
 
     #[test]
@@ -223,10 +244,23 @@ mod tests {
     #[test]
     fn edges_live_on_the_source_node() {
         let (mut hive, seen) = with_sink();
-        hive.emit(NodeUpdate { id: "sw1".into(), kind: NodeKind::Switch, attrs: attrs(&[]) });
-        hive.emit(EdgeAdd { from: "sw1".into(), to: "sw2".into() });
-        hive.emit(EdgeAdd { from: "sw1".into(), to: "sw3".into() });
-        hive.emit(EdgeAdd { from: "sw1".into(), to: "sw2".into() }); // dup
+        hive.emit(NodeUpdate {
+            id: "sw1".into(),
+            kind: NodeKind::Switch,
+            attrs: attrs(&[]),
+        });
+        hive.emit(EdgeAdd {
+            from: "sw1".into(),
+            to: "sw2".into(),
+        });
+        hive.emit(EdgeAdd {
+            from: "sw1".into(),
+            to: "sw3".into(),
+        });
+        hive.emit(EdgeAdd {
+            from: "sw1".into(),
+            to: "sw2".into(),
+        }); // dup
         hive.emit(NodeQuery { id: "sw1".into() });
         hive.step_until_quiescent(1000);
         let node = seen.lock()[0].node.clone().unwrap();
@@ -236,7 +270,10 @@ mod tests {
     #[test]
     fn edge_to_unknown_source_errors() {
         let (mut hive, _seen) = with_sink();
-        hive.emit(EdgeAdd { from: "ghost".into(), to: "sw2".into() });
+        hive.emit(EdgeAdd {
+            from: "ghost".into(),
+            to: "sw2".into(),
+        });
         hive.step_until_quiescent(1000);
         assert_eq!(hive.counters().handler_errors, 1);
     }
@@ -244,7 +281,11 @@ mod tests {
     #[test]
     fn delete_then_query_returns_none() {
         let (mut hive, seen) = with_sink();
-        hive.emit(NodeUpdate { id: "h1".into(), kind: NodeKind::Host, attrs: attrs(&[]) });
+        hive.emit(NodeUpdate {
+            id: "h1".into(),
+            kind: NodeKind::Host,
+            attrs: attrs(&[]),
+        });
         hive.emit(NodeDelete { id: "h1".into() });
         hive.emit(NodeQuery { id: "h1".into() });
         hive.step_until_quiescent(1000);

@@ -114,18 +114,22 @@ pub fn rib_app() -> App {
             "Announce",
             |m| Mapped::cell(RIB, &m.prefix),
             |m, ctx| {
-                let mut entry: RibEntry =
-                    ctx.get(RIB, &m.prefix).map_err(|e| e.to_string())?.unwrap_or_default();
+                let mut entry: RibEntry = ctx
+                    .get(RIB, &m.prefix)
+                    .map_err(|e| e.to_string())?
+                    .unwrap_or_default();
                 entry.routes.insert(m.origin, (m.next_hop, m.metric));
-                ctx.put(RIB, m.prefix.clone(), &entry).map_err(|e| e.to_string())
+                ctx.put(RIB, m.prefix.clone(), &entry)
+                    .map_err(|e| e.to_string())
             },
         )
         .handle_named::<RouteWithdraw>(
             "Withdraw",
             |m| Mapped::cell(RIB, &m.prefix),
             |m, ctx| {
-                let Some(mut entry) =
-                    ctx.get::<RibEntry>(RIB, &m.prefix).map_err(|e| e.to_string())?
+                let Some(mut entry) = ctx
+                    .get::<RibEntry>(RIB, &m.prefix)
+                    .map_err(|e| e.to_string())?
                 else {
                     return Ok(());
                 };
@@ -138,7 +142,8 @@ pub fn rib_app() -> App {
                         ctx.retire();
                     }
                 } else {
-                    ctx.put(RIB, m.prefix.clone(), &entry).map_err(|e| e.to_string())?;
+                    ctx.put(RIB, m.prefix.clone(), &entry)
+                        .map_err(|e| e.to_string())?;
                 }
                 Ok(())
             },
@@ -147,9 +152,14 @@ pub fn rib_app() -> App {
             "Query",
             |m| Mapped::cell(RIB, &m.prefix),
             |m, ctx| {
-                let entry: RibEntry =
-                    ctx.get(RIB, &m.prefix).map_err(|e| e.to_string())?.unwrap_or_default();
-                ctx.emit(RouteReply { prefix: m.prefix.clone(), best: entry.best() });
+                let entry: RibEntry = ctx
+                    .get(RIB, &m.prefix)
+                    .map_err(|e| e.to_string())?
+                    .unwrap_or_default();
+                ctx.emit(RouteReply {
+                    prefix: m.prefix.clone(),
+                    best: entry.best(),
+                });
                 Ok(())
             },
         )
@@ -199,8 +209,10 @@ fn dijkstra(g: &Graph, src: u64, dst: u64) -> Option<Vec<u64>> {
 pub fn path_app() -> App {
     App::builder(PATH_APP)
         .handle_whole::<LinkDiscovered>("Topo", &[TOPO], |m, ctx| {
-            let mut g: Graph =
-                ctx.get(TOPO, "graph").map_err(|e| e.to_string())?.unwrap_or_default();
+            let mut g: Graph = ctx
+                .get(TOPO, "graph")
+                .map_err(|e| e.to_string())?
+                .unwrap_or_default();
             let edges = g.edges.entry(m.src).or_default();
             if !edges.contains(&(m.dst, 1)) {
                 edges.push((m.dst, 1));
@@ -209,8 +221,10 @@ pub fn path_app() -> App {
             ctx.put(TOPO, "graph", &g).map_err(|e| e.to_string())
         })
         .handle_whole::<PathRequest>("Compute", &[TOPO], |m, ctx| {
-            let g: Graph =
-                ctx.get(TOPO, "graph").map_err(|e| e.to_string())?.unwrap_or_default();
+            let g: Graph = ctx
+                .get(TOPO, "graph")
+                .map_err(|e| e.to_string())?
+                .unwrap_or_default();
             let path = dijkstra(&g, m.src, m.dst).unwrap_or_default();
             if path.len() >= 2 {
                 ctx.emit(RouteAnnounce {
@@ -220,7 +234,11 @@ pub fn path_app() -> App {
                     origin: m.src,
                 });
             }
-            ctx.emit(PathComputed { src: m.src, dst: m.dst, path });
+            ctx.emit(PathComputed {
+                src: m.src,
+                dst: m.dst,
+                path,
+            });
             Ok(())
         })
         .build()
@@ -235,7 +253,11 @@ mod tests {
     fn standalone() -> Hive {
         let mut cfg = HiveConfig::standalone(HiveId(1));
         cfg.tick_interval_ms = 0;
-        Hive::new(cfg, Arc::new(SystemClock::new()), Box::new(Loopback::new(HiveId(1))))
+        Hive::new(
+            cfg,
+            Arc::new(SystemClock::new()),
+            Box::new(Loopback::new(HiveId(1))),
+        )
     }
 
     fn reply_sink(seen: Arc<Mutex<Vec<RouteReply>>>) -> App {
@@ -256,9 +278,21 @@ mod tests {
         hive.install(rib_app());
         let seen = Arc::new(Mutex::new(Vec::new()));
         hive.install(reply_sink(seen.clone()));
-        hive.emit(RouteAnnounce { prefix: "10.0.0.0/8".into(), next_hop: 5, metric: 3, origin: 1 });
-        hive.emit(RouteAnnounce { prefix: "10.0.0.0/8".into(), next_hop: 9, metric: 1, origin: 2 });
-        hive.emit(RouteQuery { prefix: "10.0.0.0/8".into() });
+        hive.emit(RouteAnnounce {
+            prefix: "10.0.0.0/8".into(),
+            next_hop: 5,
+            metric: 3,
+            origin: 1,
+        });
+        hive.emit(RouteAnnounce {
+            prefix: "10.0.0.0/8".into(),
+            next_hop: 9,
+            metric: 1,
+            origin: 2,
+        });
+        hive.emit(RouteQuery {
+            prefix: "10.0.0.0/8".into(),
+        });
         hive.step_until_quiescent(1000);
         let replies = seen.lock().clone();
         assert_eq!(replies.len(), 1);
@@ -271,9 +305,22 @@ mod tests {
         hive.install(rib_app());
         let seen = Arc::new(Mutex::new(Vec::new()));
         hive.install(reply_sink(seen.clone()));
-        hive.emit(RouteAnnounce { prefix: "p".into(), next_hop: 5, metric: 1, origin: 1 });
-        hive.emit(RouteAnnounce { prefix: "p".into(), next_hop: 9, metric: 2, origin: 2 });
-        hive.emit(RouteWithdraw { prefix: "p".into(), origin: 1 });
+        hive.emit(RouteAnnounce {
+            prefix: "p".into(),
+            next_hop: 5,
+            metric: 1,
+            origin: 1,
+        });
+        hive.emit(RouteAnnounce {
+            prefix: "p".into(),
+            next_hop: 9,
+            metric: 2,
+            origin: 2,
+        });
+        hive.emit(RouteWithdraw {
+            prefix: "p".into(),
+            origin: 1,
+        });
         hive.emit(RouteQuery { prefix: "p".into() });
         hive.step_until_quiescent(1000);
         assert_eq!(seen.lock()[0].best, Some((9, 2)));
@@ -285,7 +332,9 @@ mod tests {
         hive.install(rib_app());
         let seen = Arc::new(Mutex::new(Vec::new()));
         hive.install(reply_sink(seen.clone()));
-        hive.emit(RouteQuery { prefix: "nope".into() });
+        hive.emit(RouteQuery {
+            prefix: "nope".into(),
+        });
         hive.step_until_quiescent(1000);
         assert_eq!(seen.lock()[0].best, None);
     }
@@ -294,18 +343,35 @@ mod tests {
     fn full_withdrawal_retires_the_bee() {
         let mut hive = standalone();
         hive.install(rib_app());
-        hive.emit(RouteAnnounce { prefix: "gone".into(), next_hop: 1, metric: 1, origin: 1 });
+        hive.emit(RouteAnnounce {
+            prefix: "gone".into(),
+            next_hop: 1,
+            metric: 1,
+            origin: 1,
+        });
         hive.step_until_quiescent(1000);
         assert_eq!(hive.local_bee_count(RIB_APP), 1);
-        hive.emit(RouteWithdraw { prefix: "gone".into(), origin: 1 });
+        hive.emit(RouteWithdraw {
+            prefix: "gone".into(),
+            origin: 1,
+        });
         hive.step_until_quiescent(1000);
-        assert_eq!(hive.local_bee_count(RIB_APP), 0, "empty colony garbage-collected");
+        assert_eq!(
+            hive.local_bee_count(RIB_APP),
+            0,
+            "empty colony garbage-collected"
+        );
         assert!(hive
             .registry_view()
             .owner(RIB_APP, &beehive_core::Cell::new("rib", "gone"))
             .is_none());
         // The prefix can come back: a fresh announce re-creates a bee.
-        hive.emit(RouteAnnounce { prefix: "gone".into(), next_hop: 2, metric: 2, origin: 1 });
+        hive.emit(RouteAnnounce {
+            prefix: "gone".into(),
+            next_hop: 2,
+            metric: 2,
+            origin: 1,
+        });
         hive.step_until_quiescent(1000);
         assert_eq!(hive.local_bee_count(RIB_APP), 1);
     }
@@ -335,11 +401,21 @@ mod tests {
         hive.install(reply_sink(seen.clone()));
         // Line topology 1-2-3 (directed both ways).
         for (a, b) in [(1u64, 2u64), (2, 1), (2, 3), (3, 2)] {
-            hive.emit(LinkDiscovered { src: a, src_port: 1, dst: b });
+            hive.emit(LinkDiscovered {
+                src: a,
+                src_port: 1,
+                dst: b,
+            });
         }
-        hive.emit(PathRequest { src: 1, dst: 3, prefix: "dst3".into() });
+        hive.emit(PathRequest {
+            src: 1,
+            dst: 3,
+            prefix: "dst3".into(),
+        });
         hive.step_until_quiescent(1000); // let the announce land first
-        hive.emit(RouteQuery { prefix: "dst3".into() });
+        hive.emit(RouteQuery {
+            prefix: "dst3".into(),
+        });
         hive.step_until_quiescent(1000);
         let replies = seen.lock().clone();
         assert_eq!(replies.len(), 1);
@@ -363,8 +439,16 @@ mod tests {
                 )
                 .build(),
         );
-        hive.emit(LinkDiscovered { src: 1, src_port: 1, dst: 2 });
-        hive.emit(PathRequest { src: 1, dst: 99, prefix: "x".into() });
+        hive.emit(LinkDiscovered {
+            src: 1,
+            src_port: 1,
+            dst: 2,
+        });
+        hive.emit(PathRequest {
+            src: 1,
+            dst: 99,
+            prefix: "x".into(),
+        });
         hive.step_until_quiescent(1000);
         assert_eq!(seen.lock().clone(), vec![Vec::<u64>::new()]);
     }

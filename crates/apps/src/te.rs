@@ -35,7 +35,9 @@ pub struct TeConfig {
 
 impl Default for TeConfig {
     fn default() -> Self {
-        TeConfig { delta_bytes_per_sec: 50_000 }
+        TeConfig {
+            delta_bytes_per_sec: 50_000,
+        }
     }
 }
 
@@ -77,13 +79,20 @@ fn collect_into(
     now_ms: u64,
     delta: u64,
 ) -> Vec<(u32, u32, u64)> {
-    let dt_ms =
-        if !stats.primed { 1000 } else { now_ms.saturating_sub(stats.last_reply_ms).max(1) };
+    let dt_ms = if !stats.primed {
+        1000
+    } else {
+        now_ms.saturating_sub(stats.last_reply_ms).max(1)
+    };
     let mut hot = Vec::new();
     for f in &reply.flows {
         let key = (f.nw_src, f.nw_dst);
         let last = stats.last_bytes.get(&key).copied().unwrap_or(0);
-        let rate = if f.bytes >= last { (f.bytes - last) * 1000 / dt_ms } else { 0 };
+        let rate = if f.bytes >= last {
+            (f.bytes - last) * 1000 / dt_ms
+        } else {
+            0
+        };
         stats.last_bytes.insert(key, f.bytes);
         // First reply has no baseline: skip rate estimation to avoid
         // counting the entire lifetime as one interval.
@@ -106,7 +115,8 @@ const T: &str = "T";
 const M: &str = "M";
 
 fn store_link(ctx: &mut RcvCtx<'_>, dict: &str, m: &LinkDiscovered) -> Result<(), String> {
-    ctx.put(dict, format!("{}-{}", m.src, m.dst), m).map_err(|e| e.to_string())
+    ctx.put(dict, format!("{}-{}", m.src, m.dst), m)
+        .map_err(|e| e.to_string())
 }
 
 /// Builds the **naive** TE app of Figure 2. `Route` maps whole `S` and `T`;
@@ -138,8 +148,10 @@ pub fn naive_te_app(cfg: TeConfig) -> App {
             |m| Mapped::cell(S, m.switch.to_string()),
             move |m, ctx| {
                 let key = m.switch.to_string();
-                let mut stats: SwitchStats =
-                    ctx.get(S, &key).map_err(|e| e.to_string())?.unwrap_or_default();
+                let mut stats: SwitchStats = ctx
+                    .get(S, &key)
+                    .map_err(|e| e.to_string())?
+                    .unwrap_or_default();
                 let now = ctx.now_ms();
                 // In the naive design Collect only records; Route scans S.
                 let _ = collect_into(&mut stats, m, now, u64::MAX);
@@ -149,12 +161,13 @@ pub fn naive_te_app(cfg: TeConfig) -> App {
         // func Route — on TimeOut: with S and T (WHOLE dictionaries).
         .handle_whole::<Tick>("Route", &[S, T], move |_t, ctx| {
             for key in ctx.keys(S) {
-                let Some(mut stats) =
-                    ctx.get::<SwitchStats>(S, &key).map_err(|e| e.to_string())?
+                let Some(mut stats) = ctx.get::<SwitchStats>(S, &key).map_err(|e| e.to_string())?
                 else {
                     continue;
                 };
-                let Ok(switch) = key.parse::<u64>() else { continue };
+                let Ok(switch) = key.parse::<u64>() else {
+                    continue;
+                };
                 let hot: Vec<(u32, u32, u64)> = stats
                     .rates
                     .iter()
@@ -211,15 +224,22 @@ pub fn decoupled_te_apps(cfg: TeConfig) -> (App, App) {
             |m| Mapped::cell(S, m.switch.to_string()),
             move |m, ctx| {
                 let key = m.switch.to_string();
-                let mut stats: SwitchStats =
-                    ctx.get(S, &key).map_err(|e| e.to_string())?.unwrap_or_default();
+                let mut stats: SwitchStats = ctx
+                    .get(S, &key)
+                    .map_err(|e| e.to_string())?
+                    .unwrap_or_default();
                 let now = ctx.now_ms();
                 let hot = collect_into(&mut stats, m, now, delta);
                 ctx.put(S, key, &stats).map_err(|e| e.to_string())?;
                 // Aggregated events decouple Collect from Route: only flows
                 // crossing δ travel to the (centralized) Route bee.
                 for (nw_src, nw_dst, rate) in hot {
-                    ctx.emit(MatrixUpdate { switch: m.switch, nw_src, nw_dst, rate });
+                    ctx.emit(MatrixUpdate {
+                        switch: m.switch,
+                        nw_src,
+                        nw_dst,
+                        rate,
+                    });
                 }
                 Ok(())
             },
@@ -259,7 +279,11 @@ mod tests {
     fn standalone() -> Hive {
         let mut cfg = HiveConfig::standalone(HiveId(1));
         cfg.tick_interval_ms = 0; // drive ticks manually
-        Hive::new(cfg, Arc::new(SystemClock::new()), Box::new(Loopback::new(HiveId(1))))
+        Hive::new(
+            cfg,
+            Arc::new(SystemClock::new()),
+            Box::new(Loopback::new(HiveId(1))),
+        )
     }
 
     fn reply(switch: u64, flows: &[(u32, u32, u64)]) -> StatReply {
@@ -297,7 +321,10 @@ mod tests {
         let report = design_feedback(&app);
         assert!(report.is_centralized());
         let text = report.to_string();
-        assert!(text.contains("Route"), "feedback should name the culprit: {text}");
+        assert!(
+            text.contains("Route"),
+            "feedback should name the culprit: {text}"
+        );
     }
 
     #[test]
@@ -313,10 +340,17 @@ mod tests {
         let mut hive = standalone();
         hive.install(naive_te_app(TeConfig::default()));
         for sw in 1..=5u64 {
-            hive.emit(SwitchJoined { dpid: sw, n_ports: 4 });
+            hive.emit(SwitchJoined {
+                dpid: sw,
+                n_ports: 4,
+            });
         }
         hive.step_until_quiescent(1000);
-        assert_eq!(hive.local_bee_count(NAIVE_TE_APP), 1, "monolithic S ⇒ one bee");
+        assert_eq!(
+            hive.local_bee_count(NAIVE_TE_APP),
+            1,
+            "monolithic S ⇒ one bee"
+        );
     }
 
     #[test]
@@ -326,7 +360,10 @@ mod tests {
         hive.install(collect);
         hive.install(route);
         for sw in 1..=5u64 {
-            hive.emit(SwitchJoined { dpid: sw, n_ports: 4 });
+            hive.emit(SwitchJoined {
+                dpid: sw,
+                n_ports: 4,
+            });
         }
         hive.step_until_quiescent(1000);
         assert_eq!(hive.local_bee_count(TE_COLLECT_APP), 5);
@@ -350,10 +387,16 @@ mod tests {
                 .build(),
         );
         for sw in 1..=3u64 {
-            hive.emit(SwitchJoined { dpid: sw, n_ports: 4 });
+            hive.emit(SwitchJoined {
+                dpid: sw,
+                n_ports: 4,
+            });
         }
         hive.step_until_quiescent(1000);
-        hive.emit(Tick { seq: 1, now_ms: 1000 });
+        hive.emit(Tick {
+            seq: 1,
+            now_ms: 1000,
+        });
         hive.step_until_quiescent(1000);
         let mut switches = seen.lock().clone();
         switches.sort();
@@ -366,9 +409,14 @@ mod tests {
         let clock = SimClock::new();
         let mut cfg = HiveConfig::standalone(HiveId(1));
         cfg.tick_interval_ms = 0;
-        let mut hive =
-            Hive::new(cfg, Arc::new(clock.clone()), Box::new(Loopback::new(HiveId(1))));
-        let (collect, _route) = decoupled_te_apps(TeConfig { delta_bytes_per_sec: 1000 });
+        let mut hive = Hive::new(
+            cfg,
+            Arc::new(clock.clone()),
+            Box::new(Loopback::new(HiveId(1))),
+        );
+        let (collect, _route) = decoupled_te_apps(TeConfig {
+            delta_bytes_per_sec: 1000,
+        });
         hive.install(collect);
         let seen = Arc::new(Mutex::new(Vec::new()));
         let seen2 = seen.clone();
@@ -383,7 +431,10 @@ mod tests {
                 )
                 .build(),
         );
-        hive.emit(SwitchJoined { dpid: 1, n_ports: 4 });
+        hive.emit(SwitchJoined {
+            dpid: 1,
+            n_ports: 4,
+        });
         hive.step_until_quiescent(1000);
         // First reply: baseline only. Second: rates computed over delta.
         hive.emit(reply(1, &[(100, 200, 0), (101, 201, 0)]));
@@ -404,7 +455,12 @@ mod tests {
         hive.install(route);
         let seen = Arc::new(Mutex::new(Vec::new()));
         hive.install(rule_sink(seen.clone()));
-        let mu = MatrixUpdate { switch: 3, nw_src: 1, nw_dst: 2, rate: 99_999 };
+        let mu = MatrixUpdate {
+            switch: 3,
+            nw_src: 1,
+            nw_dst: 2,
+            rate: 99_999,
+        };
         hive.emit(mu.clone());
         hive.emit(mu.clone());
         hive.step_until_quiescent(1000);
@@ -417,24 +473,35 @@ mod tests {
     #[test]
     fn naive_route_reroutes_hot_flows_end_to_end() {
         let mut hive = standalone();
-        hive.install(naive_te_app(TeConfig { delta_bytes_per_sec: 1000 }));
+        hive.install(naive_te_app(TeConfig {
+            delta_bytes_per_sec: 1000,
+        }));
         let seen = Arc::new(Mutex::new(Vec::new()));
         hive.install(rule_sink(seen.clone()));
 
-        hive.emit(SwitchJoined { dpid: 7, n_ports: 4 });
+        hive.emit(SwitchJoined {
+            dpid: 7,
+            n_ports: 4,
+        });
         hive.step_until_quiescent(1000);
         hive.emit(reply(7, &[(10, 20, 0)]));
         hive.step_until_quiescent(1000);
         hive.emit(reply(7, &[(10, 20, 500_000)]));
         hive.step_until_quiescent(1000);
         // Route runs on the next tick.
-        hive.emit(Tick { seq: 2, now_ms: 2000 });
+        hive.emit(Tick {
+            seq: 2,
+            now_ms: 2000,
+        });
         hive.step_until_quiescent(1000);
         let rules = seen.lock().clone();
         assert_eq!(rules.len(), 1);
         assert_eq!(rules[0].switch, 7);
         // And doesn't re-fire next tick.
-        hive.emit(Tick { seq: 3, now_ms: 3000 });
+        hive.emit(Tick {
+            seq: 3,
+            now_ms: 3000,
+        });
         hive.step_until_quiescent(1000);
         assert_eq!(seen.lock().len(), 1);
     }

@@ -99,8 +99,10 @@ pub fn vnet_app() -> App {
             |m| Mapped::cell(VNETS, m.vnet.to_string()),
             |m, ctx| {
                 let key = m.vnet.to_string();
-                let mut rec: VnetRecord =
-                    ctx.get(VNETS, &key).map_err(|e| e.to_string())?.unwrap_or_default();
+                let mut rec: VnetRecord = ctx
+                    .get(VNETS, &key)
+                    .map_err(|e| e.to_string())?
+                    .unwrap_or_default();
                 rec.created = true;
                 rec.tenant = m.tenant.clone();
                 ctx.put(VNETS, key, &rec).map_err(|e| e.to_string())
@@ -111,8 +113,10 @@ pub fn vnet_app() -> App {
             |m| Mapped::cell(VNETS, m.vnet.to_string()),
             |m, ctx| {
                 let key = m.vnet.to_string();
-                let mut rec: VnetRecord =
-                    ctx.get(VNETS, &key).map_err(|e| e.to_string())?.unwrap_or_default();
+                let mut rec: VnetRecord = ctx
+                    .get(VNETS, &key)
+                    .map_err(|e| e.to_string())?
+                    .unwrap_or_default();
                 if !rec.created {
                     return Err(format!("vnet {} does not exist", m.vnet));
                 }
@@ -125,8 +129,9 @@ pub fn vnet_app() -> App {
             |m| Mapped::cell(VNETS, m.vnet.to_string()),
             |m, ctx| {
                 let key = m.vnet.to_string();
-                if let Some(mut rec) =
-                    ctx.get::<VnetRecord>(VNETS, &key).map_err(|e| e.to_string())?
+                if let Some(mut rec) = ctx
+                    .get::<VnetRecord>(VNETS, &key)
+                    .map_err(|e| e.to_string())?
                 {
                     rec.endpoints.remove(&m.mac);
                     ctx.put(VNETS, key, &rec).map_err(|e| e.to_string())?;
@@ -139,8 +144,10 @@ pub fn vnet_app() -> App {
             |m| Mapped::cell(VNETS, m.vnet.to_string()),
             |m, ctx| {
                 let key = m.vnet.to_string();
-                let mut rec: VnetRecord =
-                    ctx.get(VNETS, &key).map_err(|e| e.to_string())?.unwrap_or_default();
+                let mut rec: VnetRecord = ctx
+                    .get(VNETS, &key)
+                    .map_err(|e| e.to_string())?
+                    .unwrap_or_default();
                 if !rec.created {
                     return Err(format!("packet for unknown vnet {}", m.vnet));
                 }
@@ -186,7 +193,11 @@ mod tests {
     fn standalone() -> Hive {
         let mut cfg = HiveConfig::standalone(HiveId(1));
         cfg.tick_interval_ms = 0;
-        Hive::new(cfg, Arc::new(SystemClock::new()), Box::new(Loopback::new(HiveId(1))))
+        Hive::new(
+            cfg,
+            Arc::new(SystemClock::new()),
+            Box::new(Loopback::new(HiveId(1))),
+        )
     }
 
     struct Sunk {
@@ -197,7 +208,10 @@ mod tests {
     fn with_sinks() -> (Hive, Arc<Mutex<Sunk>>) {
         let mut hive = standalone();
         hive.install(vnet_app());
-        let cap = Arc::new(Mutex::new(Sunk { rules: vec![], tunnels: vec![] }));
+        let cap = Arc::new(Mutex::new(Sunk {
+            rules: vec![],
+            tunnels: vec![],
+        }));
         let (c1, c2) = (cap.clone(), cap.clone());
         hive.install(
             App::builder("sink")
@@ -223,10 +237,28 @@ mod tests {
     #[test]
     fn same_switch_traffic_installs_local_rule() {
         let (mut hive, cap) = with_sinks();
-        hive.emit(CreateVnet { vnet: 1, tenant: "acme".into() });
-        hive.emit(AttachPort { vnet: 1, switch: 5, port: 1, mac: MAC_A });
-        hive.emit(AttachPort { vnet: 1, switch: 5, port: 2, mac: MAC_B });
-        hive.emit(VnetPacket { vnet: 1, switch: 5, src_mac: MAC_A, dst_mac: MAC_B });
+        hive.emit(CreateVnet {
+            vnet: 1,
+            tenant: "acme".into(),
+        });
+        hive.emit(AttachPort {
+            vnet: 1,
+            switch: 5,
+            port: 1,
+            mac: MAC_A,
+        });
+        hive.emit(AttachPort {
+            vnet: 1,
+            switch: 5,
+            port: 2,
+            mac: MAC_B,
+        });
+        hive.emit(VnetPacket {
+            vnet: 1,
+            switch: 5,
+            src_mac: MAC_A,
+            dst_mac: MAC_B,
+        });
         hive.step_until_quiescent(1000);
         let c = cap.lock();
         assert_eq!(c.rules.len(), 1);
@@ -237,10 +269,28 @@ mod tests {
     #[test]
     fn cross_switch_traffic_sets_up_tunnel_once() {
         let (mut hive, cap) = with_sinks();
-        hive.emit(CreateVnet { vnet: 1, tenant: "acme".into() });
-        hive.emit(AttachPort { vnet: 1, switch: 5, port: 1, mac: MAC_A });
-        hive.emit(AttachPort { vnet: 1, switch: 9, port: 2, mac: MAC_B });
-        let pkt = VnetPacket { vnet: 1, switch: 5, src_mac: MAC_A, dst_mac: MAC_B };
+        hive.emit(CreateVnet {
+            vnet: 1,
+            tenant: "acme".into(),
+        });
+        hive.emit(AttachPort {
+            vnet: 1,
+            switch: 5,
+            port: 1,
+            mac: MAC_A,
+        });
+        hive.emit(AttachPort {
+            vnet: 1,
+            switch: 9,
+            port: 2,
+            mac: MAC_B,
+        });
+        let pkt = VnetPacket {
+            vnet: 1,
+            switch: 5,
+            src_mac: MAC_A,
+            dst_mac: MAC_B,
+        };
         hive.emit(pkt.clone());
         hive.emit(pkt);
         hive.step_until_quiescent(1000);
@@ -252,20 +302,45 @@ mod tests {
     #[test]
     fn vnets_are_isolated_shards() {
         let (mut hive, cap) = with_sinks();
-        hive.emit(CreateVnet { vnet: 1, tenant: "a".into() });
-        hive.emit(CreateVnet { vnet: 2, tenant: "b".into() });
-        hive.emit(AttachPort { vnet: 1, switch: 5, port: 1, mac: MAC_A });
+        hive.emit(CreateVnet {
+            vnet: 1,
+            tenant: "a".into(),
+        });
+        hive.emit(CreateVnet {
+            vnet: 2,
+            tenant: "b".into(),
+        });
+        hive.emit(AttachPort {
+            vnet: 1,
+            switch: 5,
+            port: 1,
+            mac: MAC_A,
+        });
         // MAC_A is attached in vnet 1 only: a vnet-2 packet to it is dropped.
-        hive.emit(VnetPacket { vnet: 2, switch: 5, src_mac: MAC_B, dst_mac: MAC_A });
+        hive.emit(VnetPacket {
+            vnet: 2,
+            switch: 5,
+            src_mac: MAC_B,
+            dst_mac: MAC_A,
+        });
         hive.step_until_quiescent(1000);
         assert!(cap.lock().rules.is_empty());
-        assert_eq!(hive.local_bee_count(VNET_APP), 2, "one shard (bee) per vnet");
+        assert_eq!(
+            hive.local_bee_count(VNET_APP),
+            2,
+            "one shard (bee) per vnet"
+        );
     }
 
     #[test]
     fn attach_to_missing_vnet_errors() {
         let (mut hive, _cap) = with_sinks();
-        hive.emit(AttachPort { vnet: 9, switch: 1, port: 1, mac: MAC_A });
+        hive.emit(AttachPort {
+            vnet: 9,
+            switch: 1,
+            port: 1,
+            mac: MAC_A,
+        });
         hive.step_until_quiescent(1000);
         assert_eq!(hive.counters().handler_errors, 1);
     }
@@ -273,11 +348,32 @@ mod tests {
     #[test]
     fn detach_stops_resolution() {
         let (mut hive, cap) = with_sinks();
-        hive.emit(CreateVnet { vnet: 1, tenant: "a".into() });
-        hive.emit(AttachPort { vnet: 1, switch: 5, port: 1, mac: MAC_A });
-        hive.emit(AttachPort { vnet: 1, switch: 5, port: 2, mac: MAC_B });
-        hive.emit(DetachPort { vnet: 1, mac: MAC_B });
-        hive.emit(VnetPacket { vnet: 1, switch: 5, src_mac: MAC_A, dst_mac: MAC_B });
+        hive.emit(CreateVnet {
+            vnet: 1,
+            tenant: "a".into(),
+        });
+        hive.emit(AttachPort {
+            vnet: 1,
+            switch: 5,
+            port: 1,
+            mac: MAC_A,
+        });
+        hive.emit(AttachPort {
+            vnet: 1,
+            switch: 5,
+            port: 2,
+            mac: MAC_B,
+        });
+        hive.emit(DetachPort {
+            vnet: 1,
+            mac: MAC_B,
+        });
+        hive.emit(VnetPacket {
+            vnet: 1,
+            switch: 5,
+            src_mac: MAC_A,
+            dst_mac: MAC_B,
+        });
         hive.step_until_quiescent(1000);
         assert!(cap.lock().rules.is_empty());
     }

@@ -18,7 +18,9 @@ fn payload(n: usize) -> Payload {
         id: 42,
         name: "beehive-message".into(),
         values: (0..n as u64).collect(),
-        tags: (0..4).map(|i| (format!("key{i}"), format!("value{i}"))).collect(),
+        tags: (0..4)
+            .map(|i| (format!("key{i}"), format!("value{i}")))
+            .collect(),
     }
 }
 
@@ -53,7 +55,10 @@ fn stats_reply(flows: usize) -> OfMessage {
                 cookie: i as u64,
                 packet_count: 1000 + i as u64,
                 byte_count: 64_000 + i as u64,
-                actions: vec![Action::Output { port: 1, max_len: 0 }],
+                actions: vec![Action::Output {
+                    port: 1,
+                    max_len: 0,
+                }],
             })
             .collect(),
     }
@@ -69,9 +74,13 @@ fn bench_openflow(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("stats_encode", flows), &msg, |b, m| {
             b.iter(|| criterion::black_box(m.encode()));
         });
-        group.bench_with_input(BenchmarkId::new("stats_decode", flows), &encoded, |b, bytes| {
-            b.iter(|| criterion::black_box(OfMessage::decode(bytes).unwrap()));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("stats_decode", flows),
+            &encoded,
+            |b, bytes| {
+                b.iter(|| criterion::black_box(OfMessage::decode(bytes).unwrap()));
+            },
+        );
     }
     group.bench_function("flow_mod_roundtrip", |b| {
         let m = OfMessage::FlowMod {
@@ -82,7 +91,10 @@ fn bench_openflow(c: &mut Criterion) {
             idle_timeout: 0,
             hard_timeout: 0,
             priority: 10,
-            actions: vec![Action::Output { port: 3, max_len: 0 }],
+            actions: vec![Action::Output {
+                port: 3,
+                max_len: 0,
+            }],
         };
         b.iter(|| {
             let bytes = m.encode();
@@ -106,7 +118,10 @@ fn bench_flow_table(c: &mut Criterion) {
                     idle_timeout: 0,
                     hard_timeout: 0,
                     priority: 1,
-                    actions: vec![Action::Output { port: 1, max_len: 0 }],
+                    actions: vec![Action::Output {
+                        port: 1,
+                        max_len: 0,
+                    }],
                 });
             }
             // Worst case: match the lowest-priority (last) flow.

@@ -38,7 +38,11 @@ fn bench_migration(c: &mut Criterion) {
             |b, &entries| {
                 // One cluster per iteration batch; migrate back and forth.
                 let mut cluster = SimCluster::new(
-                    ClusterConfig { hives: 2, voters: 2, ..Default::default() },
+                    ClusterConfig {
+                        hives: 2,
+                        voters: 2,
+                        ..Default::default()
+                    },
                     |h| h.install(kv_app()),
                 );
                 cluster.elect_registry(120_000).unwrap();
@@ -51,8 +55,11 @@ fn bench_migration(c: &mut Criterion) {
                 }
                 cluster.advance(5_000, 50);
                 let cell = beehive_core::Cell::new("data", "big");
-                let bee =
-                    cluster.hive(HiveId(1)).registry_view().owner("kv", &cell).unwrap();
+                let bee = cluster
+                    .hive(HiveId(1))
+                    .registry_view()
+                    .owner("kv", &cell)
+                    .unwrap();
 
                 let mut at_one = true;
                 b.iter(|| {
@@ -62,11 +69,12 @@ fn bench_migration(c: &mut Criterion) {
                         (HiveId(2), HiveId(1))
                     };
                     at_one = !at_one;
-                    cluster.hive_mut(from).request_migration("kv", bee, from, to);
+                    cluster
+                        .hive_mut(from)
+                        .request_migration("kv", bee, from, to);
                     // Drive virtual time until the move committed and landed.
                     let mut guard = 0;
-                    while cluster.hive(to).registry_view().hive_of(bee) != Some(to) && guard < 200
-                    {
+                    while cluster.hive(to).registry_view().hive_of(bee) != Some(to) && guard < 200 {
                         cluster.advance(100, 50);
                         guard += 1;
                     }

@@ -1,0 +1,203 @@
+//! Parallel executor throughput: messages/second versus worker count, on a
+//! disjoint-cell workload (every key its own colony — embarrassingly
+//! parallel, the paper's motivating case) and an overlapping-cell workload
+//! (every message also touches one shared hot cell, forcing a single colony
+//! — the executor degrades to sequential plus round overhead).
+//!
+//! Besides the criterion groups, the bench writes a hand-rolled JSON summary
+//! to `target/BENCH_parallel.json` so CI can track the perf trajectory; the
+//! `speedup_disjoint_w4` field is the headline number (expected ≥ 2 on a
+//! 4-core machine).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use beehive_core::prelude::*;
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use serde::{Deserialize, Serialize};
+
+/// Per-message handler CPU work (wrapping multiplies). Large enough that a
+/// batch dominates checkout/check-in overhead, small enough to keep the
+/// bench quick: ~a few microseconds per message.
+const SPIN: u64 = 2_000;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Work {
+    key: String,
+    /// When set, the message also maps the shared hot cell, collapsing all
+    /// traffic into one colony (worst case for the parallel executor).
+    shared: bool,
+}
+beehive_core::impl_message!(Work);
+
+fn spin(seed: u64) -> u64 {
+    let mut x = seed | 1;
+    for _ in 0..SPIN {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+    }
+    x
+}
+
+fn work_app() -> App {
+    App::builder("work")
+        .handle::<Work>(
+            |m| {
+                if m.shared {
+                    Mapped::cells([Cell::new("c", &m.key), Cell::new("c", "hot")])
+                } else {
+                    Mapped::cell("c", &m.key)
+                }
+            },
+            |m, ctx| {
+                let n: u64 = ctx
+                    .get("c", &m.key)
+                    .map_err(|e| e.to_string())?
+                    .unwrap_or(0);
+                std::hint::black_box(spin(n + 1));
+                ctx.put("c", m.key.clone(), &(n + 1))
+                    .map_err(|e| e.to_string())?;
+                Ok(())
+            },
+        )
+        .build()
+}
+
+fn hive_with(workers: usize) -> Hive {
+    let mut cfg = beehive_core::HiveConfig::standalone(HiveId(1));
+    cfg.tick_interval_ms = 0;
+    cfg.workers = workers;
+    let mut hive = Hive::new(
+        cfg,
+        Arc::new(SystemClock::new()),
+        Box::new(Loopback::new(HiveId(1))),
+    );
+    hive.install(work_app());
+    hive
+}
+
+/// Messages/second for `msgs` messages spread over `keys` keys.
+fn throughput(workers: usize, keys: usize, msgs: usize, shared: bool) -> f64 {
+    let mut hive = hive_with(workers);
+    // Pre-create the bees so we measure steady-state execution, not
+    // registry-proposal routing.
+    for k in 0..keys {
+        hive.emit(Work {
+            key: format!("k{k}"),
+            shared,
+        });
+    }
+    if shared {
+        hive.emit(Work {
+            key: "hot".to_string(),
+            shared: true,
+        });
+    }
+    hive.step_until_quiescent(1_000_000);
+
+    let started = Instant::now();
+    for i in 0..msgs {
+        hive.emit(Work {
+            key: format!("k{}", i % keys),
+            shared,
+        });
+    }
+    hive.step_until_quiescent(10_000_000);
+    let secs = started.elapsed().as_secs_f64();
+    msgs as f64 / secs.max(1e-9)
+}
+
+fn bench_workers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel");
+    const KEYS: usize = 64;
+    const MSGS: usize = 2_000;
+    for &workers in &[1usize, 2, 4] {
+        group.throughput(Throughput::Elements(MSGS as u64));
+        group.bench_with_input(
+            BenchmarkId::new("disjoint", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| criterion::black_box(throughput(workers, KEYS, MSGS, false)));
+            },
+        );
+    }
+    for &workers in &[1usize, 4] {
+        group.throughput(Throughput::Elements(MSGS as u64));
+        group.bench_with_input(
+            BenchmarkId::new("overlapping", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| criterion::black_box(throughput(workers, KEYS, MSGS, true)));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Hand-rolled JSON (the workspace's wire format is a custom binary serde;
+/// no JSON crate is available).
+fn json_summary() -> String {
+    const KEYS: usize = 64;
+    const MSGS: usize = 20_000;
+    let d1 = throughput(1, KEYS, MSGS, false);
+    let d2 = throughput(2, KEYS, MSGS, false);
+    let d4 = throughput(4, KEYS, MSGS, false);
+    let o1 = throughput(1, KEYS, MSGS, true);
+    let o4 = throughput(4, KEYS, MSGS, true);
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"parallel\",\n",
+            "  \"keys\": {},\n",
+            "  \"messages\": {},\n",
+            "  \"spin_per_msg\": {},\n",
+            "  \"disjoint_msgs_per_sec\": {{ \"w1\": {:.0}, \"w2\": {:.0}, \"w4\": {:.0} }},\n",
+            "  \"overlapping_msgs_per_sec\": {{ \"w1\": {:.0}, \"w4\": {:.0} }},\n",
+            "  \"speedup_disjoint_w4\": {:.3},\n",
+            "  \"speedup_overlapping_w4\": {:.3}\n",
+            "}}\n"
+        ),
+        KEYS,
+        MSGS,
+        SPIN,
+        d1,
+        d2,
+        d4,
+        o1,
+        o4,
+        d4 / d1.max(1e-9),
+        o4 / o1.max(1e-9),
+    )
+}
+
+fn write_summary() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../target/BENCH_parallel.json"
+    );
+    let json = json_summary();
+    print!("{json}");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not write {path}: {e}");
+    }
+}
+
+criterion_group!(benches, bench_workers);
+
+fn main() {
+    // `cargo test` runs benches with `--test`; keep that (and `--list`)
+    // fast by skipping both criterion and the summary measurement.
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--test" || a == "--list");
+    if quick {
+        // Smoke: one tiny measurement proves the executor path works.
+        let tput = throughput(2, 8, 64, false);
+        assert!(tput > 0.0);
+        println!("parallel bench smoke ok ({tput:.0} msgs/s)");
+        return;
+    }
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+    write_summary();
+}

@@ -32,8 +32,7 @@ fn bench_plan(c: &mut Criterion) {
     let mut group = c.benchmark_group("placement/plan");
     for bees in [100usize, 1_000, 10_000] {
         let l = loads(bees, 40);
-        let occupancy: BTreeMap<u32, usize> =
-            (1..=40u32).map(|h| (h, bees / 40)).collect();
+        let occupancy: BTreeMap<u32, usize> = (1..=40u32).map(|h| (h, bees / 40)).collect();
         group.throughput(Throughput::Elements(bees as u64));
         group.bench_with_input(BenchmarkId::new("bees", bees), &l, |b, l| {
             let cfg = OptimizerConfig::default();

@@ -20,8 +20,12 @@ fn counter_app() -> App {
         .handle::<Bump>(
             |m| Mapped::cell("c", &m.key),
             |m, ctx| {
-                let n: u64 = ctx.get("c", &m.key).map_err(|e| e.to_string())?.unwrap_or(0);
-                ctx.put("c", m.key.clone(), &(n + 1)).map_err(|e| e.to_string())?;
+                let n: u64 = ctx
+                    .get("c", &m.key)
+                    .map_err(|e| e.to_string())?
+                    .unwrap_or(0);
+                ctx.put("c", m.key.clone(), &(n + 1))
+                    .map_err(|e| e.to_string())?;
                 Ok(())
             },
         )
@@ -31,8 +35,11 @@ fn counter_app() -> App {
 fn standalone_hive() -> Hive {
     let mut cfg = beehive_core::HiveConfig::standalone(HiveId(1));
     cfg.tick_interval_ms = 0;
-    let mut hive =
-        Hive::new(cfg, Arc::new(SystemClock::new()), Box::new(Loopback::new(HiveId(1))));
+    let mut hive = Hive::new(
+        cfg,
+        Arc::new(SystemClock::new()),
+        Box::new(Loopback::new(HiveId(1))),
+    );
     hive.install(counter_app());
     hive
 }
@@ -47,12 +54,16 @@ fn bench_dispatch(c: &mut Criterion) {
             let mut hive = standalone_hive();
             // Pre-create the bees so we measure the fast path.
             for k in 0..keys {
-                hive.emit(Bump { key: format!("k{k}") });
+                hive.emit(Bump {
+                    key: format!("k{k}"),
+                });
             }
             hive.step_until_quiescent(1_000_000);
             let mut i = 0usize;
             b.iter(|| {
-                hive.emit(Bump { key: format!("k{}", i % keys) });
+                hive.emit(Bump {
+                    key: format!("k{}", i % keys),
+                });
                 i += 1;
                 hive.step_until_quiescent(1_000);
             });
@@ -68,7 +79,9 @@ fn bench_bee_creation(c: &mut Criterion) {
         let mut hive = standalone_hive();
         let mut i = 0u64;
         b.iter(|| {
-            hive.emit(Bump { key: format!("fresh-{i}") });
+            hive.emit(Bump {
+                key: format!("fresh-{i}"),
+            });
             i += 1;
             hive.step_until_quiescent(1_000);
         });
@@ -121,7 +134,10 @@ fn bench_state(c: &mut Criterion) {
             |b, &entries| {
                 let mut state = BeeState::new();
                 for i in 0..entries {
-                    state.dict_mut("d").put(format!("k{i}"), &(i as u64)).unwrap();
+                    state
+                        .dict_mut("d")
+                        .put(format!("k{i}"), &(i as u64))
+                        .unwrap();
                 }
                 b.iter(|| criterion::black_box(state.snapshot().unwrap()));
             },

@@ -16,8 +16,9 @@ fn bench_commit_throughput(c: &mut Criterion) {
                 let target = cluster.node(leader).unwrap().state_machine().applied + 1;
                 cluster.propose(leader, vec![1]).unwrap();
                 // Tick until the proposal is applied everywhere.
-                let ok = cluster
-                    .run_until(1_000, |c| c.nodes().all(|nd| nd.state_machine().applied >= target));
+                let ok = cluster.run_until(1_000, |c| {
+                    c.nodes().all(|nd| nd.state_machine().applied >= target)
+                });
                 assert!(ok);
             });
         });
@@ -36,8 +37,9 @@ fn bench_batched_commit(c: &mut Criterion) {
             for _ in 0..64 {
                 cluster.propose(leader, vec![1]).unwrap();
             }
-            let ok = cluster
-                .run_until(5_000, |c| c.nodes().all(|nd| nd.state_machine().applied >= target));
+            let ok = cluster.run_until(5_000, |c| {
+                c.nodes().all(|nd| nd.state_machine().applied >= target)
+            });
             assert!(ok);
         });
     });
@@ -60,5 +62,10 @@ fn bench_election(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_commit_throughput, bench_batched_commit, bench_election);
+criterion_group!(
+    benches,
+    bench_commit_throughput,
+    bench_batched_commit,
+    bench_election
+);
 criterion_main!(benches);

@@ -21,8 +21,12 @@ fn kv() -> App {
         .handle::<Hit>(
             |m| Mapped::cell("d", &m.key),
             |m, ctx| {
-                let n: u64 = ctx.get("d", &m.key).map_err(|e| e.to_string())?.unwrap_or(0);
-                ctx.put("d", m.key.clone(), &(n + 1)).map_err(|e| e.to_string())?;
+                let n: u64 = ctx
+                    .get("d", &m.key)
+                    .map_err(|e| e.to_string())?
+                    .unwrap_or(0);
+                ctx.put("d", m.key.clone(), &(n + 1))
+                    .map_err(|e| e.to_string())?;
                 Ok(())
             },
         )
@@ -31,7 +35,12 @@ fn kv() -> App {
 
 fn cluster(hives: usize, voters: usize) -> SimCluster {
     let mut c = SimCluster::new(
-        ClusterConfig { hives, voters, tick_interval_ms: 0, ..Default::default() },
+        ClusterConfig {
+            hives,
+            voters,
+            tick_interval_ms: 0,
+            ..Default::default()
+        },
         |h| h.install(kv()),
     );
     c.elect_registry(120_000).expect("leader");
@@ -44,7 +53,9 @@ fn route_fresh_key(c: &mut SimCluster, key: &str) -> u64 {
     // Emit on a NON-leader, non-voter hive when possible (worst case:
     // forward to leader, commit, apply).
     let src = c.ids().into_iter().last().unwrap();
-    c.hive_mut(src).emit(Hit { key: key.to_string() });
+    c.hive_mut(src).emit(Hit {
+        key: key.to_string(),
+    });
     let cell = Cell::new("d", key);
     for _ in 0..10_000 {
         c.clock.advance(5);

@@ -72,7 +72,10 @@ fn config_for(variant: TeVariant, args: &Args) -> Figure4Config {
     let mut cfg = if args.small {
         Figure4Config::small(variant)
     } else {
-        Figure4Config { variant, ..Default::default() }
+        Figure4Config {
+            variant,
+            ..Default::default()
+        }
     };
     if let Some(s) = args.seconds {
         cfg.seconds = s;
@@ -197,7 +200,10 @@ fn main() {
 /// scenario with increasing voter counts and reports the Raft share.
 fn run_voters_ablation(args: &Args) {
     println!("=== Ablation: registry quorum size (decoupled TE) ===");
-    println!("{:>7} {:>12} {:>12} {:>12} {:>8}", "voters", "app+ctl B", "raft B", "total B", "raft %");
+    println!(
+        "{:>7} {:>12} {:>12} {:>12} {:>8}",
+        "voters", "app+ctl B", "raft B", "total B", "raft %"
+    );
     for voters in [1usize, 3, 5, 9] {
         let mut cfg = config_for(TeVariant::Decoupled, args);
         if voters > cfg.hives {

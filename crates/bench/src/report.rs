@@ -42,14 +42,19 @@ pub fn write_matrix_csv(path: &Path, matrix: &[Vec<u64>]) -> std::io::Result<()>
 }
 
 /// Writes the bandwidth series as CSV.
-pub fn write_series_csv(
-    path: &Path,
-    by_kind: &[(u64, u64, u64, u64)],
-) -> std::io::Result<()> {
+pub fn write_series_csv(path: &Path, by_kind: &[(u64, u64, u64, u64)]) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
     writeln!(f, "second,total_bytes,app_bytes,control_bytes,raft_bytes")?;
     for &(t, app, control, raft) in by_kind {
-        writeln!(f, "{},{},{},{},{}", t / 1000, app + control, app, control, raft)?;
+        writeln!(
+            f,
+            "{},{},{},{},{}",
+            t / 1000,
+            app + control,
+            app,
+            control,
+            raft
+        )?;
     }
     Ok(())
 }

@@ -149,6 +149,7 @@ pub fn run_figure4(cfg: &Figure4Config) -> Figure4Result {
         bucket_ms: 1000,
         pending_retry_ms: 1000,
         replication_factor: 1,
+        workers: 1,
     };
 
     // Build the cluster first (apps are installed below, once the fleet
@@ -156,7 +157,11 @@ pub fn run_figure4(cfg: &Figure4Config) -> Figure4Result {
     let mut cluster = SimCluster::new(cluster_cfg, |_h| {});
 
     let masters = topo.assign_masters(&cluster.ids());
-    let handles: Vec<_> = cluster.ids().iter().map(|&id| cluster.hive(id).handle()).collect();
+    let handles: Vec<_> = cluster
+        .ids()
+        .iter()
+        .map(|&id| cluster.hive(id).handle())
+        .collect();
     let fleet = Arc::new(SwitchFleet::new(
         topo.switches.iter().map(|s| (s.dpid, s.ports)),
         masters,
@@ -164,7 +169,9 @@ pub fn run_figure4(cfg: &Figure4Config) -> Figure4Result {
     ));
 
     // Install the applications on every hive.
-    let te_cfg = TeConfig { delta_bytes_per_sec: cfg.delta };
+    let te_cfg = TeConfig {
+        delta_bytes_per_sec: cfg.delta,
+    };
     let mut feedback = Vec::new();
     for id in cluster.ids() {
         let hive = cluster.hive_mut(id);
@@ -207,10 +214,15 @@ pub fn run_figure4(cfg: &Figure4Config) -> Figure4Result {
     // The paper's optimization demo: "we artificially assign the cells of
     // all switches to the bees on the first hive".
     if cfg.variant == TeVariant::Optimized {
-        let cells: Vec<Cell> =
-            topo.dpids().iter().map(|d| Cell::new("S", d.to_string())).collect();
+        let cells: Vec<Cell> = topo
+            .dpids()
+            .iter()
+            .map(|d| Cell::new("S", d.to_string()))
+            .collect();
         for cell in cells {
-            cluster.hive_mut(HiveId(1)).preclaim(TE_COLLECT_APP, vec![cell]);
+            cluster
+                .hive_mut(HiveId(1))
+                .preclaim(TE_COLLECT_APP, vec![cell]);
         }
         let fleet2 = fleet.clone();
         cluster.advance_with(2_000, 100, || fleet2.pump());
@@ -261,7 +273,11 @@ pub fn run_figure4(cfg: &Figure4Config) -> Figure4Result {
     }
     let total_msgs: u64 = msg_matrix.iter().flatten().sum();
     let diagonal: u64 = (0..n).map(|i| msg_matrix[i][i]).sum();
-    let locality = if total_msgs == 0 { 0.0 } else { diagonal as f64 / total_msgs as f64 };
+    let locality = if total_msgs == 0 {
+        0.0
+    } else {
+        diagonal as f64 / total_msgs as f64
+    };
 
     // Hot hive over off-diagonal messages.
     let mut hot_hive = None;
@@ -270,7 +286,13 @@ pub fn run_figure4(cfg: &Figure4Config) -> Figure4Result {
         let mut best = (HiveId(1), 0u64);
         for (i, &h) in hives.iter().enumerate() {
             let touched: u64 = (0..n)
-                .map(|j| if j != i { msg_matrix[i][j] + msg_matrix[j][i] } else { 0 })
+                .map(|j| {
+                    if j != i {
+                        msg_matrix[i][j] + msg_matrix[j][i]
+                    } else {
+                        0
+                    }
+                })
                 .sum();
             if touched > best.1 {
                 best = (h, touched);
@@ -285,12 +307,21 @@ pub fn run_figure4(cfg: &Figure4Config) -> Figure4Result {
     let control_series = matrix.series(&[FrameKind::Control]);
     let raft_series = matrix.series(&[FrameKind::Raft]);
     let lookup = |series: &[(u64, u64)], t: u64| {
-        series.iter().find(|&&(ts, _)| ts == t).map(|&(_, b)| b).unwrap_or(0)
+        series
+            .iter()
+            .find(|&&(ts, _)| ts == t)
+            .map(|&(_, b)| b)
+            .unwrap_or(0)
     };
     let bw_by_kind = bw_series
         .iter()
         .map(|&(t, _)| {
-            (t, lookup(&app_series, t), lookup(&control_series, t), lookup(&raft_series, t))
+            (
+                t,
+                lookup(&app_series, t),
+                lookup(&control_series, t),
+                lookup(&raft_series, t),
+            )
         })
         .collect();
 
@@ -303,7 +334,10 @@ pub fn run_figure4(cfg: &Figure4Config) -> Figure4Result {
         .map(|&h| (h.0, cluster.hive(h).local_bee_count(te_app)))
         .filter(|&(_, c)| c > 0)
         .collect();
-    let migrations: u64 = hives.iter().map(|&h| cluster.hive(h).counters().migrations_in).sum();
+    let migrations: u64 = hives
+        .iter()
+        .map(|&h| cluster.hive(h).counters().migrations_in)
+        .sum();
 
     let _ = TE_ROUTE_APP; // referenced for docs completeness
 
@@ -332,16 +366,27 @@ mod tests {
         assert_eq!(r.te_bees_per_hive.values().sum::<usize>(), 1);
         // Most off-diagonal traffic touches one hive.
         let (_, share) = r.hot_hive.expect("cross-hive traffic exists");
-        assert!(share > 0.8, "naive TE should centralize, hot share = {share}");
+        assert!(
+            share > 0.8,
+            "naive TE should centralize, hot share = {share}"
+        );
     }
 
     #[test]
     fn small_decoupled_localizes() {
         let r = run_figure4(&Figure4Config::small(TeVariant::Decoupled));
         // Collection bees spread across hives.
-        assert!(r.te_bees_per_hive.len() > 1, "bees on multiple hives: {:?}", r.te_bees_per_hive);
+        assert!(
+            r.te_bees_per_hive.len() > 1,
+            "bees on multiple hives: {:?}",
+            r.te_bees_per_hive
+        );
         // Most messages are processed locally.
-        assert!(r.locality > 0.7, "decoupled TE should be local, locality = {}", r.locality);
+        assert!(
+            r.locality > 0.7,
+            "decoupled TE should be local, locality = {}",
+            r.locality
+        );
     }
 
     #[test]

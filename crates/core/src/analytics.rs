@@ -12,7 +12,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use crate::id::HiveId;
-use crate::metrics::{HiveMetrics, ProvenanceKey};
+use crate::metrics::{ExecutorStats, HiveMetrics, ProvenanceKey};
 
 /// Short type name (drop module path) for display.
 fn short(ty: &str) -> &str {
@@ -31,6 +31,8 @@ pub struct Analytics {
     msgs_per_hive: BTreeMap<u32, u64>,
     /// Per (app, bee) message counts (for skew analysis).
     per_bee: BTreeMap<(String, u64), u64>,
+    /// Parallel-executor counters per hive (empty for sequential hives).
+    executor_per_hive: BTreeMap<u32, ExecutorStats>,
 }
 
 /// One application's aggregate load.
@@ -63,19 +65,29 @@ impl Analytics {
             load.handler_nanos += snap.stats.handler_nanos;
             load.errors += snap.stats.errors;
             *self.msgs_per_hive.entry(snap.hive.0).or_insert(0) += snap.stats.msgs_in;
-            *self.per_bee.entry((snap.app.clone(), snap.bee.0)).or_insert(0) +=
-                snap.stats.msgs_in;
+            *self
+                .per_bee
+                .entry((snap.app.clone(), snap.bee.0))
+                .or_insert(0) += snap.stats.msgs_in;
         }
         for (key, count) in &report.provenance {
             *self.provenance.entry(key.clone()).or_insert(0) += count;
+        }
+        if !report.executor.is_empty() {
+            self.executor_per_hive
+                .entry(report.hive.0)
+                .or_default()
+                .merge(&report.executor);
         }
         // Recompute bee counts.
         let mut bees_per_app: BTreeMap<&String, u64> = BTreeMap::new();
         for (app, _) in self.per_bee.keys() {
             *bees_per_app.entry(app).or_insert(0) += 1;
         }
-        let counts: Vec<(String, u64)> =
-            bees_per_app.into_iter().map(|(a, c)| (a.clone(), c)).collect();
+        let counts: Vec<(String, u64)> = bees_per_app
+            .into_iter()
+            .map(|(a, c)| (a.clone(), c))
+            .collect();
         for (app, count) in counts {
             if let Some(load) = self.per_app.get_mut(&app) {
                 load.bees = count;
@@ -107,6 +119,12 @@ impl Analytics {
             return None;
         }
         counts.iter().max().map(|&m| m as f64 / total as f64)
+    }
+
+    /// Parallel-executor counters per hive (hives that ran sequentially for
+    /// the whole window are absent).
+    pub fn executor_per_hive(&self) -> impl Iterator<Item = (HiveId, &ExecutorStats)> {
+        self.executor_per_hive.iter().map(|(&h, s)| (HiveId(h), s))
     }
 
     /// Hive balance: (busiest hive, its share of all messages).
@@ -175,7 +193,23 @@ impl fmt::Display for Analytics {
             )?;
         }
         if let Some((hive, share)) = self.hot_hive() {
-            writeln!(f, "  busiest hive: {hive} ({:.0}% of messages)", share * 100.0)?;
+            writeln!(
+                f,
+                "  busiest hive: {hive} ({:.0}% of messages)",
+                share * 100.0
+            )?;
+        }
+        for (hive, ex) in self.executor_per_hive() {
+            let busy_ms: u64 = ex.workers.iter().map(|w| w.busy_nanos).sum::<u64>() / 1_000_000;
+            writeln!(
+                f,
+                "  executor on {hive}: {} rounds, {} bees fanned out (max depth {}), {} workers, {} ms busy",
+                ex.rounds,
+                ex.queued_bees,
+                ex.max_queue_depth,
+                ex.workers.len(),
+                busy_ms,
+            )?;
         }
         let rows = self.provenance_rows();
         if !rows.is_empty() {
@@ -223,7 +257,23 @@ mod tests {
                 },
                 msgs * 8 / 10,
             )],
+            executor: ExecutorStats::default(),
         }
+    }
+
+    #[test]
+    fn executor_stats_aggregate_per_hive() {
+        let mut a = Analytics::new();
+        let mut r = report(1, "ls", 1, 10);
+        r.executor.record_round(4);
+        r.executor.record_batch(0, 10, 1_000);
+        a.ingest(&r);
+        a.ingest(&report(2, "ls", 2, 10)); // sequential hive: no executor row
+        let rows: Vec<_> = a.executor_per_hive().collect();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, HiveId(1));
+        assert_eq!(rows[0].1.rounds, 1);
+        assert!(a.to_string().contains("executor on"));
     }
 
     #[test]

@@ -126,9 +126,7 @@ impl App {
         let h = &self.handlers[idx as usize];
         let mapped = match &h.map {
             MapSpec::Custom(f) => f(msg),
-            MapSpec::WholeDicts(dicts) => {
-                Mapped::Cells(dicts.iter().map(Cell::whole).collect())
-            }
+            MapSpec::WholeDicts(dicts) => Mapped::Cells(dicts.iter().map(Cell::whole).collect()),
             MapSpec::LocalSingleton => Mapped::LocalSingleton,
             MapSpec::LocalBroadcast => Mapped::LocalBroadcast,
         };
@@ -337,7 +335,12 @@ impl RcvCtx<'_> {
     }
 
     /// Typed buffered write of `dict[key]`.
-    pub fn put<T: serde::Serialize>(&mut self, dict: &str, key: impl Into<String>, value: &T) -> Result<()> {
+    pub fn put<T: serde::Serialize>(
+        &mut self,
+        dict: &str,
+        key: impl Into<String>,
+        value: &T,
+    ) -> Result<()> {
         self.tx.put(dict, key, value)
     }
 
@@ -364,7 +367,10 @@ impl RcvCtx<'_> {
     pub fn emit<M: Message>(&mut self, msg: M) {
         self.outbox.push(Envelope {
             msg: Arc::new(msg),
-            src: Source::Bee { bee: self.bee, hive: self.hive },
+            src: Source::Bee {
+                bee: self.bee,
+                hive: self.hive,
+            },
             dst: Dst::Broadcast,
         });
     }
@@ -373,7 +379,10 @@ impl RcvCtx<'_> {
     pub fn emit_to_app<M: Message>(&mut self, app: impl Into<AppName>, msg: M) {
         self.outbox.push(Envelope {
             msg: Arc::new(msg),
-            src: Source::Bee { bee: self.bee, hive: self.hive },
+            src: Source::Bee {
+                bee: self.bee,
+                hive: self.hive,
+            },
             dst: Dst::App(app.into()),
         });
     }
@@ -382,8 +391,16 @@ impl RcvCtx<'_> {
     pub fn send_to_bee<M: Message>(&mut self, app: impl Into<AppName>, bee: BeeId, msg: M) {
         self.outbox.push(Envelope {
             msg: Arc::new(msg),
-            src: Source::Bee { bee: self.bee, hive: self.hive },
-            dst: Dst::Bee { app: app.into(), bee, handler: None, fence: 0 },
+            src: Source::Bee {
+                bee: self.bee,
+                hive: self.hive,
+            },
+            dst: Dst::Bee {
+                app: app.into(),
+                bee,
+                handler: None,
+                fence: 0,
+            },
         });
     }
 
@@ -393,8 +410,21 @@ impl RcvCtx<'_> {
     /// `current`) to hive `to`. Used by the placement optimizer; available to
     /// applications implementing custom optimization strategies (paper §3:
     /// "it is straightforward to implement other optimization strategies").
-    pub fn order_migration(&mut self, app: impl Into<AppName>, bee: BeeId, current: HiveId, to: HiveId) {
-        self.control_out.push((current, ControlMsg::RequestMigration { app: app.into(), bee, to }));
+    pub fn order_migration(
+        &mut self,
+        app: impl Into<AppName>,
+        bee: BeeId,
+        current: HiveId,
+        to: HiveId,
+    ) {
+        self.control_out.push((
+            current,
+            ControlMsg::RequestMigration {
+                app: app.into(),
+                bee,
+                to,
+            },
+        ));
     }
 
     /// Retires this bee once the current transaction commits **and** its
@@ -425,10 +455,7 @@ mod tests {
 
     fn sample_app() -> App {
         App::builder("test")
-            .handle::<MsgA>(
-                |m| Mapped::cell("S", &m.key),
-                |_m, _ctx| Ok(()),
-            )
+            .handle::<MsgA>(|m| Mapped::cell("S", &m.key), |_m, _ctx| Ok(()))
             .handle_whole::<MsgB>("route", &["S", "T"], |_m, _ctx| Ok(()))
             .handle_broadcast::<MsgB>("query", |_m, _ctx| Ok(()))
             .build()

@@ -33,12 +33,18 @@ impl Cell {
             key, WHOLE_DICT_KEY,
             "the key {WHOLE_DICT_KEY:?} is reserved; declare whole-dict access with MapSpec::WholeDicts"
         );
-        Cell { dict: dict.into(), key }
+        Cell {
+            dict: dict.into(),
+            key,
+        }
     }
 
     /// The whole-dictionary cell for `dict` (platform use).
     pub fn whole(dict: impl Into<String>) -> Self {
-        Cell { dict: dict.into(), key: WHOLE_DICT_KEY.to_string() }
+        Cell {
+            dict: dict.into(),
+            key: WHOLE_DICT_KEY.to_string(),
+        }
     }
 
     /// Whether this is a whole-dictionary cell.
@@ -95,7 +101,11 @@ impl Mapped {
                 let mut seen = std::collections::BTreeSet::new();
                 let mut out = Vec::with_capacity(cells.len());
                 for c in cells {
-                    let c = if is_monolithic(&c.dict) { Cell::whole(&c.dict) } else { c };
+                    let c = if is_monolithic(&c.dict) {
+                        Cell::whole(&c.dict)
+                    } else {
+                        c
+                    };
                     if seen.insert(c.clone()) {
                         out.push(c);
                     }
@@ -169,7 +179,13 @@ mod tests {
     #[test]
     fn canonicalize_passes_through_other_variants() {
         assert_eq!(Mapped::Skip.canonicalize(|_| true), Mapped::Skip);
-        assert_eq!(Mapped::LocalSingleton.canonicalize(|_| true), Mapped::LocalSingleton);
-        assert_eq!(Mapped::LocalBroadcast.canonicalize(|_| true), Mapped::LocalBroadcast);
+        assert_eq!(
+            Mapped::LocalSingleton.canonicalize(|_| true),
+            Mapped::LocalSingleton
+        );
+        assert_eq!(
+            Mapped::LocalBroadcast.canonicalize(|_| true),
+            Mapped::LocalBroadcast
+        );
     }
 }

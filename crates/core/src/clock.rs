@@ -19,7 +19,9 @@ pub struct SystemClock {
 impl SystemClock {
     /// A clock starting at 0 now.
     pub fn new() -> Self {
-        SystemClock { start: std::time::Instant::now() }
+        SystemClock {
+            start: std::time::Instant::now(),
+        }
     }
 }
 

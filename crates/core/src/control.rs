@@ -105,7 +105,13 @@ mod tests {
         let bytes = m.encode().unwrap();
         let back = ControlMsg::decode(&bytes).unwrap();
         match back {
-            ControlMsg::MigrateState { app, bee, state, colony, repl_seq } => {
+            ControlMsg::MigrateState {
+                app,
+                bee,
+                state,
+                colony,
+                repl_seq,
+            } => {
                 assert_eq!(app, "te");
                 assert_eq!(bee, BeeId::new(HiveId(1), 7));
                 assert_eq!(state, vec![1, 2, 3]);

@@ -40,12 +40,17 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::Handler(msg) => write!(f, "handler error: {msg}"),
-            Error::UnknownMessageType(t) => write!(f, "no decoder registered for message type {t:?}"),
+            Error::UnknownMessageType(t) => {
+                write!(f, "no decoder registered for message type {t:?}")
+            }
             Error::Wire(e) => write!(f, "wire error: {e}"),
             Error::NoSuchApp(a) => write!(f, "application {a:?} is not installed"),
             Error::NoSuchBee(b) => write!(f, "bee {b} does not exist"),
             Error::StateDecode { dict, key, source } => {
-                write!(f, "failed to decode state value at ({dict}, {key}): {source}")
+                write!(
+                    f,
+                    "failed to decode state value at ({dict}, {key}): {source}"
+                )
             }
             Error::Transport(msg) => write!(f, "transport error: {msg}"),
             Error::Registry(msg) => write!(f, "registry error: {msg}"),

@@ -1,0 +1,407 @@
+//! The parallel bee executor: a worker pool that runs checked-out bees'
+//! mailbox batches on N OS threads while the hive thread keeps exclusive
+//! ownership of routing, the registry, Raft I/O and migration.
+//!
+//! The paper's central invariant — each bee exclusively owns its mapped
+//! cells — is exactly what makes this safe: bees with disjoint colonies
+//! share no state, so their handlers can run concurrently without locks.
+//! The protocol is **checkout / check-in**:
+//!
+//! 1. The hive drains its run queue and *checks out* every runnable bee
+//!    from its queen ([`crate::queen::Queen::check_out`]): the bee's state,
+//!    colony and entire pending mailbox move into a [`BeeJob`], and the bee
+//!    is marked [`crate::queen::BeeStatus::CheckedOut`]. Bees that are
+//!    mid-merge, mid-migration or staged are never checked out — they stay
+//!    pinned to the hive thread's sequential path.
+//! 2. Workers run each job's batch exactly like the sequential
+//!    `Hive::run_bee` loop would (transaction per message, commit/rollback,
+//!    cell claiming, replication journaling, instrumentation), accumulating
+//!    all side effects in a [`BeeJobResult`] instead of applying them.
+//! 3. The hive thread blocks until every job of the round is back, sorts
+//!    results by bee id, *checks all bees back in first*, and only then
+//!    applies side effects (outbox dispatch, control messages, registry
+//!    proposals, instrumentation merge) in that deterministic order.
+//!
+//! Because the hive thread blocks for the round, no deliveries, registry
+//! events or control messages can touch a checked-out bee concurrently —
+//! one-bee-one-thread exclusivity holds trivially, and for applications
+//! whose handlers emit no messages the final state is bit-identical to the
+//! sequential executor (see `tests/behavior_equivalence.rs`).
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use crate::app::{App, RcvCtx};
+use crate::cell::{Cell, WHOLE_DICT_KEY};
+use crate::control::ControlMsg;
+use crate::id::{BeeId, HiveId};
+use crate::message::Envelope;
+use crate::metrics::Instrumentation;
+use crate::state::{BeeState, JournalOp, TxState};
+
+/// A condvar-based parker for the hive thread's idle wait. An `unpark` that
+/// arrives while the thread is *not* parked is remembered, so a wakeup
+/// between the idle check and the park is never lost.
+pub(crate) struct Parker {
+    notified: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Parker {
+    pub(crate) fn new() -> Self {
+        Parker {
+            notified: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until [`Parker::unpark`] is called or `timeout` elapses.
+    /// Returns immediately if an unpark is already pending.
+    pub(crate) fn park(&self, timeout: Duration) {
+        let mut notified = self.notified.lock();
+        if !*notified {
+            let _ = self.cv.wait_for(&mut notified, timeout);
+        }
+        *notified = false;
+    }
+
+    /// Wakes (or pre-wakes) the parked thread.
+    pub(crate) fn unpark(&self) {
+        let mut notified = self.notified.lock();
+        *notified = true;
+        self.cv.notify_one();
+    }
+}
+
+/// One checked-out bee plus everything a worker needs to run its batch.
+pub(crate) struct BeeJob {
+    /// Index of the app in the hive's app table (round bookkeeping).
+    pub app_idx: usize,
+    /// The bee being run.
+    pub bee: BeeId,
+    /// The application (shared, immutable — handlers are `Send + Sync`).
+    pub app: Arc<App>,
+    /// The hive the bee lives on.
+    pub hive: HiveId,
+    /// Platform time for this round, in ms.
+    pub now_ms: u64,
+    /// The bee's checked-out state.
+    pub state: BeeState,
+    /// The bee's checked-out colony.
+    pub colony: BTreeSet<Cell>,
+    /// Whether the bee is pinned (local singleton).
+    pub pinned: bool,
+    /// Replication sequence at checkout.
+    pub repl_seq: u64,
+    /// Whether committed journals must be encoded for colony replication.
+    pub replicate: bool,
+    /// The bee's entire pending mailbox for this round.
+    pub batch: Vec<(u16, Envelope)>,
+}
+
+/// Everything a batch produced, to be checked back in and applied by the
+/// hive thread in deterministic (app, bee) order.
+pub(crate) struct BeeJobResult {
+    /// App index, copied from the job.
+    pub app_idx: usize,
+    /// The bee, copied from the job.
+    pub bee: BeeId,
+    /// Pinned flag, copied from the job.
+    pub pinned: bool,
+    /// The bee's state after the batch.
+    pub state: BeeState,
+    /// The bee's colony after the batch (including freshly claimed cells).
+    pub colony: BTreeSet<Cell>,
+    /// Replication sequence after the batch.
+    pub repl_seq: u64,
+    /// Cells written outside the colony, to be proposed as `AssignCells`.
+    pub new_cells: Vec<Cell>,
+    /// Messages emitted by committed handlers, in processing order.
+    pub outbox: Vec<Envelope>,
+    /// Control messages requested by committed handlers.
+    pub control_out: Vec<(HiveId, ControlMsg)>,
+    /// Encoded committed journals for colony replication: `(seq, bytes)`.
+    pub journals: Vec<(u64, Vec<u8>)>,
+    /// Whether the *last* message's handler requested retirement (matching
+    /// the sequential executor, where a retire only collects the bee when
+    /// the mailbox is empty afterwards).
+    pub retire: bool,
+    /// Handler invocations that returned an error.
+    pub errors: u64,
+    /// Messages processed.
+    pub processed: u64,
+    /// Instrumentation delta for the whole batch.
+    pub instr: Instrumentation,
+    /// Wall nanoseconds the worker spent on this batch.
+    pub busy_nanos: u64,
+    /// Which worker ran the batch.
+    pub worker: usize,
+}
+
+/// Runs one bee's batch on a worker thread. This mirrors the sequential
+/// `Hive::run_bee` per-message sequence exactly; any change there must be
+/// reflected here (and vice versa).
+fn run_batch(worker: usize, job: BeeJob) -> BeeJobResult {
+    let BeeJob {
+        app_idx,
+        bee,
+        app,
+        hive,
+        now_ms,
+        mut state,
+        mut colony,
+        pinned,
+        mut repl_seq,
+        replicate,
+        batch,
+    } = job;
+    let app_name = app.name().clone();
+    let mut instr = Instrumentation::default();
+    let mut outbox: Vec<Envelope> = Vec::new();
+    let mut control_out: Vec<(HiveId, ControlMsg)> = Vec::new();
+    let mut journals: Vec<(u64, Vec<u8>)> = Vec::new();
+    let mut new_cells: Vec<Cell> = Vec::new();
+    let mut retire_last = false;
+    let mut errors = 0u64;
+    let mut processed = 0u64;
+    let batch_started = std::time::Instant::now();
+
+    for (hidx, env) in batch {
+        let handler = app.handler(hidx).expect("handler index valid");
+        let in_type = env.msg.type_name().to_string();
+        let msg_len = env.msg.encoded_len();
+
+        let mut ctx = RcvCtx {
+            hive,
+            app: app_name.clone(),
+            bee,
+            src: env.src,
+            now_ms,
+            tx: TxState::begin(&mut state),
+            outbox: Vec::new(),
+            control_out: Vec::new(),
+            retire: false,
+        };
+        let started = std::time::Instant::now();
+        let result = handler.rcv(env.msg.as_ref(), &mut ctx);
+        let elapsed = started.elapsed().as_nanos() as u64;
+
+        let RcvCtx {
+            tx,
+            outbox: msg_out,
+            control_out: ctl_out,
+            retire,
+            ..
+        } = ctx;
+        let (journal, msg_out, ctl_out, ok) = match result {
+            Ok(()) => (tx.commit(), msg_out, ctl_out, true),
+            Err(_) => (tx.rollback(), Vec::new(), Vec::new(), false),
+        };
+        // Only the batch's final message can retire the bee: earlier
+        // messages always have more mail behind them (sequential parity).
+        retire_last = ok && retire;
+
+        // Claim newly written cells that fall outside the colony.
+        if ok && !pinned {
+            for op in &journal.ops {
+                let (dict, key) = match op {
+                    JournalOp::Put { dict, key, .. } => (dict, key),
+                    JournalOp::Del { dict, key } => (dict, key),
+                };
+                if key == WHOLE_DICT_KEY {
+                    continue;
+                }
+                let covered = colony.contains(&Cell {
+                    dict: dict.clone(),
+                    key: key.clone(),
+                }) || colony.contains(&Cell::whole(dict.clone()));
+                if !covered {
+                    let cell = Cell {
+                        dict: dict.clone(),
+                        key: key.clone(),
+                    };
+                    colony.insert(cell.clone());
+                    new_cells.push(cell);
+                }
+            }
+        }
+
+        // Colony replication: sequence and encode the committed journal.
+        if ok && !pinned && replicate && !journal.is_empty() {
+            repl_seq += 1;
+            if let Ok(bytes) = beehive_wire::to_vec(&journal) {
+                journals.push((repl_seq, bytes));
+            }
+        }
+
+        // Instrumentation (accumulated locally; merged on check-in).
+        if env.src.bee().is_some() {
+            instr.record_matrix(env.src.hive(), hive);
+        }
+        {
+            let stats = instr.bee(&app_name, bee);
+            stats.record_in(env.src.hive(), env.src.bee(), msg_len);
+            stats.handler_nanos += elapsed;
+            if !ok {
+                stats.errors += 1;
+            }
+        }
+        for out in &msg_out {
+            instr.bee(&app_name, bee).record_out(out.msg.encoded_len());
+            instr.record_provenance(&app_name, &in_type, out.msg.type_name());
+        }
+        instr.record_in_type(&app_name, &in_type);
+        if !ok {
+            errors += 1;
+        }
+        processed += 1;
+        outbox.extend(msg_out);
+        control_out.extend(ctl_out);
+    }
+    instr.bee_cells.insert(bee.0, colony.len() as u64);
+    let busy_nanos = batch_started.elapsed().as_nanos() as u64;
+
+    BeeJobResult {
+        app_idx,
+        bee,
+        pinned,
+        state,
+        colony,
+        repl_seq,
+        new_cells,
+        outbox,
+        control_out,
+        journals,
+        retire: retire_last,
+        errors,
+        processed,
+        instr,
+        busy_nanos,
+        worker,
+    }
+}
+
+/// The worker pool. Jobs go out over one MPMC channel; results come back on
+/// another. Dropping the executor closes the job channel and joins every
+/// worker.
+pub(crate) struct Executor {
+    job_tx: Option<Sender<BeeJob>>,
+    res_rx: Receiver<Result<BeeJobResult, String>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Executor {
+    /// Spawns `workers` threads (named `bh-worker-N`).
+    pub(crate) fn new(workers: usize) -> Self {
+        assert!(workers >= 1);
+        let (job_tx, job_rx) = unbounded::<BeeJob>();
+        let (res_tx, res_rx) = unbounded::<Result<BeeJobResult, String>>();
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let rx = job_rx.clone();
+            let tx = res_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("bh-worker-{w}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        // A panicking handler must tear down the hive (as it
+                        // would in the sequential executor), not deadlock the
+                        // round — ship the panic back instead of unwinding
+                        // the worker.
+                        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            run_batch(w, job)
+                        }))
+                        .map_err(|p| {
+                            p.downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| p.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "handler panicked".to_string())
+                        });
+                        if tx.send(res).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn executor worker");
+            handles.push(handle);
+        }
+        Executor {
+            job_tx: Some(job_tx),
+            res_rx,
+            handles,
+        }
+    }
+
+    /// Queues a job for the pool.
+    pub(crate) fn submit(&self, job: BeeJob) {
+        self.job_tx
+            .as_ref()
+            .expect("executor alive")
+            .send(job)
+            .expect("executor workers alive");
+    }
+
+    /// Blocks for the next finished batch. Panics (on the hive thread) if
+    /// the batch's handler panicked on the worker.
+    pub(crate) fn collect(&self) -> BeeJobResult {
+        match self.res_rx.recv().expect("executor workers alive") {
+            Ok(res) => res,
+            Err(panic_msg) => panic!("bee handler panicked on worker thread: {panic_msg}"),
+        }
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.job_tx = None; // close the channel; workers drain and exit
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn parker_remembers_early_unpark() {
+        let p = Parker::new();
+        p.unpark();
+        let started = std::time::Instant::now();
+        p.park(Duration::from_secs(5));
+        assert!(
+            started.elapsed() < Duration::from_secs(1),
+            "pending unpark must not block"
+        );
+    }
+
+    #[test]
+    fn parker_times_out() {
+        let p = Parker::new();
+        let started = std::time::Instant::now();
+        p.park(Duration::from_millis(20));
+        assert!(started.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn parker_wakes_across_threads() {
+        let p = Arc::new(Parker::new());
+        let p2 = p.clone();
+        let woken = Arc::new(AtomicUsize::new(0));
+        let woken2 = woken.clone();
+        let t = std::thread::spawn(move || {
+            p2.park(Duration::from_secs(10));
+            woken2.store(1, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        p.unpark();
+        t.join().unwrap();
+        assert_eq!(woken.load(Ordering::SeqCst), 1);
+    }
+}

@@ -69,7 +69,12 @@ impl fmt::Display for FeedbackItem {
                  the app is effectively centralized",
                 share * 100.0
             ),
-            FeedbackItem::RemoteChatter { bee, hive, dominant_source, share } => write!(
+            FeedbackItem::RemoteChatter {
+                bee,
+                hive,
+                dominant_source,
+                share,
+            } => write!(
                 f,
                 "{bee} on {hive} receives {:.0}% of its messages from {dominant_source}: \
                  placement is suboptimal",
@@ -124,7 +129,10 @@ pub fn design_feedback(app: &App) -> FeedbackReport {
     for (dict, handlers) in app.whole_dict_handlers() {
         items.push(FeedbackItem::MonolithicDict { dict, handlers });
     }
-    FeedbackReport { app: app.name().clone(), items }
+    FeedbackReport {
+        app: app.name().clone(),
+        items,
+    }
 }
 
 /// Runtime analysis: inspects aggregated per-bee statistics for one app.
@@ -141,8 +149,10 @@ pub fn runtime_feedback(
 ) -> FeedbackReport {
     let mut items = Vec::new();
 
-    let relevant: Vec<&BeeStatsSnapshot> =
-        snapshots.iter().filter(|s| s.app == app && !s.pinned).collect();
+    let relevant: Vec<&BeeStatsSnapshot> = snapshots
+        .iter()
+        .filter(|s| s.app == app && !s.pinned)
+        .collect();
     let total_msgs: u64 = relevant.iter().map(|s| s.stats.msgs_in).sum();
 
     if total_msgs > 0 {
@@ -175,10 +185,15 @@ pub fn runtime_feedback(
     }
 
     if assign_conflicts > 0 {
-        items.push(FeedbackItem::OutOfCellWrites { conflicts: assign_conflicts });
+        items.push(FeedbackItem::OutOfCellWrites {
+            conflicts: assign_conflicts,
+        });
     }
 
-    FeedbackReport { app: app.to_string(), items }
+    FeedbackReport {
+        app: app.to_string(),
+        items,
+    }
 }
 
 /// Merges per-window snapshots of the same bees (helper for analytics over
@@ -220,7 +235,11 @@ mod tests {
     fn snap(app: &str, bee: u32, hive: u32, msgs: u64, from_hive: u32) -> BeeStatsSnapshot {
         let mut stats = BeeStats::default();
         for _ in 0..msgs {
-            stats.record_in(HiveId(from_hive), Some(BeeId::new(HiveId(from_hive), 99)), 10);
+            stats.record_in(
+                HiveId(from_hive),
+                Some(BeeId::new(HiveId(from_hive), 99)),
+                10,
+            );
         }
         BeeStatsSnapshot {
             app: app.into(),
@@ -256,15 +275,22 @@ mod tests {
 
     #[test]
     fn centralized_execution_detected() {
-        let snaps =
-            vec![snap("te", 1, 1, 95, 1), snap("te", 2, 2, 3, 2), snap("te", 3, 3, 2, 3)];
+        let snaps = vec![
+            snap("te", 1, 1, 95, 1),
+            snap("te", 2, 2, 3, 2),
+            snap("te", 3, 3, 2, 3),
+        ];
         let report = runtime_feedback("te", &snaps, 0, 0.9, 0.5);
         assert!(report.is_centralized());
     }
 
     #[test]
     fn balanced_execution_not_flagged() {
-        let snaps = vec![snap("te", 1, 1, 30, 1), snap("te", 2, 2, 35, 2), snap("te", 3, 3, 35, 3)];
+        let snaps = vec![
+            snap("te", 1, 1, 30, 1),
+            snap("te", 2, 2, 35, 2),
+            snap("te", 3, 3, 35, 3),
+        ];
         let report = runtime_feedback("te", &snaps, 0, 0.9, 0.95);
         assert!(!report.is_centralized());
     }
@@ -276,14 +302,20 @@ mod tests {
         let report = runtime_feedback("te", &snaps, 0, 2.0, 0.5);
         assert!(matches!(
             report.items.first(),
-            Some(FeedbackItem::RemoteChatter { dominant_source: HiveId(4), .. })
+            Some(FeedbackItem::RemoteChatter {
+                dominant_source: HiveId(4),
+                ..
+            })
         ));
     }
 
     #[test]
     fn conflicts_reported() {
         let report = runtime_feedback("te", &[], 3, 0.9, 0.5);
-        assert_eq!(report.items, vec![FeedbackItem::OutOfCellWrites { conflicts: 3 }]);
+        assert_eq!(
+            report.items,
+            vec![FeedbackItem::OutOfCellWrites { conflicts: 3 }]
+        );
     }
 
     #[test]

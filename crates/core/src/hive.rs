@@ -20,6 +20,7 @@ use crate::app::{App, RcvCtx};
 use crate::cell::{Cell, Mapped};
 use crate::clock::Clock;
 use crate::control::ControlMsg;
+use crate::executor::{BeeJob, Executor, Parker};
 use crate::id::{AppName, BeeId, HiveId};
 use crate::message::{Dst, Envelope, Message, MessageRegistry, WireEnvelope};
 use crate::metrics::Instrumentation;
@@ -64,6 +65,13 @@ pub struct HiveConfig {
     /// snapshots). `None` keeps it in memory — fine for simulations; set it
     /// in production so a restarted hive rejoins with its Raft state intact.
     pub registry_storage_dir: Option<std::path::PathBuf>,
+    /// Number of executor worker threads for bee handlers. `1` (the
+    /// default) runs every handler on the hive thread — today's sequential
+    /// semantics. `> 1` spawns a worker pool and runs disjoint-colony bees
+    /// concurrently in checkout/check-in rounds (see `DESIGN.md`,
+    /// "Execution model"); the hive thread always keeps routing, registry,
+    /// Raft and migration to itself.
+    pub workers: usize,
 }
 
 impl HiveConfig {
@@ -81,6 +89,7 @@ impl HiveConfig {
             orphan_ttl_ms: 10_000,
             replication_factor: 1,
             registry_storage_dir: None,
+            workers: 1,
         }
     }
 
@@ -141,6 +150,7 @@ pub struct HiveCounters {
 pub struct HiveHandle {
     id: HiveId,
     tx: Sender<Envelope>,
+    parker: Arc<Parker>,
 }
 
 impl HiveHandle {
@@ -152,21 +162,27 @@ impl HiveHandle {
     /// Emits a message into the hive as external input.
     pub fn emit<M: Message>(&self, msg: M) {
         let _ = self.tx.send(Envelope::external(self.id, Arc::new(msg)));
+        self.parker.unpark();
     }
 
     /// Emits a pre-wrapped message.
     pub fn emit_arc(&self, msg: Arc<dyn Message>) {
         let _ = self.tx.send(Envelope::external(self.id, msg));
+        self.parker.unpark();
     }
 
     /// Injects a fully formed envelope.
     pub fn send(&self, env: Envelope) {
         let _ = self.tx.send(env);
+        self.parker.unpark();
     }
 }
 
 enum RegBackend {
-    Local { state: RegistryState, applied: Vec<(RegistryCommand, RegistryEvent)> },
+    Local {
+        state: RegistryState,
+        applied: Vec<(RegistryCommand, RegistryEvent)>,
+    },
     Raft(Box<beehive_raft::RaftNode<RegistryState>>),
 }
 
@@ -189,7 +205,7 @@ pub struct Hive {
     cfg: HiveConfig,
     clock: Arc<dyn Clock>,
     transport: Box<dyn Transport>,
-    apps: Vec<App>,
+    apps: Vec<Arc<App>>,
     app_idx: HashMap<AppName, usize>,
     msg_registry: MessageRegistry,
     queens: Vec<Queen>,
@@ -220,15 +236,27 @@ pub struct Hive {
     shadows: ShadowStore,
     /// Bees being recovered from local shadows (failover in progress).
     recovering: HashSet<(AppName, BeeId)>,
+    /// The worker pool when `cfg.workers > 1`; `None` = sequential.
+    executor: Option<Executor>,
+    /// Parker for [`Hive::run`]'s idle wait, shared with every
+    /// [`HiveHandle`] and handed to the transport as its waker.
+    parker: Arc<Parker>,
 }
 
 impl Hive {
     /// Creates a hive. Install applications with [`Hive::install`] before
     /// stepping.
     pub fn new(cfg: HiveConfig, clock: Arc<dyn Clock>, transport: Box<dyn Transport>) -> Self {
-        assert_eq!(cfg.id, transport.local(), "transport endpoint must match hive id");
+        assert_eq!(
+            cfg.id,
+            transport.local(),
+            "transport endpoint must match hive id"
+        );
         let registry = if cfg.registry_voters.is_empty() {
-            RegBackend::Local { state: RegistryState::new(), applied: Vec::new() }
+            RegBackend::Local {
+                state: RegistryState::new(),
+                applied: Vec::new(),
+            }
         } else {
             let me = cfg.id.as_raft();
             let voters: Vec<u64> = cfg.registry_voters.iter().map(|h| h.as_raft()).collect();
@@ -246,8 +274,10 @@ impl Hive {
                 Some(dir) => {
                     std::fs::create_dir_all(dir).expect("create registry storage dir");
                     Box::new(
-                        beehive_raft::FileStorage::open(dir.join(format!("hive-{}.raft", cfg.id.0)))
-                            .expect("open registry storage"),
+                        beehive_raft::FileStorage::open(
+                            dir.join(format!("hive-{}.raft", cfg.id.0)),
+                        )
+                        .expect("open registry storage"),
                     )
                 }
                 None => Box::new(beehive_raft::MemStorage::new()),
@@ -274,6 +304,11 @@ impl Hive {
                 )
             };
             RegBackend::Raft(Box::new(node))
+        };
+        let executor = if cfg.workers > 1 {
+            Some(Executor::new(cfg.workers))
+        } else {
+            None
         };
         let (handle_tx, handle_rx) = unbounded();
         let mut msg_registry = MessageRegistry::new();
@@ -307,6 +342,8 @@ impl Hive {
             applied_seq: 0,
             shadows: ShadowStore::new(),
             recovering: HashSet::new(),
+            executor,
+            parker: Arc::new(Parker::new()),
         };
         if let RegBackend::Raft(node) = &hive.registry {
             // Restored durable state: start the fence at the snapshot point.
@@ -332,17 +369,22 @@ impl Hive {
         app.register_messages(&mut self.msg_registry);
         self.app_idx.insert(app.name().clone(), self.apps.len());
         self.queens.push(Queen::new(app.name().clone()));
-        self.apps.push(app);
+        self.apps.push(Arc::new(app));
     }
 
     /// A cloneable handle for injecting external messages.
     pub fn handle(&self) -> HiveHandle {
-        HiveHandle { id: self.cfg.id, tx: self.handle_tx.clone() }
+        HiveHandle {
+            id: self.cfg.id,
+            tx: self.handle_tx.clone(),
+            parker: self.parker.clone(),
+        }
     }
 
     /// Emits a message as external input (convenience for tests/drivers).
     pub fn emit<M: Message>(&mut self, msg: M) {
-        self.dispatch_queue.push_back(Envelope::external(self.cfg.id, Arc::new(msg)));
+        self.dispatch_queue
+            .push_back(Envelope::external(self.cfg.id, Arc::new(msg)));
     }
 
     /// Shared instrumentation store (used by the collector platform app).
@@ -373,23 +415,33 @@ impl Hive {
         }
     }
 
-    /// The installed applications.
-    pub fn apps(&self) -> &[App] {
+    /// The installed applications (shared with executor workers).
+    pub fn apps(&self) -> &[Arc<App>] {
         &self.apps
     }
 
     /// Number of local bees of `app`.
     pub fn local_bee_count(&self, app: &str) -> usize {
-        self.app_idx.get(app).map(|&i| self.queens[i].len()).unwrap_or(0)
+        self.app_idx
+            .get(app)
+            .map(|&i| self.queens[i].len())
+            .unwrap_or(0)
     }
 
     /// All local bees of `app` with their colony sizes.
     pub fn local_bees(&self, app: &str) -> Vec<(BeeId, usize)> {
-        let Some(&i) = self.app_idx.get(app) else { return Vec::new() };
+        let Some(&i) = self.app_idx.get(app) else {
+            return Vec::new();
+        };
         self.queens[i]
             .bee_ids()
             .into_iter()
-            .map(|b| (b, self.queens[i].bee(b).map(|lb| lb.colony.len()).unwrap_or(0)))
+            .map(|b| {
+                (
+                    b,
+                    self.queens[i].bee(b).map(|lb| lb.colony.len()).unwrap_or(0),
+                )
+            })
             .collect()
     }
 
@@ -410,16 +462,24 @@ impl Hive {
     /// reproduce the paper's "artificially assign the cells of all switches
     /// to the bees on the first hive").
     pub fn preclaim(&mut self, app: &str, cells: Vec<Cell>) {
-        let Some(&app_idx) = self.app_idx.get(app) else { return };
+        let Some(&app_idx) = self.app_idx.get(app) else {
+            return;
+        };
         let canonical = Mapped::Cells(cells).canonicalize(|d| self.apps[app_idx].is_monolithic(d));
-        let Mapped::Cells(cells) = canonical else { return };
+        let Mapped::Cells(cells) = canonical else {
+            return;
+        };
         self.route_cells(app_idx, None, cells, None);
     }
 
     /// Requests a live migration of `bee` (of `app`, currently on `from`)
     /// to hive `to`.
     pub fn request_migration(&mut self, app: &str, bee: BeeId, from: HiveId, to: HiveId) {
-        let msg = ControlMsg::RequestMigration { app: app.to_string(), bee, to };
+        let msg = ControlMsg::RequestMigration {
+            app: app.to_string(),
+            bee,
+            to,
+        };
         if from == self.cfg.id {
             self.handle_control(self.cfg.id, msg);
         } else {
@@ -442,7 +502,10 @@ impl Hive {
         let n = candidates.len();
         for (app, bee) in candidates {
             self.recovering.insert((app, bee));
-            self.submit_tracked(RegistryOp::MoveBee { bee, to: self.cfg.id });
+            self.submit_tracked(RegistryOp::MoveBee {
+                bee,
+                to: self.cfg.id,
+            });
         }
         n
     }
@@ -474,7 +537,8 @@ impl Hive {
         while let Some((from, frame)) = self.transport.try_recv() {
             work += 1;
             match frame.kind {
-                FrameKind::App => match WireEnvelope::to_envelope(&frame.bytes, &self.msg_registry) {
+                FrameKind::App => match WireEnvelope::to_envelope(&frame.bytes, &self.msg_registry)
+                {
                     Ok(env) => self.dispatch_queue.push_back(env),
                     Err(_) => self.counters.decode_errors += 1,
                 },
@@ -520,8 +584,12 @@ impl Hive {
         {
             self.last_app_tick_ms = now;
             self.tick_seq += 1;
-            let tick = Tick { seq: self.tick_seq, now_ms: now };
-            self.dispatch_queue.push_back(Envelope::external(self.cfg.id, Arc::new(tick)));
+            let tick = Tick {
+                seq: self.tick_seq,
+                now_ms: now,
+            };
+            self.dispatch_queue
+                .push_back(Envelope::external(self.cfg.id, Arc::new(tick)));
             work += 1;
         }
 
@@ -553,9 +621,17 @@ impl Hive {
                 work += 1;
                 continue;
             }
-            if let Some((app_idx, bee)) = self.run_queue.pop_front() {
-                if self.run_bee(app_idx, bee, now) {
-                    work += 1;
+            if !self.run_queue.is_empty() {
+                if self.executor.is_some() {
+                    // Parallel round: fan the whole run queue out across the
+                    // worker pool and block for the results (the round always
+                    // drains the queue, so a zero-work round still makes
+                    // progress toward the `drain_applied() == 0` exit below).
+                    work += self.run_parallel_round(now);
+                } else if let Some((app_idx, bee)) = self.run_queue.pop_front() {
+                    if self.run_bee(app_idx, bee, now) {
+                        work += 1;
+                    }
                 }
                 continue;
             }
@@ -604,13 +680,49 @@ impl Hive {
     }
 
     /// Runs the hive on the current thread until `stop` becomes true,
-    /// sleeping briefly when idle. Production entry point.
+    /// parking when idle. The thread is woken by [`HiveHandle`] sends and by
+    /// inbound transport frames (via [`Transport::set_waker`]); the park
+    /// timeout is bounded by the next timer the hive owes (Raft ticks, the
+    /// platform tick, pending-op retries), so timers never slip by more than
+    /// their own granularity. Production entry point.
     pub fn run(&mut self, stop: &std::sync::atomic::AtomicBool) {
+        let parker = self.parker.clone();
+        self.transport.set_waker(Arc::new(move || parker.unpark()));
         while !stop.load(std::sync::atomic::Ordering::Relaxed) {
             if self.step() == 0 {
-                std::thread::sleep(std::time::Duration::from_millis(1));
+                let timeout = self.idle_park_ms(self.clock.now_ms());
+                self.parker.park(std::time::Duration::from_millis(timeout));
             }
         }
+    }
+
+    /// How long `run` may park right now: until the nearest owed timer
+    /// (Raft tick, platform tick, retry scans), capped so a stop request is
+    /// honored promptly even without a wakeup.
+    fn idle_park_ms(&self, now: u64) -> u64 {
+        const MAX_PARK_MS: u64 = 25;
+        let mut park = MAX_PARK_MS;
+        if matches!(self.registry, RegBackend::Raft(_)) {
+            let next = self
+                .cfg
+                .raft_tick_ms
+                .saturating_sub(now.saturating_sub(self.last_raft_tick_ms));
+            park = park.min(next);
+        }
+        if self.cfg.tick_interval_ms > 0 {
+            let next = self
+                .cfg
+                .tick_interval_ms
+                .saturating_sub(now.saturating_sub(self.last_app_tick_ms));
+            park = park.min(next);
+        }
+        if !self.pending_routes.is_empty()
+            || !self.pending_ops.is_empty()
+            || !self.orphans.is_empty()
+        {
+            park = park.min(5);
+        }
+        park.max(1)
     }
 
     // ------------------------------------------------------------------
@@ -629,7 +741,12 @@ impl Hive {
                     self.offer_to_app(app_idx, &env);
                 }
             }
-            Dst::Bee { app, bee, handler, fence } => {
+            Dst::Bee {
+                app,
+                bee,
+                handler,
+                fence,
+            } => {
                 self.deliver_direct(&app, bee, handler, fence, env, now);
             }
         }
@@ -731,7 +848,11 @@ impl Hive {
         let cmd = RegistryCommand {
             origin: self.cfg.id,
             seq,
-            op: RegistryOp::LookupOrCreate { app: app_name.clone(), cells: cells.clone(), new_bee },
+            op: RegistryOp::LookupOrCreate {
+                app: app_name.clone(),
+                cells: cells.clone(),
+                new_bee,
+            },
         };
         let waiting = match (handler, env) {
             (Some(h), Some(env)) => vec![(h, env)],
@@ -760,7 +881,9 @@ impl Hive {
         env: Envelope,
         now: u64,
     ) {
-        let Some(&app_idx) = self.app_idx.get(app) else { return };
+        let Some(&app_idx) = self.app_idx.get(app) else {
+            return;
+        };
         // Registry fence: don't act on a routing decision we haven't applied
         // yet — park and retry (our mirror will catch up within a heartbeat).
         if fence > self.applied_seq {
@@ -792,15 +915,24 @@ impl Hive {
         // Merged away? Re-aim at the surviving colony.
         if let Some(winner) = self.queens[app_idx].merge_redirect(bee) {
             let mut env = env;
-            env.dst = Dst::Bee { app: app.to_string(), bee: winner, handler: Some(hidx), fence };
+            env.dst = Dst::Bee {
+                app: app.to_string(),
+                bee: winner,
+                handler: Some(hidx),
+                fence,
+            };
             self.dispatch_queue.push_back(env);
             return;
         }
         // Tombstone (moved away)?
         if let Some(to) = self.queens[app_idx].tombstone(bee) {
             let mut env = env;
-            env.dst =
-                Dst::Bee { app: app.to_string(), bee, handler: Some(hidx), fence: self.applied_seq };
+            env.dst = Dst::Bee {
+                app: app.to_string(),
+                bee,
+                handler: Some(hidx),
+                fence: self.applied_seq,
+            };
             self.relay(to, &env);
             return;
         }
@@ -817,8 +949,12 @@ impl Hive {
                     .unwrap_or_default();
                 if self.staged.contains_key(&(app.to_string(), bee)) {
                     let staged = self.staged.remove(&(app.to_string(), bee)).unwrap();
-                    self.queens[app_idx]
-                        .install_migrated(bee, staged.state, staged.colony, staged.repl_seq);
+                    self.queens[app_idx].install_migrated(
+                        bee,
+                        staged.state,
+                        staged.colony,
+                        staged.repl_seq,
+                    );
                     self.counters.migrations_in += 1;
                 } else {
                     self.queens[app_idx].ensure_bee(bee, colony);
@@ -840,13 +976,25 @@ impl Hive {
             None => {
                 // Unknown (our mirror may lag the leader). Park and retry.
                 let mut env = env;
-                env.dst = Dst::Bee { app: app.to_string(), bee, handler: Some(hidx), fence };
+                env.dst = Dst::Bee {
+                    app: app.to_string(),
+                    bee,
+                    handler: Some(hidx),
+                    fence,
+                };
                 self.orphans.push_back((env, now));
             }
         }
     }
 
-    fn deliver_or_relay(&mut self, app_idx: usize, bee: BeeId, hive: HiveId, hidx: u16, env: Envelope) {
+    fn deliver_or_relay(
+        &mut self,
+        app_idx: usize,
+        bee: BeeId,
+        hive: HiveId,
+        hidx: u16,
+        env: Envelope,
+    ) {
         if hive == self.cfg.id {
             // Make sure the bee exists locally (it may have been created by
             // our own LookupOrCreate).
@@ -940,8 +1088,13 @@ impl Hive {
     fn submit_tracked(&mut self, op: RegistryOp) {
         let seq = self.next_cmd_seq;
         self.next_cmd_seq += 1;
-        let cmd = RegistryCommand { origin: self.cfg.id, seq, op };
-        self.pending_ops.insert(seq, (cmd.clone(), self.clock.now_ms()));
+        let cmd = RegistryCommand {
+            origin: self.cfg.id,
+            seq,
+            op,
+        };
+        self.pending_ops
+            .insert(seq, (cmd.clone(), self.clock.now_ms()));
         self.submit_cmd(cmd);
     }
 
@@ -958,7 +1111,9 @@ impl Hive {
         retry.extend(
             self.pending_ops
                 .values_mut()
-                .filter(|(_, submitted)| now.saturating_sub(*submitted) >= self.cfg.pending_retry_ms)
+                .filter(|(_, submitted)| {
+                    now.saturating_sub(*submitted) >= self.cfg.pending_retry_ms
+                })
                 .map(|(cmd, submitted)| {
                     *submitted = now;
                     cmd.clone()
@@ -978,7 +1133,13 @@ impl Hive {
             self.pending_ops.remove(&cmd.seq);
         }
         match event {
-            RegistryEvent::Routed { app, bee, hive, created: _, merged } => {
+            RegistryEvent::Routed {
+                app,
+                bee,
+                hive,
+                created: _,
+                merged,
+            } => {
                 let app_idx = self.app_idx.get(&app).copied();
 
                 // Handle colony merges this hive participates in. Every
@@ -996,8 +1157,7 @@ impl Hive {
                                     self.queens[ai].ensure_bee(bee, []);
                                     self.queens[ai].absorb_merge(bee, *loser, state);
                                 } else {
-                                    let snapshot =
-                                        state.snapshot().expect("loser state snapshots");
+                                    let snapshot = state.snapshot().expect("loser state snapshots");
                                     self.send_control(
                                         hive,
                                         &ControlMsg::MergeState {
@@ -1040,7 +1200,10 @@ impl Hive {
                         }
                         self.instr.lock().bee_cells.insert(
                             bee.0,
-                            self.queens[ai].bee(bee).map(|b| b.colony.len() as u64).unwrap_or(0),
+                            self.queens[ai]
+                                .bee(bee)
+                                .map(|b| b.colony.len() as u64)
+                                .unwrap_or(0),
                         );
                     }
                 }
@@ -1069,7 +1232,9 @@ impl Hive {
                 }
             }
             RegistryEvent::Moved { app, bee, from, to } => {
-                let Some(&ai) = self.app_idx.get(&app) else { return };
+                let Some(&ai) = self.app_idx.get(&app) else {
+                    return;
+                };
                 if from == self.cfg.id && to != self.cfg.id {
                     let mail = self.queens[ai].finish_migration_out(bee, to);
                     for (h, mut env) in mail {
@@ -1083,7 +1248,12 @@ impl Hive {
                     }
                 } else if to == self.cfg.id && from != self.cfg.id {
                     if let Some(staged) = self.staged.remove(&(app.clone(), bee)) {
-                        self.queens[ai].install_migrated(bee, staged.state, staged.colony, staged.repl_seq);
+                        self.queens[ai].install_migrated(
+                            bee,
+                            staged.state,
+                            staged.colony,
+                            staged.repl_seq,
+                        );
                         self.counters.migrations_in += 1;
                         if self.queens[ai].bee(bee).is_some_and(|b| b.runnable()) {
                             self.run_queue.push_back((ai, bee));
@@ -1138,7 +1308,9 @@ impl Hive {
                 self.submit_cmd(cmd);
             }
             ControlMsg::RequestMigration { app, bee, to } => {
-                let Some(&ai) = self.app_idx.get(&app) else { return };
+                let Some(&ai) = self.app_idx.get(&app) else {
+                    return;
+                };
                 if to == self.cfg.id {
                     return; // already here (or a stale order)
                 }
@@ -1146,13 +1318,27 @@ impl Hive {
                     self.counters.migrations_started += 1;
                     self.send_control(
                         to,
-                        &ControlMsg::MigrateState { app: app.clone(), bee, state, colony, repl_seq },
+                        &ControlMsg::MigrateState {
+                            app: app.clone(),
+                            bee,
+                            state,
+                            colony,
+                            repl_seq,
+                        },
                     );
                     self.submit_tracked(RegistryOp::MoveBee { bee, to });
                 }
             }
-            ControlMsg::MigrateState { app, bee, state, colony, repl_seq } => {
-                let Some(&ai) = self.app_idx.get(&app) else { return };
+            ControlMsg::MigrateState {
+                app,
+                bee,
+                state,
+                colony,
+                repl_seq,
+            } => {
+                let Some(&ai) = self.app_idx.get(&app) else {
+                    return;
+                };
                 let state = match BeeState::from_snapshot(&state) {
                     Ok(s) => s,
                     Err(_) => {
@@ -1167,11 +1353,25 @@ impl Hive {
                         self.run_queue.push_back((ai, bee));
                     }
                 } else {
-                    self.staged.insert((app, bee), StagedBee { state, colony, repl_seq });
+                    self.staged.insert(
+                        (app, bee),
+                        StagedBee {
+                            state,
+                            colony,
+                            repl_seq,
+                        },
+                    );
                 }
             }
-            ControlMsg::MergeState { app, winner, loser, state } => {
-                let Some(&ai) = self.app_idx.get(&app) else { return };
+            ControlMsg::MergeState {
+                app,
+                winner,
+                loser,
+                state,
+            } => {
+                let Some(&ai) = self.app_idx.get(&app) else {
+                    return;
+                };
                 let state = match BeeState::from_snapshot(&state) {
                     Ok(s) => s,
                     Err(_) => {
@@ -1192,7 +1392,12 @@ impl Hive {
                     self.queens[ai].stash_early_merge(winner, loser, state);
                 }
             }
-            ControlMsg::ReplicateTx { app, bee, seq, journal } => {
+            ControlMsg::ReplicateTx {
+                app,
+                bee,
+                seq,
+                journal,
+            } => {
                 let journal = match beehive_wire::from_slice::<crate::state::TxJournal>(&journal) {
                     Ok(j) => j,
                     Err(_) => {
@@ -1208,14 +1413,33 @@ impl Hive {
                 }
             }
             ControlMsg::ReplicaSyncRequest { app, bee } => {
-                let Some(&ai) = self.app_idx.get(&app) else { return };
-                let Some(local) = self.queens[ai].bee(bee) else { return };
-                let Ok(state) = local.state.snapshot() else { return };
+                let Some(&ai) = self.app_idx.get(&app) else {
+                    return;
+                };
+                let Some(local) = self.queens[ai].bee(bee) else {
+                    return;
+                };
+                let Ok(state) = local.state.snapshot() else {
+                    return;
+                };
                 let seq = local.repl_seq;
                 self.counters.replica_syncs += 1;
-                self.send_control(from, &ControlMsg::ReplicaSyncState { app, bee, seq, state });
+                self.send_control(
+                    from,
+                    &ControlMsg::ReplicaSyncState {
+                        app,
+                        bee,
+                        seq,
+                        state,
+                    },
+                );
             }
-            ControlMsg::ReplicaSyncState { app, bee, seq, state } => {
+            ControlMsg::ReplicaSyncState {
+                app,
+                bee,
+                seq,
+                state,
+            } => {
                 let Ok(state) = BeeState::from_snapshot(&state) else {
                     self.counters.decode_errors += 1;
                     return;
@@ -1231,17 +1455,141 @@ impl Hive {
     // ------------------------------------------------------------------
 
     /// Runs one message on a bee. Returns whether work was done.
+    /// One parallel executor round: drains the run queue, checks every
+    /// runnable bee out to the worker pool with its full mailbox batch,
+    /// blocks for all results, then checks bees back in and applies side
+    /// effects deterministically in (app, bee) order. Returns messages
+    /// processed. See `DESIGN.md`, "Execution model".
+    fn run_parallel_round(&mut self, now: u64) -> usize {
+        let executor = self
+            .executor
+            .as_ref()
+            .expect("parallel round requires executor");
+        let me = self.cfg.id;
+        let replicate = self.cfg.replication_factor > 1;
+
+        // Fan out: one job per distinct runnable bee. Bees that refuse
+        // checkout (went inactive, drained mailbox via a merge/migration)
+        // are skipped — exactly like the sequential path's early returns.
+        let mut seen: HashSet<(usize, BeeId)> = HashSet::new();
+        let mut jobs = 0usize;
+        while let Some((app_idx, bee)) = self.run_queue.pop_front() {
+            if !seen.insert((app_idx, bee)) {
+                continue;
+            }
+            let Some(out) = self.queens[app_idx].check_out(bee) else {
+                continue;
+            };
+            executor.submit(BeeJob {
+                app_idx,
+                bee,
+                app: self.apps[app_idx].clone(),
+                hive: me,
+                now_ms: now,
+                state: out.state,
+                colony: out.colony,
+                pinned: out.pinned,
+                repl_seq: out.repl_seq,
+                replicate,
+                batch: out.mail,
+            });
+            jobs += 1;
+        }
+        if jobs == 0 {
+            return 0;
+        }
+        self.instr.lock().executor.record_round(jobs as u64);
+
+        // Barrier: the hive thread blocks until the whole round is back, so
+        // no routing, registry event or delivery can race a checked-out bee.
+        let mut results = Vec::with_capacity(jobs);
+        for _ in 0..jobs {
+            results.push(executor.collect());
+        }
+        results.sort_by_key(|r| (r.app_idx, r.bee));
+
+        // Phase 1: restore every bee before applying any side effect, so
+        // effects (which may touch other bees via dispatch) always observe a
+        // fully checked-in queen.
+        for r in &mut results {
+            self.queens[r.app_idx].check_in(
+                r.bee,
+                std::mem::take(&mut r.state),
+                std::mem::take(&mut r.colony),
+                r.repl_seq,
+            );
+        }
+
+        // Phase 2: side effects, in sorted (app, bee) order — the same
+        // deterministic order regardless of which worker finished first.
+        let mut processed = 0usize;
+        for r in results {
+            processed += r.processed as usize;
+            {
+                let mut instr = self.instr.lock();
+                instr
+                    .executor
+                    .record_batch(r.worker, r.processed, r.busy_nanos);
+                instr.merge_delta(r.instr);
+            }
+            self.counters.handler_errors += r.errors;
+            for env in r.outbox {
+                self.dispatch_queue.push_back(env);
+            }
+            for (to, cmsg) in r.control_out {
+                self.send_control(to, &cmsg);
+            }
+            if !r.journals.is_empty() {
+                let app_name = self.apps[r.app_idx].name().clone();
+                for (seq, bytes) in r.journals {
+                    for replica in replicas_of(me, &self.cfg.all_hives, self.cfg.replication_factor)
+                    {
+                        self.counters.replicated_txs += 1;
+                        self.send_control(
+                            replica,
+                            &ControlMsg::ReplicateTx {
+                                app: app_name.clone(),
+                                bee: r.bee,
+                                seq,
+                                journal: bytes.clone(),
+                            },
+                        );
+                    }
+                }
+            }
+            if !r.new_cells.is_empty() {
+                self.submit_tracked(RegistryOp::AssignCells {
+                    bee: r.bee,
+                    cells: r.new_cells,
+                });
+            }
+            if r.retire && !r.pinned {
+                let empty_and_idle = self.queens[r.app_idx]
+                    .bee(r.bee)
+                    .is_some_and(|b| b.state.total_entries() == 0 && b.mailbox.is_empty());
+                if empty_and_idle {
+                    self.submit_tracked(RegistryOp::RemoveBee { bee: r.bee });
+                }
+            }
+        }
+        processed
+    }
+
     fn run_bee(&mut self, app_idx: usize, bee_id: BeeId, now: u64) -> bool {
         // Pull one message (and the data the handler needs) out of the queen.
         let me = self.cfg.id;
         let app_name = self.apps[app_idx].name().clone();
 
         let queen = &mut self.queens[app_idx];
-        let Some(bee) = queen.bee_mut(bee_id) else { return false };
+        let Some(bee) = queen.bee_mut(bee_id) else {
+            return false;
+        };
         if bee.status != BeeStatus::Active {
             return false;
         }
-        let Some((hidx, env)) = bee.mailbox.pop_front() else { return false };
+        let Some((hidx, env)) = bee.mailbox.pop_front() else {
+            return false;
+        };
         let has_more = !bee.mailbox.is_empty();
         let pinned = bee.pinned;
 
@@ -1266,7 +1614,13 @@ impl Hive {
         let result = handler.rcv(env.msg.as_ref(), &mut ctx);
         let elapsed = started.elapsed().as_nanos() as u64;
 
-        let RcvCtx { tx, outbox, control_out, retire, .. } = ctx;
+        let RcvCtx {
+            tx,
+            outbox,
+            control_out,
+            retire,
+            ..
+        } = ctx;
         let (journal, outbox, control_out, ok) = match result {
             Ok(()) => (tx.commit(), outbox, control_out, true),
             Err(_) => (tx.rollback(), Vec::new(), Vec::new(), false),
@@ -1284,10 +1638,15 @@ impl Hive {
                 if key == crate::cell::WHOLE_DICT_KEY {
                     continue;
                 }
-                let covered = bee.colony.contains(&Cell { dict: dict.clone(), key: key.clone() })
-                    || bee.colony.contains(&Cell::whole(dict.clone()));
+                let covered = bee.colony.contains(&Cell {
+                    dict: dict.clone(),
+                    key: key.clone(),
+                }) || bee.colony.contains(&Cell::whole(dict.clone()));
                 if !covered {
-                    let cell = Cell { dict: dict.clone(), key: key.clone() };
+                    let cell = Cell {
+                        dict: dict.clone(),
+                        key: key.clone(),
+                    };
                     bee.colony.insert(cell.clone());
                     new_cells.push(cell);
                 }
@@ -1318,7 +1677,9 @@ impl Hive {
                 stats.errors += 1;
             }
             for out in &outbox {
-                instr.bee(&app_name, bee_id).record_out(out.msg.encoded_len());
+                instr
+                    .bee(&app_name, bee_id)
+                    .record_out(out.msg.encoded_len());
                 instr.record_provenance(&app_name, &in_type, out.msg.type_name());
             }
             instr.record_in_type(&app_name, &in_type);
@@ -1355,7 +1716,10 @@ impl Hive {
             }
         }
         if !new_cells.is_empty() {
-            self.submit_tracked(RegistryOp::AssignCells { bee: bee_id, cells: new_cells });
+            self.submit_tracked(RegistryOp::AssignCells {
+                bee: bee_id,
+                cells: new_cells,
+            });
         }
         // Colony garbage collection: a retired bee with empty state and an
         // idle mailbox is removed from the registry (the queen drops it when

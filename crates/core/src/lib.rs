@@ -65,6 +65,7 @@ pub mod cell;
 pub mod clock;
 pub mod control;
 pub mod error;
+mod executor;
 pub mod feedback;
 pub mod hive;
 pub mod id;
@@ -86,7 +87,9 @@ pub use error::{Error, Result};
 pub use hive::{Hive, HiveConfig, HiveCounters, HiveHandle};
 pub use id::{AppName, BeeId, HiveId};
 pub use message::{cast, Dst, Envelope, Message, MessageRegistry, Source, TypedMessage};
-pub use metrics::{BeeStats, BeeStatsSnapshot, HiveMetrics, Instrumentation};
+pub use metrics::{
+    BeeStats, BeeStatsSnapshot, ExecutorStats, HiveMetrics, Instrumentation, WorkerStats,
+};
 pub use platform::{collector_app, optimizer_app, Tick, COLLECTOR_APP, OPTIMIZER_APP};
 pub use registry::{RegistryCommand, RegistryEvent, RegistryOp, RegistryState};
 pub use replication::{replicas_of, ShadowStore};

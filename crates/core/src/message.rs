@@ -163,7 +163,11 @@ impl fmt::Debug for Envelope {
 impl Envelope {
     /// An externally injected broadcast.
     pub fn external(hive: HiveId, msg: Arc<dyn Message>) -> Self {
-        Envelope { msg, src: Source::External(hive), dst: Dst::Broadcast }
+        Envelope {
+            msg,
+            src: Source::External(hive),
+            dst: Dst::Broadcast,
+        }
     }
 }
 
@@ -196,7 +200,11 @@ impl WireEnvelope {
     pub fn to_envelope(bytes: &[u8], registry: &MessageRegistry) -> Result<Envelope> {
         let we: WireEnvelope = beehive_wire::from_slice(bytes)?;
         let msg = registry.decode(&we.type_name, &we.payload)?;
-        Ok(Envelope { msg, src: we.src, dst: we.dst })
+        Ok(Envelope {
+            msg,
+            src: we.src,
+            dst: we.dst,
+        })
     }
 }
 
@@ -293,8 +301,13 @@ mod tests {
         let mut reg = MessageRegistry::new();
         reg.register::<Pong>();
         let env = Envelope {
-            msg: Arc::new(Pong { text: "hello".into() }),
-            src: Source::Bee { bee: BeeId::new(HiveId(1), 2), hive: HiveId(1) },
+            msg: Arc::new(Pong {
+                text: "hello".into(),
+            }),
+            src: Source::Bee {
+                bee: BeeId::new(HiveId(1), 2),
+                hive: HiveId(1),
+            },
             dst: Dst::App("router".into()),
         };
         let bytes = WireEnvelope::from_envelope(&env).unwrap();
@@ -312,7 +325,10 @@ mod tests {
 
     #[test]
     fn source_accessors() {
-        let s = Source::Bee { bee: BeeId::new(HiveId(2), 1), hive: HiveId(3) };
+        let s = Source::Bee {
+            bee: BeeId::new(HiveId(2), 1),
+            hive: HiveId(3),
+        };
         assert_eq!(s.hive(), HiveId(3));
         assert_eq!(s.bee(), Some(BeeId::new(HiveId(2), 1)));
         assert_eq!(Source::External(HiveId(1)).bee(), None);

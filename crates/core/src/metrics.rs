@@ -82,6 +82,74 @@ impl BeeStats {
     }
 }
 
+/// Per-worker counters for the parallel executor.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkerStats {
+    /// Bee batches this worker ran.
+    pub batches: u64,
+    /// Messages this worker processed.
+    pub messages: u64,
+    /// Wall nanoseconds spent running batches (busy time).
+    pub busy_nanos: u64,
+}
+
+/// Executor-level counters: round/queue-depth shape plus per-worker load.
+/// Empty (and omitted from analytics) when the hive runs sequentially.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecutorStats {
+    /// Parallel rounds executed.
+    pub rounds: u64,
+    /// Total bees fanned out across all rounds (sum of round queue depths).
+    pub queued_bees: u64,
+    /// Largest single-round queue depth observed.
+    pub max_queue_depth: u64,
+    /// Per-worker counters, indexed by worker id.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl ExecutorStats {
+    /// Records one parallel round that fanned out `queued` bees.
+    pub fn record_round(&mut self, queued: u64) {
+        self.rounds += 1;
+        self.queued_bees += queued;
+        self.max_queue_depth = self.max_queue_depth.max(queued);
+    }
+
+    /// Records one finished batch: `worker` processed `messages` messages in
+    /// `busy_nanos` wall nanoseconds.
+    pub fn record_batch(&mut self, worker: usize, messages: u64, busy_nanos: u64) {
+        if self.workers.len() <= worker {
+            self.workers.resize(worker + 1, WorkerStats::default());
+        }
+        let w = &mut self.workers[worker];
+        w.batches += 1;
+        w.messages += messages;
+        w.busy_nanos += busy_nanos;
+    }
+
+    /// Folds another executor-stats delta into this one.
+    pub fn merge(&mut self, other: &ExecutorStats) {
+        self.rounds += other.rounds;
+        self.queued_bees += other.queued_bees;
+        self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
+        if self.workers.len() < other.workers.len() {
+            self.workers
+                .resize(other.workers.len(), WorkerStats::default());
+        }
+        for (i, w) in other.workers.iter().enumerate() {
+            let dst = &mut self.workers[i];
+            dst.batches += w.batches;
+            dst.messages += w.messages;
+            dst.busy_nanos += w.busy_nanos;
+        }
+    }
+
+    /// Whether nothing was recorded (sequential execution).
+    pub fn is_empty(&self) -> bool {
+        self.rounds == 0 && self.workers.is_empty()
+    }
+}
+
 /// Key for provenance counters: within `app`, messages of `in_type` caused
 /// emissions of `out_type`.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
@@ -114,6 +182,8 @@ pub struct Instrumentation {
     /// the paper's Figure 4a–c inter-hive traffic matrices (which include
     /// the diagonal: locally processed messages).
     pub msg_matrix: BTreeMap<(u32, u32), u64>,
+    /// Parallel-executor counters (empty when running sequentially).
+    pub executor: ExecutorStats,
 }
 
 impl Instrumentation {
@@ -129,7 +199,10 @@ impl Instrumentation {
 
     /// Records a typed delivery (denominator for provenance ratios).
     pub fn record_in_type(&mut self, app: &str, in_type: &str) {
-        *self.in_type_counts.entry((app.to_string(), in_type.to_string())).or_insert(0) += 1;
+        *self
+            .in_type_counts
+            .entry((app.to_string(), in_type.to_string()))
+            .or_insert(0) += 1;
     }
 
     /// Records that processing one `in_type` message emitted one `out_type`.
@@ -142,6 +215,29 @@ impl Instrumentation {
                 out_type: out_type.to_string(),
             })
             .or_insert(0) += 1;
+    }
+
+    /// Folds a worker-produced instrumentation delta into this store
+    /// (parallel executor check-in). Counters add; metadata (bee cell
+    /// counts, pinned set) overwrites with the delta's fresher view.
+    pub fn merge_delta(&mut self, delta: Instrumentation) {
+        for (key, stats) in delta.bees {
+            self.bees.entry(key).or_default().merge(&stats);
+        }
+        for (bee, cells) in delta.bee_cells {
+            self.bee_cells.insert(bee, cells);
+        }
+        for (key, count) in delta.provenance {
+            *self.provenance.entry(key).or_insert(0) += count;
+        }
+        for (key, count) in delta.in_type_counts {
+            *self.in_type_counts.entry(key).or_insert(0) += count;
+        }
+        for (pair, count) in delta.msg_matrix {
+            *self.msg_matrix.entry(pair).or_insert(0) += count;
+        }
+        self.pinned.extend(delta.pinned);
+        self.executor.merge(&delta.executor);
     }
 
     /// Takes the counter deltas, leaving the store empty. Metadata (pinned
@@ -206,6 +302,8 @@ pub struct HiveMetrics {
     pub bees: Vec<BeeStatsSnapshot>,
     /// Provenance deltas.
     pub provenance: Vec<(ProvenanceKey, u64)>,
+    /// Parallel-executor deltas (empty on sequential hives).
+    pub executor: ExecutorStats,
 }
 crate::impl_message!(HiveMetrics);
 
@@ -247,9 +345,56 @@ mod tests {
     }
 
     #[test]
+    fn executor_stats_record_and_merge() {
+        let mut a = ExecutorStats::default();
+        assert!(a.is_empty());
+        a.record_round(3);
+        a.record_batch(1, 10, 500);
+        a.record_batch(0, 4, 200);
+        assert_eq!(a.rounds, 1);
+        assert_eq!(a.max_queue_depth, 3);
+        assert_eq!(a.workers.len(), 2);
+        assert_eq!(a.workers[1].messages, 10);
+        let mut b = ExecutorStats::default();
+        b.record_round(7);
+        b.record_batch(2, 1, 9);
+        a.merge(&b);
+        assert_eq!(a.rounds, 2);
+        assert_eq!(a.queued_bees, 10);
+        assert_eq!(a.max_queue_depth, 7);
+        assert_eq!(a.workers.len(), 3);
+        assert_eq!(a.workers[2].batches, 1);
+    }
+
+    #[test]
+    fn merge_delta_accumulates_counters() {
+        let mut base = Instrumentation::default();
+        base.bee("te", BeeId::new(HiveId(1), 1))
+            .record_in(HiveId(1), None, 8);
+        base.record_in_type("te", "PacketIn");
+        let mut delta = Instrumentation::default();
+        delta
+            .bee("te", BeeId::new(HiveId(1), 1))
+            .record_in(HiveId(1), None, 4);
+        delta.record_in_type("te", "PacketIn");
+        delta.record_provenance("te", "PacketIn", "PacketOut");
+        delta.bee_cells.insert(1, 5);
+        delta.executor.record_batch(0, 2, 100);
+        base.merge_delta(delta);
+        assert_eq!(base.bees[&("te".to_string(), 1)].msgs_in, 2);
+        assert_eq!(
+            base.in_type_counts[&("te".to_string(), "PacketIn".to_string())],
+            2
+        );
+        assert_eq!(base.bee_cells[&1], 5);
+        assert_eq!(base.executor.workers[0].messages, 2);
+    }
+
+    #[test]
     fn take_resets_store() {
         let mut inst = Instrumentation::default();
-        inst.bee("te", BeeId::new(HiveId(1), 1)).record_in(HiveId(1), None, 8);
+        inst.bee("te", BeeId::new(HiveId(1), 1))
+            .record_in(HiveId(1), None, 8);
         inst.record_provenance("te", "StatReply", "FlowMod");
         let taken = inst.take();
         assert_eq!(taken.bees.len(), 1);

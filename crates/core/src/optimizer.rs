@@ -84,18 +84,17 @@ pub fn plan_migrations(
     sorted.sort_by(|a, b| (&a.app, a.bee).cmp(&(&b.app, b.bee)));
 
     for load in sorted {
-        if load.pinned
-            || cfg.frozen_apps.contains(&load.app)
-            || load.app.starts_with("beehive.")
-        {
+        if load.pinned || cfg.frozen_apps.contains(&load.app) || load.app.starts_with("beehive.") {
             continue;
         }
         let total: u64 = load.in_by_hive.values().sum();
         if total < cfg.min_messages {
             continue;
         }
-        let Some((&best_hive, &best_count)) =
-            load.in_by_hive.iter().max_by_key(|(h, c)| (**c, std::cmp::Reverse(**h)))
+        let Some((&best_hive, &best_count)) = load
+            .in_by_hive
+            .iter()
+            .max_by_key(|(h, c)| (**c, std::cmp::Reverse(**h)))
         else {
             continue;
         };
@@ -164,9 +163,15 @@ mod tests {
     #[test]
     fn respects_min_messages() {
         let loads = vec![load("te", 1, 1, &[(7, 5)])];
-        let cfg = OptimizerConfig { min_messages: 10, ..Default::default() };
+        let cfg = OptimizerConfig {
+            min_messages: 10,
+            ..Default::default()
+        };
         assert!(plan_migrations(&loads, &BTreeMap::new(), &cfg).is_empty());
-        let cfg = OptimizerConfig { min_messages: 5, ..Default::default() };
+        let cfg = OptimizerConfig {
+            min_messages: 5,
+            ..Default::default()
+        };
         assert_eq!(plan_migrations(&loads, &BTreeMap::new(), &cfg).len(), 1);
     }
 
@@ -175,34 +180,44 @@ mod tests {
         let mut pinned = load("te", 1, 1, &[(7, 100)]);
         pinned.pinned = true;
         let platform = load("beehive.optimizer", 2, 1, &[(7, 100)]);
-        assert!(plan_migrations(&[pinned, platform], &BTreeMap::new(), &OptimizerConfig::default())
-            .is_empty());
+        assert!(plan_migrations(
+            &[pinned, platform],
+            &BTreeMap::new(),
+            &OptimizerConfig::default()
+        )
+        .is_empty());
     }
 
     #[test]
     fn capacity_limits_are_enforced_incrementally() {
-        let loads =
-            vec![load("te", 1, 1, &[(7, 100)]), load("te", 2, 1, &[(7, 100)])];
+        let loads = vec![load("te", 1, 1, &[(7, 100)]), load("te", 2, 1, &[(7, 100)])];
         let mut occupancy = BTreeMap::new();
         occupancy.insert(7u32, 0usize);
-        let cfg = OptimizerConfig { max_bees_per_hive: Some(1), ..Default::default() };
+        let cfg = OptimizerConfig {
+            max_bees_per_hive: Some(1),
+            ..Default::default()
+        };
         let plans = plan_migrations(&loads, &occupancy, &cfg);
-        assert_eq!(plans.len(), 1, "second migration must be blocked by capacity");
+        assert_eq!(
+            plans.len(),
+            1,
+            "second migration must be blocked by capacity"
+        );
     }
 
     #[test]
     fn frozen_apps_are_skipped() {
         let loads = vec![load("driver", 1, 1, &[(7, 100)])];
-        let cfg = OptimizerConfig { frozen_apps: vec!["driver".into()], ..Default::default() };
+        let cfg = OptimizerConfig {
+            frozen_apps: vec!["driver".into()],
+            ..Default::default()
+        };
         assert!(plan_migrations(&loads, &BTreeMap::new(), &cfg).is_empty());
     }
 
     #[test]
     fn deterministic_order() {
-        let loads = vec![
-            load("te", 2, 1, &[(7, 100)]),
-            load("te", 1, 1, &[(7, 100)]),
-        ];
+        let loads = vec![load("te", 2, 1, &[(7, 100)]), load("te", 1, 1, &[(7, 100)])];
         let plans = plan_migrations(&loads, &BTreeMap::new(), &OptimizerConfig::default());
         assert_eq!(plans[0].bee, BeeId::new(HiveId(1), 1));
         assert_eq!(plans[1].bee, BeeId::new(HiveId(1), 2));

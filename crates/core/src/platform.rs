@@ -38,29 +38,41 @@ pub const OPTIMIZER_APP: &str = "beehive.optimizer";
 /// singleton bee; on every [`Tick`] it drains the hive's instrumentation
 /// store and emits the delta as a [`HiveMetrics`] report.
 pub fn collector_app(instr: Arc<Mutex<Instrumentation>>) -> App {
-    App::builder(COLLECTOR_APP).handle_local::<Tick>("collect", move |tick, ctx| {
-        let delta = instr.lock().take();
-        if delta.bees.is_empty() && delta.provenance.is_empty() {
-            return Ok(());
-        }
-        let hive = ctx.hive();
-        let bees = delta
-            .bees
-            .iter()
-            .map(|((app, bee), stats)| BeeStatsSnapshot {
-                app: app.clone(),
-                bee: BeeId(*bee),
+    App::builder(COLLECTOR_APP)
+        .handle_local::<Tick>("collect", move |tick, ctx| {
+            let delta = instr.lock().take();
+            if delta.bees.is_empty() && delta.provenance.is_empty() && delta.executor.is_empty() {
+                return Ok(());
+            }
+            let hive = ctx.hive();
+            let bees = delta
+                .bees
+                .iter()
+                .map(|((app, bee), stats)| BeeStatsSnapshot {
+                    app: app.clone(),
+                    bee: BeeId(*bee),
+                    hive,
+                    pinned: delta.pinned.contains(bee),
+                    cells: delta.bee_cells.get(bee).copied().unwrap_or(0),
+                    stats: stats.clone(),
+                })
+                .collect();
+            let provenance = delta
+                .provenance
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect();
+            ctx.emit(HiveMetrics {
                 hive,
-                pinned: delta.pinned.contains(bee),
-                cells: delta.bee_cells.get(bee).copied().unwrap_or(0),
-                stats: stats.clone(),
-            })
-            .collect();
-        let provenance = delta.provenance.iter().map(|(k, v)| (k.clone(), *v)).collect();
-        ctx.emit(HiveMetrics { hive, seq: tick.seq, now_ms: tick.now_ms, bees, provenance });
-        Ok(())
-    })
-    .build()
+                seq: tick.seq,
+                now_ms: tick.now_ms,
+                bees,
+                provenance,
+                executor: delta.executor.clone(),
+            });
+            Ok(())
+        })
+        .build()
 }
 
 /// A per-bee aggregate stored by the optimizer app.
@@ -86,8 +98,10 @@ pub fn optimizer_app(cfg: OptimizerConfig, optimize_every: u64) -> App {
         .handle_whole::<HiveMetrics>("aggregate", &["agg"], move |m, ctx| {
             for snap in &m.bees {
                 let key = format!("{}/{}", snap.app, snap.bee.0);
-                let mut rec: AggRecord =
-                    ctx.get("agg", &key).map_err(|e| e.to_string())?.unwrap_or_default();
+                let mut rec: AggRecord = ctx
+                    .get("agg", &key)
+                    .map_err(|e| e.to_string())?
+                    .unwrap_or_default();
                 rec.app = snap.app.clone();
                 rec.bee = snap.bee.0;
                 rec.hive = snap.hive.0;
@@ -131,7 +145,10 @@ pub fn optimizer_app(cfg: OptimizerConfig, optimize_every: u64) -> App {
                 // Reset the moved bee's window so the next decision uses
                 // post-migration traffic only.
                 let key = format!("{}/{}", plan.app, plan.bee.0);
-                if let Some(mut rec) = ctx.get::<AggRecord>("agg", &key).map_err(|e| e.to_string())? {
+                if let Some(mut rec) = ctx
+                    .get::<AggRecord>("agg", &key)
+                    .map_err(|e| e.to_string())?
+                {
                     rec.stats = BeeStats::default();
                     rec.hive = plan.to.0;
                     ctx.put("agg", key, &rec).map_err(|e| e.to_string())?;
@@ -151,7 +168,10 @@ mod tests {
 
     #[test]
     fn tick_is_a_message() {
-        let t = Tick { seq: 1, now_ms: 1000 };
+        let t = Tick {
+            seq: 1,
+            now_ms: 1000,
+        };
         let bytes = crate::message::Message::encode(&t).unwrap();
         let back = Tick::decode(&bytes).unwrap();
         assert_eq!(back, t);
@@ -164,7 +184,10 @@ mod tests {
         assert_eq!(app.name(), COLLECTOR_APP);
         let idx = app.handlers_for(Tick::wire_name());
         assert_eq!(idx.len(), 1);
-        assert_eq!(app.map(idx[0], &Tick { seq: 1, now_ms: 0 }), Mapped::LocalSingleton);
+        assert_eq!(
+            app.map(idx[0], &Tick { seq: 1, now_ms: 0 }),
+            Mapped::LocalSingleton
+        );
     }
 
     #[test]

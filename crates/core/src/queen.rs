@@ -29,6 +29,11 @@ pub enum BeeStatus {
     /// Created here ahead of an inbound migration: the `Moved` event has been
     /// applied but the state shipment hasn't arrived (or vice versa).
     StagedIn,
+    /// Checked out to an executor worker for a parallel round: state, colony
+    /// and mailbox are on loan to the worker; deliveries still buffer here.
+    /// The hive thread blocks for the round, so nothing else can observe or
+    /// mutate the bee before [`Queen::check_in`] restores it.
+    CheckedOut,
 }
 
 /// A bee living on this hive.
@@ -68,6 +73,21 @@ impl LocalBee {
     pub fn runnable(&self) -> bool {
         self.status == BeeStatus::Active && !self.mailbox.is_empty()
     }
+}
+
+/// A bee's loaned-out pieces during a parallel executor round
+/// (see [`Queen::check_out`]).
+pub(crate) struct CheckedOutBee {
+    /// The bee's state, moved out for the round.
+    pub state: BeeState,
+    /// The bee's colony, moved out for the round.
+    pub colony: BTreeSet<Cell>,
+    /// The entire pending mailbox, drained for the round.
+    pub mail: Vec<(u16, Envelope)>,
+    /// Whether the bee is pinned.
+    pub pinned: bool,
+    /// Replication sequence at checkout.
+    pub repl_seq: u64,
 }
 
 /// Per-application bee manager on one hive.
@@ -159,9 +179,16 @@ impl Queen {
     }
 
     /// Ensures a cell-routed bee exists locally with (at least) `colony`.
-    pub fn ensure_bee(&mut self, id: BeeId, colony: impl IntoIterator<Item = Cell>) -> &mut LocalBee {
+    pub fn ensure_bee(
+        &mut self,
+        id: BeeId,
+        colony: impl IntoIterator<Item = Cell>,
+    ) -> &mut LocalBee {
         self.tombstones.remove(&id); // a bee can migrate back
-        let bee = self.bees.entry(id).or_insert_with(|| LocalBee::new(id, BTreeSet::new(), false));
+        let bee = self
+            .bees
+            .entry(id)
+            .or_insert_with(|| LocalBee::new(id, BTreeSet::new(), false));
         bee.colony.extend(colony);
         bee
     }
@@ -172,7 +199,8 @@ impl Queen {
             return id;
         }
         let id = alloc();
-        self.bees.insert(id, LocalBee::new(id, BTreeSet::new(), true));
+        self.bees
+            .insert(id, LocalBee::new(id, BTreeSet::new(), true));
         self.singleton = Some(id);
         id
     }
@@ -206,6 +234,53 @@ impl Queen {
             .map(|b| b.id)
     }
 
+    /// Checks a bee out for a parallel executor round: takes its state,
+    /// colony and the *entire* pending mailbox, and freezes the bee as
+    /// [`BeeStatus::CheckedOut`]. Returns `None` unless the bee is `Active`
+    /// with pending mail (mid-merge/mid-migration bees stay on the hive
+    /// thread's sequential path by construction).
+    pub(crate) fn check_out(&mut self, id: BeeId) -> Option<CheckedOutBee> {
+        let bee = self.bees.get_mut(&id)?;
+        if bee.status != BeeStatus::Active || bee.mailbox.is_empty() {
+            return None;
+        }
+        bee.status = BeeStatus::CheckedOut;
+        Some(CheckedOutBee {
+            state: std::mem::take(&mut bee.state),
+            colony: std::mem::take(&mut bee.colony),
+            mail: bee.mailbox.drain(..).collect(),
+            pinned: bee.pinned,
+            repl_seq: bee.repl_seq,
+        })
+    }
+
+    /// Checks a bee back in after a parallel round: restores state, colony
+    /// and replication sequence and reactivates it. Deliveries that arrived
+    /// while checked out are already buffered in the mailbox and are
+    /// untouched. The colony is unioned defensively in case a registry event
+    /// extended it mid-round (cannot happen today — the hive thread blocks
+    /// for the round — but the union is free).
+    pub(crate) fn check_in(
+        &mut self,
+        id: BeeId,
+        state: BeeState,
+        colony: BTreeSet<Cell>,
+        repl_seq: u64,
+    ) {
+        let Some(bee) = self.bees.get_mut(&id) else {
+            return;
+        };
+        debug_assert_eq!(bee.status, BeeStatus::CheckedOut);
+        let extended = std::mem::take(&mut bee.colony);
+        bee.state = state;
+        bee.colony = colony;
+        bee.colony.extend(extended);
+        bee.repl_seq = repl_seq;
+        if bee.status == BeeStatus::CheckedOut {
+            bee.status = BeeStatus::Active;
+        }
+    }
+
     /// Starts an outbound migration: freezes the bee and returns a snapshot
     /// of its state, colony and replication sequence for shipping. `None` if
     /// the bee isn't here, is pinned, or is already busy migrating/merging.
@@ -223,16 +298,27 @@ impl Queen {
     /// Completes an outbound migration after the registry committed the move:
     /// removes the bee and returns its buffered mailbox for forwarding.
     pub fn finish_migration_out(&mut self, id: BeeId, to: HiveId) -> Vec<(u16, Envelope)> {
-        let Some(bee) = self.bees.remove(&id) else { return Vec::new() };
+        let Some(bee) = self.bees.remove(&id) else {
+            return Vec::new();
+        };
         self.tombstones.insert(id, to);
         bee.mailbox.into_iter().collect()
     }
 
     /// Installs a migrated-in bee's state. The bee may already exist as a
     /// `StagedIn` placeholder buffering early messages.
-    pub fn install_migrated(&mut self, id: BeeId, state: BeeState, colony: Vec<Cell>, repl_seq: u64) {
+    pub fn install_migrated(
+        &mut self,
+        id: BeeId,
+        state: BeeState,
+        colony: Vec<Cell>,
+        repl_seq: u64,
+    ) {
         self.tombstones.remove(&id);
-        let bee = self.bees.entry(id).or_insert_with(|| LocalBee::new(id, BTreeSet::new(), false));
+        let bee = self
+            .bees
+            .entry(id)
+            .or_insert_with(|| LocalBee::new(id, BTreeSet::new(), false));
         bee.state = state;
         bee.colony.extend(colony);
         bee.status = BeeStatus::Active;
@@ -243,8 +329,13 @@ impl Queen {
     /// shipment is still in flight; its mailbox buffers until installation.
     pub fn stage_in(&mut self, id: BeeId) -> &mut LocalBee {
         self.tombstones.remove(&id);
-        let bee = self.bees.entry(id).or_insert_with(|| LocalBee::new(id, BTreeSet::new(), false));
-        if bee.status == BeeStatus::Active && bee.state.total_entries() == 0 && bee.mailbox.is_empty()
+        let bee = self
+            .bees
+            .entry(id)
+            .or_insert_with(|| LocalBee::new(id, BTreeSet::new(), false));
+        if bee.status == BeeStatus::Active
+            && bee.state.total_entries() == 0
+            && bee.mailbox.is_empty()
         {
             bee.status = BeeStatus::StagedIn;
         }
@@ -260,9 +351,7 @@ impl Queen {
         let early: Vec<BeeId> = remote_losers
             .iter()
             .copied()
-            .filter(|l| {
-                self.early_merges.contains_key(&(winner, *l)) || self.absorbed.contains(l)
-            })
+            .filter(|l| self.early_merges.contains_key(&(winner, *l)) || self.absorbed.contains(l))
             .collect();
         for loser in early {
             remote_losers.remove(&loser);
@@ -304,7 +393,9 @@ impl Queen {
     /// the number of key conflicts (should be zero under the invariant).
     pub fn absorb_merge(&mut self, winner: BeeId, loser: BeeId, state: BeeState) -> usize {
         self.absorbed.insert(loser);
-        let Some(bee) = self.bees.get_mut(&winner) else { return 0 };
+        let Some(bee) = self.bees.get_mut(&winner) else {
+            return 0;
+        };
         let conflicts = bee.state.absorb(state);
         if let BeeStatus::AwaitingMerges { remaining } = &mut bee.status {
             remaining.remove(&loser);
@@ -346,7 +437,11 @@ mod tests {
     crate::impl_message!(Dummy);
 
     fn env() -> Envelope {
-        Envelope { msg: Arc::new(Dummy), src: Source::External(HiveId(1)), dst: Dst::Broadcast }
+        Envelope {
+            msg: Arc::new(Dummy),
+            src: Source::External(HiveId(1)),
+            dst: Dst::Broadcast,
+        }
     }
 
     fn bid(seq: u32) -> BeeId {
@@ -404,7 +499,16 @@ mod tests {
         q.install_migrated(bid(1), state, vec![Cell::new("S", "k")], 3);
         assert_eq!(q.bee(bid(1)).unwrap().repl_seq, 3);
         assert_eq!(q.runnable().count(), 1);
-        assert_eq!(q.bee(bid(1)).unwrap().state.dict("S").unwrap().get::<u32>("k").unwrap(), Some(1));
+        assert_eq!(
+            q.bee(bid(1))
+                .unwrap()
+                .state
+                .dict("S")
+                .unwrap()
+                .get::<u32>("k")
+                .unwrap(),
+            Some(1)
+        );
     }
 
     #[test]
@@ -420,7 +524,10 @@ mod tests {
         assert_eq!(conflicts, 0);
         assert_eq!(q.runnable().count(), 1);
         let bee = q.bee(bid(1)).unwrap();
-        assert_eq!(bee.state.dict("S").unwrap().get::<u32>("b").unwrap(), Some(2));
+        assert_eq!(
+            bee.state.dict("S").unwrap().get::<u32>("b").unwrap(),
+            Some(2)
+        );
     }
 
     #[test]
@@ -432,6 +539,44 @@ mod tests {
         assert_eq!(state.total_entries(), 0);
         assert_eq!(mail.len(), 1);
         assert!(q.bee(bid(1)).is_none());
+    }
+
+    #[test]
+    fn check_out_freezes_and_check_in_restores() {
+        let mut q = Queen::new("a".into());
+        q.ensure_bee(bid(1), [Cell::new("S", "k")]);
+        q.deliver(bid(1), 0, env());
+        let mut out = q.check_out(bid(1)).unwrap();
+        assert_eq!(out.mail.len(), 1);
+        assert!(!out.pinned);
+        // Frozen: not runnable, not migratable, deliveries buffer.
+        assert_eq!(q.runnable().count(), 0);
+        assert!(q.start_migration(bid(1), HiveId(2)).is_none());
+        assert!(q.check_out(bid(1)).is_none(), "double checkout must fail");
+        assert!(q.deliver(bid(1), 0, env()));
+        // Worker "runs" the batch: mutate state, claim a cell.
+        out.state.dict_mut("S").put("k", &7u32).unwrap();
+        out.colony.insert(Cell::new("S", "k2"));
+        q.check_in(bid(1), out.state, out.colony, 5);
+        let bee = q.bee(bid(1)).unwrap();
+        assert_eq!(bee.status, BeeStatus::Active);
+        assert_eq!(bee.repl_seq, 5);
+        assert_eq!(bee.colony.len(), 2);
+        assert_eq!(bee.mailbox.len(), 1, "delivery during checkout preserved");
+        assert_eq!(
+            bee.state.dict("S").unwrap().get::<u32>("k").unwrap(),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn check_out_requires_active_with_mail() {
+        let mut q = Queen::new("a".into());
+        q.ensure_bee(bid(1), [Cell::new("S", "k")]);
+        assert!(q.check_out(bid(1)).is_none(), "empty mailbox");
+        q.deliver(bid(1), 0, env());
+        q.await_merges(bid(1), [bid(9)].into_iter().collect());
+        assert!(q.check_out(bid(1)).is_none(), "awaiting merges");
     }
 
     #[test]

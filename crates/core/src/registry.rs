@@ -215,20 +215,31 @@ impl RegistryState {
     /// Applies a command deterministically.
     pub fn apply_command(&mut self, cmd: &RegistryCommand) -> RegistryEvent {
         match &cmd.op {
-            RegistryOp::LookupOrCreate { app, cells, new_bee } => {
-                self.lookup_or_create(cmd.origin, app, cells, *new_bee)
-            }
+            RegistryOp::LookupOrCreate {
+                app,
+                cells,
+                new_bee,
+            } => self.lookup_or_create(cmd.origin, app, cells, *new_bee),
             RegistryOp::MoveBee { bee, to } => match self.bees.get_mut(bee) {
                 Some(rec) => {
                     let from = rec.hive;
                     rec.hive = *to;
-                    RegistryEvent::Moved { app: rec.app.clone(), bee: *bee, from, to: *to }
+                    RegistryEvent::Moved {
+                        app: rec.app.clone(),
+                        bee: *bee,
+                        from,
+                        to: *to,
+                    }
                 }
-                None => RegistryEvent::Rejected { reason: format!("move: unknown bee {bee}") },
+                None => RegistryEvent::Rejected {
+                    reason: format!("move: unknown bee {bee}"),
+                },
             },
             RegistryOp::AssignCells { bee, cells } => {
                 let Some(rec) = self.bees.get(bee) else {
-                    return RegistryEvent::Rejected { reason: format!("assign: unknown bee {bee}") };
+                    return RegistryEvent::Rejected {
+                        reason: format!("assign: unknown bee {bee}"),
+                    };
                 };
                 let app = rec.app.clone();
                 let mut assigned = Vec::new();
@@ -238,13 +249,21 @@ impl RegistryState {
                         Some(owner) if owner != *bee => conflicts.push(c.clone()),
                         Some(_) => {} // already ours
                         None => {
-                            self.cells.entry(app.clone()).or_default().insert(c.clone(), *bee);
+                            self.cells
+                                .entry(app.clone())
+                                .or_default()
+                                .insert(c.clone(), *bee);
                             self.bees.get_mut(bee).unwrap().colony.insert(c.clone());
                             assigned.push(c.clone());
                         }
                     }
                 }
-                RegistryEvent::Assigned { app, bee: *bee, assigned, conflicts }
+                RegistryEvent::Assigned {
+                    app,
+                    bee: *bee,
+                    assigned,
+                    conflicts,
+                }
             }
             RegistryOp::RemoveBee { bee } => match self.bees.remove(bee) {
                 Some(rec) => {
@@ -253,9 +272,15 @@ impl RegistryState {
                             index.remove(c);
                         }
                     }
-                    RegistryEvent::Removed { app: rec.app, bee: *bee, hive: rec.hive }
+                    RegistryEvent::Removed {
+                        app: rec.app,
+                        bee: *bee,
+                        hive: rec.hive,
+                    }
                 }
-                None => RegistryEvent::Rejected { reason: format!("remove: unknown bee {bee}") },
+                None => RegistryEvent::Rejected {
+                    reason: format!("remove: unknown bee {bee}"),
+                },
             },
         }
     }
@@ -268,7 +293,9 @@ impl RegistryState {
         new_bee: BeeId,
     ) -> RegistryEvent {
         if cells.is_empty() {
-            return RegistryEvent::Rejected { reason: "lookup with no cells".into() };
+            return RegistryEvent::Rejected {
+                reason: "lookup with no cells".into(),
+            };
         }
         let owners = self.owners_of(app, cells);
         match owners.len() {
@@ -279,13 +306,24 @@ impl RegistryState {
                 if created {
                     self.bees.insert(
                         new_bee,
-                        BeeRecord { app: app.to_string(), hive: origin, colony: BTreeSet::new() },
+                        BeeRecord {
+                            app: app.to_string(),
+                            hive: origin,
+                            colony: BTreeSet::new(),
+                        },
                     );
                 }
                 let rec_hive = self.bees.get(&new_bee).unwrap().hive;
                 for c in cells {
-                    self.cells.entry(app.to_string()).or_default().insert(c.clone(), new_bee);
-                    self.bees.get_mut(&new_bee).unwrap().colony.insert(c.clone());
+                    self.cells
+                        .entry(app.to_string())
+                        .or_default()
+                        .insert(c.clone(), new_bee);
+                    self.bees
+                        .get_mut(&new_bee)
+                        .unwrap()
+                        .colony
+                        .insert(c.clone());
                 }
                 RegistryEvent::Routed {
                     app: app.to_string(),
@@ -299,7 +337,10 @@ impl RegistryState {
                 let bee = owners[0];
                 for c in cells {
                     if self.owner(app, c).is_none() {
-                        self.cells.entry(app.to_string()).or_default().insert(c.clone(), bee);
+                        self.cells
+                            .entry(app.to_string())
+                            .or_default()
+                            .insert(c.clone(), bee);
                         self.bees.get_mut(&bee).unwrap().colony.insert(c.clone());
                     }
                 }
@@ -319,7 +360,10 @@ impl RegistryState {
                 let winner = *owners
                     .iter()
                     .max_by_key(|b| {
-                        (self.bees.get(b).map(|r| r.colony.len()).unwrap_or(0), std::cmp::Reverse(**b))
+                        (
+                            self.bees.get(b).map(|r| r.colony.len()).unwrap_or(0),
+                            std::cmp::Reverse(**b),
+                        )
                     })
                     .unwrap();
                 let mut merged = Vec::new();
@@ -330,12 +374,19 @@ impl RegistryState {
                     for c in &rec.colony {
                         index.insert(c.clone(), winner);
                     }
-                    self.bees.get_mut(&winner).unwrap().colony.extend(rec.colony);
+                    self.bees
+                        .get_mut(&winner)
+                        .unwrap()
+                        .colony
+                        .extend(rec.colony);
                 }
                 // Claim any cells still unowned.
                 for c in cells {
                     if self.owner(app, c).is_none() {
-                        self.cells.entry(app.to_string()).or_default().insert(c.clone(), winner);
+                        self.cells
+                            .entry(app.to_string())
+                            .or_default()
+                            .insert(c.clone(), winner);
                         self.bees.get_mut(&winner).unwrap().colony.insert(c.clone());
                     }
                 }
@@ -375,7 +426,11 @@ mod tests {
     use super::*;
 
     fn cmd(seq: u64, op: RegistryOp) -> RegistryCommand {
-        RegistryCommand { origin: HiveId(1), seq, op }
+        RegistryCommand {
+            origin: HiveId(1),
+            seq,
+            op,
+        }
     }
 
     fn cells(names: &[&str]) -> Vec<Cell> {
@@ -386,16 +441,28 @@ mod tests {
     fn create_then_lookup() {
         let mut r = RegistryState::new();
         let b1 = BeeId::new(HiveId(1), 1);
-        let ev = r.apply_command(&cmd(1, RegistryOp::LookupOrCreate {
-            app: "te".into(),
-            cells: cells(&["sw1"]),
-            new_bee: b1,
-        }));
+        let ev = r.apply_command(&cmd(
+            1,
+            RegistryOp::LookupOrCreate {
+                app: "te".into(),
+                cells: cells(&["sw1"]),
+                new_bee: b1,
+            },
+        ));
         assert_eq!(
             ev,
-            RegistryEvent::Routed { app: "te".into(), bee: b1, hive: HiveId(1), created: true, merged: vec![] }
+            RegistryEvent::Routed {
+                app: "te".into(),
+                bee: b1,
+                hive: HiveId(1),
+                created: true,
+                merged: vec![]
+            }
         );
-        assert_eq!(r.lookup_exact("te", &cells(&["sw1"])), Some((b1, HiveId(1))));
+        assert_eq!(
+            r.lookup_exact("te", &cells(&["sw1"])),
+            Some((b1, HiveId(1)))
+        );
         assert_eq!(r.owner("te", &Cell::new("S", "sw1")), Some(b1));
     }
 
@@ -404,11 +471,22 @@ mod tests {
         let mut r = RegistryState::new();
         let b1 = BeeId::new(HiveId(1), 1);
         let b2 = BeeId::new(HiveId(2), 1);
-        r.apply_command(&cmd(1, RegistryOp::LookupOrCreate { app: "te".into(), cells: cells(&["sw1"]), new_bee: b1 }));
+        r.apply_command(&cmd(
+            1,
+            RegistryOp::LookupOrCreate {
+                app: "te".into(),
+                cells: cells(&["sw1"]),
+                new_bee: b1,
+            },
+        ));
         let ev = r.apply_command(&RegistryCommand {
             origin: HiveId(2),
             seq: 1,
-            op: RegistryOp::LookupOrCreate { app: "te".into(), cells: cells(&["sw1"]), new_bee: b2 },
+            op: RegistryOp::LookupOrCreate {
+                app: "te".into(),
+                cells: cells(&["sw1"]),
+                new_bee: b2,
+            },
         });
         match ev {
             RegistryEvent::Routed { bee, created, .. } => {
@@ -424,15 +502,30 @@ mod tests {
     fn overlapping_lookup_extends_colony() {
         let mut r = RegistryState::new();
         let b1 = BeeId::new(HiveId(1), 1);
-        r.apply_command(&cmd(1, RegistryOp::LookupOrCreate { app: "a".into(), cells: cells(&["k1"]), new_bee: b1 }));
+        r.apply_command(&cmd(
+            1,
+            RegistryOp::LookupOrCreate {
+                app: "a".into(),
+                cells: cells(&["k1"]),
+                new_bee: b1,
+            },
+        ));
         // {k1, k2} intersects b1's colony → same bee, k2 now owned too.
-        let ev = r.apply_command(&cmd(2, RegistryOp::LookupOrCreate {
-            app: "a".into(),
-            cells: cells(&["k1", "k2"]),
-            new_bee: BeeId::new(HiveId(1), 2),
-        }));
+        let ev = r.apply_command(&cmd(
+            2,
+            RegistryOp::LookupOrCreate {
+                app: "a".into(),
+                cells: cells(&["k1", "k2"]),
+                new_bee: BeeId::new(HiveId(1), 2),
+            },
+        ));
         match ev {
-            RegistryEvent::Routed { bee, created, merged, .. } => {
+            RegistryEvent::Routed {
+                bee,
+                created,
+                merged,
+                ..
+            } => {
                 assert_eq!(bee, b1);
                 assert!(!created && merged.is_empty());
             }
@@ -447,18 +540,32 @@ mod tests {
         let mut r = RegistryState::new();
         let b1 = BeeId::new(HiveId(1), 1);
         let b2 = BeeId::new(HiveId(2), 1);
-        r.apply_command(&cmd(1, RegistryOp::LookupOrCreate { app: "a".into(), cells: cells(&["k1", "k3"]), new_bee: b1 }));
+        r.apply_command(&cmd(
+            1,
+            RegistryOp::LookupOrCreate {
+                app: "a".into(),
+                cells: cells(&["k1", "k3"]),
+                new_bee: b1,
+            },
+        ));
         r.apply_command(&RegistryCommand {
             origin: HiveId(2),
             seq: 1,
-            op: RegistryOp::LookupOrCreate { app: "a".into(), cells: cells(&["k2"]), new_bee: b2 },
+            op: RegistryOp::LookupOrCreate {
+                app: "a".into(),
+                cells: cells(&["k2"]),
+                new_bee: b2,
+            },
         });
         // A message mapping {k1, k2} bridges the two colonies.
-        let ev = r.apply_command(&cmd(2, RegistryOp::LookupOrCreate {
-            app: "a".into(),
-            cells: cells(&["k1", "k2"]),
-            new_bee: BeeId::new(HiveId(1), 9),
-        }));
+        let ev = r.apply_command(&cmd(
+            2,
+            RegistryOp::LookupOrCreate {
+                app: "a".into(),
+                cells: cells(&["k1", "k2"]),
+                new_bee: BeeId::new(HiveId(1), 9),
+            },
+        ));
         match ev {
             RegistryEvent::Routed { bee, merged, .. } => {
                 // b1 has the larger colony (2 cells) and wins.
@@ -479,13 +586,30 @@ mod tests {
         let b1 = BeeId::new(HiveId(1), 1);
         let b2 = BeeId::new(HiveId(2), 1);
         assert!(b1 < b2);
-        r.apply_command(&cmd(1, RegistryOp::LookupOrCreate { app: "a".into(), cells: cells(&["k1"]), new_bee: b1 }));
-        r.apply_command(&cmd(2, RegistryOp::LookupOrCreate { app: "a".into(), cells: cells(&["k2"]), new_bee: b2 }));
-        let ev = r.apply_command(&cmd(3, RegistryOp::LookupOrCreate {
-            app: "a".into(),
-            cells: cells(&["k1", "k2"]),
-            new_bee: BeeId::new(HiveId(1), 9),
-        }));
+        r.apply_command(&cmd(
+            1,
+            RegistryOp::LookupOrCreate {
+                app: "a".into(),
+                cells: cells(&["k1"]),
+                new_bee: b1,
+            },
+        ));
+        r.apply_command(&cmd(
+            2,
+            RegistryOp::LookupOrCreate {
+                app: "a".into(),
+                cells: cells(&["k2"]),
+                new_bee: b2,
+            },
+        ));
+        let ev = r.apply_command(&cmd(
+            3,
+            RegistryOp::LookupOrCreate {
+                app: "a".into(),
+                cells: cells(&["k1", "k2"]),
+                new_bee: BeeId::new(HiveId(1), 9),
+            },
+        ));
         match ev {
             RegistryEvent::Routed { bee, .. } => assert_eq!(bee, b1),
             other => panic!("unexpected {other:?}"),
@@ -497,8 +621,22 @@ mod tests {
         let mut r = RegistryState::new();
         let b1 = BeeId::new(HiveId(1), 1);
         let b2 = BeeId::new(HiveId(1), 2);
-        r.apply_command(&cmd(1, RegistryOp::LookupOrCreate { app: "a".into(), cells: cells(&["k"]), new_bee: b1 }));
-        let ev = r.apply_command(&cmd(2, RegistryOp::LookupOrCreate { app: "b".into(), cells: cells(&["k"]), new_bee: b2 }));
+        r.apply_command(&cmd(
+            1,
+            RegistryOp::LookupOrCreate {
+                app: "a".into(),
+                cells: cells(&["k"]),
+                new_bee: b1,
+            },
+        ));
+        let ev = r.apply_command(&cmd(
+            2,
+            RegistryOp::LookupOrCreate {
+                app: "b".into(),
+                cells: cells(&["k"]),
+                new_bee: b2,
+            },
+        ));
         match ev {
             RegistryEvent::Routed { bee, created, .. } => {
                 assert_eq!(bee, b2);
@@ -512,9 +650,30 @@ mod tests {
     fn move_bee_updates_hive() {
         let mut r = RegistryState::new();
         let b1 = BeeId::new(HiveId(1), 1);
-        r.apply_command(&cmd(1, RegistryOp::LookupOrCreate { app: "a".into(), cells: cells(&["k"]), new_bee: b1 }));
-        let ev = r.apply_command(&cmd(2, RegistryOp::MoveBee { bee: b1, to: HiveId(5) }));
-        assert_eq!(ev, RegistryEvent::Moved { app: "a".into(), bee: b1, from: HiveId(1), to: HiveId(5) });
+        r.apply_command(&cmd(
+            1,
+            RegistryOp::LookupOrCreate {
+                app: "a".into(),
+                cells: cells(&["k"]),
+                new_bee: b1,
+            },
+        ));
+        let ev = r.apply_command(&cmd(
+            2,
+            RegistryOp::MoveBee {
+                bee: b1,
+                to: HiveId(5),
+            },
+        ));
+        assert_eq!(
+            ev,
+            RegistryEvent::Moved {
+                app: "a".into(),
+                bee: b1,
+                from: HiveId(1),
+                to: HiveId(5)
+            }
+        );
         assert_eq!(r.hive_of(b1), Some(HiveId(5)));
         assert_eq!(r.lookup_exact("a", &cells(&["k"])), Some((b1, HiveId(5))));
     }
@@ -524,11 +683,35 @@ mod tests {
         let mut r = RegistryState::new();
         let b1 = BeeId::new(HiveId(1), 1);
         let b2 = BeeId::new(HiveId(1), 2);
-        r.apply_command(&cmd(1, RegistryOp::LookupOrCreate { app: "a".into(), cells: cells(&["k1"]), new_bee: b1 }));
-        r.apply_command(&cmd(2, RegistryOp::LookupOrCreate { app: "a".into(), cells: cells(&["k2"]), new_bee: b2 }));
-        let ev = r.apply_command(&cmd(3, RegistryOp::AssignCells { bee: b2, cells: cells(&["k1", "k3"]) }));
+        r.apply_command(&cmd(
+            1,
+            RegistryOp::LookupOrCreate {
+                app: "a".into(),
+                cells: cells(&["k1"]),
+                new_bee: b1,
+            },
+        ));
+        r.apply_command(&cmd(
+            2,
+            RegistryOp::LookupOrCreate {
+                app: "a".into(),
+                cells: cells(&["k2"]),
+                new_bee: b2,
+            },
+        ));
+        let ev = r.apply_command(&cmd(
+            3,
+            RegistryOp::AssignCells {
+                bee: b2,
+                cells: cells(&["k1", "k3"]),
+            },
+        ));
         match ev {
-            RegistryEvent::Assigned { assigned, conflicts, .. } => {
+            RegistryEvent::Assigned {
+                assigned,
+                conflicts,
+                ..
+            } => {
                 assert_eq!(assigned, cells(&["k3"]));
                 assert_eq!(conflicts, cells(&["k1"]));
             }
@@ -540,7 +723,14 @@ mod tests {
     fn remove_bee_frees_cells() {
         let mut r = RegistryState::new();
         let b1 = BeeId::new(HiveId(1), 1);
-        r.apply_command(&cmd(1, RegistryOp::LookupOrCreate { app: "a".into(), cells: cells(&["k"]), new_bee: b1 }));
+        r.apply_command(&cmd(
+            1,
+            RegistryOp::LookupOrCreate {
+                app: "a".into(),
+                cells: cells(&["k"]),
+                new_bee: b1,
+            },
+        ));
         r.apply_command(&cmd(2, RegistryOp::RemoveBee { bee: b1 }));
         assert!(r.bee(b1).is_none());
         assert_eq!(r.owner("a", &Cell::new("S", "k")), None);
@@ -551,11 +741,20 @@ mod tests {
         let mut r = RegistryState::new();
         let ghost = BeeId::new(HiveId(9), 9);
         for op in [
-            RegistryOp::MoveBee { bee: ghost, to: HiveId(1) },
-            RegistryOp::AssignCells { bee: ghost, cells: cells(&["k"]) },
+            RegistryOp::MoveBee {
+                bee: ghost,
+                to: HiveId(1),
+            },
+            RegistryOp::AssignCells {
+                bee: ghost,
+                cells: cells(&["k"]),
+            },
             RegistryOp::RemoveBee { bee: ghost },
         ] {
-            assert!(matches!(r.apply_command(&cmd(1, op)), RegistryEvent::Rejected { .. }));
+            assert!(matches!(
+                r.apply_command(&cmd(1, op)),
+                RegistryEvent::Rejected { .. }
+            ));
         }
     }
 
@@ -564,7 +763,14 @@ mod tests {
         use beehive_raft::StateMachine;
         let mut r = RegistryState::new();
         let b1 = BeeId::new(HiveId(1), 1);
-        r.apply_command(&cmd(1, RegistryOp::LookupOrCreate { app: "a".into(), cells: cells(&["k"]), new_bee: b1 }));
+        r.apply_command(&cmd(
+            1,
+            RegistryOp::LookupOrCreate {
+                app: "a".into(),
+                cells: cells(&["k"]),
+                new_bee: b1,
+            },
+        ));
         let snap = r.snapshot();
         let mut r2 = RegistryState::new();
         r2.restore(&snap);

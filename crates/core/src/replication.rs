@@ -89,8 +89,14 @@ impl ShadowStore {
 
     /// Installs a full-state resync from the owner.
     pub fn install(&mut self, app: &str, bee: BeeId, seq: u64, state: BeeState) {
-        self.shadows
-            .insert((app.to_string(), bee), ShadowBee { state, seq, dirty: false });
+        self.shadows.insert(
+            (app.to_string(), bee),
+            ShadowBee {
+                state,
+                seq,
+                dirty: false,
+            },
+        );
     }
 
     /// The shadow for `(app, bee)`, if any.
@@ -118,7 +124,9 @@ pub fn replicas_of(owner: HiveId, all_hives: &[HiveId], factor: usize) -> Vec<Hi
     }
     let mut ring: Vec<HiveId> = all_hives.to_vec();
     ring.sort();
-    let Some(pos) = ring.iter().position(|&h| h == owner) else { return Vec::new() };
+    let Some(pos) = ring.iter().position(|&h| h == owner) else {
+        return Vec::new();
+    };
     (1..factor.min(ring.len()))
         .map(|i| ring[(pos + i) % ring.len()])
         .collect()
@@ -143,24 +151,42 @@ mod tests {
     #[test]
     fn in_order_journals_apply() {
         let mut store = ShadowStore::new();
-        assert_eq!(store.apply("a", bee(), 1, &journal("x", 1)), ApplyOutcome::Applied);
-        assert_eq!(store.apply("a", bee(), 2, &journal("x", 2)), ApplyOutcome::Applied);
+        assert_eq!(
+            store.apply("a", bee(), 1, &journal("x", 1)),
+            ApplyOutcome::Applied
+        );
+        assert_eq!(
+            store.apply("a", bee(), 2, &journal("x", 2)),
+            ApplyOutcome::Applied
+        );
         let shadow = store.get("a", bee()).unwrap();
         assert_eq!(shadow.seq, 2);
-        assert_eq!(shadow.state.dict("d").unwrap().get::<u64>("x").unwrap(), Some(2));
+        assert_eq!(
+            shadow.state.dict("d").unwrap().get::<u64>("x").unwrap(),
+            Some(2)
+        );
     }
 
     #[test]
     fn gap_marks_dirty_until_resync() {
         let mut store = ShadowStore::new();
         store.apply("a", bee(), 1, &journal("x", 1));
-        assert_eq!(store.apply("a", bee(), 3, &journal("x", 3)), ApplyOutcome::NeedSync);
+        assert_eq!(
+            store.apply("a", bee(), 3, &journal("x", 3)),
+            ApplyOutcome::NeedSync
+        );
         // Everything is refused until a resync lands.
-        assert_eq!(store.apply("a", bee(), 4, &journal("x", 4)), ApplyOutcome::NeedSync);
+        assert_eq!(
+            store.apply("a", bee(), 4, &journal("x", 4)),
+            ApplyOutcome::NeedSync
+        );
         let mut fresh = BeeState::new();
         fresh.dict_mut("d").put("x", &9u64).unwrap();
         store.install("a", bee(), 10, fresh);
-        assert_eq!(store.apply("a", bee(), 11, &journal("y", 1)), ApplyOutcome::Applied);
+        assert_eq!(
+            store.apply("a", bee(), 11, &journal("y", 1)),
+            ApplyOutcome::Applied
+        );
         assert_eq!(store.get("a", bee()).unwrap().seq, 11);
     }
 
@@ -168,9 +194,19 @@ mod tests {
     fn duplicates_are_stale() {
         let mut store = ShadowStore::new();
         store.apply("a", bee(), 1, &journal("x", 1));
-        assert_eq!(store.apply("a", bee(), 1, &journal("x", 99)), ApplyOutcome::Stale);
         assert_eq!(
-            store.get("a", bee()).unwrap().state.dict("d").unwrap().get::<u64>("x").unwrap(),
+            store.apply("a", bee(), 1, &journal("x", 99)),
+            ApplyOutcome::Stale
+        );
+        assert_eq!(
+            store
+                .get("a", bee())
+                .unwrap()
+                .state
+                .dict("d")
+                .unwrap()
+                .get::<u64>("x")
+                .unwrap(),
             Some(1),
             "stale journal must not overwrite"
         );
@@ -188,8 +224,14 @@ mod tests {
     #[test]
     fn replica_ring_is_deterministic() {
         let hives: Vec<HiveId> = (1..=5).map(HiveId).collect();
-        assert_eq!(replicas_of(HiveId(1), &hives, 3), vec![HiveId(2), HiveId(3)]);
-        assert_eq!(replicas_of(HiveId(4), &hives, 3), vec![HiveId(5), HiveId(1)]);
+        assert_eq!(
+            replicas_of(HiveId(1), &hives, 3),
+            vec![HiveId(2), HiveId(3)]
+        );
+        assert_eq!(
+            replicas_of(HiveId(4), &hives, 3),
+            vec![HiveId(5), HiveId(1)]
+        );
         assert_eq!(replicas_of(HiveId(5), &hives, 2), vec![HiveId(1)]);
         assert!(replicas_of(HiveId(1), &hives, 1).is_empty());
         assert!(replicas_of(HiveId(1), &[HiveId(1)], 3).is_empty());
@@ -198,6 +240,9 @@ mod tests {
     #[test]
     fn factor_larger_than_cluster_is_clamped() {
         let hives: Vec<HiveId> = (1..=3).map(HiveId).collect();
-        assert_eq!(replicas_of(HiveId(2), &hives, 10), vec![HiveId(3), HiveId(1)]);
+        assert_eq!(
+            replicas_of(HiveId(2), &hives, 10),
+            vec![HiveId(3), HiveId(1)]
+        );
     }
 }

@@ -40,9 +40,15 @@ impl Dict {
     pub fn get<T: DeserializeOwned>(&self, key: &str) -> Result<Option<T>> {
         match self.entries.get(key) {
             None => Ok(None),
-            Some(bytes) => beehive_wire::from_slice(bytes).map(Some).map_err(|e| {
-                Error::StateDecode { dict: String::new(), key: key.to_string(), source: e }
-            }),
+            Some(bytes) => {
+                beehive_wire::from_slice(bytes)
+                    .map(Some)
+                    .map_err(|e| Error::StateDecode {
+                        dict: String::new(),
+                        key: key.to_string(),
+                        source: e,
+                    })
+            }
         }
     }
 
@@ -53,7 +59,8 @@ impl Dict {
 
     /// Typed put: encodes `value` with the wire format.
     pub fn put<T: Serialize>(&mut self, key: impl Into<Key>, value: &T) -> Result<()> {
-        self.entries.insert(key.into(), beehive_wire::to_vec(value)?);
+        self.entries
+            .insert(key.into(), beehive_wire::to_vec(value)?);
         Ok(())
     }
 
@@ -168,7 +175,11 @@ pub struct TxState<'a> {
 impl<'a> TxState<'a> {
     /// Opens a transaction over `base`.
     pub fn begin(base: &'a mut BeeState) -> Self {
-        TxState { base, ops: HashMap::new(), journal: Vec::new() }
+        TxState {
+            base,
+            ops: HashMap::new(),
+            journal: Vec::new(),
+        }
     }
 
     /// Raw read through the overlay.
@@ -184,16 +195,23 @@ impl<'a> TxState<'a> {
     pub fn get<T: DeserializeOwned>(&self, dict: &str, key: &str) -> Result<Option<T>> {
         match self.get_raw(dict, key) {
             None => Ok(None),
-            Some(bytes) => beehive_wire::from_slice(&bytes).map(Some).map_err(|e| {
-                Error::StateDecode { dict: dict.to_string(), key: key.to_string(), source: e }
-            }),
+            Some(bytes) => {
+                beehive_wire::from_slice(&bytes)
+                    .map(Some)
+                    .map_err(|e| Error::StateDecode {
+                        dict: dict.to_string(),
+                        key: key.to_string(),
+                        source: e,
+                    })
+            }
         }
     }
 
     /// Raw buffered write.
     pub fn put_raw(&mut self, dict: &str, key: impl Into<Key>, value: Value) {
         let key = key.into();
-        self.ops.insert((dict.to_string(), key.clone()), TxOp::Put(value.clone()));
+        self.ops
+            .insert((dict.to_string(), key.clone()), TxOp::Put(value.clone()));
         self.journal.push((dict.to_string(), key, TxOp::Put(value)));
     }
 
@@ -205,8 +223,10 @@ impl<'a> TxState<'a> {
 
     /// Buffered delete.
     pub fn del(&mut self, dict: &str, key: &str) {
-        self.ops.insert((dict.to_string(), key.to_string()), TxOp::Del);
-        self.journal.push((dict.to_string(), key.to_string(), TxOp::Del));
+        self.ops
+            .insert((dict.to_string(), key.to_string()), TxOp::Del);
+        self.journal
+            .push((dict.to_string(), key.to_string(), TxOp::Del));
     }
 
     /// Whether a key is visible through the overlay.
@@ -263,7 +283,11 @@ impl<'a> TxState<'a> {
                 }
             }
             journal.push(match op {
-                TxOp::Put(v) => JournalOp::Put { dict, key, value: v },
+                TxOp::Put(v) => JournalOp::Put {
+                    dict,
+                    key,
+                    value: v,
+                },
                 TxOp::Del => JournalOp::Del { dict, key },
             });
         }
@@ -344,7 +368,10 @@ mod tests {
     fn dict_decode_error_is_reported() {
         let mut d = Dict::new();
         d.put_raw("k", vec![1]); // not a valid String encoding
-        assert!(matches!(d.get::<String>("k"), Err(Error::StateDecode { .. })));
+        assert!(matches!(
+            d.get::<String>("k"),
+            Err(Error::StateDecode { .. })
+        ));
     }
 
     #[test]
@@ -384,7 +411,10 @@ mod tests {
         let j = tx.commit();
         assert_eq!(j.ops.len(), 3);
         assert_eq!(s.dict("S").unwrap().get::<u32>("a").unwrap(), Some(2));
-        assert_eq!(s.dict("T").unwrap().get::<String>("x").unwrap(), Some("y".to_string()));
+        assert_eq!(
+            s.dict("T").unwrap().get::<String>("x").unwrap(),
+            Some("y".to_string())
+        );
     }
 
     #[test]
@@ -416,7 +446,9 @@ mod tests {
     fn snapshot_roundtrip() {
         let mut s = BeeState::new();
         s.dict_mut("S").put("sw1", &vec![1u64, 2, 3]).unwrap();
-        s.dict_mut("T").put("l1", &("sw1".to_string(), "sw2".to_string())).unwrap();
+        s.dict_mut("T")
+            .put("l1", &("sw1".to_string(), "sw2".to_string()))
+            .unwrap();
         let snap = s.snapshot().unwrap();
         assert_eq!(BeeState::from_snapshot(&snap).unwrap(), s);
     }

@@ -36,17 +36,26 @@ pub struct Frame {
 impl Frame {
     /// An application-relay frame.
     pub fn app(bytes: Vec<u8>) -> Self {
-        Frame { kind: FrameKind::App, bytes }
+        Frame {
+            kind: FrameKind::App,
+            bytes,
+        }
     }
 
     /// A Raft frame.
     pub fn raft(bytes: Vec<u8>) -> Self {
-        Frame { kind: FrameKind::Raft, bytes }
+        Frame {
+            kind: FrameKind::Raft,
+            bytes,
+        }
     }
 
     /// A control frame.
     pub fn control(bytes: Vec<u8>) -> Self {
-        Frame { kind: FrameKind::Control, bytes }
+        Frame {
+            kind: FrameKind::Control,
+            bytes,
+        }
     }
 
     /// Payload size plus a small fixed header estimate, for accounting.
@@ -67,6 +76,12 @@ pub trait Transport: Send {
     fn try_recv(&self) -> Option<(HiveId, Frame)>;
     /// All other hives reachable through this transport.
     fn peers(&self) -> Vec<HiveId>;
+    /// Registers a wakeup callback to invoke whenever a new inbound frame
+    /// becomes available. `Hive::run` parks its thread when idle and relies
+    /// on this to wake promptly; transports without background threads (the
+    /// loopback, the simulator fabric) can ignore it — the caller drives
+    /// them synchronously.
+    fn set_waker(&mut self, _waker: std::sync::Arc<dyn Fn() + Send + Sync>) {}
 }
 
 /// Single-hive transport: sends to self loop back, sends to anyone else are
@@ -79,7 +94,10 @@ pub struct Loopback {
 impl Loopback {
     /// A loopback endpoint for `id`.
     pub fn new(id: HiveId) -> Self {
-        Loopback { id, queue: Mutex::new(VecDeque::new()) }
+        Loopback {
+            id,
+            queue: Mutex::new(VecDeque::new()),
+        }
     }
 }
 

@@ -22,7 +22,11 @@ beehive_core::impl_message!(Boom);
 fn standalone(tick_ms: u64) -> Hive {
     let mut cfg = HiveConfig::standalone(HiveId(1));
     cfg.tick_interval_ms = tick_ms;
-    Hive::new(cfg, Arc::new(SystemClock::new()), Box::new(Loopback::new(HiveId(1))))
+    Hive::new(
+        cfg,
+        Arc::new(SystemClock::new()),
+        Box::new(Loopback::new(HiveId(1))),
+    )
 }
 
 fn sim_hive(clock: SimClock, orphan_ttl_ms: u64) -> Hive {
@@ -37,8 +41,12 @@ fn counter() -> App {
         .handle::<Ping>(
             |m| Mapped::cell("c", &m.key),
             |m, ctx| {
-                let n: u64 = ctx.get("c", &m.key).map_err(|e| e.to_string())?.unwrap_or(0);
-                ctx.put("c", m.key.clone(), &(n + 1)).map_err(|e| e.to_string())?;
+                let n: u64 = ctx
+                    .get("c", &m.key)
+                    .map_err(|e| e.to_string())?
+                    .unwrap_or(0);
+                ctx.put("c", m.key.clone(), &(n + 1))
+                    .map_err(|e| e.to_string())?;
                 Ok(())
             },
         )
@@ -55,7 +63,12 @@ fn orphans_expire_after_ttl() {
     let env = Envelope {
         msg: Arc::new(Ping { key: "x".into() }),
         src: Source::External(HiveId(1)),
-        dst: Dst::Bee { app: "counter".into(), bee: ghost, handler: None, fence: 0 },
+        dst: Dst::Bee {
+            app: "counter".into(),
+            bee: ghost,
+            handler: None,
+            fence: 0,
+        },
     };
     hive.handle().send(env);
     hive.step_until_quiescent(1_000);
@@ -78,7 +91,12 @@ fn fence_ahead_of_applied_seq_parks_until_catchup() {
     let env = Envelope {
         msg: Arc::new(Ping { key: "k".into() }),
         src: Source::External(HiveId(1)),
-        dst: Dst::Bee { app: "counter".into(), bee, handler: None, fence: 1_000 },
+        dst: Dst::Bee {
+            app: "counter".into(),
+            bee,
+            handler: None,
+            fence: 1_000,
+        },
     };
     hive.handle().send(env);
     hive.step_until_quiescent(1_000);
@@ -112,7 +130,12 @@ fn ambiguous_unicast_is_dropped_and_counted() {
     let env = Envelope {
         msg: Arc::new(Ping { key: "k".into() }),
         src: Source::External(HiveId(1)),
-        dst: Dst::Bee { app: "multi".into(), bee: bees[0].0, handler: None, fence: 0 },
+        dst: Dst::Bee {
+            app: "multi".into(),
+            bee: bees[0].0,
+            handler: None,
+            fence: 0,
+        },
     };
     hive.handle().send(env);
     hive.step_until_quiescent(1_000);
@@ -124,11 +147,16 @@ fn step_budget_bounds_work_per_call() {
     let mut cfg = HiveConfig::standalone(HiveId(1));
     cfg.tick_interval_ms = 0;
     cfg.step_budget = 10;
-    let mut hive =
-        Hive::new(cfg, Arc::new(SystemClock::new()), Box::new(Loopback::new(HiveId(1))));
+    let mut hive = Hive::new(
+        cfg,
+        Arc::new(SystemClock::new()),
+        Box::new(Loopback::new(HiveId(1))),
+    );
     hive.install(counter());
     for i in 0..100 {
-        hive.emit(Ping { key: format!("k{i}") });
+        hive.emit(Ping {
+            key: format!("k{i}"),
+        });
     }
     let w1 = hive.step();
     assert!(w1 <= 10 + 2, "budget respected (got {w1})");
@@ -148,7 +176,9 @@ fn handler_error_rolls_back_all_writes_and_emissions() {
                 |_m| Mapped::cell("s", "x"),
                 |_m, ctx| {
                     ctx.put("s", "a", &1u64).map_err(|e| e.to_string())?;
-                    ctx.emit(Ping { key: "should-not-escape".into() });
+                    ctx.emit(Ping {
+                        key: "should-not-escape".into(),
+                    });
                     Err("kaboom".into())
                 },
             )
@@ -168,9 +198,17 @@ fn handler_error_rolls_back_all_writes_and_emissions() {
     hive.emit(Boom);
     hive.step_until_quiescent(1_000);
     assert_eq!(hive.counters().handler_errors, 1);
-    assert_eq!(*seen.lock(), 0, "emissions from failed handlers are discarded");
+    assert_eq!(
+        *seen.lock(),
+        0,
+        "emissions from failed handlers are discarded"
+    );
     let (bee, _) = hive.local_bees("bomb")[0];
-    assert_eq!(hive.peek_state::<u64>("bomb", bee, "s", "a"), None, "write rolled back");
+    assert_eq!(
+        hive.peek_state::<u64>("bomb", bee, "s", "a"),
+        None,
+        "write rolled back"
+    );
 }
 
 #[test]
@@ -178,7 +216,11 @@ fn ticks_fire_on_schedule_in_virtual_time() {
     let clock = SimClock::new();
     let mut cfg = HiveConfig::standalone(HiveId(1));
     cfg.tick_interval_ms = 1000;
-    let mut hive = Hive::new(cfg, Arc::new(clock.clone()), Box::new(Loopback::new(HiveId(1))));
+    let mut hive = Hive::new(
+        cfg,
+        Arc::new(clock.clone()),
+        Box::new(Loopback::new(HiveId(1))),
+    );
     let ticks = Arc::new(Mutex::new(Vec::new()));
     let t2 = ticks.clone();
     hive.install(
@@ -213,8 +255,16 @@ fn singletons_are_per_hive_and_never_in_registry() {
     hive.emit(Ping { key: "b".into() });
     hive.step_until_quiescent(1_000);
     assert_eq!(*hits.lock(), 2);
-    assert_eq!(hive.local_bee_count("single"), 1, "one singleton for all keys");
-    assert_eq!(hive.registry_view().bee_count(), 0, "singletons stay out of the registry");
+    assert_eq!(
+        hive.local_bee_count("single"),
+        1,
+        "one singleton for all keys"
+    );
+    assert_eq!(
+        hive.registry_view().bee_count(),
+        0,
+        "singletons stay out of the registry"
+    );
 }
 
 #[test]
@@ -242,7 +292,9 @@ fn emissions_between_bees_build_the_matrix_and_provenance() {
             .handle::<Boom>(
                 |_m| Mapped::cell("r", "x"),
                 |_m, ctx| {
-                    ctx.emit(Ping { key: "derived".into() });
+                    ctx.emit(Ping {
+                        key: "derived".into(),
+                    });
                     Ok(())
                 },
             )
@@ -253,7 +305,11 @@ fn emissions_between_bees_build_the_matrix_and_provenance() {
     hive.step_until_quiescent(1_000);
     let instr = hive.instrumentation();
     let instr = instr.lock();
-    assert_eq!(instr.msg_matrix.get(&(1, 1)).copied(), Some(1), "bee→bee local delivery");
+    assert_eq!(
+        instr.msg_matrix.get(&(1, 1)).copied(),
+        Some(1),
+        "bee→bee local delivery"
+    );
     assert_eq!(instr.provenance.len(), 1, "Boom → Ping provenance recorded");
     let ratios = instr.provenance_ratios();
     assert_eq!(ratios.len(), 1);
@@ -267,10 +323,14 @@ fn preclaim_pins_cells_before_traffic() {
     hive.preclaim("counter", vec![Cell::new("c", "pinned")]);
     hive.step_until_quiescent(1_000);
     assert_eq!(hive.local_bee_count("counter"), 1);
-    let owner = hive.registry_view().owner("counter", &Cell::new("c", "pinned"));
+    let owner = hive
+        .registry_view()
+        .owner("counter", &Cell::new("c", "pinned"));
     assert!(owner.is_some());
     // Traffic for the key lands on the preclaimed bee.
-    hive.emit(Ping { key: "pinned".into() });
+    hive.emit(Ping {
+        key: "pinned".into(),
+    });
     hive.step_until_quiescent(1_000);
     assert_eq!(hive.local_bee_count("counter"), 1);
 }

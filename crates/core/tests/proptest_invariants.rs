@@ -35,7 +35,8 @@ fn touch_app(trace: Arc<Mutex<Vec<(Vec<String>, BeeId)>>>) -> App {
             move |m, ctx| {
                 for k in &m.keys {
                     let v: u64 = ctx.get("t", k).map_err(|e| e.to_string())?.unwrap_or(0);
-                    ctx.put("t", k.clone(), &(v + m.add)).map_err(|e| e.to_string())?;
+                    ctx.put("t", k.clone(), &(v + m.add))
+                        .map_err(|e| e.to_string())?;
                 }
                 trace.lock().push((m.keys.clone(), ctx.bee()));
                 Ok(())
@@ -45,14 +46,10 @@ fn touch_app(trace: Arc<Mutex<Vec<(Vec<String>, BeeId)>>>) -> App {
 }
 
 fn arb_msg() -> impl Strategy<Value = Touch> {
-    (
-        proptest::collection::btree_set(0u8..8, 1..4),
-        1u64..10,
-    )
-        .prop_map(|(keys, add)| Touch {
-            keys: keys.into_iter().map(|k| format!("k{k}")).collect(),
-            add,
-        })
+    (proptest::collection::btree_set(0u8..8, 1..4), 1u64..10).prop_map(|(keys, add)| Touch {
+        keys: keys.into_iter().map(|k| format!("k{k}")).collect(),
+        add,
+    })
 }
 
 proptest! {
@@ -207,5 +204,8 @@ fn collocation_check_is_not_vacuous() {
     for k in ["a", "b"] {
         owners.insert(k, mirror.owner("touch", &Cell::new("t", k)).unwrap());
     }
-    assert_ne!(owners["a"], owners["b"], "distinct keys may have distinct owners");
+    assert_ne!(
+        owners["a"], owners["b"],
+        "distinct keys may have distinct owners"
+    );
 }

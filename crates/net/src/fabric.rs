@@ -51,8 +51,7 @@ impl MemFabric {
 
     /// A fabric with a custom accounting bucket width.
     pub fn with_bucket(hives: Vec<HiveId>, clock: Arc<dyn Clock>, bucket_ms: u64) -> Self {
-        let queues =
-            hives.iter().map(|h| (h.0, VecDeque::new())).collect();
+        let queues = hives.iter().map(|h| (h.0, VecDeque::new())).collect();
         MemFabric {
             shared: Arc::new(Shared {
                 clock,
@@ -72,7 +71,10 @@ impl MemFabric {
             self.shared.hives.contains(&id),
             "hive {id} is not part of this fabric"
         );
-        MemEndpoint { id, shared: self.shared.clone() }
+        MemEndpoint {
+            id,
+            shared: self.shared.clone(),
+        }
     }
 
     /// Snapshot of the traffic accounting.
@@ -93,7 +95,10 @@ impl MemFabric {
 
     /// Severs the link between `a` and `b` (both directions).
     pub fn partition(&self, a: HiveId, b: HiveId) {
-        self.shared.partitions.lock().insert((a.0.min(b.0), a.0.max(b.0)));
+        self.shared
+            .partitions
+            .lock()
+            .insert((a.0.min(b.0), a.0.max(b.0)));
     }
 
     /// Heals all partitions.
@@ -128,7 +133,11 @@ impl Transport for MemEndpoint {
             // Local loopback: no accounting (it never touches the wire).
             let mut queues = self.shared.queues.lock();
             if let Some(q) = queues.get_mut(&to.0) {
-                q.push_back(InFlight { deliver_at_ms: 0, from: self.id, frame });
+                q.push_back(InFlight {
+                    deliver_at_ms: 0,
+                    from: self.id,
+                    frame,
+                });
             }
             return;
         }
@@ -151,7 +160,10 @@ impl Transport for MemEndpoint {
             }
         }
         let now = self.shared.clock.now_ms();
-        self.shared.matrix.lock().record(self.id, to, frame.kind, frame.wire_len(), now);
+        self.shared
+            .matrix
+            .lock()
+            .record(self.id, to, frame.kind, frame.wire_len(), now);
         let mut queues = self.shared.queues.lock();
         if let Some(q) = queues.get_mut(&to.0) {
             q.push_back(InFlight {
@@ -176,7 +188,12 @@ impl Transport for MemEndpoint {
     }
 
     fn peers(&self) -> Vec<HiveId> {
-        self.shared.hives.iter().copied().filter(|&h| h != self.id).collect()
+        self.shared
+            .hives
+            .iter()
+            .copied()
+            .filter(|&h| h != self.id)
+            .collect()
     }
 }
 
@@ -227,7 +244,10 @@ mod tests {
     #[test]
     fn latency_holds_frames_until_clock_advances() {
         let (f, clock) = fabric2();
-        f.set_faults(FabricFaults { drop_rate: 0.0, latency_ms: 10 });
+        f.set_faults(FabricFaults {
+            drop_rate: 0.0,
+            latency_ms: 10,
+        });
         let e1 = f.endpoint(HiveId(1));
         let e2 = f.endpoint(HiveId(2));
         e1.send(HiveId(2), Frame::app(vec![7]));
@@ -252,7 +272,10 @@ mod tests {
     #[test]
     fn full_drop_rate_loses_everything() {
         let (f, _clock) = fabric2();
-        f.set_faults(FabricFaults { drop_rate: 1.0, latency_ms: 0 });
+        f.set_faults(FabricFaults {
+            drop_rate: 1.0,
+            latency_ms: 0,
+        });
         let e1 = f.endpoint(HiveId(1));
         let e2 = f.endpoint(HiveId(2));
         for _ in 0..10 {

@@ -31,7 +31,10 @@ impl TrafficMatrix {
     /// A matrix with the given time-bucket width (e.g. 1000 ms for per-second
     /// bandwidth plots).
     pub fn new(bucket_ms: u64) -> Self {
-        TrafficMatrix { bucket_ms: bucket_ms.max(1), ..Default::default() }
+        TrafficMatrix {
+            bucket_ms: bucket_ms.max(1),
+            ..Default::default()
+        }
     }
 
     /// Records one frame.
@@ -47,7 +50,10 @@ impl TrafficMatrix {
 
     /// Total traffic between `src` and `dst` for `kind`.
     pub fn get(&self, src: HiveId, dst: HiveId, kind: FrameKind) -> MatrixCell {
-        self.cells.get(&(src.0, dst.0, kind)).copied().unwrap_or_default()
+        self.cells
+            .get(&(src.0, dst.0, kind))
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Total bytes between `src` and `dst`, all categories.
@@ -81,8 +87,12 @@ impl TrafficMatrix {
                 *by_bucket.entry(*bucket).or_insert(0) += cell.bytes;
             }
         }
-        let Some((&first, _)) = by_bucket.iter().next() else { return Vec::new() };
-        let Some((&last, _)) = by_bucket.iter().next_back() else { return Vec::new() };
+        let Some((&first, _)) = by_bucket.iter().next() else {
+            return Vec::new();
+        };
+        let Some((&last, _)) = by_bucket.iter().next_back() else {
+            return Vec::new();
+        };
         (first..=last)
             .map(|b| (b * self.bucket_ms, by_bucket.get(&b).copied().unwrap_or(0)))
             .collect()
@@ -147,7 +157,13 @@ mod tests {
         m.record(HiveId(1), HiveId(2), FrameKind::App, 100, 0);
         m.record(HiveId(1), HiveId(2), FrameKind::App, 50, 500);
         m.record(HiveId(2), HiveId(1), FrameKind::Raft, 30, 1500);
-        assert_eq!(m.get(HiveId(1), HiveId(2), FrameKind::App), MatrixCell { msgs: 2, bytes: 150 });
+        assert_eq!(
+            m.get(HiveId(1), HiveId(2), FrameKind::App),
+            MatrixCell {
+                msgs: 2,
+                bytes: 150
+            }
+        );
         assert_eq!(m.total_between(HiveId(2), HiveId(1)), 30);
         assert_eq!(m.total(&[FrameKind::App]), 150);
         assert_eq!(m.total(&[FrameKind::App, FrameKind::Raft]), 180);

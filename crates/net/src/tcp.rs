@@ -15,6 +15,10 @@ use beehive_core::HiveId;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
+/// Wakeup callback invoked by reader threads when a frame lands in the
+/// inbox (set after bind by `Hive::run` via [`Transport::set_waker`]).
+type SharedWaker = Arc<Mutex<Option<Arc<dyn Fn() + Send + Sync>>>>;
+
 const KIND_APP: u8 = 0;
 const KIND_RAFT: u8 = 1;
 const KIND_CONTROL: u8 = 2;
@@ -37,7 +41,12 @@ fn byte_to_kind(b: u8) -> Option<FrameKind> {
     }
 }
 
-fn write_frame(stream: &mut TcpStream, src: HiveId, kind: u8, payload: &[u8]) -> std::io::Result<()> {
+fn write_frame(
+    stream: &mut TcpStream,
+    src: HiveId,
+    kind: u8,
+    payload: &[u8],
+) -> std::io::Result<()> {
     let len = (payload.len() + 5) as u32;
     let mut header = [0u8; 9];
     header[..4].copy_from_slice(&len.to_le_bytes());
@@ -53,7 +62,10 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<(HiveId, u8, Vec<u8>)> 
     stream.read_exact(&mut len_buf)?;
     let len = u32::from_le_bytes(len_buf) as usize;
     if !(5..=64 * 1024 * 1024).contains(&len) {
-        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "bad frame length"));
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "bad frame length",
+        ));
     }
     let mut rest = vec![0u8; len];
     stream.read_exact(&mut rest)?;
@@ -75,6 +87,7 @@ pub struct TcpTransport {
     inbox_rx: Receiver<(HiveId, Frame)>,
     _listener_addr: SocketAddr,
     shutdown: Arc<std::sync::atomic::AtomicBool>,
+    waker: SharedWaker,
 }
 
 impl TcpTransport {
@@ -89,9 +102,11 @@ impl TcpTransport {
         let local_addr = listener.local_addr()?;
         let (inbox_tx, inbox_rx) = unbounded();
         let shutdown = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let waker: SharedWaker = Arc::new(Mutex::new(None));
 
         let accept_tx = inbox_tx.clone();
         let accept_shutdown = shutdown.clone();
+        let accept_waker = waker.clone();
         std::thread::Builder::new()
             .name(format!("bh-tcp-accept-{}", id.0))
             .spawn(move || {
@@ -102,9 +117,10 @@ impl TcpTransport {
                     let Ok(stream) = stream else { continue };
                     let tx = accept_tx.clone();
                     let stop = accept_shutdown.clone();
+                    let waker = accept_waker.clone();
                     std::thread::Builder::new()
                         .name("bh-tcp-read".into())
-                        .spawn(move || reader_loop(stream, tx, stop))
+                        .spawn(move || reader_loop(stream, tx, stop, waker))
                         .ok();
                 }
             })
@@ -118,6 +134,7 @@ impl TcpTransport {
             inbox_rx,
             _listener_addr: local_addr,
             shutdown,
+            waker,
         })
     }
 
@@ -134,7 +151,8 @@ impl TcpTransport {
 
     fn connect(&self, to: HiveId) -> Option<TcpStream> {
         let addr = self.peers.get(&to)?;
-        let mut stream = TcpStream::connect_timeout(addr, std::time::Duration::from_millis(500)).ok()?;
+        let mut stream =
+            TcpStream::connect_timeout(addr, std::time::Duration::from_millis(500)).ok()?;
         stream.set_nodelay(true).ok();
         // Identify ourselves so the acceptor can label inbound frames.
         write_frame(&mut stream, self.id, KIND_HANDSHAKE, &[]).ok()?;
@@ -146,6 +164,7 @@ fn reader_loop(
     mut stream: TcpStream,
     tx: Sender<(HiveId, Frame)>,
     stop: Arc<std::sync::atomic::AtomicBool>,
+    waker: SharedWaker,
 ) {
     // The first frame must be a handshake naming the peer.
     let peer = match read_frame(&mut stream) {
@@ -155,9 +174,24 @@ fn reader_loop(
     while !stop.load(std::sync::atomic::Ordering::Relaxed) {
         match read_frame(&mut stream) {
             Ok((_src, kind_byte, payload)) => {
-                let Some(kind) = byte_to_kind(kind_byte) else { continue };
-                if tx.send((peer, Frame { kind, bytes: payload })).is_err() {
+                let Some(kind) = byte_to_kind(kind_byte) else {
+                    continue;
+                };
+                if tx
+                    .send((
+                        peer,
+                        Frame {
+                            kind,
+                            bytes: payload,
+                        },
+                    ))
+                    .is_err()
+                {
                     return;
+                }
+                // Wake a parked hive thread: a frame is waiting in the inbox.
+                if let Some(wake) = waker.lock().clone() {
+                    wake();
                 }
             }
             Err(_) => return,
@@ -196,7 +230,9 @@ impl Transport for TcpTransport {
                         e.insert(s);
                     }
                     None => {
-                        self.connect_failed_at.lock().insert(to, std::time::Instant::now());
+                        self.connect_failed_at
+                            .lock()
+                            .insert(to, std::time::Instant::now());
                         return; // peer unreachable; drop (protocols retry)
                     }
                 }
@@ -221,11 +257,16 @@ impl Transport for TcpTransport {
     fn peers(&self) -> Vec<HiveId> {
         self.peers.keys().copied().collect()
     }
+
+    fn set_waker(&mut self, waker: Arc<dyn Fn() + Send + Sync>) {
+        *self.waker.lock() = Some(waker);
+    }
 }
 
 impl Drop for TcpTransport {
     fn drop(&mut self) {
-        self.shutdown.store(true, std::sync::atomic::Ordering::Relaxed);
+        self.shutdown
+            .store(true, std::sync::atomic::Ordering::Relaxed);
         // Wake the accept loop with a dummy connection so it can exit.
         let _ = TcpStream::connect(self._listener_addr);
     }
@@ -236,10 +277,10 @@ mod tests {
     use super::*;
 
     fn pair() -> (TcpTransport, TcpTransport) {
-        let mut t1 = TcpTransport::bind(HiveId(1), "127.0.0.1:0".parse().unwrap(), HashMap::new())
-            .unwrap();
-        let mut t2 = TcpTransport::bind(HiveId(2), "127.0.0.1:0".parse().unwrap(), HashMap::new())
-            .unwrap();
+        let mut t1 =
+            TcpTransport::bind(HiveId(1), "127.0.0.1:0".parse().unwrap(), HashMap::new()).unwrap();
+        let mut t2 =
+            TcpTransport::bind(HiveId(2), "127.0.0.1:0".parse().unwrap(), HashMap::new()).unwrap();
         let a1 = t1.local_addr();
         let a2 = t2.local_addr();
         t1.add_peer(HiveId(2), a2);
@@ -272,6 +313,26 @@ mod tests {
         assert_eq!(from, HiveId(2));
         assert_eq!(f.kind, FrameKind::Raft);
         assert_eq!(f.bytes, vec![9]);
+    }
+
+    #[test]
+    fn waker_fires_on_inbound_frame() {
+        let (t1, mut t2) = pair();
+        let woken = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let woken2 = woken.clone();
+        t2.set_waker(Arc::new(move || {
+            woken2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        }));
+        t1.send(HiveId(2), Frame::app(vec![1]));
+        recv_blocking(&t2, 2000).expect("frame arrives");
+        // The waker fires just after the inbox insert; give it a moment.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(2000);
+        while woken.load(std::sync::atomic::Ordering::SeqCst) == 0
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(woken.load(std::sync::atomic::Ordering::SeqCst) >= 1);
     }
 
     #[test]

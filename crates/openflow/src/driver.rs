@@ -144,8 +144,10 @@ const DICT: &str = "switches";
 
 fn next_xid(ctx: &mut RcvCtx<'_>, dpid: u64) -> Result<u32, String> {
     let key = dpid.to_string();
-    let mut rec: SwitchRecord =
-        ctx.get(DICT, &key).map_err(|e| e.to_string())?.unwrap_or_default();
+    let mut rec: SwitchRecord = ctx
+        .get(DICT, &key)
+        .map_err(|e| e.to_string())?
+        .unwrap_or_default();
     rec.next_xid += 1;
     let xid = rec.next_xid;
     ctx.put(DICT, key, &rec).map_err(|e| e.to_string())?;
@@ -175,16 +177,23 @@ pub fn driver_app(io: Arc<dyn SwitchIo>) -> App {
                     OfMessage::EchoRequest { xid, data } => {
                         io_up.send(m.dpid, OfMessage::EchoReply { xid, data }.encode());
                     }
-                    OfMessage::FeaturesReply { datapath_id, ports, .. } => {
+                    OfMessage::FeaturesReply {
+                        datapath_id, ports, ..
+                    } => {
                         let key = datapath_id.to_string();
-                        let mut rec: SwitchRecord =
-                            ctx.get(DICT, &key).map_err(|e| e.to_string())?.unwrap_or_default();
+                        let mut rec: SwitchRecord = ctx
+                            .get(DICT, &key)
+                            .map_err(|e| e.to_string())?
+                            .unwrap_or_default();
                         let newly = !rec.joined;
                         rec.joined = true;
                         rec.n_ports = ports.len() as u16;
                         ctx.put(DICT, key, &rec).map_err(|e| e.to_string())?;
                         if newly {
-                            ctx.emit(SwitchJoined { dpid: datapath_id, n_ports: ports.len() as u16 });
+                            ctx.emit(SwitchJoined {
+                                dpid: datapath_id,
+                                n_ports: ports.len() as u16,
+                            });
                         }
                     }
                     OfMessage::FlowStatsReply { flows, .. } => {
@@ -198,13 +207,24 @@ pub fn driver_app(io: Arc<dyn SwitchIo>) -> App {
                                 duration_sec: f.duration_sec,
                             })
                             .collect();
-                        ctx.emit(StatReply { switch: m.dpid, flows: stats });
+                        ctx.emit(StatReply {
+                            switch: m.dpid,
+                            flows: stats,
+                        });
                     }
                     OfMessage::PacketIn { in_port, data, .. } => {
-                        ctx.emit(PacketInEvent { switch: m.dpid, in_port, data });
+                        ctx.emit(PacketInEvent {
+                            switch: m.dpid,
+                            in_port,
+                            data,
+                        });
                     }
                     OfMessage::PortStatus { reason, desc, .. } => {
-                        ctx.emit(PortStatusEvent { switch: m.dpid, port: desc.port_no, reason });
+                        ctx.emit(PortStatusEvent {
+                            switch: m.dpid,
+                            port: desc.port_no,
+                            reason,
+                        });
                     }
                     // Replies we don't act on.
                     OfMessage::EchoReply { .. } | OfMessage::Error { .. } => {}
@@ -223,8 +243,12 @@ pub fn driver_app(io: Arc<dyn SwitchIo>) -> App {
                 let xid = next_xid(ctx, m.switch)?;
                 io_query.send(
                     m.switch,
-                    OfMessage::FlowStatsRequest { xid, match_: Match::any(), table_id: 0xFF }
-                        .encode(),
+                    OfMessage::FlowStatsRequest {
+                        xid,
+                        match_: Match::any(),
+                        table_id: 0xFF,
+                    }
+                    .encode(),
                 );
                 Ok(())
             },
@@ -244,7 +268,10 @@ pub fn driver_app(io: Arc<dyn SwitchIo>) -> App {
                         idle_timeout: 0,
                         hard_timeout: 0,
                         priority: m.priority,
-                        actions: vec![Action::Output { port: m.out_port, max_len: 0 }],
+                        actions: vec![Action::Output {
+                            port: m.out_port,
+                            max_len: 0,
+                        }],
                     }
                     .encode(),
                 );
@@ -262,7 +289,10 @@ pub fn driver_app(io: Arc<dyn SwitchIo>) -> App {
                         xid,
                         buffer_id: u32::MAX,
                         in_port: m.in_port,
-                        actions: vec![Action::Output { port: m.out_port, max_len: 0 }],
+                        actions: vec![Action::Output {
+                            port: m.out_port,
+                            max_len: 0,
+                        }],
                         data: m.data.clone(),
                     }
                     .encode(),
@@ -309,19 +339,28 @@ mod tests {
         let mut sw = SwitchModel::new(7, 3);
 
         // Switch says hello.
-        hive.emit(SwitchUpstream { dpid: 7, bytes: sw.hello() });
+        hive.emit(SwitchUpstream {
+            dpid: 7,
+            bytes: sw.hello(),
+        });
         hive.step_until_quiescent(100);
 
         // Driver should have replied with Hello + FeaturesRequest.
         let sent = io.sent.lock().clone();
         assert_eq!(sent.len(), 2);
-        assert!(matches!(OfMessage::decode(&sent[0].1).unwrap(), OfMessage::Hello { .. }));
+        assert!(matches!(
+            OfMessage::decode(&sent[0].1).unwrap(),
+            OfMessage::Hello { .. }
+        ));
         let feat_req = OfMessage::decode(&sent[1].1).unwrap();
         assert!(matches!(feat_req, OfMessage::FeaturesRequest { .. }));
 
         // Feed the switch's replies back upstream.
         for reply in sw.handle_bytes(&sent[1].1).unwrap() {
-            hive.emit(SwitchUpstream { dpid: 7, bytes: reply });
+            hive.emit(SwitchUpstream {
+                dpid: 7,
+                bytes: reply,
+            });
         }
         hive.step_until_quiescent(100);
 
@@ -351,7 +390,12 @@ mod tests {
     fn install_rule_becomes_flow_mod_and_programs_switch() {
         let (mut hive, io) = hive_with_driver();
         let mut sw = SwitchModel::new(3, 2);
-        hive.emit(InstallRule { switch: 3, match_: Match::nw_pair(1, 2), priority: 7, out_port: 2 });
+        hive.emit(InstallRule {
+            switch: 3,
+            match_: Match::nw_pair(1, 2),
+            priority: 7,
+            out_port: 2,
+        });
         hive.step_until_quiescent(100);
         let sent = io.sent.lock().clone();
         assert_eq!(sent.len(), 1);
@@ -365,11 +409,21 @@ mod tests {
         let (mut hive, io) = hive_with_driver();
         let mut sw = SwitchModel::new(5, 2);
         // Program + account a flow, then ask for stats through the driver.
-        hive.emit(InstallRule { switch: 5, match_: Match::nw_pair(1, 2), priority: 1, out_port: 1 });
+        hive.emit(InstallRule {
+            switch: 5,
+            match_: Match::nw_pair(1, 2),
+            priority: 1,
+            out_port: 1,
+        });
         hive.step_until_quiescent(100);
         sw.handle_bytes(&io.sent.lock()[0].1).unwrap();
         sw.account_traffic(
-            &Match { wildcards: 0, nw_src: 1, nw_dst: 2, ..Default::default() },
+            &Match {
+                wildcards: 0,
+                nw_src: 1,
+                nw_dst: 2,
+                ..Default::default()
+            },
             4,
             400,
         );
@@ -392,7 +446,10 @@ mod tests {
         hive.step_until_quiescent(100);
         let query_bytes = io.sent.lock().last().unwrap().1.clone();
         for reply in sw.handle_bytes(&query_bytes).unwrap() {
-            hive.emit(SwitchUpstream { dpid: 5, bytes: reply });
+            hive.emit(SwitchUpstream {
+                dpid: 5,
+                bytes: reply,
+            });
         }
         hive.step_until_quiescent(100);
 
@@ -406,7 +463,10 @@ mod tests {
     #[test]
     fn upstream_garbage_is_a_handler_error() {
         let (mut hive, _io) = hive_with_driver();
-        hive.emit(SwitchUpstream { dpid: 1, bytes: vec![0xFF, 0xFF] });
+        hive.emit(SwitchUpstream {
+            dpid: 1,
+            bytes: vec![0xFF, 0xFF],
+        });
         hive.step_until_quiescent(100);
         assert_eq!(hive.counters().handler_errors, 1);
     }

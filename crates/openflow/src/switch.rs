@@ -47,10 +47,20 @@ impl SwitchModel {
                 let mut hw = [0u8; 6];
                 hw[..4].copy_from_slice(&(dpid as u32).to_be_bytes());
                 hw[4..].copy_from_slice(&p.to_be_bytes());
-                PhyPort { port_no: p, hw_addr: hw, name: format!("s{dpid}-eth{p}") }
+                PhyPort {
+                    port_no: p,
+                    hw_addr: hw,
+                    name: format!("s{dpid}-eth{p}"),
+                }
             })
             .collect();
-        SwitchModel { dpid, ports, flows: Vec::new(), now_sec: 0, next_xid: 1 }
+        SwitchModel {
+            dpid,
+            ports,
+            flows: Vec::new(),
+            now_sec: 0,
+            next_xid: 1,
+        }
     }
 
     /// The datapath id.
@@ -99,7 +109,14 @@ impl SwitchModel {
                 capabilities: 0x0000_0001, // FLOW_STATS
                 ports: self.ports.clone(),
             }],
-            OfMessage::FlowMod { match_, cookie, command, priority, actions, .. } => {
+            OfMessage::FlowMod {
+                match_,
+                cookie,
+                command,
+                priority,
+                actions,
+                ..
+            } => {
                 self.apply_flow_mod(match_, cookie, command, priority, actions);
                 Vec::new()
             }
@@ -185,7 +202,11 @@ impl SwitchModel {
     /// Runs a packet (expressed as an exact-match header + size) through the
     /// flow table. Returns the actions of the matching flow, or a `PacketIn`
     /// to punt to the controller on table miss.
-    pub fn process_packet(&mut self, header: &Match, bytes: usize) -> Result<Vec<Action>, OfMessage> {
+    pub fn process_packet(
+        &mut self,
+        header: &Match,
+        bytes: usize,
+    ) -> Result<Vec<Action>, OfMessage> {
         let xid = self.xid();
         for f in self.flows.iter_mut() {
             if f.match_.covers(header) {
@@ -273,7 +294,12 @@ mod tests {
         let mut sw = SwitchModel::new(42, 4);
         let replies = sw.handle(OfMessage::FeaturesRequest { xid: 9 });
         match &replies[0] {
-            OfMessage::FeaturesReply { datapath_id, ports, xid, .. } => {
+            OfMessage::FeaturesReply {
+                datapath_id,
+                ports,
+                xid,
+                ..
+            } => {
                 assert_eq!(*datapath_id, 42);
                 assert_eq!(ports.len(), 4);
                 assert_eq!(*xid, 9);
@@ -285,17 +311,32 @@ mod tests {
     #[test]
     fn echo_is_answered_with_same_payload() {
         let mut sw = SwitchModel::new(1, 1);
-        let replies = sw.handle(OfMessage::EchoRequest { xid: 3, data: vec![9, 8] });
-        assert_eq!(replies, vec![OfMessage::EchoReply { xid: 3, data: vec![9, 8] }]);
+        let replies = sw.handle(OfMessage::EchoRequest {
+            xid: 3,
+            data: vec![9, 8],
+        });
+        assert_eq!(
+            replies,
+            vec![OfMessage::EchoReply {
+                xid: 3,
+                data: vec![9, 8]
+            }]
+        );
     }
 
     #[test]
     fn table_miss_punts_to_controller() {
         let mut sw = SwitchModel::new(1, 2);
-        let header = Match { wildcards: 0, in_port: 1, ..Default::default() };
+        let header = Match {
+            wildcards: 0,
+            in_port: 1,
+            ..Default::default()
+        };
         let err = sw.process_packet(&header, 64).unwrap_err();
         match err {
-            OfMessage::PacketIn { reason, in_port, .. } => {
+            OfMessage::PacketIn {
+                reason, in_port, ..
+            } => {
                 assert_eq!(reason, PacketInReason::NoMatch);
                 assert_eq!(in_port, 1);
             }
@@ -308,9 +349,20 @@ mod tests {
         let mut sw = SwitchModel::new(1, 2);
         let m = Match::nw_pair(10, 20);
         sw.handle(flow_mod(m, 10, 2));
-        let header = Match { wildcards: 0, nw_src: 10, nw_dst: 20, ..Default::default() };
+        let header = Match {
+            wildcards: 0,
+            nw_src: 10,
+            nw_dst: 20,
+            ..Default::default()
+        };
         let actions = sw.process_packet(&header, 100).unwrap();
-        assert_eq!(actions, vec![Action::Output { port: 2, max_len: 0 }]);
+        assert_eq!(
+            actions,
+            vec![Action::Output {
+                port: 2,
+                max_len: 0
+            }]
+        );
         assert_eq!(sw.flows()[0].packet_count, 1);
         assert_eq!(sw.flows()[0].byte_count, 100);
     }
@@ -320,9 +372,20 @@ mod tests {
         let mut sw = SwitchModel::new(1, 2);
         sw.handle(flow_mod(Match::any(), 1, 1));
         sw.handle(flow_mod(Match::nw_pair(10, 20), 100, 2));
-        let header = Match { wildcards: 0, nw_src: 10, nw_dst: 20, ..Default::default() };
+        let header = Match {
+            wildcards: 0,
+            nw_src: 10,
+            nw_dst: 20,
+            ..Default::default()
+        };
         let actions = sw.process_packet(&header, 60).unwrap();
-        assert_eq!(actions, vec![Action::Output { port: 2, max_len: 0 }]);
+        assert_eq!(
+            actions,
+            vec![Action::Output {
+                port: 2,
+                max_len: 0
+            }]
+        );
     }
 
     #[test]
@@ -331,7 +394,13 @@ mod tests {
         sw.handle(flow_mod(Match::any(), 5, 1));
         sw.handle(flow_mod(Match::any(), 5, 3));
         assert_eq!(sw.flows().len(), 1);
-        assert_eq!(sw.flows()[0].actions, vec![Action::Output { port: 3, max_len: 0 }]);
+        assert_eq!(
+            sw.flows()[0].actions,
+            vec![Action::Output {
+                port: 3,
+                max_len: 0
+            }]
+        );
     }
 
     #[test]
@@ -356,11 +425,20 @@ mod tests {
     fn stats_reply_reports_counters_over_the_wire() {
         let mut sw = SwitchModel::new(7, 2);
         sw.handle(flow_mod(Match::nw_pair(1, 2), 5, 1));
-        let header = Match { wildcards: 0, nw_src: 1, nw_dst: 2, ..Default::default() };
+        let header = Match {
+            wildcards: 0,
+            nw_src: 1,
+            nw_dst: 2,
+            ..Default::default()
+        };
         sw.process_packet(&header, 500).unwrap();
         sw.advance_time(3);
 
-        let req = OfMessage::FlowStatsRequest { xid: 77, match_: Match::any(), table_id: 0xFF };
+        let req = OfMessage::FlowStatsRequest {
+            xid: 77,
+            match_: Match::any(),
+            table_id: 0xFF,
+        };
         let replies = sw.handle_bytes(&req.encode()).unwrap();
         assert_eq!(replies.len(), 1);
         let reply = OfMessage::decode(&replies[0]).unwrap();
@@ -379,9 +457,23 @@ mod tests {
     fn account_traffic_feeds_counters() {
         let mut sw = SwitchModel::new(1, 2);
         sw.handle(flow_mod(Match::nw_pair(1, 2), 5, 1));
-        let header = Match { wildcards: 0, nw_src: 1, nw_dst: 2, ..Default::default() };
+        let header = Match {
+            wildcards: 0,
+            nw_src: 1,
+            nw_dst: 2,
+            ..Default::default()
+        };
         assert!(sw.account_traffic(&header, 10, 1000));
-        assert!(!sw.account_traffic(&Match { wildcards: 0, nw_src: 9, nw_dst: 9, ..Default::default() }, 1, 1));
+        assert!(!sw.account_traffic(
+            &Match {
+                wildcards: 0,
+                nw_src: 9,
+                nw_dst: 9,
+                ..Default::default()
+            },
+            1,
+            1
+        ));
         assert_eq!(sw.flows()[0].packet_count, 10);
     }
 

@@ -57,7 +57,9 @@ impl std::fmt::Display for WireError {
 impl std::error::Error for WireError {}
 
 /// An OpenFlow 1.0 flow match (ofp_match, 40 bytes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Default, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct Match {
     /// Wildcard bits (1 = field is wildcarded), per spec.
     pub wildcards: u32,
@@ -93,20 +95,32 @@ pub const OFPFW_ALL: u32 = 0x003F_FFFF;
 impl Match {
     /// A match that matches everything.
     pub fn any() -> Self {
-        Match { wildcards: OFPFW_ALL, ..Default::default() }
+        Match {
+            wildcards: OFPFW_ALL,
+            ..Default::default()
+        }
     }
 
     /// An exact match on destination MAC (other fields wildcarded).
     pub fn dl_dst_exact(mac: [u8; 6]) -> Self {
         // Bit 3 (OFPFW_DL_DST) cleared.
-        Match { wildcards: OFPFW_ALL & !(1 << 3), dl_dst: mac, ..Default::default() }
+        Match {
+            wildcards: OFPFW_ALL & !(1 << 3),
+            dl_dst: mac,
+            ..Default::default()
+        }
     }
 
     /// An exact match on (source, destination) IPv4 (other fields wildcarded).
     pub fn nw_pair(nw_src: u32, nw_dst: u32) -> Self {
         // Clear all 6 bits of each nw_src/nw_dst mask field: 0 = exact.
         let wildcards = OFPFW_ALL & !(0x3F << 8) & !(0x3F << 14);
-        Match { wildcards, nw_src, nw_dst, ..Default::default() }
+        Match {
+            wildcards,
+            nw_src,
+            nw_dst,
+            ..Default::default()
+        }
     }
 
     /// Whether a concrete packet header (expressed as an exact `Match`)
@@ -115,8 +129,16 @@ impl Match {
         let w = self.wildcards;
         let nw_src_bits = ((w >> 8) & 0x3F).min(32);
         let nw_dst_bits = ((w >> 14) & 0x3F).min(32);
-        let src_mask = if nw_src_bits >= 32 { 0 } else { u32::MAX << nw_src_bits };
-        let dst_mask = if nw_dst_bits >= 32 { 0 } else { u32::MAX << nw_dst_bits };
+        let src_mask = if nw_src_bits >= 32 {
+            0
+        } else {
+            u32::MAX << nw_src_bits
+        };
+        let dst_mask = if nw_dst_bits >= 32 {
+            0
+        } else {
+            u32::MAX << nw_dst_bits
+        };
         (w & 1 != 0 || self.in_port == pkt.in_port)
             && (w & (1 << 1) != 0 || self.dl_vlan == pkt.dl_vlan)
             && (w & (1 << 2) != 0 || self.dl_src == pkt.dl_src)
@@ -323,7 +345,11 @@ impl PhyPort {
         buf.advance(24);
         let end = name.iter().position(|&b| b == 0).unwrap_or(16);
         let name = String::from_utf8_lossy(&name[..end]).into_owned();
-        Ok(PhyPort { port_no, hw_addr, name })
+        Ok(PhyPort {
+            port_no,
+            hw_addr,
+            name,
+        })
     }
 }
 
@@ -524,7 +550,14 @@ impl OfMessage {
             OfMessage::EchoRequest { data, .. } | OfMessage::EchoReply { data, .. } => {
                 buf.put_slice(data);
             }
-            OfMessage::FeaturesReply { datapath_id, n_buffers, n_tables, capabilities, ports, .. } => {
+            OfMessage::FeaturesReply {
+                datapath_id,
+                n_buffers,
+                n_tables,
+                capabilities,
+                ports,
+                ..
+            } => {
                 buf.put_u64(*datapath_id);
                 buf.put_u32(*n_buffers);
                 buf.put_u8(*n_tables);
@@ -535,7 +568,14 @@ impl OfMessage {
                     p.encode(&mut buf);
                 }
             }
-            OfMessage::PacketIn { buffer_id, total_len, in_port, reason, data, .. } => {
+            OfMessage::PacketIn {
+                buffer_id,
+                total_len,
+                in_port,
+                reason,
+                data,
+                ..
+            } => {
                 buf.put_u32(*buffer_id);
                 buf.put_u16(*total_len);
                 buf.put_u16(*in_port);
@@ -546,7 +586,13 @@ impl OfMessage {
                 buf.put_u8(0);
                 buf.put_slice(data);
             }
-            OfMessage::PacketOut { buffer_id, in_port, actions, data, .. } => {
+            OfMessage::PacketOut {
+                buffer_id,
+                in_port,
+                actions,
+                data,
+                ..
+            } => {
                 buf.put_u32(*buffer_id);
                 buf.put_u16(*in_port);
                 buf.put_u16(Action::encoded_list_len(actions) as u16);
@@ -555,7 +601,16 @@ impl OfMessage {
                 }
                 buf.put_slice(data);
             }
-            OfMessage::FlowMod { match_, cookie, command, idle_timeout, hard_timeout, priority, actions, .. } => {
+            OfMessage::FlowMod {
+                match_,
+                cookie,
+                command,
+                idle_timeout,
+                hard_timeout,
+                priority,
+                actions,
+                ..
+            } => {
                 match_.encode(&mut buf);
                 buf.put_u64(*cookie);
                 buf.put_u16(command.to_u16());
@@ -569,7 +624,9 @@ impl OfMessage {
                     a.encode(&mut buf);
                 }
             }
-            OfMessage::FlowStatsRequest { match_, table_id, .. } => {
+            OfMessage::FlowStatsRequest {
+                match_, table_id, ..
+            } => {
                 buf.put_u16(OFPST_FLOW);
                 buf.put_u16(0); // flags
                 match_.encode(&mut buf);
@@ -605,7 +662,12 @@ impl OfMessage {
                 buf.put_slice(&[0u8; 7]);
                 desc.encode(&mut buf);
             }
-            OfMessage::Error { err_type, code, data, .. } => {
+            OfMessage::Error {
+                err_type,
+                code,
+                data,
+                ..
+            } => {
                 buf.put_u16(*err_type);
                 buf.put_u16(*code);
                 buf.put_slice(data);
@@ -637,8 +699,14 @@ impl OfMessage {
 
         match ty {
             OFPT_HELLO => Ok(OfMessage::Hello { xid }),
-            OFPT_ECHO_REQUEST => Ok(OfMessage::EchoRequest { xid, data: buf.to_vec() }),
-            OFPT_ECHO_REPLY => Ok(OfMessage::EchoReply { xid, data: buf.to_vec() }),
+            OFPT_ECHO_REQUEST => Ok(OfMessage::EchoRequest {
+                xid,
+                data: buf.to_vec(),
+            }),
+            OFPT_ECHO_REPLY => Ok(OfMessage::EchoReply {
+                xid,
+                data: buf.to_vec(),
+            }),
             OFPT_FEATURES_REQUEST => Ok(OfMessage::FeaturesRequest { xid }),
             OFPT_FEATURES_REPLY => {
                 if buf.remaining() < 24 {
@@ -654,7 +722,14 @@ impl OfMessage {
                 while buf.remaining() >= 48 {
                     ports.push(PhyPort::decode(&mut buf)?);
                 }
-                Ok(OfMessage::FeaturesReply { xid, datapath_id, n_buffers, n_tables, capabilities, ports })
+                Ok(OfMessage::FeaturesReply {
+                    xid,
+                    datapath_id,
+                    n_buffers,
+                    n_tables,
+                    capabilities,
+                    ports,
+                })
             }
             OFPT_PACKET_IN => {
                 if buf.remaining() < 10 {
@@ -668,7 +743,14 @@ impl OfMessage {
                     _ => PacketInReason::Action,
                 };
                 buf.advance(1);
-                Ok(OfMessage::PacketIn { xid, buffer_id, total_len, in_port, reason, data: buf.to_vec() })
+                Ok(OfMessage::PacketIn {
+                    xid,
+                    buffer_id,
+                    total_len,
+                    in_port,
+                    reason,
+                    data: buf.to_vec(),
+                })
             }
             OFPT_PACKET_OUT => {
                 if buf.remaining() < 8 {
@@ -682,7 +764,13 @@ impl OfMessage {
                 }
                 let actions = Action::decode_list(&buf[..actions_len])?;
                 buf.advance(actions_len);
-                Ok(OfMessage::PacketOut { xid, buffer_id, in_port, actions, data: buf.to_vec() })
+                Ok(OfMessage::PacketOut {
+                    xid,
+                    buffer_id,
+                    in_port,
+                    actions,
+                    data: buf.to_vec(),
+                })
             }
             OFPT_FLOW_MOD => {
                 let match_ = Match::decode(&mut buf)?;
@@ -696,7 +784,16 @@ impl OfMessage {
                 let priority = buf.get_u16();
                 buf.advance(8); // buffer_id + out_port + flags
                 let actions = Action::decode_list(buf)?;
-                Ok(OfMessage::FlowMod { xid, match_, cookie, command, idle_timeout, hard_timeout, priority, actions })
+                Ok(OfMessage::FlowMod {
+                    xid,
+                    match_,
+                    cookie,
+                    command,
+                    idle_timeout,
+                    hard_timeout,
+                    priority,
+                    actions,
+                })
             }
             OFPT_STATS_REQUEST => {
                 if buf.remaining() < 4 {
@@ -713,7 +810,11 @@ impl OfMessage {
                 }
                 let table_id = buf.get_u8();
                 buf.advance(3);
-                Ok(OfMessage::FlowStatsRequest { xid, match_, table_id })
+                Ok(OfMessage::FlowStatsRequest {
+                    xid,
+                    match_,
+                    table_id,
+                })
             }
             OFPT_STATS_REPLY => {
                 if buf.remaining() < 4 {
@@ -775,7 +876,12 @@ impl OfMessage {
                 }
                 let err_type = buf.get_u16();
                 let code = buf.get_u16();
-                Ok(OfMessage::Error { xid, err_type, code, data: buf.to_vec() })
+                Ok(OfMessage::Error {
+                    xid,
+                    err_type,
+                    code,
+                    data: buf.to_vec(),
+                })
             }
             other => Err(WireError::BadType(other)),
         }
@@ -798,8 +904,14 @@ mod tests {
     #[test]
     fn hello_and_echo_roundtrip() {
         roundtrip(OfMessage::Hello { xid: 1 });
-        roundtrip(OfMessage::EchoRequest { xid: 2, data: vec![1, 2, 3] });
-        roundtrip(OfMessage::EchoReply { xid: 3, data: vec![] });
+        roundtrip(OfMessage::EchoRequest {
+            xid: 2,
+            data: vec![1, 2, 3],
+        });
+        roundtrip(OfMessage::EchoReply {
+            xid: 3,
+            data: vec![],
+        });
     }
 
     #[test]
@@ -812,8 +924,16 @@ mod tests {
             n_tables: 2,
             capabilities: 0x1,
             ports: vec![
-                PhyPort { port_no: 1, hw_addr: [1, 2, 3, 4, 5, 6], name: "eth1".into() },
-                PhyPort { port_no: 2, hw_addr: [6, 5, 4, 3, 2, 1], name: "eth2".into() },
+                PhyPort {
+                    port_no: 1,
+                    hw_addr: [1, 2, 3, 4, 5, 6],
+                    name: "eth1".into(),
+                },
+                PhyPort {
+                    port_no: 2,
+                    hw_addr: [6, 5, 4, 3, 2, 1],
+                    name: "eth2".into(),
+                },
             ],
         });
     }
@@ -832,7 +952,10 @@ mod tests {
             xid: 7,
             buffer_id: u32::MAX,
             in_port: 0xFFF8,
-            actions: vec![Action::Output { port: OFPP_FLOOD, max_len: 0 }],
+            actions: vec![Action::Output {
+                port: OFPP_FLOOD,
+                max_len: 0,
+            }],
             data: vec![0xBE, 0xEF],
         });
     }
@@ -847,13 +970,20 @@ mod tests {
             idle_timeout: 60,
             hard_timeout: 0,
             priority: 100,
-            actions: vec![Action::Output { port: 2, max_len: 0 }],
+            actions: vec![Action::Output {
+                port: 2,
+                max_len: 0,
+            }],
         });
     }
 
     #[test]
     fn flow_stats_roundtrip() {
-        roundtrip(OfMessage::FlowStatsRequest { xid: 9, match_: Match::any(), table_id: 0xFF });
+        roundtrip(OfMessage::FlowStatsRequest {
+            xid: 9,
+            match_: Match::any(),
+            table_id: 0xFF,
+        });
         roundtrip(OfMessage::FlowStatsReply {
             xid: 10,
             flows: vec![
@@ -865,7 +995,10 @@ mod tests {
                     cookie: 7,
                     packet_count: 1000,
                     byte_count: 64_000,
-                    actions: vec![Action::Output { port: 1, max_len: 0 }],
+                    actions: vec![Action::Output {
+                        port: 1,
+                        max_len: 0,
+                    }],
                 },
                 FlowStatsEntry {
                     table_id: 0,
@@ -886,9 +1019,18 @@ mod tests {
         roundtrip(OfMessage::PortStatus {
             xid: 11,
             reason: 1,
-            desc: PhyPort { port_no: 7, hw_addr: [0; 6], name: "down0".into() },
+            desc: PhyPort {
+                port_no: 7,
+                hw_addr: [0; 6],
+                name: "down0".into(),
+            },
         });
-        roundtrip(OfMessage::Error { xid: 12, err_type: 1, code: 2, data: vec![9, 9] });
+        roundtrip(OfMessage::Error {
+            xid: 12,
+            err_type: 1,
+            code: 2,
+            data: vec![9, 9],
+        });
     }
 
     #[test]
@@ -949,6 +1091,12 @@ mod tests {
         raw.extend_from_slice(&3u16.to_be_bytes());
         raw.extend_from_slice(&0u16.to_be_bytes());
         let actions = Action::decode_list(&raw).unwrap();
-        assert_eq!(actions, vec![Action::Output { port: 3, max_len: 0 }]);
+        assert_eq!(
+            actions,
+            vec![Action::Output {
+                port: 3,
+                max_len: 0
+            }]
+        );
     }
 }

@@ -2,7 +2,7 @@
 //! arbitrary bytes never panic the decoder, and the switch model preserves
 //! its invariants under arbitrary FLOW_MOD streams.
 
-use beehive_openflow::wire::{OFPFW_ALL};
+use beehive_openflow::wire::OFPFW_ALL;
 use beehive_openflow::{
     Action, FlowModCommand, FlowStatsEntry, Match, OfMessage, PacketInReason, PhyPort, SwitchModel,
 };
@@ -19,21 +19,23 @@ fn arb_match() -> impl Strategy<Value = Match> {
         any::<u32>(),
         (any::<u16>(), any::<u16>(), any::<u8>(), any::<u8>()),
     )
-        .prop_map(|(wildcards, in_port, dl_src, dl_dst, dl_vlan, nw_src, nw_dst, rest)| Match {
-            wildcards,
-            in_port,
-            dl_src,
-            dl_dst,
-            dl_vlan,
-            dl_vlan_pcp: rest.2 & 0x7,
-            dl_type: rest.0,
-            nw_tos: rest.3,
-            nw_proto: rest.2,
-            nw_src,
-            nw_dst,
-            tp_src: rest.0,
-            tp_dst: rest.1,
-        })
+        .prop_map(
+            |(wildcards, in_port, dl_src, dl_dst, dl_vlan, nw_src, nw_dst, rest)| Match {
+                wildcards,
+                in_port,
+                dl_src,
+                dl_dst,
+                dl_vlan,
+                dl_vlan_pcp: rest.2 & 0x7,
+                dl_type: rest.0,
+                nw_tos: rest.3,
+                nw_proto: rest.2,
+                nw_src,
+                nw_dst,
+                tp_src: rest.0,
+                tp_dst: rest.1,
+            },
+        )
 }
 
 fn arb_actions() -> impl Strategy<Value = Vec<Action>> {
@@ -49,8 +51,12 @@ fn arb_message() -> impl Strategy<Value = OfMessage> {
         (any::<u32>(), proptest::collection::vec(any::<u8>(), 0..32))
             .prop_map(|(xid, data)| OfMessage::EchoRequest { xid, data }),
         any::<u32>().prop_map(|xid| OfMessage::FeaturesRequest { xid }),
-        (any::<u32>(), any::<u64>(), proptest::collection::vec(any::<u16>(), 0..4)).prop_map(
-            |(xid, dpid, ports)| OfMessage::FeaturesReply {
+        (
+            any::<u32>(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u16>(), 0..4)
+        )
+            .prop_map(|(xid, dpid, ports)| OfMessage::FeaturesReply {
                 xid,
                 datapath_id: dpid,
                 n_buffers: 256,
@@ -65,18 +71,20 @@ fn arb_message() -> impl Strategy<Value = OfMessage> {
                         name: format!("p{i}"),
                     })
                     .collect(),
-            }
-        ),
-        (any::<u32>(), any::<u16>(), proptest::collection::vec(any::<u8>(), 0..64)).prop_map(
-            |(xid, in_port, data)| OfMessage::PacketIn {
+            }),
+        (
+            any::<u32>(),
+            any::<u16>(),
+            proptest::collection::vec(any::<u8>(), 0..64)
+        )
+            .prop_map(|(xid, in_port, data)| OfMessage::PacketIn {
                 xid,
                 buffer_id: u32::MAX,
                 total_len: data.len() as u16,
                 in_port,
                 reason: PacketInReason::NoMatch,
                 data,
-            }
-        ),
+            }),
         (any::<u32>(), arb_match(), arb_actions(), any::<u16>()).prop_map(
             |(xid, match_, actions, priority)| OfMessage::FlowMod {
                 xid,

@@ -72,20 +72,29 @@ mod tests {
 
     #[test]
     fn rejects_inverted_timeouts() {
-        let cfg = Config { election_timeout_max: 5, ..Config::default() };
+        let cfg = Config {
+            election_timeout_max: 5,
+            ..Config::default()
+        };
         assert!(cfg.validate().is_err());
     }
 
     #[test]
     fn rejects_tight_heartbeat() {
-        let cfg =
-            Config { heartbeat_interval: 8, election_timeout_min: 10, ..Config::default() };
+        let cfg = Config {
+            heartbeat_interval: 8,
+            election_timeout_min: 10,
+            ..Config::default()
+        };
         assert!(cfg.validate().is_err());
     }
 
     #[test]
     fn rejects_zero_batch() {
-        let cfg = Config { max_entries_per_append: 0, ..Config::default() };
+        let cfg = Config {
+            max_entries_per_append: 0,
+            ..Config::default()
+        };
         assert!(cfg.validate().is_err());
     }
 }

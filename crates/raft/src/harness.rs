@@ -37,7 +37,11 @@ pub struct Faults {
 
 impl Default for Faults {
     fn default() -> Self {
-        Faults { drop_rate: 0.0, delay: 0, jitter: 0 }
+        Faults {
+            drop_rate: 0.0,
+            delay: 0,
+            jitter: 0,
+        }
     }
 }
 
@@ -71,10 +75,16 @@ impl<SM: StateMachine> Cluster<SM> {
         let mut storages = BTreeMap::new();
         for &id in &ids {
             let peers: Vec<NodeId> = ids.iter().copied().filter(|&p| p != id).collect();
-            let node_cfg = Config { rng_seed: seed ^ (id << 32), ..cfg.clone() };
+            let node_cfg = Config {
+                rng_seed: seed ^ (id << 32),
+                ..cfg.clone()
+            };
             let storage = SharedMemStorage::new();
             storages.insert(id, storage.handle());
-            nodes.insert(id, RaftNode::new(id, peers, node_cfg, make_sm(), Box::new(storage)));
+            nodes.insert(
+                id,
+                RaftNode::new(id, peers, node_cfg, make_sm(), Box::new(storage)),
+            );
         }
         Cluster {
             nodes,
@@ -171,13 +181,22 @@ impl<SM: StateMachine> Cluster<SM> {
     /// Restarts a crashed node from its durable storage.
     pub fn restart(&mut self, id: NodeId) {
         assert!(self.down.remove(&id), "restart a crashed node");
-        let ids: Vec<NodeId> =
-            self.nodes.keys().copied().chain(std::iter::once(id)).collect();
+        let ids: Vec<NodeId> = self
+            .nodes
+            .keys()
+            .copied()
+            .chain(std::iter::once(id))
+            .collect();
         let peers: Vec<NodeId> = ids.iter().copied().filter(|&p| p != id).collect();
-        let node_cfg = Config { rng_seed: self.rng.gen(), ..self.cfg.clone() };
+        let node_cfg = Config {
+            rng_seed: self.rng.gen(),
+            ..self.cfg.clone()
+        };
         let storage = self.storages.get(&id).expect("storage for node").handle();
-        self.nodes
-            .insert(id, RaftNode::new(id, peers, node_cfg, (self.make_sm)(), Box::new(storage)));
+        self.nodes.insert(
+            id,
+            RaftNode::new(id, peers, node_cfg, (self.make_sm)(), Box::new(storage)),
+        );
     }
 
     fn enqueue(&mut self, from: NodeId, out: Vec<Outbound>) {
@@ -188,8 +207,11 @@ impl<SM: StateMachine> Cluster<SM> {
             if self.faults.drop_rate > 0.0 && self.rng.gen_bool(self.faults.drop_rate) {
                 continue;
             }
-            let jitter =
-                if self.faults.jitter > 0 { self.rng.gen_range(0..=self.faults.jitter) } else { 0 };
+            let jitter = if self.faults.jitter > 0 {
+                self.rng.gen_range(0..=self.faults.jitter)
+            } else {
+                0
+            };
             self.queue.push_back(InFlight {
                 deliver_at: self.now + 1 + self.faults.delay + jitter,
                 from,
@@ -205,7 +227,11 @@ impl<SM: StateMachine> Cluster<SM> {
         // Timers.
         let ids: Vec<NodeId> = self.nodes.keys().copied().collect();
         for id in ids {
-            let out = self.nodes.get_mut(&id).map(|n| n.tick()).unwrap_or_default();
+            let out = self
+                .nodes
+                .get_mut(&id)
+                .map(|n| n.tick())
+                .unwrap_or_default();
             self.enqueue(id, out);
         }
         // Deliveries. Process the queue snapshot so new sends wait a tick.
@@ -278,7 +304,10 @@ impl<SM: StateMachine> Cluster<SM> {
             }
         }
         for (term, leaders) in by_term {
-            assert!(leaders.len() <= 1, "term {term} has multiple leaders: {leaders:?}");
+            assert!(
+                leaders.len() <= 1,
+                "term {term} has multiple leaders: {leaders:?}"
+            );
         }
     }
 

@@ -50,7 +50,9 @@ pub mod harness;
 pub use config::Config;
 pub use log::RaftLog;
 pub use node::{Applied, Outbound, ProposeError, RaftNode, Role};
-pub use storage::{FileStorage, HardState, MemStorage, PersistedState, SharedMemStorage, SnapshotRecord, Storage};
+pub use storage::{
+    FileStorage, HardState, MemStorage, PersistedState, SharedMemStorage, SnapshotRecord, Storage,
+};
 pub use types::{Entry, EntryKind, LogIndex, NodeId, RaftMessage, Term};
 
 /// The replicated state machine interface.

@@ -24,11 +24,15 @@ impl RaftLog {
 
     /// Restores a log from persisted parts.
     pub fn from_parts(snapshot_index: LogIndex, snapshot_term: Term, entries: Vec<Entry>) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[1].index == w[0].index + 1));
         debug_assert!(entries
-            .windows(2)
-            .all(|w| w[1].index == w[0].index + 1));
-        debug_assert!(entries.first().is_none_or(|e| e.index == snapshot_index + 1));
-        RaftLog { entries, snapshot_index, snapshot_term }
+            .first()
+            .is_none_or(|e| e.index == snapshot_index + 1));
+        RaftLog {
+            entries,
+            snapshot_index,
+            snapshot_term,
+        }
     }
 
     /// Index of the last entry (or of the snapshot if the log is empty).
@@ -103,9 +107,19 @@ impl RaftLog {
     }
 
     /// Appends a leader-created entry (index assigned automatically).
-    pub fn append_new(&mut self, term: Term, data: Vec<u8>, kind: crate::types::EntryKind) -> LogIndex {
+    pub fn append_new(
+        &mut self,
+        term: Term,
+        data: Vec<u8>,
+        kind: crate::types::EntryKind,
+    ) -> LogIndex {
         let index = self.last_index() + 1;
-        self.entries.push(Entry { term, index, data, kind });
+        self.entries.push(Entry {
+            term,
+            index,
+            data,
+            kind,
+        });
         index
     }
 
@@ -167,7 +181,9 @@ impl RaftLog {
     /// For the leader's conflict-backoff optimization: the first index of the
     /// term containing `index`, used as `conflict_index` hints.
     pub fn first_index_of_term_at(&self, index: LogIndex) -> LogIndex {
-        let Some(term) = self.term_at(index) else { return self.first_index() };
+        let Some(term) = self.term_at(index) else {
+            return self.first_index();
+        };
         let mut i = index;
         while i > self.first_index() && self.term_at(i - 1) == Some(term) {
             i -= 1;
@@ -187,7 +203,12 @@ mod tests {
     use crate::types::EntryKind;
 
     fn entry(term: Term, index: LogIndex) -> Entry {
-        Entry { term, index, data: vec![index as u8], kind: EntryKind::Normal }
+        Entry {
+            term,
+            index,
+            data: vec![index as u8],
+            kind: EntryKind::Normal,
+        }
     }
 
     fn log_with(terms: &[Term]) -> RaftLog {

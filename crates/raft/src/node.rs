@@ -107,7 +107,13 @@ pub struct RaftNode<SM: StateMachine> {
 impl<SM: StateMachine> RaftNode<SM> {
     /// Creates a voting node. `peers` lists the *other* voting members.
     /// Persisted state in `storage` (if any) is restored.
-    pub fn new(id: NodeId, peers: Vec<NodeId>, cfg: Config, sm: SM, storage: Box<dyn Storage>) -> Self {
+    pub fn new(
+        id: NodeId,
+        peers: Vec<NodeId>,
+        cfg: Config,
+        sm: SM,
+        storage: Box<dyn Storage>,
+    ) -> Self {
         Self::with_membership(id, peers, Vec::new(), false, cfg, sm, storage)
     }
 
@@ -305,33 +311,56 @@ impl<SM: StateMachine> RaftNode<SM> {
 
     /// Processes an inbound RPC from `from`, returning replies / follow-ups.
     pub fn step(&mut self, from: NodeId, msg: RaftMessage) -> Vec<Outbound> {
-        let is_pre_vote =
-            matches!(msg, RaftMessage::PreVote { .. } | RaftMessage::PreVoteResp { .. });
+        let is_pre_vote = matches!(
+            msg,
+            RaftMessage::PreVote { .. } | RaftMessage::PreVoteResp { .. }
+        );
         if !is_pre_vote && msg.term() > self.term {
             self.become_follower(msg.term(), None);
         }
         match msg {
-            RaftMessage::RequestVote { term, last_log_index, last_log_term } => {
-                self.on_request_vote(from, term, last_log_index, last_log_term)
-            }
+            RaftMessage::RequestVote {
+                term,
+                last_log_index,
+                last_log_term,
+            } => self.on_request_vote(from, term, last_log_index, last_log_term),
             RaftMessage::RequestVoteResp { term, granted } => {
                 self.on_request_vote_resp(from, term, granted)
             }
-            RaftMessage::AppendEntries { term, prev_log_index, prev_log_term, entries, leader_commit } => {
-                self.on_append_entries(from, term, prev_log_index, prev_log_term, entries, leader_commit)
-            }
-            RaftMessage::AppendEntriesResp { term, success, match_index, conflict_index } => {
-                self.on_append_entries_resp(from, term, success, match_index, conflict_index)
-            }
-            RaftMessage::InstallSnapshot { term, last_index, last_term, data } => {
-                self.on_install_snapshot(from, term, last_index, last_term, data)
-            }
+            RaftMessage::AppendEntries {
+                term,
+                prev_log_index,
+                prev_log_term,
+                entries,
+                leader_commit,
+            } => self.on_append_entries(
+                from,
+                term,
+                prev_log_index,
+                prev_log_term,
+                entries,
+                leader_commit,
+            ),
+            RaftMessage::AppendEntriesResp {
+                term,
+                success,
+                match_index,
+                conflict_index,
+            } => self.on_append_entries_resp(from, term, success, match_index, conflict_index),
+            RaftMessage::InstallSnapshot {
+                term,
+                last_index,
+                last_term,
+                data,
+            } => self.on_install_snapshot(from, term, last_index, last_term, data),
             RaftMessage::InstallSnapshotResp { term, match_index } => {
                 self.on_install_snapshot_resp(from, term, match_index)
             }
-            RaftMessage::PreVote { term, last_log_index, last_log_term } => {
-                self.on_pre_vote(from, term, last_log_index, last_log_term)
-            }
+            RaftMessage::PreVote {
+                term,
+                last_log_index,
+                last_log_term,
+            } => self.on_pre_vote(from, term, last_log_index, last_log_term),
             RaftMessage::PreVoteResp { term, granted } => {
                 self.on_pre_vote_resp(from, term, granted)
             }
@@ -366,7 +395,13 @@ impl<SM: StateMachine> RaftNode<SM> {
             last_log_index: self.log.last_index(),
             last_log_term: self.log.last_term(),
         };
-        self.peers.iter().map(|&to| Outbound { to, msg: msg.clone() }).collect()
+        self.peers
+            .iter()
+            .map(|&to| Outbound {
+                to,
+                msg: msg.clone(),
+            })
+            .collect()
     }
 
     fn start_pre_vote(&mut self) -> Vec<Outbound> {
@@ -383,7 +418,13 @@ impl<SM: StateMachine> RaftNode<SM> {
             last_log_index: self.log.last_index(),
             last_log_term: self.log.last_term(),
         };
-        self.peers.iter().map(|&to| Outbound { to, msg: msg.clone() }).collect()
+        self.peers
+            .iter()
+            .map(|&to| Outbound {
+                to,
+                msg: msg.clone(),
+            })
+            .collect()
     }
 
     fn on_pre_vote(
@@ -398,7 +439,10 @@ impl<SM: StateMachine> RaftNode<SM> {
         let granted = !self.is_learner
             && term > self.term
             && self.log.candidate_up_to_date(last_log_index, last_log_term);
-        vec![Outbound { to: from, msg: RaftMessage::PreVoteResp { term, granted } }]
+        vec![Outbound {
+            to: from,
+            msg: RaftMessage::PreVoteResp { term, granted },
+        }]
     }
 
     fn on_pre_vote_resp(&mut self, from: NodeId, term: Term, granted: bool) -> Vec<Outbound> {
@@ -429,7 +473,13 @@ impl<SM: StateMachine> RaftNode<SM> {
             self.persist_hard_state();
             self.reset_election_timer();
         }
-        vec![Outbound { to: from, msg: RaftMessage::RequestVoteResp { term: self.term, granted } }]
+        vec![Outbound {
+            to: from,
+            msg: RaftMessage::RequestVoteResp {
+                term: self.term,
+                granted,
+            },
+        }]
     }
 
     fn on_request_vote_resp(&mut self, from: NodeId, term: Term, granted: bool) -> Vec<Outbound> {
@@ -491,8 +541,9 @@ impl<SM: StateMachine> RaftNode<SM> {
         }
         let prev_log_index = next - 1;
         let prev_log_term = self.log.term_at(prev_log_index).unwrap_or(0);
-        let entries =
-            self.log.slice(next, self.log.last_index(), self.cfg.max_entries_per_append);
+        let entries = self
+            .log
+            .slice(next, self.log.last_index(), self.cfg.max_entries_per_append);
         Outbound {
             to: peer,
             msg: RaftMessage::AppendEntries {
@@ -561,8 +612,10 @@ impl<SM: StateMachine> RaftNode<SM> {
             }];
         }
 
-        let new: Vec<Entry> =
-            entries.into_iter().filter(|e| e.index > self.log.snapshot_index()).collect();
+        let new: Vec<Entry> = entries
+            .into_iter()
+            .filter(|e| e.index > self.log.snapshot_index())
+            .collect();
         let match_index = match new.last() {
             Some(last_new) => last_new.index,
             None => prev_log_index.max(self.log.snapshot_index()),
@@ -613,7 +666,11 @@ impl<SM: StateMachine> RaftNode<SM> {
         } else {
             let next = self.next_index.entry(from).or_insert(1);
             let fallback = (*next).saturating_sub(1).max(1);
-            *next = if conflict_index > 0 { conflict_index.min(fallback) } else { fallback };
+            *next = if conflict_index > 0 {
+                conflict_index.min(fallback)
+            } else {
+                fallback
+            };
             vec![self.append_for(from)]
         }
     }
@@ -658,7 +715,12 @@ impl<SM: StateMachine> RaftNode<SM> {
                     Some((t, tok)) if t == entry.term => Some(tok),
                     _ => None,
                 };
-                self.applied_buf.push(Applied { index: entry.index, term: entry.term, token, output });
+                self.applied_buf.push(Applied {
+                    index: entry.index,
+                    term: entry.term,
+                    token,
+                    output,
+                });
             } else {
                 self.pending.remove(&idx);
             }
@@ -672,7 +734,10 @@ impl<SM: StateMachine> RaftNode<SM> {
         }
         if self.last_applied - self.log.snapshot_index() >= self.cfg.snapshot_threshold {
             let data = self.sm.snapshot();
-            let term = self.log.term_at(self.last_applied).unwrap_or(self.log.snapshot_term());
+            let term = self
+                .log
+                .term_at(self.last_applied)
+                .unwrap_or(self.log.snapshot_term());
             self.storage.save_snapshot(&SnapshotRecord {
                 index: self.last_applied,
                 term,
@@ -694,7 +759,10 @@ impl<SM: StateMachine> RaftNode<SM> {
         if term < self.term {
             return vec![Outbound {
                 to: from,
-                msg: RaftMessage::InstallSnapshotResp { term: self.term, match_index: 0 },
+                msg: RaftMessage::InstallSnapshotResp {
+                    term: self.term,
+                    match_index: 0,
+                },
             }];
         }
         self.become_follower(term, Some(from));
@@ -702,22 +770,37 @@ impl<SM: StateMachine> RaftNode<SM> {
             // Stale snapshot; we already have everything it covers.
             return vec![Outbound {
                 to: from,
-                msg: RaftMessage::InstallSnapshotResp { term: self.term, match_index: self.commit_index },
+                msg: RaftMessage::InstallSnapshotResp {
+                    term: self.term,
+                    match_index: self.commit_index,
+                },
             }];
         }
         self.sm.restore(&data);
         self.log.reset_to_snapshot(last_index, last_term);
         self.commit_index = last_index;
         self.last_applied = last_index;
-        self.storage.save_snapshot(&SnapshotRecord { index: last_index, term: last_term, data });
+        self.storage.save_snapshot(&SnapshotRecord {
+            index: last_index,
+            term: last_term,
+            data,
+        });
         self.persist_log();
         vec![Outbound {
             to: from,
-            msg: RaftMessage::InstallSnapshotResp { term: self.term, match_index: last_index },
+            msg: RaftMessage::InstallSnapshotResp {
+                term: self.term,
+                match_index: last_index,
+            },
         }]
     }
 
-    fn on_install_snapshot_resp(&mut self, from: NodeId, term: Term, match_index: LogIndex) -> Vec<Outbound> {
+    fn on_install_snapshot_resp(
+        &mut self,
+        from: NodeId,
+        term: Term,
+        match_index: LogIndex,
+    ) -> Vec<Outbound> {
         if self.role != Role::Leader || term != self.term {
             return Vec::new();
         }
@@ -736,7 +819,10 @@ impl<SM: StateMachine> RaftNode<SM> {
     // ----- persistence -----
 
     fn persist_hard_state(&mut self) {
-        self.storage.save_hard_state(&HardState { term: self.term, voted_for: self.voted_for });
+        self.storage.save_hard_state(&HardState {
+            term: self.term,
+            voted_for: self.voted_for,
+        });
     }
 
     fn persist_log(&mut self) {

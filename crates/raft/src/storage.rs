@@ -127,7 +127,9 @@ impl SharedMemStorage {
 
     /// A second handle to the same persisted state.
     pub fn handle(&self) -> SharedMemStorage {
-        SharedMemStorage { state: self.state.clone() }
+        SharedMemStorage {
+            state: self.state.clone(),
+        }
     }
 
     /// Snapshot of the persisted contents.
@@ -241,8 +243,18 @@ mod tests {
 
     fn sample_entries() -> Vec<Entry> {
         vec![
-            Entry { term: 1, index: 1, data: vec![1], kind: EntryKind::Normal },
-            Entry { term: 2, index: 2, data: vec![], kind: EntryKind::Noop },
+            Entry {
+                term: 1,
+                index: 1,
+                data: vec![1],
+                kind: EntryKind::Normal,
+            },
+            Entry {
+                term: 2,
+                index: 2,
+                data: vec![],
+                kind: EntryKind::Noop,
+            },
         ]
     }
 
@@ -250,7 +262,10 @@ mod tests {
     fn mem_storage_roundtrip() {
         let mut s = MemStorage::new();
         assert!(s.load().is_none());
-        s.save_hard_state(&HardState { term: 3, voted_for: Some(2) });
+        s.save_hard_state(&HardState {
+            term: 3,
+            voted_for: Some(2),
+        });
         s.save_log(0, 0, &sample_entries());
         let loaded = s.load().unwrap();
         assert_eq!(loaded.hard_state.term, 3);
@@ -267,9 +282,16 @@ mod tests {
         {
             let mut s = FileStorage::open(&path).unwrap();
             assert!(s.load().is_none());
-            s.save_hard_state(&HardState { term: 7, voted_for: None });
+            s.save_hard_state(&HardState {
+                term: 7,
+                voted_for: None,
+            });
             s.save_log(1, 1, &sample_entries());
-            s.save_snapshot(&SnapshotRecord { index: 1, term: 1, data: vec![42] });
+            s.save_snapshot(&SnapshotRecord {
+                index: 1,
+                term: 1,
+                data: vec![42],
+            });
         }
         {
             let mut s = FileStorage::open(&path).unwrap();

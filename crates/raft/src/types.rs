@@ -144,18 +144,43 @@ mod tests {
     #[test]
     fn messages_roundtrip_through_wire() {
         let msgs = vec![
-            RaftMessage::RequestVote { term: 3, last_log_index: 10, last_log_term: 2 },
-            RaftMessage::RequestVoteResp { term: 3, granted: true },
+            RaftMessage::RequestVote {
+                term: 3,
+                last_log_index: 10,
+                last_log_term: 2,
+            },
+            RaftMessage::RequestVoteResp {
+                term: 3,
+                granted: true,
+            },
             RaftMessage::AppendEntries {
                 term: 4,
                 prev_log_index: 9,
                 prev_log_term: 2,
-                entries: vec![Entry { term: 4, index: 10, data: vec![1, 2], kind: EntryKind::Normal }],
+                entries: vec![Entry {
+                    term: 4,
+                    index: 10,
+                    data: vec![1, 2],
+                    kind: EntryKind::Normal,
+                }],
                 leader_commit: 8,
             },
-            RaftMessage::AppendEntriesResp { term: 4, success: false, match_index: 0, conflict_index: 5 },
-            RaftMessage::InstallSnapshot { term: 5, last_index: 100, last_term: 4, data: vec![9; 16] },
-            RaftMessage::InstallSnapshotResp { term: 5, match_index: 100 },
+            RaftMessage::AppendEntriesResp {
+                term: 4,
+                success: false,
+                match_index: 0,
+                conflict_index: 5,
+            },
+            RaftMessage::InstallSnapshot {
+                term: 5,
+                last_index: 100,
+                last_term: 4,
+                data: vec![9; 16],
+            },
+            RaftMessage::InstallSnapshotResp {
+                term: 5,
+                match_index: 100,
+            },
         ];
         for m in msgs {
             let buf = beehive_wire::to_vec(&m).unwrap();
@@ -167,7 +192,11 @@ mod tests {
 
     #[test]
     fn term_accessor_matches() {
-        let m = RaftMessage::RequestVote { term: 9, last_log_index: 0, last_log_term: 0 };
+        let m = RaftMessage::RequestVote {
+            term: 9,
+            last_log_index: 0,
+            last_log_term: 0,
+        };
         assert_eq!(m.term(), 9);
     }
 }

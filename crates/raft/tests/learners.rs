@@ -21,7 +21,10 @@ impl Net {
                 peers,
                 vec![4],
                 false,
-                Config { rng_seed: id, ..Config::default() },
+                Config {
+                    rng_seed: id,
+                    ..Config::default()
+                },
                 KvCounter::default(),
                 Box::new(MemStorage::new()),
             ));
@@ -29,11 +32,17 @@ impl Net {
         nodes.push(RaftNode::new_learner(
             4,
             voters,
-            Config { rng_seed: 4, ..Config::default() },
+            Config {
+                rng_seed: 4,
+                ..Config::default()
+            },
             KvCounter::default(),
             Box::new(MemStorage::new()),
         ));
-        Net { nodes, queue: Vec::new() }
+        Net {
+            nodes,
+            queue: Vec::new(),
+        }
     }
 
     fn node(&self, id: u64) -> &RaftNode<KvCounter> {
@@ -86,7 +95,11 @@ fn learner_replicates_and_applies() {
     for _ in 0..20 {
         net.tick_all();
     }
-    assert_eq!(net.node(4).state_machine().total, 10, "learner did not apply");
+    assert_eq!(
+        net.node(4).state_machine().total,
+        10,
+        "learner did not apply"
+    );
     assert!(net.node(4).is_learner());
     assert_eq!(net.node(4).role(), Role::Follower);
 }
@@ -109,7 +122,11 @@ fn learner_vote_is_never_granted() {
     let mut net = Net::new();
     let out = net.node_mut(4).step(
         1,
-        RaftMessage::RequestVote { term: 5, last_log_index: 0, last_log_term: 0 },
+        RaftMessage::RequestVote {
+            term: 5,
+            last_log_index: 0,
+            last_log_term: 0,
+        },
     );
     assert_eq!(out.len(), 1);
     match &out[0].msg {

@@ -26,7 +26,11 @@ fn partitioned_node_does_not_depose_leader_on_rejoin() {
     // Rejoin: the healthy leader must remain leader at the same term.
     c.heal();
     c.run_ticks(200);
-    assert_eq!(c.node(leader).unwrap().term(), stable_term, "leader not deposed");
+    assert_eq!(
+        c.node(leader).unwrap().term(),
+        stable_term,
+        "leader not deposed"
+    );
     assert!(c.node(leader).unwrap().is_leader());
     c.assert_at_most_one_leader_per_term();
 }
@@ -34,7 +38,10 @@ fn partitioned_node_does_not_depose_leader_on_rejoin() {
 #[test]
 fn without_pre_vote_terms_inflate() {
     // Control experiment: the classic disruption pre-vote exists to prevent.
-    let cfg = Config { pre_vote: false, ..Config::default() };
+    let cfg = Config {
+        pre_vote: false,
+        ..Config::default()
+    };
     let mut c = Cluster::new(3, cfg, 21, KvCounter::default);
     let leader = c.run_until_leader(2_000).unwrap();
     let victim = c.nodes().map(|n| n.id()).find(|&id| id != leader).unwrap();
@@ -58,12 +65,12 @@ fn elections_still_work_with_pre_vote() {
     c.run_ticks(100);
     // Kill the leader: a new one must emerge through pre-vote + election.
     c.crash(leader);
-    let new_leader = c.run_until_leader(3_000).expect("re-election with pre-vote");
+    let new_leader = c
+        .run_until_leader(3_000)
+        .expect("re-election with pre-vote");
     assert_ne!(new_leader, leader);
     c.propose(new_leader, vec![9]).unwrap();
-    assert!(c.run_until(500, |c| c
-        .nodes()
-        .all(|n| n.state_machine().applied == 6)));
+    assert!(c.run_until(500, |c| c.nodes().all(|n| n.state_machine().applied == 6)));
     c.assert_committed_logs_agree();
 }
 

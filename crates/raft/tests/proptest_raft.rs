@@ -15,7 +15,7 @@ use proptest::prelude::*;
 enum Op {
     Ticks(u16),
     Propose(u8),
-    Drop(u8),     // set drop rate to n/200 (max 50%)
+    Drop(u8), // set drop rate to n/200 (max 50%)
     Partition(u8, u8),
     Heal,
     Crash(u8),
@@ -35,7 +35,10 @@ fn arb_op(n: u8) -> impl Strategy<Value = Op> {
 }
 
 fn run_script(n: usize, seed: u64, pre_vote: bool, ops: Vec<Op>) -> Cluster<KvCounter> {
-    let cfg = Config { pre_vote, ..Config::default() };
+    let cfg = Config {
+        pre_vote,
+        ..Config::default()
+    };
     let mut c = Cluster::new(n, cfg, seed, KvCounter::default);
     let mut crashed: Vec<u64> = Vec::new();
     for op in ops {

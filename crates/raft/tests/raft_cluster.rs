@@ -83,7 +83,10 @@ fn crashed_node_rejoins_and_catches_up() {
     c.run_ticks(100);
 
     c.restart(victim);
-    assert!(c.run_until(1000, |c| c.node(victim).unwrap().state_machine().applied == 4));
+    assert!(
+        c.run_until(1000, |c| c.node(victim).unwrap().state_machine().applied
+            == 4)
+    );
     assert_eq!(c.node(victim).unwrap().state_machine().total, 10);
     c.assert_committed_logs_agree();
 }
@@ -104,7 +107,11 @@ fn minority_partition_cannot_commit() {
     let before = c.node(leader).unwrap().commit_index();
     let _ = c.propose(leader, vec![9]);
     c.run_ticks(200);
-    assert_eq!(c.node(leader).unwrap().commit_index(), before, "minority leader committed!");
+    assert_eq!(
+        c.node(leader).unwrap().commit_index(),
+        before,
+        "minority leader committed!"
+    );
 
     // The majority side elects its own leader and can commit.
     let majority_leader = c.run_until_leader(1000);
@@ -117,8 +124,9 @@ fn minority_partition_cannot_commit() {
 
     // Heal: the minority leader steps down and converges.
     c.heal();
-    assert!(c.run_until(1000, |c| c.nodes().all(|n| n.state_machine().applied
-        == c.node(ml).unwrap().state_machine().applied)));
+    assert!(c.run_until(1000, |c| c.nodes().all(
+        |n| n.state_machine().applied == c.node(ml).unwrap().state_machine().applied
+    )));
     c.assert_committed_logs_agree();
     c.assert_at_most_one_leader_per_term();
     // The uncommitted minority proposal must have been discarded everywhere.
@@ -143,12 +151,18 @@ fn cluster_survives_heavy_message_drops() {
     c.assert_committed_logs_agree();
     // All live nodes agree on totals.
     let totals: Vec<u64> = c.nodes().map(|n| n.state_machine().total).collect();
-    assert!(totals.windows(2).all(|w| w[0] == w[1]), "divergent totals {totals:?}");
+    assert!(
+        totals.windows(2).all(|w| w[0] == w[1]),
+        "divergent totals {totals:?}"
+    );
 }
 
 #[test]
 fn slow_follower_catches_up_via_snapshot() {
-    let cfg = Config { snapshot_threshold: 8, ..Config::default() };
+    let cfg = Config {
+        snapshot_threshold: 8,
+        ..Config::default()
+    };
     let mut c = Cluster::new(3, cfg, 8, KvCounter::default);
     let leader = c.run_until_leader(500).unwrap();
     let slow = c.nodes().map(|n| n.id()).find(|&id| id != leader).unwrap();
@@ -167,7 +181,8 @@ fn slow_follower_catches_up_via_snapshot() {
 
     c.heal();
     assert!(
-        c.run_until(2000, |c| c.node(slow).unwrap().state_machine().applied == 32),
+        c.run_until(2000, |c| c.node(slow).unwrap().state_machine().applied
+            == 32),
         "slow follower failed to catch up via InstallSnapshot"
     );
     let expect: u64 = (0..32u64).sum();

@@ -25,6 +25,10 @@ pub struct ClusterConfig {
     pub pending_retry_ms: u64,
     /// Colony replication factor (1 = off).
     pub replication_factor: usize,
+    /// Executor worker threads per hive (1 = sequential). Note: worker
+    /// threads run in real time, so virtual-time determinism across *runs*
+    /// is preserved only per round (results are merged in bee-id order).
+    pub workers: usize,
 }
 
 impl Default for ClusterConfig {
@@ -37,6 +41,7 @@ impl Default for ClusterConfig {
             bucket_ms: 1000,
             pending_retry_ms: 1000,
             replication_factor: 1,
+            workers: 1,
         }
     }
 }
@@ -69,12 +74,20 @@ impl SimCluster {
             hive_cfg.raft_tick_ms = cfg.raft_tick_ms;
             hive_cfg.pending_retry_ms = cfg.pending_retry_ms;
             hive_cfg.replication_factor = cfg.replication_factor;
-            let mut hive =
-                Hive::new(hive_cfg, Arc::new(clock.clone()), Box::new(fabric.endpoint(id)));
+            hive_cfg.workers = cfg.workers;
+            let mut hive = Hive::new(
+                hive_cfg,
+                Arc::new(clock.clone()),
+                Box::new(fabric.endpoint(id)),
+            );
             install(&mut hive);
             hives.push(hive);
         }
-        SimCluster { clock, fabric, hives }
+        SimCluster {
+            clock,
+            fabric,
+            hives,
+        }
     }
 
     /// Number of hives.
@@ -133,12 +146,7 @@ impl SimCluster {
 
     /// Advances virtual time by `ms` in `dt_ms` increments, settling after
     /// each increment (with an external pump).
-    pub fn advance_with(
-        &mut self,
-        ms: u64,
-        dt_ms: u64,
-        mut pump: impl FnMut() -> usize,
-    ) {
+    pub fn advance_with(&mut self, ms: u64, dt_ms: u64, mut pump: impl FnMut() -> usize) {
         let dt = dt_ms.max(1);
         let mut advanced = 0;
         while advanced < ms {
@@ -192,9 +200,12 @@ mod tests {
             .handle::<Inc>(
                 |m| Mapped::cell("c", &m.key),
                 |m, ctx| {
-                    let n: u64 =
-                        ctx.get("c", &m.key).map_err(|e| e.to_string())?.unwrap_or(0);
-                    ctx.put("c", m.key.clone(), &(n + 1)).map_err(|e| e.to_string())?;
+                    let n: u64 = ctx
+                        .get("c", &m.key)
+                        .map_err(|e| e.to_string())?
+                        .unwrap_or(0);
+                    ctx.put("c", m.key.clone(), &(n + 1))
+                        .map_err(|e| e.to_string())?;
                     Ok(())
                 },
             )
@@ -204,7 +215,11 @@ mod tests {
     #[test]
     fn cluster_elects_registry_leader() {
         let mut c = SimCluster::new(
-            ClusterConfig { hives: 3, voters: 3, ..Default::default() },
+            ClusterConfig {
+                hives: 3,
+                voters: 3,
+                ..Default::default()
+            },
             |h| h.install(counter_app()),
         );
         let leader = c.elect_registry(60_000).unwrap();
@@ -214,7 +229,11 @@ mod tests {
     #[test]
     fn messages_route_consistently_across_hives() {
         let mut c = SimCluster::new(
-            ClusterConfig { hives: 3, voters: 3, ..Default::default() },
+            ClusterConfig {
+                hives: 3,
+                voters: 3,
+                ..Default::default()
+            },
             |h| h.install(counter_app()),
         );
         c.elect_registry(60_000).unwrap();
@@ -225,8 +244,7 @@ mod tests {
         c.hive_mut(HiveId(3)).emit(Inc { key: "k".into() });
         c.advance(5_000, 50);
 
-        let total_bees: usize =
-            c.hives().map(|h| h.local_bee_count("counter")).sum();
+        let total_bees: usize = c.hives().map(|h| h.local_bee_count("counter")).sum();
         assert_eq!(total_bees, 1, "one colony for one key");
         let owner = c
             .hives()
@@ -242,7 +260,11 @@ mod tests {
     fn learners_serve_local_lookups() {
         // 5 hives, 3 voters: hives 4 and 5 are learners but must still route.
         let mut c = SimCluster::new(
-            ClusterConfig { hives: 5, voters: 3, ..Default::default() },
+            ClusterConfig {
+                hives: 5,
+                voters: 3,
+                ..Default::default()
+            },
             |h| h.install(counter_app()),
         );
         c.elect_registry(60_000).unwrap();
@@ -254,14 +276,21 @@ mod tests {
         c.hive_mut(HiveId(4)).emit(Inc { key: "x".into() });
         c.advance(5_000, 50);
         let (bee, _) = c.hive(HiveId(5)).local_bees("counter")[0];
-        let count: u64 = c.hive(HiveId(5)).peek_state("counter", bee, "c", "x").unwrap();
+        let count: u64 = c
+            .hive(HiveId(5))
+            .peek_state("counter", bee, "c", "x")
+            .unwrap();
         assert_eq!(count, 2);
     }
 
     #[test]
     fn fabric_accounts_inter_hive_traffic() {
         let mut c = SimCluster::new(
-            ClusterConfig { hives: 3, voters: 3, ..Default::default() },
+            ClusterConfig {
+                hives: 3,
+                voters: 3,
+                ..Default::default()
+            },
             |h| h.install(counter_app()),
         );
         c.elect_registry(60_000).unwrap();

@@ -37,11 +37,21 @@ impl SwitchFleet {
         let slots = switches
             .into_iter()
             .map(|(dpid, ports)| {
-                (dpid, SwitchSlot { model: SwitchModel::new(dpid, ports), inbox: VecDeque::new() })
+                (
+                    dpid,
+                    SwitchSlot {
+                        model: SwitchModel::new(dpid, ports),
+                        inbox: VecDeque::new(),
+                    },
+                )
             })
             .collect();
         let handles = handles.into_iter().map(|h| (h.hive().0, h)).collect();
-        SwitchFleet { slots: Mutex::new(slots), masters, handles }
+        SwitchFleet {
+            slots: Mutex::new(slots),
+            masters,
+            handles,
+        }
     }
 
     /// The master hive of `dpid`.
@@ -50,8 +60,12 @@ impl SwitchFleet {
     }
 
     fn upstream(&self, dpid: u64, bytes: Vec<u8>) {
-        let Some(master) = self.masters.get(&dpid) else { return };
-        let Some(handle) = self.handles.get(&master.0) else { return };
+        let Some(master) = self.masters.get(&dpid) else {
+            return;
+        };
+        let Some(handle) = self.handles.get(&master.0) else {
+            return;
+        };
         handle.emit(SwitchUpstream { dpid, bytes });
     }
 
@@ -106,7 +120,10 @@ impl SwitchFleet {
                     idle_timeout: 0,
                     hard_timeout: 0,
                     priority: 1,
-                    actions: vec![beehive_openflow::Action::Output { port: 1, max_len: 0 }],
+                    actions: vec![beehive_openflow::Action::Output {
+                        port: 1,
+                        max_len: 0,
+                    }],
                 });
             }
         }
@@ -130,7 +147,11 @@ impl SwitchFleet {
 
     /// Number of flows installed on `dpid` (inspection).
     pub fn flow_count(&self, dpid: u64) -> usize {
-        self.slots.lock().get(&dpid).map(|s| s.model.flows().len()).unwrap_or(0)
+        self.slots
+            .lock()
+            .get(&dpid)
+            .map(|s| s.model.flows().len())
+            .unwrap_or(0)
     }
 
     /// Runs a packet through `dpid`'s table (for learning-switch scenarios):
@@ -233,7 +254,10 @@ mod tests {
 
         let flows = crate::workload::generate_flows(
             &[1, 2],
-            &crate::workload::WorkloadConfig { flows_per_switch: 5, ..Default::default() },
+            &crate::workload::WorkloadConfig {
+                flows_per_switch: 5,
+                ..Default::default()
+            },
         );
         fleet.install_default_routes(&flows);
         assert_eq!(fleet.flow_count(1), 5);

@@ -58,7 +58,11 @@ impl Topology {
         // Build level by level; remember each level's dpids.
         let mut prev_level: Vec<u64> = Vec::new();
         for level in 0..levels {
-            let count = if level == 0 { 1 } else { prev_level.len() as u64 * fanout as u64 };
+            let count = if level == 0 {
+                1
+            } else {
+                prev_level.len() as u64 * fanout as u64
+            };
             let role = if level == 0 {
                 Level::Core
             } else if level == levels - 1 {
@@ -72,11 +76,18 @@ impl Topology {
                 next_dpid += 1;
                 // Ports: fanout downlinks + 1 uplink + 2 host ports on edges.
                 let ports = (fanout as u16 + 1).max(4);
-                switches.push(SwitchNode { dpid, ports, level: role });
+                switches.push(SwitchNode {
+                    dpid,
+                    ports,
+                    level: role,
+                });
                 if level > 0 {
                     let parent = prev_level[(i / fanout as u64) as usize];
                     let parent_port = (i % fanout as u64) as u16 + 2; // port 1 = uplink
-                    links.push(Link { a: (parent, parent_port), b: (dpid, 1) });
+                    links.push(Link {
+                        a: (parent, parent_port),
+                        b: (dpid, 1),
+                    });
                 }
                 this_level.push(dpid);
             }
@@ -116,7 +127,11 @@ impl Topology {
 
     /// Edge-level switches (where hosts attach).
     pub fn edges(&self) -> Vec<u64> {
-        self.switches.iter().filter(|s| s.level == Level::Edge).map(|s| s.dpid).collect()
+        self.switches
+            .iter()
+            .filter(|s| s.level == Level::Edge)
+            .map(|s| s.dpid)
+            .collect()
     }
 
     /// The adjacency map: switch → (neighbor, local port).

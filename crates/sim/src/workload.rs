@@ -81,7 +81,11 @@ pub fn generate_flows(switches: &[u64], cfg: &WorkloadConfig) -> Vec<FlowSpec> {
             let nw_src = 0x0A00_0000 | ((sw as u32 & 0xFFF) << 12) | (i as u32 & 0xFFF);
             let nw_dst = 0x0B00_0000 | rng.gen_range(0..0x00FF_FFFF);
             let jitter = rng.gen_range(90..=110);
-            let base = if elephant { cfg.elephant_rate } else { cfg.mouse_rate };
+            let base = if elephant {
+                cfg.elephant_rate
+            } else {
+                cfg.mouse_rate
+            };
             flows.push(FlowSpec {
                 switch: sw,
                 nw_src,
@@ -117,17 +121,31 @@ mod tests {
         let a = generate_flows(&switches, &WorkloadConfig::default());
         let b = generate_flows(&switches, &WorkloadConfig::default());
         assert_eq!(a, b);
-        let c = generate_flows(&switches, &WorkloadConfig { seed: 99, ..Default::default() });
+        let c = generate_flows(
+            &switches,
+            &WorkloadConfig {
+                seed: 99,
+                ..Default::default()
+            },
+        );
         assert_ne!(a, c);
     }
 
     #[test]
     fn elephant_rates_exceed_mouse_rates() {
         let flows = generate_flows(&[1], &WorkloadConfig::default());
-        let min_elephant =
-            flows.iter().filter(|f| f.elephant).map(|f| f.rate_bytes_per_sec).min().unwrap();
-        let max_mouse =
-            flows.iter().filter(|f| !f.elephant).map(|f| f.rate_bytes_per_sec).max().unwrap();
+        let min_elephant = flows
+            .iter()
+            .filter(|f| f.elephant)
+            .map(|f| f.rate_bytes_per_sec)
+            .min()
+            .unwrap();
+        let max_mouse = flows
+            .iter()
+            .filter(|f| !f.elephant)
+            .map(|f| f.rate_bytes_per_sec)
+            .max()
+            .unwrap();
         assert!(min_elephant > max_mouse);
     }
 

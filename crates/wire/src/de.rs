@@ -159,11 +159,17 @@ impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
 
     fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
         let len = self.take_len()?;
-        visitor.visit_seq(CountedAccess { de: self, remaining: len })
+        visitor.visit_seq(CountedAccess {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_tuple<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value> {
-        visitor.visit_seq(CountedAccess { de: self, remaining: len })
+        visitor.visit_seq(CountedAccess {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_tuple_struct<V: Visitor<'de>>(
@@ -172,12 +178,18 @@ impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
         len: usize,
         visitor: V,
     ) -> Result<V::Value> {
-        visitor.visit_seq(CountedAccess { de: self, remaining: len })
+        visitor.visit_seq(CountedAccess {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
         let len = self.take_len()?;
-        visitor.visit_map(CountedAccess { de: self, remaining: len })
+        visitor.visit_map(CountedAccess {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_struct<V: Visitor<'de>>(
@@ -186,7 +198,10 @@ impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
         fields: &'static [&'static str],
         visitor: V,
     ) -> Result<V::Value> {
-        visitor.visit_seq(CountedAccess { de: self, remaining: fields.len() })
+        visitor.visit_seq(CountedAccess {
+            de: self,
+            remaining: fields.len(),
+        })
     }
 
     fn deserialize_enum<V: Visitor<'de>>(
@@ -275,7 +290,10 @@ impl<'de> de::VariantAccess<'de> for EnumAccess<'_, 'de> {
     }
 
     fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value> {
-        visitor.visit_seq(CountedAccess { de: self.de, remaining: len })
+        visitor.visit_seq(CountedAccess {
+            de: self.de,
+            remaining: len,
+        })
     }
 
     fn struct_variant<V: Visitor<'de>>(
@@ -283,6 +301,9 @@ impl<'de> de::VariantAccess<'de> for EnumAccess<'_, 'de> {
         fields: &'static [&'static str],
         visitor: V,
     ) -> Result<V::Value> {
-        visitor.visit_seq(CountedAccess { de: self.de, remaining: fields.len() })
+        visitor.visit_seq(CountedAccess {
+            de: self.de,
+            remaining: fields.len(),
+        })
     }
 }

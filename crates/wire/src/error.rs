@@ -48,7 +48,10 @@ impl fmt::Display for Error {
             Error::LengthOverflow(n) => write!(f, "length {n} does not fit in usize"),
             Error::VariantOverflow(n) => write!(f, "variant index {n} exceeds u32"),
             Error::NotSelfDescribing => {
-                write!(f, "beehive-wire is not self-describing; deserialize_any unsupported")
+                write!(
+                    f,
+                    "beehive-wire is not self-describing; deserialize_any unsupported"
+                )
             }
             Error::Io(e) => write!(f, "io error: {e}"),
             Error::Custom(msg) => write!(f, "{msg}"),

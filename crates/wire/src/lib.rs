@@ -92,7 +92,10 @@ mod tests {
     fn option_roundtrip() {
         assert_eq!(roundtrip(&Some(5u32)), Some(5u32));
         assert_eq!(roundtrip(&None::<u32>), None);
-        assert_eq!(roundtrip(&Some(Some("x".to_string()))), Some(Some("x".to_string())));
+        assert_eq!(
+            roundtrip(&Some(Some("x".to_string()))),
+            Some(Some("x".to_string()))
+        );
     }
 
     #[test]
@@ -128,7 +131,10 @@ mod tests {
             TestEnum::Unit,
             TestEnum::NewType(9),
             TestEnum::Tuple(1, "t".into()),
-            TestEnum::Struct { x: -5, y: Some(true) },
+            TestEnum::Struct {
+                x: -5,
+                y: Some(true),
+            },
             TestEnum::Struct { x: 0, y: None },
         ] {
             assert_eq!(roundtrip(&e), e);
@@ -238,7 +244,13 @@ mod tests {
             b: Vec<String>,
         }
         let mut m = BTreeMap::new();
-        m.insert(1u64, V { a: 1, b: vec!["p".into()] });
+        m.insert(
+            1u64,
+            V {
+                a: 1,
+                b: vec!["p".into()],
+            },
+        );
         m.insert(2u64, V { a: 2, b: vec![] });
         assert_eq!(roundtrip(&m), m);
     }

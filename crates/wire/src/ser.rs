@@ -13,7 +13,10 @@ pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
 }
 
 /// Serializes `value` into any `std::io::Write`.
-pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(writer: &mut W, value: &T) -> Result<()> {
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(
+    writer: &mut W,
+    value: &T,
+) -> Result<()> {
     let buf = to_vec(value)?;
     writer.write_all(&buf)?;
     Ok(())
@@ -32,7 +35,9 @@ impl Serializer {
 
     /// Creates a serializer with a pre-allocated buffer of `cap` bytes.
     pub fn with_capacity(cap: usize) -> Self {
-        Serializer { out: Vec::with_capacity(cap) }
+        Serializer {
+            out: Vec::with_capacity(cap),
+        }
     }
 
     /// Consumes the serializer, returning the encoded bytes.
@@ -180,8 +185,8 @@ impl<'a> ser::Serializer for &'a mut Serializer {
     }
 
     fn serialize_map(self, len: Option<usize>) -> Result<Compound<'a>> {
-        let len = len
-            .ok_or_else(|| Error::Custom("beehive-wire requires map lengths up front".into()))?;
+        let len =
+            len.ok_or_else(|| Error::Custom("beehive-wire requires map lengths up front".into()))?;
         self.put_len(len);
         Ok(Compound { ser: self })
     }
@@ -284,7 +289,11 @@ impl ser::SerializeStruct for Compound<'_> {
     type Ok = ();
     type Error = Error;
 
-    fn serialize_field<T: Serialize + ?Sized>(&mut self, _key: &'static str, value: &T) -> Result<()> {
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<()> {
         value.serialize(&mut *self.ser)
     }
 
@@ -297,7 +306,11 @@ impl ser::SerializeStructVariant for Compound<'_> {
     type Ok = ();
     type Error = Error;
 
-    fn serialize_field<T: Serialize + ?Sized>(&mut self, _key: &'static str, value: &T) -> Result<()> {
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<()> {
         value.serialize(&mut *self.ser)
     }
 

@@ -7,9 +7,7 @@
 //! ```
 
 use beehive::apps::discovery::LinkDiscovered;
-use beehive::apps::routing::{
-    path_app, rib_app, PathRequest, RouteQuery, RouteReply, RIB_APP,
-};
+use beehive::apps::routing::{path_app, rib_app, PathRequest, RouteQuery, RouteReply, RIB_APP};
 use beehive::prelude::*;
 use beehive::sim::{ClusterConfig, SimCluster, Topology};
 use parking_lot::Mutex;
@@ -20,7 +18,11 @@ fn main() {
 
     let r2 = replies.clone();
     let mut cluster = SimCluster::new(
-        ClusterConfig { hives: 3, voters: 3, ..Default::default() },
+        ClusterConfig {
+            hives: 3,
+            voters: 3,
+            ..Default::default()
+        },
         move |hive| {
             hive.install(rib_app());
             hive.install(path_app());
@@ -43,10 +45,22 @@ fn main() {
 
     // Discover a small tree topology (both link directions).
     let topo = Topology::tree(3, 2);
-    println!("discovering {} switches, {} links…", topo.len(), topo.links.len());
+    println!(
+        "discovering {} switches, {} links…",
+        topo.len(),
+        topo.links.len()
+    );
     for l in &topo.links {
-        cluster.hive_mut(HiveId(1)).emit(LinkDiscovered { src: l.a.0, src_port: l.a.1, dst: l.b.0 });
-        cluster.hive_mut(HiveId(1)).emit(LinkDiscovered { src: l.b.0, src_port: l.b.1, dst: l.a.0 });
+        cluster.hive_mut(HiveId(1)).emit(LinkDiscovered {
+            src: l.a.0,
+            src_port: l.a.1,
+            dst: l.b.0,
+        });
+        cluster.hive_mut(HiveId(1)).emit(LinkDiscovered {
+            src: l.b.0,
+            src_port: l.b.1,
+            dst: l.a.0,
+        });
     }
     cluster.advance(3_000, 50);
 
@@ -67,13 +81,20 @@ fn main() {
 
     // Query the RIB from a *different* hive than the announcer.
     println!("querying the RIB:");
-    cluster.hive_mut(HiveId(3)).emit(RouteQuery { prefix: format!("to-{}", edges[3]) });
-    cluster.hive_mut(HiveId(3)).emit(RouteQuery { prefix: format!("to-{}", edges[2]) });
+    cluster.hive_mut(HiveId(3)).emit(RouteQuery {
+        prefix: format!("to-{}", edges[3]),
+    });
+    cluster.hive_mut(HiveId(3)).emit(RouteQuery {
+        prefix: format!("to-{}", edges[2]),
+    });
     cluster.advance(3_000, 50);
 
     let got = replies.lock().clone();
     assert_eq!(got.len(), 2);
-    assert!(got.iter().all(|r| r.best.is_some()), "both prefixes resolved");
+    assert!(
+        got.iter().all(|r| r.best.is_some()),
+        "both prefixes resolved"
+    );
 
     // The RIB's prefix cells are spread over the cluster.
     let spread: Vec<(HiveId, usize)> = cluster

@@ -23,10 +23,13 @@ fn telemetry() -> App {
         .handle::<Record>(
             |m| Mapped::cell("series", &m.device),
             |m, ctx| {
-                let mut series: Vec<i64> =
-                    ctx.get("series", &m.device).map_err(|e| e.to_string())?.unwrap_or_default();
+                let mut series: Vec<i64> = ctx
+                    .get("series", &m.device)
+                    .map_err(|e| e.to_string())?
+                    .unwrap_or_default();
                 series.push(m.reading);
-                ctx.put("series", m.device.clone(), &series).map_err(|e| e.to_string())?;
+                ctx.put("series", m.device.clone(), &series)
+                    .map_err(|e| e.to_string())?;
                 Ok(())
             },
         )
@@ -37,7 +40,12 @@ fn main() {
     // 4 hives, registry quorum of 3, replication factor 2: every bee's
     // transactions ship to one shadow hive.
     let mut cluster = SimCluster::new(
-        ClusterConfig { hives: 4, voters: 3, replication_factor: 2, ..Default::default() },
+        ClusterConfig {
+            hives: 4,
+            voters: 3,
+            replication_factor: 2,
+            ..Default::default()
+        },
         |h| h.install(telemetry()),
     );
     cluster.elect_registry(120_000).expect("registry leader");
@@ -46,7 +54,10 @@ fn main() {
     // Device data arrives at hive 4 → its bee lives there; hive 1 (ring
     // successor) shadows it.
     for reading in [10, 20, 30, 40, 50] {
-        cluster.hive_mut(HiveId(4)).emit(Record { device: "sensor-7".into(), reading });
+        cluster.hive_mut(HiveId(4)).emit(Record {
+            device: "sensor-7".into(),
+            reading,
+        });
     }
     cluster.advance(5_000, 50);
 
@@ -83,10 +94,15 @@ fn main() {
     assert_eq!(series, vec![10, 20, 30, 40, 50], "no committed data lost");
 
     // And it keeps ingesting, reachable from any surviving hive.
-    cluster.hive_mut(HiveId(2)).emit(Record { device: "sensor-7".into(), reading: 60 });
+    cluster.hive_mut(HiveId(2)).emit(Record {
+        device: "sensor-7".into(),
+        reading: 60,
+    });
     cluster.advance(5_000, 50);
-    let series: Vec<i64> =
-        cluster.hive(HiveId(1)).peek_state("telemetry", bee, "series", "sensor-7").unwrap();
+    let series: Vec<i64> = cluster
+        .hive(HiveId(1))
+        .peek_state("telemetry", bee, "series", "sensor-7")
+        .unwrap();
     println!("after another reading: {series:?}");
     assert_eq!(series.last(), Some(&60));
     println!("\nfailover complete: same bee id, same state, new hive — apps never noticed");

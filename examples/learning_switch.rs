@@ -23,10 +23,20 @@ fn mac(n: u8) -> [u8; 6] {
 fn main() {
     // A 3-switch tree, two hives.
     let topo = Topology::tree(2, 2);
-    let mut cluster =
-        SimCluster::new(ClusterConfig { hives: 2, voters: 2, ..Default::default() }, |_| {});
+    let mut cluster = SimCluster::new(
+        ClusterConfig {
+            hives: 2,
+            voters: 2,
+            ..Default::default()
+        },
+        |_| {},
+    );
     let masters = topo.assign_masters(&cluster.ids());
-    let handles: Vec<_> = cluster.ids().iter().map(|&id| cluster.hive(id).handle()).collect();
+    let handles: Vec<_> = cluster
+        .ids()
+        .iter()
+        .map(|&id| cluster.hive(id).handle())
+        .collect();
     let fleet = Arc::new(SwitchFleet::new(
         topo.switches.iter().map(|s| (s.dpid, s.ports)),
         masters.clone(),
@@ -45,13 +55,23 @@ fn main() {
     // Host A (port 3) talks to host B (port 4) on switch 2.
     let sw = 2u64;
     println!("host A -> host B on switch {sw} (both unknown): expect flood + learn");
-    let a_to_b = Match { in_port: 3, dl_src: mac(0xA), dl_dst: mac(0xB), ..Default::default() };
+    let a_to_b = Match {
+        in_port: 3,
+        dl_src: mac(0xA),
+        dl_dst: mac(0xB),
+        ..Default::default()
+    };
     fleet.inject_packet(sw, &a_to_b, 64);
     let f = fleet.clone();
     cluster.advance_with(1_000, 100, || f.pump());
 
     println!("host B -> host A (A known now): expect FLOW_MOD installed");
-    let b_to_a = Match { in_port: 4, dl_src: mac(0xB), dl_dst: mac(0xA), ..Default::default() };
+    let b_to_a = Match {
+        in_port: 4,
+        dl_src: mac(0xB),
+        dl_dst: mac(0xA),
+        ..Default::default()
+    };
     fleet.inject_packet(sw, &b_to_a, 64);
     let f = fleet.clone();
     cluster.advance_with(1_000, 100, || f.pump());
@@ -61,11 +81,17 @@ fn main() {
     assert!(installed >= 1, "the reply should have programmed a flow");
 
     // Subsequent B->A packets hit the fast path: no more PACKET_INs.
-    let before_errors: u64 =
-        cluster.ids().iter().map(|&id| cluster.hive(id).counters().handler_errors).sum();
+    let before_errors: u64 = cluster
+        .ids()
+        .iter()
+        .map(|&id| cluster.hive(id).counters().handler_errors)
+        .sum();
     let out_ports = fleet.inject_packet(sw, &b_to_a, 64).unwrap();
     println!("fast-path forward to ports {out_ports:?} (no controller involvement)");
-    assert!(!out_ports.is_empty(), "packet must be switched in hardware now");
+    assert!(
+        !out_ports.is_empty(),
+        "packet must be switched in hardware now"
+    );
     let _ = before_errors;
 
     // The learning bees live next to their switches' master hives.

@@ -8,9 +8,7 @@
 
 use std::sync::Arc;
 
-use beehive::apps::vnet::{
-    vnet_app, AttachPort, CreateVnet, TunnelSetup, VnetPacket, VNET_APP,
-};
+use beehive::apps::vnet::{vnet_app, AttachPort, CreateVnet, TunnelSetup, VnetPacket, VNET_APP};
 use beehive::prelude::*;
 use parking_lot::Mutex;
 
@@ -46,25 +44,66 @@ fn main() {
     );
 
     println!("provisioning two tenants…");
-    hive.emit(CreateVnet { vnet: 1, tenant: "acme".into() });
-    hive.emit(CreateVnet { vnet: 2, tenant: "globex".into() });
+    hive.emit(CreateVnet {
+        vnet: 1,
+        tenant: "acme".into(),
+    });
+    hive.emit(CreateVnet {
+        vnet: 2,
+        tenant: "globex".into(),
+    });
 
     // Tenant acme: VMs on switches 10 and 20.
-    hive.emit(AttachPort { vnet: 1, switch: 10, port: 1, mac: mac(1) });
-    hive.emit(AttachPort { vnet: 1, switch: 20, port: 2, mac: mac(2) });
+    hive.emit(AttachPort {
+        vnet: 1,
+        switch: 10,
+        port: 1,
+        mac: mac(1),
+    });
+    hive.emit(AttachPort {
+        vnet: 1,
+        switch: 20,
+        port: 2,
+        mac: mac(2),
+    });
     // Tenant globex: VMs on switches 10 and 30. Same physical switch 10 —
     // but isolated state.
-    hive.emit(AttachPort { vnet: 2, switch: 10, port: 3, mac: mac(3) });
-    hive.emit(AttachPort { vnet: 2, switch: 30, port: 1, mac: mac(4) });
+    hive.emit(AttachPort {
+        vnet: 2,
+        switch: 10,
+        port: 3,
+        mac: mac(3),
+    });
+    hive.emit(AttachPort {
+        vnet: 2,
+        switch: 30,
+        port: 1,
+        mac: mac(4),
+    });
     hive.step_until_quiescent(1_000);
 
     println!("tenant traffic:");
     // acme VM1 -> VM2 (cross-switch): needs a tunnel 10->20.
-    hive.emit(VnetPacket { vnet: 1, switch: 10, src_mac: mac(1), dst_mac: mac(2) });
+    hive.emit(VnetPacket {
+        vnet: 1,
+        switch: 10,
+        src_mac: mac(1),
+        dst_mac: mac(2),
+    });
     // globex VM3 -> VM4 (cross-switch): needs a tunnel 10->30.
-    hive.emit(VnetPacket { vnet: 2, switch: 10, src_mac: mac(3), dst_mac: mac(4) });
+    hive.emit(VnetPacket {
+        vnet: 2,
+        switch: 10,
+        src_mac: mac(3),
+        dst_mac: mac(4),
+    });
     // acme VM1 -> globex VM4: crosses tenants — MUST be ignored (isolation).
-    hive.emit(VnetPacket { vnet: 1, switch: 10, src_mac: mac(1), dst_mac: mac(4) });
+    hive.emit(VnetPacket {
+        vnet: 1,
+        switch: 10,
+        src_mac: mac(1),
+        dst_mac: mac(4),
+    });
     hive.step_until_quiescent(1_000);
 
     let t = tunnels.lock().clone();

@@ -9,22 +9,27 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use beehive::apps::nib::{
-    nib_app, EdgeAdd, NodeKind, NodeQuery, NodeReply, NodeUpdate, NIB_APP,
-};
+use beehive::apps::nib::{nib_app, EdgeAdd, NodeKind, NodeQuery, NodeReply, NodeUpdate, NIB_APP};
 use beehive::prelude::*;
 use beehive::sim::{ClusterConfig, SimCluster};
 use parking_lot::Mutex;
 
 fn attrs(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
-    pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+    pairs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
 }
 
 fn main() {
     let replies = Arc::new(Mutex::new(Vec::<NodeReply>::new()));
     let r2 = replies.clone();
     let mut cluster = SimCluster::new(
-        ClusterConfig { hives: 3, voters: 3, ..Default::default() },
+        ClusterConfig {
+            hives: 3,
+            voters: 3,
+            ..Default::default()
+        },
         move |hive| {
             hive.install(nib_app());
             let r3 = r2.clone();
@@ -63,8 +68,14 @@ fn main() {
     });
     cluster.advance(2_000, 50);
 
-    cluster.hive_mut(HiveId(2)).emit(EdgeAdd { from: "sw1".into(), to: "sw1:p1".into() });
-    cluster.hive_mut(HiveId(3)).emit(EdgeAdd { from: "sw1".into(), to: "sw2".into() });
+    cluster.hive_mut(HiveId(2)).emit(EdgeAdd {
+        from: "sw1".into(),
+        to: "sw1:p1".into(),
+    });
+    cluster.hive_mut(HiveId(3)).emit(EdgeAdd {
+        from: "sw1".into(),
+        to: "sw2".into(),
+    });
     // A second attribute update for sw1 from yet another hive: must merge.
     cluster.hive_mut(HiveId(2)).emit(NodeUpdate {
         id: "sw1".into(),
@@ -74,7 +85,9 @@ fn main() {
     cluster.advance(2_000, 50);
 
     println!("querying sw1 from hive 3…");
-    cluster.hive_mut(HiveId(3)).emit(NodeQuery { id: "sw1".into() });
+    cluster
+        .hive_mut(HiveId(3))
+        .emit(NodeQuery { id: "sw1".into() });
     cluster.advance(2_000, 50);
 
     let got = replies.lock().clone();
@@ -82,11 +95,23 @@ fn main() {
     println!("sw1 attrs: {:?}", node.attrs);
     println!("sw1 out-edges: {:?}", node.out_edges);
     assert_eq!(node.attrs["vendor"], "beehive");
-    assert_eq!(node.attrs["name"], "edge-1", "updates from different hives merged");
-    assert_eq!(node.out_edges, vec!["sw1:p1".to_string(), "sw2".to_string()]);
+    assert_eq!(
+        node.attrs["name"], "edge-1",
+        "updates from different hives merged"
+    );
+    assert_eq!(
+        node.out_edges,
+        vec!["sw1:p1".to_string(), "sw2".to_string()]
+    );
 
-    let spread: Vec<usize> =
-        cluster.ids().into_iter().map(|id| cluster.hive(id).local_bee_count(NIB_APP)).collect();
-    println!("NIB bees per hive: {spread:?} ({} nodes total)", spread.iter().sum::<usize>());
+    let spread: Vec<usize> = cluster
+        .ids()
+        .into_iter()
+        .map(|id| cluster.hive(id).local_bee_count(NIB_APP))
+        .collect();
+    println!(
+        "NIB bees per hive: {spread:?} ({} nodes total)",
+        spread.iter().sum::<usize>()
+    );
     assert_eq!(spread.iter().sum::<usize>(), 3, "one bee per NIB node");
 }

@@ -40,20 +40,31 @@ fn host_tracker() -> App {
         .handle::<HostSeen>(
             |m| Mapped::cell("hosts", &m.host),
             |m, ctx| {
-                let n: u64 = ctx.get("hosts", &m.host).map_err(|e| e.to_string())?.unwrap_or(0);
-                ctx.put("hosts", m.host.clone(), &(n + 1)).map_err(|e| e.to_string())?;
-                ctx.put("locations", m.host.clone(), &m.switch).map_err(|e| e.to_string())?;
+                let n: u64 = ctx
+                    .get("hosts", &m.host)
+                    .map_err(|e| e.to_string())?
+                    .unwrap_or(0);
+                ctx.put("hosts", m.host.clone(), &(n + 1))
+                    .map_err(|e| e.to_string())?;
+                ctx.put("locations", m.host.clone(), &m.switch)
+                    .map_err(|e| e.to_string())?;
                 Ok(())
             },
         )
         .handle::<WhereIs>(
             |m| Mapped::cell("hosts", &m.host),
             |m, ctx| {
-                let sightings: u64 =
-                    ctx.get("hosts", &m.host).map_err(|e| e.to_string())?.unwrap_or(0);
+                let sightings: u64 = ctx
+                    .get("hosts", &m.host)
+                    .map_err(|e| e.to_string())?
+                    .unwrap_or(0);
                 let switch: Option<u64> =
                     ctx.get("locations", &m.host).map_err(|e| e.to_string())?;
-                ctx.emit(Located { host: m.host.clone(), switch, sightings });
+                ctx.emit(Located {
+                    host: m.host.clone(),
+                    switch,
+                    sightings,
+                });
                 Ok(())
             },
         )
@@ -87,12 +98,28 @@ fn main() {
 
     // 3. Feed it events and a query.
     println!("emitting sightings…");
-    hive.emit(HostSeen { host: "10.0.0.1".into(), switch: 4 });
-    hive.emit(HostSeen { host: "10.0.0.1".into(), switch: 4 });
-    hive.emit(HostSeen { host: "10.0.0.2".into(), switch: 9 });
-    hive.emit(HostSeen { host: "10.0.0.1".into(), switch: 7 }); // host moved
-    hive.emit(WhereIs { host: "10.0.0.1".into() });
-    hive.emit(WhereIs { host: "10.0.0.3".into() }); // never seen
+    hive.emit(HostSeen {
+        host: "10.0.0.1".into(),
+        switch: 4,
+    });
+    hive.emit(HostSeen {
+        host: "10.0.0.1".into(),
+        switch: 4,
+    });
+    hive.emit(HostSeen {
+        host: "10.0.0.2".into(),
+        switch: 9,
+    });
+    hive.emit(HostSeen {
+        host: "10.0.0.1".into(),
+        switch: 7,
+    }); // host moved
+    hive.emit(WhereIs {
+        host: "10.0.0.1".into(),
+    });
+    hive.emit(WhereIs {
+        host: "10.0.0.3".into(),
+    }); // never seen
     hive.step_until_quiescent(1_000);
 
     // 4. Inspect: one bee per host key.

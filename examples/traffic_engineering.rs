@@ -16,7 +16,9 @@ use beehive::apps::te::{decoupled_te_apps, naive_te_app, TeConfig, NAIVE_TE_APP,
 use beehive::core::feedback::design_feedback;
 use beehive::core::FrameKind;
 use beehive::openflow::driver::driver_app;
-use beehive::sim::{generate_flows, ClusterConfig, SimCluster, SwitchFleet, Topology, WorkloadConfig};
+use beehive::sim::{
+    generate_flows, ClusterConfig, SimCluster, SwitchFleet, Topology, WorkloadConfig,
+};
 
 struct Outcome {
     te_bees_by_hive: BTreeMap<u32, usize>,
@@ -27,18 +29,28 @@ struct Outcome {
 fn run(naive: bool, seconds: u64) -> Outcome {
     let topo = Topology::tree_with_about(13, 3);
     let mut cluster = SimCluster::new(
-        ClusterConfig { hives: 4, voters: 3, ..Default::default() },
+        ClusterConfig {
+            hives: 4,
+            voters: 3,
+            ..Default::default()
+        },
         |_| {},
     );
     let masters = topo.assign_masters(&cluster.ids());
-    let handles: Vec<_> = cluster.ids().iter().map(|&id| cluster.hive(id).handle()).collect();
+    let handles: Vec<_> = cluster
+        .ids()
+        .iter()
+        .map(|&id| cluster.hive(id).handle())
+        .collect();
     let fleet = Arc::new(SwitchFleet::new(
         topo.switches.iter().map(|s| (s.dpid, s.ports)),
         masters,
         handles,
     ));
 
-    let te_cfg = TeConfig { delta_bytes_per_sec: 50_000 };
+    let te_cfg = TeConfig {
+        delta_bytes_per_sec: 50_000,
+    };
     for id in cluster.ids() {
         let hive = cluster.hive_mut(id);
         hive.install(driver_app(fleet.clone()));
@@ -58,7 +70,10 @@ fn run(naive: bool, seconds: u64) -> Outcome {
 
     let flows = generate_flows(
         &topo.dpids(),
-        &WorkloadConfig { flows_per_switch: 20, ..Default::default() },
+        &WorkloadConfig {
+            flows_per_switch: 20,
+            ..Default::default()
+        },
     );
     fleet.install_default_routes(&flows);
     cluster.fabric.reset_matrix();
@@ -90,8 +105,14 @@ fn run(naive: bool, seconds: u64) -> Outcome {
     }
     Outcome {
         te_bees_by_hive,
-        locality: if total == 0 { 0.0 } else { local as f64 / total as f64 },
-        interhive_kb: cluster.matrix().total(&[FrameKind::App, FrameKind::Control]) as f64
+        locality: if total == 0 {
+            0.0
+        } else {
+            local as f64 / total as f64
+        },
+        interhive_kb: cluster
+            .matrix()
+            .total(&[FrameKind::App, FrameKind::Control]) as f64
             / 1000.0,
     }
 }

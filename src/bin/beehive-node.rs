@@ -21,6 +21,8 @@
 //! * `--peer ID=ADDR` — repeatable; every other hive in the cluster
 //! * `--voters K` — registry Raft voters (the first K ids; default: all)
 //! * `--replication R` — colony replication factor (default 1 = off)
+//! * `--workers N` — executor worker threads; disjoint-colony bees run
+//!   concurrently when N > 1 (default 1 = sequential)
 //! * `--apps LIST` — comma-separated: `nib,rib,paths,vnet,learning-switch,discovery` (default: all)
 //! * `--stats-every SECS` — print instrumentation analytics every N seconds (default 10; 0 = off)
 
@@ -30,12 +32,15 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use beehive::apps::{
-    discovery::discovery_app, learning_switch::learning_switch_app, nib::nib_app,
-    routing::{path_app, rib_app}, vnet::vnet_app,
+    discovery::discovery_app,
+    learning_switch::learning_switch_app,
+    nib::nib_app,
+    routing::{path_app, rib_app},
+    vnet::vnet_app,
 };
-use beehive::core::{collector_app, optimizer_app, Hive, HiveConfig, HiveId};
 use beehive::core::optimizer::OptimizerConfig;
 use beehive::core::SystemClock;
+use beehive::core::{collector_app, optimizer_app, Hive, HiveConfig, HiveId};
 use beehive::net::TcpTransport;
 
 struct Args {
@@ -44,6 +49,7 @@ struct Args {
     peers: HashMap<HiveId, SocketAddr>,
     voters: Option<usize>,
     replication: usize,
+    workers: usize,
     apps: Vec<String>,
     stats_every: u64,
 }
@@ -51,7 +57,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: beehive-node --id N --listen ADDR [--peer ID=ADDR]... [--voters K] \
-         [--replication R] [--apps a,b,c] [--stats-every SECS]"
+         [--replication R] [--workers N] [--apps a,b,c] [--stats-every SECS]"
     );
     std::process::exit(2)
 }
@@ -62,10 +68,18 @@ fn parse_args() -> Args {
     let mut peers = HashMap::new();
     let mut voters = None;
     let mut replication = 1;
-    let mut apps: Vec<String> = ["nib", "rib", "paths", "vnet", "learning-switch", "discovery"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let mut workers = 1usize;
+    let mut apps: Vec<String> = [
+        "nib",
+        "rib",
+        "paths",
+        "vnet",
+        "learning-switch",
+        "discovery",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut stats_every = 10;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -83,6 +97,7 @@ fn parse_args() -> Args {
             }
             "--voters" => voters = Some(val().parse().unwrap_or_else(|_| usage())),
             "--replication" => replication = val().parse().unwrap_or_else(|_| usage()),
+            "--workers" => workers = val().parse::<usize>().unwrap_or_else(|_| usage()).max(1),
             "--apps" => apps = val().split(',').map(|s| s.trim().to_string()).collect(),
             "--stats-every" => stats_every = val().parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
@@ -95,6 +110,7 @@ fn parse_args() -> Args {
         peers,
         voters,
         replication,
+        workers,
         apps,
         stats_every,
     }
@@ -104,14 +120,18 @@ fn main() {
     let args = parse_args();
     let me = HiveId(args.id);
 
-    let transport = TcpTransport::bind(me, args.listen, args.peers.clone())
-        .unwrap_or_else(|e| {
-            eprintln!("failed to bind {}: {e}", args.listen);
-            std::process::exit(1);
-        });
+    let transport = TcpTransport::bind(me, args.listen, args.peers.clone()).unwrap_or_else(|e| {
+        eprintln!("failed to bind {}: {e}", args.listen);
+        std::process::exit(1);
+    });
     eprintln!("hive {me} listening on {}", transport.local_addr());
 
-    let mut all: Vec<HiveId> = args.peers.keys().copied().chain(std::iter::once(me)).collect();
+    let mut all: Vec<HiveId> = args
+        .peers
+        .keys()
+        .copied()
+        .chain(std::iter::once(me))
+        .collect();
     all.sort();
     let voters = args.voters.unwrap_or(all.len()).min(all.len());
     let mut cfg = if all.len() == 1 {
@@ -120,6 +140,7 @@ fn main() {
         HiveConfig::clustered(me, all.clone(), voters)
     };
     cfg.replication_factor = args.replication;
+    cfg.workers = args.workers;
 
     let mut hive = Hive::new(cfg, Arc::new(SystemClock::new()), Box::new(transport));
 

@@ -31,7 +31,12 @@ fn collector_reports_feed_analytics_with_provenance() {
     let reports: Arc<Mutex<Vec<HiveMetrics>>> = Arc::new(Mutex::new(Vec::new()));
     let r2 = reports.clone();
     let mut c = SimCluster::new(
-        ClusterConfig { hives: 2, voters: 2, tick_interval_ms: 1000, ..Default::default() },
+        ClusterConfig {
+            hives: 2,
+            voters: 2,
+            tick_interval_ms: 1000,
+            ..Default::default()
+        },
         move |h| {
             h.install(learning_switch_app());
             let instr = h.instrumentation();
@@ -60,7 +65,11 @@ fn collector_reports_feed_analytics_with_provenance() {
         let hive = HiveId(switch as u32);
         for i in 0..10u8 {
             let (src, dst) = if i % 2 == 0 { (0xA, 0xB) } else { (0xB, 0xA) };
-            c.hive_mut(hive).emit(PacketInEvent { switch, in_port: 1 + (i % 2) as u16, data: pkt(src, dst) });
+            c.hive_mut(hive).emit(PacketInEvent {
+                switch,
+                in_port: 1 + (i % 2) as u16,
+                data: pkt(src, dst),
+            });
             c.advance(300, 50);
         }
     }
@@ -96,5 +105,8 @@ fn collector_reports_feed_analytics_with_provenance() {
 
     // Rendered report mentions the pipeline.
     let text = analytics.to_string();
-    assert!(text.contains("PacketInEvent -> PacketOutCmd"), "report: {text}");
+    assert!(
+        text.contains("PacketInEvent -> PacketOutCmd"),
+        "report: {text}"
+    );
 }

@@ -17,7 +17,11 @@ fn kandoo_two_tier_on_three_hives() {
     let rules = Arc::new(Mutex::new(Vec::new()));
     let r2 = rules.clone();
     let mut c = SimCluster::new(
-        ClusterConfig { hives: 3, voters: 3, ..Default::default() },
+        ClusterConfig {
+            hives: 3,
+            voters: 3,
+            ..Default::default()
+        },
         move |h| {
             h.install(kandoo_local_app(10_000));
             h.install(kandoo_root_app());
@@ -59,12 +63,21 @@ fn kandoo_two_tier_on_three_hives() {
         let hive = HiveId((i % 3 + 1) as u32);
         let cell = Cell::new("seen", switch.to_string());
         let mirror = c.hive(hive).registry_view();
-        let bee = mirror.owner(KANDOO_LOCAL_APP, &cell).expect("local detector exists");
-        assert_eq!(mirror.hive_of(bee), Some(hive), "detector for {switch} stays local");
+        let bee = mirror
+            .owner(KANDOO_LOCAL_APP, &cell)
+            .expect("local detector exists");
+        assert_eq!(
+            mirror.hive_of(bee),
+            Some(hive),
+            "detector for {switch} stays local"
+        );
     }
     // Root: exactly one bee cluster-wide, reached from all hives.
-    let root_bees: usize =
-        c.ids().iter().map(|&h| c.hive(h).local_bee_count(KANDOO_ROOT_APP)).sum();
+    let root_bees: usize = c
+        .ids()
+        .iter()
+        .map(|&h| c.hive(h).local_bee_count(KANDOO_ROOT_APP))
+        .sum();
     assert_eq!(root_bees, 1);
     assert_eq!(rules.lock().len(), 6, "every elephant rerouted once");
 }
@@ -74,7 +87,11 @@ fn vnet_shards_spread_and_stay_consistent_across_hives() {
     let tunnels = Arc::new(Mutex::new(Vec::new()));
     let t2 = tunnels.clone();
     let mut c = SimCluster::new(
-        ClusterConfig { hives: 3, voters: 3, ..Default::default() },
+        ClusterConfig {
+            hives: 3,
+            voters: 3,
+            ..Default::default()
+        },
         move |h| {
             h.install(vnet_app());
             let t3 = t2.clone();
@@ -96,13 +113,21 @@ fn vnet_shards_spread_and_stay_consistent_across_hives() {
     // Each tenant provisioned through a different hive; events for the same
     // vnet arrive via *different* hives and must serialize on one shard.
     for vnet in 1..=3u64 {
-        c.hive_mut(HiveId(vnet as u32)).emit(CreateVnet { vnet, tenant: format!("t{vnet}") });
+        c.hive_mut(HiveId(vnet as u32)).emit(CreateVnet {
+            vnet,
+            tenant: format!("t{vnet}"),
+        });
     }
     c.advance(4_000, 50);
     for vnet in 1..=3u64 {
         let h1 = HiveId((vnet as u32 % 3) + 1);
         let h2 = HiveId(((vnet as u32 + 1) % 3) + 1);
-        c.hive_mut(h1).emit(AttachPort { vnet, switch: 10, port: 1, mac: [vnet as u8; 6] });
+        c.hive_mut(h1).emit(AttachPort {
+            vnet,
+            switch: 10,
+            port: 1,
+            mac: [vnet as u8; 6],
+        });
         c.hive_mut(h2).emit(AttachPort {
             vnet,
             switch: 20,
@@ -123,7 +148,11 @@ fn vnet_shards_spread_and_stay_consistent_across_hives() {
 
     let t = tunnels.lock().clone();
     assert_eq!(t.len(), 3, "one tunnel per vnet: {t:?}");
-    let shard_total: usize = c.ids().iter().map(|&h| c.hive(h).local_bee_count(VNET_APP)).sum();
+    let shard_total: usize = c
+        .ids()
+        .iter()
+        .map(|&h| c.hive(h).local_bee_count(VNET_APP))
+        .sum();
     assert_eq!(shard_total, 3, "one shard per vnet");
     // No handler errors (attach raced create etc. would show up here).
     for id in c.ids() {
@@ -135,7 +164,11 @@ fn vnet_shards_spread_and_stay_consistent_across_hives() {
 fn learning_switch_over_fleet_on_two_hives() {
     let topo = Topology::tree(2, 2); // 3 switches
     let mut c = SimCluster::new(
-        ClusterConfig { hives: 2, voters: 2, ..Default::default() },
+        ClusterConfig {
+            hives: 2,
+            voters: 2,
+            ..Default::default()
+        },
         |_| {},
     );
     let masters = topo.assign_masters(&c.ids());
@@ -175,6 +208,8 @@ fn learning_switch_over_fleet_on_two_hives() {
     // The MAC table bee lives on switch 2's master hive.
     let cell = Cell::new("macs", "2");
     let mirror = c.hive(masters[&2]).registry_view();
-    let bee = mirror.owner(LEARNING_SWITCH_APP, &cell).expect("mac table exists");
+    let bee = mirror
+        .owner(LEARNING_SWITCH_APP, &cell)
+        .expect("mac table exists");
     assert_eq!(mirror.hive_of(bee), Some(masters[&2]));
 }

@@ -21,8 +21,15 @@ use serde::{Deserialize, Serialize};
 /// account observed (order-sensitive state, not just commutative sums).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 enum Op {
-    Deposit { account: String, amount: u64 },
-    Transfer { from: String, to: String, amount: u64 },
+    Deposit {
+        account: String,
+        amount: u64,
+    },
+    Transfer {
+        from: String,
+        to: String,
+        amount: u64,
+    },
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -57,7 +64,8 @@ fn bank() -> App {
                             .unwrap_or_default();
                         a.balance += amount;
                         a.ledger.push(m.seq);
-                        ctx.put("acct", account.clone(), &a).map_err(|e| e.to_string())?;
+                        ctx.put("acct", account.clone(), &a)
+                            .map_err(|e| e.to_string())?;
                     }
                     Op::Transfer { from, to, amount } => {
                         if from == to {
@@ -67,15 +75,18 @@ fn bank() -> App {
                                 .map_err(|e| e.to_string())?
                                 .unwrap_or_default();
                             a.ledger.push(m.seq);
-                            ctx.put("acct", from.clone(), &a).map_err(|e| e.to_string())?;
+                            ctx.put("acct", from.clone(), &a)
+                                .map_err(|e| e.to_string())?;
                             return Ok(());
                         }
                         let mut f: Account = ctx
                             .get("acct", from)
                             .map_err(|e| e.to_string())?
                             .unwrap_or_default();
-                        let mut t: Account =
-                            ctx.get("acct", to).map_err(|e| e.to_string())?.unwrap_or_default();
+                        let mut t: Account = ctx
+                            .get("acct", to)
+                            .map_err(|e| e.to_string())?
+                            .unwrap_or_default();
                         if f.balance >= *amount {
                             f.balance -= amount;
                             t.balance += amount;
@@ -83,7 +94,8 @@ fn bank() -> App {
                         // The attempt is ledgered either way (deterministic).
                         f.ledger.push(m.seq);
                         t.ledger.push(m.seq);
-                        ctx.put("acct", from.clone(), &f).map_err(|e| e.to_string())?;
+                        ctx.put("acct", from.clone(), &f)
+                            .map_err(|e| e.to_string())?;
                         ctx.put("acct", to.clone(), &t).map_err(|e| e.to_string())?;
                     }
                 }
@@ -106,7 +118,11 @@ fn workload(seed: u64, n: usize) -> Vec<DoOp> {
             } else {
                 let from = accounts[rng.gen_range(0..accounts.len())].to_string();
                 let to = accounts[rng.gen_range(0..accounts.len())].to_string();
-                Op::Transfer { from, to, amount: rng.gen_range(1..50) }
+                Op::Transfer {
+                    from,
+                    to,
+                    amount: rng.gen_range(1..50),
+                }
             };
             DoOp { seq, op }
         })
@@ -118,7 +134,11 @@ fn workload(seed: u64, n: usize) -> Vec<DoOp> {
 /// returns the final state of every account.
 fn run_on(n: usize, ops: &[DoOp]) -> BTreeMap<String, Account> {
     let mut c = SimCluster::new(
-        ClusterConfig { hives: n, voters: n.min(3), ..Default::default() },
+        ClusterConfig {
+            hives: n,
+            voters: n.min(3),
+            ..Default::default()
+        },
         |h| h.install(bank()),
     );
     c.elect_registry(120_000).unwrap();
@@ -136,8 +156,9 @@ fn run_on(n: usize, ops: &[DoOp]) -> BTreeMap<String, Account> {
             let mirror = c.hive(id).registry_view();
             if let Some(bee) = mirror.owner("bank", &cell) {
                 if let Some(hive) = mirror.hive_of(bee) {
-                    if let Some(acct) =
-                        c.hive(hive).peek_state::<Account>("bank", bee, "acct", account)
+                    if let Some(acct) = c
+                        .hive(hive)
+                        .peek_state::<Account>("bank", bee, "acct", account)
                     {
                         out.insert(account.to_string(), acct);
                     }
@@ -154,6 +175,150 @@ fn run_on(n: usize, ops: &[DoOp]) -> BTreeMap<String, Account> {
         assert_eq!(counters.assign_conflicts, 0);
     }
     out
+}
+
+/// Runs the workload on one standalone hive with `workers` executor threads
+/// and returns (final accounts, per-bee delivered-message counts). All ops
+/// are emitted up front, so every routing decision commits before any bee
+/// runs — the parallel executor must then produce bit-identical state and
+/// identical per-bee delivery counts regardless of worker count.
+fn run_standalone(workers: usize, ops: &[DoOp]) -> (BTreeMap<String, Account>, BTreeMap<u64, u64>) {
+    let mut cfg = HiveConfig::standalone(HiveId(1));
+    cfg.tick_interval_ms = 0; // no platform ticks: the workload is the only input
+    cfg.workers = workers;
+    let mut hive = Hive::new(
+        cfg,
+        std::sync::Arc::new(SystemClock::new()),
+        Box::new(Loopback::new(HiveId(1))),
+    );
+    hive.install(bank());
+    for op in ops {
+        hive.emit(op.clone());
+    }
+    hive.step_until_quiescent(1_000_000);
+
+    let mut accounts = BTreeMap::new();
+    for account in ["a", "b", "c", "d", "e"] {
+        let cell = Cell::new("acct", account);
+        if let Some(bee) = hive.registry_view().owner("bank", &cell) {
+            if let Some(acct) = hive.peek_state::<Account>("bank", bee, "acct", account) {
+                accounts.insert(account.to_string(), acct);
+            }
+        }
+    }
+    let instr = hive.instrumentation();
+    let per_bee: BTreeMap<u64, u64> = instr
+        .lock()
+        .bees
+        .iter()
+        .filter(|((app, _), _)| app == "bank")
+        .map(|((_, bee), stats)| (*bee, stats.msgs_in))
+        .collect();
+    let counters = hive.counters();
+    assert_eq!(counters.handler_errors, 0);
+    assert_eq!(counters.dropped_orphans, 0);
+    assert_eq!(counters.assign_conflicts, 0);
+    (accounts, per_bee)
+}
+
+#[test]
+fn workers_one_vs_four_identical() {
+    let ops = workload(123, 400);
+    let (seq_accounts, seq_per_bee) = run_standalone(1, &ops);
+    let (par_accounts, par_per_bee) = run_standalone(4, &ops);
+    assert_eq!(
+        seq_accounts, par_accounts,
+        "workers=4 must produce bit-identical final dictionary state"
+    );
+    assert_eq!(
+        seq_per_bee, par_per_bee,
+        "workers=4 must deliver the same messages to the same bees"
+    );
+    assert!(
+        !par_accounts.is_empty(),
+        "workload must have produced state"
+    );
+}
+
+#[test]
+fn parallel_stress_no_envelope_lost_or_duplicated() {
+    // Many disjoint-cell bees hammered under workers=4: every key gets an
+    // exact number of bumps, so any lost or double-delivered envelope shows
+    // up as a wrong counter or a wrong per-bee delivery count.
+    #[derive(Debug, Clone, Serialize, Deserialize)]
+    struct Bump {
+        key: String,
+    }
+    beehive::core::impl_message!(Bump);
+
+    fn count_app() -> App {
+        App::builder("count")
+            .handle::<Bump>(
+                |m| Mapped::cell("c", &m.key),
+                |m, ctx| {
+                    let cur: u64 = ctx
+                        .get("c", &m.key)
+                        .map_err(|e| e.to_string())?
+                        .unwrap_or(0);
+                    ctx.put("c", m.key.clone(), &(cur + 1))
+                        .map_err(|e| e.to_string())?;
+                    Ok(())
+                },
+            )
+            .build()
+    }
+
+    const KEYS: usize = 64;
+    const PER_KEY: usize = 200;
+    let mut cfg = HiveConfig::standalone(HiveId(1));
+    cfg.tick_interval_ms = 0;
+    cfg.workers = 4;
+    let mut hive = Hive::new(
+        cfg,
+        std::sync::Arc::new(SystemClock::new()),
+        Box::new(Loopback::new(HiveId(1))),
+    );
+    hive.install(count_app());
+
+    // Interleave emission with stepping so rounds run on partial batches
+    // (checked-out bees receive more mail mid-round and get re-queued).
+    for round in 0..PER_KEY {
+        for k in 0..KEYS {
+            hive.emit(Bump {
+                key: format!("k{k}"),
+            });
+        }
+        if round % 7 == 0 {
+            hive.step();
+        }
+    }
+    hive.step_until_quiescent(1_000_000);
+
+    for k in 0..KEYS {
+        let key = format!("k{k}");
+        let bee = hive
+            .registry_view()
+            .owner("count", &Cell::new("c", &key))
+            .unwrap_or_else(|| panic!("no owner for {key}"));
+        let count: u64 = hive
+            .peek_state("count", bee, "c", &key)
+            .unwrap_or_else(|| panic!("no counter for {key}"));
+        assert_eq!(count, PER_KEY as u64, "key {key}: lost or duplicated bumps");
+    }
+    let instr = hive.instrumentation();
+    let delivered: u64 = instr
+        .lock()
+        .bees
+        .iter()
+        .filter(|((app, _), _)| app == "count")
+        .map(|(_, stats)| stats.msgs_in)
+        .sum();
+    assert_eq!(
+        delivered,
+        (KEYS * PER_KEY) as u64,
+        "every envelope delivered exactly once"
+    );
+    assert_eq!(hive.counters().handler_errors, 0);
 }
 
 #[test]

@@ -6,7 +6,9 @@ use std::sync::Arc;
 
 use beehive::apps::te::{decoupled_te_apps, TeConfig, TE_COLLECT_APP, TE_ROUTE_APP};
 use beehive::openflow::driver::{driver_app, DRIVER_APP};
-use beehive::sim::{generate_flows, ClusterConfig, SimCluster, SwitchFleet, Topology, WorkloadConfig};
+use beehive::sim::{
+    generate_flows, ClusterConfig, SimCluster, SwitchFleet, Topology, WorkloadConfig,
+};
 
 struct Setup {
     cluster: SimCluster,
@@ -17,11 +19,19 @@ struct Setup {
 fn setup(hives: usize) -> Setup {
     let topo = Topology::tree(3, 2); // 7 switches
     let mut cluster = SimCluster::new(
-        ClusterConfig { hives, voters: hives.min(3), ..Default::default() },
+        ClusterConfig {
+            hives,
+            voters: hives.min(3),
+            ..Default::default()
+        },
         |_| {},
     );
     let masters = topo.assign_masters(&cluster.ids());
-    let handles: Vec<_> = cluster.ids().iter().map(|&id| cluster.hive(id).handle()).collect();
+    let handles: Vec<_> = cluster
+        .ids()
+        .iter()
+        .map(|&id| cluster.hive(id).handle())
+        .collect();
     let fleet = Arc::new(SwitchFleet::new(
         topo.switches.iter().map(|s| (s.dpid, s.ports)),
         masters,
@@ -30,7 +40,9 @@ fn setup(hives: usize) -> Setup {
     for id in cluster.ids() {
         let hive = cluster.hive_mut(id);
         hive.install(driver_app(fleet.clone()));
-        let (collect, route) = decoupled_te_apps(TeConfig { delta_bytes_per_sec: 50_000 });
+        let (collect, route) = decoupled_te_apps(TeConfig {
+            delta_bytes_per_sec: 50_000,
+        });
         hive.install(collect);
         hive.install(route);
     }
@@ -38,16 +50,27 @@ fn setup(hives: usize) -> Setup {
     fleet.connect_all();
     let f = fleet.clone();
     cluster.advance_with(3_000, 100, || f.pump());
-    Setup { cluster, fleet, topo }
+    Setup {
+        cluster,
+        fleet,
+        topo,
+    }
 }
 
 #[test]
 fn elephants_get_rerouted_on_the_switches() {
-    let Setup { mut cluster, fleet, topo } = setup(3);
+    let Setup {
+        mut cluster,
+        fleet,
+        topo,
+    } = setup(3);
 
     let flows = generate_flows(
         &topo.dpids(),
-        &WorkloadConfig { flows_per_switch: 10, ..Default::default() },
+        &WorkloadConfig {
+            flows_per_switch: 10,
+            ..Default::default()
+        },
     );
     fleet.install_default_routes(&flows);
     let base_flows: Vec<usize> = topo.dpids().iter().map(|&d| fleet.flow_count(d)).collect();
@@ -73,10 +96,17 @@ fn elephants_get_rerouted_on_the_switches() {
 
 #[test]
 fn collection_bees_live_next_to_their_switches() {
-    let Setup { mut cluster, fleet, topo } = setup(3);
+    let Setup {
+        mut cluster,
+        fleet,
+        topo,
+    } = setup(3);
     let flows = generate_flows(
         &topo.dpids(),
-        &WorkloadConfig { flows_per_switch: 5, ..Default::default() },
+        &WorkloadConfig {
+            flows_per_switch: 5,
+            ..Default::default()
+        },
     );
     fleet.install_default_routes(&flows);
     for _ in 0..4 {
@@ -91,7 +121,9 @@ fn collection_bees_live_next_to_their_switches() {
     for (&dpid, &master) in &masters {
         let mirror = cluster.hive(master).registry_view();
         let cell = beehive::core::Cell::new("S", dpid.to_string());
-        let bee = mirror.owner(TE_COLLECT_APP, &cell).expect("collect bee exists");
+        let bee = mirror
+            .owner(TE_COLLECT_APP, &cell)
+            .expect("collect bee exists");
         assert_eq!(
             mirror.hive_of(bee),
             Some(master),
@@ -99,17 +131,27 @@ fn collection_bees_live_next_to_their_switches() {
         );
     }
     // And the drivers as well (they were created by upstream arrival there).
-    let driver_total: usize =
-        cluster.ids().iter().map(|&h| cluster.hive(h).local_bee_count(DRIVER_APP)).sum();
+    let driver_total: usize = cluster
+        .ids()
+        .iter()
+        .map(|&h| cluster.hive(h).local_bee_count(DRIVER_APP))
+        .sum();
     assert_eq!(driver_total, topo.len());
 }
 
 #[test]
 fn route_app_is_a_single_bee_cluster_wide() {
-    let Setup { mut cluster, fleet, topo } = setup(3);
+    let Setup {
+        mut cluster,
+        fleet,
+        topo,
+    } = setup(3);
     let flows = generate_flows(
         &topo.dpids(),
-        &WorkloadConfig { flows_per_switch: 10, ..Default::default() },
+        &WorkloadConfig {
+            flows_per_switch: 10,
+            ..Default::default()
+        },
     );
     fleet.install_default_routes(&flows);
     for _ in 0..6 {
@@ -117,17 +159,30 @@ fn route_app_is_a_single_bee_cluster_wide() {
         let f = fleet.clone();
         cluster.advance_with(1_000, 100, || f.pump());
     }
-    let route_bees: usize =
-        cluster.ids().iter().map(|&h| cluster.hive(h).local_bee_count(TE_ROUTE_APP)).sum();
-    assert_eq!(route_bees, 1, "whole-dict Route must collocate on exactly one bee");
+    let route_bees: usize = cluster
+        .ids()
+        .iter()
+        .map(|&h| cluster.hive(h).local_bee_count(TE_ROUTE_APP))
+        .sum();
+    assert_eq!(
+        route_bees, 1,
+        "whole-dict Route must collocate on exactly one bee"
+    );
 }
 
 #[test]
 fn no_handler_errors_or_conflicts_in_steady_state() {
-    let Setup { mut cluster, fleet, topo } = setup(2);
+    let Setup {
+        mut cluster,
+        fleet,
+        topo,
+    } = setup(2);
     let flows = generate_flows(
         &topo.dpids(),
-        &WorkloadConfig { flows_per_switch: 5, ..Default::default() },
+        &WorkloadConfig {
+            flows_per_switch: 5,
+            ..Default::default()
+        },
     );
     fleet.install_default_routes(&flows);
     for _ in 0..5 {
@@ -138,7 +193,10 @@ fn no_handler_errors_or_conflicts_in_steady_state() {
     for id in cluster.ids() {
         let c = cluster.hive(id).counters();
         assert_eq!(c.handler_errors, 0, "{id} had handler errors");
-        assert_eq!(c.assign_conflicts, 0, "{id} had out-of-cell write conflicts");
+        assert_eq!(
+            c.assign_conflicts, 0,
+            "{id} had out-of-cell write conflicts"
+        );
         assert_eq!(c.decode_errors, 0, "{id} had decode errors");
         assert_eq!(c.dropped_orphans, 0, "{id} dropped orphaned messages");
     }

@@ -29,29 +29,32 @@ fn bank() -> App {
         .handle::<Deposit>(
             |m| Mapped::cell("accounts", &m.account),
             |m, ctx| {
-                let v: u64 =
-                    ctx.get("accounts", &m.account).map_err(|e| e.to_string())?.unwrap_or(0);
+                let v: u64 = ctx
+                    .get("accounts", &m.account)
+                    .map_err(|e| e.to_string())?
+                    .unwrap_or(0);
                 ctx.put("accounts", m.account.clone(), &(v + m.amount))
                     .map_err(|e| e.to_string())
             },
         )
         .handle::<Transfer>(
-            |m| {
-                Mapped::cells([
-                    Cell::new("accounts", &m.from),
-                    Cell::new("accounts", &m.to),
-                ])
-            },
+            |m| Mapped::cells([Cell::new("accounts", &m.from), Cell::new("accounts", &m.to)]),
             |m, ctx| {
-                let from: u64 =
-                    ctx.get("accounts", &m.from).map_err(|e| e.to_string())?.unwrap_or(0);
+                let from: u64 = ctx
+                    .get("accounts", &m.from)
+                    .map_err(|e| e.to_string())?
+                    .unwrap_or(0);
                 if from < m.amount {
                     return Err(format!("insufficient funds in {}", m.from));
                 }
-                let to: u64 = ctx.get("accounts", &m.to).map_err(|e| e.to_string())?.unwrap_or(0);
+                let to: u64 = ctx
+                    .get("accounts", &m.to)
+                    .map_err(|e| e.to_string())?
+                    .unwrap_or(0);
                 ctx.put("accounts", m.from.clone(), &(from - m.amount))
                     .map_err(|e| e.to_string())?;
-                ctx.put("accounts", m.to.clone(), &(to + m.amount)).map_err(|e| e.to_string())?;
+                ctx.put("accounts", m.to.clone(), &(to + m.amount))
+                    .map_err(|e| e.to_string())?;
                 Ok(())
             },
         )
@@ -64,7 +67,9 @@ fn balance(c: &SimCluster, account: &str) -> Option<u64> {
         let mirror = c.hive(id).registry_view();
         if let Some(bee) = mirror.owner("bank", &cell) {
             let hive = mirror.hive_of(bee)?;
-            return c.hive(hive).peek_state::<u64>("bank", bee, "accounts", account);
+            return c
+                .hive(hive)
+                .peek_state::<u64>("bank", bee, "accounts", account);
         }
     }
     None
@@ -80,34 +85,70 @@ fn owner_of(c: &SimCluster, account: &str) -> (BeeId, HiveId) {
 #[test]
 fn transfer_merges_colonies_on_one_hive() {
     let mut c = SimCluster::new(
-        ClusterConfig { hives: 1, voters: 1, ..Default::default() },
+        ClusterConfig {
+            hives: 1,
+            voters: 1,
+            ..Default::default()
+        },
         |h| h.install(bank()),
     );
     c.elect_registry(60_000).unwrap();
-    c.hive_mut(HiveId(1)).emit(Deposit { account: "alice".into(), amount: 100 });
-    c.hive_mut(HiveId(1)).emit(Deposit { account: "bob".into(), amount: 50 });
+    c.hive_mut(HiveId(1)).emit(Deposit {
+        account: "alice".into(),
+        amount: 100,
+    });
+    c.hive_mut(HiveId(1)).emit(Deposit {
+        account: "bob".into(),
+        amount: 50,
+    });
     c.advance(2_000, 50);
-    assert_eq!(c.hive(HiveId(1)).local_bee_count("bank"), 2, "separate colonies at first");
+    assert_eq!(
+        c.hive(HiveId(1)).local_bee_count("bank"),
+        2,
+        "separate colonies at first"
+    );
 
-    c.hive_mut(HiveId(1)).emit(Transfer { from: "alice".into(), to: "bob".into(), amount: 30 });
+    c.hive_mut(HiveId(1)).emit(Transfer {
+        from: "alice".into(),
+        to: "bob".into(),
+        amount: 30,
+    });
     c.advance(2_000, 50);
 
-    assert_eq!(c.hive(HiveId(1)).local_bee_count("bank"), 1, "colonies merged");
+    assert_eq!(
+        c.hive(HiveId(1)).local_bee_count("bank"),
+        1,
+        "colonies merged"
+    );
     assert_eq!(balance(&c, "alice"), Some(70));
     assert_eq!(balance(&c, "bob"), Some(80));
-    assert_eq!(owner_of(&c, "alice").0, owner_of(&c, "bob").0, "single owner bee");
+    assert_eq!(
+        owner_of(&c, "alice").0,
+        owner_of(&c, "bob").0,
+        "single owner bee"
+    );
 }
 
 #[test]
 fn transfer_merges_colonies_across_hives() {
     let mut c = SimCluster::new(
-        ClusterConfig { hives: 3, voters: 3, ..Default::default() },
+        ClusterConfig {
+            hives: 3,
+            voters: 3,
+            ..Default::default()
+        },
         |h| h.install(bank()),
     );
     c.elect_registry(120_000).unwrap();
     // Colonies born on different hives.
-    c.hive_mut(HiveId(1)).emit(Deposit { account: "alice".into(), amount: 100 });
-    c.hive_mut(HiveId(2)).emit(Deposit { account: "bob".into(), amount: 50 });
+    c.hive_mut(HiveId(1)).emit(Deposit {
+        account: "alice".into(),
+        amount: 100,
+    });
+    c.hive_mut(HiveId(2)).emit(Deposit {
+        account: "bob".into(),
+        amount: 50,
+    });
     c.advance(3_000, 50);
     let (alice_bee, alice_hive) = owner_of(&c, "alice");
     let (bob_bee, bob_hive) = owner_of(&c, "bob");
@@ -115,18 +156,32 @@ fn transfer_merges_colonies_across_hives() {
     assert_ne!(alice_hive, bob_hive);
 
     // The bridging message arrives on yet another hive.
-    c.hive_mut(HiveId(3)).emit(Transfer { from: "alice".into(), to: "bob".into(), amount: 30 });
+    c.hive_mut(HiveId(3)).emit(Transfer {
+        from: "alice".into(),
+        to: "bob".into(),
+        amount: 30,
+    });
     c.advance(4_000, 50);
 
     let (a_bee, _) = owner_of(&c, "alice");
     let (b_bee, _) = owner_of(&c, "bob");
     assert_eq!(a_bee, b_bee, "one bee owns both accounts after the merge");
-    assert_eq!(balance(&c, "alice"), Some(70), "loser state was shipped and merged");
+    assert_eq!(
+        balance(&c, "alice"),
+        Some(70),
+        "loser state was shipped and merged"
+    );
     assert_eq!(balance(&c, "bob"), Some(80));
 
     // Follow-up traffic for both accounts still works.
-    c.hive_mut(HiveId(2)).emit(Deposit { account: "alice".into(), amount: 1 });
-    c.hive_mut(HiveId(1)).emit(Deposit { account: "bob".into(), amount: 1 });
+    c.hive_mut(HiveId(2)).emit(Deposit {
+        account: "alice".into(),
+        amount: 1,
+    });
+    c.hive_mut(HiveId(1)).emit(Deposit {
+        account: "bob".into(),
+        amount: 1,
+    });
     c.advance(3_000, 50);
     assert_eq!(balance(&c, "alice"), Some(71));
     assert_eq!(balance(&c, "bob"), Some(81));
@@ -135,15 +190,29 @@ fn transfer_merges_colonies_across_hives() {
 #[test]
 fn failed_transfer_rolls_back_atomically() {
     let mut c = SimCluster::new(
-        ClusterConfig { hives: 1, voters: 1, ..Default::default() },
+        ClusterConfig {
+            hives: 1,
+            voters: 1,
+            ..Default::default()
+        },
         |h| h.install(bank()),
     );
     c.elect_registry(60_000).unwrap();
-    c.hive_mut(HiveId(1)).emit(Deposit { account: "alice".into(), amount: 10 });
-    c.hive_mut(HiveId(1)).emit(Deposit { account: "bob".into(), amount: 0 });
+    c.hive_mut(HiveId(1)).emit(Deposit {
+        account: "alice".into(),
+        amount: 10,
+    });
+    c.hive_mut(HiveId(1)).emit(Deposit {
+        account: "bob".into(),
+        amount: 0,
+    });
     c.advance(2_000, 50);
     // Overdraft: the handler errors; the tx must roll back both writes.
-    c.hive_mut(HiveId(1)).emit(Transfer { from: "alice".into(), to: "bob".into(), amount: 999 });
+    c.hive_mut(HiveId(1)).emit(Transfer {
+        from: "alice".into(),
+        to: "bob".into(),
+        amount: 999,
+    });
     c.advance(2_000, 50);
     assert_eq!(balance(&c, "alice"), Some(10));
     assert_eq!(balance(&c, "bob"), Some(0));
@@ -153,26 +222,49 @@ fn failed_transfer_rolls_back_atomically() {
 #[test]
 fn chained_transfers_merge_transitively() {
     let mut c = SimCluster::new(
-        ClusterConfig { hives: 2, voters: 2, ..Default::default() },
+        ClusterConfig {
+            hives: 2,
+            voters: 2,
+            ..Default::default()
+        },
         |h| h.install(bank()),
     );
     c.elect_registry(120_000).unwrap();
     for (i, name) in ["a", "b", "c", "d"].iter().enumerate() {
-        c.hive_mut(HiveId((i % 2 + 1) as u32))
-            .emit(Deposit { account: name.to_string(), amount: 100 });
+        c.hive_mut(HiveId((i % 2 + 1) as u32)).emit(Deposit {
+            account: name.to_string(),
+            amount: 100,
+        });
     }
     c.advance(3_000, 50);
     // a-b, then c-d, then b-c: everything ends in one colony.
-    c.hive_mut(HiveId(1)).emit(Transfer { from: "a".into(), to: "b".into(), amount: 1 });
+    c.hive_mut(HiveId(1)).emit(Transfer {
+        from: "a".into(),
+        to: "b".into(),
+        amount: 1,
+    });
     c.advance(3_000, 50);
-    c.hive_mut(HiveId(2)).emit(Transfer { from: "c".into(), to: "d".into(), amount: 2 });
+    c.hive_mut(HiveId(2)).emit(Transfer {
+        from: "c".into(),
+        to: "d".into(),
+        amount: 2,
+    });
     c.advance(3_000, 50);
-    c.hive_mut(HiveId(1)).emit(Transfer { from: "b".into(), to: "c".into(), amount: 3 });
+    c.hive_mut(HiveId(1)).emit(Transfer {
+        from: "b".into(),
+        to: "c".into(),
+        amount: 3,
+    });
     c.advance(4_000, 50);
 
-    let owners: Vec<BeeId> =
-        ["a", "b", "c", "d"].iter().map(|k| owner_of(&c, k).0).collect();
-    assert!(owners.windows(2).all(|w| w[0] == w[1]), "all accounts share one bee: {owners:?}");
+    let owners: Vec<BeeId> = ["a", "b", "c", "d"]
+        .iter()
+        .map(|k| owner_of(&c, k).0)
+        .collect();
+    assert!(
+        owners.windows(2).all(|w| w[0] == w[1]),
+        "all accounts share one bee: {owners:?}"
+    );
     assert_eq!(balance(&c, "a"), Some(99)); // 100 - 1
     assert_eq!(balance(&c, "b"), Some(98)); // 100 + 1 - 3
     assert_eq!(balance(&c, "c"), Some(101)); // 100 - 2 + 3

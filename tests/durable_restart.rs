@@ -21,7 +21,10 @@ fn kv() -> App {
     App::builder("kv")
         .handle::<Put>(
             |m| Mapped::cell("d", &m.key),
-            |m, ctx| ctx.put("d", m.key.clone(), &m.value).map_err(|e| e.to_string()),
+            |m, ctx| {
+                ctx.put("d", m.key.clone(), &m.value)
+                    .map_err(|e| e.to_string())
+            },
         )
         .build()
 }
@@ -62,7 +65,10 @@ fn restarted_hive_recovers_registry_from_disk() {
     };
     let all: Vec<HiveId> = (1..=3).map(HiveId).collect();
     let peers_of = |me: u32| {
-        (1..=3u32).filter(|&i| i != me).map(|i| (HiveId(i), addr(i))).collect::<std::collections::HashMap<_, _>>()
+        (1..=3u32)
+            .filter(|&i| i != me)
+            .map(|i| (HiveId(i), addr(i)))
+            .collect::<std::collections::HashMap<_, _>>()
     };
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -82,21 +88,27 @@ fn restarted_hive_recovers_registry_from_disk() {
 
     // Populate some keys from various hives.
     for (i, h) in handles.iter().enumerate() {
-        h.emit(Put { key: format!("key{i}"), value: i as u64 * 10 });
+        h.emit(Put {
+            key: format!("key{i}"),
+            value: i as u64 * 10,
+        });
     }
     std::thread::sleep(std::time::Duration::from_millis(1500));
 
     // Stop the whole cluster (simulating a full restart) …
     stop.store(true, Ordering::Relaxed);
     let hives: Vec<Hive> = threads.into_iter().map(|t| t.join().unwrap()).collect();
-    let bees_before: usize = hives.iter().map(|h| h.registry_view().bee_count()).max().unwrap();
+    let bees_before: usize = hives
+        .iter()
+        .map(|h| h.registry_view().bee_count())
+        .max()
+        .unwrap();
     assert!(bees_before >= 3, "three colonies existed before restart");
     drop(hives);
     std::thread::sleep(std::time::Duration::from_millis(300));
 
     // … and bring one hive back alone from its durable state.
-    let transport =
-        TcpTransport::bind(HiveId(1), addr(1), peers_of(1)).expect("rebind after drop");
+    let transport = TcpTransport::bind(HiveId(1), addr(1), peers_of(1)).expect("rebind after drop");
     let mut cfg = HiveConfig::clustered(HiveId(1), all, 3);
     cfg.tick_interval_ms = 0;
     cfg.registry_storage_dir = Some(dir.clone());
@@ -115,7 +127,8 @@ fn restarted_hive_recovers_registry_from_disk() {
     );
     for i in 0..3 {
         assert!(
-            view.owner("kv", &Cell::new("d", format!("key{i}"))).is_some(),
+            view.owner("kv", &Cell::new("d", format!("key{i}")))
+                .is_some(),
             "key{i} ownership survived the restart"
         );
     }

@@ -2,8 +2,8 @@
 //! leader loss. The platform's retry layers (Raft, pending-route
 //! resubmission, orphan retries) must mask all of it.
 
-use beehive::prelude::*;
 use beehive::net::FabricFaults;
+use beehive::prelude::*;
 use beehive::sim::{ClusterConfig, SimCluster};
 use serde::{Deserialize, Serialize};
 
@@ -18,8 +18,12 @@ fn counter() -> App {
         .handle::<Inc>(
             |m| Mapped::cell("c", &m.key),
             |m, ctx| {
-                let n: u64 = ctx.get("c", &m.key).map_err(|e| e.to_string())?.unwrap_or(0);
-                ctx.put("c", m.key.clone(), &(n + 1)).map_err(|e| e.to_string())?;
+                let n: u64 = ctx
+                    .get("c", &m.key)
+                    .map_err(|e| e.to_string())?
+                    .unwrap_or(0);
+                ctx.put("c", m.key.clone(), &(n + 1))
+                    .map_err(|e| e.to_string())?;
                 Ok(())
             },
         )
@@ -41,7 +45,12 @@ fn count_of(c: &SimCluster, key: &str) -> Option<u64> {
 #[test]
 fn routing_survives_partition_and_heal() {
     let mut c = SimCluster::new(
-        ClusterConfig { hives: 3, voters: 3, pending_retry_ms: 500, ..Default::default() },
+        ClusterConfig {
+            hives: 3,
+            voters: 3,
+            pending_retry_ms: 500,
+            ..Default::default()
+        },
         |h| h.install(counter()),
     );
     c.elect_registry(120_000).unwrap();
@@ -67,15 +76,25 @@ fn routing_survives_partition_and_heal() {
 #[test]
 fn new_keys_route_even_with_heavy_drops() {
     let mut c = SimCluster::new(
-        ClusterConfig { hives: 3, voters: 3, pending_retry_ms: 300, ..Default::default() },
+        ClusterConfig {
+            hives: 3,
+            voters: 3,
+            pending_retry_ms: 300,
+            ..Default::default()
+        },
         |h| h.install(counter()),
     );
     c.elect_registry(120_000).unwrap();
     // 20% of frames dropped: Raft retries, proposal retries and orphan
     // retries must still converge.
-    c.fabric.set_faults(FabricFaults { drop_rate: 0.2, latency_ms: 0 });
+    c.fabric.set_faults(FabricFaults {
+        drop_rate: 0.2,
+        latency_ms: 0,
+    });
     for i in 0..5 {
-        c.hive_mut(HiveId((i % 3 + 1) as u32)).emit(Inc { key: format!("key{i}") });
+        c.hive_mut(HiveId((i % 3 + 1) as u32)).emit(Inc {
+            key: format!("key{i}"),
+        });
     }
     c.advance(30_000, 50);
     c.fabric.set_faults(FabricFaults::default());
@@ -92,7 +111,12 @@ fn new_keys_route_even_with_heavy_drops() {
 #[test]
 fn registry_leader_partition_recovers() {
     let mut c = SimCluster::new(
-        ClusterConfig { hives: 3, voters: 3, pending_retry_ms: 500, ..Default::default() },
+        ClusterConfig {
+            hives: 3,
+            voters: 3,
+            pending_retry_ms: 500,
+            ..Default::default()
+        },
         |h| h.install(counter()),
     );
     let leader = c.elect_registry(120_000).unwrap();
@@ -109,12 +133,21 @@ fn registry_leader_partition_recovers() {
         .into_iter()
         .filter(|&id| id != leader)
         .find(|&id| c.hive(id).is_registry_leader());
-    assert!(new_leader.is_some(), "a new registry leader must be elected");
+    assert!(
+        new_leader.is_some(),
+        "a new registry leader must be elected"
+    );
 
     let src = new_leader.unwrap();
-    c.hive_mut(src).emit(Inc { key: "fresh".into() });
+    c.hive_mut(src).emit(Inc {
+        key: "fresh".into(),
+    });
     c.advance(10_000, 50);
-    assert_eq!(count_of(&c, "fresh"), Some(1), "routing works under the new leader");
+    assert_eq!(
+        count_of(&c, "fresh"),
+        Some(1),
+        "routing works under the new leader"
+    );
 
     // Heal; the old leader rejoins as follower and sees the state.
     c.fabric.heal();
@@ -129,15 +162,26 @@ fn registry_leader_partition_recovers() {
 #[test]
 fn latency_does_not_break_ordering() {
     let mut c = SimCluster::new(
-        ClusterConfig { hives: 2, voters: 2, ..Default::default() },
+        ClusterConfig {
+            hives: 2,
+            voters: 2,
+            ..Default::default()
+        },
         |h| h.install(counter()),
     );
     c.elect_registry(120_000).unwrap();
-    c.fabric.set_faults(FabricFaults { drop_rate: 0.0, latency_ms: 120 });
+    c.fabric.set_faults(FabricFaults {
+        drop_rate: 0.0,
+        latency_ms: 120,
+    });
     for _ in 0..10 {
         c.hive_mut(HiveId(2)).emit(Inc { key: "slow".into() });
         c.advance(500, 50);
     }
     c.advance(10_000, 50);
-    assert_eq!(count_of(&c, "slow"), Some(10), "every delayed message applied exactly once");
+    assert_eq!(
+        count_of(&c, "slow"),
+        Some(10),
+        "every delayed message applied exactly once"
+    );
 }

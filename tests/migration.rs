@@ -18,8 +18,12 @@ fn adder() -> App {
         .handle::<Add>(
             |m| Mapped::cell("sums", &m.key),
             |m, ctx| {
-                let n: u64 = ctx.get("sums", &m.key).map_err(|e| e.to_string())?.unwrap_or(0);
-                ctx.put("sums", m.key.clone(), &(n + m.value)).map_err(|e| e.to_string())?;
+                let n: u64 = ctx
+                    .get("sums", &m.key)
+                    .map_err(|e| e.to_string())?
+                    .unwrap_or(0);
+                ctx.put("sums", m.key.clone(), &(n + m.value))
+                    .map_err(|e| e.to_string())?;
                 Ok(())
             },
         )
@@ -28,7 +32,11 @@ fn adder() -> App {
 
 fn cluster(n: usize) -> SimCluster {
     let mut c = SimCluster::new(
-        ClusterConfig { hives: n, voters: n.min(3), ..Default::default() },
+        ClusterConfig {
+            hives: n,
+            voters: n.min(3),
+            ..Default::default()
+        },
         |h| h.install(adder()),
     );
     c.elect_registry(120_000).expect("leader");
@@ -48,20 +56,26 @@ fn bee_location(c: &SimCluster, key: &str) -> (BeeId, HiveId) {
 
 fn sum_of(c: &SimCluster, key: &str) -> u64 {
     let (bee, hive) = bee_location(c, key);
-    c.hive(hive).peek_state::<u64>("adder", bee, "sums", key).unwrap_or(0)
+    c.hive(hive)
+        .peek_state::<u64>("adder", bee, "sums", key)
+        .unwrap_or(0)
 }
 
 #[test]
 fn migration_preserves_state_and_identity() {
     let mut c = cluster(3);
-    c.hive_mut(HiveId(1)).emit(Add { key: "k".into(), value: 10 });
+    c.hive_mut(HiveId(1)).emit(Add {
+        key: "k".into(),
+        value: 10,
+    });
     c.advance(3_000, 50);
     let (bee, from) = bee_location(&c, "k");
     assert_eq!(from, HiveId(1));
     assert_eq!(sum_of(&c, "k"), 10);
 
     // Order the migration to hive 3.
-    c.hive_mut(HiveId(1)).request_migration("adder", bee, from, HiveId(3));
+    c.hive_mut(HiveId(1))
+        .request_migration("adder", bee, from, HiveId(3));
     c.advance(3_000, 50);
 
     let (bee_after, now) = bee_location(&c, "k");
@@ -71,7 +85,10 @@ fn migration_preserves_state_and_identity() {
     assert!(c.hive(HiveId(3)).counters().migrations_in >= 1);
 
     // It still processes messages, routed from any hive.
-    c.hive_mut(HiveId(2)).emit(Add { key: "k".into(), value: 5 });
+    c.hive_mut(HiveId(2)).emit(Add {
+        key: "k".into(),
+        value: 5,
+    });
     c.advance(3_000, 50);
     assert_eq!(sum_of(&c, "k"), 15);
 }
@@ -80,41 +97,60 @@ fn migration_preserves_state_and_identity() {
 fn messages_sent_during_migration_are_not_lost() {
     let mut c = cluster(3);
     for i in 0..5 {
-        c.hive_mut(HiveId(1)).emit(Add { key: "k".into(), value: i });
+        c.hive_mut(HiveId(1)).emit(Add {
+            key: "k".into(),
+            value: i,
+        });
     }
     c.advance(3_000, 50);
     let (bee, from) = bee_location(&c, "k");
 
     // Kick off the migration and immediately blast messages from every hive
     // WITHOUT letting the cluster settle first.
-    c.hive_mut(HiveId(1)).request_migration("adder", bee, from, HiveId(2));
+    c.hive_mut(HiveId(1))
+        .request_migration("adder", bee, from, HiveId(2));
     for i in 0..10u64 {
         let src = HiveId((i % 3 + 1) as u32);
-        c.hive_mut(src).emit(Add { key: "k".into(), value: 100 });
+        c.hive_mut(src).emit(Add {
+            key: "k".into(),
+            value: 100,
+        });
     }
     c.advance(6_000, 50);
 
     let expect = (0..5).sum::<u64>() + 10 * 100;
-    assert_eq!(sum_of(&c, "k"), expect, "every message must be applied exactly once");
+    assert_eq!(
+        sum_of(&c, "k"),
+        expect,
+        "every message must be applied exactly once"
+    );
     assert_eq!(bee_location(&c, "k").1, HiveId(2));
 }
 
 #[test]
 fn migrate_back_and_forth() {
     let mut c = cluster(3);
-    c.hive_mut(HiveId(1)).emit(Add { key: "pp".into(), value: 1 });
+    c.hive_mut(HiveId(1)).emit(Add {
+        key: "pp".into(),
+        value: 1,
+    });
     c.advance(3_000, 50);
     let (bee, h1) = bee_location(&c, "pp");
 
-    c.hive_mut(h1).request_migration("adder", bee, h1, HiveId(2));
+    c.hive_mut(h1)
+        .request_migration("adder", bee, h1, HiveId(2));
     c.advance(3_000, 50);
     assert_eq!(bee_location(&c, "pp").1, HiveId(2));
 
-    c.hive_mut(HiveId(2)).request_migration("adder", bee, HiveId(2), h1);
+    c.hive_mut(HiveId(2))
+        .request_migration("adder", bee, HiveId(2), h1);
     c.advance(3_000, 50);
     assert_eq!(bee_location(&c, "pp").1, h1, "bee returned home");
 
-    c.hive_mut(HiveId(3)).emit(Add { key: "pp".into(), value: 9 });
+    c.hive_mut(HiveId(3)).emit(Add {
+        key: "pp".into(),
+        value: 9,
+    });
     c.advance(3_000, 50);
     assert_eq!(sum_of(&c, "pp"), 10);
 }
@@ -122,7 +158,10 @@ fn migrate_back_and_forth() {
 #[test]
 fn migration_to_current_hive_is_a_noop() {
     let mut c = cluster(2);
-    c.hive_mut(HiveId(1)).emit(Add { key: "x".into(), value: 3 });
+    c.hive_mut(HiveId(1)).emit(Add {
+        key: "x".into(),
+        value: 3,
+    });
     c.advance(3_000, 50);
     let (bee, hive) = bee_location(&c, "x");
     c.hive_mut(hive).request_migration("adder", bee, hive, hive);
@@ -135,7 +174,10 @@ fn migration_to_current_hive_is_a_noop() {
 fn concurrent_migrations_of_different_bees() {
     let mut c = cluster(3);
     for k in ["a", "b", "c", "d"] {
-        c.hive_mut(HiveId(1)).emit(Add { key: k.into(), value: 7 });
+        c.hive_mut(HiveId(1)).emit(Add {
+            key: k.into(),
+            value: 7,
+        });
     }
     c.advance(3_000, 50);
     let moves: Vec<(BeeId, HiveId, HiveId)> = ["a", "b", "c", "d"]

@@ -3,7 +3,6 @@
 //! the runtime "migrates the bees … next to the OpenFlow driver" without
 //! manual intervention.
 
-
 use beehive::core::optimizer::OptimizerConfig;
 use beehive::core::{collector_app, optimizer_app};
 use beehive::prelude::*;
@@ -26,11 +25,15 @@ beehive::core::impl_message!(Drive);
 /// `producer` is pinned per-hive (local singleton) and fans `Work` out to
 /// `consumer`, whose per-key bees are what the optimizer should move.
 fn producer() -> App {
-    App::builder("producer").handle_local::<Drive>("drive", |m, ctx| {
-        ctx.emit(Work { key: m.key.clone(), n: 1 });
-        Ok(())
-    })
-    .build()
+    App::builder("producer")
+        .handle_local::<Drive>("drive", |m, ctx| {
+            ctx.emit(Work {
+                key: m.key.clone(),
+                n: 1,
+            });
+            Ok(())
+        })
+        .build()
 }
 
 fn consumer() -> App {
@@ -38,8 +41,12 @@ fn consumer() -> App {
         .handle::<Work>(
             |m| Mapped::cell("acc", &m.key),
             |m, ctx| {
-                let v: u64 = ctx.get("acc", &m.key).map_err(|e| e.to_string())?.unwrap_or(0);
-                ctx.put("acc", m.key.clone(), &(v + m.n)).map_err(|e| e.to_string())?;
+                let v: u64 = ctx
+                    .get("acc", &m.key)
+                    .map_err(|e| e.to_string())?
+                    .unwrap_or(0);
+                ctx.put("acc", m.key.clone(), &(v + m.n))
+                    .map_err(|e| e.to_string())?;
                 Ok(())
             },
         )
@@ -49,14 +56,22 @@ fn consumer() -> App {
 #[test]
 fn optimizer_moves_consumers_next_to_their_producers() {
     let mut cluster = SimCluster::new(
-        ClusterConfig { hives: 3, voters: 3, tick_interval_ms: 1000, ..Default::default() },
+        ClusterConfig {
+            hives: 3,
+            voters: 3,
+            tick_interval_ms: 1000,
+            ..Default::default()
+        },
         |hive| {
             hive.install(producer());
             hive.install(consumer());
             let instr = hive.instrumentation();
             hive.install(collector_app(instr));
             hive.install(optimizer_app(
-                OptimizerConfig { min_messages: 5, ..Default::default() },
+                OptimizerConfig {
+                    min_messages: 5,
+                    ..Default::default()
+                },
                 3, // optimize every 3 ticks
             ));
         },
@@ -64,17 +79,29 @@ fn optimizer_moves_consumers_next_to_their_producers() {
     cluster.elect_registry(120_000).expect("leader");
 
     // Create the consumer bee for "hot" on hive 1 (first message origin).
-    cluster.hive_mut(HiveId(1)).emit(Work { key: "hot".into(), n: 0 });
+    cluster.hive_mut(HiveId(1)).emit(Work {
+        key: "hot".into(),
+        n: 0,
+    });
     cluster.advance(2_000, 50);
     let cell = beehive::core::Cell::new("acc", "hot");
-    let bee = cluster.hive(HiveId(1)).registry_view().owner("consumer", &cell).unwrap();
-    assert_eq!(cluster.hive(HiveId(1)).registry_view().hive_of(bee), Some(HiveId(1)));
+    let bee = cluster
+        .hive(HiveId(1))
+        .registry_view()
+        .owner("consumer", &cell)
+        .unwrap();
+    assert_eq!(
+        cluster.hive(HiveId(1)).registry_view().hive_of(bee),
+        Some(HiveId(1))
+    );
 
     // Now hive 3's pinned producer hammers it: every tick, hive 3 emits
     // Drive, its local producer bee emits Work — so the consumer's inbound
     // traffic is bee-sourced from hive 3.
     for _ in 0..30 {
-        cluster.hive_mut(HiveId(3)).emit(Drive { key: "hot".into() });
+        cluster
+            .hive_mut(HiveId(3))
+            .emit(Drive { key: "hot".into() });
         cluster.advance(1_000, 100);
     }
 
@@ -88,7 +115,11 @@ fn optimizer_moves_consumers_next_to_their_producers() {
     let total: u64 = cluster
         .ids()
         .iter()
-        .filter_map(|&h| cluster.hive(h).peek_state::<u64>("consumer", bee, "acc", "hot"))
+        .filter_map(|&h| {
+            cluster
+                .hive(h)
+                .peek_state::<u64>("consumer", bee, "acc", "hot")
+        })
         .sum();
     assert_eq!(total, 30);
 }
@@ -96,28 +127,47 @@ fn optimizer_moves_consumers_next_to_their_producers() {
 #[test]
 fn optimizer_leaves_balanced_bees_alone() {
     let mut cluster = SimCluster::new(
-        ClusterConfig { hives: 2, voters: 2, tick_interval_ms: 1000, ..Default::default() },
+        ClusterConfig {
+            hives: 2,
+            voters: 2,
+            tick_interval_ms: 1000,
+            ..Default::default()
+        },
         |hive| {
             hive.install(producer());
             hive.install(consumer());
             let instr = hive.instrumentation();
             hive.install(collector_app(instr));
             hive.install(optimizer_app(
-                OptimizerConfig { min_messages: 5, ..Default::default() },
+                OptimizerConfig {
+                    min_messages: 5,
+                    ..Default::default()
+                },
                 3,
             ));
         },
     );
     cluster.elect_registry(120_000).expect("leader");
-    cluster.hive_mut(HiveId(1)).emit(Work { key: "even".into(), n: 0 });
+    cluster.hive_mut(HiveId(1)).emit(Work {
+        key: "even".into(),
+        n: 0,
+    });
     cluster.advance(2_000, 50);
     let cell = beehive::core::Cell::new("acc", "even");
-    let bee = cluster.hive(HiveId(1)).registry_view().owner("consumer", &cell).unwrap();
+    let bee = cluster
+        .hive(HiveId(1))
+        .registry_view()
+        .owner("consumer", &cell)
+        .unwrap();
 
     // Both hives' producers send equally: no strict majority anywhere.
     for _ in 0..20 {
-        cluster.hive_mut(HiveId(1)).emit(Drive { key: "even".into() });
-        cluster.hive_mut(HiveId(2)).emit(Drive { key: "even".into() });
+        cluster
+            .hive_mut(HiveId(1))
+            .emit(Drive { key: "even".into() });
+        cluster
+            .hive_mut(HiveId(2))
+            .emit(Drive { key: "even".into() });
         cluster.advance(1_000, 100);
     }
     assert_eq!(

@@ -18,10 +18,13 @@ fn log_app() -> App {
         .handle::<Append>(
             |m| Mapped::cell("logs", &m.key),
             |m, ctx| {
-                let mut items: Vec<u64> =
-                    ctx.get("logs", &m.key).map_err(|e| e.to_string())?.unwrap_or_default();
+                let mut items: Vec<u64> = ctx
+                    .get("logs", &m.key)
+                    .map_err(|e| e.to_string())?
+                    .unwrap_or_default();
                 items.push(m.item);
-                ctx.put("logs", m.key.clone(), &items).map_err(|e| e.to_string())?;
+                ctx.put("logs", m.key.clone(), &items)
+                    .map_err(|e| e.to_string())?;
                 Ok(())
             },
         )
@@ -58,14 +61,21 @@ fn transactions_replicate_to_shadow_hives() {
     let mut c = replicated_cluster(3, 2);
     c.elect_registry(120_000).unwrap();
     for i in 0..5 {
-        c.hive_mut(HiveId(1)).emit(Append { key: "k".into(), item: i });
+        c.hive_mut(HiveId(1)).emit(Append {
+            key: "k".into(),
+            item: i,
+        });
     }
     c.advance(5_000, 50);
 
     let (_bee, owner) = owner_of(&c, "k");
     assert_eq!(owner, HiveId(1));
     // With factor 2, hive 2 (next in the ring after 1) holds the shadow.
-    assert_eq!(c.hive(HiveId(2)).shadow_count(), 1, "hive 2 shadows the bee");
+    assert_eq!(
+        c.hive(HiveId(2)).shadow_count(),
+        1,
+        "hive 2 shadows the bee"
+    );
     assert!(c.hive(HiveId(1)).counters().replicated_txs >= 5);
 }
 
@@ -76,7 +86,10 @@ fn failover_promotes_shadow_with_full_state() {
     // Bee lives on hive 4 (message origin); its replica ring successor is
     // hive 1.
     for i in 0..7 {
-        c.hive_mut(HiveId(4)).emit(Append { key: "k".into(), item: i * 10 });
+        c.hive_mut(HiveId(4)).emit(Append {
+            key: "k".into(),
+            item: i * 10,
+        });
     }
     c.advance(5_000, 50);
     let (bee, owner) = owner_of(&c, "k");
@@ -98,16 +111,32 @@ fn failover_promotes_shadow_with_full_state() {
     c.advance(5_000, 50);
 
     let mirror = c.hive(HiveId(1)).registry_view();
-    assert_eq!(mirror.hive_of(bee), Some(HiveId(1)), "registry moved the bee");
+    assert_eq!(
+        mirror.hive_of(bee),
+        Some(HiveId(1)),
+        "registry moved the bee"
+    );
     assert_eq!(c.hive(HiveId(1)).counters().failovers, 1);
-    let items: Vec<u64> =
-        c.hive(HiveId(1)).peek_state("log", bee, "logs", "k").expect("state recovered");
-    assert_eq!(items, vec![0, 10, 20, 30, 40, 50, 60], "no committed writes lost");
+    let items: Vec<u64> = c
+        .hive(HiveId(1))
+        .peek_state("log", bee, "logs", "k")
+        .expect("state recovered");
+    assert_eq!(
+        items,
+        vec![0, 10, 20, 30, 40, 50, 60],
+        "no committed writes lost"
+    );
 
     // The promoted bee keeps serving — from any hive.
-    c.hive_mut(HiveId(2)).emit(Append { key: "k".into(), item: 999 });
+    c.hive_mut(HiveId(2)).emit(Append {
+        key: "k".into(),
+        item: 999,
+    });
     c.advance(5_000, 50);
-    let items: Vec<u64> = c.hive(HiveId(1)).peek_state("log", bee, "logs", "k").unwrap();
+    let items: Vec<u64> = c
+        .hive(HiveId(1))
+        .peek_state("log", bee, "logs", "k")
+        .unwrap();
     assert_eq!(items.last(), Some(&999));
 }
 
@@ -115,23 +144,33 @@ fn failover_promotes_shadow_with_full_state() {
 fn migration_keeps_replication_going() {
     let mut c = replicated_cluster(3, 2);
     c.elect_registry(120_000).unwrap();
-    c.hive_mut(HiveId(1)).emit(Append { key: "m".into(), item: 1 });
+    c.hive_mut(HiveId(1)).emit(Append {
+        key: "m".into(),
+        item: 1,
+    });
     c.advance(3_000, 50);
     let (bee, _) = owner_of(&c, "m");
 
     // Move the bee to hive 3; its replica ring successor becomes hive 1.
-    c.hive_mut(HiveId(1)).request_migration("log", bee, HiveId(1), HiveId(3));
+    c.hive_mut(HiveId(1))
+        .request_migration("log", bee, HiveId(1), HiveId(3));
     c.advance(3_000, 50);
     assert_eq!(owner_of(&c, "m").1, HiveId(3));
 
     // New writes replicate from the new owner; the gap triggers a resync on
     // the new shadow hive, after which it is consistent.
     for i in 2..=4 {
-        c.hive_mut(HiveId(2)).emit(Append { key: "m".into(), item: i });
+        c.hive_mut(HiveId(2)).emit(Append {
+            key: "m".into(),
+            item: i,
+        });
         c.advance(2_000, 50);
     }
     c.advance(3_000, 50);
-    assert!(c.hive(HiveId(1)).shadow_count() >= 1, "hive 1 now shadows the moved bee");
+    assert!(
+        c.hive(HiveId(1)).shadow_count() >= 1,
+        "hive 1 now shadows the moved bee"
+    );
     // Kill hive 3; recover on hive 1; all four items must be there.
     for id in c.ids() {
         if id != HiveId(3) {
@@ -141,6 +180,9 @@ fn migration_keeps_replication_going() {
     c.advance(1_000, 50);
     c.hive_mut(HiveId(1)).recover_from(HiveId(3));
     c.advance(5_000, 50);
-    let items: Vec<u64> = c.hive(HiveId(1)).peek_state("log", bee, "logs", "m").unwrap();
+    let items: Vec<u64> = c
+        .hive(HiveId(1))
+        .peek_state("log", bee, "logs", "m")
+        .unwrap();
     assert_eq!(items, vec![1, 2, 3, 4]);
 }

@@ -37,28 +37,36 @@ fn counter(answers: Arc<Mutex<Vec<Answer>>>) -> App {
         .handle::<Count>(
             |m| Mapped::cell("c", &m.key),
             |m, ctx| {
-                let n: u64 = ctx.get("c", &m.key).map_err(|e| e.to_string())?.unwrap_or(0);
-                ctx.put("c", m.key.clone(), &(n + 1)).map_err(|e| e.to_string())?;
+                let n: u64 = ctx
+                    .get("c", &m.key)
+                    .map_err(|e| e.to_string())?
+                    .unwrap_or(0);
+                ctx.put("c", m.key.clone(), &(n + 1))
+                    .map_err(|e| e.to_string())?;
                 Ok(())
             },
         )
         .handle::<ReadBack>(
             |m| Mapped::cell("c", &m.key),
             move |m, ctx| {
-                let n: u64 = ctx.get("c", &m.key).map_err(|e| e.to_string())?.unwrap_or(0);
-                ctx.emit(Answer { key: m.key.clone(), value: n, hive: ctx.hive().0 });
+                let n: u64 = ctx
+                    .get("c", &m.key)
+                    .map_err(|e| e.to_string())?
+                    .unwrap_or(0);
+                ctx.emit(Answer {
+                    key: m.key.clone(),
+                    value: n,
+                    hive: ctx.hive().0,
+                });
                 Ok(())
             },
         )
-        .handle::<Answer>(
-            |_m| Mapped::LocalSingleton,
-            {
-                move |m, _ctx| {
-                    answers.lock().push(m.clone());
-                    Ok(())
-                }
-            },
-        )
+        .handle::<Answer>(|_m| Mapped::LocalSingleton, {
+            move |m, _ctx| {
+                answers.lock().push(m.clone());
+                Ok(())
+            }
+        })
         .build()
 }
 
@@ -92,8 +100,7 @@ fn three_hives_over_tcp_route_consistently() {
         cfg.tick_interval_ms = 0;
         cfg.raft_tick_ms = 5;
         cfg.pending_retry_ms = 200;
-        let mut hive =
-            Hive::new(cfg, Arc::new(SystemClock::new()), Box::new(transport));
+        let mut hive = Hive::new(cfg, Arc::new(SystemClock::new()), Box::new(transport));
         hive.install(counter(answers.clone()));
         handles.push(hive.handle());
         let stop2 = stop.clone();
@@ -136,5 +143,8 @@ fn three_hives_over_tcp_route_consistently() {
         .flat_map(|h| h.local_bees("counter"))
         .filter(|&(_, cells)| cells > 0)
         .count();
-    assert_eq!(cell_bees, 1, "exactly one colony for key k (got {total_bees} bees total)");
+    assert_eq!(
+        cell_bees, 1,
+        "exactly one colony for key k (got {total_bees} bees total)"
+    );
 }
