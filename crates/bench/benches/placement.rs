@@ -23,6 +23,7 @@ fn loads(bees: usize, hives: u32) -> Vec<BeeLoad> {
                 pinned: i % 16 == 0,
                 cells: 1 + (i % 50) as u64,
                 in_by_hive,
+                p99_runtime_us: (i as u64 % 7) * 1_000,
             }
         })
         .collect()

@@ -12,10 +12,12 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use crate::id::HiveId;
-use crate::metrics::{ExecutorStats, HiveMetrics, ProvenanceKey};
+use crate::metrics::{
+    ExecutorStats, HiveMetrics, LatencyHistogram, MsgLatency, ProvenanceKey, LATENCY_BUCKETS_US,
+};
 
 /// Short type name (drop module path) for display.
-fn short(ty: &str) -> &str {
+pub(crate) fn short_type(ty: &str) -> &str {
     ty.rsplit("::").next().unwrap_or(ty)
 }
 
@@ -33,6 +35,8 @@ pub struct Analytics {
     per_bee: BTreeMap<(String, u64), u64>,
     /// Parallel-executor counters per hive (empty for sequential hives).
     executor_per_hive: BTreeMap<u32, ExecutorStats>,
+    /// Queue-wait / runtime histograms per (app, message type).
+    latency: BTreeMap<(String, String), MsgLatency>,
 }
 
 /// One application's aggregate load.
@@ -78,6 +82,12 @@ impl Analytics {
                 .entry(report.hive.0)
                 .or_default()
                 .merge(&report.executor);
+        }
+        for (app, ty, lat) in &report.latency {
+            self.latency
+                .entry((app.clone(), ty.clone()))
+                .or_default()
+                .merge(lat);
         }
         // Recompute bee counts.
         let mut bees_per_app: BTreeMap<&String, u64> = BTreeMap::new();
@@ -127,6 +137,151 @@ impl Analytics {
         self.executor_per_hive.iter().map(|(&h, s)| (HiveId(h), s))
     }
 
+    /// Latency histograms per (app, message type).
+    pub fn latency(&self) -> impl Iterator<Item = (&(String, String), &MsgLatency)> {
+        self.latency.iter()
+    }
+
+    /// The worst p99 handler runtime across an app's message types, in µs.
+    pub fn p99_runtime_us(&self, app: &str) -> Option<u64> {
+        self.latency
+            .iter()
+            .filter(|((a, _), _)| a == app)
+            .filter_map(|(_, l)| l.runtime.p99_us())
+            .max()
+    }
+
+    /// The worst p99 queue wait across an app's message types, in µs.
+    pub fn p99_queue_wait_us(&self, app: &str) -> Option<u64> {
+        self.latency
+            .iter()
+            .filter(|((a, _), _)| a == app)
+            .filter_map(|(_, l)| l.queue_wait.p99_us())
+            .max()
+    }
+
+    /// Renders everything as Prometheus text exposition format. Each metric
+    /// family header appears exactly once; histograms use cumulative `le`
+    /// buckets in seconds per Prometheus convention. Message-type labels use
+    /// short type names (module paths stripped).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::with_capacity(4096);
+
+        out.push_str("# HELP beehive_app_messages_total Messages processed per application.\n");
+        out.push_str("# TYPE beehive_app_messages_total counter\n");
+        for (app, load) in &self.per_app {
+            push_sample(
+                &mut out,
+                "beehive_app_messages_total",
+                &[("app", app)],
+                load.msgs as f64,
+            );
+        }
+        out.push_str("# HELP beehive_app_bytes_total Wire bytes received per application.\n");
+        out.push_str("# TYPE beehive_app_bytes_total counter\n");
+        for (app, load) in &self.per_app {
+            push_sample(
+                &mut out,
+                "beehive_app_bytes_total",
+                &[("app", app)],
+                load.bytes as f64,
+            );
+        }
+        out.push_str("# HELP beehive_app_handler_seconds_total Time spent in rcv functions.\n");
+        out.push_str("# TYPE beehive_app_handler_seconds_total counter\n");
+        for (app, load) in &self.per_app {
+            push_sample(
+                &mut out,
+                "beehive_app_handler_seconds_total",
+                &[("app", app)],
+                load.handler_nanos as f64 / 1e9,
+            );
+        }
+        out.push_str("# HELP beehive_app_errors_total Rolled-back handler invocations.\n");
+        out.push_str("# TYPE beehive_app_errors_total counter\n");
+        for (app, load) in &self.per_app {
+            push_sample(
+                &mut out,
+                "beehive_app_errors_total",
+                &[("app", app)],
+                load.errors as f64,
+            );
+        }
+        out.push_str("# HELP beehive_app_bees Distinct bees observed per application.\n");
+        out.push_str("# TYPE beehive_app_bees gauge\n");
+        for (app, load) in &self.per_app {
+            push_sample(
+                &mut out,
+                "beehive_app_bees",
+                &[("app", app)],
+                load.bees as f64,
+            );
+        }
+        out.push_str("# HELP beehive_hive_messages_total Messages processed per hive.\n");
+        out.push_str("# TYPE beehive_hive_messages_total counter\n");
+        for (hive, msgs) in &self.msgs_per_hive {
+            let h = hive.to_string();
+            push_sample(
+                &mut out,
+                "beehive_hive_messages_total",
+                &[("hive", &h)],
+                *msgs as f64,
+            );
+        }
+        out.push_str(
+            "# HELP beehive_provenance_emissions_total Emissions of out_type caused by in_type.\n",
+        );
+        out.push_str("# TYPE beehive_provenance_emissions_total counter\n");
+        for (k, count) in &self.provenance {
+            push_sample(
+                &mut out,
+                "beehive_provenance_emissions_total",
+                &[
+                    ("app", &k.app),
+                    ("in_type", short_type(&k.in_type)),
+                    ("out_type", short_type(&k.out_type)),
+                ],
+                *count as f64,
+            );
+        }
+        out.push_str("# HELP beehive_executor_rounds_total Parallel executor rounds per hive.\n");
+        out.push_str("# TYPE beehive_executor_rounds_total counter\n");
+        for (hive, ex) in &self.executor_per_hive {
+            let h = hive.to_string();
+            push_sample(
+                &mut out,
+                "beehive_executor_rounds_total",
+                &[("hive", &h)],
+                ex.rounds as f64,
+            );
+        }
+        out.push_str("# HELP beehive_executor_busy_seconds_total Worker busy time per hive.\n");
+        out.push_str("# TYPE beehive_executor_busy_seconds_total counter\n");
+        for (hive, ex) in &self.executor_per_hive {
+            let h = hive.to_string();
+            let busy: u64 = ex.workers.iter().map(|w| w.busy_nanos).sum();
+            push_sample(
+                &mut out,
+                "beehive_executor_busy_seconds_total",
+                &[("hive", &h)],
+                busy as f64 / 1e9,
+            );
+        }
+        push_histogram_family(
+            &mut out,
+            "beehive_queue_wait_seconds",
+            "Local queue wait before the handler ran.",
+            self.latency.iter().map(|(k, l)| (k, &l.queue_wait)),
+        );
+        push_histogram_family(
+            &mut out,
+            "beehive_handler_runtime_seconds",
+            "Time inside the rcv function.",
+            self.latency.iter().map(|(k, l)| (k, &l.runtime)),
+        );
+        out
+    }
+
     /// Hive balance: (busiest hive, its share of all messages).
     pub fn hot_hive(&self) -> Option<(HiveId, f64)> {
         let total: u64 = self.msgs_per_hive.values().sum();
@@ -150,13 +305,97 @@ impl Analytics {
                 let denom = self.per_app.get(&k.app).map(|l| l.msgs).unwrap_or(0).max(1);
                 ProvenanceRow {
                     app: k.app.clone(),
-                    in_type: short(&k.in_type).to_string(),
-                    out_type: short(&k.out_type).to_string(),
+                    in_type: short_type(&k.in_type).to_string(),
+                    out_type: short_type(&k.out_type).to_string(),
                     emissions: count,
                     per_app_input_ratio: count as f64 / denom as f64,
                 }
             })
             .collect()
+    }
+}
+
+/// Escapes a Prometheus label value.
+fn escape_label(v: &str, out: &mut String) {
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Appends one `name{labels} value` exposition line.
+fn push_sample(out: &mut String, name: &str, labels: &[(&str, &str)], value: f64) {
+    out.push_str(name);
+    if !labels.is_empty() {
+        out.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            escape_label(v, out);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(&format_value(value));
+    out.push('\n');
+}
+
+/// Formats a sample value: integers without a fraction, everything else via
+/// `{}` (shortest roundtrip form).
+fn format_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Appends one histogram family: cumulative `_bucket{le=...}` lines plus
+/// `_sum` and `_count` per (app, message type) series, bounds in seconds.
+fn push_histogram_family<'a>(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    series: impl Iterator<Item = (&'a (String, String), &'a LatencyHistogram)>,
+) {
+    out.push_str(&format!("# HELP {name} {help}\n"));
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    for ((app, ty), hist) in series {
+        let ty = short_type(ty);
+        let mut cumulative = 0u64;
+        for (i, &count) in hist.buckets.iter().enumerate() {
+            cumulative += count;
+            let le = match LATENCY_BUCKETS_US.get(i) {
+                Some(&bound) => format_value(bound as f64 / 1e6),
+                None => "+Inf".to_string(),
+            };
+            push_sample(
+                out,
+                &format!("{name}_bucket"),
+                &[("app", app), ("msg", ty), ("le", &le)],
+                cumulative as f64,
+            );
+        }
+        push_sample(
+            out,
+            &format!("{name}_sum"),
+            &[("app", app), ("msg", ty)],
+            hist.sum_us as f64 / 1e6,
+        );
+        push_sample(
+            out,
+            &format!("{name}_count"),
+            &[("app", app), ("msg", ty)],
+            hist.count as f64,
+        );
     }
 }
 
@@ -211,6 +450,17 @@ impl fmt::Display for Analytics {
                 busy_ms,
             )?;
         }
+        for ((app, ty), lat) in &self.latency {
+            let (Some(wait), Some(run)) = (lat.queue_wait.p99_us(), lat.runtime.p99_us()) else {
+                continue;
+            };
+            writeln!(
+                f,
+                "  latency {app}/{}: p99 wait {wait}us, p99 run {run}us ({} msgs)",
+                short_type(ty),
+                lat.runtime.count,
+            )?;
+        }
         let rows = self.provenance_rows();
         if !rows.is_empty() {
             writeln!(f, "  provenance:")?;
@@ -258,6 +508,7 @@ mod tests {
                 msgs * 8 / 10,
             )],
             executor: ExecutorStats::default(),
+            latency: Vec::new(),
         }
     }
 
@@ -304,6 +555,52 @@ mod tests {
         let (h, share) = a.hot_hive().unwrap();
         assert_eq!(h, HiveId(1));
         assert!((share - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_histograms_aggregate_and_render() {
+        let mut r = report(1, "te", 1, 3);
+        let mut lat = MsgLatency::default();
+        lat.queue_wait.observe(900); // → 1ms bucket
+        lat.queue_wait.observe(40);
+        lat.queue_wait.observe(40);
+        lat.runtime.observe(400);
+        lat.runtime.observe(400);
+        lat.runtime.observe(9_000);
+        r.latency.push(("te".into(), "mod::StatReply".into(), lat));
+        let mut a = Analytics::new();
+        a.ingest(&r);
+        a.ingest(&r); // two windows fold together
+        assert_eq!(a.p99_runtime_us("te"), Some(10_000));
+        assert_eq!(a.p99_queue_wait_us("te"), Some(1_000));
+        assert_eq!(a.p99_runtime_us("nope"), None);
+
+        let text = a.render_prometheus();
+        // Families appear exactly once.
+        for family in [
+            "beehive_app_messages_total",
+            "beehive_queue_wait_seconds",
+            "beehive_handler_runtime_seconds",
+        ] {
+            assert_eq!(
+                text.matches(&format!("# TYPE {family} ")).count(),
+                1,
+                "family {family} duplicated:\n{text}"
+            );
+        }
+        // Histogram counts match observations across both windows; labels
+        // use short type names; +Inf closes the bucket series.
+        assert!(
+            text.contains("beehive_handler_runtime_seconds_count{app=\"te\",msg=\"StatReply\"} 6"),
+            "{text}"
+        );
+        assert!(text.contains("le=\"+Inf\"} 6"), "{text}");
+        assert!(text.contains(
+            "beehive_queue_wait_seconds_bucket{app=\"te\",msg=\"StatReply\",le=\"0.00005\"} 4"
+        ));
+        assert!(text.contains("beehive_app_messages_total{app=\"te\"} 6"));
+        // The Display report cites p99s too.
+        assert!(a.to_string().contains("p99"), "{a}");
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::error::Result;
 use crate::id::{AppName, BeeId, HiveId};
 use crate::message::{cast, Dst, Envelope, Message, MessageRegistry, Source, TypedMessage};
 use crate::state::TxState;
+use crate::trace::TraceContext;
 
 /// Outcome of a rcv function. An `Err` rolls back the state transaction and
 /// discards emitted messages.
@@ -295,6 +296,7 @@ pub struct RcvCtx<'a> {
     pub(crate) bee: BeeId,
     pub(crate) src: Source,
     pub(crate) now_ms: u64,
+    pub(crate) trace: TraceContext,
     pub(crate) tx: TxState<'a>,
     pub(crate) outbox: Vec<Envelope>,
     pub(crate) control_out: Vec<(HiveId, ControlMsg)>,
@@ -325,6 +327,12 @@ impl RcvCtx<'_> {
     /// Current platform time in milliseconds.
     pub fn now_ms(&self) -> u64 {
         self.now_ms
+    }
+
+    /// The causal trace context of the message being processed. Emitted
+    /// messages automatically become children of this span.
+    pub fn trace(&self) -> TraceContext {
+        self.trace
     }
 
     // ----- state (transactional) -----
@@ -372,6 +380,7 @@ impl RcvCtx<'_> {
                 hive: self.hive,
             },
             dst: Dst::Broadcast,
+            trace: self.trace.child(self.hive),
         });
     }
 
@@ -384,6 +393,7 @@ impl RcvCtx<'_> {
                 hive: self.hive,
             },
             dst: Dst::App(app.into()),
+            trace: self.trace.child(self.hive),
         });
     }
 
@@ -401,6 +411,7 @@ impl RcvCtx<'_> {
                 handler: None,
                 fence: 0,
             },
+            trace: self.trace.child(self.hive),
         });
     }
 

@@ -42,6 +42,7 @@ use crate::id::{BeeId, HiveId};
 use crate::message::Envelope;
 use crate::metrics::Instrumentation;
 use crate::state::{BeeState, JournalOp, TxState};
+use crate::trace::{TraceCollector, TraceSpan};
 
 /// A condvar-based parker for the hive thread's idle wait. An `unpark` that
 /// arrives while the thread is *not* parked is remembered, so a wakeup
@@ -101,6 +102,9 @@ pub(crate) struct BeeJob {
     pub replicate: bool,
     /// The bee's entire pending mailbox for this round.
     pub batch: Vec<(u16, Envelope)>,
+    /// The hive's span ring buffer; workers record directly (slot-level
+    /// locking only), so spans need no check-in round trip.
+    pub tracer: Arc<TraceCollector>,
 }
 
 /// Everything a batch produced, to be checked back in and applied by the
@@ -158,6 +162,7 @@ fn run_batch(worker: usize, job: BeeJob) -> BeeJobResult {
         mut repl_seq,
         replicate,
         batch,
+        tracer,
     } = job;
     let app_name = app.name().clone();
     let mut instr = Instrumentation::default();
@@ -181,6 +186,7 @@ fn run_batch(worker: usize, job: BeeJob) -> BeeJobResult {
             bee,
             src: env.src,
             now_ms,
+            trace: env.trace,
             tx: TxState::begin(&mut state),
             outbox: Vec::new(),
             control_out: Vec::new(),
@@ -255,6 +261,21 @@ fn run_batch(worker: usize, job: BeeJob) -> BeeJobResult {
             instr.record_provenance(&app_name, &in_type, out.msg.type_name());
         }
         instr.record_in_type(&app_name, &in_type);
+        let wait_us = now_ms.saturating_sub(env.trace.enqueued_ms) * 1_000;
+        instr.record_latency(&app_name, &in_type, wait_us, elapsed / 1_000);
+        tracer.record(TraceSpan {
+            trace_id: env.trace.trace_id,
+            span_id: env.trace.span_id,
+            parent_span: env.trace.parent_span,
+            hive,
+            app: app_name.clone(),
+            bee,
+            msg_type: in_type.clone(),
+            start_ms: now_ms,
+            queue_wait_us: wait_us,
+            runtime_ns: elapsed,
+            ok,
+        });
         if !ok {
             errors += 1;
         }

@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::app::App;
 use crate::id::{BeeId, HiveId};
-use crate::metrics::BeeStatsSnapshot;
+use crate::metrics::{BeeStatsSnapshot, MsgLatency};
 
 /// One observation about an application's design or behaviour.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -33,6 +33,10 @@ pub enum FeedbackItem {
         hive: HiveId,
         /// Fraction of the app's messages it processed (0..=1).
         share: f64,
+        /// Worst p99 handler runtime observed for the app, in µs — latency
+        /// evidence that centralization actually hurts (None = no histogram
+        /// data in the window).
+        p99_runtime_us: Option<u64>,
     },
     /// A bee receives the majority of its messages from a *different* hive —
     /// placement is suboptimal (the optimizer will usually fix this; if it
@@ -46,6 +50,9 @@ pub enum FeedbackItem {
         dominant_source: HiveId,
         /// Fraction of its input from that hive (0..=1).
         share: f64,
+        /// Worst p99 queue wait observed for the app, in µs — the latency
+        /// cost of the misplacement (None = no histogram data).
+        p99_queue_wait_us: Option<u64>,
     },
     /// Handlers wrote keys outside their mapped cells and collided with
     /// other colonies — a consistency-endangering design error.
@@ -63,23 +70,41 @@ impl fmt::Display for FeedbackItem {
                 "dictionary {dict:?} is monolithic because handler(s) {handlers:?} map it whole; \
                  every function sharing {dict:?} is effectively centralized"
             ),
-            FeedbackItem::CentralizedExecution { bee, hive, share } => write!(
-                f,
-                "{:.0}% of this app's messages are processed by {bee} on {hive}: \
-                 the app is effectively centralized",
-                share * 100.0
-            ),
+            FeedbackItem::CentralizedExecution {
+                bee,
+                hive,
+                share,
+                p99_runtime_us,
+            } => {
+                write!(
+                    f,
+                    "{:.0}% of this app's messages are processed by {bee} on {hive}: \
+                     the app is effectively centralized",
+                    share * 100.0
+                )?;
+                if let Some(p99) = p99_runtime_us {
+                    write!(f, " (p99 handler runtime {p99}us)")?;
+                }
+                Ok(())
+            }
             FeedbackItem::RemoteChatter {
                 bee,
                 hive,
                 dominant_source,
                 share,
-            } => write!(
-                f,
-                "{bee} on {hive} receives {:.0}% of its messages from {dominant_source}: \
-                 placement is suboptimal",
-                share * 100.0
-            ),
+                p99_queue_wait_us,
+            } => {
+                write!(
+                    f,
+                    "{bee} on {hive} receives {:.0}% of its messages from {dominant_source}: \
+                     placement is suboptimal",
+                    share * 100.0
+                )?;
+                if let Some(p99) = p99_queue_wait_us {
+                    write!(f, " (p99 queue wait {p99}us)")?;
+                }
+                Ok(())
+            }
             FeedbackItem::OutOfCellWrites { conflicts } => write!(
                 f,
                 "{conflicts} write(s) outside the mapped cells collided with other colonies; \
@@ -139,15 +164,29 @@ pub fn design_feedback(app: &App) -> FeedbackReport {
 ///
 /// `centralization_threshold` — flag when one bee's share of messages exceeds
 /// it (paper-style default: 0.9). `chatter_threshold` — flag bees receiving
-/// more than this fraction of their input from one remote hive.
+/// more than this fraction of their input from one remote hive. `latency` —
+/// the app's per-message-type histograms, if collected; findings then cite
+/// p99 latency evidence alongside the counts.
 pub fn runtime_feedback(
     app: &str,
     snapshots: &[BeeStatsSnapshot],
+    latency: Option<&BTreeMap<(String, String), MsgLatency>>,
     assign_conflicts: u64,
     centralization_threshold: f64,
     chatter_threshold: f64,
 ) -> FeedbackReport {
     let mut items = Vec::new();
+
+    let app_p99 = |pick: fn(&MsgLatency) -> &crate::metrics::LatencyHistogram| {
+        latency.and_then(|map| {
+            map.iter()
+                .filter(|((a, _), _)| a == app)
+                .filter_map(|(_, l)| pick(l).p99_us())
+                .max()
+        })
+    };
+    let p99_runtime_us = app_p99(|l| &l.runtime);
+    let p99_queue_wait_us = app_p99(|l| &l.queue_wait);
 
     let relevant: Vec<&BeeStatsSnapshot> = snapshots
         .iter()
@@ -163,6 +202,7 @@ pub fn runtime_feedback(
                     bee: top.bee,
                     hive: top.hive,
                     share,
+                    p99_runtime_us,
                 });
             }
         }
@@ -178,6 +218,7 @@ pub fn runtime_feedback(
                         hive: s.hive,
                         dominant_source: src,
                         share,
+                        p99_queue_wait_us,
                     });
                 }
             }
@@ -280,7 +321,7 @@ mod tests {
             snap("te", 2, 2, 3, 2),
             snap("te", 3, 3, 2, 3),
         ];
-        let report = runtime_feedback("te", &snaps, 0, 0.9, 0.5);
+        let report = runtime_feedback("te", &snaps, None, 0, 0.9, 0.5);
         assert!(report.is_centralized());
     }
 
@@ -291,7 +332,7 @@ mod tests {
             snap("te", 2, 2, 35, 2),
             snap("te", 3, 3, 35, 3),
         ];
-        let report = runtime_feedback("te", &snaps, 0, 0.9, 0.95);
+        let report = runtime_feedback("te", &snaps, None, 0, 0.9, 0.95);
         assert!(!report.is_centralized());
     }
 
@@ -299,7 +340,7 @@ mod tests {
     fn remote_chatter_detected() {
         // Bee on hive 1 fed overwhelmingly from hive 4.
         let snaps = vec![snap("te", 1, 1, 100, 4)];
-        let report = runtime_feedback("te", &snaps, 0, 2.0, 0.5);
+        let report = runtime_feedback("te", &snaps, None, 0, 2.0, 0.5);
         assert!(matches!(
             report.items.first(),
             Some(FeedbackItem::RemoteChatter {
@@ -310,8 +351,26 @@ mod tests {
     }
 
     #[test]
+    fn latency_evidence_is_cited_when_available() {
+        let snaps = vec![snap("te", 1, 1, 95, 1), snap("te", 2, 2, 5, 2)];
+        let mut lat = MsgLatency::default();
+        lat.runtime.observe(4_000);
+        let mut map = BTreeMap::new();
+        map.insert(("te".to_string(), "M".to_string()), lat);
+        let report = runtime_feedback("te", &snaps, Some(&map), 0, 0.9, 0.5);
+        assert!(matches!(
+            report.items.first(),
+            Some(FeedbackItem::CentralizedExecution {
+                p99_runtime_us: Some(_),
+                ..
+            })
+        ));
+        assert!(report.to_string().contains("p99 handler runtime"));
+    }
+
+    #[test]
     fn conflicts_reported() {
-        let report = runtime_feedback("te", &[], 3, 0.9, 0.5);
+        let report = runtime_feedback("te", &[], None, 3, 0.9, 0.5);
         assert_eq!(
             report.items,
             vec![FeedbackItem::OutOfCellWrites { conflicts: 3 }]

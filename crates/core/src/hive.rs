@@ -29,6 +29,7 @@ use crate::queen::{BeeStatus, Queen};
 use crate::registry::{RegistryCommand, RegistryEvent, RegistryOp, RegistryState};
 use crate::replication::{replicas_of, ApplyOutcome, ShadowStore};
 use crate::state::{BeeState, TxState};
+use crate::trace::{TraceCollector, TraceSpan};
 use crate::transport::{Frame, FrameKind, Transport};
 
 /// Configuration of a hive.
@@ -72,6 +73,9 @@ pub struct HiveConfig {
     /// "Execution model"); the hive thread always keeps routing, registry,
     /// Raft and migration to itself.
     pub workers: usize,
+    /// Capacity of the causal-trace span ring buffer (see
+    /// [`crate::trace::TraceCollector`]). Old spans are overwritten.
+    pub trace_capacity: usize,
 }
 
 impl HiveConfig {
@@ -90,6 +94,7 @@ impl HiveConfig {
             replication_factor: 1,
             registry_storage_dir: None,
             workers: 1,
+            trace_capacity: 4096,
         }
     }
 
@@ -211,6 +216,7 @@ pub struct Hive {
     queens: Vec<Queen>,
     registry: RegBackend,
     instr: Arc<Mutex<Instrumentation>>,
+    tracer: Arc<TraceCollector>,
     counters: HiveCounters,
     next_bee_seq: u32,
     next_cmd_seq: u64,
@@ -310,6 +316,7 @@ impl Hive {
         } else {
             None
         };
+        let tracer = Arc::new(TraceCollector::new(cfg.trace_capacity));
         let (handle_tx, handle_rx) = unbounded();
         let mut msg_registry = MessageRegistry::new();
         msg_registry.register::<Tick>();
@@ -323,6 +330,7 @@ impl Hive {
             msg_registry,
             queens: Vec::new(),
             registry,
+            tracer,
             instr: Arc::new(Mutex::new(Instrumentation::default())),
             counters: HiveCounters::default(),
             next_bee_seq: 1,
@@ -390,6 +398,11 @@ impl Hive {
     /// Shared instrumentation store (used by the collector platform app).
     pub fn instrumentation(&self) -> Arc<Mutex<Instrumentation>> {
         self.instr.clone()
+    }
+
+    /// This hive's causal-trace span collector.
+    pub fn tracer(&self) -> Arc<TraceCollector> {
+        self.tracer.clone()
     }
 
     /// Diagnostic counters.
@@ -729,7 +742,14 @@ impl Hive {
     // Dispatch
     // ------------------------------------------------------------------
 
-    fn dispatch(&mut self, env: Envelope, now: u64) {
+    fn dispatch(&mut self, mut env: Envelope, now: u64) {
+        // First local dispatch stamps the queue-wait clock: wire arrivals
+        // come in cleared (sender stamps are not comparable), relayed local
+        // loops and parked orphans keep their original stamp so measured
+        // wait covers the whole local residency.
+        if env.trace.enqueued_ms == 0 {
+            env.trace.enqueued_ms = now;
+        }
         match env.dst.clone() {
             Dst::Broadcast => {
                 for app_idx in 0..self.apps.len() {
@@ -1492,6 +1512,7 @@ impl Hive {
                 repl_seq: out.repl_seq,
                 replicate,
                 batch: out.mail,
+                tracer: self.tracer.clone(),
             });
             jobs += 1;
         }
@@ -1605,6 +1626,7 @@ impl Hive {
             bee: bee_id,
             src: env.src,
             now_ms: now,
+            trace: env.trace,
             tx: TxState::begin(&mut bee.state),
             outbox: Vec::new(),
             control_out: Vec::new(),
@@ -1684,6 +1706,21 @@ impl Hive {
             }
             instr.record_in_type(&app_name, &in_type);
             instr.bee_cells.insert(bee_id.0, colony_len);
+            let wait_us = now.saturating_sub(env.trace.enqueued_ms) * 1_000;
+            instr.record_latency(&app_name, &in_type, wait_us, elapsed / 1_000);
+            self.tracer.record(TraceSpan {
+                trace_id: env.trace.trace_id,
+                span_id: env.trace.span_id,
+                parent_span: env.trace.parent_span,
+                hive: me,
+                app: app_name.clone(),
+                bee: bee_id,
+                msg_type: in_type.clone(),
+                start_ms: now,
+                queue_wait_us: wait_us,
+                runtime_ns: elapsed,
+                ok,
+            });
         }
         if !ok {
             self.counters.handler_errors += 1;

@@ -77,6 +77,7 @@ pub mod queen;
 pub mod registry;
 pub mod replication;
 pub mod state;
+pub mod trace;
 pub mod transport;
 
 pub use analytics::{Analytics, AppLoad, ProvenanceRow};
@@ -88,13 +89,15 @@ pub use hive::{Hive, HiveConfig, HiveCounters, HiveHandle};
 pub use id::{AppName, BeeId, HiveId};
 pub use message::{cast, Dst, Envelope, Message, MessageRegistry, Source, TypedMessage};
 pub use metrics::{
-    BeeStats, BeeStatsSnapshot, ExecutorStats, HiveMetrics, Instrumentation, WorkerStats,
+    BeeStats, BeeStatsSnapshot, ExecutorStats, HiveMetrics, Instrumentation, LatencyHistogram,
+    MsgLatency, WorkerStats, LATENCY_BUCKETS_US,
 };
 pub use platform::{collector_app, optimizer_app, Tick, COLLECTOR_APP, OPTIMIZER_APP};
 pub use registry::{RegistryCommand, RegistryEvent, RegistryOp, RegistryState};
 pub use replication::{replicas_of, ShadowStore};
 pub use state::{BeeState, Dict, JournalOp, TxJournal, TxState};
-pub use transport::{Frame, FrameKind, Loopback, Transport};
+pub use trace::{chrome_trace, TraceCollector, TraceContext, TraceSpan};
+pub use transport::{Frame, FrameKind, Loopback, Transport, TransportCounters, TransportSnapshot};
 
 /// Common imports for application authors.
 pub mod prelude {

@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::{Error, Result};
 use crate::id::{AppName, BeeId, HiveId};
+use crate::trace::TraceContext;
 
 /// A Beehive message. Implement via [`crate::impl_message!`], not by hand.
 pub trait Message: Any + Send + Sync + fmt::Debug {
@@ -148,12 +149,16 @@ pub struct Envelope {
     pub src: Source,
     /// Target.
     pub dst: Dst,
+    /// Causal trace context (propagated across emits and hives).
+    pub trace: TraceContext,
 }
 
 impl fmt::Debug for Envelope {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Envelope")
             .field("type", &self.msg.type_name())
+            .field("trace_id", &format_args!("{:#x}", self.trace.trace_id))
+            .field("seq", &format_args!("{:#x}", self.trace.span_id))
             .field("src", &self.src)
             .field("dst", &self.dst)
             .finish()
@@ -161,12 +166,13 @@ impl fmt::Debug for Envelope {
 }
 
 impl Envelope {
-    /// An externally injected broadcast.
+    /// An externally injected broadcast; starts a fresh causal trace.
     pub fn external(hive: HiveId, msg: Arc<dyn Message>) -> Self {
         Envelope {
             msg,
             src: Source::External(hive),
             dst: Dst::Broadcast,
+            trace: TraceContext::root(hive),
         }
     }
 }
@@ -182,6 +188,9 @@ pub struct WireEnvelope {
     pub type_name: String,
     /// Encoded payload.
     pub payload: Vec<u8>,
+    /// Causal trace context. The enqueue stamp inside it is meaningful only
+    /// on the sending hive and is cleared on decode.
+    pub trace: TraceContext,
 }
 
 impl WireEnvelope {
@@ -192,11 +201,14 @@ impl WireEnvelope {
             dst: env.dst.clone(),
             type_name: env.msg.type_name().to_string(),
             payload: env.msg.encode()?,
+            trace: env.trace,
         };
         beehive_wire::to_vec(&we).map_err(Error::from)
     }
 
     /// Decodes wire bytes back into an envelope using `registry`'s decoders.
+    /// The trace context survives the hop; its enqueue stamp is reset so the
+    /// receiving hive re-stamps queue wait against its own clock.
     pub fn to_envelope(bytes: &[u8], registry: &MessageRegistry) -> Result<Envelope> {
         let we: WireEnvelope = beehive_wire::from_slice(bytes)?;
         let msg = registry.decode(&we.type_name, &we.payload)?;
@@ -204,6 +216,7 @@ impl WireEnvelope {
             msg,
             src: we.src,
             dst: we.dst,
+            trace: we.trace.rewired(),
         })
     }
 }
@@ -300,6 +313,8 @@ mod tests {
     fn wire_envelope_roundtrip() {
         let mut reg = MessageRegistry::new();
         reg.register::<Pong>();
+        let mut trace = TraceContext::root(HiveId(1));
+        trace.enqueued_ms = 42; // sender-local stamp; must not survive the hop
         let env = Envelope {
             msg: Arc::new(Pong {
                 text: "hello".into(),
@@ -309,12 +324,30 @@ mod tests {
                 hive: HiveId(1),
             },
             dst: Dst::App("router".into()),
+            trace,
         };
         let bytes = WireEnvelope::from_envelope(&env).unwrap();
         let back = WireEnvelope::to_envelope(&bytes, &reg).unwrap();
         assert_eq!(back.src, env.src);
         assert_eq!(back.dst, env.dst);
         assert_eq!(cast::<Pong>(back.msg.as_ref()).unwrap().text, "hello");
+        // Causal identity crosses the wire; the enqueue stamp does not.
+        assert_eq!(back.trace.trace_id, trace.trace_id);
+        assert_eq!(back.trace.span_id, trace.span_id);
+        assert_eq!(back.trace.parent_span, trace.parent_span);
+        assert_eq!(back.trace.enqueued_ms, 0);
+    }
+
+    #[test]
+    fn external_envelopes_start_fresh_traces() {
+        let a = Envelope::external(HiveId(1), Arc::new(Ping { n: 1 }));
+        let b = Envelope::external(HiveId(1), Arc::new(Ping { n: 2 }));
+        assert_ne!(a.trace.trace_id, b.trace.trace_id);
+        assert_eq!(a.trace.parent_span, 0);
+        // The Debug impl names the trace so failures are attributable.
+        let dbg = format!("{a:?}");
+        assert!(dbg.contains("trace_id"), "{dbg}");
+        assert!(dbg.contains("seq"), "{dbg}");
     }
 
     #[test]

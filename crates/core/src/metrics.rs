@@ -150,6 +150,112 @@ impl ExecutorStats {
     }
 }
 
+/// Upper bounds (inclusive, microseconds) of the fixed latency-histogram
+/// buckets, exponential from 50µs to 5s. A seventeenth overflow bucket
+/// catches everything above the last bound.
+pub const LATENCY_BUCKETS_US: [u64; 16] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 5_000_000,
+];
+
+/// Number of buckets in a [`LatencyHistogram`] (bounds + overflow).
+pub const LATENCY_BUCKET_COUNT: usize = LATENCY_BUCKETS_US.len() + 1;
+
+/// A fixed-bucket latency histogram in microseconds. Buckets are
+/// non-cumulative (each observation lands in exactly one), so bucket counts
+/// always sum to `count`; the Prometheus exposition re-accumulates them into
+/// `le`-style cumulative buckets.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// Per-bucket observation counts; index i counts observations within
+    /// `LATENCY_BUCKETS_US[i]`, the last index counts overflows.
+    pub buckets: [u64; LATENCY_BUCKET_COUNT],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values, in microseconds.
+    pub sum_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; LATENCY_BUCKET_COUNT],
+            count: 0,
+            sum_us: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one observation of `us` microseconds.
+    pub fn observe(&mut self, us: u64) {
+        let idx = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_us += us;
+    }
+
+    /// Folds another histogram delta into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+    }
+
+    /// Whether nothing was observed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The 99th-percentile latency in microseconds, as the upper bound of
+    /// the bucket containing the p99 observation (overflow reports twice the
+    /// largest bound). `None` when empty.
+    pub fn p99_us(&self) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (self.count * 99).div_ceil(100).max(1);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                return Some(match LATENCY_BUCKETS_US.get(i) {
+                    Some(&bound) => bound,
+                    None => LATENCY_BUCKETS_US[LATENCY_BUCKETS_US.len() - 1] * 2,
+                });
+            }
+        }
+        None
+    }
+}
+
+/// Queue-wait and handler-runtime histograms for one `(app, message type)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MsgLatency {
+    /// Time spent in local dispatch/mailbox queues before the handler ran.
+    pub queue_wait: LatencyHistogram,
+    /// Time spent inside the rcv function.
+    pub runtime: LatencyHistogram,
+}
+
+impl MsgLatency {
+    /// Folds another delta into this one.
+    pub fn merge(&mut self, other: &MsgLatency) {
+        self.queue_wait.merge(&other.queue_wait);
+        self.runtime.merge(&other.runtime);
+    }
+
+    /// Whether nothing was observed.
+    pub fn is_empty(&self) -> bool {
+        self.queue_wait.is_empty() && self.runtime.is_empty()
+    }
+}
+
 /// Key for provenance counters: within `app`, messages of `in_type` caused
 /// emissions of `out_type`.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
@@ -184,6 +290,8 @@ pub struct Instrumentation {
     pub msg_matrix: BTreeMap<(u32, u32), u64>,
     /// Parallel-executor counters (empty when running sequentially).
     pub executor: ExecutorStats,
+    /// Queue-wait / handler-runtime histograms per (app, message type).
+    pub latency: BTreeMap<(AppName, String), MsgLatency>,
 }
 
 impl Instrumentation {
@@ -203,6 +311,17 @@ impl Instrumentation {
             .in_type_counts
             .entry((app.to_string(), in_type.to_string()))
             .or_insert(0) += 1;
+    }
+
+    /// Records one handler invocation's latencies for `(app, in_type)`:
+    /// `wait_us` in local queues before the handler, `runtime_us` inside it.
+    pub fn record_latency(&mut self, app: &str, in_type: &str, wait_us: u64, runtime_us: u64) {
+        let lat = self
+            .latency
+            .entry((app.to_string(), in_type.to_string()))
+            .or_default();
+        lat.queue_wait.observe(wait_us);
+        lat.runtime.observe(runtime_us);
     }
 
     /// Records that processing one `in_type` message emitted one `out_type`.
@@ -235,6 +354,9 @@ impl Instrumentation {
         }
         for (pair, count) in delta.msg_matrix {
             *self.msg_matrix.entry(pair).or_insert(0) += count;
+        }
+        for (key, lat) in delta.latency {
+            self.latency.entry(key).or_default().merge(&lat);
         }
         self.pinned.extend(delta.pinned);
         self.executor.merge(&delta.executor);
@@ -304,6 +426,8 @@ pub struct HiveMetrics {
     pub provenance: Vec<(ProvenanceKey, u64)>,
     /// Parallel-executor deltas (empty on sequential hives).
     pub executor: ExecutorStats,
+    /// Latency-histogram deltas per (app, message type).
+    pub latency: Vec<(AppName, String, MsgLatency)>,
 }
 crate::impl_message!(HiveMetrics);
 
@@ -388,6 +512,125 @@ mod tests {
         );
         assert_eq!(base.bee_cells[&1], 5);
         assert_eq!(base.executor.workers[0].messages, 2);
+    }
+
+    #[test]
+    fn histogram_observe_merge_p99() {
+        let mut h = LatencyHistogram::default();
+        assert!(h.is_empty());
+        assert_eq!(h.p99_us(), None);
+        h.observe(0); // below the smallest bound
+        h.observe(50); // exactly on a bound → that bucket
+        h.observe(51); // just above → next bucket
+        h.observe(10_000_000); // overflow
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum_us, 10_000_101);
+        assert_eq!(h.buckets[0], 2);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[LATENCY_BUCKET_COUNT - 1], 1);
+        assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+        // p99 of 4 observations is the max → overflow bucket (2× last bound).
+        assert_eq!(h.p99_us(), Some(10_000_000));
+        let mut other = LatencyHistogram::default();
+        for _ in 0..396 {
+            other.observe(80);
+        }
+        other.merge(&h);
+        assert_eq!(other.count, 400);
+        assert_eq!(other.buckets.iter().sum::<u64>(), 400);
+        // 396/400 = 99% of observations are ≤ 100µs: p99 lands there now.
+        assert_eq!(other.p99_us(), Some(100));
+    }
+
+    #[test]
+    fn latency_deltas_flow_and_reset() {
+        let mut inst = Instrumentation::default();
+        inst.record_latency("te", "StatReply", 200, 900);
+        inst.record_latency("te", "StatReply", 70_000, 3_000);
+        let taken = inst.take();
+        let lat = &taken.latency[&("te".to_string(), "StatReply".to_string())];
+        assert_eq!(lat.queue_wait.count, 2);
+        assert_eq!(lat.runtime.count, 2);
+        assert!(
+            inst.latency.is_empty(),
+            "take leaves an empty latency delta"
+        );
+        let mut agg = Instrumentation::default();
+        agg.merge_delta(taken);
+        assert_eq!(
+            agg.latency[&("te".to_string(), "StatReply".to_string())]
+                .runtime
+                .count,
+            2
+        );
+    }
+
+    /// The collector drains with `take` and the aggregator folds with
+    /// `merge_delta`; across two collection cycles every observation must be
+    /// counted exactly once.
+    #[test]
+    fn two_collection_cycles_never_double_count() {
+        let bee = BeeId::new(HiveId(1), 1);
+        let mut store = Instrumentation::default();
+        let mut agg = Instrumentation::default();
+
+        // Cycle 1: 3 deliveries, one provenance emission, one latency sample.
+        for _ in 0..3 {
+            store.bee("te", bee).record_in(HiveId(2), Some(bee), 10);
+        }
+        store.record_in_type("te", "PacketIn");
+        store.record_provenance("te", "PacketIn", "PacketOut");
+        store.record_latency("te", "PacketIn", 100, 1_000);
+        store.pinned.insert(bee.0);
+        store.bee_cells.insert(bee.0, 4);
+        agg.merge_delta(store.take());
+
+        // Cycle 2: 2 more deliveries and another latency sample.
+        for _ in 0..2 {
+            store.bee("te", bee).record_in(HiveId(2), Some(bee), 10);
+        }
+        store.record_latency("te", "PacketIn", 100, 1_000);
+        agg.merge_delta(store.take());
+
+        let key = ("te".to_string(), bee.0);
+        assert_eq!(agg.bees[&key].msgs_in, 5, "3 + 2, no replay of cycle 1");
+        assert_eq!(agg.bees[&key].bytes_in, 50);
+        assert_eq!(agg.bees[&key].in_by_hive[&2], 5);
+        assert_eq!(
+            agg.provenance.values().copied().sum::<u64>(),
+            1,
+            "provenance from cycle 1 reported exactly once"
+        );
+        let lat = &agg.latency[&("te".to_string(), "PacketIn".to_string())];
+        assert_eq!(lat.queue_wait.count, 2, "one sample per cycle");
+        assert_eq!(lat.runtime.count, 2);
+        // Metadata survives in the store (it describes state, not a delta)…
+        assert!(store.pinned.contains(&bee.0));
+        assert_eq!(store.bee_cells[&bee.0], 4);
+        // …and the second take carried no stale counters.
+        assert!(store.bees.is_empty());
+    }
+
+    /// `BeeStats::merge` on its own is additive, so merging two disjoint
+    /// windows equals recording them into one stats object directly.
+    #[test]
+    fn bee_stats_merge_equals_direct_recording() {
+        let src = Some(BeeId::new(HiveId(3), 7));
+        let mut w1 = BeeStats::default();
+        w1.record_in(HiveId(3), src, 10);
+        w1.record_out(4);
+        let mut w2 = BeeStats::default();
+        w2.record_in(HiveId(3), src, 20);
+        w2.record_in(HiveId(1), None, 5);
+        let mut merged = BeeStats::default();
+        merged.merge(&w1);
+        merged.merge(&w2);
+        let mut direct = BeeStats::default();
+        direct.record_in(HiveId(3), src, 10);
+        direct.record_out(4);
+        direct.record_in(HiveId(3), src, 20);
+        direct.record_in(HiveId(1), None, 5);
+        assert_eq!(merged, direct);
     }
 
     #[test]

@@ -27,6 +27,10 @@ pub struct BeeLoad {
     pub cells: u64,
     /// Messages received, by source hive.
     pub in_by_hive: BTreeMap<u32, u64>,
+    /// p99 handler runtime of the bee's application in microseconds
+    /// (0 = no latency data). Hot apps are placed first so they win
+    /// capacity-constrained moves.
+    pub p99_runtime_us: u64,
 }
 
 /// Optimizer tunables.
@@ -70,8 +74,9 @@ pub struct MigrationPlan {
 
 /// Applies the greedy heuristic to a set of bee loads, producing migrations.
 ///
-/// Deterministic: bees are considered in `(app, bee)` order and capacity is
-/// accounted as decisions accumulate.
+/// Deterministic: bees are considered by descending p99 handler runtime
+/// (latency-hot apps claim scarce capacity first), then `(app, bee)` order;
+/// capacity is accounted as decisions accumulate.
 pub fn plan_migrations(
     loads: &[BeeLoad],
     current_bees_per_hive: &BTreeMap<u32, usize>,
@@ -81,7 +86,11 @@ pub fn plan_migrations(
     let mut plans = Vec::new();
 
     let mut sorted: Vec<&BeeLoad> = loads.iter().collect();
-    sorted.sort_by(|a, b| (&a.app, a.bee).cmp(&(&b.app, b.bee)));
+    sorted.sort_by(|a, b| {
+        b.p99_runtime_us
+            .cmp(&a.p99_runtime_us)
+            .then_with(|| (&a.app, a.bee).cmp(&(&b.app, b.bee)))
+    });
 
     for load in sorted {
         if load.pinned || cfg.frozen_apps.contains(&load.app) || load.app.starts_with("beehive.") {
@@ -135,6 +144,7 @@ mod tests {
             pinned: false,
             cells: 1,
             in_by_hive: sources.iter().copied().collect(),
+            p99_runtime_us: 0,
         }
     }
 
@@ -221,5 +231,23 @@ mod tests {
         let plans = plan_migrations(&loads, &BTreeMap::new(), &OptimizerConfig::default());
         assert_eq!(plans[0].bee, BeeId::new(HiveId(1), 1));
         assert_eq!(plans[1].bee, BeeId::new(HiveId(1), 2));
+    }
+
+    #[test]
+    fn latency_hot_apps_win_scarce_capacity() {
+        // "cold" sorts before "hot" alphabetically, but hot's p99 must let it
+        // claim the single slot on hive 7 first.
+        let mut hot = load("hot", 1, 1, &[(7, 100)]);
+        hot.p99_runtime_us = 5_000;
+        let cold = load("cold", 1, 1, &[(7, 100)]);
+        let mut occupancy = BTreeMap::new();
+        occupancy.insert(7u32, 0usize);
+        let cfg = OptimizerConfig {
+            max_bees_per_hive: Some(1),
+            ..Default::default()
+        };
+        let plans = plan_migrations(&[hot, cold], &occupancy, &cfg);
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].app, "hot");
     }
 }

@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::app::App;
 use crate::id::{BeeId, HiveId};
-use crate::metrics::{BeeStats, BeeStatsSnapshot, HiveMetrics, Instrumentation};
+use crate::metrics::{BeeStats, BeeStatsSnapshot, HiveMetrics, Instrumentation, LatencyHistogram};
 use crate::optimizer::{plan_migrations, BeeLoad, OptimizerConfig};
 
 /// The periodic platform timer message; the abstraction's `on TimeOut`.
@@ -41,7 +41,11 @@ pub fn collector_app(instr: Arc<Mutex<Instrumentation>>) -> App {
     App::builder(COLLECTOR_APP)
         .handle_local::<Tick>("collect", move |tick, ctx| {
             let delta = instr.lock().take();
-            if delta.bees.is_empty() && delta.provenance.is_empty() && delta.executor.is_empty() {
+            if delta.bees.is_empty()
+                && delta.provenance.is_empty()
+                && delta.executor.is_empty()
+                && delta.latency.is_empty()
+            {
                 return Ok(());
             }
             let hive = ctx.hive();
@@ -62,6 +66,11 @@ pub fn collector_app(instr: Arc<Mutex<Instrumentation>>) -> App {
                 .iter()
                 .map(|(k, v)| (k.clone(), *v))
                 .collect();
+            let latency = delta
+                .latency
+                .iter()
+                .map(|((app, ty), lat)| (app.clone(), ty.clone(), lat.clone()))
+                .collect();
             ctx.emit(HiveMetrics {
                 hive,
                 seq: tick.seq,
@@ -69,6 +78,7 @@ pub fn collector_app(instr: Arc<Mutex<Instrumentation>>) -> App {
                 bees,
                 provenance,
                 executor: delta.executor.clone(),
+                latency,
             });
             Ok(())
         })
@@ -117,6 +127,18 @@ pub fn optimizer_app(cfg: OptimizerConfig, optimize_every: u64) -> App {
                 rec.last_seen_ms = m.now_ms;
                 ctx.put("agg", key, &rec).map_err(|e| e.to_string())?;
             }
+            // Per-app handler-runtime histograms, stored under reserved
+            // "latency:" keys alongside the per-bee records. The optimize
+            // pass uses their p99 to rank which bees to place first.
+            for (app, _ty, lat) in &m.latency {
+                let key = format!("latency:{app}");
+                let mut hist: LatencyHistogram = ctx
+                    .get("agg", &key)
+                    .map_err(|e| e.to_string())?
+                    .unwrap_or_default();
+                hist.merge(&lat.runtime);
+                ctx.put("agg", key, &hist).map_err(|e| e.to_string())?;
+            }
             Ok(())
         })
         .handle_whole::<Tick>("optimize", &["agg"], move |t, ctx| {
@@ -124,9 +146,28 @@ pub fn optimizer_app(cfg: OptimizerConfig, optimize_every: u64) -> App {
                 return Ok(());
             }
             let keys = ctx.keys("agg");
+            // First pass: per-app p99 handler runtimes from the reserved
+            // "latency:" keys (they hold LatencyHistograms, not AggRecords).
+            let mut p99_by_app = std::collections::BTreeMap::new();
+            for k in &keys {
+                let Some(app) = k.strip_prefix("latency:") else {
+                    continue;
+                };
+                if let Some(hist) = ctx
+                    .get::<LatencyHistogram>("agg", k)
+                    .map_err(|e| e.to_string())?
+                {
+                    if let Some(p99) = hist.p99_us() {
+                        p99_by_app.insert(app.to_string(), p99);
+                    }
+                }
+            }
             let mut loads = Vec::with_capacity(keys.len());
             let mut occupancy = std::collections::BTreeMap::new();
             for k in &keys {
+                if k.starts_with("latency:") {
+                    continue;
+                }
                 let Some(rec) = ctx.get::<AggRecord>("agg", k).map_err(|e| e.to_string())? else {
                     continue;
                 };
@@ -138,6 +179,7 @@ pub fn optimizer_app(cfg: OptimizerConfig, optimize_every: u64) -> App {
                     pinned: rec.pinned,
                     cells: rec.cells,
                     in_by_hive: rec.stats.in_by_hive.clone(),
+                    p99_runtime_us: p99_by_app.get(&rec.app).copied().unwrap_or(0),
                 });
             }
             let plans = plan_migrations(&loads, &occupancy, &cfg2);

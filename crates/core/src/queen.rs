@@ -441,6 +441,7 @@ mod tests {
             msg: Arc::new(Dummy),
             src: Source::External(HiveId(1)),
             dst: Dst::Broadcast,
+            trace: crate::trace::TraceContext::root(HiveId(1)),
         }
     }
 

@@ -1,0 +1,326 @@
+//! Causal message tracing.
+//!
+//! Every [`crate::message::Envelope`] carries a [`TraceContext`]: a trace id
+//! shared by a whole causal chain of messages, a span id unique to this
+//! message, and the span id of the message whose handler emitted it. The
+//! context is created at external injection ([`TraceContext::root`]),
+//! propagated across local emits and the parallel executor by
+//! [`TraceContext::child`], and shipped between hives inside
+//! [`crate::message::WireEnvelope`] — so a cross-hive chain (e.g. the TE
+//! pipeline of Figure 2) can be reassembled end to end.
+//!
+//! Each hive records one [`TraceSpan`] per handler invocation into a
+//! fixed-capacity ring-buffer [`TraceCollector`]; old spans are overwritten,
+//! never reallocated, so recording stays O(1) and allocation-free on the hot
+//! path apart from the app/type strings. [`chrome_trace`] renders the spans
+//! of one trace id as a `chrome://tracing` / Perfetto-compatible JSON array.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::id::{AppName, BeeId, HiveId};
+
+/// Process-wide span/trace id counter. Ids only need to be unique within a
+/// trace's lifetime; mixing in the hive id keeps them unique across hives
+/// without any coordination.
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a fresh id: the hive id in the top 20 bits, a process-local
+/// counter in the low 44.
+fn next_id(hive: HiveId) -> u64 {
+    let seq = NEXT_ID.fetch_add(1, Ordering::Relaxed) & ((1 << 44) - 1);
+    ((hive.0 as u64) << 44) | seq
+}
+
+/// Causal context carried on every envelope.
+///
+/// `enqueued_ms` is *not* part of the causal identity: it is stamped by the
+/// receiving hive's own [`crate::clock::Clock`] when the envelope first
+/// enters that hive's dispatch queue, and reset to zero when an envelope is
+/// decoded off the wire (hive clocks are not comparable across processes).
+/// Queue wait is therefore always measured against a single clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceContext {
+    /// Shared by every message in one causal chain.
+    pub trace_id: u64,
+    /// Unique to this message (the "message seq" of the chain).
+    pub span_id: u64,
+    /// Span id of the message whose handler emitted this one; 0 for roots.
+    pub parent_span: u64,
+    /// Local-clock ms when this envelope entered the current hive's dispatch
+    /// queue; 0 = not yet stamped.
+    pub enqueued_ms: u64,
+}
+
+impl TraceContext {
+    /// A fresh root context for an externally injected message.
+    pub fn root(hive: HiveId) -> Self {
+        let id = next_id(hive);
+        TraceContext {
+            trace_id: id,
+            span_id: id,
+            parent_span: 0,
+            enqueued_ms: 0,
+        }
+    }
+
+    /// A child context for a message emitted while handling `self`: same
+    /// trace, fresh span, parented on this span.
+    pub fn child(&self, hive: HiveId) -> Self {
+        TraceContext {
+            trace_id: self.trace_id,
+            span_id: next_id(hive),
+            parent_span: self.span_id,
+            enqueued_ms: 0,
+        }
+    }
+
+    /// The context as decoded off the wire: causal identity is preserved but
+    /// the enqueue stamp (taken against the sender's clock) is cleared.
+    pub fn rewired(&self) -> Self {
+        TraceContext {
+            enqueued_ms: 0,
+            ..*self
+        }
+    }
+}
+
+/// One handler invocation, as recorded by a hive's [`TraceCollector`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSpan {
+    /// Trace this span belongs to.
+    pub trace_id: u64,
+    /// This message's span id.
+    pub span_id: u64,
+    /// Span id of the causing message (0 for roots).
+    pub parent_span: u64,
+    /// Hive the handler ran on.
+    pub hive: HiveId,
+    /// Application.
+    pub app: AppName,
+    /// Bee that ran the handler.
+    pub bee: BeeId,
+    /// Wire name of the handled message type.
+    pub msg_type: String,
+    /// Local-clock ms when the handler started.
+    pub start_ms: u64,
+    /// Microseconds the envelope waited in local queues before the handler
+    /// ran (ms resolution, measured against the hive's [`crate::clock::Clock`]).
+    pub queue_wait_us: u64,
+    /// Wall nanoseconds spent inside the handler.
+    pub runtime_ns: u64,
+    /// Whether the handler committed (false = error, transaction rolled back).
+    pub ok: bool,
+}
+
+/// A fixed-capacity ring buffer of recent [`TraceSpan`]s.
+///
+/// Writers claim a slot with one atomic fetch-add and then take only that
+/// slot's mutex, so concurrent executor workers never contend unless they
+/// collide on the same slot after a full wrap.
+pub struct TraceCollector {
+    slots: Vec<Mutex<Option<TraceSpan>>>,
+    head: AtomicUsize,
+    recorded: AtomicU64,
+}
+
+impl TraceCollector {
+    /// A collector retaining up to `capacity` spans (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceCollector {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            head: AtomicUsize::new(0),
+            recorded: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of spans the buffer can hold.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total spans ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Records a span, overwriting the oldest if the buffer is full.
+    pub fn record(&self, span: TraceSpan) {
+        let slot = self.head.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        *self.slots[slot].lock() = Some(span);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// All retained spans, ordered by (start time, span id).
+    pub fn snapshot(&self) -> Vec<TraceSpan> {
+        let mut spans: Vec<TraceSpan> =
+            self.slots.iter().filter_map(|s| s.lock().clone()).collect();
+        spans.sort_by(|a, b| (a.start_ms, a.span_id).cmp(&(b.start_ms, b.span_id)));
+        spans
+    }
+
+    /// The retained spans of one trace, in start order.
+    pub fn spans_for(&self, trace_id: u64) -> Vec<TraceSpan> {
+        let mut spans = self.snapshot();
+        spans.retain(|s| s.trace_id == trace_id);
+        spans
+    }
+
+    /// Renders this collector's view of one trace as chrome-trace JSON.
+    /// Cross-hive traces should merge `spans_for` from every hive and call
+    /// [`chrome_trace`] instead.
+    pub fn chrome_trace(&self, trace_id: u64) -> String {
+        chrome_trace(&self.spans_for(trace_id), trace_id)
+    }
+}
+
+impl fmt::Debug for TraceCollector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceCollector")
+            .field("capacity", &self.capacity())
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+/// Minimal JSON string escaping for the chrome-trace export.
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders spans of one trace as a `chrome://tracing`-compatible JSON array
+/// of complete ("X") events: one event per handler invocation, pid = hive,
+/// tid = bee, timestamps in microseconds of the recording hive's clock. The
+/// causal chain is carried in each event's `args` (`span`, `parent`). Load
+/// the output in `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn chrome_trace(spans: &[TraceSpan], trace_id: u64) -> String {
+    let mut out = String::from("[");
+    let mut first = true;
+    for s in spans.iter().filter(|s| s.trace_id == trace_id) {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n  {\"name\":\"");
+        escape_json(crate::analytics::short_type(&s.msg_type), &mut out);
+        out.push_str("\",\"cat\":\"");
+        escape_json(&s.app, &mut out);
+        out.push_str("\",\"ph\":\"X\",\"ts\":");
+        out.push_str(&(s.start_ms * 1000).to_string());
+        out.push_str(",\"dur\":");
+        out.push_str(&(s.runtime_ns / 1_000).max(1).to_string());
+        out.push_str(",\"pid\":");
+        out.push_str(&s.hive.0.to_string());
+        out.push_str(",\"tid\":");
+        out.push_str(&s.bee.0.to_string());
+        out.push_str(",\"args\":{\"trace\":");
+        out.push_str(&s.trace_id.to_string());
+        out.push_str(",\"span\":");
+        out.push_str(&s.span_id.to_string());
+        out.push_str(",\"parent\":");
+        out.push_str(&s.parent_span.to_string());
+        out.push_str(",\"queue_wait_us\":");
+        out.push_str(&s.queue_wait_us.to_string());
+        out.push_str(",\"ok\":");
+        out.push_str(if s.ok { "true" } else { "false" });
+        out.push_str("}}");
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace: u64, span_id: u64, parent: u64, start: u64) -> TraceSpan {
+        TraceSpan {
+            trace_id: trace,
+            span_id,
+            parent_span: parent,
+            hive: HiveId(1),
+            app: "te".into(),
+            bee: BeeId::new(HiveId(1), 1),
+            msg_type: "mod::Stat\"Reply\"".into(),
+            start_ms: start,
+            queue_wait_us: 5,
+            runtime_ns: 2_000,
+            ok: true,
+        }
+    }
+
+    #[test]
+    fn root_and_child_are_causally_linked() {
+        let root = TraceContext::root(HiveId(3));
+        assert_eq!(root.trace_id, root.span_id);
+        assert_eq!(root.parent_span, 0);
+        let c1 = root.child(HiveId(3));
+        let c2 = c1.child(HiveId(4));
+        assert_eq!(c1.trace_id, root.trace_id);
+        assert_eq!(c2.trace_id, root.trace_id);
+        assert_eq!(c1.parent_span, root.span_id);
+        assert_eq!(c2.parent_span, c1.span_id);
+        assert_ne!(c1.span_id, c2.span_id);
+        assert_ne!(c1.span_id, root.span_id);
+    }
+
+    #[test]
+    fn rewired_clears_only_the_enqueue_stamp() {
+        let mut ctx = TraceContext::root(HiveId(1));
+        ctx.enqueued_ms = 77;
+        let w = ctx.rewired();
+        assert_eq!(w.enqueued_ms, 0);
+        assert_eq!(w.trace_id, ctx.trace_id);
+        assert_eq!(w.span_id, ctx.span_id);
+        assert_eq!(w.parent_span, ctx.parent_span);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let c = TraceCollector::new(3);
+        for i in 1..=5u64 {
+            c.record(span(9, i, 0, i));
+        }
+        assert_eq!(c.recorded(), 5);
+        let spans = c.snapshot();
+        assert_eq!(spans.len(), 3);
+        let ids: Vec<u64> = spans.iter().map(|s| s.span_id).collect();
+        assert_eq!(ids, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn spans_for_filters_by_trace() {
+        let c = TraceCollector::new(8);
+        c.record(span(1, 10, 0, 1));
+        c.record(span(2, 20, 0, 2));
+        c.record(span(1, 11, 10, 3));
+        let spans = c.spans_for(1);
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|s| s.trace_id == 1));
+        assert_eq!(spans[1].parent_span, spans[0].span_id);
+    }
+
+    #[test]
+    fn chrome_trace_escapes_and_links() {
+        let spans = vec![span(7, 1, 0, 10), span(7, 2, 1, 11), span(8, 3, 0, 12)];
+        let json = chrome_trace(&spans, 7);
+        // The quoted type name is escaped, trace 8 is excluded.
+        assert!(json.contains("Stat\\\"Reply\\\""));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        assert!(json.contains("\"span\":2,\"parent\":1"));
+        assert!(json.starts_with('[') && json.trim_end().ends_with(']'));
+    }
+}

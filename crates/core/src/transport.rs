@@ -5,6 +5,7 @@
 //! simulator and a TCP transport for real deployments.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
@@ -61,6 +62,108 @@ impl Frame {
     /// Payload size plus a small fixed header estimate, for accounting.
     pub fn wire_len(&self) -> usize {
         self.bytes.len() + 8
+    }
+}
+
+impl FrameKind {
+    /// All frame kinds, in the order used by [`TransportCounters`].
+    pub const ALL: [FrameKind; 3] = [FrameKind::App, FrameKind::Raft, FrameKind::Control];
+
+    /// Stable lowercase label, used by metric exposition.
+    pub fn label(self) -> &'static str {
+        match self {
+            FrameKind::App => "app",
+            FrameKind::Raft => "raft",
+            FrameKind::Control => "control",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FrameKind::App => 0,
+            FrameKind::Raft => 1,
+            FrameKind::Control => 2,
+        }
+    }
+}
+
+/// Thread-safe per-[`FrameKind`] traffic counters a transport records into.
+///
+/// Real transports (TCP) bump these from their send path and reader threads;
+/// the exposition layer snapshots them into per-kind Prometheus counters.
+/// Byte counts use [`Frame::wire_len`] so they match the simulator fabric's
+/// accounting.
+#[derive(Debug, Default)]
+pub struct TransportCounters {
+    frames_out: [AtomicU64; 3],
+    bytes_out: [AtomicU64; 3],
+    frames_in: [AtomicU64; 3],
+    bytes_in: [AtomicU64; 3],
+}
+
+impl TransportCounters {
+    /// Fresh counters, all zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one frame sent toward a peer.
+    pub fn record_out(&self, kind: FrameKind, wire_len: usize) {
+        let i = kind.index();
+        self.frames_out[i].fetch_add(1, Ordering::Relaxed);
+        self.bytes_out[i].fetch_add(wire_len as u64, Ordering::Relaxed);
+    }
+
+    /// Records one frame received from a peer.
+    pub fn record_in(&self, kind: FrameKind, wire_len: usize) {
+        let i = kind.index();
+        self.frames_in[i].fetch_add(1, Ordering::Relaxed);
+        self.bytes_in[i].fetch_add(wire_len as u64, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of all counters.
+    pub fn snapshot(&self) -> TransportSnapshot {
+        let read = |a: &[AtomicU64; 3]| {
+            [
+                a[0].load(Ordering::Relaxed),
+                a[1].load(Ordering::Relaxed),
+                a[2].load(Ordering::Relaxed),
+            ]
+        };
+        TransportSnapshot {
+            frames_out: read(&self.frames_out),
+            bytes_out: read(&self.bytes_out),
+            frames_in: read(&self.frames_in),
+            bytes_in: read(&self.bytes_in),
+        }
+    }
+}
+
+/// Point-in-time copy of [`TransportCounters`], indexed by
+/// [`FrameKind::ALL`] order (App, Raft, Control).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TransportSnapshot {
+    /// Frames sent per kind.
+    pub frames_out: [u64; 3],
+    /// Wire bytes sent per kind.
+    pub bytes_out: [u64; 3],
+    /// Frames received per kind.
+    pub frames_in: [u64; 3],
+    /// Wire bytes received per kind.
+    pub bytes_in: [u64; 3],
+}
+
+impl TransportSnapshot {
+    /// `(frames, bytes)` sent for `kind`.
+    pub fn sent(&self, kind: FrameKind) -> (u64, u64) {
+        let i = kind.index();
+        (self.frames_out[i], self.bytes_out[i])
+    }
+
+    /// `(frames, bytes)` received for `kind`.
+    pub fn received(&self, kind: FrameKind) -> (u64, u64) {
+        let i = kind.index();
+        (self.frames_in[i], self.bytes_in[i])
     }
 }
 
@@ -140,5 +243,19 @@ mod tests {
     #[test]
     fn frame_wire_len_includes_header() {
         assert_eq!(Frame::raft(vec![0; 10]).wire_len(), 18);
+    }
+
+    #[test]
+    fn transport_counters_track_per_kind_traffic() {
+        let c = TransportCounters::new();
+        c.record_out(FrameKind::App, 100);
+        c.record_out(FrameKind::App, 50);
+        c.record_in(FrameKind::Raft, 8);
+        let snap = c.snapshot();
+        assert_eq!(snap.sent(FrameKind::App), (2, 150));
+        assert_eq!(snap.sent(FrameKind::Raft), (0, 0));
+        assert_eq!(snap.received(FrameKind::Raft), (1, 8));
+        assert_eq!(snap.received(FrameKind::Control), (0, 0));
+        assert_eq!(FrameKind::ALL[0].label(), "app");
     }
 }

@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use beehive_core::prelude::*;
-use beehive_core::{Dst, Envelope, HiveConfig, Source};
+use beehive_core::{Dst, Envelope, HiveConfig, Source, TraceContext};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
@@ -63,6 +63,7 @@ fn orphans_expire_after_ttl() {
     let env = Envelope {
         msg: Arc::new(Ping { key: "x".into() }),
         src: Source::External(HiveId(1)),
+        trace: TraceContext::root(HiveId(1)),
         dst: Dst::Bee {
             app: "counter".into(),
             bee: ghost,
@@ -91,6 +92,7 @@ fn fence_ahead_of_applied_seq_parks_until_catchup() {
     let env = Envelope {
         msg: Arc::new(Ping { key: "k".into() }),
         src: Source::External(HiveId(1)),
+        trace: TraceContext::root(HiveId(1)),
         dst: Dst::Bee {
             app: "counter".into(),
             bee,
@@ -130,6 +132,7 @@ fn ambiguous_unicast_is_dropped_and_counted() {
     let env = Envelope {
         msg: Arc::new(Ping { key: "k".into() }),
         src: Source::External(HiveId(1)),
+        trace: TraceContext::root(HiveId(1)),
         dst: Dst::Bee {
             app: "multi".into(),
             bee: bees[0].0,

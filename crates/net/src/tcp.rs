@@ -10,7 +10,7 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 
-use beehive_core::transport::{Frame, FrameKind, Transport};
+use beehive_core::transport::{Frame, FrameKind, Transport, TransportCounters};
 use beehive_core::HiveId;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -88,6 +88,7 @@ pub struct TcpTransport {
     _listener_addr: SocketAddr,
     shutdown: Arc<std::sync::atomic::AtomicBool>,
     waker: SharedWaker,
+    counters: Arc<TransportCounters>,
 }
 
 impl TcpTransport {
@@ -103,10 +104,12 @@ impl TcpTransport {
         let (inbox_tx, inbox_rx) = unbounded();
         let shutdown = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let waker: SharedWaker = Arc::new(Mutex::new(None));
+        let counters = Arc::new(TransportCounters::new());
 
         let accept_tx = inbox_tx.clone();
         let accept_shutdown = shutdown.clone();
         let accept_waker = waker.clone();
+        let accept_counters = counters.clone();
         std::thread::Builder::new()
             .name(format!("bh-tcp-accept-{}", id.0))
             .spawn(move || {
@@ -118,9 +121,10 @@ impl TcpTransport {
                     let tx = accept_tx.clone();
                     let stop = accept_shutdown.clone();
                     let waker = accept_waker.clone();
+                    let counters = accept_counters.clone();
                     std::thread::Builder::new()
                         .name("bh-tcp-read".into())
-                        .spawn(move || reader_loop(stream, tx, stop, waker))
+                        .spawn(move || reader_loop(stream, tx, stop, waker, counters))
                         .ok();
                 }
             })
@@ -135,7 +139,14 @@ impl TcpTransport {
             _listener_addr: local_addr,
             shutdown,
             waker,
+            counters,
         })
+    }
+
+    /// Per-[`FrameKind`] traffic counters (shared with the reader threads);
+    /// snapshot them for metric exposition.
+    pub fn counters(&self) -> Arc<TransportCounters> {
+        self.counters.clone()
     }
 
     /// The address this transport actually listens on (useful with port 0).
@@ -165,6 +176,7 @@ fn reader_loop(
     tx: Sender<(HiveId, Frame)>,
     stop: Arc<std::sync::atomic::AtomicBool>,
     waker: SharedWaker,
+    counters: Arc<TransportCounters>,
 ) {
     // The first frame must be a handshake naming the peer.
     let peer = match read_frame(&mut stream) {
@@ -177,6 +189,7 @@ fn reader_loop(
                 let Some(kind) = byte_to_kind(kind_byte) else {
                     continue;
                 };
+                counters.record_in(kind, payload.len() + 8);
                 if tx
                     .send((
                         peer,
@@ -239,7 +252,10 @@ impl Transport for TcpTransport {
             }
             let stream = outgoing.get_mut(&to).unwrap();
             match write_frame(stream, self.id, kind_to_byte(frame.kind), &frame.bytes) {
-                Ok(()) => return,
+                Ok(()) => {
+                    self.counters.record_out(frame.kind, frame.wire_len());
+                    return;
+                }
                 Err(_) => {
                     outgoing.remove(&to);
                     if attempt == 1 {
@@ -333,6 +349,17 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(1));
         }
         assert!(woken.load(std::sync::atomic::Ordering::SeqCst) >= 1);
+    }
+
+    #[test]
+    fn counters_account_traffic_per_kind() {
+        let (t1, t2) = pair();
+        t1.send(HiveId(2), Frame::app(vec![1, 2, 3]));
+        recv_blocking(&t2, 2000).expect("frame arrives");
+        // wire_len = payload + 8-byte header estimate on both sides.
+        assert_eq!(t1.counters().snapshot().sent(FrameKind::App), (1, 11));
+        assert_eq!(t2.counters().snapshot().received(FrameKind::App), (1, 11));
+        assert_eq!(t1.counters().snapshot().sent(FrameKind::Raft), (0, 0));
     }
 
     #[test]

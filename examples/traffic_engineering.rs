@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use beehive::apps::te::{decoupled_te_apps, naive_te_app, TeConfig, NAIVE_TE_APP, TE_COLLECT_APP};
 use beehive::core::feedback::design_feedback;
-use beehive::core::FrameKind;
+use beehive::core::{chrome_trace, FrameKind};
 use beehive::openflow::driver::driver_app;
 use beehive::sim::{
     generate_flows, ClusterConfig, SimCluster, SwitchFleet, Topology, WorkloadConfig,
@@ -103,6 +103,28 @@ fn run(naive: bool, seconds: u64) -> Outcome {
             }
         }
     }
+    // Export the run's busiest causal trace for chrome://tracing / Perfetto.
+    if !naive {
+        let mut spans = Vec::new();
+        for id in cluster.ids() {
+            spans.extend(cluster.hive(id).tracer().snapshot());
+        }
+        let mut by_trace: BTreeMap<u64, usize> = BTreeMap::new();
+        for s in &spans {
+            *by_trace.entry(s.trace_id).or_insert(0) += 1;
+        }
+        if let Some((&trace_id, &n)) = by_trace.iter().max_by_key(|&(_, n)| *n) {
+            let json = chrome_trace(&spans, trace_id);
+            std::fs::create_dir_all("target").ok();
+            if std::fs::write("target/te_trace.json", &json).is_ok() {
+                println!(
+                    "wrote chrome trace of trace {trace_id:#x} ({n} spans) to \
+                     target/te_trace.json"
+                );
+            }
+        }
+    }
+
     Outcome {
         te_bees_by_hive,
         locality: if total == 0 {

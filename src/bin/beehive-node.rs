@@ -25,6 +25,10 @@
 //!   concurrently when N > 1 (default 1 = sequential)
 //! * `--apps LIST` — comma-separated: `nib,rib,paths,vnet,learning-switch,discovery` (default: all)
 //! * `--stats-every SECS` — print instrumentation analytics every N seconds (default 10; 0 = off)
+//! * `--metrics-dump PATH` — write Prometheus text exposition to PATH
+//!   periodically (atomic tmp+rename; scrape it with `cat` or node_exporter's
+//!   textfile collector)
+//! * `--dump-every SECS` — metrics dump period (default 5)
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -39,8 +43,11 @@ use beehive::apps::{
     vnet::vnet_app,
 };
 use beehive::core::optimizer::OptimizerConfig;
+use beehive::core::transport::{FrameKind, TransportSnapshot};
 use beehive::core::SystemClock;
-use beehive::core::{collector_app, optimizer_app, Hive, HiveConfig, HiveId};
+use beehive::core::{
+    collector_app, optimizer_app, Analytics, App, Hive, HiveConfig, HiveId, HiveMetrics, Mapped,
+};
 use beehive::net::TcpTransport;
 
 struct Args {
@@ -52,12 +59,15 @@ struct Args {
     workers: usize,
     apps: Vec<String>,
     stats_every: u64,
+    metrics_dump: Option<std::path::PathBuf>,
+    dump_every: u64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: beehive-node --id N --listen ADDR [--peer ID=ADDR]... [--voters K] \
-         [--replication R] [--workers N] [--apps a,b,c] [--stats-every SECS]"
+         [--replication R] [--workers N] [--apps a,b,c] [--stats-every SECS] \
+         [--metrics-dump PATH] [--dump-every SECS]"
     );
     std::process::exit(2)
 }
@@ -81,6 +91,8 @@ fn parse_args() -> Args {
     .map(|s| s.to_string())
     .collect();
     let mut stats_every = 10;
+    let mut metrics_dump = None;
+    let mut dump_every = 5;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         let mut val = || it.next().unwrap_or_else(|| usage());
@@ -100,6 +112,8 @@ fn parse_args() -> Args {
             "--workers" => workers = val().parse::<usize>().unwrap_or_else(|_| usage()).max(1),
             "--apps" => apps = val().split(',').map(|s| s.trim().to_string()).collect(),
             "--stats-every" => stats_every = val().parse().unwrap_or_else(|_| usage()),
+            "--metrics-dump" => metrics_dump = Some(std::path::PathBuf::from(val())),
+            "--dump-every" => dump_every = val().parse::<u64>().unwrap_or_else(|_| usage()).max(1),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -113,7 +127,55 @@ fn parse_args() -> Args {
         workers,
         apps,
         stats_every,
+        metrics_dump,
+        dump_every,
     }
+}
+
+/// Renders the TCP transport counters as Prometheus text, appended to the
+/// analytics exposition in the dump file.
+fn render_transport(snap: &TransportSnapshot) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    out.push_str(
+        "# HELP beehive_transport_frames_total Frames exchanged by the TCP transport.\n\
+         # TYPE beehive_transport_frames_total counter\n",
+    );
+    for kind in FrameKind::ALL {
+        let (fo, _) = snap.sent(kind);
+        let (fi, _) = snap.received(kind);
+        let k = kind.label();
+        writeln!(
+            out,
+            "beehive_transport_frames_total{{kind=\"{k}\",direction=\"out\"}} {fo}"
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "beehive_transport_frames_total{{kind=\"{k}\",direction=\"in\"}} {fi}"
+        )
+        .unwrap();
+    }
+    out.push_str(
+        "# HELP beehive_transport_bytes_total Wire bytes exchanged by the TCP transport.\n\
+         # TYPE beehive_transport_bytes_total counter\n",
+    );
+    for kind in FrameKind::ALL {
+        let (_, bo) = snap.sent(kind);
+        let (_, bi) = snap.received(kind);
+        let k = kind.label();
+        writeln!(
+            out,
+            "beehive_transport_bytes_total{{kind=\"{k}\",direction=\"out\"}} {bo}"
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "beehive_transport_bytes_total{{kind=\"{k}\",direction=\"in\"}} {bi}"
+        )
+        .unwrap();
+    }
+    out
 }
 
 fn main() {
@@ -125,6 +187,7 @@ fn main() {
         std::process::exit(1);
     });
     eprintln!("hive {me} listening on {}", transport.local_addr());
+    let tcp_counters = transport.counters();
 
     let mut all: Vec<HiveId> = args
         .peers
@@ -170,6 +233,50 @@ fn main() {
 
     // Ctrl-C → graceful stop.
     let stop = Arc::new(AtomicBool::new(false));
+
+    // Prometheus exposition: a local-singleton exporter app folds the
+    // collector's per-window reports into an Analytics store, and a dump
+    // thread renders it to the target file (tmp + rename, so scrapers never
+    // see a torn write).
+    if let Some(path) = args.metrics_dump.clone() {
+        let analytics = Arc::new(std::sync::Mutex::new(Analytics::new()));
+        let sink = analytics.clone();
+        hive.install(
+            App::builder("beehive.exporter")
+                .handle::<HiveMetrics>(
+                    |_m| Mapped::LocalSingleton,
+                    move |m, _ctx| {
+                        sink.lock().unwrap().ingest(m);
+                        Ok(())
+                    },
+                )
+                .build(),
+        );
+        let stop2 = stop.clone();
+        let every = args.dump_every;
+        let counters = tcp_counters;
+        std::thread::Builder::new()
+            .name("bh-metrics-dump".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    std::thread::sleep(std::time::Duration::from_secs(every));
+                    let mut text = analytics.lock().unwrap().render_prometheus();
+                    text.push_str(&render_transport(&counters.snapshot()));
+                    let tmp = path.with_extension("prom.tmp");
+                    let ok = std::fs::write(&tmp, &text)
+                        .and_then(|()| std::fs::rename(&tmp, &path))
+                        .is_ok();
+                    if !ok {
+                        eprintln!("[metrics] failed to write {}", path.display());
+                    }
+                }
+            })
+            .expect("spawn metrics dump thread");
+        eprintln!(
+            "metrics exposition -> {} every {every}s",
+            args.metrics_dump.as_ref().unwrap().display()
+        );
+    }
 
     // Periodic analytics printer.
     if args.stats_every > 0 {
