@@ -37,6 +37,16 @@ pub struct Analytics {
     executor_per_hive: BTreeMap<u32, ExecutorStats>,
     /// Queue-wait / runtime histograms per (app, message type).
     latency: BTreeMap<(String, String), MsgLatency>,
+    /// Handler failures by kind across all hives: `[errors, panics]`.
+    handler_failures: [u64; 2],
+    /// Supervised redeliveries across all hives.
+    redeliveries: u64,
+    /// Dead-lettered messages across all hives.
+    dead_letters: u64,
+    /// Undecodable frames/payloads across all hives.
+    decode_errors: u64,
+    /// Latest quarantined-bees gauge per hive (last report wins).
+    quarantined_per_hive: BTreeMap<u32, u64>,
 }
 
 /// One application's aggregate load.
@@ -89,6 +99,13 @@ impl Analytics {
                 .or_default()
                 .merge(lat);
         }
+        self.handler_failures[0] += report.handler_failures[0];
+        self.handler_failures[1] += report.handler_failures[1];
+        self.redeliveries += report.redeliveries;
+        self.dead_letters += report.dead_letters;
+        self.decode_errors += report.decode_errors;
+        self.quarantined_per_hive
+            .insert(report.hive.0, report.quarantined);
         // Recompute bee counts.
         let mut bees_per_app: BTreeMap<&String, u64> = BTreeMap::new();
         for (app, _) in self.per_bee.keys() {
@@ -158,6 +175,32 @@ impl Analytics {
             .filter(|((a, _), _)| a == app)
             .filter_map(|(_, l)| l.queue_wait.p99_us())
             .max()
+    }
+
+    /// Handler failures by kind across all hives: `[errors, panics]`.
+    pub fn handler_failures(&self) -> [u64; 2] {
+        self.handler_failures
+    }
+
+    /// Supervised redeliveries across all hives.
+    pub fn redeliveries(&self) -> u64 {
+        self.redeliveries
+    }
+
+    /// Dead-lettered messages across all hives.
+    pub fn dead_letters(&self) -> u64 {
+        self.dead_letters
+    }
+
+    /// Undecodable frames/payloads across all hives.
+    pub fn decode_errors(&self) -> u64 {
+        self.decode_errors
+    }
+
+    /// Currently quarantined bees, summed over the latest gauge from each
+    /// hive.
+    pub fn quarantined_bees(&self) -> u64 {
+        self.quarantined_per_hive.values().sum()
     }
 
     /// Renders everything as Prometheus text exposition format. Each metric
@@ -267,6 +310,43 @@ impl Analytics {
                 busy as f64 / 1e9,
             );
         }
+        // Fault-containment families render unconditionally (zeros visible)
+        // so dashboards and smoke tests can rely on their presence.
+        out.push_str(
+            "# HELP beehive_handler_failures_total Failed handler invocations by kind.\n",
+        );
+        out.push_str("# TYPE beehive_handler_failures_total counter\n");
+        push_sample(
+            &mut out,
+            "beehive_handler_failures_total",
+            &[("kind", "error")],
+            self.handler_failures[0] as f64,
+        );
+        push_sample(
+            &mut out,
+            "beehive_handler_failures_total",
+            &[("kind", "panic")],
+            self.handler_failures[1] as f64,
+        );
+        out.push_str("# HELP beehive_redeliveries_total Supervised redelivery attempts.\n");
+        out.push_str("# TYPE beehive_redeliveries_total counter\n");
+        push_sample(&mut out, "beehive_redeliveries_total", &[], self.redeliveries as f64);
+        out.push_str(
+            "# HELP beehive_dead_letters_total Messages recorded in dead-letter queues.\n",
+        );
+        out.push_str("# TYPE beehive_dead_letters_total counter\n");
+        push_sample(&mut out, "beehive_dead_letters_total", &[], self.dead_letters as f64);
+        out.push_str("# HELP beehive_decode_errors_total Undecodable frames or payloads.\n");
+        out.push_str("# TYPE beehive_decode_errors_total counter\n");
+        push_sample(&mut out, "beehive_decode_errors_total", &[], self.decode_errors as f64);
+        out.push_str("# HELP beehive_quarantined_bees Bees currently quarantined.\n");
+        out.push_str("# TYPE beehive_quarantined_bees gauge\n");
+        push_sample(
+            &mut out,
+            "beehive_quarantined_bees",
+            &[],
+            self.quarantined_bees() as f64,
+        );
         push_histogram_family(
             &mut out,
             "beehive_queue_wait_seconds",
@@ -438,6 +518,25 @@ impl fmt::Display for Analytics {
                 share * 100.0
             )?;
         }
+        let fault_total = self.handler_failures[0]
+            + self.handler_failures[1]
+            + self.redeliveries
+            + self.dead_letters
+            + self.decode_errors
+            + self.quarantined_bees();
+        if fault_total != 0 {
+            writeln!(
+                f,
+                "  faults: {} handler errors, {} panics, {} redeliveries, {} dead letters, \
+                 {} decode errors, {} quarantined bees",
+                self.handler_failures[0],
+                self.handler_failures[1],
+                self.redeliveries,
+                self.dead_letters,
+                self.decode_errors,
+                self.quarantined_bees(),
+            )?;
+        }
         for (hive, ex) in self.executor_per_hive() {
             let busy_ms: u64 = ex.workers.iter().map(|w| w.busy_nanos).sum::<u64>() / 1_000_000;
             writeln!(
@@ -509,6 +608,11 @@ mod tests {
             )],
             executor: ExecutorStats::default(),
             latency: Vec::new(),
+            handler_failures: [0, 0],
+            redeliveries: 0,
+            dead_letters: 0,
+            decode_errors: 0,
+            quarantined: 0,
         }
     }
 
@@ -601,6 +705,47 @@ mod tests {
         assert!(text.contains("beehive_app_messages_total{app=\"te\"} 6"));
         // The Display report cites p99s too.
         assert!(a.to_string().contains("p99"), "{a}");
+    }
+
+    #[test]
+    fn fault_counters_aggregate_and_render_unconditionally() {
+        let mut a = Analytics::new();
+        // Zero-state exposition still carries every fault family.
+        let text = a.render_prometheus();
+        assert!(text.contains("beehive_handler_failures_total{kind=\"error\"} 0"), "{text}");
+        assert!(text.contains("beehive_handler_failures_total{kind=\"panic\"} 0"), "{text}");
+        assert!(text.contains("beehive_redeliveries_total 0"), "{text}");
+        assert!(text.contains("beehive_dead_letters_total 0"), "{text}");
+        assert!(text.contains("beehive_decode_errors_total 0"), "{text}");
+        assert!(text.contains("beehive_quarantined_bees 0"), "{text}");
+
+        let mut r1 = report(1, "ls", 1, 5);
+        r1.handler_failures = [2, 1];
+        r1.redeliveries = 3;
+        r1.dead_letters = 1;
+        r1.decode_errors = 4;
+        r1.quarantined = 1;
+        a.ingest(&r1);
+        // Counters accumulate; the per-hive gauge is replaced, not summed.
+        let mut r1b = report(1, "ls", 1, 5);
+        r1b.handler_failures = [1, 0];
+        r1b.quarantined = 0;
+        a.ingest(&r1b);
+        let mut r2 = report(2, "ls", 2, 5);
+        r2.quarantined = 2;
+        a.ingest(&r2);
+
+        assert_eq!(a.handler_failures(), [3, 1]);
+        assert_eq!(a.redeliveries(), 3);
+        assert_eq!(a.dead_letters(), 1);
+        assert_eq!(a.decode_errors(), 4);
+        assert_eq!(a.quarantined_bees(), 2, "hive 1 recovered, hive 2 has two");
+
+        let text = a.render_prometheus();
+        assert!(text.contains("beehive_handler_failures_total{kind=\"error\"} 3"), "{text}");
+        assert!(text.contains("beehive_handler_failures_total{kind=\"panic\"} 1"), "{text}");
+        assert!(text.contains("beehive_quarantined_bees 2"), "{text}");
+        assert!(a.to_string().contains("faults: 3 handler errors"), "{a}");
     }
 
     #[test]

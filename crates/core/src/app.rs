@@ -297,6 +297,7 @@ pub struct RcvCtx<'a> {
     pub(crate) src: Source,
     pub(crate) now_ms: u64,
     pub(crate) trace: TraceContext,
+    pub(crate) deliveries: u32,
     pub(crate) tx: TxState<'a>,
     pub(crate) outbox: Vec<Envelope>,
     pub(crate) control_out: Vec<(HiveId, ControlMsg)>,
@@ -333,6 +334,13 @@ impl RcvCtx<'_> {
     /// messages automatically become children of this span.
     pub fn trace(&self) -> TraceContext {
         self.trace
+    }
+
+    /// How many times this message has already failed and been redelivered.
+    /// 0 on the first attempt. Handlers can use this to change behavior on
+    /// retry (e.g. degrade gracefully before the message dead-letters).
+    pub fn deliveries(&self) -> u32 {
+        self.deliveries
     }
 
     // ----- state (transactional) -----
@@ -381,6 +389,7 @@ impl RcvCtx<'_> {
             },
             dst: Dst::Broadcast,
             trace: self.trace.child(self.hive),
+            deliveries: 0,
         });
     }
 
@@ -394,6 +403,7 @@ impl RcvCtx<'_> {
             },
             dst: Dst::App(app.into()),
             trace: self.trace.child(self.hive),
+            deliveries: 0,
         });
     }
 
@@ -412,6 +422,7 @@ impl RcvCtx<'_> {
                 fence: 0,
             },
             trace: self.trace.child(self.hive),
+            deliveries: 0,
         });
     }
 

@@ -42,6 +42,7 @@ use crate::id::{BeeId, HiveId};
 use crate::message::Envelope;
 use crate::metrics::Instrumentation;
 use crate::state::{BeeState, JournalOp, TxState};
+use crate::supervision::{panic_detail, FailureKind, HandlerFaults};
 use crate::trace::{TraceCollector, TraceSpan};
 
 /// A condvar-based parker for the hive thread's idle wait. An `unpark` that
@@ -105,6 +106,24 @@ pub(crate) struct BeeJob {
     /// The hive's span ring buffer; workers record directly (slot-level
     /// locking only), so spans need no check-in round trip.
     pub tracer: Arc<TraceCollector>,
+    /// Shared handler-fault injection table (tests / chaos runs).
+    pub faults: Arc<HandlerFaults>,
+}
+
+/// One message whose handler failed (error or panic) during a batch. The
+/// hive thread decides its fate on check-in: redeliver with backoff or
+/// dead-letter once the budget is exhausted.
+pub(crate) struct FailedDelivery {
+    /// Handler index the envelope was dispatched to.
+    pub hidx: u16,
+    /// Human-readable handler name (for the dead letter).
+    pub handler: String,
+    /// The envelope, untouched — `deliveries` is bumped by the supervisor.
+    pub env: Envelope,
+    /// How the handler failed.
+    pub kind: FailureKind,
+    /// Error string or panic payload.
+    pub detail: String,
 }
 
 /// Everything a batch produced, to be checked back in and applied by the
@@ -138,6 +157,14 @@ pub(crate) struct BeeJobResult {
     pub errors: u64,
     /// Messages processed.
     pub processed: u64,
+    /// Messages whose handler failed, for supervised redelivery.
+    pub failed: Vec<FailedDelivery>,
+    /// Whether at least one message in the batch committed (resets the
+    /// bee's consecutive-failure streak).
+    pub had_success: bool,
+    /// Failures at the *tail* of the batch (after the last success) — the
+    /// bee's live consecutive-failure streak contribution.
+    pub trailing_failures: u32,
     /// Instrumentation delta for the whole batch.
     pub instr: Instrumentation,
     /// Wall nanoseconds the worker spent on this batch.
@@ -163,6 +190,7 @@ fn run_batch(worker: usize, job: BeeJob) -> BeeJobResult {
         replicate,
         batch,
         tracer,
+        faults,
     } = job;
     let app_name = app.name().clone();
     let mut instr = Instrumentation::default();
@@ -173,6 +201,9 @@ fn run_batch(worker: usize, job: BeeJob) -> BeeJobResult {
     let mut retire_last = false;
     let mut errors = 0u64;
     let mut processed = 0u64;
+    let mut failed: Vec<FailedDelivery> = Vec::new();
+    let mut had_success = false;
+    let mut trailing_failures = 0u32;
     let batch_started = std::time::Instant::now();
 
     for (hidx, env) in batch {
@@ -187,13 +218,28 @@ fn run_batch(worker: usize, job: BeeJob) -> BeeJobResult {
             src: env.src,
             now_ms,
             trace: env.trace,
+            deliveries: env.deliveries,
             tx: TxState::begin(&mut state),
             outbox: Vec::new(),
             control_out: Vec::new(),
             retire: false,
         };
         let started = std::time::Instant::now();
-        let result = handler.rcv(env.msg.as_ref(), &mut ctx);
+        // A panic is contained at the message boundary, exactly like `Err`:
+        // roll back the transaction, classify, and let the hive supervisor
+        // decide between redelivery and the dead-letter queue.
+        let outcome: Result<(), (FailureKind, String)> =
+            if faults.should_fail(&app_name, &in_type) {
+                Err((FailureKind::Error, "injected handler fault".to_string()))
+            } else {
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handler.rcv(env.msg.as_ref(), &mut ctx)
+                })) {
+                    Ok(Ok(())) => Ok(()),
+                    Ok(Err(e)) => Err((FailureKind::Error, e)),
+                    Err(payload) => Err((FailureKind::Panic, panic_detail(payload.as_ref()))),
+                }
+            };
         let elapsed = started.elapsed().as_nanos() as u64;
 
         let RcvCtx {
@@ -203,10 +249,28 @@ fn run_batch(worker: usize, job: BeeJob) -> BeeJobResult {
             retire,
             ..
         } = ctx;
-        let (journal, msg_out, ctl_out, ok) = match result {
-            Ok(()) => (tx.commit(), msg_out, ctl_out, true),
-            Err(_) => (tx.rollback(), Vec::new(), Vec::new(), false),
+        let ok = outcome.is_ok();
+        let (journal, msg_out, ctl_out) = if ok {
+            (tx.commit(), msg_out, ctl_out)
+        } else {
+            (tx.rollback(), Vec::new(), Vec::new())
         };
+        if let Err((kind, detail)) = outcome {
+            instr.record_failure(kind);
+            failed.push(FailedDelivery {
+                hidx,
+                handler: handler.name.clone(),
+                env: env.clone(),
+                kind,
+                detail,
+            });
+        }
+        if ok {
+            had_success = true;
+            trailing_failures = 0;
+        } else {
+            trailing_failures = trailing_failures.saturating_add(1);
+        }
         // Only the batch's final message can retire the bee: earlier
         // messages always have more mail behind them (sequential parity).
         retire_last = ok && retire;
@@ -300,6 +364,9 @@ fn run_batch(worker: usize, job: BeeJob) -> BeeJobResult {
         retire: retire_last,
         errors,
         processed,
+        failed,
+        had_success,
+        trailing_failures,
         instr,
         busy_nanos,
         worker,
@@ -311,7 +378,7 @@ fn run_batch(worker: usize, job: BeeJob) -> BeeJobResult {
 /// worker.
 pub(crate) struct Executor {
     job_tx: Option<Sender<BeeJob>>,
-    res_rx: Receiver<Result<BeeJobResult, String>>,
+    res_rx: Receiver<BeeJobResult>,
     handles: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -320,7 +387,7 @@ impl Executor {
     pub(crate) fn new(workers: usize) -> Self {
         assert!(workers >= 1);
         let (job_tx, job_rx) = unbounded::<BeeJob>();
-        let (res_tx, res_rx) = unbounded::<Result<BeeJobResult, String>>();
+        let (res_tx, res_rx) = unbounded::<BeeJobResult>();
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
             let rx = job_rx.clone();
@@ -328,21 +395,11 @@ impl Executor {
             let handle = std::thread::Builder::new()
                 .name(format!("bh-worker-{w}"))
                 .spawn(move || {
+                    // Handler panics are caught per message inside
+                    // `run_batch`, so the worker itself never unwinds on
+                    // application faults.
                     while let Ok(job) = rx.recv() {
-                        // A panicking handler must tear down the hive (as it
-                        // would in the sequential executor), not deadlock the
-                        // round — ship the panic back instead of unwinding
-                        // the worker.
-                        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            run_batch(w, job)
-                        }))
-                        .map_err(|p| {
-                            p.downcast_ref::<&str>()
-                                .map(|s| s.to_string())
-                                .or_else(|| p.downcast_ref::<String>().cloned())
-                                .unwrap_or_else(|| "handler panicked".to_string())
-                        });
-                        if tx.send(res).is_err() {
+                        if tx.send(run_batch(w, job)).is_err() {
                             break;
                         }
                     }
@@ -366,13 +423,11 @@ impl Executor {
             .expect("executor workers alive");
     }
 
-    /// Blocks for the next finished batch. Panics (on the hive thread) if
-    /// the batch's handler panicked on the worker.
+    /// Blocks for the next finished batch. Handler failures (including
+    /// panics) ride back inside the result's `failed` list — they never
+    /// propagate as panics to the hive thread.
     pub(crate) fn collect(&self) -> BeeJobResult {
-        match self.res_rx.recv().expect("executor workers alive") {
-            Ok(res) => res,
-            Err(panic_msg) => panic!("bee handler panicked on worker thread: {panic_msg}"),
-        }
+        self.res_rx.recv().expect("executor workers alive")
     }
 }
 

@@ -60,6 +60,19 @@ pub enum FeedbackItem {
         /// Number of conflicting writes observed.
         conflicts: u64,
     },
+    /// A bee fails a large share of its deliveries: its messages burn their
+    /// redelivery budget, land in the dead-letter queue, and the bee risks
+    /// quarantine. Usually a handler bug or a poison message class.
+    FailingHandler {
+        /// The failing bee.
+        bee: BeeId,
+        /// The hive hosting it.
+        hive: HiveId,
+        /// Failed (rolled-back) deliveries observed in the window.
+        failures: u64,
+        /// Fraction of the bee's deliveries that failed (0..=1).
+        failure_rate: f64,
+    },
 }
 
 impl fmt::Display for FeedbackItem {
@@ -109,6 +122,18 @@ impl fmt::Display for FeedbackItem {
                 f,
                 "{conflicts} write(s) outside the mapped cells collided with other colonies; \
                  map functions must cover every key the handler writes"
+            ),
+            FeedbackItem::FailingHandler {
+                bee,
+                hive,
+                failures,
+                failure_rate,
+            } => write!(
+                f,
+                "{bee} on {hive} failed {:.0}% of its deliveries ({failures} rollbacks): \
+                 messages will exhaust their redelivery budget and dead-letter, and the bee \
+                 risks quarantine",
+                failure_rate * 100.0
             ),
         }
     }
@@ -222,6 +247,26 @@ pub fn runtime_feedback(
                     });
                 }
             }
+        }
+    }
+
+    // Failing handlers: flag bees whose rollback rate is high enough that
+    // supervision (redelivery, dead-lettering, quarantine) is doing real
+    // work. Pinned bees are included — a failing platform bee matters too.
+    const FAILURE_MIN_SAMPLES: u64 = 10;
+    const FAILURE_RATE_THRESHOLD: f64 = 0.5;
+    for s in snapshots.iter().filter(|s| s.app == app) {
+        if s.stats.msgs_in < FAILURE_MIN_SAMPLES {
+            continue;
+        }
+        let rate = s.stats.errors as f64 / s.stats.msgs_in as f64;
+        if rate >= FAILURE_RATE_THRESHOLD {
+            items.push(FeedbackItem::FailingHandler {
+                bee: s.bee,
+                hive: s.hive,
+                failures: s.stats.errors,
+                failure_rate: rate,
+            });
         }
     }
 
@@ -366,6 +411,28 @@ mod tests {
             })
         ));
         assert!(report.to_string().contains("p99 handler runtime"));
+    }
+
+    #[test]
+    fn failing_handler_cited_with_rate() {
+        let mut s = snap("te", 1, 1, 20, 1);
+        s.stats.errors = 15;
+        let report = runtime_feedback("te", &[s], None, 0, 0.9, 0.5);
+        assert!(matches!(
+            report.items.first(),
+            Some(FeedbackItem::FailingHandler { failures: 15, .. })
+        ));
+        assert!(report.to_string().contains("failed 75% of its deliveries"));
+
+        // Below the sample floor or the rate threshold: no finding.
+        let mut quiet = snap("te", 2, 1, 5, 1);
+        quiet.stats.errors = 5;
+        let report = runtime_feedback("te", &[quiet], None, 0, 0.9, 0.5);
+        assert!(report.items.is_empty());
+        let mut healthy = snap("te", 3, 1, 100, 1);
+        healthy.stats.errors = 2;
+        let report = runtime_feedback("te", &[healthy], None, 0, 0.9, 0.5);
+        assert!(report.items.is_empty());
     }
 
     #[test]

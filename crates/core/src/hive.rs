@@ -25,10 +25,13 @@ use crate::id::{AppName, BeeId, HiveId};
 use crate::message::{Dst, Envelope, Message, MessageRegistry, WireEnvelope};
 use crate::metrics::Instrumentation;
 use crate::platform::Tick;
-use crate::queen::{BeeStatus, Queen};
+use crate::queen::{BeeStatus, Delivery, Queen};
 use crate::registry::{RegistryCommand, RegistryEvent, RegistryOp, RegistryState};
 use crate::replication::{replicas_of, ApplyOutcome, ShadowStore};
 use crate::state::{BeeState, TxState};
+use crate::supervision::{
+    panic_detail, DeadLetter, DeadLetterStore, FailureKind, HandlerFaults, OverflowPolicy,
+};
 use crate::trace::{TraceCollector, TraceSpan};
 use crate::transport::{Frame, FrameKind, Transport};
 
@@ -76,6 +79,29 @@ pub struct HiveConfig {
     /// Capacity of the causal-trace span ring buffer (see
     /// [`crate::trace::TraceCollector`]). Old spans are overwritten.
     pub trace_capacity: usize,
+    /// How many times a message whose handler failed (`Err` or panic) is
+    /// redelivered before it is dead-lettered. 0 dead-letters on the first
+    /// failure; the total attempts for a poisoned message is
+    /// `max_redeliveries + 1`.
+    pub max_redeliveries: u32,
+    /// Base delay of the redelivery exponential backoff: attempt `n` waits
+    /// `base * 2^(n-1)` ms (capped at 64×base) plus a deterministic jitter
+    /// derived from the message's span id.
+    pub redelivery_backoff_ms: u64,
+    /// Consecutive handler failures on one bee that trip its quarantine
+    /// circuit breaker. 0 disables quarantine.
+    pub quarantine_threshold: u32,
+    /// How long a quarantined bee rests before the half-open probe (one
+    /// message); a probe success closes the breaker, a failure re-arms it.
+    pub quarantine_cooldown_ms: u64,
+    /// Per-bee mailbox bound. 0 (the default) is unbounded; otherwise the
+    /// [`HiveConfig::overflow_policy`] decides what a full mailbox does.
+    pub mailbox_capacity: usize,
+    /// What to do when a bounded mailbox is full.
+    pub overflow_policy: OverflowPolicy,
+    /// Capacity of the dead-letter ring ([`DeadLetterStore`]). Old letters
+    /// are overwritten; the recorded total keeps counting.
+    pub dead_letter_capacity: usize,
 }
 
 impl HiveConfig {
@@ -95,6 +121,13 @@ impl HiveConfig {
             registry_storage_dir: None,
             workers: 1,
             trace_capacity: 4096,
+            max_redeliveries: 3,
+            redelivery_backoff_ms: 100,
+            quarantine_threshold: 10,
+            quarantine_cooldown_ms: 5_000,
+            mailbox_capacity: 0,
+            overflow_policy: OverflowPolicy::default(),
+            dead_letter_capacity: 1024,
         }
     }
 
@@ -139,6 +172,19 @@ pub struct HiveCounters {
     pub merges: u64,
     /// Handler invocations that returned an error.
     pub handler_errors: u64,
+    /// Handler invocations that panicked (contained at the bee boundary;
+    /// also counted in `handler_errors`).
+    pub handler_panics: u64,
+    /// Failed messages re-queued for a supervised redelivery attempt.
+    pub redeliveries: u64,
+    /// Messages recorded in the dead-letter queue (all failure kinds).
+    pub dead_letters: u64,
+    /// Oldest-queued messages shed by bounded mailboxes under
+    /// [`OverflowPolicy::Shed`].
+    pub shed_messages: u64,
+    /// Times a bee's quarantine circuit breaker opened (or re-armed after a
+    /// failed half-open probe).
+    pub quarantines: u64,
     /// Messages relayed to other hives.
     pub relays_out: u64,
     /// Transactions replicated to shadow hives.
@@ -242,6 +288,22 @@ pub struct Hive {
     shadows: ShadowStore,
     /// Bees being recovered from local shadows (failover in progress).
     recovering: HashSet<(AppName, BeeId)>,
+    /// Dead-letter queue: messages that exhausted their redelivery budget
+    /// or were rejected by quarantine / mailbox bounds.
+    dead_letters: Arc<DeadLetterStore>,
+    /// Shared handler-fault injection table (tests / chaos runs); executor
+    /// workers consult it before each handler invocation.
+    faults: Arc<HandlerFaults>,
+    /// Failed messages awaiting their backoff-delayed redelivery:
+    /// `(envelope, due ms)`. The envelope's `dst` is already re-aimed at the
+    /// exact bee + handler that failed.
+    retry_queue: VecDeque<(Envelope, u64)>,
+    /// Quarantined bees and when their cooldown expires; expired entries are
+    /// pushed back to the run queue for the half-open probe.
+    quarantine_timers: Vec<(usize, BeeId, u64)>,
+    /// Last ms an undecodable-payload warning was logged per peer
+    /// (rate-limits the log, not the counter).
+    decode_error_logged: HashMap<HiveId, u64>,
     /// The worker pool when `cfg.workers > 1`; `None` = sequential.
     executor: Option<Executor>,
     /// Parker for [`Hive::run`]'s idle wait, shared with every
@@ -317,6 +379,7 @@ impl Hive {
             None
         };
         let tracer = Arc::new(TraceCollector::new(cfg.trace_capacity));
+        let dead_letters = Arc::new(DeadLetterStore::new(cfg.dead_letter_capacity));
         let (handle_tx, handle_rx) = unbounded();
         let mut msg_registry = MessageRegistry::new();
         msg_registry.register::<Tick>();
@@ -350,6 +413,11 @@ impl Hive {
             applied_seq: 0,
             shadows: ShadowStore::new(),
             recovering: HashSet::new(),
+            dead_letters,
+            faults: Arc::new(HandlerFaults::new()),
+            retry_queue: VecDeque::new(),
+            quarantine_timers: Vec::new(),
+            decode_error_logged: HashMap::new(),
             executor,
             parker: Arc::new(Parker::new()),
         };
@@ -403,6 +471,39 @@ impl Hive {
     /// This hive's causal-trace span collector.
     pub fn tracer(&self) -> Arc<TraceCollector> {
         self.tracer.clone()
+    }
+
+    /// This hive's dead-letter queue.
+    pub fn dead_letters(&self) -> Arc<DeadLetterStore> {
+        self.dead_letters.clone()
+    }
+
+    /// Drains the dead-letter queue back into dispatch with a fresh
+    /// redelivery budget (operator "requeue" after fixing the fault).
+    /// Returns the number of messages requeued.
+    pub fn requeue_dead_letters(&mut self) -> usize {
+        let letters = self.dead_letters.drain();
+        let n = letters.len();
+        for letter in letters {
+            let mut env = letter.envelope;
+            env.deliveries = 0;
+            self.dispatch_queue.push_back(env);
+        }
+        n
+    }
+
+    /// Arms an injected handler fault: the next `times` deliveries of
+    /// `msg_type` (wire-name suffix match) to `app` fail as if the handler
+    /// returned `Err`. Test/chaos API — exercises the whole supervision
+    /// path (redelivery, dead-lettering, quarantine) without a special app.
+    pub fn inject_handler_fault(&mut self, app: &str, msg_type: &str, times: u32) {
+        self.faults.fail(app, msg_type, times);
+    }
+
+    /// The shared handler-fault table (drivers can arm faults from other
+    /// threads; executor workers consult it per message).
+    pub fn handler_faults(&self) -> Arc<HandlerFaults> {
+        self.faults.clone()
     }
 
     /// Diagnostic counters.
@@ -553,7 +654,7 @@ impl Hive {
                 FrameKind::App => match WireEnvelope::to_envelope(&frame.bytes, &self.msg_registry)
                 {
                     Ok(env) => self.dispatch_queue.push_back(env),
-                    Err(_) => self.counters.decode_errors += 1,
+                    Err(_) => self.note_decode_error(Some(from)),
                 },
                 FrameKind::Raft => {
                     match beehive_wire::from_slice::<beehive_raft::RaftMessage>(&frame.bytes) {
@@ -563,12 +664,12 @@ impl Hive {
                                 self.send_raft(outs);
                             }
                         }
-                        Err(_) => self.counters.decode_errors += 1,
+                        Err(_) => self.note_decode_error(Some(from)),
                     }
                 }
                 FrameKind::Control => match ControlMsg::decode(&frame.bytes) {
                     Ok(msg) => self.handle_control(from, msg),
-                    Err(_) => self.counters.decode_errors += 1,
+                    Err(_) => self.note_decode_error(Some(from)),
                 },
             }
         }
@@ -608,6 +709,44 @@ impl Hive {
 
         // 6. Pending-proposal retries.
         self.retry_pending(now);
+
+        // 6b. Supervised redeliveries whose backoff elapsed re-enter
+        // dispatch (keeping their original enqueued stamp and bumped
+        // `deliveries` count).
+        if !self.retry_queue.is_empty() {
+            let pending = self.retry_queue.len();
+            for _ in 0..pending {
+                if let Some((env, due)) = self.retry_queue.pop_front() {
+                    if now >= due {
+                        self.dispatch_queue.push_back(env);
+                        work += 1;
+                    } else {
+                        self.retry_queue.push_back((env, due));
+                    }
+                }
+            }
+        }
+
+        // 6c. Quarantine cooldowns: a bee whose cooldown expired goes back
+        // on the run queue so its next dequeue is the half-open probe.
+        if !self.quarantine_timers.is_empty() {
+            let mut still: Vec<(usize, BeeId, u64)> = Vec::new();
+            for (app_idx, bee, until) in std::mem::take(&mut self.quarantine_timers) {
+                if now >= until {
+                    if self.queens[app_idx]
+                        .bee(bee)
+                        .is_some_and(|b| !b.mailbox.is_empty())
+                    {
+                        self.run_queue.push_back((app_idx, bee));
+                    }
+                    work += 1;
+                } else {
+                    still.push((app_idx, bee, until));
+                }
+            }
+            self.quarantine_timers = still;
+            self.instr.lock().quarantined = self.quarantine_timers.len() as u64;
+        }
 
         // 7. Orphan retries. Retried orphans re-enter dispatch with their
         // ORIGINAL park time, so a message that keeps failing to route is
@@ -732,6 +871,8 @@ impl Hive {
         if !self.pending_routes.is_empty()
             || !self.pending_ops.is_empty()
             || !self.orphans.is_empty()
+            || !self.retry_queue.is_empty()
+            || !self.quarantine_timers.is_empty()
         {
             park = park.min(5);
         }
@@ -788,16 +929,12 @@ impl Hive {
                         id
                     });
                     self.instr.lock().pinned.insert(bee.0);
-                    if self.queens[app_idx].deliver(bee, hidx, env.clone()) {
-                        self.run_queue.push_back((app_idx, bee));
-                    }
+                    self.deliver_checked(app_idx, bee, hidx, env.clone());
                 }
                 Mapped::LocalBroadcast => {
                     let targets: Vec<BeeId> = self.queens[app_idx].active_bees().collect();
                     for bee in targets {
-                        if self.queens[app_idx].deliver(bee, hidx, env.clone()) {
-                            self.run_queue.push_back((app_idx, bee));
-                        }
+                        self.deliver_checked(app_idx, bee, hidx, env.clone());
                     }
                 }
                 Mapped::Cells(cells) => {
@@ -927,9 +1064,7 @@ impl Hive {
         };
         // Local?
         if self.queens[app_idx].bee(bee).is_some() {
-            if self.queens[app_idx].deliver(bee, hidx, env) {
-                self.run_queue.push_back((app_idx, bee));
-            }
+            self.deliver_checked(app_idx, bee, hidx, env);
             return;
         }
         // Merged away? Re-aim at the surviving colony.
@@ -979,9 +1114,7 @@ impl Hive {
                 } else {
                     self.queens[app_idx].ensure_bee(bee, colony);
                 }
-                if self.queens[app_idx].deliver(bee, hidx, env) {
-                    self.run_queue.push_back((app_idx, bee));
-                }
+                self.deliver_checked(app_idx, bee, hidx, env);
             }
             Some(h) => {
                 let mut env = env;
@@ -1024,9 +1157,7 @@ impl Hive {
                 .map(|r| r.colony.iter().cloned().collect())
                 .unwrap_or_default();
             self.queens[app_idx].ensure_bee(bee, colony);
-            if self.queens[app_idx].deliver(bee, hidx, env) {
-                self.run_queue.push_back((app_idx, bee));
-            }
+            self.deliver_checked(app_idx, bee, hidx, env);
         } else {
             let mut env = env;
             env.dst = Dst::Bee {
@@ -1049,7 +1180,179 @@ impl Hive {
                 self.counters.relays_out += 1;
                 self.transport.send(to, Frame::app(bytes));
             }
-            Err(_) => self.counters.decode_errors += 1,
+            Err(_) => self.note_decode_error(None),
+        }
+    }
+
+    /// Delivers new traffic through the queen's admission policy (quarantine
+    /// fast-path, bounded mailboxes) and schedules the bee if mail queued.
+    fn deliver_checked(&mut self, app_idx: usize, bee: BeeId, hidx: u16, env: Envelope) {
+        let now = self.clock.now_ms();
+        match self.queens[app_idx].offer(
+            bee,
+            hidx,
+            env,
+            now,
+            self.cfg.mailbox_capacity,
+            self.cfg.overflow_policy,
+        ) {
+            Delivery::Delivered => self.run_queue.push_back((app_idx, bee)),
+            Delivery::NoBee(_) => {}
+            Delivery::Quarantined(env) => self.dead_letter(
+                app_idx,
+                bee,
+                "",
+                env,
+                FailureKind::Quarantined,
+                "bee quarantined".to_string(),
+                now,
+            ),
+            Delivery::Shed(shed) => {
+                self.counters.shed_messages += 1;
+                self.run_queue.push_back((app_idx, bee));
+                self.dead_letter(
+                    app_idx,
+                    bee,
+                    "",
+                    shed,
+                    FailureKind::MailboxOverflow,
+                    "mailbox over capacity: oldest message shed".to_string(),
+                    now,
+                );
+            }
+            Delivery::Rejected(env) => self.dead_letter(
+                app_idx,
+                bee,
+                "",
+                env,
+                FailureKind::MailboxOverflow,
+                "mailbox over capacity: message rejected".to_string(),
+                now,
+            ),
+        }
+    }
+
+    /// Records a message in the dead-letter queue.
+    #[allow(clippy::too_many_arguments)]
+    fn dead_letter(
+        &mut self,
+        app_idx: usize,
+        bee: BeeId,
+        handler: &str,
+        env: Envelope,
+        kind: FailureKind,
+        detail: String,
+        now: u64,
+    ) {
+        self.counters.dead_letters += 1;
+        self.instr.lock().dead_letters += 1;
+        let attempts = if kind.is_handler_failure() {
+            env.deliveries + 1
+        } else {
+            env.deliveries
+        };
+        self.dead_letters.record(DeadLetter {
+            app: self.apps[app_idx].name().clone(),
+            bee,
+            handler: handler.to_string(),
+            msg_type: env.msg.type_name().to_string(),
+            kind,
+            detail,
+            attempts,
+            trace_id: env.trace.trace_id,
+            recorded_ms: now,
+            envelope: env,
+        });
+    }
+
+    /// Supervised redelivery: a message whose handler failed either re-enters
+    /// dispatch after an exponential-backoff delay, or — once its
+    /// `max_redeliveries` budget is spent — lands in the dead-letter queue.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_failed_delivery(
+        &mut self,
+        app_idx: usize,
+        bee: BeeId,
+        hidx: u16,
+        handler: &str,
+        mut env: Envelope,
+        kind: FailureKind,
+        detail: String,
+        now: u64,
+    ) {
+        if kind == FailureKind::Panic {
+            self.counters.handler_panics += 1;
+        }
+        if env.deliveries >= self.cfg.max_redeliveries {
+            self.dead_letter(app_idx, bee, handler, env, kind, detail, now);
+            return;
+        }
+        env.deliveries += 1;
+        self.counters.redeliveries += 1;
+        self.instr.lock().redeliveries += 1;
+        // Exponential backoff (capped at 64× base) with deterministic jitter
+        // taken from the span id, so colliding retries spread out without a
+        // random source (sans-IO determinism).
+        let base = self.cfg.redelivery_backoff_ms.max(1);
+        let exp = base.saturating_mul(1u64 << u64::from(env.deliveries - 1).min(6));
+        let jitter = env.trace.span_id % base;
+        let due = now + exp + jitter;
+        // Re-aim at the exact bee + handler that failed; if the bee migrates
+        // or merges before the retry fires, direct dispatch re-routes it.
+        env.dst = Dst::Bee {
+            app: self.apps[app_idx].name().clone(),
+            bee,
+            handler: Some(hidx),
+            fence: self.applied_seq,
+        };
+        self.retry_queue.push_back((env, due));
+    }
+
+    /// Applies a run outcome to the bee's quarantine circuit breaker and
+    /// starts the cooldown timer when it trips.
+    fn apply_outcome(
+        &mut self,
+        app_idx: usize,
+        bee: BeeId,
+        had_success: bool,
+        trailing_failures: u32,
+        now: u64,
+    ) {
+        let tripped = self.queens[app_idx].record_outcome(
+            bee,
+            had_success,
+            trailing_failures,
+            self.cfg.quarantine_threshold,
+            self.cfg.quarantine_cooldown_ms,
+            now,
+        );
+        if let Some(until) = tripped {
+            self.counters.quarantines += 1;
+            self.quarantine_timers.push((app_idx, bee, until));
+            self.instr.lock().quarantined = self.quarantine_timers.len() as u64;
+        }
+    }
+
+    /// Counts an undecodable frame/payload, logging the offending peer at
+    /// most once per window so a flapping peer can't flood the log.
+    fn note_decode_error(&mut self, peer: Option<HiveId>) {
+        const LOG_WINDOW_MS: u64 = 5_000;
+        self.counters.decode_errors += 1;
+        self.instr.lock().decode_errors += 1;
+        let Some(peer) = peer else {
+            return;
+        };
+        let now = self.clock.now_ms();
+        let log = match self.decode_error_logged.get(&peer) {
+            Some(&last) => now.saturating_sub(last) >= LOG_WINDOW_MS,
+            None => true,
+        };
+        if log {
+            self.decode_error_logged.insert(peer, now);
+            eprintln!(
+                "beehive: hive {:?} received undecodable payload from peer {:?}",
+                self.cfg.id, peer
+            );
         }
     }
 
@@ -1062,7 +1365,7 @@ impl Hive {
         }
         match msg.encode() {
             Ok(bytes) => self.transport.send(to, Frame::control(bytes)),
-            Err(_) => self.counters.decode_errors += 1,
+            Err(_) => self.note_decode_error(None),
         }
     }
 
@@ -1071,7 +1374,7 @@ impl Hive {
             let to = HiveId::from_raft(o.to);
             match beehive_wire::to_vec(&o.msg) {
                 Ok(bytes) => self.transport.send(to, Frame::raft(bytes)),
-                Err(_) => self.counters.decode_errors += 1,
+                Err(_) => self.note_decode_error(None),
             }
         }
     }
@@ -1362,7 +1665,7 @@ impl Hive {
                 let state = match BeeState::from_snapshot(&state) {
                     Ok(s) => s,
                     Err(_) => {
-                        self.counters.decode_errors += 1;
+                        self.note_decode_error(Some(from));
                         return;
                     }
                 };
@@ -1395,7 +1698,7 @@ impl Hive {
                 let state = match BeeState::from_snapshot(&state) {
                     Ok(s) => s,
                     Err(_) => {
-                        self.counters.decode_errors += 1;
+                        self.note_decode_error(Some(from));
                         return;
                     }
                 };
@@ -1421,7 +1724,7 @@ impl Hive {
                 let journal = match beehive_wire::from_slice::<crate::state::TxJournal>(&journal) {
                     Ok(j) => j,
                     Err(_) => {
-                        self.counters.decode_errors += 1;
+                        self.note_decode_error(Some(from));
                         return;
                     }
                 };
@@ -1461,7 +1764,7 @@ impl Hive {
                 state,
             } => {
                 let Ok(state) = BeeState::from_snapshot(&state) else {
-                    self.counters.decode_errors += 1;
+                    self.note_decode_error(Some(from));
                     return;
                 };
                 self.shadows.install(&app, bee, seq, state);
@@ -1497,7 +1800,7 @@ impl Hive {
             if !seen.insert((app_idx, bee)) {
                 continue;
             }
-            let Some(out) = self.queens[app_idx].check_out(bee) else {
+            let Some(out) = self.queens[app_idx].check_out(bee, now) else {
                 continue;
             };
             executor.submit(BeeJob {
@@ -1513,6 +1816,7 @@ impl Hive {
                 replicate,
                 batch: out.mail,
                 tracer: self.tracer.clone(),
+                faults: self.faults.clone(),
             });
             jobs += 1;
         }
@@ -1592,6 +1896,17 @@ impl Hive {
                     self.submit_tracked(RegistryOp::RemoveBee { bee: r.bee });
                 }
             }
+            // Supervision: route each failed message (redelivery or DLQ) and
+            // feed the batch outcome to the bee's circuit breaker.
+            let saw_failures = !r.failed.is_empty();
+            for f in r.failed {
+                self.handle_failed_delivery(
+                    r.app_idx, r.bee, f.hidx, &f.handler, f.env, f.kind, f.detail, now,
+                );
+            }
+            if r.had_success || saw_failures {
+                self.apply_outcome(r.app_idx, r.bee, r.had_success, r.trailing_failures, now);
+            }
         }
         processed
     }
@@ -1608,6 +1923,12 @@ impl Hive {
         if bee.status != BeeStatus::Active {
             return false;
         }
+        // Quarantined: leave the backlog queued; the cooldown timer re-queues
+        // the bee for its half-open probe (one message per run_bee call, so
+        // the probe is naturally single-message here).
+        if bee.is_quarantined(now) {
+            return false;
+        }
         let Some((hidx, env)) = bee.mailbox.pop_front() else {
             return false;
         };
@@ -1617,6 +1938,7 @@ impl Hive {
         // Execute the handler inside a transaction.
         let apps = &self.apps;
         let handler = apps[app_idx].handler(hidx).expect("handler index valid");
+        let handler_name = handler.name.clone();
         let in_type = env.msg.type_name().to_string();
         let msg_len = env.msg.encoded_len();
 
@@ -1627,13 +1949,27 @@ impl Hive {
             src: env.src,
             now_ms: now,
             trace: env.trace,
+            deliveries: env.deliveries,
             tx: TxState::begin(&mut bee.state),
             outbox: Vec::new(),
             control_out: Vec::new(),
             retire: false,
         };
         let started = std::time::Instant::now();
-        let result = handler.rcv(env.msg.as_ref(), &mut ctx);
+        // A panic is contained at the message boundary, exactly like `Err`:
+        // roll back, classify, then redeliver or dead-letter below.
+        let outcome: Result<(), (FailureKind, String)> =
+            if self.faults.should_fail(&app_name, &in_type) {
+                Err((FailureKind::Error, "injected handler fault".to_string()))
+            } else {
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handler.rcv(env.msg.as_ref(), &mut ctx)
+                })) {
+                    Ok(Ok(())) => Ok(()),
+                    Ok(Err(e)) => Err((FailureKind::Error, e)),
+                    Err(payload) => Err((FailureKind::Panic, panic_detail(payload.as_ref()))),
+                }
+            };
         let elapsed = started.elapsed().as_nanos() as u64;
 
         let RcvCtx {
@@ -1643,9 +1979,11 @@ impl Hive {
             retire,
             ..
         } = ctx;
-        let (journal, outbox, control_out, ok) = match result {
-            Ok(()) => (tx.commit(), outbox, control_out, true),
-            Err(_) => (tx.rollback(), Vec::new(), Vec::new(), false),
+        let ok = outcome.is_ok();
+        let (journal, outbox, control_out) = if ok {
+            (tx.commit(), outbox, control_out)
+        } else {
+            (tx.rollback(), Vec::new(), Vec::new())
         };
         let retire = ok && retire;
 
@@ -1698,6 +2036,9 @@ impl Hive {
             if !ok {
                 stats.errors += 1;
             }
+            if let Err((kind, _)) = &outcome {
+                instr.record_failure(*kind);
+            }
             for out in &outbox {
                 instr
                     .bee(&app_name, bee_id)
@@ -1725,6 +2066,22 @@ impl Hive {
         if !ok {
             self.counters.handler_errors += 1;
         }
+
+        // Supervision: route the failure (redelivery or dead-letter) and
+        // feed the outcome to the bee's circuit breaker.
+        if let Err((kind, detail)) = outcome {
+            self.handle_failed_delivery(
+                app_idx,
+                bee_id,
+                hidx,
+                &handler_name,
+                env,
+                kind,
+                detail,
+                now,
+            );
+        }
+        self.apply_outcome(app_idx, bee_id, ok, u32::from(!ok), now);
 
         // Requeue if there is more mail.
         if has_more {

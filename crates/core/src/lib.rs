@@ -77,6 +77,7 @@ pub mod queen;
 pub mod registry;
 pub mod replication;
 pub mod state;
+pub mod supervision;
 pub mod trace;
 pub mod transport;
 
@@ -93,9 +94,11 @@ pub use metrics::{
     MsgLatency, WorkerStats, LATENCY_BUCKETS_US,
 };
 pub use platform::{collector_app, optimizer_app, Tick, COLLECTOR_APP, OPTIMIZER_APP};
+pub use queen::Delivery;
 pub use registry::{RegistryCommand, RegistryEvent, RegistryOp, RegistryState};
 pub use replication::{replicas_of, ShadowStore};
 pub use state::{BeeState, Dict, JournalOp, TxJournal, TxState};
+pub use supervision::{DeadLetter, DeadLetterStore, FailureKind, HandlerFaults, OverflowPolicy};
 pub use trace::{chrome_trace, TraceCollector, TraceContext, TraceSpan};
 pub use transport::{Frame, FrameKind, Loopback, Transport, TransportCounters, TransportSnapshot};
 
@@ -109,5 +112,6 @@ pub mod prelude {
     pub use crate::impl_message;
     pub use crate::message::{cast, Message, TypedMessage};
     pub use crate::platform::Tick;
+    pub use crate::supervision::{DeadLetter, DeadLetterStore, FailureKind, OverflowPolicy};
     pub use crate::transport::Loopback;
 }

@@ -151,6 +151,11 @@ pub struct Envelope {
     pub dst: Dst,
     /// Causal trace context (propagated across emits and hives).
     pub trace: TraceContext,
+    /// How many times a handler already attempted (and failed) this message.
+    /// 0 on first delivery; the supervisor increments it on each redelivery
+    /// and dead-letters the envelope once it exceeds
+    /// `HiveConfig::max_redeliveries`. Survives the TCP hop.
+    pub deliveries: u32,
 }
 
 impl fmt::Debug for Envelope {
@@ -161,6 +166,7 @@ impl fmt::Debug for Envelope {
             .field("seq", &format_args!("{:#x}", self.trace.span_id))
             .field("src", &self.src)
             .field("dst", &self.dst)
+            .field("deliveries", &self.deliveries)
             .finish()
     }
 }
@@ -173,6 +179,7 @@ impl Envelope {
             src: Source::External(hive),
             dst: Dst::Broadcast,
             trace: TraceContext::root(hive),
+            deliveries: 0,
         }
     }
 }
@@ -191,6 +198,9 @@ pub struct WireEnvelope {
     /// Causal trace context. The enqueue stamp inside it is meaningful only
     /// on the sending hive and is cleared on decode.
     pub trace: TraceContext,
+    /// Redelivery attempt count — survives the hop so a relayed poison
+    /// message cannot reset its retry budget by crossing hives.
+    pub deliveries: u32,
 }
 
 impl WireEnvelope {
@@ -202,6 +212,7 @@ impl WireEnvelope {
             type_name: env.msg.type_name().to_string(),
             payload: env.msg.encode()?,
             trace: env.trace,
+            deliveries: env.deliveries,
         };
         beehive_wire::to_vec(&we).map_err(Error::from)
     }
@@ -217,6 +228,7 @@ impl WireEnvelope {
             src: we.src,
             dst: we.dst,
             trace: we.trace.rewired(),
+            deliveries: we.deliveries,
         })
     }
 }
@@ -325,6 +337,7 @@ mod tests {
             },
             dst: Dst::App("router".into()),
             trace,
+            deliveries: 2,
         };
         let bytes = WireEnvelope::from_envelope(&env).unwrap();
         let back = WireEnvelope::to_envelope(&bytes, &reg).unwrap();
@@ -336,6 +349,8 @@ mod tests {
         assert_eq!(back.trace.span_id, trace.span_id);
         assert_eq!(back.trace.parent_span, trace.parent_span);
         assert_eq!(back.trace.enqueued_ms, 0);
+        // The redelivery budget also crosses the wire.
+        assert_eq!(back.deliveries, 2);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 
 use crate::id::{AppName, BeeId, HiveId};
+use crate::supervision::FailureKind;
 
 /// Counters for a single bee.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -292,6 +293,17 @@ pub struct Instrumentation {
     pub executor: ExecutorStats,
     /// Queue-wait / handler-runtime histograms per (app, message type).
     pub latency: BTreeMap<(AppName, String), MsgLatency>,
+    /// Handler failures by kind (delta): `[error, panic]`.
+    pub handler_failures: [u64; 2],
+    /// Redeliveries scheduled by the supervisor (delta).
+    pub redeliveries: u64,
+    /// Messages dead-lettered (delta; all [`FailureKind`]s).
+    pub dead_letters: u64,
+    /// Wire frames whose payload failed to decode (delta).
+    pub decode_errors: u64,
+    /// Bees currently quarantined on this hive (gauge; retained by
+    /// [`Instrumentation::take`], it describes state, not a delta).
+    pub quarantined: u64,
 }
 
 impl Instrumentation {
@@ -322,6 +334,17 @@ impl Instrumentation {
             .or_default();
         lat.queue_wait.observe(wait_us);
         lat.runtime.observe(runtime_us);
+    }
+
+    /// Records one handler failure of `kind`. Admission failures
+    /// (quarantine, mailbox overflow) don't run a handler and are visible
+    /// through `dead_letters` instead.
+    pub fn record_failure(&mut self, kind: FailureKind) {
+        match kind {
+            FailureKind::Error => self.handler_failures[0] += 1,
+            FailureKind::Panic => self.handler_failures[1] += 1,
+            FailureKind::Quarantined | FailureKind::MailboxOverflow => {}
+        }
     }
 
     /// Records that processing one `in_type` message emitted one `out_type`.
@@ -360,6 +383,13 @@ impl Instrumentation {
         }
         self.pinned.extend(delta.pinned);
         self.executor.merge(&delta.executor);
+        self.handler_failures[0] += delta.handler_failures[0];
+        self.handler_failures[1] += delta.handler_failures[1];
+        self.redeliveries += delta.redeliveries;
+        self.dead_letters += delta.dead_letters;
+        self.decode_errors += delta.decode_errors;
+        // Gauge: worker deltas always carry 0; the hive sets it directly.
+        self.quarantined = self.quarantined.max(delta.quarantined);
     }
 
     /// Takes the counter deltas, leaving the store empty. Metadata (pinned
@@ -370,6 +400,7 @@ impl Instrumentation {
         self.pinned = taken.pinned.clone();
         self.bee_cells = taken.bee_cells.clone();
         self.msg_matrix = taken.msg_matrix.clone();
+        self.quarantined = taken.quarantined;
         taken
     }
 
@@ -428,6 +459,16 @@ pub struct HiveMetrics {
     pub executor: ExecutorStats,
     /// Latency-histogram deltas per (app, message type).
     pub latency: Vec<(AppName, String, MsgLatency)>,
+    /// Handler failures by kind since the previous report: `[error, panic]`.
+    pub handler_failures: [u64; 2],
+    /// Redeliveries scheduled since the previous report.
+    pub redeliveries: u64,
+    /// Messages dead-lettered since the previous report.
+    pub dead_letters: u64,
+    /// Wire frames that failed to decode since the previous report.
+    pub decode_errors: u64,
+    /// Bees currently quarantined on this hive (gauge).
+    pub quarantined: u64,
 }
 crate::impl_message!(HiveMetrics);
 
@@ -631,6 +672,39 @@ mod tests {
         direct.record_in(HiveId(3), src, 20);
         direct.record_in(HiveId(1), None, 5);
         assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn failure_counters_flow_and_the_gauge_is_retained() {
+        let mut inst = Instrumentation::default();
+        inst.record_failure(FailureKind::Error);
+        inst.record_failure(FailureKind::Panic);
+        inst.record_failure(FailureKind::Panic);
+        // Admission failures never count as handler failures.
+        inst.record_failure(FailureKind::Quarantined);
+        inst.record_failure(FailureKind::MailboxOverflow);
+        inst.redeliveries = 4;
+        inst.dead_letters = 2;
+        inst.decode_errors = 1;
+        inst.quarantined = 3;
+        let taken = inst.take();
+        assert_eq!(taken.handler_failures, [1, 2]);
+        assert_eq!(taken.redeliveries, 4);
+        assert_eq!(taken.dead_letters, 2);
+        assert_eq!(taken.decode_errors, 1);
+        // Deltas reset; the quarantine gauge survives the take.
+        assert_eq!(inst.handler_failures, [0, 0]);
+        assert_eq!(inst.redeliveries, 0);
+        assert_eq!(inst.quarantined, 3);
+        let mut agg = Instrumentation::default();
+        agg.merge_delta(taken);
+        agg.merge_delta(Instrumentation {
+            handler_failures: [0, 1],
+            ..Default::default()
+        });
+        assert_eq!(agg.handler_failures, [1, 3]);
+        assert_eq!(agg.dead_letters, 2);
+        assert_eq!(agg.quarantined, 3, "gauge merges by max, not sum");
     }
 
     #[test]

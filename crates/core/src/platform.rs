@@ -45,6 +45,11 @@ pub fn collector_app(instr: Arc<Mutex<Instrumentation>>) -> App {
                 && delta.provenance.is_empty()
                 && delta.executor.is_empty()
                 && delta.latency.is_empty()
+                && delta.handler_failures == [0, 0]
+                && delta.redeliveries == 0
+                && delta.dead_letters == 0
+                && delta.decode_errors == 0
+                && delta.quarantined == 0
             {
                 return Ok(());
             }
@@ -79,6 +84,11 @@ pub fn collector_app(instr: Arc<Mutex<Instrumentation>>) -> App {
                 provenance,
                 executor: delta.executor.clone(),
                 latency,
+                handler_failures: delta.handler_failures,
+                redeliveries: delta.redeliveries,
+                dead_letters: delta.dead_letters,
+                decode_errors: delta.decode_errors,
+                quarantined: delta.quarantined,
             });
             Ok(())
         })

@@ -7,6 +7,7 @@ use crate::cell::Cell;
 use crate::id::{AppName, BeeId, HiveId};
 use crate::message::Envelope;
 use crate::state::BeeState;
+use crate::supervision::OverflowPolicy;
 
 /// Lifecycle of a local bee.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,6 +55,14 @@ pub struct LocalBee {
     /// Replication sequence number: count of committed, replicated
     /// transactions (colony replication).
     pub repl_seq: u64,
+    /// Consecutive handler failures; reset by any success. Drives the
+    /// quarantine circuit breaker.
+    pub consecutive_failures: u32,
+    /// If set, the circuit breaker tripped: while `now < until` the colony
+    /// stops dequeuing and new mail dead-letters fast. Once the cooldown
+    /// expires the next dequeue is a half-open probe (one message); a
+    /// success clears this, a failure re-arms it.
+    pub quarantined_until_ms: Option<u64>,
 }
 
 impl LocalBee {
@@ -66,6 +75,8 @@ impl LocalBee {
             status: BeeStatus::Active,
             pinned,
             repl_seq: 0,
+            consecutive_failures: 0,
+            quarantined_until_ms: None,
         }
     }
 
@@ -73,6 +84,29 @@ impl LocalBee {
     pub fn runnable(&self) -> bool {
         self.status == BeeStatus::Active && !self.mailbox.is_empty()
     }
+
+    /// Whether the circuit breaker is open at `now_ms` (cooldown running).
+    pub fn is_quarantined(&self, now_ms: u64) -> bool {
+        self.quarantined_until_ms.is_some_and(|until| now_ms < until)
+    }
+}
+
+/// Outcome of a policy-aware delivery ([`Queen::offer`]). Variants that
+/// carry an [`Envelope`] hand it back to the hive for dead-lettering.
+#[derive(Debug)]
+pub enum Delivery {
+    /// Queued on the bee's mailbox.
+    Delivered,
+    /// No such local bee; the envelope is returned untouched.
+    NoBee(Envelope),
+    /// The bee is quarantined: dead-letter fast, without queueing.
+    Quarantined(Envelope),
+    /// Mailbox full under [`OverflowPolicy::Shed`]: the incoming message
+    /// was queued and the *oldest* queued message was shed (returned).
+    Shed(Envelope),
+    /// Mailbox full under [`OverflowPolicy::DeadLetter`]: the incoming
+    /// message was rejected (returned) and the backlog preserved.
+    Rejected(Envelope),
 }
 
 /// A bee's loaned-out pieces during a parallel executor round
@@ -211,6 +245,9 @@ impl Queen {
     }
 
     /// Queues a message for a local bee. Returns false if the bee is not here.
+    /// Bypasses quarantine and mailbox bounds — used for internal requeues
+    /// (migration forwarding, merge drains) that must never lose mail; new
+    /// traffic goes through [`Queen::offer`].
     pub fn deliver(&mut self, id: BeeId, handler: u16, env: Envelope) -> bool {
         match self.bees.get_mut(&id) {
             Some(bee) => {
@@ -219,6 +256,86 @@ impl Queen {
             }
             None => false,
         }
+    }
+
+    /// Policy-aware delivery for new traffic: applies the quarantine
+    /// circuit breaker and the bounded-mailbox overflow policy
+    /// (`capacity == 0` = unbounded).
+    pub fn offer(
+        &mut self,
+        id: BeeId,
+        handler: u16,
+        env: Envelope,
+        now_ms: u64,
+        capacity: usize,
+        policy: OverflowPolicy,
+    ) -> Delivery {
+        let Some(bee) = self.bees.get_mut(&id) else {
+            return Delivery::NoBee(env);
+        };
+        if bee.is_quarantined(now_ms) {
+            return Delivery::Quarantined(env);
+        }
+        if capacity > 0 && bee.mailbox.len() >= capacity {
+            match policy {
+                OverflowPolicy::Shed => {
+                    let (_, shed) = bee.mailbox.pop_front().expect("mailbox full implies nonempty");
+                    bee.mailbox.push_back((handler, env));
+                    return Delivery::Shed(shed);
+                }
+                OverflowPolicy::DeadLetter => return Delivery::Rejected(env),
+            }
+        }
+        bee.mailbox.push_back((handler, env));
+        Delivery::Delivered
+    }
+
+    /// Records the outcome of a bee's run (one message or a whole batch) and
+    /// applies the circuit breaker. `had_success` breaks any earlier failure
+    /// streak; `trailing_failures` is the number of consecutive failures at
+    /// the end of the run. Returns `Some(until_ms)` when the bee is (re-)
+    /// quarantined: the streak reached `threshold` (0 disables the breaker).
+    /// A clean run (`had_success` and no trailing failures) closes the
+    /// breaker — this is the half-open probe succeeding.
+    pub fn record_outcome(
+        &mut self,
+        id: BeeId,
+        had_success: bool,
+        trailing_failures: u32,
+        threshold: u32,
+        cooldown_ms: u64,
+        now_ms: u64,
+    ) -> Option<u64> {
+        let bee = self.bees.get_mut(&id)?;
+        if had_success {
+            bee.consecutive_failures = trailing_failures;
+            if trailing_failures == 0 {
+                bee.quarantined_until_ms = None;
+            }
+        } else {
+            bee.consecutive_failures = bee.consecutive_failures.saturating_add(trailing_failures);
+        }
+        if threshold > 0 && bee.consecutive_failures >= threshold {
+            let until = now_ms + cooldown_ms;
+            bee.quarantined_until_ms = Some(until);
+            Some(until)
+        } else {
+            None
+        }
+    }
+
+    /// Whether `id` is quarantined at `now_ms`.
+    pub fn is_quarantined(&self, id: BeeId, now_ms: u64) -> bool {
+        self.bees.get(&id).is_some_and(|b| b.is_quarantined(now_ms))
+    }
+
+    /// Local bees whose circuit breaker is currently open.
+    pub fn quarantined_bees(&self, now_ms: u64) -> Vec<BeeId> {
+        self.bees
+            .values()
+            .filter(|b| b.is_quarantined(now_ms))
+            .map(|b| b.id)
+            .collect()
     }
 
     /// Ids of local bees that can run now.
@@ -238,17 +355,29 @@ impl Queen {
     /// colony and the *entire* pending mailbox, and freezes the bee as
     /// [`BeeStatus::CheckedOut`]. Returns `None` unless the bee is `Active`
     /// with pending mail (mid-merge/mid-migration bees stay on the hive
-    /// thread's sequential path by construction).
-    pub(crate) fn check_out(&mut self, id: BeeId) -> Option<CheckedOutBee> {
+    /// thread's sequential path by construction), or while quarantined. A
+    /// bee whose quarantine cooldown has expired is checked out with a
+    /// single message — the half-open probe — so a still-broken handler
+    /// cannot burn the whole backlog in one round.
+    pub(crate) fn check_out(&mut self, id: BeeId, now_ms: u64) -> Option<CheckedOutBee> {
         let bee = self.bees.get_mut(&id)?;
-        if bee.status != BeeStatus::Active || bee.mailbox.is_empty() {
+        if bee.status != BeeStatus::Active
+            || bee.mailbox.is_empty()
+            || bee.is_quarantined(now_ms)
+        {
             return None;
         }
+        let probing = bee.quarantined_until_ms.is_some();
         bee.status = BeeStatus::CheckedOut;
+        let mail: Vec<(u16, Envelope)> = if probing {
+            bee.mailbox.drain(..1).collect()
+        } else {
+            bee.mailbox.drain(..).collect()
+        };
         Some(CheckedOutBee {
             state: std::mem::take(&mut bee.state),
             colony: std::mem::take(&mut bee.colony),
-            mail: bee.mailbox.drain(..).collect(),
+            mail,
             pinned: bee.pinned,
             repl_seq: bee.repl_seq,
         })
@@ -442,6 +571,7 @@ mod tests {
             src: Source::External(HiveId(1)),
             dst: Dst::Broadcast,
             trace: crate::trace::TraceContext::root(HiveId(1)),
+            deliveries: 0,
         }
     }
 
@@ -547,13 +677,13 @@ mod tests {
         let mut q = Queen::new("a".into());
         q.ensure_bee(bid(1), [Cell::new("S", "k")]);
         q.deliver(bid(1), 0, env());
-        let mut out = q.check_out(bid(1)).unwrap();
+        let mut out = q.check_out(bid(1), 0).unwrap();
         assert_eq!(out.mail.len(), 1);
         assert!(!out.pinned);
         // Frozen: not runnable, not migratable, deliveries buffer.
         assert_eq!(q.runnable().count(), 0);
         assert!(q.start_migration(bid(1), HiveId(2)).is_none());
-        assert!(q.check_out(bid(1)).is_none(), "double checkout must fail");
+        assert!(q.check_out(bid(1), 0).is_none(), "double checkout must fail");
         assert!(q.deliver(bid(1), 0, env()));
         // Worker "runs" the batch: mutate state, claim a cell.
         out.state.dict_mut("S").put("k", &7u32).unwrap();
@@ -574,10 +704,77 @@ mod tests {
     fn check_out_requires_active_with_mail() {
         let mut q = Queen::new("a".into());
         q.ensure_bee(bid(1), [Cell::new("S", "k")]);
-        assert!(q.check_out(bid(1)).is_none(), "empty mailbox");
+        assert!(q.check_out(bid(1), 0).is_none(), "empty mailbox");
         q.deliver(bid(1), 0, env());
         q.await_merges(bid(1), [bid(9)].into_iter().collect());
-        assert!(q.check_out(bid(1)).is_none(), "awaiting merges");
+        assert!(q.check_out(bid(1), 0).is_none(), "awaiting merges");
+    }
+
+    #[test]
+    fn consecutive_failures_trip_and_probe_closes_the_breaker() {
+        let mut q = Queen::new("a".into());
+        q.ensure_bee(bid(1), [Cell::new("S", "k")]);
+        // Two failures with threshold 3: breaker stays closed.
+        assert_eq!(q.record_outcome(bid(1), false, 2, 3, 100, 10), None);
+        assert!(!q.is_quarantined(bid(1), 10));
+        // Third consecutive failure trips it.
+        assert_eq!(q.record_outcome(bid(1), false, 1, 3, 100, 20), Some(120));
+        assert!(q.is_quarantined(bid(1), 119));
+        assert_eq!(q.quarantined_bees(119), vec![bid(1)]);
+        // While open: no checkout, offers dead-letter fast.
+        q.deliver(bid(1), 0, env());
+        assert!(q.check_out(bid(1), 50).is_none(), "quarantined");
+        let d = q.offer(bid(1), 0, env(), 50, 0, OverflowPolicy::DeadLetter);
+        assert!(matches!(d, Delivery::Quarantined(_)));
+        // Cooldown expired: half-open probe checks out exactly one message.
+        q.deliver(bid(1), 0, env());
+        assert!(!q.is_quarantined(bid(1), 120));
+        let out = q.check_out(bid(1), 120).unwrap();
+        assert_eq!(out.mail.len(), 1, "probe runs one message");
+        q.check_in(bid(1), out.state, out.colony, 0);
+        // Probe fails → re-quarantined with a fresh cooldown.
+        assert_eq!(q.record_outcome(bid(1), false, 1, 3, 100, 130), Some(230));
+        assert!(q.is_quarantined(bid(1), 200));
+        // Probe succeeds → breaker closes, streak resets, full batches again.
+        assert_eq!(q.record_outcome(bid(1), true, 0, 3, 100, 240), None);
+        assert!(!q.is_quarantined(bid(1), 240));
+        assert_eq!(q.bee(bid(1)).unwrap().consecutive_failures, 0);
+        let out = q.check_out(bid(1), 240).unwrap();
+        assert_eq!(out.mail.len(), 1, "remaining backlog drains normally");
+    }
+
+    #[test]
+    fn offer_applies_mailbox_bounds() {
+        let mut q = Queen::new("a".into());
+        q.ensure_bee(bid(1), [Cell::new("S", "k")]);
+        // Capacity 2, DeadLetter: third offer is rejected, backlog intact.
+        for _ in 0..2 {
+            let d = q.offer(bid(1), 0, env(), 0, 2, OverflowPolicy::DeadLetter);
+            assert!(matches!(d, Delivery::Delivered));
+        }
+        let d = q.offer(bid(1), 0, env(), 0, 2, OverflowPolicy::DeadLetter);
+        assert!(matches!(d, Delivery::Rejected(_)));
+        assert_eq!(q.bee(bid(1)).unwrap().mailbox.len(), 2);
+        // Shed: the oldest message is returned, the new one is queued.
+        let d = q.offer(bid(1), 0, env(), 0, 2, OverflowPolicy::Shed);
+        assert!(matches!(d, Delivery::Shed(_)));
+        assert_eq!(q.bee(bid(1)).unwrap().mailbox.len(), 2);
+        // Capacity 0 = unbounded.
+        let d = q.offer(bid(1), 0, env(), 0, 0, OverflowPolicy::Shed);
+        assert!(matches!(d, Delivery::Delivered));
+        // Unknown bee hands the envelope back.
+        let d = q.offer(bid(9), 0, env(), 0, 0, OverflowPolicy::Shed);
+        assert!(matches!(d, Delivery::NoBee(_)));
+    }
+
+    #[test]
+    fn success_mid_batch_resets_the_streak() {
+        let mut q = Queen::new("a".into());
+        q.ensure_bee(bid(1), [Cell::new("S", "k")]);
+        assert_eq!(q.record_outcome(bid(1), false, 2, 5, 100, 0), None);
+        // A batch with a success and 2 trailing failures: streak = 2, not 4.
+        assert_eq!(q.record_outcome(bid(1), true, 2, 5, 100, 0), None);
+        assert_eq!(q.bee(bid(1)).unwrap().consecutive_failures, 2);
     }
 
     #[test]

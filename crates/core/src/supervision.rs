@@ -1,0 +1,333 @@
+//! Fault containment: failure classification, the dead-letter queue, and
+//! handler-fault injection for tests.
+//!
+//! Beehive's model promises that a bee is an *isolated* thread of execution
+//! over its mapped cells. The supervision layer makes that promise hold under
+//! failure: a handler `Err` or panic rolls back the transaction and is
+//! contained at the bee boundary — the envelope is redelivered with
+//! exponential backoff up to `HiveConfig::max_redeliveries`, then recorded in
+//! the hive's [`DeadLetterStore`] (a bounded ring, like
+//! [`crate::trace::TraceCollector`]). Bees that fail repeatedly are
+//! quarantined by the hive (circuit breaker; see `queen.rs`), and mailboxes
+//! can be bounded with an explicit [`OverflowPolicy`].
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::id::{AppName, BeeId};
+use crate::message::Envelope;
+
+/// Why a message delivery failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// The handler returned `Err` — the transaction rolled back.
+    Error,
+    /// The handler panicked — caught at the bee boundary, transaction
+    /// rolled back, hive unaffected.
+    Panic,
+    /// The target bee was quarantined; the message dead-lettered fast
+    /// without running the handler.
+    Quarantined,
+    /// The bee's bounded mailbox was full and the overflow policy rejected
+    /// the message.
+    MailboxOverflow,
+}
+
+impl FailureKind {
+    /// Whether this kind counts as a *handler* failure (it ran and failed),
+    /// as opposed to an admission failure (quarantine / overflow).
+    pub fn is_handler_failure(self) -> bool {
+        matches!(self, FailureKind::Error | FailureKind::Panic)
+    }
+
+    /// Stable label for metrics exposition.
+    pub fn label(self) -> &'static str {
+        match self {
+            FailureKind::Error => "error",
+            FailureKind::Panic => "panic",
+            FailureKind::Quarantined => "quarantined",
+            FailureKind::MailboxOverflow => "mailbox_overflow",
+        }
+    }
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Best-effort string form of a caught panic payload (`&str` and `String`
+/// payloads cover `panic!` with and without formatting).
+pub fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_string())
+}
+
+/// What to do when a bounded mailbox ([`crate::hive::HiveConfig::mailbox_capacity`])
+/// is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum OverflowPolicy {
+    /// Drop the *oldest* queued message to make room for the new one; the
+    /// shed message is dead-lettered so the loss is observable.
+    Shed,
+    /// Reject the *incoming* message: it goes straight to the dead-letter
+    /// queue and the backlog is preserved.
+    #[default]
+    DeadLetter,
+}
+
+/// A message that exhausted its redelivery budget (or was rejected by
+/// quarantine / mailbox overflow), with enough context to debug and requeue.
+#[derive(Debug, Clone)]
+pub struct DeadLetter {
+    /// Application whose handler failed.
+    pub app: AppName,
+    /// Bee the message was addressed to.
+    pub bee: BeeId,
+    /// Name of the failing handler (empty for admission failures).
+    pub handler: String,
+    /// Wire name of the message type.
+    pub msg_type: String,
+    /// Why the final attempt failed.
+    pub kind: FailureKind,
+    /// Last error string / panic payload (empty for admission failures).
+    pub detail: String,
+    /// Delivery attempts made (`deliveries + 1` for handler failures).
+    pub attempts: u32,
+    /// Trace id of the causal chain the message belonged to.
+    pub trace_id: u64,
+    /// Local-clock ms when the letter was recorded.
+    pub recorded_ms: u64,
+    /// The envelope itself, kept for requeueing.
+    pub envelope: Envelope,
+}
+
+/// A bounded ring of recent [`DeadLetter`]s, one per hive.
+///
+/// Same design as [`crate::trace::TraceCollector`]: writers claim a slot with
+/// one atomic fetch-add and lock only that slot, so executor workers and the
+/// hive thread never contend except on a full wrap. `recorded` counts every
+/// letter ever stored, including overwritten ones — that is the number the
+/// `beehive_dead_letters_total` counter reports.
+pub struct DeadLetterStore {
+    slots: Vec<Mutex<Option<DeadLetter>>>,
+    head: AtomicUsize,
+    recorded: AtomicU64,
+}
+
+impl DeadLetterStore {
+    /// A store retaining up to `capacity` letters (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        DeadLetterStore {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            head: AtomicUsize::new(0),
+            recorded: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of letters the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total letters ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Letters currently retained.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.lock().is_some()).count()
+    }
+
+    /// Whether the ring holds no letters.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records a letter, overwriting the oldest if the ring is full.
+    pub fn record(&self, letter: DeadLetter) {
+        let slot = self.head.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        *self.slots[slot].lock() = Some(letter);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Clones the retained letters, oldest first.
+    pub fn snapshot(&self) -> Vec<DeadLetter> {
+        let mut letters: Vec<DeadLetter> =
+            self.slots.iter().filter_map(|s| s.lock().clone()).collect();
+        letters.sort_by_key(|l| l.recorded_ms);
+        letters
+    }
+
+    /// Removes and returns the retained letters, oldest first. The
+    /// `recorded` total is unaffected (it is a monotonic counter).
+    pub fn drain(&self) -> Vec<DeadLetter> {
+        let mut letters: Vec<DeadLetter> =
+            self.slots.iter().filter_map(|s| s.lock().take()).collect();
+        letters.sort_by_key(|l| l.recorded_ms);
+        letters
+    }
+}
+
+impl fmt::Debug for DeadLetterStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DeadLetterStore")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+/// Test-facing handler-fault injection: fail the next `times` invocations of
+/// any handler of `app` triggered by `msg_type` (wire-name suffix match, so
+/// tests can say `"Inc"` instead of the full module path).
+///
+/// Shared between the hive thread and executor workers; consulted right
+/// before each handler invocation on both paths.
+#[derive(Debug, Default)]
+pub struct HandlerFaults {
+    entries: Mutex<Vec<FaultEntry>>,
+}
+
+#[derive(Debug)]
+struct FaultEntry {
+    app: String,
+    msg_type: String,
+    remaining: u32,
+}
+
+impl HandlerFaults {
+    /// An empty fault table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms a fault: the next `times` deliveries of `msg_type` to `app`
+    /// fail with an injected error.
+    pub fn fail(&self, app: &str, msg_type: &str, times: u32) {
+        if times == 0 {
+            return;
+        }
+        self.entries.lock().push(FaultEntry {
+            app: app.to_string(),
+            msg_type: msg_type.to_string(),
+            remaining: times,
+        });
+    }
+
+    /// Consumes one armed fault for `(app, msg_type)` if any remains.
+    pub fn should_fail(&self, app: &str, msg_type: &str) -> bool {
+        let mut entries = self.entries.lock();
+        let matches = |e: &FaultEntry| {
+            e.app == app && (msg_type == e.msg_type || msg_type.ends_with(&e.msg_type))
+        };
+        let idx = entries.iter().position(matches);
+        match idx {
+            Some(i) => {
+                entries[i].remaining -= 1;
+                if entries[i].remaining == 0 {
+                    entries.swap_remove(i);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Total armed (unconsumed) failures.
+    pub fn armed(&self) -> u32 {
+        self.entries.lock().iter().map(|e| e.remaining).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::HiveId;
+    use crate::message::{Dst, Message, Source};
+    use crate::trace::TraceContext;
+    use std::sync::Arc;
+
+    #[derive(Debug, Clone, Serialize, Deserialize)]
+    struct Probe;
+    crate::impl_message!(Probe);
+
+    fn letter(ms: u64, kind: FailureKind) -> DeadLetter {
+        let msg: Arc<dyn Message> = Arc::new(Probe);
+        DeadLetter {
+            app: "a".into(),
+            bee: BeeId::new(HiveId(1), 1),
+            handler: "h".into(),
+            msg_type: msg.type_name().to_string(),
+            kind,
+            detail: "boom".into(),
+            attempts: 4,
+            trace_id: 7,
+            recorded_ms: ms,
+            envelope: Envelope {
+                msg,
+                src: Source::External(HiveId(1)),
+                dst: Dst::Broadcast,
+                trace: TraceContext::root(HiveId(1)),
+                deliveries: 3,
+            },
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_but_counts_all() {
+        let store = DeadLetterStore::new(2);
+        for i in 1..=3 {
+            store.record(letter(i, FailureKind::Error));
+        }
+        assert_eq!(store.recorded(), 3);
+        let snap = store.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].recorded_ms, 2);
+        assert_eq!(snap[1].recorded_ms, 3);
+    }
+
+    #[test]
+    fn drain_empties_retention_not_the_counter() {
+        let store = DeadLetterStore::new(4);
+        store.record(letter(1, FailureKind::Panic));
+        store.record(letter(2, FailureKind::Error));
+        let drained = store.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(store.is_empty());
+        assert_eq!(store.recorded(), 2);
+        assert!(store.snapshot().is_empty());
+    }
+
+    #[test]
+    fn failure_kind_classification() {
+        assert!(FailureKind::Error.is_handler_failure());
+        assert!(FailureKind::Panic.is_handler_failure());
+        assert!(!FailureKind::Quarantined.is_handler_failure());
+        assert!(!FailureKind::MailboxOverflow.is_handler_failure());
+        assert_eq!(FailureKind::Panic.label(), "panic");
+    }
+
+    #[test]
+    fn fault_table_arms_and_decrements() {
+        let faults = HandlerFaults::new();
+        faults.fail("counter", "Inc", 2);
+        assert_eq!(faults.armed(), 2);
+        // Suffix match against the full wire name.
+        assert!(faults.should_fail("counter", "my_crate::tests::Inc"));
+        assert!(!faults.should_fail("other", "my_crate::tests::Inc"));
+        assert!(faults.should_fail("counter", "Inc"));
+        assert!(!faults.should_fail("counter", "Inc"), "budget exhausted");
+        assert_eq!(faults.armed(), 0);
+    }
+}

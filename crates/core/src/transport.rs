@@ -4,7 +4,7 @@
 //! `beehive-net` provides the in-memory accounted fabric used by the
 //! simulator and a TCP transport for real deployments.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
@@ -99,6 +99,9 @@ pub struct TransportCounters {
     bytes_out: [AtomicU64; 3],
     frames_in: [AtomicU64; 3],
     bytes_in: [AtomicU64; 3],
+    connect_failures: AtomicU64,
+    /// Current dead-peer backoff window per peer, ms (absent = healthy).
+    peer_backoff_ms: Mutex<BTreeMap<u32, u64>>,
 }
 
 impl TransportCounters {
@@ -121,6 +124,23 @@ impl TransportCounters {
         self.bytes_in[i].fetch_add(wire_len as u64, Ordering::Relaxed);
     }
 
+    /// Records one failed connect attempt toward `peer` and the backoff
+    /// window the transport will now apply to it.
+    pub fn record_connect_failure(&self, peer: HiveId, backoff_ms: u64) {
+        self.connect_failures.fetch_add(1, Ordering::Relaxed);
+        self.peer_backoff_ms.lock().insert(peer.0, backoff_ms);
+    }
+
+    /// Records a successful connect to `peer`: its backoff resets.
+    pub fn record_connect_success(&self, peer: HiveId) {
+        self.peer_backoff_ms.lock().remove(&peer.0);
+    }
+
+    /// The current backoff window applied to `peer`, if it is backed off.
+    pub fn peer_backoff_ms(&self, peer: HiveId) -> Option<u64> {
+        self.peer_backoff_ms.lock().get(&peer.0).copied()
+    }
+
     /// Point-in-time copy of all counters.
     pub fn snapshot(&self) -> TransportSnapshot {
         let read = |a: &[AtomicU64; 3]| {
@@ -135,13 +155,20 @@ impl TransportCounters {
             bytes_out: read(&self.bytes_out),
             frames_in: read(&self.frames_in),
             bytes_in: read(&self.bytes_in),
+            connect_failures: self.connect_failures.load(Ordering::Relaxed),
+            peer_backoff_ms: self
+                .peer_backoff_ms
+                .lock()
+                .iter()
+                .map(|(&p, &ms)| (p, ms))
+                .collect(),
         }
     }
 }
 
 /// Point-in-time copy of [`TransportCounters`], indexed by
 /// [`FrameKind::ALL`] order (App, Raft, Control).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct TransportSnapshot {
     /// Frames sent per kind.
     pub frames_out: [u64; 3],
@@ -151,6 +178,10 @@ pub struct TransportSnapshot {
     pub frames_in: [u64; 3],
     /// Wire bytes received per kind.
     pub bytes_in: [u64; 3],
+    /// Total failed connect attempts to any peer.
+    pub connect_failures: u64,
+    /// Peers currently in a dead-peer backoff window: `(hive, backoff ms)`.
+    pub peer_backoff_ms: Vec<(u32, u64)>,
 }
 
 impl TransportSnapshot {
@@ -257,5 +288,22 @@ mod tests {
         assert_eq!(snap.received(FrameKind::Raft), (1, 8));
         assert_eq!(snap.received(FrameKind::Control), (0, 0));
         assert_eq!(FrameKind::ALL[0].label(), "app");
+    }
+
+    #[test]
+    fn connect_backoff_is_tracked_per_peer() {
+        let c = TransportCounters::new();
+        assert_eq!(c.peer_backoff_ms(HiveId(2)), None);
+        c.record_connect_failure(HiveId(2), 500);
+        c.record_connect_failure(HiveId(2), 1000);
+        c.record_connect_failure(HiveId(3), 500);
+        assert_eq!(c.peer_backoff_ms(HiveId(2)), Some(1000));
+        let snap = c.snapshot();
+        assert_eq!(snap.connect_failures, 3);
+        assert_eq!(snap.peer_backoff_ms, vec![(2, 1000), (3, 500)]);
+        c.record_connect_success(HiveId(2));
+        assert_eq!(c.peer_backoff_ms(HiveId(2)), None);
+        assert_eq!(c.snapshot().peer_backoff_ms, vec![(3, 500)]);
+        assert_eq!(c.snapshot().connect_failures, 3, "monotonic");
     }
 }

@@ -64,6 +64,7 @@ fn orphans_expire_after_ttl() {
         msg: Arc::new(Ping { key: "x".into() }),
         src: Source::External(HiveId(1)),
         trace: TraceContext::root(HiveId(1)),
+        deliveries: 0,
         dst: Dst::Bee {
             app: "counter".into(),
             bee: ghost,
@@ -93,6 +94,7 @@ fn fence_ahead_of_applied_seq_parks_until_catchup() {
         msg: Arc::new(Ping { key: "k".into() }),
         src: Source::External(HiveId(1)),
         trace: TraceContext::root(HiveId(1)),
+        deliveries: 0,
         dst: Dst::Bee {
             app: "counter".into(),
             bee,
@@ -133,6 +135,7 @@ fn ambiguous_unicast_is_dropped_and_counted() {
         msg: Arc::new(Ping { key: "k".into() }),
         src: Source::External(HiveId(1)),
         trace: TraceContext::root(HiveId(1)),
+        deliveries: 0,
         dst: Dst::Bee {
             app: "multi".into(),
             bee: bees[0].0,
@@ -172,7 +175,16 @@ fn step_budget_bounds_work_per_call() {
 fn handler_error_rolls_back_all_writes_and_emissions() {
     let seen = Arc::new(Mutex::new(0usize));
     let seen2 = seen.clone();
-    let mut hive = standalone(0);
+    // No redeliveries: this test asserts the effects of exactly one failed
+    // attempt (a wall-clock backoff could otherwise elapse on a slow runner).
+    let mut cfg = HiveConfig::standalone(HiveId(1));
+    cfg.tick_interval_ms = 0;
+    cfg.max_redeliveries = 0;
+    let mut hive = Hive::new(
+        cfg,
+        Arc::new(SystemClock::new()),
+        Box::new(Loopback::new(HiveId(1))),
+    );
     hive.install(
         App::builder("bomb")
             .handle::<Boom>(

@@ -12,13 +12,34 @@ use parking_lot::Mutex;
 
 use crate::matrix::TrafficMatrix;
 
-/// Fault-injection knobs (applied at send time).
+/// Fault-injection knobs. Wire faults (`drop_rate`, `latency_ms`) are
+/// applied by the fabric at send time; handler faults are forwarded to every
+/// hive's [`beehive_core::HandlerFaults`] table by `SimCluster::set_faults`
+/// (the fabric itself never sees handler invocations).
 #[derive(Debug, Clone, Default)]
 pub struct FabricFaults {
     /// Probability in `[0, 1]` that a frame is silently dropped.
     pub drop_rate: f64,
     /// Fixed delivery latency in ms.
     pub latency_ms: u64,
+    /// Handler faults to arm on every hive: `(app, msg_type, times)` — the
+    /// next `times` deliveries of `msg_type` (wire-name suffix match) to
+    /// `app` fail with an injected error.
+    pub handler_faults: Vec<(String, String, u32)>,
+}
+
+impl FabricFaults {
+    /// Arms a handler fault: the next `times` deliveries of `msg_type` to
+    /// `app` fail (builder-style, chainable).
+    pub fn fail_handler(
+        mut self,
+        app: impl Into<String>,
+        msg_type: impl Into<String>,
+        times: u32,
+    ) -> Self {
+        self.handler_faults.push((app.into(), msg_type.into(), times));
+        self
+    }
 }
 
 struct InFlight {
@@ -245,8 +266,8 @@ mod tests {
     fn latency_holds_frames_until_clock_advances() {
         let (f, clock) = fabric2();
         f.set_faults(FabricFaults {
-            drop_rate: 0.0,
             latency_ms: 10,
+            ..Default::default()
         });
         let e1 = f.endpoint(HiveId(1));
         let e2 = f.endpoint(HiveId(2));
@@ -274,7 +295,7 @@ mod tests {
         let (f, _clock) = fabric2();
         f.set_faults(FabricFaults {
             drop_rate: 1.0,
-            latency_ms: 0,
+            ..Default::default()
         });
         let e1 = f.endpoint(HiveId(1));
         let e2 = f.endpoint(HiveId(2));
@@ -282,6 +303,19 @@ mod tests {
             e1.send(HiveId(2), Frame::app(vec![1]));
         }
         assert!(e2.try_recv().is_none());
+    }
+
+    #[test]
+    fn fail_handler_builder_accumulates() {
+        let f = FabricFaults::default()
+            .fail_handler("counter", "Inc", 3)
+            .fail_handler("router", "PacketIn", 1);
+        assert_eq!(f.handler_faults.len(), 2);
+        assert_eq!(
+            f.handler_faults[0],
+            ("counter".to_string(), "Inc".to_string(), 3)
+        );
+        assert_eq!(f.drop_rate, 0.0, "wire faults unaffected");
     }
 
     #[test]

@@ -24,6 +24,31 @@ const KIND_RAFT: u8 = 1;
 const KIND_CONTROL: u8 = 2;
 const KIND_HANDSHAKE: u8 = 0xFF;
 
+/// First dead-peer backoff window after a failed connect.
+const BACKOFF_BASE_MS: u64 = 500;
+/// Dead-peer backoff cap: a long-dead peer is probed at least this often.
+const BACKOFF_CAP_MS: u64 = 10_000;
+/// Jitter range added to each window so restarting clusters don't reconnect
+/// in lockstep.
+const BACKOFF_JITTER_MS: u64 = 250;
+
+/// Per-peer reconnect state: consecutive failures and the current window.
+#[derive(Debug, Clone, Copy)]
+struct ConnectBackoff {
+    failures: u32,
+    last_fail: std::time::Instant,
+    window: std::time::Duration,
+}
+
+/// Exponential backoff with deterministic jitter: `base * 2^(failures-1)`,
+/// capped, plus a per-peer/attempt offset (no RNG dependency — spread, not
+/// unpredictability, is what matters here).
+fn backoff_window_ms(peer: HiveId, failures: u32) -> u64 {
+    let exp = BACKOFF_BASE_MS << u64::from(failures.saturating_sub(1).min(5));
+    let jitter = (u64::from(peer.0) * 31 + u64::from(failures) * 17) % BACKOFF_JITTER_MS;
+    exp.min(BACKOFF_CAP_MS) + jitter
+}
+
 fn kind_to_byte(kind: FrameKind) -> u8 {
     match kind {
         FrameKind::App => KIND_APP,
@@ -80,10 +105,12 @@ pub struct TcpTransport {
     id: HiveId,
     peers: HashMap<HiveId, SocketAddr>,
     outgoing: Mutex<HashMap<HiveId, TcpStream>>,
-    /// Last failed connect per peer: sends within the backoff window are
+    /// Per-peer reconnect backoff: sends within the current window are
     /// dropped instead of paying a blocking connect timeout on the hive
-    /// thread for every frame to a dead peer.
-    connect_failed_at: Mutex<HashMap<HiveId, std::time::Instant>>,
+    /// thread for every frame to a dead peer. The window grows
+    /// exponentially (with jitter) while the peer stays dead and resets on
+    /// the first successful connect.
+    connect_backoff: Mutex<HashMap<HiveId, ConnectBackoff>>,
     inbox_rx: Receiver<(HiveId, Frame)>,
     _listener_addr: SocketAddr,
     shutdown: Arc<std::sync::atomic::AtomicBool>,
@@ -134,7 +161,7 @@ impl TcpTransport {
             id,
             peers,
             outgoing: Mutex::new(HashMap::new()),
-            connect_failed_at: Mutex::new(HashMap::new()),
+            connect_backoff: Mutex::new(HashMap::new()),
             inbox_rx,
             _listener_addr: local_addr,
             shutdown,
@@ -223,11 +250,14 @@ impl Transport for TcpTransport {
         }
         // Dead-peer backoff: don't pay a blocking connect timeout per frame
         // to a peer that just refused — Raft and the pending-retry timers
-        // re-drive the protocols once it returns.
-        const BACKOFF: std::time::Duration = std::time::Duration::from_millis(1000);
+        // re-drive the protocols once it returns. The window doubles per
+        // consecutive failure (jittered, capped) so a long-dead peer costs
+        // at most one probe per BACKOFF_CAP_MS.
         {
-            let failed = self.connect_failed_at.lock();
-            if failed.get(&to).is_some_and(|at| at.elapsed() < BACKOFF)
+            let backoff = self.connect_backoff.lock();
+            if backoff
+                .get(&to)
+                .is_some_and(|b| b.last_fail.elapsed() < b.window)
                 && !self.outgoing.lock().contains_key(&to)
             {
                 return;
@@ -239,13 +269,23 @@ impl Transport for TcpTransport {
             if let std::collections::hash_map::Entry::Vacant(e) = outgoing.entry(to) {
                 match self.connect(to) {
                     Some(s) => {
-                        self.connect_failed_at.lock().remove(&to);
+                        self.connect_backoff.lock().remove(&to);
+                        self.counters.record_connect_success(to);
                         e.insert(s);
                     }
                     None => {
-                        self.connect_failed_at
-                            .lock()
-                            .insert(to, std::time::Instant::now());
+                        let mut backoff = self.connect_backoff.lock();
+                        let now = std::time::Instant::now();
+                        let entry = backoff.entry(to).or_insert(ConnectBackoff {
+                            failures: 0,
+                            last_fail: now,
+                            window: std::time::Duration::ZERO,
+                        });
+                        entry.failures = entry.failures.saturating_add(1);
+                        entry.last_fail = now;
+                        let window_ms = backoff_window_ms(to, entry.failures);
+                        entry.window = std::time::Duration::from_millis(window_ms);
+                        self.counters.record_connect_failure(to, window_ms);
                         return; // peer unreachable; drop (protocols retry)
                     }
                 }
@@ -368,6 +408,48 @@ mod tests {
         // No address for hive 9: silently dropped.
         t1.send(HiveId(9), Frame::app(vec![1]));
         assert!(t1.try_recv().is_none());
+    }
+
+    #[test]
+    fn backoff_window_grows_and_caps() {
+        let p = HiveId(3);
+        let jitter = |f: u32| (u64::from(p.0) * 31 + u64::from(f) * 17) % BACKOFF_JITTER_MS;
+        assert_eq!(backoff_window_ms(p, 1), 500 + jitter(1));
+        assert_eq!(backoff_window_ms(p, 2), 1000 + jitter(2));
+        assert_eq!(backoff_window_ms(p, 5), 8000 + jitter(5));
+        // 500 << 5 = 16s exceeds the cap; deeper failure counts stay capped.
+        assert_eq!(backoff_window_ms(p, 6), 10_000 + jitter(6));
+        assert_eq!(backoff_window_ms(p, 60), 10_000 + jitter(60));
+    }
+
+    #[test]
+    fn dead_peer_enters_backoff_and_suppresses_probes() {
+        // An address that is guaranteed refused: bind, take the port, close.
+        let dead_addr = TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap();
+        let mut peers = HashMap::new();
+        peers.insert(HiveId(2), dead_addr);
+        let t1 = TcpTransport::bind(HiveId(1), "127.0.0.1:0".parse().unwrap(), peers).unwrap();
+        t1.send(HiveId(2), Frame::app(vec![1]));
+        let snap = t1.counters().snapshot();
+        assert_eq!(snap.connect_failures, 1);
+        let window = t1.counters().peer_backoff_ms(HiveId(2)).expect("backed off");
+        assert!(window >= BACKOFF_BASE_MS, "window {window}ms");
+        // Within the window, further sends are dropped without probing.
+        t1.send(HiveId(2), Frame::app(vec![2]));
+        t1.send(HiveId(2), Frame::app(vec![3]));
+        assert_eq!(t1.counters().snapshot().connect_failures, 1);
+    }
+
+    #[test]
+    fn successful_connect_resets_backoff() {
+        let (t1, t2) = pair();
+        t1.send(HiveId(2), Frame::app(vec![1]));
+        recv_blocking(&t2, 2000).expect("frame arrives");
+        assert_eq!(t1.counters().peer_backoff_ms(HiveId(2)), None);
+        assert_eq!(t1.counters().snapshot().connect_failures, 0);
     }
 
     #[test]

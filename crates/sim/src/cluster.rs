@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use beehive_core::{Hive, HiveConfig, HiveId, SimClock};
-use beehive_net::{MemFabric, TrafficMatrix};
+use beehive_net::{FabricFaults, MemFabric, TrafficMatrix};
 
 /// Parameters for a [`SimCluster`].
 #[derive(Debug, Clone)]
@@ -29,6 +29,16 @@ pub struct ClusterConfig {
     /// threads run in real time, so virtual-time determinism across *runs*
     /// is preserved only per round (results are merged in bee-id order).
     pub workers: usize,
+    /// Redelivery budget for failed handler invocations.
+    pub max_redeliveries: u32,
+    /// Base redelivery backoff (ms); doubles per attempt.
+    pub redelivery_backoff_ms: u64,
+    /// Consecutive failures before a bee is quarantined (0 = disabled).
+    pub quarantine_threshold: u32,
+    /// Quarantine cooldown before the half-open probe (ms).
+    pub quarantine_cooldown_ms: u64,
+    /// Per-bee mailbox bound (0 = unbounded).
+    pub mailbox_capacity: usize,
 }
 
 impl Default for ClusterConfig {
@@ -42,6 +52,11 @@ impl Default for ClusterConfig {
             pending_retry_ms: 1000,
             replication_factor: 1,
             workers: 1,
+            max_redeliveries: 3,
+            redelivery_backoff_ms: 100,
+            quarantine_threshold: 10,
+            quarantine_cooldown_ms: 5_000,
+            mailbox_capacity: 0,
         }
     }
 }
@@ -75,6 +90,11 @@ impl SimCluster {
             hive_cfg.pending_retry_ms = cfg.pending_retry_ms;
             hive_cfg.replication_factor = cfg.replication_factor;
             hive_cfg.workers = cfg.workers;
+            hive_cfg.max_redeliveries = cfg.max_redeliveries;
+            hive_cfg.redelivery_backoff_ms = cfg.redelivery_backoff_ms;
+            hive_cfg.quarantine_threshold = cfg.quarantine_threshold;
+            hive_cfg.quarantine_cooldown_ms = cfg.quarantine_cooldown_ms;
+            hive_cfg.mailbox_capacity = cfg.mailbox_capacity;
             let mut hive = Hive::new(
                 hive_cfg,
                 Arc::new(clock.clone()),
@@ -181,6 +201,19 @@ impl SimCluster {
     pub fn matrix(&self) -> TrafficMatrix {
         self.fabric.matrix()
     }
+
+    /// Applies a fault policy: wire faults (`drop_rate`, `latency_ms`) go to
+    /// the fabric; handler faults are armed on every hive's fault table
+    /// (each hive gets the full `times` budget — a colony lives on one hive,
+    /// so the budget is consumed where the bee actually runs).
+    pub fn set_faults(&mut self, faults: FabricFaults) {
+        for (app, msg_type, times) in &faults.handler_faults {
+            for hive in &mut self.hives {
+                hive.inject_handler_fault(app, msg_type, *times);
+            }
+        }
+        self.fabric.set_faults(faults);
+    }
 }
 
 #[cfg(test)]
@@ -281,6 +314,29 @@ mod tests {
             .peek_state("counter", bee, "c", "x")
             .unwrap();
         assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn injected_handler_faults_are_retried_transparently() {
+        let mut c = SimCluster::new(
+            ClusterConfig {
+                hives: 1,
+                voters: 0,
+                ..Default::default()
+            },
+            |h| h.install(counter_app()),
+        );
+        c.set_faults(FabricFaults::default().fail_handler("counter", "Inc", 1));
+        c.hive_mut(HiveId(1)).emit(Inc { key: "k".into() });
+        c.advance(2_000, 50);
+        let (bee, _) = c.hive(HiveId(1)).local_bees("counter")[0];
+        let count: u64 = c
+            .hive(HiveId(1))
+            .peek_state("counter", bee, "c", "k")
+            .unwrap();
+        assert_eq!(count, 1, "redelivery applied after the injected failure");
+        assert!(c.hive(HiveId(1)).counters().redeliveries >= 1);
+        assert_eq!(c.hive(HiveId(1)).handler_faults().armed(), 0);
     }
 
     #[test]

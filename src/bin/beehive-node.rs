@@ -29,6 +29,15 @@
 //!   periodically (atomic tmp+rename; scrape it with `cat` or node_exporter's
 //!   textfile collector)
 //! * `--dump-every SECS` — metrics dump period (default 5)
+//! * `--dlq-dump PATH` — write the dead-letter queue (messages that
+//!   exhausted their redelivery budget or were rejected by quarantine /
+//!   mailbox overflow) to PATH periodically, one line per letter
+//! * `--max-redeliveries N` — retries per failed handler delivery before a
+//!   message dead-letters (default 3)
+//! * `--mailbox-capacity N` — per-bee mailbox bound; 0 = unbounded (default)
+//! * `--inject-fault APP:MSG:TIMES` — repeatable, testing only: fail the
+//!   next TIMES deliveries of MSG (wire-name suffix match) to APP, to
+//!   exercise supervised redelivery in smoke tests
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -61,13 +70,18 @@ struct Args {
     stats_every: u64,
     metrics_dump: Option<std::path::PathBuf>,
     dump_every: u64,
+    dlq_dump: Option<std::path::PathBuf>,
+    max_redeliveries: Option<u32>,
+    mailbox_capacity: Option<usize>,
+    inject_faults: Vec<(String, String, u32)>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: beehive-node --id N --listen ADDR [--peer ID=ADDR]... [--voters K] \
          [--replication R] [--workers N] [--apps a,b,c] [--stats-every SECS] \
-         [--metrics-dump PATH] [--dump-every SECS]"
+         [--metrics-dump PATH] [--dump-every SECS] [--dlq-dump PATH] \
+         [--max-redeliveries N] [--mailbox-capacity N] [--inject-fault APP:MSG:TIMES]"
     );
     std::process::exit(2)
 }
@@ -93,6 +107,10 @@ fn parse_args() -> Args {
     let mut stats_every = 10;
     let mut metrics_dump = None;
     let mut dump_every = 5;
+    let mut dlq_dump = None;
+    let mut max_redeliveries = None;
+    let mut mailbox_capacity = None;
+    let mut inject_faults = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         let mut val = || it.next().unwrap_or_else(|| usage());
@@ -114,6 +132,25 @@ fn parse_args() -> Args {
             "--stats-every" => stats_every = val().parse().unwrap_or_else(|_| usage()),
             "--metrics-dump" => metrics_dump = Some(std::path::PathBuf::from(val())),
             "--dump-every" => dump_every = val().parse::<u64>().unwrap_or_else(|_| usage()).max(1),
+            "--dlq-dump" => dlq_dump = Some(std::path::PathBuf::from(val())),
+            "--max-redeliveries" => {
+                max_redeliveries = Some(val().parse().unwrap_or_else(|_| usage()))
+            }
+            "--mailbox-capacity" => {
+                mailbox_capacity = Some(val().parse().unwrap_or_else(|_| usage()))
+            }
+            "--inject-fault" => {
+                let v = val();
+                let parts: Vec<&str> = v.splitn(3, ':').collect();
+                if parts.len() != 3 {
+                    usage();
+                }
+                inject_faults.push((
+                    parts[0].to_string(),
+                    parts[1].to_string(),
+                    parts[2].parse().unwrap_or_else(|_| usage()),
+                ));
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -129,6 +166,10 @@ fn parse_args() -> Args {
         stats_every,
         metrics_dump,
         dump_every,
+        dlq_dump,
+        max_redeliveries,
+        mailbox_capacity,
+        inject_faults,
     }
 }
 
@@ -175,6 +216,23 @@ fn render_transport(snap: &TransportSnapshot) -> String {
         )
         .unwrap();
     }
+    out.push_str(
+        "# HELP beehive_transport_connect_failures_total Failed connect attempts to peers.\n\
+         # TYPE beehive_transport_connect_failures_total counter\n",
+    );
+    writeln!(
+        out,
+        "beehive_transport_connect_failures_total {}",
+        snap.connect_failures
+    )
+    .unwrap();
+    out.push_str(
+        "# HELP beehive_transport_peer_backoff_ms Current dead-peer backoff window per peer.\n\
+         # TYPE beehive_transport_peer_backoff_ms gauge\n",
+    );
+    for (peer, ms) in &snap.peer_backoff_ms {
+        writeln!(out, "beehive_transport_peer_backoff_ms{{peer=\"{peer}\"}} {ms}").unwrap();
+    }
     out
 }
 
@@ -204,6 +262,12 @@ fn main() {
     };
     cfg.replication_factor = args.replication;
     cfg.workers = args.workers;
+    if let Some(n) = args.max_redeliveries {
+        cfg.max_redeliveries = n;
+    }
+    if let Some(n) = args.mailbox_capacity {
+        cfg.mailbox_capacity = n;
+    }
 
     let mut hive = Hive::new(cfg, Arc::new(SystemClock::new()), Box::new(transport));
 
@@ -221,6 +285,11 @@ fn main() {
             }
         }
     }
+    for (app, msg, times) in &args.inject_faults {
+        hive.inject_handler_fault(app, msg, *times);
+        eprintln!("[fault] armed: next {times} deliveries of {msg} to {app} fail");
+    }
+
     // Platform apps: metrics collection + placement optimization.
     let instr = hive.instrumentation();
     hive.install(collector_app(instr.clone()));
@@ -275,6 +344,60 @@ fn main() {
         eprintln!(
             "metrics exposition -> {} every {every}s",
             args.metrics_dump.as_ref().unwrap().display()
+        );
+    }
+
+    // Dead-letter dump: a periodic human-readable snapshot of the messages
+    // that exhausted their redelivery budget or were rejected at admission
+    // (quarantine / mailbox overflow). Same tmp+rename discipline as the
+    // metrics dump.
+    if let Some(path) = args.dlq_dump.clone() {
+        let dlq = hive.dead_letters();
+        let stop2 = stop.clone();
+        let every = args.dump_every;
+        std::thread::Builder::new()
+            .name("bh-dlq-dump".into())
+            .spawn(move || {
+                use std::fmt::Write;
+                while !stop2.load(Ordering::Relaxed) {
+                    std::thread::sleep(std::time::Duration::from_secs(every));
+                    let letters = dlq.snapshot();
+                    let mut text = format!(
+                        "# dead letters: {} retained, {} recorded\n",
+                        letters.len(),
+                        dlq.recorded()
+                    );
+                    for l in &letters {
+                        writeln!(
+                            text,
+                            "{}ms app={} bee={} handler={:?} msg={} kind={} attempts={} \
+                             trace={:#x} detail={:?}",
+                            l.recorded_ms,
+                            l.app,
+                            l.bee,
+                            l.handler,
+                            l.msg_type,
+                            l.kind,
+                            l.attempts,
+                            l.trace_id,
+                            l.detail
+                        )
+                        .unwrap();
+                    }
+                    let tmp = path.with_extension("dlq.tmp");
+                    let ok = std::fs::write(&tmp, &text)
+                        .and_then(|()| std::fs::rename(&tmp, &path))
+                        .is_ok();
+                    if !ok {
+                        eprintln!("[dlq] failed to write {}", path.display());
+                    }
+                }
+            })
+            .expect("spawn dlq dump thread");
+        eprintln!(
+            "dead-letter dump -> {} every {}s",
+            args.dlq_dump.as_ref().unwrap().display(),
+            args.dump_every
         );
     }
 

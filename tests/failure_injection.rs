@@ -1,10 +1,16 @@
-//! Failure injection on the fabric: message drops, partitions and registry
-//! leader loss. The platform's retry layers (Raft, pending-route
-//! resubmission, orphan retries) must mask all of it.
+//! Failure injection on the fabric and in handlers: message drops,
+//! partitions, registry leader loss, handler panics and injected handler
+//! errors. The platform's retry layers (Raft, pending-route resubmission,
+//! orphan retries, supervised redelivery) must mask all of it; what can't be
+//! masked must land in the dead-letter queue, not crash the hive.
 
+use std::sync::Arc;
+
+use beehive::core::{collector_app, Analytics, HiveMetrics};
 use beehive::net::FabricFaults;
 use beehive::prelude::*;
 use beehive::sim::{ClusterConfig, SimCluster};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -12,6 +18,22 @@ struct Inc {
     key: String,
 }
 beehive::core::impl_message!(Inc);
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Poison {
+    key: String,
+}
+beehive::core::impl_message!(Poison);
+
+/// An app whose handler panics on every delivery.
+fn poison_app() -> App {
+    App::builder("poison")
+        .handle::<Poison>(
+            |m| Mapped::cell("p", &m.key),
+            |_m, _ctx| -> HandlerResult { panic!("poison pill") },
+        )
+        .build()
+}
 
 fn counter() -> App {
     App::builder("counter")
@@ -89,7 +111,7 @@ fn new_keys_route_even_with_heavy_drops() {
     // retries must still converge.
     c.fabric.set_faults(FabricFaults {
         drop_rate: 0.2,
-        latency_ms: 0,
+        ..Default::default()
     });
     for i in 0..5 {
         c.hive_mut(HiveId((i % 3 + 1) as u32)).emit(Inc {
@@ -171,8 +193,8 @@ fn latency_does_not_break_ordering() {
     );
     c.elect_registry(120_000).unwrap();
     c.fabric.set_faults(FabricFaults {
-        drop_rate: 0.0,
         latency_ms: 120,
+        ..Default::default()
     });
     for _ in 0..10 {
         c.hive_mut(HiveId(2)).emit(Inc { key: "slow".into() });
@@ -184,4 +206,191 @@ fn latency_does_not_break_ordering() {
         Some(10),
         "every delayed message applied exactly once"
     );
+}
+
+/// One app panics on every delivery while a second app keeps processing on
+/// the same hive: the hive never dies, the healthy app is unaffected, every
+/// poison message lands in the DLQ after exactly `max_redeliveries + 1`
+/// attempts, and the exposed metrics report matching counts. Quarantine is
+/// disabled so each message exhausts its full redelivery budget.
+fn contained_panic_scenario(workers: usize) {
+    let reports: Arc<Mutex<Vec<HiveMetrics>>> = Arc::new(Mutex::new(Vec::new()));
+    let captured = reports.clone();
+    let mut c = SimCluster::new(
+        ClusterConfig {
+            hives: 1,
+            voters: 0,
+            workers,
+            quarantine_threshold: 0,
+            ..Default::default()
+        },
+        move |h| {
+            h.install(counter());
+            h.install(poison_app());
+            let instr = h.instrumentation();
+            h.install(collector_app(instr));
+            let sink = captured.clone();
+            h.install(
+                App::builder("capture")
+                    .handle::<HiveMetrics>(
+                        |_m| Mapped::LocalSingleton,
+                        move |m, _c| {
+                            sink.lock().push(m.clone());
+                            Ok(())
+                        },
+                    )
+                    .build(),
+            );
+        },
+    );
+    for i in 0..3 {
+        c.hive_mut(HiveId(1)).emit(Poison {
+            key: format!("p{i}"),
+        });
+    }
+    for _ in 0..20 {
+        c.hive_mut(HiveId(1)).emit(Inc {
+            key: "healthy".into(),
+        });
+    }
+    c.advance(10_000, 50);
+
+    let hive = c.hive(HiveId(1));
+    let (bee, _) = hive.local_bees("counter")[0];
+    let count: u64 = hive
+        .peek_state("counter", bee, "c", "healthy")
+        .expect("healthy app state");
+    assert_eq!(count, 20, "healthy app unaffected by the poison app");
+
+    let letters = hive.dead_letters().snapshot();
+    assert_eq!(letters.len(), 3, "one letter per poison message");
+    for l in &letters {
+        assert_eq!(l.app, "poison");
+        assert_eq!(l.kind, FailureKind::Panic);
+        assert_eq!(l.attempts, 4, "max_redeliveries(3) + 1 attempts");
+        assert_eq!(l.detail, "poison pill");
+    }
+    let counters = hive.counters();
+    assert_eq!(counters.handler_panics, 12, "3 messages x 4 attempts");
+    assert_eq!(counters.redeliveries, 9, "3 messages x 3 redeliveries");
+    assert_eq!(counters.dead_letters, 3);
+
+    // The same numbers must flow through collector reports into the
+    // Prometheus exposition.
+    let mut analytics = Analytics::new();
+    for w in reports.lock().iter() {
+        analytics.ingest(w);
+    }
+    let text = analytics.render_prometheus();
+    assert!(
+        text.contains("beehive_handler_failures_total{kind=\"panic\"} 12"),
+        "{text}"
+    );
+    assert!(text.contains("beehive_redeliveries_total 9"), "{text}");
+    assert!(text.contains("beehive_dead_letters_total 3"), "{text}");
+    assert!(text.contains("beehive_quarantined_bees 0"), "{text}");
+}
+
+#[test]
+fn panicking_handler_is_contained_sequentially() {
+    contained_panic_scenario(1);
+}
+
+#[test]
+fn panicking_handler_is_contained_with_parallel_workers() {
+    contained_panic_scenario(4);
+}
+
+/// A handler that fails deterministically (injected) and then succeeds:
+/// redelivery masks the failures entirely — state converges, nothing
+/// dead-letters.
+fn transient_failure_scenario(workers: usize) {
+    let mut c = SimCluster::new(
+        ClusterConfig {
+            hives: 1,
+            voters: 0,
+            workers,
+            ..Default::default()
+        },
+        |h| h.install(counter()),
+    );
+    c.set_faults(FabricFaults::default().fail_handler("counter", "Inc", 2));
+    c.hive_mut(HiveId(1)).emit(Inc { key: "k".into() });
+    c.advance(5_000, 50);
+
+    let hive = c.hive(HiveId(1));
+    let (bee, _) = hive.local_bees("counter")[0];
+    let count: u64 = hive.peek_state("counter", bee, "c", "k").expect("state");
+    assert_eq!(count, 1, "the message applied exactly once after retries");
+    assert_eq!(hive.counters().redeliveries, 2, "one per injected failure");
+    assert_eq!(hive.counters().dead_letters, 0);
+    assert!(hive.dead_letters().is_empty());
+    assert_eq!(hive.handler_faults().armed(), 0, "faults consumed");
+}
+
+#[test]
+fn transient_handler_failures_converge_sequentially() {
+    transient_failure_scenario(1);
+}
+
+#[test]
+fn transient_handler_failures_converge_with_parallel_workers() {
+    transient_failure_scenario(4);
+}
+
+#[test]
+fn quarantine_opens_and_recovers_via_half_open_probe() {
+    let mut c = SimCluster::new(
+        ClusterConfig {
+            hives: 1,
+            voters: 0,
+            max_redeliveries: 0, // every failure dead-letters immediately
+            quarantine_threshold: 3,
+            quarantine_cooldown_ms: 5_000,
+            ..Default::default()
+        },
+        |h| h.install(counter()),
+    );
+    // Create the bee with one clean delivery.
+    c.hive_mut(HiveId(1)).emit(Inc { key: "k".into() });
+    c.advance(1_000, 50);
+
+    // Trip the breaker: three consecutive failures on the same bee.
+    c.set_faults(FabricFaults::default().fail_handler("counter", "Inc", 3));
+    for _ in 0..3 {
+        c.hive_mut(HiveId(1)).emit(Inc { key: "k".into() });
+    }
+    c.advance(500, 50);
+    assert_eq!(c.hive(HiveId(1)).counters().quarantines, 1, "breaker open");
+    assert_eq!(c.hive(HiveId(1)).counters().dead_letters, 3);
+
+    // While quarantined, new messages dead-letter fast without running.
+    c.hive_mut(HiveId(1)).emit(Inc { key: "k".into() });
+    c.advance(500, 50);
+    let letters = c.hive(HiveId(1)).dead_letters().snapshot();
+    assert!(
+        letters
+            .iter()
+            .any(|l| l.kind == FailureKind::Quarantined && l.handler.is_empty()),
+        "quarantined messages are rejected at admission: {letters:?}"
+    );
+    let (bee, _) = c.hive(HiveId(1)).local_bees("counter")[0];
+    let count: u64 = c
+        .hive(HiveId(1))
+        .peek_state("counter", bee, "c", "k")
+        .unwrap();
+    assert_eq!(count, 1, "no deliveries while quarantined");
+
+    // After the cooldown the half-open probe admits one message; its
+    // success closes the breaker and normal processing resumes.
+    c.advance(10_000, 50);
+    c.hive_mut(HiveId(1)).emit(Inc { key: "k".into() });
+    c.hive_mut(HiveId(1)).emit(Inc { key: "k".into() });
+    c.advance(2_000, 50);
+    let count: u64 = c
+        .hive(HiveId(1))
+        .peek_state("counter", bee, "c", "k")
+        .unwrap();
+    assert_eq!(count, 3, "breaker closed after the successful probe");
+    assert_eq!(c.hive(HiveId(1)).counters().quarantines, 1, "opened once");
 }
