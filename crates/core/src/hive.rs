@@ -35,6 +35,17 @@ use crate::supervision::{
 use crate::trace::{TraceCollector, TraceSpan};
 use crate::transport::{Frame, FrameKind, Transport};
 
+/// FNV-1a 64-bit over raw bytes — the same digest the chaos harness uses;
+/// tiny, dependency-free and byte-stable across platforms.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Configuration of a hive.
 #[derive(Clone)]
 pub struct HiveConfig {
@@ -85,8 +96,9 @@ pub struct HiveConfig {
     /// `max_redeliveries + 1`.
     pub max_redeliveries: u32,
     /// Base delay of the redelivery exponential backoff: attempt `n` waits
-    /// `base * 2^(n-1)` ms (capped at 64×base) plus a deterministic jitter
-    /// derived from the message's span id.
+    /// [`crate::supervision::backoff_delay_ms`]`(base, n, bee)` — exponential
+    /// in the attempt (capped at 64×base) plus a deterministic jitter derived
+    /// from the bee id, so the schedule is reproducible across runs.
     pub redelivery_backoff_ms: u64,
     /// Consecutive handler failures on one bee that trip its quarantine
     /// circuit breaker. 0 disables quarantine.
@@ -102,6 +114,11 @@ pub struct HiveConfig {
     /// Capacity of the dead-letter ring ([`DeadLetterStore`]). Old letters
     /// are overwritten; the recorded total keeps counting.
     pub dead_letter_capacity: usize,
+    /// Seed mixed into this hive's internal randomness (today: the registry
+    /// Raft election jitter). Two clusters built with the same ids and the
+    /// same seeds make identical random choices — the hook deterministic
+    /// simulation ([`beehive-sim`'s chaos harness]) relies on.
+    pub rng_seed: u64,
 }
 
 impl HiveConfig {
@@ -128,6 +145,7 @@ impl HiveConfig {
             mailbox_capacity: 0,
             overflow_policy: OverflowPolicy::default(),
             dead_letter_capacity: 1024,
+            rng_seed: 0,
         }
     }
 
@@ -193,6 +211,14 @@ pub struct HiveCounters {
     pub replica_syncs: u64,
     /// Bees recovered from local shadows after a hive failure.
     pub failovers: u64,
+    /// Handler invocations that completed successfully (committed their
+    /// transaction). Together with `dead_letters`, `dropped_orphans` and the
+    /// in-flight queues this makes external emits conserved — the chaos
+    /// harness audits exactly that.
+    pub handled_ok: u64,
+    /// Direct-addressed messages silently lost because the addressed bee no
+    /// longer exists on any hive ([`crate::routing::Delivery::NoBee`]).
+    pub lost_no_bee: u64,
 }
 
 /// A handle for injecting messages into a hive from other threads (drivers,
@@ -335,7 +361,9 @@ impl Hive {
                 .filter(|id| !voters.contains(id))
                 .collect();
             let raft_cfg = beehive_raft::Config {
-                rng_seed: cfg.raft.rng_seed ^ me.wrapping_mul(0xA076_1D64_78BD_642F),
+                rng_seed: cfg.raft.rng_seed
+                    ^ me.wrapping_mul(0xA076_1D64_78BD_642F)
+                    ^ cfg.rng_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),
                 ..cfg.raft.clone()
             };
             let storage: Box<dyn beehive_raft::Storage> = match &cfg.registry_storage_dir {
@@ -607,15 +635,28 @@ impl Hive {
     /// is the deployment's job; call this once the registry group has a live
     /// leader again. Returns the number of recoveries initiated.
     pub fn recover_from(&mut self, dead: HiveId) -> usize {
-        let candidates: Vec<(AppName, BeeId)> = self
+        let mut candidates: Vec<(AppName, BeeId, bool)> = self
             .shadows
             .keys()
             .filter(|(_, bee)| self.registry_view().hive_of(*bee) == Some(dead))
-            .map(|(a, b)| (a.clone(), b))
+            .map(|(a, b)| (a.clone(), b, true))
             .collect();
+        // A migration staged here whose source died before the MoveBee
+        // committed is also recoverable: we hold a full state snapshot, and
+        // adopting it is exactly the move the dead source was proposing.
+        for ((app, bee), _) in &self.staged {
+            if self.registry_view().hive_of(*bee) == Some(dead)
+                && !candidates.iter().any(|(_, b, _)| b == bee)
+            {
+                candidates.push((app.clone(), *bee, false));
+            }
+        }
+        candidates.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
         let n = candidates.len();
-        for (app, bee) in candidates {
-            self.recovering.insert((app, bee));
+        for (app, bee, shadow) in candidates {
+            if shadow {
+                self.recovering.insert((app, bee));
+            }
             self.submit_tracked(RegistryOp::MoveBee {
                 bee,
                 to: self.cfg.id,
@@ -627,6 +668,109 @@ impl Hive {
     /// Number of shadow bees this hive currently holds (colony replication).
     pub fn shadow_count(&self) -> usize {
         self.shadows.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Audit accessors (invariant checkers / chaos harness)
+    // ------------------------------------------------------------------
+
+    /// Number of registry events applied locally — the relay fence. Two
+    /// hives with equal `applied_seq` have applied the same committed prefix
+    /// and must agree on the registry ([`Hive::registry_digest`]).
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq
+    }
+
+    /// FNV-1a digest of the serialized registry mirror. Hives with equal
+    /// [`Hive::applied_seq`] must produce equal digests — the
+    /// registry-agreement invariant the chaos harness audits.
+    pub fn registry_digest(&self) -> u64 {
+        match beehive_wire::to_vec(self.registry_view()) {
+            Ok(bytes) => fnv1a(&bytes),
+            Err(_) => 0,
+        }
+    }
+
+    /// Counts messages queued anywhere inside this hive whose wire type name
+    /// ends with `type_suffix`: the dispatch queue, orphan buffer,
+    /// redelivery retry queue, registry-route waiting rooms and every bee
+    /// mailbox. Excludes the cross-thread handle channel
+    /// ([`HiveHandle::emit`]) — conservation audits must emit via
+    /// [`Hive::emit`] or run a `step` first (which drains the channel).
+    pub fn queued_messages(&self, type_suffix: &str) -> u64 {
+        let hit = |env: &Envelope| u64::from(env.msg.type_name().ends_with(type_suffix));
+        let mut n = 0u64;
+        n += self.dispatch_queue.iter().map(hit).sum::<u64>();
+        n += self.orphans.iter().map(|(env, _)| hit(env)).sum::<u64>();
+        n += self
+            .retry_queue
+            .iter()
+            .map(|(env, _)| hit(env))
+            .sum::<u64>();
+        for p in self.pending_routes.values() {
+            n += p.waiting.iter().map(|(_, env)| hit(env)).sum::<u64>();
+        }
+        for queen in &self.queens {
+            for id in queen.bee_ids() {
+                if let Some(b) = queen.bee(id) {
+                    n += b.mailbox.iter().map(|(_, env)| hit(env)).sum::<u64>();
+                }
+            }
+        }
+        n
+    }
+
+    /// Active bees of `app` with their colonies, sorted by bee id — the
+    /// ownership-exclusivity checker's raw material.
+    pub fn active_colonies(&self, app: &str) -> Vec<(BeeId, Vec<Cell>)> {
+        let Some(&i) = self.app_idx.get(app) else {
+            return Vec::new();
+        };
+        let mut out: Vec<(BeeId, Vec<Cell>)> = self.queens[i]
+            .active_bees()
+            .filter_map(|b| {
+                self.queens[i]
+                    .bee(b)
+                    .map(|lb| (b, lb.colony.iter().cloned().collect()))
+            })
+            .collect();
+        out.sort_by_key(|(b, _)| *b);
+        out
+    }
+
+    /// A bee's full dictionary contents in deterministic order: dict name →
+    /// `(key, encoded value)` pairs (both BTreeMap-backed, so already
+    /// sorted). Audit API for the equivalence and atomicity checkers.
+    pub fn audit_dicts(&self, app: &str, bee: BeeId) -> Vec<(String, Vec<(String, Vec<u8>)>)> {
+        let Some(&i) = self.app_idx.get(app) else {
+            return Vec::new();
+        };
+        let Some(lb) = self.queens[i].bee(bee) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for name in lb.state.dict_names() {
+            let Some(d) = lb.state.dict(name) else {
+                continue;
+            };
+            let entries: Vec<(String, Vec<u8>)> =
+                d.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            out.push((name.clone(), entries));
+        }
+        out
+    }
+
+    /// Forces a local bee to own `cells` for `app` WITHOUT consulting the
+    /// registry — a deliberately broken path that violates ownership
+    /// exclusivity. Exists only so chaos tests can prove the invariant
+    /// checkers catch real bugs; never call it outside tests.
+    #[doc(hidden)]
+    pub fn debug_force_own(&mut self, app: &str, cells: Vec<Cell>) -> Option<BeeId> {
+        let &ai = self.app_idx.get(app)?;
+        let id = BeeId::new(self.cfg.id, self.next_bee_seq);
+        self.next_bee_seq += 1;
+        self.queens[ai].ensure_bee(id, cells);
+        Some(id)
     }
 
     // ------------------------------------------------------------------
@@ -1197,7 +1341,7 @@ impl Hive {
             self.cfg.overflow_policy,
         ) {
             Delivery::Delivered => self.run_queue.push_back((app_idx, bee)),
-            Delivery::NoBee(_) => {}
+            Delivery::NoBee(_) => self.counters.lost_no_bee += 1,
             Delivery::Quarantined(env) => self.dead_letter(
                 app_idx,
                 bee,
@@ -1291,12 +1435,14 @@ impl Hive {
         self.counters.redeliveries += 1;
         self.instr.lock().redeliveries += 1;
         // Exponential backoff (capped at 64× base) with deterministic jitter
-        // taken from the span id, so colliding retries spread out without a
-        // random source (sans-IO determinism).
-        let base = self.cfg.redelivery_backoff_ms.max(1);
-        let exp = base.saturating_mul(1u64 << u64::from(env.deliveries - 1).min(6));
-        let jitter = env.trace.span_id % base;
-        let due = now + exp + jitter;
+        // derived from the bee id, so colliding retries spread out without a
+        // random source and the schedule replays identically across runs.
+        let due = now
+            + crate::supervision::backoff_delay_ms(
+                self.cfg.redelivery_backoff_ms,
+                env.deliveries,
+                bee,
+            );
         // Re-aim at the exact bee + handler that failed; if the bee migrates
         // or merges before the retry fires, direct dispatch re-routes it.
         env.dst = Dst::Bee {
@@ -1669,6 +1815,15 @@ impl Hive {
                         return;
                     }
                 };
+                if self.queens[ai]
+                    .bee(bee)
+                    .is_some_and(|b| b.status == BeeStatus::Active)
+                {
+                    // Duplicate shipment (a chaos fault, or a retransmit): the
+                    // bee is already live here; installing the snapshot again
+                    // would clobber state mutated since activation.
+                    return;
+                }
                 if self.registry_view().hive_of(bee) == Some(self.cfg.id) {
                     self.queens[ai].install_migrated(bee, state, colony, repl_seq);
                     self.counters.migrations_in += 1;
@@ -1858,6 +2013,7 @@ impl Hive {
                 instr.merge_delta(r.instr);
             }
             self.counters.handler_errors += r.errors;
+            self.counters.handled_ok += r.processed - r.errors;
             for env in r.outbox {
                 self.dispatch_queue.push_back(env);
             }
@@ -2065,6 +2221,8 @@ impl Hive {
         }
         if !ok {
             self.counters.handler_errors += 1;
+        } else {
+            self.counters.handled_ok += 1;
         }
 
         // Supervision: route the failure (redelivery or dead-letter) and

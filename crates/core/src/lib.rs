@@ -98,7 +98,9 @@ pub use queen::Delivery;
 pub use registry::{RegistryCommand, RegistryEvent, RegistryOp, RegistryState};
 pub use replication::{replicas_of, ShadowStore};
 pub use state::{BeeState, Dict, JournalOp, TxJournal, TxState};
-pub use supervision::{DeadLetter, DeadLetterStore, FailureKind, HandlerFaults, OverflowPolicy};
+pub use supervision::{
+    backoff_delay_ms, DeadLetter, DeadLetterStore, FailureKind, HandlerFaults, OverflowPolicy,
+};
 pub use trace::{chrome_trace, TraceCollector, TraceContext, TraceSpan};
 pub use transport::{Frame, FrameKind, Loopback, Transport, TransportCounters, TransportSnapshot};
 

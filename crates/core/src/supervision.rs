@@ -70,6 +70,39 @@ pub fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
         .unwrap_or_else(|| "opaque panic payload".to_string())
 }
 
+/// The supervised-redelivery backoff schedule: how long redelivery `attempt`
+/// (1-based) of a failed message to `bee` waits before re-entering dispatch.
+///
+/// The delay is `base * 2^(attempt-1)` capped at `64 * base`, plus a
+/// deterministic jitter in `[0, base)` derived from the `(bee, attempt)`
+/// pair — so colliding retries of *different* bees spread out without a
+/// random source (sans-IO determinism), and the schedule is reproducible
+/// across runs and processes.
+///
+/// Properties (property-tested in `tests/proptest_backoff.rs`):
+/// * monotonically non-decreasing in `attempt`,
+/// * capped: strictly less than `65 * base` (absent `u64` saturation),
+/// * a pure function of `(base_ms, attempt, bee)`.
+pub fn backoff_delay_ms(base_ms: u64, attempt: u32, bee: crate::id::BeeId) -> u64 {
+    let base = base_ms.max(1);
+    // Clamp BEFORE deriving both the exponent and the jitter: past the cap
+    // the whole delay is constant, which keeps the schedule non-decreasing
+    // (a per-attempt jitter on a capped exponent could otherwise shrink).
+    let a = attempt.clamp(1, 7);
+    let exp = base.saturating_mul(1u64 << (a - 1));
+    let jitter = splitmix64(bee.0 ^ u64::from(a).wrapping_mul(0x9E37_79B9_7F4A_7C15)) % base;
+    exp.saturating_add(jitter)
+}
+
+/// SplitMix64 finalizer: a cheap, well-distributed hash for jitter
+/// derivation (not cryptographic).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 /// What to do when a bounded mailbox ([`crate::hive::HiveConfig::mailbox_capacity`])
 /// is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -329,5 +362,27 @@ mod tests {
         assert!(faults.should_fail("counter", "Inc"));
         assert!(!faults.should_fail("counter", "Inc"), "budget exhausted");
         assert_eq!(faults.armed(), 0);
+    }
+
+    #[test]
+    fn backoff_is_monotone_capped_and_deterministic() {
+        use crate::id::{BeeId, HiveId};
+        let bee = BeeId::new(HiveId(3), 7);
+        let base = 100u64;
+        let mut prev = 0u64;
+        for attempt in 1..=20u32 {
+            let d = backoff_delay_ms(base, attempt, bee);
+            assert!(d >= prev, "attempt {attempt}: {d} < {prev}");
+            assert!(d < 65 * base, "attempt {attempt}: {d} exceeds the cap");
+            assert_eq!(d, backoff_delay_ms(base, attempt, bee), "deterministic");
+            prev = d;
+        }
+        // Past the clamp the delay is constant (same exponent, same jitter).
+        assert_eq!(
+            backoff_delay_ms(base, 7, bee),
+            backoff_delay_ms(base, 19, bee)
+        );
+        // A zero base behaves like base = 1 (no division by zero).
+        assert!(backoff_delay_ms(0, 1, bee) >= 1);
     }
 }

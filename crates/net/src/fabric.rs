@@ -6,7 +6,7 @@ use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 
 use beehive_core::clock::Clock;
-use beehive_core::transport::{Frame, Transport};
+use beehive_core::transport::{Frame, FrameKind, Transport};
 use beehive_core::HiveId;
 use parking_lot::Mutex;
 
@@ -20,12 +20,72 @@ use crate::matrix::TrafficMatrix;
 pub struct FabricFaults {
     /// Probability in `[0, 1]` that a frame is silently dropped.
     pub drop_rate: f64,
+    /// Probability in `[0, 1]` that a frame is delivered twice.
+    pub duplicate_rate: f64,
+    /// Probability in `[0, 1]` that a frame is enqueued *before* the frame
+    /// already at the back of the receiver's queue (a one-slot reorder —
+    /// enough to break any accidental FIFO assumption).
+    pub reorder_rate: f64,
     /// Fixed delivery latency in ms.
     pub latency_ms: u64,
+    /// Additional per-frame latency: a deterministic uniform draw from
+    /// `[0, jitter_ms]` added on top of `latency_ms`.
+    pub jitter_ms: u64,
     /// Handler faults to arm on every hive: `(app, msg_type, times)` — the
     /// next `times` deliveries of `msg_type` (wire-name suffix match) to
     /// `app` fail with an injected error.
     pub handler_faults: Vec<(String, String, u32)>,
+}
+
+/// Running totals of every frame the fabric intentionally lost, cloned or
+/// reordered, split by [`FrameKind`] where conservation audits need it. The
+/// chaos harness balances `dropped_app`/`duplicated_app` against hive
+/// counters to prove no message vanished *unaccounted*.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// App frames dropped (drop coin, partition, or down receiver/sender).
+    pub dropped_app: u64,
+    /// Raft frames dropped.
+    pub dropped_raft: u64,
+    /// Control frames dropped.
+    pub dropped_control: u64,
+    /// App frames delivered twice (the extra copy is counted, not the pair).
+    pub duplicated_app: u64,
+    /// Raft frames delivered twice.
+    pub duplicated_raft: u64,
+    /// Control frames delivered twice.
+    pub duplicated_control: u64,
+    /// Frames enqueued out of order (any kind).
+    pub reordered: u64,
+}
+
+impl FaultStats {
+    fn count_drop(&mut self, kind: FrameKind) {
+        match kind {
+            FrameKind::App => self.dropped_app += 1,
+            FrameKind::Raft => self.dropped_raft += 1,
+            FrameKind::Control => self.dropped_control += 1,
+        }
+    }
+
+    fn count_duplicate(&mut self, kind: FrameKind) {
+        match kind {
+            FrameKind::App => self.duplicated_app += 1,
+            FrameKind::Raft => self.duplicated_raft += 1,
+            FrameKind::Control => self.duplicated_control += 1,
+        }
+    }
+}
+
+/// Per-kind counts of the frames [`MemFabric::clear_queue`] discarded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClearedFrames {
+    /// App frames discarded.
+    pub app: u64,
+    /// Raft frames discarded.
+    pub raft: u64,
+    /// Control frames discarded.
+    pub control: u64,
 }
 
 impl FabricFaults {
@@ -54,8 +114,26 @@ struct Shared {
     matrix: Mutex<TrafficMatrix>,
     partitions: Mutex<HashSet<(u32, u32)>>,
     faults: Mutex<FabricFaults>,
-    rng: Mutex<u64>, // xorshift state for drop decisions (deterministic)
+    rng: Mutex<u64>, // xorshift state for fault coins (deterministic)
+    stats: Mutex<FaultStats>,
+    down: Mutex<HashSet<u32>>, // crashed hives: frames to/from them are lost
     hives: Vec<HiveId>,
+}
+
+impl Shared {
+    /// Next xorshift64* draw as a raw u64.
+    fn rng_u64(&self) -> u64 {
+        let mut rng = self.rng.lock();
+        *rng ^= *rng << 13;
+        *rng ^= *rng >> 7;
+        *rng ^= *rng << 17;
+        *rng
+    }
+
+    /// Next deterministic uniform draw in `[0, 1)`.
+    fn roll(&self) -> f64 {
+        (self.rng_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
 }
 
 /// An in-process fabric connecting a fixed set of hives.
@@ -81,6 +159,8 @@ impl MemFabric {
                 partitions: Mutex::new(HashSet::new()),
                 faults: Mutex::new(FabricFaults::default()),
                 rng: Mutex::new(0x9E3779B97F4A7C15),
+                stats: Mutex::new(FaultStats::default()),
+                down: Mutex::new(HashSet::new()),
                 hives,
             }),
         }
@@ -132,6 +212,61 @@ impl MemFabric {
         self.shared.queues.lock().values().map(VecDeque::len).sum()
     }
 
+    /// App frames currently queued (all hives) — the in-flight term of the
+    /// chaos harness's message-conservation equation.
+    pub fn in_flight_app(&self) -> u64 {
+        self.shared
+            .queues
+            .lock()
+            .values()
+            .flat_map(|q| q.iter())
+            .filter(|m| m.frame.kind == FrameKind::App)
+            .count() as u64
+    }
+
+    /// Marks a hive down (crashed) or back up. Frames sent to or from a
+    /// down hive are lost on the wire (and counted in [`FaultStats`]), like
+    /// a dead TCP peer.
+    pub fn set_down(&self, id: HiveId, down: bool) {
+        if down {
+            self.shared.down.lock().insert(id.0);
+        } else {
+            self.shared.down.lock().remove(&id.0);
+        }
+    }
+
+    /// Discards everything queued for `id` (a crashed hive's unread socket
+    /// buffer) and returns per-kind counts of what was lost, so crash
+    /// bookkeeping can absorb the discarded app frames.
+    pub fn clear_queue(&self, id: HiveId) -> ClearedFrames {
+        let mut queues = self.shared.queues.lock();
+        let mut cleared = ClearedFrames::default();
+        if let Some(q) = queues.get_mut(&id.0) {
+            for m in q.drain(..) {
+                match m.frame.kind {
+                    FrameKind::App => cleared.app += 1,
+                    FrameKind::Raft => cleared.raft += 1,
+                    FrameKind::Control => cleared.control += 1,
+                }
+            }
+        }
+        cleared
+    }
+
+    /// Snapshot of the fault accounting.
+    pub fn fault_stats(&self) -> FaultStats {
+        *self.shared.stats.lock()
+    }
+
+    /// Reseeds the deterministic fault RNG (and zeroes the accounting) so a
+    /// chaos run's coin flips depend only on its seed, not on whatever
+    /// traffic preceded it on this fabric.
+    pub fn reseed(&self, seed: u64) {
+        // xorshift64* must never hold state 0.
+        *self.shared.rng.lock() = seed | 1;
+        *self.shared.stats.lock() = FaultStats::default();
+    }
+
     /// The hives on this fabric.
     pub fn hives(&self) -> &[HiveId] {
         &self.shared.hives
@@ -163,35 +298,62 @@ impl Transport for MemEndpoint {
             return;
         }
         {
+            let down = self.shared.down.lock();
+            if down.contains(&self.id.0) || down.contains(&to.0) {
+                self.shared.stats.lock().count_drop(frame.kind);
+                return;
+            }
+        }
+        {
             let partitions = self.shared.partitions.lock();
             if partitions.contains(&(self.id.0.min(to.0), self.id.0.max(to.0))) {
+                self.shared.stats.lock().count_drop(frame.kind);
                 return;
             }
         }
         let faults = self.shared.faults.lock().clone();
-        if faults.drop_rate > 0.0 {
-            // Deterministic xorshift64* coin flip.
-            let mut rng = self.shared.rng.lock();
-            *rng ^= *rng << 13;
-            *rng ^= *rng >> 7;
-            *rng ^= *rng << 17;
-            let roll = (*rng >> 11) as f64 / (1u64 << 53) as f64;
-            if roll < faults.drop_rate {
-                return;
-            }
+        if faults.drop_rate > 0.0 && self.shared.roll() < faults.drop_rate {
+            self.shared.stats.lock().count_drop(frame.kind);
+            return;
         }
+        let duplicate = faults.duplicate_rate > 0.0 && self.shared.roll() < faults.duplicate_rate;
+        let reorder = faults.reorder_rate > 0.0 && self.shared.roll() < faults.reorder_rate;
+        let jitter = if faults.jitter_ms > 0 {
+            self.shared.rng_u64() % (faults.jitter_ms + 1)
+        } else {
+            0
+        };
         let now = self.shared.clock.now_ms();
         self.shared
             .matrix
             .lock()
             .record(self.id, to, frame.kind, frame.wire_len(), now);
+        let kind = frame.kind;
         let mut queues = self.shared.queues.lock();
         if let Some(q) = queues.get_mut(&to.0) {
-            q.push_back(InFlight {
-                deliver_at_ms: now + faults.latency_ms,
-                from: self.id,
-                frame,
-            });
+            let deliver_at_ms = now + faults.latency_ms + jitter;
+            let did_reorder = reorder && !q.is_empty();
+            let copies = if duplicate { 2 } else { 1 };
+            for _ in 0..copies {
+                let msg = InFlight {
+                    deliver_at_ms,
+                    from: self.id,
+                    frame: frame.clone(),
+                };
+                if did_reorder {
+                    // One-slot reorder: jump ahead of the current back frame.
+                    q.insert(q.len() - 1, msg);
+                } else {
+                    q.push_back(msg);
+                }
+            }
+            let mut stats = self.shared.stats.lock();
+            if duplicate {
+                stats.count_duplicate(kind);
+            }
+            if did_reorder {
+                stats.reordered += 1;
+            }
         }
     }
 
@@ -323,6 +485,116 @@ mod tests {
     fn unknown_endpoint_panics() {
         let (f, _clock) = fabric2();
         let _ = f.endpoint(HiveId(99));
+    }
+
+    #[test]
+    fn duplicate_rate_delivers_twice_and_counts() {
+        let (f, _clock) = fabric2();
+        f.set_faults(FabricFaults {
+            duplicate_rate: 1.0,
+            ..Default::default()
+        });
+        let e1 = f.endpoint(HiveId(1));
+        let e2 = f.endpoint(HiveId(2));
+        e1.send(HiveId(2), Frame::app(vec![9]));
+        assert_eq!(e2.try_recv().unwrap().1.bytes, vec![9]);
+        assert_eq!(e2.try_recv().unwrap().1.bytes, vec![9]);
+        assert!(e2.try_recv().is_none());
+        assert_eq!(f.fault_stats().duplicated_app, 1);
+    }
+
+    #[test]
+    fn reorder_rate_swaps_back_pair() {
+        let (f, _clock) = fabric2();
+        let e1 = f.endpoint(HiveId(1));
+        let e2 = f.endpoint(HiveId(2));
+        e1.send(HiveId(2), Frame::app(vec![1]));
+        f.set_faults(FabricFaults {
+            reorder_rate: 1.0,
+            ..Default::default()
+        });
+        e1.send(HiveId(2), Frame::app(vec![2]));
+        // [1] then 2 jumps ahead of the back frame: delivered 2, 1.
+        assert_eq!(e2.try_recv().unwrap().1.bytes, vec![2]);
+        assert_eq!(e2.try_recv().unwrap().1.bytes, vec![1]);
+        assert_eq!(f.fault_stats().reordered, 1);
+    }
+
+    #[test]
+    fn down_hive_loses_frames_both_ways_and_counts() {
+        let (f, _clock) = fabric2();
+        f.set_down(HiveId(2), true);
+        let e1 = f.endpoint(HiveId(1));
+        let e2 = f.endpoint(HiveId(2));
+        e1.send(HiveId(2), Frame::app(vec![1]));
+        e2.send(HiveId(1), Frame::raft(vec![2]));
+        assert!(e2.try_recv().is_none());
+        assert!(e1.try_recv().is_none());
+        let s = f.fault_stats();
+        assert_eq!((s.dropped_app, s.dropped_raft), (1, 1));
+        f.set_down(HiveId(2), false);
+        e1.send(HiveId(2), Frame::app(vec![3]));
+        assert!(e2.try_recv().is_some());
+    }
+
+    #[test]
+    fn clear_queue_counts_per_kind() {
+        let (f, _clock) = fabric2();
+        let e1 = f.endpoint(HiveId(1));
+        e1.send(HiveId(2), Frame::app(vec![1]));
+        e1.send(HiveId(2), Frame::raft(vec![2]));
+        e1.send(HiveId(2), Frame::app(vec![3]));
+        assert_eq!(f.in_flight_app(), 2);
+        let cleared = f.clear_queue(HiveId(2));
+        assert_eq!((cleared.app, cleared.raft, cleared.control), (2, 1, 0));
+        assert_eq!(f.in_flight(), 0);
+    }
+
+    #[test]
+    fn reseed_makes_coin_flips_reproducible() {
+        let outcomes = |seed: u64| -> Vec<bool> {
+            let (f, _clock) = fabric2();
+            f.reseed(seed);
+            f.set_faults(FabricFaults {
+                drop_rate: 0.5,
+                ..Default::default()
+            });
+            let e1 = f.endpoint(HiveId(1));
+            let e2 = f.endpoint(HiveId(2));
+            (0..32)
+                .map(|i| {
+                    e1.send(HiveId(2), Frame::app(vec![i]));
+                    e2.try_recv().is_some()
+                })
+                .collect()
+        };
+        assert_eq!(outcomes(42), outcomes(42));
+        assert_ne!(outcomes(42), outcomes(43), "different seeds diverge");
+    }
+
+    #[test]
+    fn partition_drops_are_counted() {
+        let (f, _clock) = fabric2();
+        f.partition(HiveId(1), HiveId(2));
+        let e1 = f.endpoint(HiveId(1));
+        e1.send(HiveId(2), Frame::app(vec![1]));
+        assert_eq!(f.fault_stats().dropped_app, 1);
+    }
+
+    #[test]
+    fn jitter_delays_within_bound() {
+        let (f, clock) = fabric2();
+        f.set_faults(FabricFaults {
+            latency_ms: 5,
+            jitter_ms: 10,
+            ..Default::default()
+        });
+        let e1 = f.endpoint(HiveId(1));
+        let e2 = f.endpoint(HiveId(2));
+        e1.send(HiveId(2), Frame::app(vec![1]));
+        assert!(e2.try_recv().is_none(), "latency floor holds the frame");
+        clock.advance(15); // latency + max jitter
+        assert!(e2.try_recv().is_some());
     }
 
     #[test]

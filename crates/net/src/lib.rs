@@ -14,6 +14,6 @@ mod fabric;
 mod matrix;
 mod tcp;
 
-pub use fabric::{FabricFaults, MemEndpoint, MemFabric};
+pub use fabric::{ClearedFrames, FabricFaults, FaultStats, MemEndpoint, MemFabric};
 pub use matrix::{MatrixCell, TrafficMatrix};
 pub use tcp::TcpTransport;

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use beehive_core::{Hive, HiveConfig, HiveId, SimClock};
-use beehive_net::{FabricFaults, MemFabric, TrafficMatrix};
+use beehive_net::{ClearedFrames, FabricFaults, MemFabric, TrafficMatrix};
 
 /// Parameters for a [`SimCluster`].
 #[derive(Debug, Clone)]
@@ -39,6 +39,18 @@ pub struct ClusterConfig {
     pub quarantine_cooldown_ms: u64,
     /// Per-bee mailbox bound (0 = unbounded).
     pub mailbox_capacity: usize,
+    /// Capacity of each hive's dead-letter ring.
+    pub dead_letter_capacity: usize,
+    /// Seed mixed into each hive's internal randomness
+    /// ([`HiveConfig::rng_seed`]); the chaos harness sets it per run so a
+    /// whole cluster's random choices replay from one number.
+    pub seed: u64,
+    /// Directory for durable registry-Raft state. `None` keeps it in memory
+    /// (a crashed hive then restarts amnesiac); chaos runs set it so
+    /// [`SimCluster::restart`] exercises the durable-restart path. When set,
+    /// every committed registry event is snapshotted (threshold 1) so a
+    /// restarted voter can restore its mirror alone.
+    pub registry_storage_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ClusterConfig {
@@ -57,60 +69,94 @@ impl Default for ClusterConfig {
             quarantine_threshold: 10,
             quarantine_cooldown_ms: 5_000,
             mailbox_capacity: 0,
+            dead_letter_capacity: 1024,
+            seed: 0,
+            registry_storage_dir: None,
         }
     }
 }
 
-/// A whole Beehive cluster in one process, in virtual time.
+/// Builds one hive of the cluster from its config (also the restart path —
+/// a restarted hive gets a brand-new `Hive` with the same config, so durable
+/// registry state is all that survives, exactly like a process restart).
+fn build_hive(
+    cfg: &ClusterConfig,
+    ids: &[HiveId],
+    id: HiveId,
+    clock: &SimClock,
+    fabric: &MemFabric,
+) -> Hive {
+    let mut hive_cfg = if cfg.voters == 0 {
+        assert_eq!(cfg.hives, 1, "voters=0 only makes sense standalone");
+        HiveConfig::standalone(id)
+    } else {
+        HiveConfig::clustered(id, ids.to_vec(), cfg.voters)
+    };
+    hive_cfg.tick_interval_ms = cfg.tick_interval_ms;
+    hive_cfg.raft_tick_ms = cfg.raft_tick_ms;
+    hive_cfg.pending_retry_ms = cfg.pending_retry_ms;
+    hive_cfg.replication_factor = cfg.replication_factor;
+    hive_cfg.workers = cfg.workers;
+    hive_cfg.max_redeliveries = cfg.max_redeliveries;
+    hive_cfg.redelivery_backoff_ms = cfg.redelivery_backoff_ms;
+    hive_cfg.quarantine_threshold = cfg.quarantine_threshold;
+    hive_cfg.quarantine_cooldown_ms = cfg.quarantine_cooldown_ms;
+    hive_cfg.mailbox_capacity = cfg.mailbox_capacity;
+    hive_cfg.dead_letter_capacity = cfg.dead_letter_capacity;
+    hive_cfg.rng_seed = cfg.seed;
+    if let Some(dir) = &cfg.registry_storage_dir {
+        hive_cfg.registry_storage_dir = Some(dir.clone());
+        // A lone restarted voter can only restore its registry mirror from
+        // a snapshot (the commit index is volatile), so snapshot every
+        // committed event.
+        hive_cfg.raft.snapshot_threshold = 1;
+    }
+    Hive::new(
+        hive_cfg,
+        Arc::new(clock.clone()),
+        Box::new(fabric.endpoint(id)),
+    )
+}
+
+/// A whole Beehive cluster in one process, in virtual time. Hives can be
+/// crashed and restarted ([`SimCluster::crash`] / [`SimCluster::restart`]);
+/// a down hive's slot stays reserved, so ids are stable.
 pub struct SimCluster {
     /// The shared virtual clock.
     pub clock: SimClock,
     /// The accounted fabric.
     pub fabric: MemFabric,
-    hives: Vec<Hive>,
+    hives: Vec<Option<Hive>>,
+    ids: Vec<HiveId>,
+    cfg: ClusterConfig,
+    install: Box<dyn FnMut(&mut Hive)>,
 }
 
 impl SimCluster {
-    /// Builds the cluster and lets `install` add applications to each hive.
-    pub fn new(cfg: ClusterConfig, mut install: impl FnMut(&mut Hive)) -> Self {
+    /// Builds the cluster and lets `install` add applications to each hive
+    /// (it is kept around: a restarted hive is re-installed through it).
+    pub fn new(cfg: ClusterConfig, mut install: impl FnMut(&mut Hive) + 'static) -> Self {
         assert!(cfg.hives >= 1);
         let ids: Vec<HiveId> = (1..=cfg.hives as u32).map(HiveId).collect();
         let clock = SimClock::new();
         let fabric = MemFabric::with_bucket(ids.clone(), Arc::new(clock.clone()), cfg.bucket_ms);
         let mut hives = Vec::with_capacity(cfg.hives);
         for &id in &ids {
-            let mut hive_cfg = if cfg.voters == 0 {
-                assert_eq!(cfg.hives, 1, "voters=0 only makes sense standalone");
-                HiveConfig::standalone(id)
-            } else {
-                HiveConfig::clustered(id, ids.clone(), cfg.voters)
-            };
-            hive_cfg.tick_interval_ms = cfg.tick_interval_ms;
-            hive_cfg.raft_tick_ms = cfg.raft_tick_ms;
-            hive_cfg.pending_retry_ms = cfg.pending_retry_ms;
-            hive_cfg.replication_factor = cfg.replication_factor;
-            hive_cfg.workers = cfg.workers;
-            hive_cfg.max_redeliveries = cfg.max_redeliveries;
-            hive_cfg.redelivery_backoff_ms = cfg.redelivery_backoff_ms;
-            hive_cfg.quarantine_threshold = cfg.quarantine_threshold;
-            hive_cfg.quarantine_cooldown_ms = cfg.quarantine_cooldown_ms;
-            hive_cfg.mailbox_capacity = cfg.mailbox_capacity;
-            let mut hive = Hive::new(
-                hive_cfg,
-                Arc::new(clock.clone()),
-                Box::new(fabric.endpoint(id)),
-            );
+            let mut hive = build_hive(&cfg, &ids, id, &clock, &fabric);
             install(&mut hive);
-            hives.push(hive);
+            hives.push(Some(hive));
         }
         SimCluster {
             clock,
             fabric,
             hives,
+            ids,
+            cfg,
+            install: Box::new(install),
         }
     }
 
-    /// Number of hives.
+    /// Number of hive slots (live and down).
     pub fn len(&self) -> usize {
         self.hives.len()
     }
@@ -120,29 +166,74 @@ impl SimCluster {
         self.hives.is_empty()
     }
 
-    /// All hive ids.
+    /// All hive ids (including down hives — ids are slot-stable).
     pub fn ids(&self) -> Vec<HiveId> {
-        self.hives.iter().map(|h| h.id()).collect()
+        self.ids.clone()
     }
 
-    /// The hive with the given id.
+    /// Ids of the hives currently up, in id order.
+    pub fn live_ids(&self) -> Vec<HiveId> {
+        self.hives
+            .iter()
+            .filter_map(|h| h.as_ref().map(Hive::id))
+            .collect()
+    }
+
+    /// Whether the hive is currently up.
+    pub fn is_up(&self, id: HiveId) -> bool {
+        self.hives[(id.0 - 1) as usize].is_some()
+    }
+
+    /// The hive with the given id. Panics if it is down.
     pub fn hive(&self, id: HiveId) -> &Hive {
-        &self.hives[(id.0 - 1) as usize]
+        self.hives[(id.0 - 1) as usize]
+            .as_ref()
+            .unwrap_or_else(|| panic!("hive {id} is down"))
     }
 
-    /// Mutable access to a hive.
+    /// Mutable access to a hive. Panics if it is down.
     pub fn hive_mut(&mut self, id: HiveId) -> &mut Hive {
-        &mut self.hives[(id.0 - 1) as usize]
+        self.hives[(id.0 - 1) as usize]
+            .as_mut()
+            .unwrap_or_else(|| panic!("hive {id} is down"))
     }
 
-    /// Iterates the hives.
+    /// Iterates the live hives.
     pub fn hives(&self) -> impl Iterator<Item = &Hive> {
-        self.hives.iter()
+        self.hives.iter().filter_map(Option::as_ref)
     }
 
-    /// Steps every hive once; returns total work done.
+    /// Crashes a hive: its in-memory state is torn down (returned for
+    /// post-mortem accounting), its unread fabric queue is discarded, and
+    /// the fabric drops frames addressed to it until [`SimCluster::restart`].
+    /// Returns the dead hive and per-kind counts of the discarded frames.
+    pub fn crash(&mut self, id: HiveId) -> (Hive, ClearedFrames) {
+        let hive = self.hives[(id.0 - 1) as usize]
+            .take()
+            .unwrap_or_else(|| panic!("hive {id} is already down"));
+        self.fabric.set_down(id, true);
+        let cleared = self.fabric.clear_queue(id);
+        (hive, cleared)
+    }
+
+    /// Restarts a crashed hive with the same configuration (including the
+    /// durable registry storage dir, if any) and re-installs applications.
+    pub fn restart(&mut self, id: HiveId) {
+        let slot = (id.0 - 1) as usize;
+        assert!(self.hives[slot].is_none(), "hive {id} is not down");
+        self.fabric.set_down(id, false);
+        let mut hive = build_hive(&self.cfg, &self.ids, id, &self.clock, &self.fabric);
+        (self.install)(&mut hive);
+        self.hives[slot] = Some(hive);
+    }
+
+    /// Steps every live hive once; returns total work done.
     pub fn step_all(&mut self) -> usize {
-        self.hives.iter_mut().map(|h| h.step()).sum()
+        self.hives
+            .iter_mut()
+            .filter_map(Option::as_mut)
+            .map(|h| h.step())
+            .sum()
     }
 
     /// Steps hives (and an external pump, e.g. a switch fleet) until
@@ -190,7 +281,12 @@ impl SimCluster {
             self.clock.advance(50);
             elapsed += 50;
             self.settle(1000);
-            if let Some(leader) = self.hives.iter().find(|h| h.is_registry_leader()) {
+            if let Some(leader) = self
+                .hives
+                .iter()
+                .filter_map(Option::as_ref)
+                .find(|h| h.is_registry_leader())
+            {
                 return Ok(leader.id());
             }
         }
@@ -208,7 +304,7 @@ impl SimCluster {
     /// so the budget is consumed where the bee actually runs).
     pub fn set_faults(&mut self, faults: FabricFaults) {
         for (app, msg_type, times) in &faults.handler_faults {
-            for hive in &mut self.hives {
+            for hive in self.hives.iter_mut().filter_map(Option::as_mut) {
                 hive.inject_handler_fault(app, msg_type, *times);
             }
         }
@@ -337,6 +433,34 @@ mod tests {
         assert_eq!(count, 1, "redelivery applied after the injected failure");
         assert!(c.hive(HiveId(1)).counters().redeliveries >= 1);
         assert_eq!(c.hive(HiveId(1)).handler_faults().armed(), 0);
+    }
+
+    #[test]
+    fn crash_and_restart_cycle_keeps_slots_stable() {
+        let mut c = SimCluster::new(
+            ClusterConfig {
+                hives: 3,
+                voters: 3,
+                ..Default::default()
+            },
+            |h| h.install(counter_app()),
+        );
+        c.elect_registry(60_000).unwrap();
+        let (dead, _cleared) = c.crash(HiveId(2));
+        assert_eq!(dead.id(), HiveId(2));
+        assert!(!c.is_up(HiveId(2)));
+        assert_eq!(c.live_ids(), vec![HiveId(1), HiveId(3)]);
+        // The survivors keep running (quorum of 2/3 voters).
+        c.advance(2_000, 50);
+        c.restart(HiveId(2));
+        assert!(c.is_up(HiveId(2)));
+        assert_eq!(c.live_ids().len(), 3);
+        // The restarted hive rejoins and serves traffic again.
+        c.advance(5_000, 50);
+        c.hive_mut(HiveId(2)).emit(Inc { key: "z".into() });
+        c.advance(5_000, 50);
+        let total: usize = c.hives().map(|h| h.local_bee_count("counter")).sum();
+        assert_eq!(total, 1);
     }
 
     #[test]

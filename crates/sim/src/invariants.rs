@@ -1,0 +1,587 @@
+//! Cluster-wide invariant checkers for the chaos harness.
+//!
+//! After every virtual tick the chaos runner snapshots the whole cluster
+//! into a [`ClusterAudit`] — per-hive counters, colonies, dictionary
+//! contents, registry digests, plus fabric fault accounting — and runs the
+//! five checkers over it:
+//!
+//! 1. **Ownership exclusivity** ([`check_ownership`]): no cell is owned by
+//!    two live active bees, and no bee is active on two hives.
+//! 2. **Registry agreement** ([`check_registry_agreement`]): hives that
+//!    applied the same committed prefix (equal `applied_seq`) hold
+//!    byte-identical registry mirrors.
+//! 3. **Message conservation** ([`check_conservation`]): every external
+//!    emit is handled, queued, in flight, dead-lettered, dropped with a
+//!    counter, or absorbed by a crash ledger — nothing vanishes silently.
+//! 4. **Transaction atomicity** ([`check_atomicity`]): paired dictionary
+//!    writes performed in one transaction are never observed torn, across
+//!    crashes and restarts.
+//! 5. **Trace well-formedness** ([`check_traces`]): no recorded span has a
+//!    zero trace/span id or is its own parent.
+//!
+//! Audits also fold into a [`Digest`] that deliberately excludes wall-clock
+//! times and span ids (the only values that may differ between two runs of
+//! the same seed), so two runs of one seed produce byte-identical digests.
+
+use std::collections::BTreeMap;
+
+use beehive_core::{BeeId, Cell, Hive, HiveId};
+use beehive_net::FaultStats;
+
+use crate::cluster::SimCluster;
+
+/// One invariant violation: which checker, at which virtual tick, and what
+/// it saw.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The checker that fired (`"ownership"`, `"registry"`,
+    /// `"conservation"`, `"atomicity"`, `"traces"`).
+    pub checker: &'static str,
+    /// Virtual tick at which the audit was taken.
+    pub tick: u64,
+    /// Human-readable description of the violation.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[tick {}] {}: {}", self.tick, self.checker, self.detail)
+    }
+}
+
+/// Workload accounting absorbed from crashed hives. A crash legitimately
+/// destroys messages (queued mail, unread socket buffers) and forgets
+/// counters; the ledger folds them in at crash time so conservation still
+/// balances afterwards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrashLedger {
+    /// `handled_ok` of crashed hives at crash time.
+    pub handled: u64,
+    /// `dead_letters` of crashed hives.
+    pub dead: u64,
+    /// `dropped_orphans` of crashed hives.
+    pub orphans: u64,
+    /// `lost_no_bee` of crashed hives.
+    pub nobee: u64,
+    /// Workload messages queued inside crashed hives (lost with them).
+    pub queued: u64,
+    /// Workload (app) frames discarded from crashed hives' fabric queues.
+    pub cleared_app: u64,
+}
+
+impl CrashLedger {
+    /// Folds a freshly crashed hive into the ledger: its counters, the
+    /// workload messages (wire-type suffix `suffix`) still queued inside it,
+    /// and the `cleared_app` frames its fabric queue lost.
+    pub fn absorb(&mut self, hive: &Hive, cleared_app: u64, suffix: &str) {
+        let c = hive.counters();
+        self.handled += c.handled_ok;
+        self.dead += c.dead_letters;
+        self.orphans += c.dropped_orphans;
+        self.nobee += c.lost_no_bee;
+        self.queued += hive.queued_messages(suffix);
+        self.cleared_app += cleared_app;
+    }
+
+    /// Total messages the ledger accounts for.
+    pub fn total(&self) -> u64 {
+        self.handled + self.dead + self.orphans + self.nobee + self.queued + self.cleared_app
+    }
+}
+
+/// One live hive's slice of a [`ClusterAudit`].
+#[derive(Debug, Clone)]
+pub struct HiveAudit {
+    /// The hive.
+    pub id: HiveId,
+    /// Registry events applied locally (the relay fence).
+    pub applied_seq: u64,
+    /// FNV-1a digest of the serialized registry mirror.
+    pub registry_digest: u64,
+    /// Handler invocations that committed.
+    pub handled: u64,
+    /// Messages dead-lettered.
+    pub dead: u64,
+    /// Orphans dropped after TTL.
+    pub orphans: u64,
+    /// Messages lost because the addressed bee no longer exists.
+    pub nobee: u64,
+    /// Workload messages queued anywhere inside the hive.
+    pub queued: u64,
+    /// Active bees of the audited app with their colonies, sorted by bee id.
+    pub colonies: Vec<(BeeId, Vec<Cell>)>,
+    /// Per-bee dictionary contents, parallel to `colonies`.
+    pub dicts: Vec<(BeeId, Vec<(String, Vec<(String, Vec<u8>)>)>)>,
+    /// Recorded trace spans that are structurally malformed (zero ids, or a
+    /// span that is its own parent).
+    pub malformed_spans: u64,
+}
+
+/// A whole-cluster snapshot taken between virtual ticks, when no handler is
+/// running and all in-flight work is visible in queues.
+#[derive(Debug, Clone)]
+pub struct ClusterAudit {
+    /// Virtual tick of the snapshot.
+    pub tick: u64,
+    /// External workload messages emitted so far.
+    pub emits: u64,
+    /// One entry per live hive, in id order.
+    pub live: Vec<HiveAudit>,
+    /// Fabric fault accounting (drops, duplicates, reorders).
+    pub fabric: FaultStats,
+    /// App frames currently queued on the fabric.
+    pub in_flight_app: u64,
+    /// Accounting absorbed from crashed hives.
+    pub ledger: CrashLedger,
+}
+
+/// Snapshots the cluster: counters, colonies and dictionaries of `app`,
+/// queued workload messages (wire-type suffix `suffix`), registry digests
+/// and fabric accounting. Call between ticks, after the cluster has been
+/// stepped (so the cross-thread handle channels are drained).
+pub fn gather(
+    cluster: &SimCluster,
+    app: &str,
+    suffix: &str,
+    tick: u64,
+    emits: u64,
+    ledger: &CrashLedger,
+) -> ClusterAudit {
+    let mut live = Vec::new();
+    for hive in cluster.hives() {
+        let c = hive.counters();
+        let colonies = hive.active_colonies(app);
+        let dicts = colonies
+            .iter()
+            .map(|(bee, _)| (*bee, hive.audit_dicts(app, *bee)))
+            .collect();
+        let malformed_spans = hive
+            .tracer()
+            .snapshot()
+            .iter()
+            .filter(|s| s.trace_id == 0 || s.span_id == 0 || s.parent_span == s.span_id)
+            .count() as u64;
+        live.push(HiveAudit {
+            id: hive.id(),
+            applied_seq: hive.applied_seq(),
+            registry_digest: hive.registry_digest(),
+            handled: c.handled_ok,
+            dead: c.dead_letters,
+            orphans: c.dropped_orphans,
+            nobee: c.lost_no_bee,
+            queued: hive.queued_messages(suffix),
+            colonies,
+            dicts,
+            malformed_spans,
+        });
+    }
+    live.sort_by_key(|a| a.id);
+    ClusterAudit {
+        tick,
+        emits,
+        live,
+        fabric: cluster.fabric.fault_stats(),
+        in_flight_app: cluster.fabric.in_flight_app(),
+        ledger: *ledger,
+    }
+}
+
+/// Ownership exclusivity: a cell must have at most one live active owner,
+/// and a bee must not be active on two hives.
+pub fn check_ownership(audit: &ClusterAudit) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut cell_owners: BTreeMap<&Cell, Vec<(HiveId, BeeId)>> = BTreeMap::new();
+    let mut bee_hives: BTreeMap<BeeId, Vec<HiveId>> = BTreeMap::new();
+    for h in &audit.live {
+        for (bee, colony) in &h.colonies {
+            bee_hives.entry(*bee).or_default().push(h.id);
+            for cell in colony {
+                cell_owners.entry(cell).or_default().push((h.id, *bee));
+            }
+        }
+    }
+    for (cell, owners) in cell_owners {
+        if owners.len() > 1 {
+            out.push(Violation {
+                checker: "ownership",
+                tick: audit.tick,
+                detail: format!("cell {cell:?} owned by {owners:?}"),
+            });
+        }
+    }
+    for (bee, hives) in bee_hives {
+        if hives.len() > 1 {
+            out.push(Violation {
+                checker: "ownership",
+                tick: audit.tick,
+                detail: format!("bee {bee} active on {hives:?}"),
+            });
+        }
+    }
+    out
+}
+
+/// Registry agreement: hives with equal `applied_seq` applied the same
+/// committed prefix and must hold byte-identical registry mirrors.
+pub fn check_registry_agreement(audit: &ClusterAudit) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut by_seq: BTreeMap<u64, (HiveId, u64)> = BTreeMap::new();
+    for h in &audit.live {
+        match by_seq.get(&h.applied_seq) {
+            None => {
+                by_seq.insert(h.applied_seq, (h.id, h.registry_digest));
+            }
+            Some(&(other, digest)) if digest != h.registry_digest => {
+                out.push(Violation {
+                    checker: "registry",
+                    tick: audit.tick,
+                    detail: format!(
+                        "hives {other} and {} both applied seq {} but disagree \
+                         ({digest:#018x} vs {:#018x})",
+                        h.id, h.applied_seq, h.registry_digest
+                    ),
+                });
+            }
+            Some(_) => {}
+        }
+    }
+    out
+}
+
+/// Message conservation: external emits (plus fabric duplicates) must equal
+/// everything handled, queued, in flight, dead-lettered, dropped with a
+/// counter, or absorbed by the crash ledger.
+///
+/// Assumes the audited app is the only source of app-kind frames (chaos runs
+/// disable platform ticks and install only the workload app), so the
+/// fabric's per-kind counts line up with the workload.
+pub fn check_conservation(audit: &ClusterAudit) -> Vec<Violation> {
+    let produced = audit.emits + audit.fabric.duplicated_app;
+    let live: u64 = audit
+        .live
+        .iter()
+        .map(|h| h.handled + h.dead + h.orphans + h.nobee + h.queued)
+        .sum();
+    let consumed = live + audit.ledger.total() + audit.fabric.dropped_app + audit.in_flight_app;
+    if produced != consumed {
+        let per_hive: Vec<String> = audit
+            .live
+            .iter()
+            .map(|h| {
+                format!(
+                    "{}: handled={} dead={} orphans={} nobee={} queued={}",
+                    h.id, h.handled, h.dead, h.orphans, h.nobee, h.queued
+                )
+            })
+            .collect();
+        return vec![Violation {
+            checker: "conservation",
+            tick: audit.tick,
+            detail: format!(
+                "emits {} + dup {} != live {} + ledger {} + dropped {} + in-flight {} \
+                 (missing {}) [{}]",
+                audit.emits,
+                audit.fabric.duplicated_app,
+                live,
+                audit.ledger.total(),
+                audit.fabric.dropped_app,
+                audit.in_flight_app,
+                produced as i64 - consumed as i64,
+                per_hive.join("; ")
+            ),
+        }];
+    }
+    Vec::new()
+}
+
+/// Transaction atomicity: dictionaries `left` and `right` are written as a
+/// pair inside every workload transaction, so for every bee and key the two
+/// stored values must be identical — a mismatch means a torn transaction
+/// (e.g. half a transaction surviving a crash-restart).
+pub fn check_atomicity(audit: &ClusterAudit, left: &str, right: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for h in &audit.live {
+        for (bee, dicts) in &h.dicts {
+            let find = |name: &str| -> BTreeMap<&String, &Vec<u8>> {
+                dicts
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, entries)| entries.iter().map(|(k, v)| (k, v)).collect())
+                    .unwrap_or_default()
+            };
+            let l = find(left);
+            let r = find(right);
+            for (key, lv) in &l {
+                if r.get(*key) != Some(lv) {
+                    out.push(Violation {
+                        checker: "atomicity",
+                        tick: audit.tick,
+                        detail: format!(
+                            "hive {} bee {bee} key {key:?}: {left}={lv:?} but {right}={:?}",
+                            h.id,
+                            r.get(*key)
+                        ),
+                    });
+                }
+            }
+            for key in r.keys() {
+                if !l.contains_key(*key) {
+                    out.push(Violation {
+                        checker: "atomicity",
+                        tick: audit.tick,
+                        detail: format!(
+                            "hive {} bee {bee} key {key:?}: {right} written without {left}",
+                            h.id
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Trace well-formedness: every recorded span has nonzero trace and span
+/// ids and is not its own parent.
+pub fn check_traces(audit: &ClusterAudit) -> Vec<Violation> {
+    audit
+        .live
+        .iter()
+        .filter(|h| h.malformed_spans > 0)
+        .map(|h| Violation {
+            checker: "traces",
+            tick: audit.tick,
+            detail: format!("hive {}: {} malformed trace spans", h.id, h.malformed_spans),
+        })
+        .collect()
+}
+
+/// Runs all five checkers over one audit.
+pub fn check_all(audit: &ClusterAudit, left: &str, right: &str) -> Vec<Violation> {
+    let mut out = check_ownership(audit);
+    out.extend(check_registry_agreement(audit));
+    out.extend(check_conservation(audit));
+    out.extend(check_atomicity(audit, left, right));
+    out.extend(check_traces(audit));
+    out
+}
+
+/// An incrementally-fed FNV-1a 64-bit digest. Everything the chaos runner
+/// observes folds into one of these; two runs of the same seed must finish
+/// with identical values.
+#[derive(Debug, Clone, Copy)]
+pub struct Digest(u64);
+
+impl Default for Digest {
+    fn default() -> Self {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Digest {
+    /// A fresh digest at the FNV offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Folds one u64 (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The current digest value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl ClusterAudit {
+    /// Folds this audit into `d`. Deliberately excludes wall-clock times
+    /// and span ids — the only values that legitimately differ between two
+    /// runs of the same seed (`workers > 1` executes on real threads; span
+    /// ids come from a process-global counter). Everything else — counters,
+    /// registry digests, colony maps, dictionary bytes, fault accounting —
+    /// must be identical, and therefore is folded.
+    pub fn fold_into(&self, d: &mut Digest) {
+        d.write_u64(self.tick);
+        d.write_u64(self.emits);
+        d.write_u64(self.live.len() as u64);
+        for h in &self.live {
+            d.write_u64(u64::from(h.id.0));
+            d.write_u64(h.applied_seq);
+            d.write_u64(h.registry_digest);
+            d.write_u64(h.handled);
+            d.write_u64(h.dead);
+            d.write_u64(h.orphans);
+            d.write_u64(h.nobee);
+            d.write_u64(h.queued);
+            d.write_u64(h.malformed_spans);
+            d.write_u64(h.colonies.len() as u64);
+            for (bee, colony) in &h.colonies {
+                d.write_u64(bee.0);
+                d.write_u64(colony.len() as u64);
+                for cell in colony {
+                    d.write(cell.dict.as_bytes());
+                    d.write(&[0]);
+                    d.write(cell.key.as_bytes());
+                    d.write(&[0]);
+                }
+            }
+            for (bee, dicts) in &h.dicts {
+                d.write_u64(bee.0);
+                d.write_u64(dicts.len() as u64);
+                for (name, entries) in dicts {
+                    d.write(name.as_bytes());
+                    d.write(&[0]);
+                    d.write_u64(entries.len() as u64);
+                    for (k, v) in entries {
+                        d.write(k.as_bytes());
+                        d.write(&[0]);
+                        d.write_u64(v.len() as u64);
+                        d.write(v);
+                    }
+                }
+            }
+        }
+        d.write_u64(self.fabric.dropped_app);
+        d.write_u64(self.fabric.dropped_raft);
+        d.write_u64(self.fabric.dropped_control);
+        d.write_u64(self.fabric.duplicated_app);
+        d.write_u64(self.fabric.duplicated_raft);
+        d.write_u64(self.fabric.duplicated_control);
+        d.write_u64(self.fabric.reordered);
+        d.write_u64(self.in_flight_app);
+        d.write_u64(self.ledger.total());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_audit(tick: u64) -> ClusterAudit {
+        ClusterAudit {
+            tick,
+            emits: 0,
+            live: Vec::new(),
+            fabric: FaultStats::default(),
+            in_flight_app: 0,
+            ledger: CrashLedger::default(),
+        }
+    }
+
+    fn hive_audit(id: u32) -> HiveAudit {
+        HiveAudit {
+            id: HiveId(id),
+            applied_seq: 0,
+            registry_digest: 0,
+            handled: 0,
+            dead: 0,
+            orphans: 0,
+            nobee: 0,
+            queued: 0,
+            colonies: Vec::new(),
+            dicts: Vec::new(),
+            malformed_spans: 0,
+        }
+    }
+
+    #[test]
+    fn ownership_flags_double_owned_cell() {
+        let mut audit = empty_audit(3);
+        let cell = Cell::new("d", "k");
+        let mut h1 = hive_audit(1);
+        h1.colonies = vec![(BeeId(11), vec![cell.clone()])];
+        let mut h2 = hive_audit(2);
+        h2.colonies = vec![(BeeId(22), vec![cell.clone()])];
+        audit.live = vec![h1, h2];
+        let v = check_ownership(&audit);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].checker, "ownership");
+        assert_eq!(v[0].tick, 3);
+    }
+
+    #[test]
+    fn ownership_flags_bee_on_two_hives() {
+        let mut audit = empty_audit(0);
+        let mut h1 = hive_audit(1);
+        h1.colonies = vec![(BeeId(7), vec![Cell::new("d", "a")])];
+        let mut h2 = hive_audit(2);
+        h2.colonies = vec![(BeeId(7), vec![Cell::new("d", "b")])];
+        audit.live = vec![h1, h2];
+        let v = check_ownership(&audit);
+        assert!(v.iter().any(|v| v.detail.contains("active on")));
+    }
+
+    #[test]
+    fn registry_agreement_only_compares_equal_seq() {
+        let mut audit = empty_audit(0);
+        let mut h1 = hive_audit(1);
+        h1.applied_seq = 5;
+        h1.registry_digest = 0xAA;
+        let mut h2 = hive_audit(2);
+        h2.applied_seq = 6; // lagging/ahead: different prefix, no comparison
+        h2.registry_digest = 0xBB;
+        audit.live = vec![h1.clone(), h2];
+        assert!(check_registry_agreement(&audit).is_empty());
+        let mut h3 = hive_audit(3);
+        h3.applied_seq = 5;
+        h3.registry_digest = 0xCC; // same prefix, different mirror: bug
+        audit.live = vec![h1, h3];
+        assert_eq!(check_registry_agreement(&audit).len(), 1);
+    }
+
+    #[test]
+    fn conservation_balances_and_detects_loss() {
+        let mut audit = empty_audit(0);
+        audit.emits = 10;
+        let mut h = hive_audit(1);
+        h.handled = 6;
+        h.queued = 1;
+        audit.live = vec![h];
+        audit.fabric.dropped_app = 2;
+        audit.in_flight_app = 1;
+        assert!(check_conservation(&audit).is_empty());
+        audit.emits = 11; // one message now unaccounted for
+        let v = check_conservation(&audit);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("missing 1"));
+    }
+
+    #[test]
+    fn atomicity_flags_torn_pair() {
+        let mut audit = empty_audit(0);
+        let mut h = hive_audit(1);
+        h.dicts = vec![(
+            BeeId(1),
+            vec![
+                ("left".to_string(), vec![("k".to_string(), vec![2])]),
+                ("right".to_string(), vec![("k".to_string(), vec![1])]),
+            ],
+        )];
+        audit.live = vec![h];
+        let v = check_atomicity(&audit, "left", "right");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].checker, "atomicity");
+    }
+
+    #[test]
+    fn digest_is_order_and_content_sensitive() {
+        let mut a = Digest::new();
+        let mut b = Digest::new();
+        empty_audit(1).fold_into(&mut a);
+        empty_audit(1).fold_into(&mut b);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Digest::new();
+        empty_audit(2).fold_into(&mut c);
+        assert_ne!(a.finish(), c.finish());
+    }
+}

@@ -340,6 +340,79 @@ fn one_vs_five_hives_identical_state() {
     assert_eq!(centralized, distributed);
 }
 
+/// Chaos-lite equivalence: the same seeded fault schedule (handler faults
+/// only — every fault the redelivery layer fully masks) run with 1 and with
+/// 4 executor workers must land on the identical final dictionary state and
+/// the identical conservation counters. Parallelism may reorder work inside
+/// a round, but it must not change what the application computed or what
+/// the platform accounted.
+#[test]
+fn chaos_lite_workers_one_vs_four_equivalent() {
+    use beehive::sim::chaos::{run_seed, ChaosConfig};
+
+    let cfg = ChaosConfig {
+        ticks: 30,
+        quiet_ticks: 20,
+        wire_faults: false,
+        crashes: false,
+        migrations: false,
+        min_windows: 2,
+        max_windows: 4,
+        ..Default::default()
+    };
+    for seed in [3u64, 11] {
+        let seq = run_seed(
+            seed,
+            &ChaosConfig {
+                workers: 1,
+                ..cfg.clone()
+            },
+        );
+        let par = run_seed(
+            seed,
+            &ChaosConfig {
+                workers: 4,
+                ..cfg.clone()
+            },
+        );
+        assert!(
+            seq.violations.is_empty(),
+            "seed {seed}: {:?}",
+            seq.violations
+        );
+        assert!(
+            par.violations.is_empty(),
+            "seed {seed}: {:?}",
+            par.violations
+        );
+        assert_eq!(
+            seq.final_left, par.final_left,
+            "seed {seed}: workers=4 must produce the identical final dictionary"
+        );
+        assert_eq!(
+            (
+                seq.emits,
+                seq.handled,
+                seq.dead_lettered,
+                seq.dropped_app,
+                seq.lost
+            ),
+            (
+                par.emits,
+                par.handled,
+                par.dead_lettered,
+                par.dropped_app,
+                par.lost
+            ),
+            "seed {seed}: conservation counters must match across worker counts"
+        );
+        assert!(
+            seq.emits > 0 && seq.handled == seq.emits,
+            "lossless schedule fully masked"
+        );
+    }
+}
+
 #[test]
 fn money_is_conserved() {
     let ops = workload(99, 80);

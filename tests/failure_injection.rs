@@ -394,3 +394,46 @@ fn quarantine_opens_and_recovers_via_half_open_probe() {
     assert_eq!(count, 3, "breaker closed after the successful probe");
     assert_eq!(c.hive(HiveId(1)).counters().quarantines, 1, "opened once");
 }
+
+/// Regression: `requeue_dead_letters` must reset each envelope's delivery
+/// count. A requeued message carries `deliveries = max_redeliveries + 1`
+/// from its first life; without the reset it would bounce straight back to
+/// the DLQ instead of getting the fresh budget the API promises.
+#[test]
+fn requeued_dead_letters_get_a_fresh_redelivery_budget() {
+    let mut c = SimCluster::new(
+        ClusterConfig {
+            hives: 1,
+            voters: 0,
+            quarantine_threshold: 0,
+            ..Default::default()
+        },
+        |h| h.install(counter()),
+    );
+    // Fail all 4 attempts (first + 3 redeliveries) so the message
+    // dead-letters.
+    c.set_faults(FabricFaults::default().fail_handler("counter", "Inc", 4));
+    c.hive_mut(HiveId(1)).emit(Inc { key: "k".into() });
+    c.advance(10_000, 50);
+    assert_eq!(c.hive(HiveId(1)).dead_letters().snapshot().len(), 1);
+    assert_eq!(c.hive(HiveId(1)).counters().dead_letters, 1);
+
+    // The fault is gone; requeue must replay the message successfully.
+    assert_eq!(c.hive_mut(HiveId(1)).requeue_dead_letters(), 1);
+    c.advance(10_000, 50);
+    let (bee, _) = c.hive(HiveId(1)).local_bees("counter")[0];
+    let count: u64 = c
+        .hive(HiveId(1))
+        .peek_state("counter", bee, "c", "k")
+        .expect("state after requeue");
+    assert_eq!(count, 1, "requeued message applied");
+    assert!(
+        c.hive(HiveId(1)).dead_letters().is_empty(),
+        "no second dead-lettering: the budget was reset"
+    );
+    assert_eq!(
+        c.hive(HiveId(1)).counters().dead_letters,
+        1,
+        "counter unchanged by the successful requeue"
+    );
+}

@@ -170,6 +170,94 @@ fn migration_to_current_hive_is_a_noop() {
     assert_eq!(sum_of(&c, "x"), 3);
 }
 
+/// Crash the source hive mid-migration: the state snapshot has been shipped
+/// and staged at the destination, but the source dies before its
+/// `MoveBee` proposal reaches the registry leader. The destination's
+/// `recover_from` must adopt the staged bee — the registry converges to
+/// exactly one owner and the cell (with its state) is not lost.
+#[test]
+fn source_crash_between_migrate_state_and_commit_loses_nothing() {
+    use beehive::sim::{check_ownership, gather, CrashLedger};
+
+    let mut c = cluster(3);
+    let leader = c
+        .ids()
+        .into_iter()
+        .find(|&id| c.hive(id).is_registry_leader())
+        .expect("a registry leader");
+    // Three distinct roles: the bee's source (not the leader), the
+    // migration destination (the remaining hive), and the leader.
+    let src = c.ids().into_iter().find(|&id| id != leader).unwrap();
+    let dest = c
+        .ids()
+        .into_iter()
+        .find(|&id| id != leader && id != src)
+        .unwrap();
+
+    // Create the bee on `src` (cells are assigned to the emitting hive).
+    c.hive_mut(src).emit(Add {
+        key: "mm".into(),
+        value: 42,
+    });
+    c.advance(3_000, 50);
+    let (bee, owner) = bee_location(&c, "mm");
+    assert_eq!(owner, src);
+
+    // Cut src off from the leader only: the direct src→dest MigrateState
+    // ships, but src's MoveBee proposal can never commit.
+    c.fabric.partition(src, leader);
+    c.hive_mut(src).request_migration("adder", bee, src, dest);
+    c.advance(1_000, 50);
+    assert_eq!(
+        c.hive(dest).registry_view().hive_of(bee),
+        Some(src),
+        "MoveBee must not have committed while src is cut from the leader"
+    );
+
+    // The source dies with the move un-committed; heal the survivors.
+    let _ = c.crash(src);
+    c.fabric.heal();
+    c.advance(1_000, 50);
+
+    // The destination holds the staged snapshot and proposes the adoption.
+    let adopted = c.hive_mut(dest).recover_from(src);
+    assert_eq!(adopted, 1, "the staged mid-migration bee is recoverable");
+    c.advance(5_000, 50);
+
+    // Exactly one owner, on the destination, with the shipped state intact.
+    let audit = gather(&c, "adder", "Add", 0, 0, &CrashLedger::default());
+    assert!(
+        check_ownership(&audit).is_empty(),
+        "ownership must be exclusive after recovery: {:?}",
+        check_ownership(&audit)
+    );
+    for id in [leader, dest] {
+        assert_eq!(
+            c.hive(id).registry_view().hive_of(bee),
+            Some(dest),
+            "survivors agree the bee moved to the destination"
+        );
+    }
+    let sum: u64 = c
+        .hive(dest)
+        .peek_state("adder", bee, "sums", "mm")
+        .expect("state adopted from the staged snapshot");
+    assert_eq!(sum, 42, "no state lost in the crash");
+
+    // And the bee keeps serving.
+    c.hive_mut(leader).emit(Add {
+        key: "mm".into(),
+        value: 8,
+    });
+    c.advance(3_000, 50);
+    assert_eq!(
+        c.hive(dest)
+            .peek_state::<u64>("adder", bee, "sums", "mm")
+            .unwrap(),
+        50
+    );
+}
+
 #[test]
 fn concurrent_migrations_of_different_bees() {
     let mut c = cluster(3);
