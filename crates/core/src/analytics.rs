@@ -47,6 +47,14 @@ pub struct Analytics {
     decode_errors: u64,
     /// Latest quarantined-bees gauge per hive (last report wins).
     quarantined_per_hive: BTreeMap<u32, u64>,
+    /// Reliable-channel retransmissions across all hives.
+    retransmits: u64,
+    /// Duplicate frames suppressed by receiver dedup across all hives.
+    dups_suppressed: u64,
+    /// Standalone channel ack frames across all hives.
+    channel_acks: u64,
+    /// Latest outbox-depth gauge per hive (last report wins).
+    outbox_depth_per_hive: BTreeMap<u32, u64>,
 }
 
 /// One application's aggregate load.
@@ -106,6 +114,11 @@ impl Analytics {
         self.decode_errors += report.decode_errors;
         self.quarantined_per_hive
             .insert(report.hive.0, report.quarantined);
+        self.retransmits += report.retransmits;
+        self.dups_suppressed += report.dups_suppressed;
+        self.channel_acks += report.channel_acks;
+        self.outbox_depth_per_hive
+            .insert(report.hive.0, report.outbox_depth);
         // Recompute bee counts.
         let mut bees_per_app: BTreeMap<&String, u64> = BTreeMap::new();
         for (app, _) in self.per_bee.keys() {
@@ -201,6 +214,27 @@ impl Analytics {
     /// hive.
     pub fn quarantined_bees(&self) -> u64 {
         self.quarantined_per_hive.values().sum()
+    }
+
+    /// Reliable-channel retransmissions across all hives.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
+    }
+
+    /// Duplicate frames suppressed by receiver dedup across all hives.
+    pub fn dups_suppressed(&self) -> u64 {
+        self.dups_suppressed
+    }
+
+    /// Standalone channel ack frames emitted across all hives.
+    pub fn channel_acks(&self) -> u64 {
+        self.channel_acks
+    }
+
+    /// Unacked envelopes buffered for resend, summed over the latest gauge
+    /// from each hive.
+    pub fn outbox_depth(&self) -> u64 {
+        self.outbox_depth_per_hive.values().sum()
     }
 
     /// Renders everything as Prometheus text exposition format. Each metric
@@ -312,9 +346,7 @@ impl Analytics {
         }
         // Fault-containment families render unconditionally (zeros visible)
         // so dashboards and smoke tests can rely on their presence.
-        out.push_str(
-            "# HELP beehive_handler_failures_total Failed handler invocations by kind.\n",
-        );
+        out.push_str("# HELP beehive_handler_failures_total Failed handler invocations by kind.\n");
         out.push_str("# TYPE beehive_handler_failures_total counter\n");
         push_sample(
             &mut out,
@@ -330,15 +362,30 @@ impl Analytics {
         );
         out.push_str("# HELP beehive_redeliveries_total Supervised redelivery attempts.\n");
         out.push_str("# TYPE beehive_redeliveries_total counter\n");
-        push_sample(&mut out, "beehive_redeliveries_total", &[], self.redeliveries as f64);
+        push_sample(
+            &mut out,
+            "beehive_redeliveries_total",
+            &[],
+            self.redeliveries as f64,
+        );
         out.push_str(
             "# HELP beehive_dead_letters_total Messages recorded in dead-letter queues.\n",
         );
         out.push_str("# TYPE beehive_dead_letters_total counter\n");
-        push_sample(&mut out, "beehive_dead_letters_total", &[], self.dead_letters as f64);
+        push_sample(
+            &mut out,
+            "beehive_dead_letters_total",
+            &[],
+            self.dead_letters as f64,
+        );
         out.push_str("# HELP beehive_decode_errors_total Undecodable frames or payloads.\n");
         out.push_str("# TYPE beehive_decode_errors_total counter\n");
-        push_sample(&mut out, "beehive_decode_errors_total", &[], self.decode_errors as f64);
+        push_sample(
+            &mut out,
+            "beehive_decode_errors_total",
+            &[],
+            self.decode_errors as f64,
+        );
         out.push_str("# HELP beehive_quarantined_bees Bees currently quarantined.\n");
         out.push_str("# TYPE beehive_quarantined_bees gauge\n");
         push_sample(
@@ -346,6 +393,46 @@ impl Analytics {
             "beehive_quarantined_bees",
             &[],
             self.quarantined_bees() as f64,
+        );
+        // Reliable-channel families also render unconditionally, so smoke
+        // tests can grep for zeros as well as for activity.
+        out.push_str(
+            "# HELP beehive_retransmits_total Channel frames retransmitted after an ack timeout.\n",
+        );
+        out.push_str("# TYPE beehive_retransmits_total counter\n");
+        push_sample(
+            &mut out,
+            "beehive_retransmits_total",
+            &[],
+            self.retransmits as f64,
+        );
+        out.push_str(
+            "# HELP beehive_dups_suppressed_total Duplicate frames absorbed by receiver dedup.\n",
+        );
+        out.push_str("# TYPE beehive_dups_suppressed_total counter\n");
+        push_sample(
+            &mut out,
+            "beehive_dups_suppressed_total",
+            &[],
+            self.dups_suppressed as f64,
+        );
+        out.push_str("# HELP beehive_channel_acks_total Standalone channel ack frames emitted.\n");
+        out.push_str("# TYPE beehive_channel_acks_total counter\n");
+        push_sample(
+            &mut out,
+            "beehive_channel_acks_total",
+            &[],
+            self.channel_acks as f64,
+        );
+        out.push_str(
+            "# HELP beehive_outbox_depth Unacked envelopes buffered for resend across hives.\n",
+        );
+        out.push_str("# TYPE beehive_outbox_depth gauge\n");
+        push_sample(
+            &mut out,
+            "beehive_outbox_depth",
+            &[],
+            self.outbox_depth() as f64,
         );
         push_histogram_family(
             &mut out,
@@ -613,6 +700,10 @@ mod tests {
             dead_letters: 0,
             decode_errors: 0,
             quarantined: 0,
+            retransmits: 0,
+            dups_suppressed: 0,
+            channel_acks: 0,
+            outbox_depth: 0,
         }
     }
 
@@ -712,8 +803,14 @@ mod tests {
         let mut a = Analytics::new();
         // Zero-state exposition still carries every fault family.
         let text = a.render_prometheus();
-        assert!(text.contains("beehive_handler_failures_total{kind=\"error\"} 0"), "{text}");
-        assert!(text.contains("beehive_handler_failures_total{kind=\"panic\"} 0"), "{text}");
+        assert!(
+            text.contains("beehive_handler_failures_total{kind=\"error\"} 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("beehive_handler_failures_total{kind=\"panic\"} 0"),
+            "{text}"
+        );
         assert!(text.contains("beehive_redeliveries_total 0"), "{text}");
         assert!(text.contains("beehive_dead_letters_total 0"), "{text}");
         assert!(text.contains("beehive_decode_errors_total 0"), "{text}");
@@ -742,10 +839,54 @@ mod tests {
         assert_eq!(a.quarantined_bees(), 2, "hive 1 recovered, hive 2 has two");
 
         let text = a.render_prometheus();
-        assert!(text.contains("beehive_handler_failures_total{kind=\"error\"} 3"), "{text}");
-        assert!(text.contains("beehive_handler_failures_total{kind=\"panic\"} 1"), "{text}");
+        assert!(
+            text.contains("beehive_handler_failures_total{kind=\"error\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("beehive_handler_failures_total{kind=\"panic\"} 1"),
+            "{text}"
+        );
         assert!(text.contains("beehive_quarantined_bees 2"), "{text}");
         assert!(a.to_string().contains("faults: 3 handler errors"), "{a}");
+    }
+
+    #[test]
+    fn channel_counters_aggregate_and_render_unconditionally() {
+        let mut a = Analytics::new();
+        // Zero-state exposition still carries every channel family, so CI
+        // can grep for zeros before any traffic flows.
+        let text = a.render_prometheus();
+        assert!(text.contains("beehive_retransmits_total 0"), "{text}");
+        assert!(text.contains("beehive_dups_suppressed_total 0"), "{text}");
+        assert!(text.contains("beehive_channel_acks_total 0"), "{text}");
+        assert!(text.contains("beehive_outbox_depth 0"), "{text}");
+
+        let mut r1 = report(1, "ls", 1, 5);
+        r1.retransmits = 4;
+        r1.dups_suppressed = 2;
+        r1.channel_acks = 3;
+        r1.outbox_depth = 6;
+        a.ingest(&r1);
+        // Counters accumulate; the depth gauge is replaced per hive.
+        let mut r1b = report(1, "ls", 1, 5);
+        r1b.retransmits = 1;
+        r1b.outbox_depth = 0;
+        a.ingest(&r1b);
+        let mut r2 = report(2, "ls", 2, 5);
+        r2.outbox_depth = 2;
+        a.ingest(&r2);
+
+        assert_eq!(a.retransmits(), 5);
+        assert_eq!(a.dups_suppressed(), 2);
+        assert_eq!(a.channel_acks(), 3);
+        assert_eq!(a.outbox_depth(), 2, "hive 1 drained, hive 2 holds two");
+
+        let text = a.render_prometheus();
+        assert!(text.contains("beehive_retransmits_total 5"), "{text}");
+        assert!(text.contains("beehive_dups_suppressed_total 2"), "{text}");
+        assert!(text.contains("beehive_channel_acks_total 3"), "{text}");
+        assert!(text.contains("beehive_outbox_depth 2"), "{text}");
     }
 
     #[test]

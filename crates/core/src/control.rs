@@ -75,6 +75,16 @@ pub enum ControlMsg {
         /// Serialized [`crate::state::BeeState`].
         state: Vec<u8>,
     },
+    /// Standalone cumulative ack for the reliable channel layer
+    /// ([`crate::channel`]): every application frame of `ack_epoch` with
+    /// sequence `<= upto` was delivered by the sending hive. Emitted only
+    /// when no return data traffic piggybacks the ack in time.
+    ChannelAck {
+        /// The receiver-tracked sender epoch the ack refers to.
+        ack_epoch: u64,
+        /// Highest contiguous delivered sequence.
+        upto: u64,
+    },
 }
 
 impl ControlMsg {

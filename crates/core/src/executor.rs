@@ -228,18 +228,18 @@ fn run_batch(worker: usize, job: BeeJob) -> BeeJobResult {
         // A panic is contained at the message boundary, exactly like `Err`:
         // roll back the transaction, classify, and let the hive supervisor
         // decide between redelivery and the dead-letter queue.
-        let outcome: Result<(), (FailureKind, String)> =
-            if faults.should_fail(&app_name, &in_type) {
-                Err((FailureKind::Error, "injected handler fault".to_string()))
-            } else {
-                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    handler.rcv(env.msg.as_ref(), &mut ctx)
-                })) {
-                    Ok(Ok(())) => Ok(()),
-                    Ok(Err(e)) => Err((FailureKind::Error, e)),
-                    Err(payload) => Err((FailureKind::Panic, panic_detail(payload.as_ref()))),
-                }
-            };
+        let outcome: Result<(), (FailureKind, String)> = if faults.should_fail(&app_name, &in_type)
+        {
+            Err((FailureKind::Error, "injected handler fault".to_string()))
+        } else {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                handler.rcv(env.msg.as_ref(), &mut ctx)
+            })) {
+                Ok(Ok(())) => Ok(()),
+                Ok(Err(e)) => Err((FailureKind::Error, e)),
+                Err(payload) => Err((FailureKind::Panic, panic_detail(payload.as_ref()))),
+            }
+        };
         let elapsed = started.elapsed().as_nanos() as u64;
 
         let RcvCtx {

@@ -18,6 +18,7 @@ use parking_lot::Mutex;
 
 use crate::app::{App, RcvCtx};
 use crate::cell::{Cell, Mapped};
+use crate::channel::{ChannelDelivery, ChannelTuning, ReliableChannels};
 use crate::clock::Clock;
 use crate::control::ControlMsg;
 use crate::executor::{BeeJob, Executor, Parker};
@@ -119,6 +120,19 @@ pub struct HiveConfig {
     /// same seeds make identical random choices — the hook deterministic
     /// simulation ([`beehive-sim`'s chaos harness]) relies on.
     pub rng_seed: u64,
+    /// Base retransmission timeout of the reliable channel layer
+    /// ([`crate::channel`]): an unacked application frame is re-sent after
+    /// this delay, backed off exponentially per attempt with deterministic
+    /// jitter (same shape as [`HiveConfig::redelivery_backoff_ms`]).
+    pub channel_resend_ms: u64,
+    /// How many unacked frames per peer the retransmit scan covers each
+    /// step. The resend buffer itself is unbounded (dropping would lose
+    /// messages); the window only bounds per-step retransmission work.
+    pub channel_window: usize,
+    /// Coalescing delay for standalone ack frames: a receiver with no
+    /// return traffic flushes one cumulative ack after this many ms, so an
+    /// N-message one-way burst produces O(1) ack frames.
+    pub channel_ack_flush_ms: u64,
 }
 
 impl HiveConfig {
@@ -146,6 +160,9 @@ impl HiveConfig {
             overflow_policy: OverflowPolicy::default(),
             dead_letter_capacity: 1024,
             rng_seed: 0,
+            channel_resend_ms: 200,
+            channel_window: 1024,
+            channel_ack_flush_ms: 5,
         }
     }
 
@@ -330,6 +347,13 @@ pub struct Hive {
     /// Last ms an undecodable-payload warning was logged per peer
     /// (rate-limits the log, not the counter).
     decode_error_logged: HashMap<HiveId, u64>,
+    /// Reliable channel layer toward peers: per-peer sequencing, cumulative
+    /// acks, retransmission and receiver dedup, journaled to the storage dir
+    /// when one is configured (see [`crate::channel`]).
+    channels: ReliableChannels,
+    /// Last outbox-depth gauge pushed into instrumentation (skip the lock
+    /// when nothing changed).
+    last_outbox_depth: u64,
     /// The worker pool when `cfg.workers > 1`; `None` = sequential.
     executor: Option<Executor>,
     /// Parker for [`Hive::run`]'s idle wait, shared with every
@@ -408,6 +432,16 @@ impl Hive {
         };
         let tracer = Arc::new(TraceCollector::new(cfg.trace_capacity));
         let dead_letters = Arc::new(DeadLetterStore::new(cfg.dead_letter_capacity));
+        let channels = ReliableChannels::new(
+            cfg.id,
+            ChannelTuning {
+                resend_ms: cfg.channel_resend_ms,
+                window: cfg.channel_window,
+                ack_flush_ms: cfg.channel_ack_flush_ms,
+            },
+            cfg.registry_storage_dir.as_deref(),
+            clock.now_ms(),
+        );
         let (handle_tx, handle_rx) = unbounded();
         let mut msg_registry = MessageRegistry::new();
         msg_registry.register::<Tick>();
@@ -446,6 +480,8 @@ impl Hive {
             retry_queue: VecDeque::new(),
             quarantine_timers: Vec::new(),
             decode_error_logged: HashMap::new(),
+            channels,
+            last_outbox_depth: 0,
             executor,
             parker: Arc::new(Parker::new()),
         };
@@ -760,6 +796,13 @@ impl Hive {
         out
     }
 
+    /// Reliable-channel statistics: per-peer sequencing, dedup and
+    /// retransmission counters. The chaos conservation checker derives its
+    /// in-transit term from `sent`/`delivered`.
+    pub fn channel_stats(&self) -> crate::channel::ChannelStats {
+        self.channels.stats()
+    }
+
     /// Forces a local bee to own `cells` for `app` WITHOUT consulting the
     /// registry — a deliberately broken path that violates ownership
     /// exclusivity. Exists only so chaos tests can prove the invariant
@@ -795,10 +838,17 @@ impl Hive {
         while let Some((from, frame)) = self.transport.try_recv() {
             work += 1;
             match frame.kind {
-                FrameKind::App => match WireEnvelope::to_envelope(&frame.bytes, &self.msg_registry)
-                {
-                    Ok(env) => self.dispatch_queue.push_back(env),
-                    Err(_) => self.note_decode_error(Some(from)),
+                FrameKind::App => match self.channels.on_frame(from, &frame.bytes, now) {
+                    ChannelDelivery::Deliver(env_bytes) => {
+                        match WireEnvelope::to_envelope(&env_bytes, &self.msg_registry) {
+                            Ok(env) => self.dispatch_queue.push_back(env),
+                            Err(_) => self.note_decode_error(Some(from)),
+                        }
+                    }
+                    // A retransmission or fabric duplicate of a frame
+                    // already delivered: absorbed (and re-acked) by dedup.
+                    ChannelDelivery::Duplicate => {}
+                    ChannelDelivery::Malformed => self.note_decode_error(Some(from)),
                 },
                 FrameKind::Raft => {
                     match beehive_wire::from_slice::<beehive_raft::RaftMessage>(&frame.bytes) {
@@ -892,6 +942,21 @@ impl Hive {
             self.instr.lock().quarantined = self.quarantine_timers.len() as u64;
         }
 
+        // 6d. Reliable-channel maintenance: re-send unacked application
+        // frames whose backoff elapsed and flush coalesced standalone acks
+        // for peers we owe one and sent no return traffic to.
+        if self.channels.has_pending() {
+            let chan_work = self.channels.poll(now);
+            for (to, bytes) in chan_work.retransmits {
+                self.transport.send(to, Frame::app(bytes));
+                work += 1;
+            }
+            for (to, ack_epoch, upto) in chan_work.acks {
+                self.send_control(to, &ControlMsg::ChannelAck { ack_epoch, upto });
+                work += 1;
+            }
+        }
+
         // 7. Orphan retries. Retried orphans re-enter dispatch with their
         // ORIGINAL park time, so a message that keeps failing to route is
         // re-parked with that time and genuinely expires after the TTL
@@ -934,6 +999,19 @@ impl Hive {
             if self.drain_applied() == 0 {
                 break;
             }
+        }
+
+        // 9. Channel metrics delta → instrumentation (locked only when
+        // something actually changed this step).
+        let delta = self.channels.take_delta();
+        let outbox_depth = self.channels.stats().outbox_depth;
+        if !delta.is_empty() || outbox_depth != self.last_outbox_depth {
+            let mut instr = self.instr.lock();
+            instr.retransmits += delta.retransmits;
+            instr.dups_suppressed += delta.dups_suppressed;
+            instr.channel_acks += delta.acks_sent;
+            instr.outbox_depth = outbox_depth;
+            self.last_outbox_depth = outbox_depth;
         }
         work
     }
@@ -1017,6 +1095,7 @@ impl Hive {
             || !self.orphans.is_empty()
             || !self.retry_queue.is_empty()
             || !self.quarantine_timers.is_empty()
+            || self.channels.has_pending()
         {
             park = park.min(5);
         }
@@ -1322,7 +1401,11 @@ impl Hive {
         match WireEnvelope::from_envelope(env) {
             Ok(bytes) => {
                 self.counters.relays_out += 1;
-                self.transport.send(to, Frame::app(bytes));
+                // Sequence + journal + buffer for resend; the channel frame
+                // carries a piggybacked cumulative ack toward `to`.
+                let now = self.clock.now_ms();
+                let framed = self.channels.wrap(to, bytes, now);
+                self.transport.send(to, Frame::app(framed));
             }
             Err(_) => self.note_decode_error(None),
         }
@@ -1924,6 +2007,9 @@ impl Hive {
                 };
                 self.shadows.install(&app, bee, seq, state);
                 self.counters.replica_syncs += 1;
+            }
+            ControlMsg::ChannelAck { ack_epoch, upto } => {
+                self.channels.on_ack(from, ack_epoch, upto);
             }
         }
     }

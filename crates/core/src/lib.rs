@@ -62,6 +62,7 @@
 pub mod analytics;
 pub mod app;
 pub mod cell;
+pub mod channel;
 pub mod clock;
 pub mod control;
 pub mod error;
@@ -72,6 +73,7 @@ pub mod id;
 pub mod message;
 pub mod metrics;
 pub mod optimizer;
+pub mod outbox;
 pub mod platform;
 pub mod queen;
 pub mod registry;
@@ -84,6 +86,10 @@ pub mod transport;
 pub use analytics::{Analytics, AppLoad, ProvenanceRow};
 pub use app::{App, AppBuilder, HandlerResult, MapSpec, RcvCtx};
 pub use cell::{Cell, Mapped};
+pub use channel::{
+    ChannelDelivery, ChannelDelta, ChannelFrame, ChannelStats, ChannelTuning, ChannelWork,
+    ReliableChannels,
+};
 pub use clock::{Clock, SimClock, SystemClock};
 pub use error::{Error, Result};
 pub use hive::{Hive, HiveConfig, HiveCounters, HiveHandle};
@@ -93,6 +99,7 @@ pub use metrics::{
     BeeStats, BeeStatsSnapshot, ExecutorStats, HiveMetrics, Instrumentation, LatencyHistogram,
     MsgLatency, WorkerStats, LATENCY_BUCKETS_US,
 };
+pub use outbox::{JournalEntry, Outbox, OutboxState};
 pub use platform::{collector_app, optimizer_app, Tick, COLLECTOR_APP, OPTIMIZER_APP};
 pub use queen::Delivery;
 pub use registry::{RegistryCommand, RegistryEvent, RegistryOp, RegistryState};

@@ -304,6 +304,16 @@ pub struct Instrumentation {
     /// Bees currently quarantined on this hive (gauge; retained by
     /// [`Instrumentation::take`], it describes state, not a delta).
     pub quarantined: u64,
+    /// Reliable-channel frames retransmitted after an ack timeout (delta).
+    pub retransmits: u64,
+    /// Duplicate frames suppressed by receiver-side dedup (delta).
+    pub dups_suppressed: u64,
+    /// Standalone ack frames emitted by the channel layer (delta;
+    /// piggybacked acks ride data frames and are not counted).
+    pub channel_acks: u64,
+    /// Unacked envelopes currently buffered for resend across all peers
+    /// (gauge; retained by [`Instrumentation::take`] like `quarantined`).
+    pub outbox_depth: u64,
 }
 
 impl Instrumentation {
@@ -388,8 +398,12 @@ impl Instrumentation {
         self.redeliveries += delta.redeliveries;
         self.dead_letters += delta.dead_letters;
         self.decode_errors += delta.decode_errors;
-        // Gauge: worker deltas always carry 0; the hive sets it directly.
+        self.retransmits += delta.retransmits;
+        self.dups_suppressed += delta.dups_suppressed;
+        self.channel_acks += delta.channel_acks;
+        // Gauges: worker deltas always carry 0; the hive sets them directly.
         self.quarantined = self.quarantined.max(delta.quarantined);
+        self.outbox_depth = self.outbox_depth.max(delta.outbox_depth);
     }
 
     /// Takes the counter deltas, leaving the store empty. Metadata (pinned
@@ -401,6 +415,7 @@ impl Instrumentation {
         self.bee_cells = taken.bee_cells.clone();
         self.msg_matrix = taken.msg_matrix.clone();
         self.quarantined = taken.quarantined;
+        self.outbox_depth = taken.outbox_depth;
         taken
     }
 
@@ -469,6 +484,14 @@ pub struct HiveMetrics {
     pub decode_errors: u64,
     /// Bees currently quarantined on this hive (gauge).
     pub quarantined: u64,
+    /// Reliable-channel retransmissions since the previous report.
+    pub retransmits: u64,
+    /// Duplicate frames suppressed by dedup since the previous report.
+    pub dups_suppressed: u64,
+    /// Standalone channel acks emitted since the previous report.
+    pub channel_acks: u64,
+    /// Unacked envelopes buffered for resend on this hive (gauge).
+    pub outbox_depth: u64,
 }
 crate::impl_message!(HiveMetrics);
 
@@ -705,6 +728,33 @@ mod tests {
         assert_eq!(agg.handler_failures, [1, 3]);
         assert_eq!(agg.dead_letters, 2);
         assert_eq!(agg.quarantined, 3, "gauge merges by max, not sum");
+    }
+
+    #[test]
+    fn channel_counters_flow_and_the_depth_gauge_is_retained() {
+        let mut inst = Instrumentation::default();
+        inst.retransmits = 3;
+        inst.dups_suppressed = 5;
+        inst.channel_acks = 2;
+        inst.outbox_depth = 7;
+        let taken = inst.take();
+        assert_eq!(taken.retransmits, 3);
+        assert_eq!(taken.dups_suppressed, 5);
+        assert_eq!(taken.channel_acks, 2);
+        // Deltas reset; the depth gauge survives the take.
+        assert_eq!(inst.retransmits, 0);
+        assert_eq!(inst.dups_suppressed, 0);
+        assert_eq!(inst.outbox_depth, 7);
+        let mut agg = Instrumentation::default();
+        agg.merge_delta(taken);
+        agg.merge_delta(Instrumentation {
+            retransmits: 1,
+            outbox_depth: 4,
+            ..Default::default()
+        });
+        assert_eq!(agg.retransmits, 4);
+        assert_eq!(agg.dups_suppressed, 5);
+        assert_eq!(agg.outbox_depth, 7, "gauge merges by max, not sum");
     }
 
     #[test]

@@ -1,0 +1,469 @@
+//! Durable outbox journal backing the reliable channel layer
+//! ([`crate::channel`]).
+//!
+//! Every channel-relevant event — an application envelope handed to the
+//! channel, a cumulative ack received, a frame delivered locally — is
+//! appended to a per-hive journal file in the hive's storage directory
+//! (the same directory the registry Raft state persists to). On restart the
+//! journal is replayed into an [`OutboxState`]: unacked envelopes re-enter
+//! the resend buffer (at-least-once across crashes), and the receive-side
+//! dedup state is restored so redelivered envelopes are suppressed instead
+//! of double-applied.
+//!
+//! The format is a flat sequence of `[u32 length][beehive-wire bytes]`
+//! records. Appends go straight to the file descriptor (no userspace
+//! buffering), so a SIGKILLed process loses at most the record being
+//! written; a truncated tail record is tolerated on load. Compaction
+//! rewrites the journal as a state snapshot (atomic tmp + rename) once
+//! enough incremental records accumulate.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+/// One durable record of the channel journal.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JournalEntry {
+    /// This hive's channel epoch (stamped once at channel creation and
+    /// preserved by compaction; receivers use it to tell a durable restart
+    /// from an amnesiac one).
+    Epoch {
+        /// The epoch value.
+        epoch: u64,
+    },
+    /// An application envelope was sequenced toward peer `to`. Journaled
+    /// *before* the frame reaches the transport, so the durable `next_seq`
+    /// never lags what a receiver may have seen.
+    Send {
+        /// Destination hive.
+        to: u32,
+        /// Per-peer monotonic sequence number.
+        seq: u64,
+        /// Serialized [`crate::message::WireEnvelope`].
+        env: Vec<u8>,
+    },
+    /// Peer `to` cumulatively acknowledged every sequence up to `upto`.
+    Acked {
+        /// The acking peer.
+        to: u32,
+        /// Highest contiguous acknowledged sequence.
+        upto: u64,
+    },
+    /// Frame `seq` of peer `from` (in its epoch `epoch`) was delivered to
+    /// the local dispatcher. Journaled at delivery time — before the
+    /// handler runs — so a crash-restart suppresses the retransmission
+    /// instead of double-applying it.
+    Delivered {
+        /// The sending peer.
+        from: u32,
+        /// The sender's channel epoch.
+        epoch: u64,
+        /// The delivered sequence number.
+        seq: u64,
+    },
+    /// Receive-side state for `from` was reset because its sender restarted
+    /// with a newer epoch; `retired` frames delivered under the old epoch
+    /// fold into the retired accumulator (keeps delivery stats monotonic).
+    RecvReset {
+        /// The sending peer.
+        from: u32,
+        /// The new epoch.
+        epoch: u64,
+        /// Frames delivered under the replaced epoch.
+        retired: u64,
+    },
+    /// Compaction summary of one peer's send-side state (`Send` records for
+    /// the still-unacked envelopes follow separately).
+    SendState {
+        /// The peer.
+        to: u32,
+        /// Next sequence to assign.
+        next_seq: u64,
+        /// Highest contiguous acknowledged sequence.
+        acked: u64,
+    },
+    /// Compaction summary of one peer's receive-side dedup state.
+    RecvState {
+        /// The sending peer.
+        from: u32,
+        /// The sender's epoch being tracked.
+        epoch: u64,
+        /// Contiguous delivered prefix.
+        last_delivered: u64,
+        /// Out-of-order sequences already delivered.
+        seen_ahead: Vec<u64>,
+        /// Frames delivered under earlier epochs of this peer.
+        retired: u64,
+    },
+}
+
+/// Recovered send-side state for one peer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SendRecovery {
+    /// Next sequence to assign.
+    pub next_seq: u64,
+    /// Highest contiguous acknowledged sequence.
+    pub acked: u64,
+    /// Unacked envelopes by sequence (replayed into the resend buffer).
+    pub unacked: BTreeMap<u64, Vec<u8>>,
+}
+
+/// Recovered receive-side dedup state for one peer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecvRecovery {
+    /// The sender's epoch being tracked.
+    pub epoch: u64,
+    /// Contiguous delivered prefix.
+    pub last_delivered: u64,
+    /// Out-of-order sequences already delivered.
+    pub seen_ahead: BTreeSet<u64>,
+    /// Frames delivered under earlier epochs of this peer.
+    pub retired: u64,
+}
+
+/// Everything a journal replay recovers.
+#[derive(Debug, Clone, Default)]
+pub struct OutboxState {
+    /// This hive's channel epoch, if the journal recorded one.
+    pub epoch: Option<u64>,
+    /// Send-side state per peer.
+    pub send: BTreeMap<u32, SendRecovery>,
+    /// Receive-side state per peer.
+    pub recv: BTreeMap<u32, RecvRecovery>,
+}
+
+impl OutboxState {
+    fn apply(&mut self, entry: JournalEntry) {
+        match entry {
+            JournalEntry::Epoch { epoch } => self.epoch = Some(epoch),
+            JournalEntry::Send { to, seq, env } => {
+                let s = self.send.entry(to).or_default();
+                s.next_seq = s.next_seq.max(seq + 1);
+                if seq > s.acked {
+                    s.unacked.insert(seq, env);
+                }
+            }
+            JournalEntry::Acked { to, upto } => {
+                let s = self.send.entry(to).or_default();
+                s.acked = s.acked.max(upto);
+                s.unacked.retain(|&seq, _| seq > upto);
+            }
+            JournalEntry::SendState {
+                to,
+                next_seq,
+                acked,
+            } => {
+                let s = self.send.entry(to).or_default();
+                s.next_seq = s.next_seq.max(next_seq);
+                s.acked = s.acked.max(acked);
+            }
+            JournalEntry::Delivered { from, epoch, seq } => {
+                let r = self.recv.entry(from).or_default();
+                if r.epoch == 0 && r.last_delivered == 0 && r.seen_ahead.is_empty() {
+                    r.epoch = epoch;
+                }
+                if epoch != r.epoch || seq <= r.last_delivered {
+                    return;
+                }
+                r.seen_ahead.insert(seq);
+                while r.seen_ahead.remove(&(r.last_delivered + 1)) {
+                    r.last_delivered += 1;
+                }
+            }
+            JournalEntry::RecvReset {
+                from,
+                epoch,
+                retired,
+            } => {
+                let r = self.recv.entry(from).or_default();
+                r.epoch = epoch;
+                r.last_delivered = 0;
+                r.seen_ahead.clear();
+                r.retired += retired;
+            }
+            JournalEntry::RecvState {
+                from,
+                epoch,
+                last_delivered,
+                seen_ahead,
+                retired,
+            } => {
+                let r = self.recv.entry(from).or_default();
+                r.epoch = epoch;
+                r.last_delivered = last_delivered;
+                r.seen_ahead = seen_ahead.into_iter().collect();
+                r.retired = retired;
+            }
+        }
+    }
+}
+
+/// The append-only journal file.
+pub struct Outbox {
+    path: PathBuf,
+    file: File,
+    appends_since_compact: u64,
+}
+
+impl std::fmt::Debug for Outbox {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Outbox")
+            .field("path", &self.path)
+            .field("appends_since_compact", &self.appends_since_compact)
+            .finish()
+    }
+}
+
+impl Outbox {
+    /// Opens (or creates) the journal at `path` and replays it. A truncated
+    /// tail record — a crash mid-append — is silently discarded.
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<(Outbox, OutboxState)> {
+        let path = path.into();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut state = OutboxState::default();
+        if let Ok(bytes) = std::fs::read(&path) {
+            for entry in decode_records(&bytes) {
+                state.apply(entry);
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok((
+            Outbox {
+                path,
+                file,
+                appends_since_compact: 0,
+            },
+            state,
+        ))
+    }
+
+    /// Appends one record. The write goes straight to the file descriptor
+    /// (no userspace buffering), so a killed process loses at most the
+    /// record being written.
+    pub fn append(&mut self, entry: &JournalEntry) -> io::Result<()> {
+        let bytes = beehive_wire::to_vec(entry)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut rec = Vec::with_capacity(4 + bytes.len());
+        rec.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&bytes);
+        self.file.write_all(&rec)?;
+        self.appends_since_compact += 1;
+        Ok(())
+    }
+
+    /// Number of records appended since the journal was last compacted (or
+    /// opened). The channel layer compacts once this grows large.
+    pub fn appends_since_compact(&self) -> u64 {
+        self.appends_since_compact
+    }
+
+    /// Atomically replaces the journal with `snapshot` (tmp + rename).
+    pub fn compact(&mut self, snapshot: &[JournalEntry]) -> io::Result<()> {
+        let tmp = self.path.with_extension("outbox.tmp");
+        let mut buf = Vec::new();
+        for entry in snapshot {
+            let bytes = beehive_wire::to_vec(entry)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&bytes);
+        }
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&buf)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        self.appends_since_compact = 0;
+        Ok(())
+    }
+
+    /// The journal's path (diagnostics).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Decodes `[u32 len][bytes]` records, stopping at the first truncated or
+/// undecodable record (a crash mid-append leaves at most one).
+fn decode_records(mut bytes: &[u8]) -> Vec<JournalEntry> {
+    let mut out = Vec::new();
+    loop {
+        let mut len_buf = [0u8; 4];
+        if bytes.read_exact(&mut len_buf).is_err() {
+            break;
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if bytes.len() < len {
+            break;
+        }
+        let (rec, rest) = bytes.split_at(len);
+        match beehive_wire::from_slice::<JournalEntry>(rec) {
+            Ok(entry) => out.push(entry),
+            Err(_) => break,
+        }
+        bytes = rest;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_journal(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NONCE: AtomicU64 = AtomicU64::new(0);
+        let n = NONCE.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "beehive-outbox-{}-{tag}-{n}.outbox",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn replay_reconstructs_send_and_recv_state() {
+        let path = tmp_journal("replay");
+        {
+            let (mut ob, state) = Outbox::open(&path).unwrap();
+            assert!(state.epoch.is_none());
+            ob.append(&JournalEntry::Epoch { epoch: 7 }).unwrap();
+            ob.append(&JournalEntry::Send {
+                to: 2,
+                seq: 1,
+                env: vec![0xAA],
+            })
+            .unwrap();
+            ob.append(&JournalEntry::Send {
+                to: 2,
+                seq: 2,
+                env: vec![0xBB],
+            })
+            .unwrap();
+            ob.append(&JournalEntry::Acked { to: 2, upto: 1 }).unwrap();
+            ob.append(&JournalEntry::Delivered {
+                from: 3,
+                epoch: 9,
+                seq: 1,
+            })
+            .unwrap();
+            ob.append(&JournalEntry::Delivered {
+                from: 3,
+                epoch: 9,
+                seq: 3,
+            })
+            .unwrap();
+        }
+        let (_ob, state) = Outbox::open(&path).unwrap();
+        assert_eq!(state.epoch, Some(7));
+        let s = &state.send[&2];
+        assert_eq!(s.next_seq, 3);
+        assert_eq!(s.acked, 1);
+        assert_eq!(s.unacked.len(), 1);
+        assert_eq!(s.unacked[&2], vec![0xBB]);
+        let r = &state.recv[&3];
+        assert_eq!(r.epoch, 9);
+        assert_eq!(r.last_delivered, 1);
+        assert!(r.seen_ahead.contains(&3));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_tail_record_is_tolerated() {
+        let path = tmp_journal("trunc");
+        {
+            let (mut ob, _) = Outbox::open(&path).unwrap();
+            ob.append(&JournalEntry::Epoch { epoch: 1 }).unwrap();
+            ob.append(&JournalEntry::Send {
+                to: 2,
+                seq: 1,
+                env: vec![1, 2, 3],
+            })
+            .unwrap();
+        }
+        // Simulate a crash mid-append: chop the last few bytes off.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 2]).unwrap();
+        let (_ob, state) = Outbox::open(&path).unwrap();
+        assert_eq!(state.epoch, Some(1));
+        assert!(state.send.is_empty(), "torn record must be discarded");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compaction_is_atomic_and_preserves_state() {
+        let path = tmp_journal("compact");
+        {
+            let (mut ob, _) = Outbox::open(&path).unwrap();
+            for seq in 1..=10u64 {
+                ob.append(&JournalEntry::Send {
+                    to: 4,
+                    seq,
+                    env: vec![seq as u8],
+                })
+                .unwrap();
+            }
+            ob.append(&JournalEntry::Acked { to: 4, upto: 9 }).unwrap();
+            assert_eq!(ob.appends_since_compact(), 11);
+            // Compact to the equivalent snapshot.
+            ob.compact(&[
+                JournalEntry::Epoch { epoch: 5 },
+                JournalEntry::SendState {
+                    to: 4,
+                    next_seq: 11,
+                    acked: 9,
+                },
+                JournalEntry::Send {
+                    to: 4,
+                    seq: 10,
+                    env: vec![10],
+                },
+            ])
+            .unwrap();
+            assert_eq!(ob.appends_since_compact(), 0);
+            // Appends keep working after the rename.
+            ob.append(&JournalEntry::Acked { to: 4, upto: 10 }).unwrap();
+        }
+        let (_ob, state) = Outbox::open(&path).unwrap();
+        assert_eq!(state.epoch, Some(5));
+        let s = &state.send[&4];
+        assert_eq!(s.next_seq, 11);
+        assert_eq!(s.acked, 10);
+        assert!(s.unacked.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn recv_reset_folds_retired_deliveries() {
+        let mut state = OutboxState::default();
+        state.apply(JournalEntry::Delivered {
+            from: 2,
+            epoch: 1,
+            seq: 1,
+        });
+        state.apply(JournalEntry::Delivered {
+            from: 2,
+            epoch: 1,
+            seq: 2,
+        });
+        state.apply(JournalEntry::RecvReset {
+            from: 2,
+            epoch: 8,
+            retired: 2,
+        });
+        state.apply(JournalEntry::Delivered {
+            from: 2,
+            epoch: 8,
+            seq: 1,
+        });
+        let r = &state.recv[&2];
+        assert_eq!(r.epoch, 8);
+        assert_eq!(r.last_delivered, 1);
+        assert_eq!(r.retired, 2);
+    }
+}

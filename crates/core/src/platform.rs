@@ -50,6 +50,10 @@ pub fn collector_app(instr: Arc<Mutex<Instrumentation>>) -> App {
                 && delta.dead_letters == 0
                 && delta.decode_errors == 0
                 && delta.quarantined == 0
+                && delta.retransmits == 0
+                && delta.dups_suppressed == 0
+                && delta.channel_acks == 0
+                && delta.outbox_depth == 0
             {
                 return Ok(());
             }
@@ -89,6 +93,10 @@ pub fn collector_app(instr: Arc<Mutex<Instrumentation>>) -> App {
                 dead_letters: delta.dead_letters,
                 decode_errors: delta.decode_errors,
                 quarantined: delta.quarantined,
+                retransmits: delta.retransmits,
+                dups_suppressed: delta.dups_suppressed,
+                channel_acks: delta.channel_acks,
+                outbox_depth: delta.outbox_depth,
             });
             Ok(())
         })

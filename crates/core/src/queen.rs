@@ -87,7 +87,8 @@ impl LocalBee {
 
     /// Whether the circuit breaker is open at `now_ms` (cooldown running).
     pub fn is_quarantined(&self, now_ms: u64) -> bool {
-        self.quarantined_until_ms.is_some_and(|until| now_ms < until)
+        self.quarantined_until_ms
+            .is_some_and(|until| now_ms < until)
     }
 }
 
@@ -279,7 +280,10 @@ impl Queen {
         if capacity > 0 && bee.mailbox.len() >= capacity {
             match policy {
                 OverflowPolicy::Shed => {
-                    let (_, shed) = bee.mailbox.pop_front().expect("mailbox full implies nonempty");
+                    let (_, shed) = bee
+                        .mailbox
+                        .pop_front()
+                        .expect("mailbox full implies nonempty");
                     bee.mailbox.push_back((handler, env));
                     return Delivery::Shed(shed);
                 }
@@ -361,10 +365,7 @@ impl Queen {
     /// cannot burn the whole backlog in one round.
     pub(crate) fn check_out(&mut self, id: BeeId, now_ms: u64) -> Option<CheckedOutBee> {
         let bee = self.bees.get_mut(&id)?;
-        if bee.status != BeeStatus::Active
-            || bee.mailbox.is_empty()
-            || bee.is_quarantined(now_ms)
-        {
+        if bee.status != BeeStatus::Active || bee.mailbox.is_empty() || bee.is_quarantined(now_ms) {
             return None;
         }
         let probing = bee.quarantined_until_ms.is_some();
@@ -683,7 +684,10 @@ mod tests {
         // Frozen: not runnable, not migratable, deliveries buffer.
         assert_eq!(q.runnable().count(), 0);
         assert!(q.start_migration(bid(1), HiveId(2)).is_none());
-        assert!(q.check_out(bid(1), 0).is_none(), "double checkout must fail");
+        assert!(
+            q.check_out(bid(1), 0).is_none(),
+            "double checkout must fail"
+        );
         assert!(q.deliver(bid(1), 0, env()));
         // Worker "runs" the batch: mutate state, claim a cell.
         out.state.dict_mut("S").put("k", &7u32).unwrap();

@@ -100,6 +100,9 @@ pub struct TransportCounters {
     frames_in: [AtomicU64; 3],
     bytes_in: [AtomicU64; 3],
     connect_failures: AtomicU64,
+    /// Frames queued for later delivery instead of sent (dead-peer backoff
+    /// window); flushed on reconnect, so deferred ≠ lost.
+    deferred: AtomicU64,
     /// Current dead-peer backoff window per peer, ms (absent = healthy).
     peer_backoff_ms: Mutex<BTreeMap<u32, u64>>,
 }
@@ -136,6 +139,12 @@ impl TransportCounters {
         self.peer_backoff_ms.lock().remove(&peer.0);
     }
 
+    /// Records one frame deferred (queued instead of sent) because its peer
+    /// is dead or inside a backoff window.
+    pub fn record_deferred(&self) {
+        self.deferred.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// The current backoff window applied to `peer`, if it is backed off.
     pub fn peer_backoff_ms(&self, peer: HiveId) -> Option<u64> {
         self.peer_backoff_ms.lock().get(&peer.0).copied()
@@ -156,6 +165,7 @@ impl TransportCounters {
             frames_in: read(&self.frames_in),
             bytes_in: read(&self.bytes_in),
             connect_failures: self.connect_failures.load(Ordering::Relaxed),
+            deferred: self.deferred.load(Ordering::Relaxed),
             peer_backoff_ms: self
                 .peer_backoff_ms
                 .lock()
@@ -180,6 +190,9 @@ pub struct TransportSnapshot {
     pub bytes_in: [u64; 3],
     /// Total failed connect attempts to any peer.
     pub connect_failures: u64,
+    /// Frames queued for retransmission on reconnect instead of sent (the
+    /// peer was dead or backed off). Deferred frames are not lost.
+    pub deferred: u64,
     /// Peers currently in a dead-peer backoff window: `(hive, backoff ms)`.
     pub peer_backoff_ms: Vec<(u32, u64)>,
 }
@@ -297,9 +310,12 @@ mod tests {
         c.record_connect_failure(HiveId(2), 500);
         c.record_connect_failure(HiveId(2), 1000);
         c.record_connect_failure(HiveId(3), 500);
+        c.record_deferred();
+        c.record_deferred();
         assert_eq!(c.peer_backoff_ms(HiveId(2)), Some(1000));
         let snap = c.snapshot();
         assert_eq!(snap.connect_failures, 3);
+        assert_eq!(snap.deferred, 2);
         assert_eq!(snap.peer_backoff_ms, vec![(2, 1000), (3, 500)]);
         c.record_connect_success(HiveId(2));
         assert_eq!(c.peer_backoff_ms(HiveId(2)), None);

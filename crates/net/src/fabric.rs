@@ -97,7 +97,8 @@ impl FabricFaults {
         msg_type: impl Into<String>,
         times: u32,
     ) -> Self {
-        self.handler_faults.push((app.into(), msg_type.into(), times));
+        self.handler_faults
+            .push((app.into(), msg_type.into(), times));
         self
     }
 }

@@ -5,7 +5,7 @@
 //! handshake frame (`kind = 0xFF`, empty payload) identifying itself.
 //! Outgoing connections are established lazily and re-established on error.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
@@ -31,6 +31,9 @@ const BACKOFF_CAP_MS: u64 = 10_000;
 /// Jitter range added to each window so restarting clusters don't reconnect
 /// in lockstep.
 const BACKOFF_JITTER_MS: u64 = 250;
+/// Per-peer cap on frames deferred while the peer is down; past it the
+/// oldest frame is dropped (everything above this layer retransmits).
+const DEFERRED_CAP: usize = 1024;
 
 /// Per-peer reconnect state: consecutive failures and the current window.
 #[derive(Debug, Clone, Copy)]
@@ -106,11 +109,14 @@ pub struct TcpTransport {
     peers: HashMap<HiveId, SocketAddr>,
     outgoing: Mutex<HashMap<HiveId, TcpStream>>,
     /// Per-peer reconnect backoff: sends within the current window are
-    /// dropped instead of paying a blocking connect timeout on the hive
+    /// deferred instead of paying a blocking connect timeout on the hive
     /// thread for every frame to a dead peer. The window grows
     /// exponentially (with jitter) while the peer stays dead and resets on
     /// the first successful connect.
     connect_backoff: Mutex<HashMap<HiveId, ConnectBackoff>>,
+    /// Frames queued while their peer is dead or backed off, flushed (oldest
+    /// first, ahead of new traffic) on the next successful connect.
+    deferred: Mutex<HashMap<HiveId, VecDeque<Frame>>>,
     inbox_rx: Receiver<(HiveId, Frame)>,
     _listener_addr: SocketAddr,
     shutdown: Arc<std::sync::atomic::AtomicBool>,
@@ -162,6 +168,7 @@ impl TcpTransport {
             peers,
             outgoing: Mutex::new(HashMap::new()),
             connect_backoff: Mutex::new(HashMap::new()),
+            deferred: Mutex::new(HashMap::new()),
             inbox_rx,
             _listener_addr: local_addr,
             shutdown,
@@ -195,6 +202,48 @@ impl TcpTransport {
         // Identify ourselves so the acceptor can label inbound frames.
         write_frame(&mut stream, self.id, KIND_HANDSHAKE, &[]).ok()?;
         Some(stream)
+    }
+
+    /// Queues a frame for delivery once `to` comes back. Bounded per peer:
+    /// past [`DEFERRED_CAP`] the oldest frame is dropped — the reliable
+    /// channel and Raft both retransmit above this layer, so the cap trades
+    /// a retransmit for bounded memory against a long-dead peer.
+    fn defer(&self, to: HiveId, frame: Frame) {
+        let mut deferred = self.deferred.lock();
+        let q = deferred.entry(to).or_default();
+        if q.len() >= DEFERRED_CAP {
+            q.pop_front();
+        }
+        q.push_back(frame);
+        self.counters.record_deferred();
+    }
+
+    /// Writes every frame deferred for `to` down `stream`, oldest first.
+    /// Returns `false` (leaving the unsent tail queued) if a write fails.
+    fn flush_deferred(&self, to: HiveId, stream: &mut TcpStream) -> bool {
+        loop {
+            // Pop before writing so the blocking write happens outside the
+            // deferred lock; push back on failure.
+            let Some(frame) = self
+                .deferred
+                .lock()
+                .get_mut(&to)
+                .and_then(|q| q.pop_front())
+            else {
+                return true;
+            };
+            match write_frame(stream, self.id, kind_to_byte(frame.kind), &frame.bytes) {
+                Ok(()) => self.counters.record_out(frame.kind, frame.wire_len()),
+                Err(_) => {
+                    self.deferred
+                        .lock()
+                        .entry(to)
+                        .or_default()
+                        .push_front(frame);
+                    return false;
+                }
+            }
+        }
     }
 }
 
@@ -249,10 +298,10 @@ impl Transport for TcpTransport {
             return; // hives never send to themselves over TCP
         }
         // Dead-peer backoff: don't pay a blocking connect timeout per frame
-        // to a peer that just refused — Raft and the pending-retry timers
-        // re-drive the protocols once it returns. The window doubles per
-        // consecutive failure (jittered, capped) so a long-dead peer costs
-        // at most one probe per BACKOFF_CAP_MS.
+        // to a peer that just refused — the frame is deferred and flushed on
+        // the next successful connect. The window doubles per consecutive
+        // failure (jittered, capped) so a long-dead peer costs at most one
+        // probe per BACKOFF_CAP_MS.
         {
             let backoff = self.connect_backoff.lock();
             if backoff
@@ -260,6 +309,8 @@ impl Transport for TcpTransport {
                 .is_some_and(|b| b.last_fail.elapsed() < b.window)
                 && !self.outgoing.lock().contains_key(&to)
             {
+                drop(backoff);
+                self.defer(to, frame);
                 return;
             }
         }
@@ -286,11 +337,24 @@ impl Transport for TcpTransport {
                         let window_ms = backoff_window_ms(to, entry.failures);
                         entry.window = std::time::Duration::from_millis(window_ms);
                         self.counters.record_connect_failure(to, window_ms);
-                        return; // peer unreachable; drop (protocols retry)
+                        drop(backoff);
+                        drop(outgoing);
+                        self.defer(to, frame);
+                        return;
                     }
                 }
             }
             let stream = outgoing.get_mut(&to).unwrap();
+            // Frames deferred while the peer was down go first, preserving
+            // the order the hive emitted them in.
+            if !self.flush_deferred(to, stream) {
+                outgoing.remove(&to);
+                if attempt == 1 {
+                    self.defer(to, frame);
+                    return;
+                }
+                continue;
+            }
             match write_frame(stream, self.id, kind_to_byte(frame.kind), &frame.bytes) {
                 Ok(()) => {
                     self.counters.record_out(frame.kind, frame.wire_len());
@@ -299,6 +363,7 @@ impl Transport for TcpTransport {
                 Err(_) => {
                     outgoing.remove(&to);
                     if attempt == 1 {
+                        self.defer(to, frame);
                         return;
                     }
                 }
@@ -435,12 +500,48 @@ mod tests {
         t1.send(HiveId(2), Frame::app(vec![1]));
         let snap = t1.counters().snapshot();
         assert_eq!(snap.connect_failures, 1);
-        let window = t1.counters().peer_backoff_ms(HiveId(2)).expect("backed off");
+        let window = t1
+            .counters()
+            .peer_backoff_ms(HiveId(2))
+            .expect("backed off");
         assert!(window >= BACKOFF_BASE_MS, "window {window}ms");
-        // Within the window, further sends are dropped without probing.
+        // Within the window, further sends are deferred without probing.
         t1.send(HiveId(2), Frame::app(vec![2]));
         t1.send(HiveId(2), Frame::app(vec![3]));
         assert_eq!(t1.counters().snapshot().connect_failures, 1);
+        // All three frames (including the one that hit the failed connect)
+        // are queued for retransmission, not lost.
+        assert_eq!(t1.counters().snapshot().deferred, 3);
+        assert_eq!(t1.counters().snapshot().sent(FrameKind::App), (0, 0));
+    }
+
+    #[test]
+    fn deferred_frames_flush_on_reconnect_in_order() {
+        let dead_addr = TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap();
+        let mut peers = HashMap::new();
+        peers.insert(HiveId(2), dead_addr);
+        let t1 = TcpTransport::bind(HiveId(1), "127.0.0.1:0".parse().unwrap(), peers).unwrap();
+        t1.send(HiveId(2), Frame::app(vec![1]));
+        t1.send(HiveId(2), Frame::app(vec![2]));
+        assert_eq!(t1.counters().snapshot().deferred, 2);
+        // Revive hive 2 on the same address and wait out the backoff window.
+        let t2 = TcpTransport::bind(HiveId(2), dead_addr, HashMap::new()).unwrap();
+        let window = t1
+            .counters()
+            .peer_backoff_ms(HiveId(2))
+            .expect("backed off");
+        std::thread::sleep(std::time::Duration::from_millis(window + 50));
+        // The next send reconnects and flushes the deferred queue first.
+        t1.send(HiveId(2), Frame::app(vec![3]));
+        for expect in 1..=3u8 {
+            let (from, f) = recv_blocking(&t2, 2000).expect("deferred frame arrives");
+            assert_eq!(from, HiveId(1));
+            assert_eq!(f.bytes, vec![expect]);
+        }
+        assert_eq!(t1.counters().snapshot().sent(FrameKind::App).0, 3);
     }
 
     #[test]

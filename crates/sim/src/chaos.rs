@@ -251,18 +251,16 @@ impl FaultSchedule {
         }
     }
 
-    /// Whether this schedule cannot legitimately lose or clone messages —
-    /// only delay, handler faults and forced migrations. Lossless runs get
-    /// extra final assertions: everything drains, nothing stays queued.
+    /// Whether this schedule cannot legitimately lose messages. The
+    /// reliable channel layer masks every link fault — drop, duplicate,
+    /// reorder, delay and partition windows are retransmitted through or
+    /// deduplicated — so only crashes (and the deliberate ownership bug)
+    /// may still destroy messages. Lossless runs get extra final
+    /// assertions: everything drains, nothing stays queued or in transit.
     pub fn is_lossless(&self) -> bool {
-        self.windows.iter().all(|w| {
-            matches!(
-                w.kind,
-                FaultKind::Delay { .. }
-                    | FaultKind::HandlerFault { .. }
-                    | FaultKind::ForceMigration
-            )
-        })
+        self.windows
+            .iter()
+            .all(|w| !matches!(w.kind, FaultKind::Crash { .. } | FaultKind::OwnershipBug))
     }
 }
 
@@ -349,6 +347,10 @@ pub struct RunReport {
     pub duplicated_app: u64,
     /// Orphaned + no-bee losses on live hives plus the crash ledger.
     pub lost: u64,
+    /// Channel frames retransmitted by live hives.
+    pub retransmits: u64,
+    /// Duplicate channel frames suppressed by live hives' receiver dedup.
+    pub dups_suppressed: u64,
     /// Workload messages still queued at the end.
     pub queued: u64,
     /// App frames still on the fabric at the end.
@@ -382,6 +384,9 @@ pub fn run(schedule: &FaultSchedule, cfg: &ChaosConfig) -> RunReport {
         quarantine_cooldown_ms: 5_000,
         mailbox_capacity: 0,
         dead_letter_capacity: 1_000_000,
+        channel_resend_ms: 100, // retransmit within a 250 ms tick
+        channel_window: 1024,
+        channel_ack_flush_ms: 5,
         seed: schedule.seed,
         registry_storage_dir: storage.clone(),
     };
@@ -418,10 +423,15 @@ pub fn run(schedule: &FaultSchedule, cfg: &ChaosConfig) -> RunReport {
                 .iter()
                 .any(|w| matches!(w.kind, FaultKind::Crash { hive } if hive == id.0));
             if should_be_down && cluster.is_up(id) {
-                let (dead, cleared) = cluster.crash(id);
-                ledger.absorb(&dead, cleared.app, "ChaosOp");
+                // The cleared fabric frames are not folded in: their senders'
+                // reliable channels retransmit them after the restart.
+                let (dead, _cleared) = cluster.crash(id);
+                ledger.absorb(&dead, "ChaosOp");
             } else if !should_be_down && !cluster.is_up(id) {
                 cluster.restart(id);
+                // The revived hive replayed its outbox journal; its restored
+                // channel accounting comes back out of the ledger.
+                ledger.restore(cluster.hive(id));
             }
         }
 
@@ -547,13 +557,17 @@ pub fn run(schedule: &FaultSchedule, cfg: &ChaosConfig) -> RunReport {
 
     let audit = last_audit.expect("at least one tick ran");
     let queued: u64 = audit.live.iter().map(|h| h.queued).sum();
-    if schedule.is_lossless() && violations.is_empty() && (queued > 0 || audit.in_flight_app > 0) {
+    if schedule.is_lossless()
+        && violations.is_empty()
+        && (queued > 0 || audit.in_flight_app > 0 || audit.in_transit() != 0)
+    {
         violations.push(Violation {
             checker: "drain",
             tick: audit.tick,
             detail: format!(
-                "lossless schedule did not drain: {queued} queued, {} in flight",
-                audit.in_flight_app
+                "lossless schedule did not drain: {queued} queued, {} in flight, {} in transit",
+                audit.in_flight_app,
+                audit.in_transit()
             ),
         });
     }
@@ -584,6 +598,8 @@ pub fn run(schedule: &FaultSchedule, cfg: &ChaosConfig) -> RunReport {
         lost: audit.live.iter().map(|h| h.orphans + h.nobee).sum::<u64>()
             + ledger.orphans
             + ledger.nobee,
+        retransmits: audit.live.iter().map(|h| h.retransmits).sum(),
+        dups_suppressed: audit.live.iter().map(|h| h.dups_suppressed).sum(),
         queued,
         in_flight_app: audit.in_flight_app,
         final_left,

@@ -41,6 +41,13 @@ pub struct ClusterConfig {
     pub mailbox_capacity: usize,
     /// Capacity of each hive's dead-letter ring.
     pub dead_letter_capacity: usize,
+    /// Base reliable-channel retransmit timeout (ms); doubles per attempt.
+    pub channel_resend_ms: u64,
+    /// Max unacked channel frames retransmitted per peer per poll.
+    pub channel_window: usize,
+    /// Delay before a standalone channel ack flushes (ms), letting one ack
+    /// frame cover a burst.
+    pub channel_ack_flush_ms: u64,
     /// Seed mixed into each hive's internal randomness
     /// ([`HiveConfig::rng_seed`]); the chaos harness sets it per run so a
     /// whole cluster's random choices replay from one number.
@@ -70,6 +77,9 @@ impl Default for ClusterConfig {
             quarantine_cooldown_ms: 5_000,
             mailbox_capacity: 0,
             dead_letter_capacity: 1024,
+            channel_resend_ms: 200,
+            channel_window: 1024,
+            channel_ack_flush_ms: 5,
             seed: 0,
             registry_storage_dir: None,
         }
@@ -103,6 +113,9 @@ fn build_hive(
     hive_cfg.quarantine_cooldown_ms = cfg.quarantine_cooldown_ms;
     hive_cfg.mailbox_capacity = cfg.mailbox_capacity;
     hive_cfg.dead_letter_capacity = cfg.dead_letter_capacity;
+    hive_cfg.channel_resend_ms = cfg.channel_resend_ms;
+    hive_cfg.channel_window = cfg.channel_window;
+    hive_cfg.channel_ack_flush_ms = cfg.channel_ack_flush_ms;
     hive_cfg.rng_seed = cfg.seed;
     if let Some(dir) = &cfg.registry_storage_dir {
         hive_cfg.registry_storage_dir = Some(dir.clone());

@@ -11,8 +11,10 @@
 //!    applied the same committed prefix (equal `applied_seq`) hold
 //!    byte-identical registry mirrors.
 //! 3. **Message conservation** ([`check_conservation`]): every external
-//!    emit is handled, queued, in flight, dead-lettered, dropped with a
-//!    counter, or absorbed by a crash ledger — nothing vanishes silently.
+//!    emit is handled, queued, dead-lettered, absorbed by a crash ledger,
+//!    or still in transit on a reliable channel — nothing vanishes
+//!    silently. Fabric drops and duplicates no longer enter the equation:
+//!    the channel layer retransmits the former and suppresses the latter.
 //! 4. **Transaction atomicity** ([`check_atomicity`]): paired dictionary
 //!    writes performed in one transaction are never observed torn, across
 //!    crashes and restarts.
@@ -65,27 +67,48 @@ pub struct CrashLedger {
     pub nobee: u64,
     /// Workload messages queued inside crashed hives (lost with them).
     pub queued: u64,
-    /// Workload (app) frames discarded from crashed hives' fabric queues.
-    pub cleared_app: u64,
+    /// Channel sequence numbers issued by crashed hives (`chan_sent` at
+    /// crash time), kept so cluster-wide in-transit accounting survives the
+    /// crash.
+    pub chan_sent: u64,
+    /// Channel deliveries recorded by crashed hives (`chan_delivered` at
+    /// crash time).
+    pub chan_delivered: u64,
 }
 
 impl CrashLedger {
     /// Folds a freshly crashed hive into the ledger: its counters, the
     /// workload messages (wire-type suffix `suffix`) still queued inside it,
-    /// and the `cleared_app` frames its fabric queue lost.
-    pub fn absorb(&mut self, hive: &Hive, cleared_app: u64, suffix: &str) {
+    /// and its channel send/delivery accounting. Fabric frames cleared at
+    /// crash time are *not* lost anymore — the senders' reliable channels
+    /// retransmit them — so nothing else is absorbed.
+    pub fn absorb(&mut self, hive: &Hive, suffix: &str) {
         let c = hive.counters();
         self.handled += c.handled_ok;
         self.dead += c.dead_letters;
         self.orphans += c.dropped_orphans;
         self.nobee += c.lost_no_bee;
         self.queued += hive.queued_messages(suffix);
-        self.cleared_app += cleared_app;
+        let ch = hive.channel_stats();
+        self.chan_sent += ch.sent;
+        self.chan_delivered += ch.delivered;
     }
 
-    /// Total messages the ledger accounts for.
+    /// Subtracts a durably restarted hive's recovered channel accounting:
+    /// its outbox journal restored the per-peer sequence and dedup state, so
+    /// whatever the revived hive now reports again must come back out of the
+    /// ledger to avoid double counting. Amnesiac restarts report zero and
+    /// subtract nothing.
+    pub fn restore(&mut self, hive: &Hive) {
+        let ch = hive.channel_stats();
+        self.chan_sent = self.chan_sent.saturating_sub(ch.sent);
+        self.chan_delivered = self.chan_delivered.saturating_sub(ch.delivered);
+    }
+
+    /// Total messages the ledger accounts for (channel counters excluded —
+    /// they feed the in-transit term, not the consumed side).
     pub fn total(&self) -> u64 {
-        self.handled + self.dead + self.orphans + self.nobee + self.queued + self.cleared_app
+        self.handled + self.dead + self.orphans + self.nobee + self.queued
     }
 }
 
@@ -108,6 +131,14 @@ pub struct HiveAudit {
     pub nobee: u64,
     /// Workload messages queued anywhere inside the hive.
     pub queued: u64,
+    /// Channel sequence numbers issued toward peers (reliable-channel sends).
+    pub chan_sent: u64,
+    /// Channel deliveries accepted by dedup (monotonic across peer epochs).
+    pub chan_delivered: u64,
+    /// Channel frames retransmitted after an ack timeout.
+    pub retransmits: u64,
+    /// Duplicate channel frames suppressed by receiver dedup.
+    pub dups_suppressed: u64,
     /// Active bees of the audited app with their colonies, sorted by bee id.
     pub colonies: Vec<(BeeId, Vec<Cell>)>,
     /// Per-bee dictionary contents, parallel to `colonies`.
@@ -150,6 +181,7 @@ pub fn gather(
     let mut live = Vec::new();
     for hive in cluster.hives() {
         let c = hive.counters();
+        let ch = hive.channel_stats();
         let colonies = hive.active_colonies(app);
         let dicts = colonies
             .iter()
@@ -170,6 +202,10 @@ pub fn gather(
             orphans: c.dropped_orphans,
             nobee: c.lost_no_bee,
             queued: hive.queued_messages(suffix),
+            chan_sent: ch.sent,
+            chan_delivered: ch.delivered,
+            retransmits: ch.retransmits,
+            dups_suppressed: ch.dups_suppressed,
             colonies,
             dicts,
             malformed_spans,
@@ -248,29 +284,41 @@ pub fn check_registry_agreement(audit: &ClusterAudit) -> Vec<Violation> {
     out
 }
 
-/// Message conservation: external emits (plus fabric duplicates) must equal
-/// everything handled, queued, in flight, dead-lettered, dropped with a
-/// counter, or absorbed by the crash ledger.
+/// Message conservation: every external emit must be handled, queued,
+/// dead-lettered, dropped with a counter, absorbed by the crash ledger, or
+/// still in transit on a reliable channel.
 ///
-/// Assumes the audited app is the only source of app-kind frames (chaos runs
-/// disable platform ticks and install only the workload app), so the
-/// fabric's per-kind counts line up with the workload.
+/// Fabric-level drops, duplicates and queued frames no longer enter the
+/// equation: the channel layer retransmits drops, suppresses duplicates,
+/// and owns every relayed frame from `wrap` to delivery — all of which is
+/// captured by `in_transit = chan_sent − chan_delivered` (including crashed
+/// hives' ledgered counts). The term is signed: an amnesiac receiver
+/// restart legitimately re-delivers, making cumulative deliveries exceed
+/// sends, with the double-handling showing up in `handled`.
 pub fn check_conservation(audit: &ClusterAudit) -> Vec<Violation> {
-    let produced = audit.emits + audit.fabric.duplicated_app;
     let live: u64 = audit
         .live
         .iter()
         .map(|h| h.handled + h.dead + h.orphans + h.nobee + h.queued)
         .sum();
-    let consumed = live + audit.ledger.total() + audit.fabric.dropped_app + audit.in_flight_app;
-    if produced != consumed {
+    let in_transit = audit.in_transit();
+    let consumed = i128::from(live) + i128::from(audit.ledger.total()) + in_transit;
+    if i128::from(audit.emits) != consumed {
         let per_hive: Vec<String> = audit
             .live
             .iter()
             .map(|h| {
                 format!(
-                    "{}: handled={} dead={} orphans={} nobee={} queued={}",
-                    h.id, h.handled, h.dead, h.orphans, h.nobee, h.queued
+                    "{}: handled={} dead={} orphans={} nobee={} queued={} \
+                     chan_sent={} chan_delivered={}",
+                    h.id,
+                    h.handled,
+                    h.dead,
+                    h.orphans,
+                    h.nobee,
+                    h.queued,
+                    h.chan_sent,
+                    h.chan_delivered
                 )
             })
             .collect();
@@ -278,15 +326,12 @@ pub fn check_conservation(audit: &ClusterAudit) -> Vec<Violation> {
             checker: "conservation",
             tick: audit.tick,
             detail: format!(
-                "emits {} + dup {} != live {} + ledger {} + dropped {} + in-flight {} \
-                 (missing {}) [{}]",
+                "emits {} != live {} + ledger {} + in-transit {} (missing {}) [{}]",
                 audit.emits,
-                audit.fabric.duplicated_app,
                 live,
                 audit.ledger.total(),
-                audit.fabric.dropped_app,
-                audit.in_flight_app,
-                produced as i64 - consumed as i64,
+                in_transit,
+                i128::from(audit.emits) - consumed,
                 per_hive.join("; ")
             ),
         }];
@@ -404,6 +449,17 @@ impl Digest {
 }
 
 impl ClusterAudit {
+    /// Messages currently owned by reliable channels (sent but not yet
+    /// accepted by receiver dedup), cluster-wide and including crashed
+    /// hives' ledgered counts. Negative when an amnesiac receiver restart
+    /// caused legitimate re-deliveries.
+    pub fn in_transit(&self) -> i128 {
+        let sent: u64 = self.live.iter().map(|h| h.chan_sent).sum::<u64>() + self.ledger.chan_sent;
+        let delivered: u64 =
+            self.live.iter().map(|h| h.chan_delivered).sum::<u64>() + self.ledger.chan_delivered;
+        i128::from(sent) - i128::from(delivered)
+    }
+
     /// Folds this audit into `d`. Deliberately excludes wall-clock times
     /// and span ids — the only values that legitimately differ between two
     /// runs of the same seed (`workers > 1` executes on real threads; span
@@ -423,6 +479,8 @@ impl ClusterAudit {
             d.write_u64(h.orphans);
             d.write_u64(h.nobee);
             d.write_u64(h.queued);
+            d.write_u64(h.chan_sent);
+            d.write_u64(h.chan_delivered);
             d.write_u64(h.malformed_spans);
             d.write_u64(h.colonies.len() as u64);
             for (bee, colony) in &h.colonies {
@@ -460,6 +518,8 @@ impl ClusterAudit {
         d.write_u64(self.fabric.reordered);
         d.write_u64(self.in_flight_app);
         d.write_u64(self.ledger.total());
+        d.write_u64(self.ledger.chan_sent);
+        d.write_u64(self.ledger.chan_delivered);
     }
 }
 
@@ -488,6 +548,10 @@ mod tests {
             orphans: 0,
             nobee: 0,
             queued: 0,
+            chan_sent: 0,
+            chan_delivered: 0,
+            retransmits: 0,
+            dups_suppressed: 0,
             colonies: Vec::new(),
             dicts: Vec::new(),
             malformed_spans: 0,
@@ -546,14 +610,37 @@ mod tests {
         let mut h = hive_audit(1);
         h.handled = 6;
         h.queued = 1;
+        h.chan_sent = 5;
+        h.chan_delivered = 2; // 3 messages still owned by the channel
         audit.live = vec![h];
+        // Fabric faults are masked by the channel and must not unbalance it.
         audit.fabric.dropped_app = 2;
+        audit.fabric.duplicated_app = 4;
         audit.in_flight_app = 1;
         assert!(check_conservation(&audit).is_empty());
         audit.emits = 11; // one message now unaccounted for
         let v = check_conservation(&audit);
         assert_eq!(v.len(), 1);
         assert!(v[0].detail.contains("missing 1"));
+    }
+
+    #[test]
+    fn conservation_tolerates_redelivery_after_amnesiac_restart() {
+        // A receiver that crashed without durable dedup state gets the
+        // unacked message again: both deliveries count, `handled` doubles,
+        // and the negative in-transit term balances the books.
+        let mut audit = empty_audit(0);
+        audit.emits = 1;
+        let mut sender = hive_audit(2);
+        sender.chan_sent = 1;
+        let mut receiver = hive_audit(1);
+        receiver.handled = 1; // the re-delivery, after restart
+        receiver.chan_delivered = 1;
+        audit.live = vec![receiver, sender];
+        audit.ledger.handled = 1; // the first delivery, absorbed at crash
+        audit.ledger.chan_delivered = 1;
+        assert_eq!(audit.in_transit(), -1);
+        assert!(check_conservation(&audit).is_empty());
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //! * `--hives N` — cluster size (default 3)
 //! * `--ticks N` — active workload ticks per run (default 80)
 //! * `--workers N` — executor workers per hive (default 1 = fully deterministic)
+//! * `--link-faults-only` — deterministically rewrite every generated window
+//!   into a heavy drop/duplicate/reorder window; with the reliable channel
+//!   layer such schedules must report `lost=0`
 //! * `--inject-ownership-bug` — testing only: plant a deliberate double-owner
 //!   bug mid-run to prove the ownership checker catches it
 //! * `--out DIR` — write `seed-N.txt` repro files (violations + minimized
@@ -40,6 +43,7 @@ struct Args {
     hives: usize,
     ticks: u64,
     workers: usize,
+    link_faults_only: bool,
     inject_ownership_bug: bool,
     out: Option<std::path::PathBuf>,
 }
@@ -47,7 +51,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: beehive-chaos (--seeds A..B | --seed N) [--hives N] [--ticks N] \
-         [--workers N] [--inject-ownership-bug] [--out DIR]"
+         [--workers N] [--link-faults-only] [--inject-ownership-bug] [--out DIR]"
     );
     std::process::exit(2)
 }
@@ -57,6 +61,7 @@ fn parse_args() -> Args {
     let mut hives = 3usize;
     let mut ticks = 80u64;
     let mut workers = 1usize;
+    let mut link_faults_only = false;
     let mut inject_ownership_bug = false;
     let mut out = None;
     let mut it = std::env::args().skip(1);
@@ -80,6 +85,7 @@ fn parse_args() -> Args {
             "--hives" => hives = val().parse::<usize>().unwrap_or_else(|_| usage()).max(1),
             "--ticks" => ticks = val().parse::<u64>().unwrap_or_else(|_| usage()).max(8),
             "--workers" => workers = val().parse::<usize>().unwrap_or_else(|_| usage()).max(1),
+            "--link-faults-only" => link_faults_only = true,
             "--inject-ownership-bug" => inject_ownership_bug = true,
             "--out" => out = Some(std::path::PathBuf::from(val())),
             "--help" | "-h" => usage(),
@@ -91,9 +97,26 @@ fn parse_args() -> Args {
         hives,
         ticks,
         workers,
+        link_faults_only,
         inject_ownership_bug,
         out,
     }
+}
+
+/// Rewrites every window of a generated schedule into a heavy link fault —
+/// drop, duplicate or reorder, cycling deterministically by window index.
+/// The result is lossless by construction (the reliable channel masks all
+/// three), so every seed must report `lost=0`.
+fn to_link_faults_only(mut schedule: chaos::FaultSchedule) -> chaos::FaultSchedule {
+    use beehive::sim::chaos::FaultKind;
+    for (i, w) in schedule.windows.iter_mut().enumerate() {
+        w.kind = match i % 3 {
+            0 => FaultKind::Drop { permille: 300 },
+            1 => FaultKind::Duplicate { permille: 300 },
+            _ => FaultKind::Reorder { permille: 500 },
+        };
+    }
+    schedule
 }
 
 fn main() {
@@ -113,11 +136,17 @@ fn main() {
     let total = args.seeds.end - args.seeds.start;
     let mut failures = 0u64;
     for seed in args.seeds.clone() {
-        let report = chaos::run_seed(seed, &cfg);
+        let report = if args.link_faults_only {
+            let schedule = to_link_faults_only(chaos::FaultSchedule::generate(seed, &cfg));
+            chaos::run(&schedule, &cfg)
+        } else {
+            chaos::run_seed(seed, &cfg)
+        };
         // One stable line per seed: CI diffs two sweeps of this output as
         // the determinism proof. Keep it free of anything time-dependent.
         println!(
-            "seed {seed} digest {:#018x} emits={} handled={} dead={} dropped={} dup={} lost={} windows={}",
+            "seed {seed} digest {:#018x} emits={} handled={} dead={} dropped={} dup={} lost={} \
+             retransmits={} dups_suppressed={} windows={}",
             report.digest,
             report.emits,
             report.handled,
@@ -125,6 +154,8 @@ fn main() {
             report.dropped_app,
             report.duplicated_app,
             report.lost,
+            report.retransmits,
+            report.dups_suppressed,
             report.schedule.windows.len(),
         );
         if report.violations.is_empty() {

@@ -32,6 +32,10 @@
 //! * `--dlq-dump PATH` — write the dead-letter queue (messages that
 //!   exhausted their redelivery budget or were rejected by quarantine /
 //!   mailbox overflow) to PATH periodically, one line per letter
+//! * `--storage-dir PATH` — durable state directory: registry Raft log +
+//!   snapshots and the reliable-channel outbox journal live here, so a
+//!   SIGKILLed node restarts with its registry mirror, unacked sends and
+//!   dedup state intact
 //! * `--max-redeliveries N` — retries per failed handler delivery before a
 //!   message dead-letters (default 3)
 //! * `--mailbox-capacity N` — per-bee mailbox bound; 0 = unbounded (default)
@@ -71,6 +75,7 @@ struct Args {
     metrics_dump: Option<std::path::PathBuf>,
     dump_every: u64,
     dlq_dump: Option<std::path::PathBuf>,
+    storage_dir: Option<std::path::PathBuf>,
     max_redeliveries: Option<u32>,
     mailbox_capacity: Option<usize>,
     inject_faults: Vec<(String, String, u32)>,
@@ -80,7 +85,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: beehive-node --id N --listen ADDR [--peer ID=ADDR]... [--voters K] \
          [--replication R] [--workers N] [--apps a,b,c] [--stats-every SECS] \
-         [--metrics-dump PATH] [--dump-every SECS] [--dlq-dump PATH] \
+         [--metrics-dump PATH] [--dump-every SECS] [--dlq-dump PATH] [--storage-dir PATH] \
          [--max-redeliveries N] [--mailbox-capacity N] [--inject-fault APP:MSG:TIMES]"
     );
     std::process::exit(2)
@@ -108,6 +113,7 @@ fn parse_args() -> Args {
     let mut metrics_dump = None;
     let mut dump_every = 5;
     let mut dlq_dump = None;
+    let mut storage_dir = None;
     let mut max_redeliveries = None;
     let mut mailbox_capacity = None;
     let mut inject_faults = Vec::new();
@@ -133,6 +139,7 @@ fn parse_args() -> Args {
             "--metrics-dump" => metrics_dump = Some(std::path::PathBuf::from(val())),
             "--dump-every" => dump_every = val().parse::<u64>().unwrap_or_else(|_| usage()).max(1),
             "--dlq-dump" => dlq_dump = Some(std::path::PathBuf::from(val())),
+            "--storage-dir" => storage_dir = Some(std::path::PathBuf::from(val())),
             "--max-redeliveries" => {
                 max_redeliveries = Some(val().parse().unwrap_or_else(|_| usage()))
             }
@@ -167,6 +174,7 @@ fn parse_args() -> Args {
         metrics_dump,
         dump_every,
         dlq_dump,
+        storage_dir,
         max_redeliveries,
         mailbox_capacity,
         inject_faults,
@@ -227,11 +235,21 @@ fn render_transport(snap: &TransportSnapshot) -> String {
     )
     .unwrap();
     out.push_str(
+        "# HELP beehive_transport_deferred_total Frames queued for retransmission on \
+         reconnect instead of sent (dead or backed-off peer).\n\
+         # TYPE beehive_transport_deferred_total counter\n",
+    );
+    writeln!(out, "beehive_transport_deferred_total {}", snap.deferred).unwrap();
+    out.push_str(
         "# HELP beehive_transport_peer_backoff_ms Current dead-peer backoff window per peer.\n\
          # TYPE beehive_transport_peer_backoff_ms gauge\n",
     );
     for (peer, ms) in &snap.peer_backoff_ms {
-        writeln!(out, "beehive_transport_peer_backoff_ms{{peer=\"{peer}\"}} {ms}").unwrap();
+        writeln!(
+            out,
+            "beehive_transport_peer_backoff_ms{{peer=\"{peer}\"}} {ms}"
+        )
+        .unwrap();
     }
     out
 }
@@ -262,6 +280,13 @@ fn main() {
     };
     cfg.replication_factor = args.replication;
     cfg.workers = args.workers;
+    if let Some(dir) = &args.storage_dir {
+        cfg.registry_storage_dir = Some(dir.clone());
+        // A lone restarted voter can only restore its registry mirror from a
+        // snapshot (the commit index is volatile), so snapshot every event.
+        cfg.raft.snapshot_threshold = 1;
+        eprintln!("durable state (registry + outbox) -> {}", dir.display());
+    }
     if let Some(n) = args.max_redeliveries {
         cfg.max_redeliveries = n;
     }

@@ -13,7 +13,9 @@ use beehive::sim::chaos::{
 fn small() -> ChaosConfig {
     ChaosConfig {
         ticks: 24,
-        quiet_ticks: 16,
+        // Enough fault-free drain for a worst-case channel retransmit: the
+        // backoff clamps at ~6.4 s virtual, and 28 ticks cover 7 s.
+        quiet_ticks: 28,
         min_windows: 2,
         max_windows: 5,
         ..Default::default()
@@ -99,6 +101,65 @@ fn conservation_holds_under_crash_and_drops() {
         report.dropped_app > 0,
         "the drop window must actually have bitten app frames"
     );
+}
+
+/// The reliable-channel guarantee: a drop/duplicate/reorder-only schedule
+/// must end exactly where the fault-free run of the same seed ends — same
+/// workload, same handled count, identical final dictionaries, zero losses.
+/// The faults must actually bite (nonzero fabric drops and duplicates) and
+/// be repaired (nonzero retransmits and suppressed duplicates).
+#[test]
+fn link_faults_only_matches_the_fault_free_run() {
+    let cfg = ChaosConfig {
+        ticks: 24,
+        quiet_ticks: 32,
+        ..Default::default()
+    };
+    let faulty = FaultSchedule {
+        seed: 77,
+        ticks: cfg.ticks,
+        windows: vec![
+            FaultWindow {
+                at: 3,
+                for_ticks: 8,
+                kind: FaultKind::Drop { permille: 300 },
+            },
+            FaultWindow {
+                at: 6,
+                for_ticks: 8,
+                kind: FaultKind::Duplicate { permille: 300 },
+            },
+            FaultWindow {
+                at: 10,
+                for_ticks: 10,
+                kind: FaultKind::Reorder { permille: 500 },
+            },
+        ],
+    };
+    let baseline = FaultSchedule {
+        seed: 77,
+        ticks: cfg.ticks,
+        windows: Vec::new(),
+    };
+    assert!(
+        faulty.is_lossless(),
+        "link faults are masked by the channel"
+    );
+    let a = run(&faulty, &cfg);
+    let b = run(&baseline, &cfg);
+    assert!(a.violations.is_empty(), "{:?}", a.violations);
+    assert!(b.violations.is_empty(), "{:?}", b.violations);
+    assert_eq!(a.lost, 0, "no message may be lost to link faults");
+    assert_eq!(a.emits, b.emits, "same seed, same workload");
+    assert_eq!(a.handled, b.handled, "every message handled exactly once");
+    assert_eq!(a.final_left, b.final_left, "identical final dictionaries");
+    assert!(a.dropped_app > 0, "the drop window must actually bite");
+    assert!(
+        a.duplicated_app > 0,
+        "the duplicate window must actually bite"
+    );
+    assert!(a.retransmits > 0, "drops are repaired by retransmission");
+    assert!(a.dups_suppressed > 0, "duplicates are absorbed by dedup");
 }
 
 /// The negative control the harness is judged by: plant a deliberate
