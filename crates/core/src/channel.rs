@@ -34,6 +34,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
@@ -43,6 +44,27 @@ use crate::supervision::backoff_delay_ms;
 
 /// Compact the journal after this many incremental appends.
 const COMPACT_EVERY: u64 = 1024;
+
+/// Strictly above every epoch this process has minted or restored. An
+/// amnesiac restart must present receivers with a *larger* epoch than its
+/// previous incarnation, or its low sequences are suppressed as duplicates
+/// (equal epoch) or ghosted entirely (lower epoch). `now_ms` alone cannot
+/// guarantee that when the restart lands in the same millisecond, the sim
+/// clock has not advanced, or the wall clock regressed — so fresh epochs
+/// also clear this floor. Across *processes* the guarantee still rests on a
+/// monotonic wall clock; restarts faster than one tick of it need a storage
+/// dir (durable restarts resume their journaled epoch and raise the floor).
+static EPOCH_FLOOR: AtomicU64 = AtomicU64::new(0);
+
+/// Mints a fresh incarnation epoch: `now_ms`, bumped past the floor.
+fn mint_epoch(now_ms: u64) -> u64 {
+    let prev = EPOCH_FLOOR
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+            Some(now_ms.max(1).max(cur + 1))
+        })
+        .expect("update closure never declines");
+    now_ms.max(1).max(prev + 1)
+}
 
 /// Tuning knobs, lifted from `HiveConfig`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -197,7 +219,9 @@ impl ReliableChannels {
     /// outbox journal `hive-{id}.outbox` inside it is replayed (durable
     /// restart: same epoch, unacked sends re-buffered, dedup state
     /// restored). Without one — or if the journal cannot be opened — the
-    /// channel runs in memory with a fresh epoch derived from `now_ms`.
+    /// channel runs in memory with a fresh epoch: `now_ms`, bumped past
+    /// every epoch this process has already minted or restored so a new
+    /// incarnation is always strictly newer in receivers' eyes.
     pub fn new(
         id: HiveId,
         tuning: ChannelTuning,
@@ -222,7 +246,16 @@ impl ReliableChannels {
             }
         }
         let fresh = restored.epoch.is_none();
-        let epoch = restored.epoch.unwrap_or_else(|| now_ms.max(1));
+        let epoch = match restored.epoch {
+            Some(e) => {
+                // Keep the floor above journaled epochs too, so a later
+                // amnesiac restart of any hive in this process still mints
+                // strictly higher.
+                EPOCH_FLOOR.fetch_max(e, Ordering::Relaxed);
+                e
+            }
+            None => mint_epoch(now_ms),
+        };
         let mut ch = ReliableChannels {
             id,
             epoch,
@@ -293,20 +326,23 @@ impl ReliableChannels {
             ack,
             env: env_bytes,
         };
-        // Journal before the frame can reach the wire, so the durable
-        // sequence space never lags what a receiver may have seen.
-        self.journal_append(JournalEntry::Send {
-            to: to.0,
-            seq,
-            env: frame.env.clone(),
-        });
         let bytes = beehive_wire::to_vec(&frame).expect("channel frame serializes");
+        // Buffer before journaling: journal_append may compact, and the
+        // compaction snapshot is taken from in-memory state — it must
+        // already contain this entry, or the rewritten journal keeps the
+        // advanced next_seq while losing the payload. Journal-before-wire
+        // still holds, since the bytes only leave once we return.
         let s = self.send.get_mut(&to.0).expect("just inserted");
         s.unacked.push_back(Unacked {
             seq,
-            env: frame.env,
+            env: frame.env.clone(),
             sent_ms: now_ms,
             attempts: 1,
+        });
+        self.journal_append(JournalEntry::Send {
+            to: to.0,
+            seq,
+            env: frame.env,
         });
         bytes
     }
@@ -784,6 +820,48 @@ mod tests {
         let w = b.poll(7_000 + tuning.ack_flush_ms);
         assert_eq!(w.acks.len(), 1);
         assert_eq!(w.acks[0].2, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn amnesiac_restart_in_the_same_millisecond_mints_a_larger_epoch() {
+        let a1 = mem(1);
+        // Restart with the clock frozen: the epoch must still advance, or
+        // receivers suppress the new incarnation's low sequences.
+        let a2 = ReliableChannels::new(HiveId(1), ChannelTuning::default(), None, 1);
+        assert!(a2.epoch() > a1.epoch());
+        // Even a clock regression cannot mint an equal or smaller epoch.
+        let a3 = ReliableChannels::new(HiveId(1), ChannelTuning::default(), None, 0);
+        assert!(a3.epoch() > a2.epoch());
+    }
+
+    #[test]
+    fn compaction_mid_send_keeps_the_triggering_payload_durable() {
+        // The wrap() whose journal append trips COMPACT_EVERY must itself
+        // survive the compaction snapshot: with no acks at all, every
+        // sequence — including the triggering one — must replay after a
+        // crash, or the receiver's cumulative ack stalls below it forever.
+        let dir = tmp_dir("compact-unacked");
+        let tuning = ChannelTuning::default();
+        let n = COMPACT_EVERY + 10;
+        {
+            let mut a = ReliableChannels::new(HiveId(1), tuning, Some(&dir), 10);
+            for i in 0..n {
+                let _ = a.wrap(HiveId(2), vec![(i % 251) as u8], 10);
+            }
+            // Crash with everything unacked.
+        }
+        let mut a = ReliableChannels::new(HiveId(1), tuning, Some(&dir), 20);
+        assert_eq!(a.stats().outbox_depth, n, "no payload lost to compaction");
+        // Replayed entries have sent_ms = 0; poll well past the base
+        // backoff so every windowed entry is due.
+        let w = a.poll(10_000);
+        assert_eq!(w.retransmits.len(), tuning.window.min(n as usize));
+        for (i, (_, bytes)) in w.retransmits.iter().enumerate() {
+            let f: ChannelFrame = beehive_wire::from_slice(bytes).unwrap();
+            assert_eq!(f.seq, i as u64 + 1, "contiguous replay, no gap");
+            assert_eq!(f.env, vec![(i as u64 % 251) as u8]);
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

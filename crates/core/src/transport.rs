@@ -103,6 +103,10 @@ pub struct TransportCounters {
     /// Frames queued for later delivery instead of sent (dead-peer backoff
     /// window); flushed on reconnect, so deferred ≠ lost.
     deferred: AtomicU64,
+    /// Frames evicted from a full deferred queue — unlike deferrals these
+    /// never reach the wire; recovery is up to whatever layer retransmits
+    /// the evicted kind (the reliable channel for App, Raft for Raft).
+    deferred_evicted: AtomicU64,
     /// Current dead-peer backoff window per peer, ms (absent = healthy).
     peer_backoff_ms: Mutex<BTreeMap<u32, u64>>,
 }
@@ -145,6 +149,12 @@ impl TransportCounters {
         self.deferred.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one frame evicted from a full deferred queue (dropped
+    /// without ever reaching the wire).
+    pub fn record_deferred_evicted(&self) {
+        self.deferred_evicted.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// The current backoff window applied to `peer`, if it is backed off.
     pub fn peer_backoff_ms(&self, peer: HiveId) -> Option<u64> {
         self.peer_backoff_ms.lock().get(&peer.0).copied()
@@ -166,6 +176,7 @@ impl TransportCounters {
             bytes_in: read(&self.bytes_in),
             connect_failures: self.connect_failures.load(Ordering::Relaxed),
             deferred: self.deferred.load(Ordering::Relaxed),
+            deferred_evicted: self.deferred_evicted.load(Ordering::Relaxed),
             peer_backoff_ms: self
                 .peer_backoff_ms
                 .lock()
@@ -193,6 +204,10 @@ pub struct TransportSnapshot {
     /// Frames queued for retransmission on reconnect instead of sent (the
     /// peer was dead or backed off). Deferred frames are not lost.
     pub deferred: u64,
+    /// Frames evicted from a full deferred queue. These *are* dropped;
+    /// App/Raft evictions are recovered by retransmission above this
+    /// layer, Control evictions are not.
+    pub deferred_evicted: u64,
     /// Peers currently in a dead-peer backoff window: `(hive, backoff ms)`.
     pub peer_backoff_ms: Vec<(u32, u64)>,
 }

@@ -205,14 +205,23 @@ impl TcpTransport {
     }
 
     /// Queues a frame for delivery once `to` comes back. Bounded per peer:
-    /// past [`DEFERRED_CAP`] the oldest frame is dropped — the reliable
-    /// channel and Raft both retransmit above this layer, so the cap trades
-    /// a retransmit for bounded memory against a long-dead peer.
+    /// at [`DEFERRED_CAP`] one queued frame is evicted, preferring the
+    /// oldest App frame (the reliable channel retransmits those), then the
+    /// oldest Raft frame (Raft retransmits its own traffic), and only as a
+    /// last resort a Control frame — Control has no retransmission layer
+    /// above this one, so dropping it is real loss. Evictions are counted
+    /// separately from deferrals (`deferred_evicted` vs `deferred`).
     fn defer(&self, to: HiveId, frame: Frame) {
         let mut deferred = self.deferred.lock();
         let q = deferred.entry(to).or_default();
         if q.len() >= DEFERRED_CAP {
-            q.pop_front();
+            let victim = q
+                .iter()
+                .position(|f| f.kind == FrameKind::App)
+                .or_else(|| q.iter().position(|f| f.kind == FrameKind::Raft))
+                .unwrap_or(0);
+            q.remove(victim);
+            self.counters.record_deferred_evicted();
         }
         q.push_back(frame);
         self.counters.record_deferred();
@@ -542,6 +551,40 @@ mod tests {
             assert_eq!(f.bytes, vec![expect]);
         }
         assert_eq!(t1.counters().snapshot().sent(FrameKind::App).0, 3);
+    }
+
+    #[test]
+    fn full_deferred_queue_evicts_app_frames_before_control() {
+        let t =
+            TcpTransport::bind(HiveId(1), "127.0.0.1:0".parse().unwrap(), HashMap::new()).unwrap();
+        let peer = HiveId(9);
+        // Oldest frame is Control (no retransmission layer above TCP).
+        t.defer(
+            peer,
+            Frame {
+                kind: FrameKind::Control,
+                bytes: vec![0xC0],
+            },
+        );
+        for i in 0..DEFERRED_CAP - 1 {
+            t.defer(peer, Frame::app(vec![(i % 251) as u8]));
+        }
+        assert_eq!(t.counters().snapshot().deferred_evicted, 0);
+        // The queue is full: the next deferral evicts the oldest *App*
+        // frame (the reliable channel re-offers it), not the Control frame
+        // sitting at the front.
+        t.defer(peer, Frame::app(vec![0xFF]));
+        {
+            let deferred = t.deferred.lock();
+            let q = deferred.get(&peer).unwrap();
+            assert_eq!(q.len(), DEFERRED_CAP);
+            assert_eq!(q.front().unwrap().kind, FrameKind::Control);
+            assert_eq!(q.front().unwrap().bytes, vec![0xC0]);
+            assert_eq!(q[1].bytes, vec![1], "App frame 0 was the victim");
+        }
+        let snap = t.counters().snapshot();
+        assert_eq!(snap.deferred_evicted, 1);
+        assert_eq!(snap.deferred, DEFERRED_CAP as u64 + 1);
     }
 
     #[test]

@@ -241,6 +241,17 @@ fn render_transport(snap: &TransportSnapshot) -> String {
     );
     writeln!(out, "beehive_transport_deferred_total {}", snap.deferred).unwrap();
     out.push_str(
+        "# HELP beehive_transport_deferred_evicted_total Frames evicted from a full \
+         deferred queue (dropped; App/Raft recover via retransmission, Control does not).\n\
+         # TYPE beehive_transport_deferred_evicted_total counter\n",
+    );
+    writeln!(
+        out,
+        "beehive_transport_deferred_evicted_total {}",
+        snap.deferred_evicted
+    )
+    .unwrap();
+    out.push_str(
         "# HELP beehive_transport_peer_backoff_ms Current dead-peer backoff window per peer.\n\
          # TYPE beehive_transport_peer_backoff_ms gauge\n",
     );
