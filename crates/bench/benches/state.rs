@@ -1,0 +1,385 @@
+//! Transaction-engine microbenchmarks: the cost of the copy-on-write state
+//! engine (`beehive_core::state`) on the hot paths the executors exercise —
+//! single-op and 64-op transactions, a 64-message mailbox drain executed
+//! per-message vs batched under savepoints, and rollback cost as the
+//! dictionary grows.
+//!
+//! The per-message baseline is a faithful reenactment of the clone-based
+//! engine this repo shipped before the COW rewrite (buffered op overlay,
+//! value clones on read and commit), so the headline `drain_speedup_64`
+//! measures exactly what the PR claims: batched drains on the COW engine vs
+//! per-message drains on the engine they replaced.
+//!
+//! Besides the criterion groups, the bench writes a hand-rolled JSON summary
+//! to `BENCH_state.json` at the repo root so CI can track the perf
+//! trajectory (see `src/bin/bench-diff.rs` and the bench-gate CI job).
+//! Setting `BEEHIVE_BENCH_SUMMARY_ONLY=1` skips criterion and only produces
+//! the summary — CI quick mode.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use beehive_core::{BeeState, JournalOp, TxJournal, TxState};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+
+/// Payload size of every dictionary value in the drain scenarios. Large
+/// enough that the old engine's per-read/per-commit value clones are
+/// visible, small in absolute terms (a flow-table entry, not a blob).
+const VALUE_BYTES: usize = 1024;
+/// Keys pre-populated in the drain dictionary (steady state, no inserts).
+const DICT_KEYS: usize = 256;
+/// Mailbox batch size of the drain comparison — the acceptance case.
+const DRAIN_MSGS: usize = 64;
+
+fn value(i: usize) -> Vec<u8> {
+    let mut v = vec![0xA5u8; VALUE_BYTES];
+    v[0] = (i & 0xFF) as u8;
+    v[1] = ((i >> 8) & 0xFF) as u8;
+    v
+}
+
+fn key(i: usize) -> String {
+    format!("k{:04}", i % DICT_KEYS)
+}
+
+fn seeded_state() -> BeeState {
+    let mut s = BeeState::new();
+    for i in 0..DICT_KEYS {
+        s.dict_mut("d").put_raw(key(i), value(i));
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Pre-COW engine reenactment
+// ---------------------------------------------------------------------------
+
+/// The clone-based transaction engine this repo used before the COW rewrite:
+/// writes buffer into an op overlay keyed by `(dict, key)`, reads clone the
+/// value out of the overlay or the base state, and commit applies every
+/// buffered op to the base (cloning the value again into the journal).
+struct PreCowTx {
+    ops: HashMap<(String, String), Option<Vec<u8>>>,
+    order: Vec<(String, String)>,
+}
+
+impl PreCowTx {
+    fn begin() -> Self {
+        PreCowTx {
+            ops: HashMap::new(),
+            order: Vec::new(),
+        }
+    }
+
+    fn get_raw(&self, base: &BeeState, dict: &str, key: &str) -> Option<Vec<u8>> {
+        if let Some(op) = self.ops.get(&(dict.to_string(), key.to_string())) {
+            return op.clone();
+        }
+        base.dict(dict)
+            .and_then(|d| d.get_raw(key))
+            .map(|v| v.to_vec())
+    }
+
+    fn put_raw(&mut self, dict: &str, key: &str, value: Vec<u8>) {
+        let k = (dict.to_string(), key.to_string());
+        if !self.ops.contains_key(&k) {
+            self.order.push(k.clone());
+        }
+        self.ops.insert(k, Some(value));
+    }
+
+    fn commit(self, base: &mut BeeState) -> TxJournal {
+        let mut journal = TxJournal::default();
+        for (dict, key) in self.order {
+            match self
+                .ops
+                .get(&(dict.clone(), key.clone()))
+                .cloned()
+                .flatten()
+            {
+                Some(v) => {
+                    base.dict_mut(&dict).put_raw(key.clone(), v.clone());
+                    journal.ops.push(JournalOp::Put {
+                        dict,
+                        key,
+                        value: v.into(),
+                    });
+                }
+                None => {
+                    base.dict_mut(&dict).del(&key);
+                    journal.ops.push(JournalOp::Del { dict, key });
+                }
+            }
+        }
+        journal
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Drain scenarios: 64 messages, each reads one key and writes another
+// ---------------------------------------------------------------------------
+
+// Every simulated handler invocation reads one 1 KiB value and writes
+// another — a read-modify-write, the common handler shape.
+
+fn encoded_len(j: &TxJournal) -> usize {
+    beehive_wire::to_vec(j).map(|b| b.len()).unwrap_or(0)
+}
+
+/// Per-message drain on the pre-COW engine: one full transaction (begin,
+/// read, write, commit-with-apply, journal encode) per message.
+fn drain_per_message_pre_cow(state: &mut BeeState) -> usize {
+    let mut bytes = 0;
+    for m in 0..DRAIN_MSGS {
+        let mut tx = PreCowTx::begin();
+        let v = tx.get_raw(state, "d", &key(m)).expect("seeded");
+        tx.put_raw("d", &key(m + 1), v);
+        let journal = tx.commit(state);
+        bytes += encoded_len(&journal);
+    }
+    bytes
+}
+
+/// Per-message drain on the COW engine: still one transaction per message.
+fn drain_per_message_cow(state: &mut BeeState) -> usize {
+    let mut bytes = 0;
+    for m in 0..DRAIN_MSGS {
+        let mut tx = TxState::begin(state);
+        let v = tx.get_raw("d", &key(m)).expect("seeded");
+        tx.put_raw("d", key(m + 1), v);
+        let journal = tx.commit();
+        bytes += encoded_len(&journal);
+    }
+    bytes
+}
+
+/// Batched drain on the COW engine: ONE open transaction, a savepoint per
+/// message, per-message journal extraction — exactly what both executors do.
+fn drain_batched_cow(state: &mut BeeState) -> usize {
+    let mut bytes = 0;
+    let mut tx = TxState::begin(state);
+    for m in 0..DRAIN_MSGS {
+        let sp = tx.savepoint();
+        let v = tx.get_raw("d", &key(m)).expect("seeded");
+        tx.put_raw("d", key(m + 1), v);
+        let journal = tx.take_journal_since(&sp);
+        bytes += encoded_len(&journal);
+    }
+    let residue = tx.commit();
+    assert!(residue.is_empty());
+    bytes
+}
+
+/// Messages/second of a drain function over `rounds` repetitions.
+fn drain_throughput(rounds: usize, f: fn(&mut BeeState) -> usize) -> f64 {
+    let mut state = seeded_state();
+    // Warm once so both engines run against identical steady-state dicts.
+    std::hint::black_box(f(&mut state));
+    let started = Instant::now();
+    for _ in 0..rounds {
+        std::hint::black_box(f(&mut state));
+    }
+    let secs = started.elapsed().as_secs_f64();
+    (rounds * DRAIN_MSGS) as f64 / secs.max(1e-9)
+}
+
+// ---------------------------------------------------------------------------
+// Rollback cost vs dict size
+// ---------------------------------------------------------------------------
+
+fn rollback_state(keys: usize) -> BeeState {
+    let mut s = BeeState::new();
+    for i in 0..keys {
+        s.dict_mut("d")
+            .put_raw(format!("k{i:06}"), vec![0x5Au8; 64]);
+    }
+    s
+}
+
+/// Touch 8 keys, then roll the transaction back. On the COW engine this is
+/// O(touched keys) regardless of how large the dictionary is.
+fn rollback_touch8(state: &mut BeeState, keys: usize) {
+    let mut tx = TxState::begin(state);
+    for i in 0..8 {
+        tx.put_raw("d", format!("k{:06}", i * (keys / 8).max(1)), vec![1u8; 64]);
+    }
+    tx.rollback();
+}
+
+/// Mean nanoseconds per touch-8 rollback on a `keys`-entry dict.
+fn rollback_ns(keys: usize, rounds: usize) -> f64 {
+    let mut state = rollback_state(keys);
+    let started = Instant::now();
+    for _ in 0..rounds {
+        rollback_touch8(&mut state, keys);
+    }
+    started.elapsed().as_nanos() as f64 / rounds as f64
+}
+
+// ---------------------------------------------------------------------------
+// Criterion groups
+// ---------------------------------------------------------------------------
+
+fn bench_tx(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tx");
+    group.bench_function("single_op", |b| {
+        let mut state = seeded_state();
+        let mut i = 0usize;
+        b.iter(|| {
+            let mut tx = TxState::begin(&mut state);
+            tx.put_raw("d", key(i), value(i));
+            i += 1;
+            criterion::black_box(tx.commit())
+        });
+    });
+    group.bench_function("64_ops", |b| {
+        let mut state = seeded_state();
+        b.iter(|| {
+            let mut tx = TxState::begin(&mut state);
+            for i in 0..64 {
+                tx.put_raw("d", key(i), value(i));
+            }
+            criterion::black_box(tx.commit())
+        });
+    });
+    group.finish();
+}
+
+fn bench_drain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("drain");
+    group.throughput(Throughput::Elements(DRAIN_MSGS as u64));
+    group.bench_function("per_message_pre_cow", |b| {
+        let mut state = seeded_state();
+        b.iter(|| criterion::black_box(drain_per_message_pre_cow(&mut state)));
+    });
+    group.bench_function("per_message_cow", |b| {
+        let mut state = seeded_state();
+        b.iter(|| criterion::black_box(drain_per_message_cow(&mut state)));
+    });
+    group.bench_function("batched_cow", |b| {
+        let mut state = seeded_state();
+        b.iter(|| criterion::black_box(drain_batched_cow(&mut state)));
+    });
+    group.finish();
+}
+
+fn bench_rollback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rollback");
+    for &keys in &[1_000usize, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("touch8", keys), &keys, |b, &keys| {
+            let mut state = rollback_state(keys);
+            b.iter(|| rollback_touch8(&mut state, keys));
+        });
+    }
+    group.finish();
+}
+
+// ---------------------------------------------------------------------------
+// Summary JSON
+// ---------------------------------------------------------------------------
+
+/// Hand-rolled JSON (the workspace's wire format is a custom binary serde;
+/// no JSON crate is available).
+fn json_summary() -> String {
+    const ROUNDS: usize = 2_000;
+    let pre_cow = drain_throughput(ROUNDS, drain_per_message_pre_cow);
+    let per_msg = drain_throughput(ROUNDS, drain_per_message_cow);
+    let batched = drain_throughput(ROUNDS, drain_batched_cow);
+
+    let single_rounds = 200_000usize;
+    let mut state = seeded_state();
+    let started = Instant::now();
+    for i in 0..single_rounds {
+        let mut tx = TxState::begin(&mut state);
+        tx.put_raw("d", key(i), value(i));
+        std::hint::black_box(tx.commit());
+    }
+    let single_ns = started.elapsed().as_nanos() as f64 / single_rounds as f64;
+
+    let batch_rounds = 10_000usize;
+    let started = Instant::now();
+    for _ in 0..batch_rounds {
+        let mut tx = TxState::begin(&mut state);
+        for i in 0..64 {
+            tx.put_raw("d", key(i), value(i));
+        }
+        std::hint::black_box(tx.commit());
+    }
+    let tx64_ns = started.elapsed().as_nanos() as f64 / batch_rounds as f64;
+
+    let rb_1k = rollback_ns(1_000, 50_000);
+    let rb_10k = rollback_ns(10_000, 50_000);
+    let rb_100k = rollback_ns(100_000, 50_000);
+
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"state\",\n",
+            "  \"provisional\": false,\n",
+            "  \"value_bytes\": {},\n",
+            "  \"dict_keys\": {},\n",
+            "  \"drain_messages\": {},\n",
+            "  \"tx_single_op_ns\": {:.0},\n",
+            "  \"tx_64_op_ns\": {:.0},\n",
+            "  \"drain_msgs_per_sec\": {{ \"per_message_pre_cow\": {:.0}, ",
+            "\"per_message_cow\": {:.0}, \"batched_cow\": {:.0} }},\n",
+            "  \"drain_speedup_64\": {:.3},\n",
+            "  \"cow_speedup_per_message\": {:.3},\n",
+            "  \"rollback_touch8_ns\": {{ \"d1k\": {:.0}, \"d10k\": {:.0}, ",
+            "\"d100k\": {:.0} }}\n",
+            "}}\n"
+        ),
+        VALUE_BYTES,
+        DICT_KEYS,
+        DRAIN_MSGS,
+        single_ns,
+        tx64_ns,
+        pre_cow,
+        per_msg,
+        batched,
+        batched / pre_cow.max(1e-9),
+        per_msg / pre_cow.max(1e-9),
+        rb_1k,
+        rb_10k,
+        rb_100k,
+    )
+}
+
+fn write_summary() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_state.json");
+    let json = json_summary();
+    print!("{json}");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not write {path}: {e}");
+    }
+}
+
+criterion_group!(benches, bench_tx, bench_drain, bench_rollback);
+
+fn main() {
+    // `cargo test` runs benches with `--test`; keep that (and `--list`)
+    // fast by skipping both criterion and the summary measurement.
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--test" || a == "--list");
+    if quick {
+        // Smoke: each drain variant must run and mutate identically.
+        let mut a = seeded_state();
+        let mut b = seeded_state();
+        let mut c = seeded_state();
+        drain_per_message_pre_cow(&mut a);
+        drain_per_message_cow(&mut b);
+        drain_batched_cow(&mut c);
+        assert_eq!(a, b, "COW per-message drain must match the old engine");
+        assert_eq!(b, c, "batched drain must match per-message execution");
+        println!("state bench smoke ok");
+        return;
+    }
+    // CI quick mode: only the JSON summary, no criterion sampling.
+    if std::env::var_os("BEEHIVE_BENCH_SUMMARY_ONLY").is_some() {
+        write_summary();
+        return;
+    }
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+    write_summary();
+}

@@ -41,7 +41,7 @@ use crate::control::ControlMsg;
 use crate::id::{BeeId, HiveId};
 use crate::message::Envelope;
 use crate::metrics::Instrumentation;
-use crate::state::{BeeState, JournalOp, TxState};
+use crate::state::{BeeState, JournalOp, TxJournal, TxState};
 use crate::supervision::{panic_detail, FailureKind, HandlerFaults};
 use crate::trace::{TraceCollector, TraceSpan};
 
@@ -176,6 +176,14 @@ pub(crate) struct BeeJobResult {
 /// Runs one bee's batch on a worker thread. This mirrors the sequential
 /// `Hive::run_bee` per-message sequence exactly; any change there must be
 /// reflected here (and vice versa).
+///
+/// The whole batch runs inside ONE open transaction with a savepoint per
+/// message: a handler failure rolls back exactly its own message
+/// ([`TxState::rollback_to`]) while committed messages' writes stay applied,
+/// and each committed message drains its own replication journal
+/// ([`TxState::take_journal_since`]) — byte-identical to the journals the
+/// per-message engine produced, but without re-applying buffered ops or
+/// cloning values at every message boundary.
 fn run_batch(worker: usize, job: BeeJob) -> BeeJobResult {
     let BeeJob {
         app_idx,
@@ -206,11 +214,16 @@ fn run_batch(worker: usize, job: BeeJob) -> BeeJobResult {
     let mut trailing_failures = 0u32;
     let batch_started = std::time::Instant::now();
 
+    // One open transaction for the whole batch; each message gets a
+    // savepoint so a failure rolls back exactly that message.
+    let mut tx = TxState::begin(&mut state);
+
     for (hidx, env) in batch {
         let handler = app.handler(hidx).expect("handler index valid");
         let in_type = env.msg.type_name().to_string();
         let msg_len = env.msg.encoded_len();
 
+        let sp = tx.savepoint();
         let mut ctx = RcvCtx {
             hive,
             app: app_name.clone(),
@@ -219,7 +232,7 @@ fn run_batch(worker: usize, job: BeeJob) -> BeeJobResult {
             now_ms,
             trace: env.trace,
             deliveries: env.deliveries,
-            tx: TxState::begin(&mut state),
+            tx,
             outbox: Vec::new(),
             control_out: Vec::new(),
             retire: false,
@@ -243,17 +256,19 @@ fn run_batch(worker: usize, job: BeeJob) -> BeeJobResult {
         let elapsed = started.elapsed().as_nanos() as u64;
 
         let RcvCtx {
-            tx,
+            tx: tx_back,
             outbox: msg_out,
             control_out: ctl_out,
             retire,
             ..
         } = ctx;
+        tx = tx_back;
         let ok = outcome.is_ok();
         let (journal, msg_out, ctl_out) = if ok {
-            (tx.commit(), msg_out, ctl_out)
+            (tx.take_journal_since(&sp), msg_out, ctl_out)
         } else {
-            (tx.rollback(), Vec::new(), Vec::new())
+            tx.rollback_to(&sp);
+            (TxJournal::default(), Vec::new(), Vec::new())
         };
         if let Err((kind, detail)) = outcome {
             instr.record_failure(kind);
@@ -347,6 +362,10 @@ fn run_batch(worker: usize, job: BeeJob) -> BeeJobResult {
         outbox.extend(msg_out);
         control_out.extend(ctl_out);
     }
+    // Per-message journals were drained at their savepoints; the residual
+    // commit is empty and O(1) — the writes are already in `state`.
+    let residue = tx.commit();
+    debug_assert!(residue.is_empty(), "all journals drained per message");
     instr.bee_cells.insert(bee.0, colony.len() as u64);
     let busy_nanos = batch_started.elapsed().as_nanos() as u64;
 

@@ -23,7 +23,7 @@ use crate::clock::Clock;
 use crate::control::ControlMsg;
 use crate::executor::{BeeJob, Executor, Parker};
 use crate::id::{AppName, BeeId, HiveId};
-use crate::message::{Dst, Envelope, Message, MessageRegistry, WireEnvelope};
+use crate::message::{Dst, Envelope, Message, MessageRegistry, Source, WireEnvelope};
 use crate::metrics::Instrumentation;
 use crate::platform::Tick;
 use crate::queen::{BeeStatus, Delivery, Queen};
@@ -133,6 +133,16 @@ pub struct HiveConfig {
     /// return traffic flushes one cumulative ack after this many ms, so an
     /// N-message one-way burst produces O(1) ack frames.
     pub channel_ack_flush_ms: u64,
+    /// Maximum messages the sequential executor drains from one bee's
+    /// mailbox per run-queue turn, all inside ONE open transaction with a
+    /// savepoint per message (commit/replication overhead amortizes; a
+    /// failure rolls back exactly its own message). `1` (the default)
+    /// preserves the classic round-robin interleaving across bees — the
+    /// deterministic schedule the chaos harness digests depend on — so
+    /// batching is an explicit opt-in per hive. Has no effect on the
+    /// parallel executor (`workers > 1`), which always drains the whole
+    /// checked-out mailbox as one batch.
+    pub max_drain_batch: usize,
 }
 
 impl HiveConfig {
@@ -163,6 +173,7 @@ impl HiveConfig {
             channel_resend_ms: 200,
             channel_window: 1024,
             channel_ack_flush_ms: 5,
+            max_drain_batch: 1,
         }
     }
 
@@ -790,7 +801,7 @@ impl Hive {
                 continue;
             };
             let entries: Vec<(String, Vec<u8>)> =
-                d.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+                d.iter().map(|(k, v)| (k.clone(), v.to_vec())).collect();
             out.push((name.clone(), entries));
         }
         out
@@ -990,9 +1001,8 @@ impl Hive {
                     // progress toward the `drain_applied() == 0` exit below).
                     work += self.run_parallel_round(now);
                 } else if let Some((app_idx, bee)) = self.run_queue.pop_front() {
-                    if self.run_bee(app_idx, bee, now) {
-                        work += 1;
-                    }
+                    let budget = self.cfg.step_budget.saturating_sub(work).max(1);
+                    work += self.run_bee(app_idx, bee, now, budget);
                 }
                 continue;
             }
@@ -2153,204 +2163,304 @@ impl Hive {
         processed
     }
 
-    fn run_bee(&mut self, app_idx: usize, bee_id: BeeId, now: u64) -> bool {
-        // Pull one message (and the data the handler needs) out of the queen.
+    /// Runs one bee's drained batch on the hive thread, returning the number
+    /// of messages processed.
+    ///
+    /// Up to [`HiveConfig::max_drain_batch`] messages run inside ONE open
+    /// transaction with a savepoint per message
+    /// ([`crate::state::TxState::savepoint`]): commit, encoding and
+    /// replication bookkeeping amortize across the batch while a mid-batch
+    /// handler failure rolls back exactly its own message. With the default
+    /// batch limit of 1 this is behaviourally identical — same message
+    /// interleaving across bees, same per-message side-effect order — to the
+    /// classic one-message-per-turn sequential path. This mirrors the
+    /// parallel executor's `run_batch`; any change here must be reflected
+    /// there (and vice versa).
+    fn run_bee(&mut self, app_idx: usize, bee_id: BeeId, now: u64, budget: usize) -> usize {
         let me = self.cfg.id;
         let app_name = self.apps[app_idx].name().clone();
+        let replicate_on = self.cfg.replication_factor > 1;
+        let max_batch = self.cfg.max_drain_batch.max(1).min(budget.max(1));
 
-        let queen = &mut self.queens[app_idx];
-        let Some(bee) = queen.bee_mut(bee_id) else {
-            return false;
-        };
-        if bee.status != BeeStatus::Active {
-            return false;
+        /// Per-message effects buffered during the batch (phase 1, bee
+        /// borrowed) and applied after it (phase 2, bee released) in the
+        /// same order the per-message engine used.
+        struct Done {
+            src: Source,
+            trace: crate::trace::TraceContext,
+            in_type: String,
+            msg_len: usize,
+            ok: bool,
+            failure_kind: Option<FailureKind>,
+            elapsed: u64,
+            outbox: Vec<Envelope>,
+            control_out: Vec<(HiveId, ControlMsg)>,
+            replicate: Option<(u64, Vec<u8>)>,
+            colony_len: u64,
+            retire: bool,
         }
-        // Quarantined: leave the backlog queued; the cooldown timer re-queues
-        // the bee for its half-open probe (one message per run_bee call, so
-        // the probe is naturally single-message here).
-        if bee.is_quarantined(now) {
-            return false;
+        /// A failed message routed to supervision in phase 2.
+        struct Failed {
+            hidx: u16,
+            handler: String,
+            env: Envelope,
+            kind: FailureKind,
+            detail: String,
         }
-        let Some((hidx, env)) = bee.mailbox.pop_front() else {
-            return false;
-        };
-        let has_more = !bee.mailbox.is_empty();
-        let pinned = bee.pinned;
 
-        // Execute the handler inside a transaction.
-        let apps = &self.apps;
-        let handler = apps[app_idx].handler(hidx).expect("handler index valid");
-        let handler_name = handler.name.clone();
-        let in_type = env.msg.type_name().to_string();
-        let msg_len = env.msg.encoded_len();
-
-        let mut ctx = RcvCtx {
-            hive: me,
-            app: app_name.clone(),
-            bee: bee_id,
-            src: env.src,
-            now_ms: now,
-            trace: env.trace,
-            deliveries: env.deliveries,
-            tx: TxState::begin(&mut bee.state),
-            outbox: Vec::new(),
-            control_out: Vec::new(),
-            retire: false,
-        };
-        let started = std::time::Instant::now();
-        // A panic is contained at the message boundary, exactly like `Err`:
-        // roll back, classify, then redeliver or dead-letter below.
-        let outcome: Result<(), (FailureKind, String)> =
-            if self.faults.should_fail(&app_name, &in_type) {
-                Err((FailureKind::Error, "injected handler fault".to_string()))
-            } else {
-                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    handler.rcv(env.msg.as_ref(), &mut ctx)
-                })) {
-                    Ok(Ok(())) => Ok(()),
-                    Ok(Err(e)) => Err((FailureKind::Error, e)),
-                    Err(payload) => Err((FailureKind::Panic, panic_detail(payload.as_ref()))),
-                }
-            };
-        let elapsed = started.elapsed().as_nanos() as u64;
-
-        let RcvCtx {
-            tx,
-            outbox,
-            control_out,
-            retire,
-            ..
-        } = ctx;
-        let ok = outcome.is_ok();
-        let (journal, outbox, control_out) = if ok {
-            (tx.commit(), outbox, control_out)
-        } else {
-            (tx.rollback(), Vec::new(), Vec::new())
-        };
-        let retire = ok && retire;
-
-        // Claim newly written cells that fall outside the colony.
+        // Phase 1: drain the batch and run it inside one transaction, with
+        // the bee (and its state) borrowed from the queen.
+        let mut records: Vec<Done> = Vec::new();
+        let mut failed: Vec<Failed> = Vec::new();
         let mut new_cells: Vec<Cell> = Vec::new();
-        if ok && !pinned {
-            for op in &journal.ops {
-                let (dict, key) = match op {
-                    crate::state::JournalOp::Put { dict, key, .. } => (dict, key),
-                    crate::state::JournalOp::Del { dict, key } => (dict, key),
+        let (has_more, pinned) = {
+            let queen = &mut self.queens[app_idx];
+            let Some(bee) = queen.bee_mut(bee_id) else {
+                return 0;
+            };
+            if bee.status != BeeStatus::Active {
+                return 0;
+            }
+            // Quarantined: leave the backlog queued; the cooldown timer
+            // re-queues the bee for its half-open probe.
+            if bee.is_quarantined(now) {
+                return 0;
+            }
+            // A half-open probe (cooldown elapsed, breaker still armed)
+            // runs exactly one message regardless of the batch limit.
+            let probing = bee.quarantined_until_ms.is_some();
+            let limit = if probing { 1 } else { max_batch };
+            let take = limit.min(bee.mailbox.len());
+            if take == 0 {
+                return 0;
+            }
+            let batch: Vec<(u16, Envelope)> = bee.mailbox.drain(..take).collect();
+            let has_more = !bee.mailbox.is_empty();
+            let pinned = bee.pinned;
+            records.reserve(batch.len());
+
+            let apps = &self.apps;
+            let mut tx = TxState::begin(&mut bee.state);
+            for (hidx, env) in batch {
+                let handler = apps[app_idx].handler(hidx).expect("handler index valid");
+                let in_type = env.msg.type_name().to_string();
+                let msg_len = env.msg.encoded_len();
+
+                let sp = tx.savepoint();
+                let mut ctx = RcvCtx {
+                    hive: me,
+                    app: app_name.clone(),
+                    bee: bee_id,
+                    src: env.src,
+                    now_ms: now,
+                    trace: env.trace,
+                    deliveries: env.deliveries,
+                    tx,
+                    outbox: Vec::new(),
+                    control_out: Vec::new(),
+                    retire: false,
                 };
-                if key == crate::cell::WHOLE_DICT_KEY {
-                    continue;
-                }
-                let covered = bee.colony.contains(&Cell {
-                    dict: dict.clone(),
-                    key: key.clone(),
-                }) || bee.colony.contains(&Cell::whole(dict.clone()));
-                if !covered {
-                    let cell = Cell {
-                        dict: dict.clone(),
-                        key: key.clone(),
-                    };
-                    bee.colony.insert(cell.clone());
-                    new_cells.push(cell);
-                }
-            }
-        }
-        let colony_len = bee.colony.len() as u64;
+                let started = std::time::Instant::now();
+                // A panic is contained at the message boundary, exactly like
+                // `Err`: roll back, classify, then redeliver or dead-letter.
+                let outcome: Result<(), (FailureKind, String)> = if self
+                    .faults
+                    .should_fail(&app_name, &in_type)
+                {
+                    Err((FailureKind::Error, "injected handler fault".to_string()))
+                } else {
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        handler.rcv(env.msg.as_ref(), &mut ctx)
+                    })) {
+                        Ok(Ok(())) => Ok(()),
+                        Ok(Err(e)) => Err((FailureKind::Error, e)),
+                        Err(payload) => Err((FailureKind::Panic, panic_detail(payload.as_ref()))),
+                    }
+                };
+                let elapsed = started.elapsed().as_nanos() as u64;
 
-        // Colony replication: sequence and encode the committed journal for
-        // shipping to this bee's shadow hives.
-        let mut replicate: Option<(u64, Vec<u8>)> = None;
-        if ok && !pinned && self.cfg.replication_factor > 1 && !journal.is_empty() {
-            bee.repl_seq += 1;
-            if let Ok(bytes) = beehive_wire::to_vec(&journal) {
-                replicate = Some((bee.repl_seq, bytes));
-            }
-        }
+                let RcvCtx {
+                    tx: tx_back,
+                    outbox,
+                    control_out,
+                    retire,
+                    ..
+                } = ctx;
+                tx = tx_back;
+                let ok = outcome.is_ok();
+                let (journal, outbox, control_out) = if ok {
+                    (tx.take_journal_since(&sp), outbox, control_out)
+                } else {
+                    tx.rollback_to(&sp);
+                    (crate::state::TxJournal::default(), Vec::new(), Vec::new())
+                };
 
-        // Instrumentation.
+                // Claim newly written cells that fall outside the colony.
+                if ok && !pinned {
+                    for op in &journal.ops {
+                        let (dict, key) = match op {
+                            crate::state::JournalOp::Put { dict, key, .. } => (dict, key),
+                            crate::state::JournalOp::Del { dict, key } => (dict, key),
+                        };
+                        if key == crate::cell::WHOLE_DICT_KEY {
+                            continue;
+                        }
+                        let covered = bee.colony.contains(&Cell {
+                            dict: dict.clone(),
+                            key: key.clone(),
+                        }) || bee.colony.contains(&Cell::whole(dict.clone()));
+                        if !covered {
+                            let cell = Cell {
+                                dict: dict.clone(),
+                                key: key.clone(),
+                            };
+                            bee.colony.insert(cell.clone());
+                            new_cells.push(cell.clone());
+                        }
+                    }
+                }
+                let colony_len = bee.colony.len() as u64;
+
+                // Colony replication: sequence and encode the committed
+                // journal for shipping to this bee's shadow hives.
+                let mut replicate: Option<(u64, Vec<u8>)> = None;
+                if ok && !pinned && replicate_on && !journal.is_empty() {
+                    bee.repl_seq += 1;
+                    if let Ok(bytes) = beehive_wire::to_vec(&journal) {
+                        replicate = Some((bee.repl_seq, bytes));
+                    }
+                }
+
+                let (src, trace) = (env.src, env.trace);
+                let failure_kind = match &outcome {
+                    Err((kind, _)) => Some(*kind),
+                    Ok(()) => None,
+                };
+                if let Err((kind, detail)) = outcome {
+                    failed.push(Failed {
+                        hidx,
+                        handler: handler.name.clone(),
+                        env,
+                        kind,
+                        detail,
+                    });
+                }
+                records.push(Done {
+                    src,
+                    trace,
+                    in_type,
+                    msg_len,
+                    ok,
+                    failure_kind,
+                    elapsed,
+                    outbox,
+                    control_out,
+                    replicate,
+                    colony_len,
+                    retire: ok && retire,
+                });
+            }
+            // Per-message journals were drained at their savepoints; the
+            // residual commit is empty and O(1).
+            let residue = tx.commit();
+            debug_assert!(residue.is_empty(), "all journals drained per message");
+            (has_more, pinned)
+        };
+
+        // Phase 2: apply per-message effects in the per-message engine's
+        // order: instrumentation + counters, supervision, breaker outcome,
+        // requeue, outputs, cell claims, retirement.
         {
             let mut instr = self.instr.lock();
-            if env.src.bee().is_some() {
-                instr.record_matrix(env.src.hive(), me);
+            for r in &records {
+                if r.src.bee().is_some() {
+                    instr.record_matrix(r.src.hive(), me);
+                }
+                let stats = instr.bee(&app_name, bee_id);
+                stats.record_in(r.src.hive(), r.src.bee(), r.msg_len);
+                stats.handler_nanos += r.elapsed;
+                if !r.ok {
+                    stats.errors += 1;
+                }
+                if let Some(kind) = r.failure_kind {
+                    instr.record_failure(kind);
+                }
+                for out in &r.outbox {
+                    instr
+                        .bee(&app_name, bee_id)
+                        .record_out(out.msg.encoded_len());
+                    instr.record_provenance(&app_name, &r.in_type, out.msg.type_name());
+                }
+                instr.record_in_type(&app_name, &r.in_type);
+                instr.bee_cells.insert(bee_id.0, r.colony_len);
+                let wait_us = now.saturating_sub(r.trace.enqueued_ms) * 1_000;
+                instr.record_latency(&app_name, &r.in_type, wait_us, r.elapsed / 1_000);
+                self.tracer.record(TraceSpan {
+                    trace_id: r.trace.trace_id,
+                    span_id: r.trace.span_id,
+                    parent_span: r.trace.parent_span,
+                    hive: me,
+                    app: app_name.clone(),
+                    bee: bee_id,
+                    msg_type: r.in_type.clone(),
+                    start_ms: now,
+                    queue_wait_us: wait_us,
+                    runtime_ns: r.elapsed,
+                    ok: r.ok,
+                });
             }
-            let stats = instr.bee(&app_name, bee_id);
-            stats.record_in(env.src.hive(), env.src.bee(), msg_len);
-            stats.handler_nanos += elapsed;
-            if !ok {
-                stats.errors += 1;
-            }
-            if let Err((kind, _)) = &outcome {
-                instr.record_failure(*kind);
-            }
-            for out in &outbox {
-                instr
-                    .bee(&app_name, bee_id)
-                    .record_out(out.msg.encoded_len());
-                instr.record_provenance(&app_name, &in_type, out.msg.type_name());
-            }
-            instr.record_in_type(&app_name, &in_type);
-            instr.bee_cells.insert(bee_id.0, colony_len);
-            let wait_us = now.saturating_sub(env.trace.enqueued_ms) * 1_000;
-            instr.record_latency(&app_name, &in_type, wait_us, elapsed / 1_000);
-            self.tracer.record(TraceSpan {
-                trace_id: env.trace.trace_id,
-                span_id: env.trace.span_id,
-                parent_span: env.trace.parent_span,
-                hive: me,
-                app: app_name.clone(),
-                bee: bee_id,
-                msg_type: in_type.clone(),
-                start_ms: now,
-                queue_wait_us: wait_us,
-                runtime_ns: elapsed,
-                ok,
-            });
         }
-        if !ok {
-            self.counters.handler_errors += 1;
-        } else {
-            self.counters.handled_ok += 1;
+        let mut had_success = false;
+        let mut trailing_failures = 0u32;
+        for r in &records {
+            if r.ok {
+                self.counters.handled_ok += 1;
+                had_success = true;
+                trailing_failures = 0;
+            } else {
+                self.counters.handler_errors += 1;
+                trailing_failures = trailing_failures.saturating_add(1);
+            }
         }
+        let retire = records.last().is_some_and(|r| r.retire);
+        let processed = records.len();
 
-        // Supervision: route the failure (redelivery or dead-letter) and
-        // feed the outcome to the bee's circuit breaker.
-        if let Err((kind, detail)) = outcome {
+        // Supervision: route each failure (redelivery or dead-letter) and
+        // feed the batch outcome to the bee's circuit breaker. With a batch
+        // of one this is exactly the per-message outcome.
+        for f in failed {
             self.handle_failed_delivery(
-                app_idx,
-                bee_id,
-                hidx,
-                &handler_name,
-                env,
-                kind,
-                detail,
-                now,
+                app_idx, bee_id, f.hidx, &f.handler, f.env, f.kind, f.detail, now,
             );
         }
-        self.apply_outcome(app_idx, bee_id, ok, u32::from(!ok), now);
+        self.apply_outcome(app_idx, bee_id, had_success, trailing_failures, now);
 
         // Requeue if there is more mail.
         if has_more {
             self.run_queue.push_back((app_idx, bee_id));
         }
 
-        // Emit the handler's outputs.
-        for env in outbox {
-            self.dispatch_queue.push_back(env);
-        }
-        for (to, cmsg) in control_out {
-            self.send_control(to, &cmsg);
-        }
-        if let Some((seq, bytes)) = replicate {
-            for replica in replicas_of(me, &self.cfg.all_hives, self.cfg.replication_factor) {
-                self.counters.replicated_txs += 1;
-                self.send_control(
-                    replica,
-                    &ControlMsg::ReplicateTx {
-                        app: app_name.clone(),
-                        bee: bee_id,
-                        seq,
-                        journal: bytes.clone(),
-                    },
-                );
+        // Emit the handlers' outputs in message order.
+        for r in &mut records {
+            for env in r.outbox.drain(..) {
+                self.dispatch_queue.push_back(env);
+            }
+            for (to, cmsg) in r.control_out.drain(..) {
+                self.send_control(to, &cmsg);
+            }
+            if let Some((seq, bytes)) = r.replicate.take() {
+                for replica in replicas_of(me, &self.cfg.all_hives, self.cfg.replication_factor) {
+                    self.counters.replicated_txs += 1;
+                    self.send_control(
+                        replica,
+                        &ControlMsg::ReplicateTx {
+                            app: app_name.clone(),
+                            bee: bee_id,
+                            seq,
+                            journal: bytes.clone(),
+                        },
+                    );
+                }
             }
         }
         if !new_cells.is_empty() {
@@ -2370,7 +2480,7 @@ impl Hive {
                 self.submit_tracked(RegistryOp::RemoveBee { bee: bee_id });
             }
         }
-        true
+        processed
     }
 }
 

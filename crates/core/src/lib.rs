@@ -104,7 +104,7 @@ pub use platform::{collector_app, optimizer_app, Tick, COLLECTOR_APP, OPTIMIZER_
 pub use queen::Delivery;
 pub use registry::{RegistryCommand, RegistryEvent, RegistryOp, RegistryState};
 pub use replication::{replicas_of, ShadowStore};
-pub use state::{BeeState, Dict, JournalOp, TxJournal, TxState};
+pub use state::{BeeState, Dict, JournalOp, Savepoint, SharedBytes, TxJournal, TxState};
 pub use supervision::{
     backoff_delay_ms, DeadLetter, DeadLetterStore, FailureKind, HandlerFaults, OverflowPolicy,
 };

@@ -2,13 +2,42 @@
 //!
 //! Each bee owns a [`BeeState`]: the slice of its application's dictionaries
 //! corresponding to the cells in its colony. Handlers run inside a
-//! transaction ([`TxState`]): writes are buffered and either committed
-//! atomically when the handler returns `Ok`, or discarded when it errors —
-//! the paper's "dictionaries … with support for transactions".
+//! transaction ([`TxState`]) — the paper's "dictionaries … with support for
+//! transactions".
+//!
+//! # Copy-on-write engine
+//!
+//! Values are shared buffers ([`SharedBytes`], an `Arc<[u8]>`): reads are
+//! refcount bumps, never deep copies. Every dictionary entry carries a
+//! *generation stamp* — a per-state monotonic counter recorded at write time.
+//! A transaction writes directly into the base state and keeps two logs:
+//!
+//! * an **undo log** recording each touched entry's previous value and
+//!   generation (first touch per savepoint era only — a repeated write to an
+//!   entry whose generation is at or above the era floor needs no new
+//!   record), so rollback is O(touched keys) rather than O(state);
+//! * a **redo journal** of every op in execution order, byte-identical to the
+//!   pre-COW engine's commit journal, shipped to replicas on commit.
+//!
+//! [`TxState::savepoint`] marks a point mid-transaction;
+//! [`TxState::rollback_to`] unwinds exactly the ops after it and
+//! [`TxState::take_journal_since`] drains exactly the ops after it. The
+//! executors use this to run a whole mailbox batch inside one open
+//! transaction with per-message savepoints: a mid-batch handler failure rolls
+//! back only that message.
+//!
+//! Wire compatibility: [`BeeState::snapshot`], [`Dict`] and [`TxJournal`]
+//! serialize byte-identically to the pre-COW clone-based engine — generation
+//! stamps are bookkeeping, never persisted or replicated.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
 
-use serde::{de::DeserializeOwned, Deserialize, Serialize};
+use serde::de::{DeserializeOwned, SeqAccess, Visitor};
+use serde::ser::SerializeStruct;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
 
 use crate::error::{Error, Result};
 
@@ -16,13 +45,94 @@ use crate::error::{Error, Result};
 /// prefixes or virtual-network ids rendered as strings.
 pub type Key = String;
 
+/// An encoded dictionary value: an immutable, cheaply-clonable shared buffer.
+///
+/// Cloning bumps a refcount; the bytes are never copied. Serializes
+/// byte-identically to `Vec<u8>` under the wire format, so snapshots and
+/// replication journals are unchanged from the clone-based engine.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SharedBytes(Arc<[u8]>);
+
 /// An encoded dictionary value.
-pub type Value = Vec<u8>;
+pub type Value = SharedBytes;
+
+impl SharedBytes {
+    /// An owned copy of the bytes (for APIs that need a `Vec<u8>`).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.to_vec()
+    }
+}
+
+impl Deref for SharedBytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for SharedBytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for SharedBytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self(v.into())
+    }
+}
+
+impl From<&[u8]> for SharedBytes {
+    fn from(v: &[u8]) -> Self {
+        Self(Arc::from(v))
+    }
+}
+
+impl PartialEq<Vec<u8>> for SharedBytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        *self.0 == other[..]
+    }
+}
+
+impl PartialEq<[u8]> for SharedBytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        *self.0 == *other
+    }
+}
+
+impl fmt::Debug for SharedBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.0, f)
+    }
+}
+
+impl Serialize for SharedBytes {
+    fn serialize<S: Serializer>(&self, serializer: S) -> std::result::Result<S::Ok, S::Error> {
+        // Element-wise, exactly like Vec<u8>'s generic seq impl — NOT
+        // serialize_bytes, which some formats frame differently.
+        serializer.collect_seq(self.0.iter())
+    }
+}
+
+impl<'de> Deserialize<'de> for SharedBytes {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> std::result::Result<Self, D::Error> {
+        Vec::<u8>::deserialize(deserializer).map(Self::from)
+    }
+}
+
+/// One dictionary entry: the value plus the generation stamp of the write
+/// that produced it. Generation 0 marks non-transactional writes (snapshot
+/// restore, journal replay, colony absorption, direct `put_raw`).
+#[derive(Debug, Clone)]
+struct Entry {
+    value: Value,
+    gen: u64,
+}
 
 /// One state dictionary: an ordered map of keys to encoded values.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Dict {
-    entries: BTreeMap<Key, Value>,
+    entries: BTreeMap<Key, Entry>,
 }
 
 impl Dict {
@@ -33,15 +143,15 @@ impl Dict {
 
     /// Raw get.
     pub fn get_raw(&self, key: &str) -> Option<&Value> {
-        self.entries.get(key)
+        self.entries.get(key).map(|e| &e.value)
     }
 
     /// Typed get: decodes the stored bytes as `T`.
     pub fn get<T: DeserializeOwned>(&self, key: &str) -> Result<Option<T>> {
         match self.entries.get(key) {
             None => Ok(None),
-            Some(bytes) => {
-                beehive_wire::from_slice(bytes)
+            Some(e) => {
+                beehive_wire::from_slice(&e.value)
                     .map(Some)
                     .map_err(|e| Error::StateDecode {
                         dict: String::new(),
@@ -52,15 +162,20 @@ impl Dict {
         }
     }
 
-    /// Raw put.
-    pub fn put_raw(&mut self, key: impl Into<Key>, value: Value) {
-        self.entries.insert(key.into(), value);
+    /// Raw put (non-transactional; stamps generation 0).
+    pub fn put_raw(&mut self, key: impl Into<Key>, value: impl Into<Value>) {
+        self.entries.insert(
+            key.into(),
+            Entry {
+                value: value.into(),
+                gen: 0,
+            },
+        );
     }
 
     /// Typed put: encodes `value` with the wire format.
     pub fn put<T: Serialize>(&mut self, key: impl Into<Key>, value: &T) -> Result<()> {
-        self.entries
-            .insert(key.into(), beehive_wire::to_vec(value)?);
+        self.put_raw(key, beehive_wire::to_vec(value)?);
         Ok(())
     }
 
@@ -91,16 +206,98 @@ impl Dict {
 
     /// Iterates entries in key order.
     pub fn iter(&self) -> impl Iterator<Item = (&Key, &Value)> {
-        self.entries.iter()
+        self.entries.iter().map(|(k, e)| (k, &e.value))
+    }
+
+    fn from_plain(entries: BTreeMap<Key, Value>) -> Self {
+        Self {
+            entries: entries
+                .into_iter()
+                .map(|(k, value)| (k, Entry { value, gen: 0 }))
+                .collect(),
+        }
+    }
+}
+
+/// Equality ignores generation stamps: two dicts with the same contents are
+/// equal even if written along different execution paths (e.g. workers=1 vs
+/// workers=4, or snapshot-restored vs transaction-built).
+impl PartialEq for Dict {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries.len() == other.entries.len()
+            && self
+                .entries
+                .iter()
+                .zip(other.entries.iter())
+                .all(|((ka, ea), (kb, eb))| ka == kb && ea.value == eb.value)
+    }
+}
+
+impl Eq for Dict {}
+
+impl Serialize for Dict {
+    fn serialize<S: Serializer>(&self, serializer: S) -> std::result::Result<S::Ok, S::Error> {
+        // Mirrors the derived impl for `struct Dict { entries: BTreeMap<Key,
+        // Vec<u8>> }`: a one-field struct whose field is a key→bytes map.
+        // Generation stamps are never serialized.
+        struct EntriesView<'a>(&'a BTreeMap<Key, Entry>);
+        impl Serialize for EntriesView<'_> {
+            fn serialize<S: Serializer>(
+                &self,
+                serializer: S,
+            ) -> std::result::Result<S::Ok, S::Error> {
+                serializer.collect_map(self.0.iter().map(|(k, e)| (k, &e.value)))
+            }
+        }
+        let mut st = serializer.serialize_struct("Dict", 1)?;
+        st.serialize_field("entries", &EntriesView(&self.entries))?;
+        st.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for Dict {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> std::result::Result<Self, D::Error> {
+        struct DictVisitor;
+        impl<'de> Visitor<'de> for DictVisitor {
+            type Value = Dict;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("struct Dict")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(
+                self,
+                mut seq: A,
+            ) -> std::result::Result<Dict, A::Error> {
+                let entries: BTreeMap<Key, Value> = seq
+                    .next_element()?
+                    .ok_or_else(|| serde::de::Error::invalid_length(0, &self))?;
+                Ok(Dict::from_plain(entries))
+            }
+        }
+        deserializer.deserialize_struct("Dict", &["entries"], DictVisitor)
     }
 }
 
 /// The state a single bee owns: its application dictionaries restricted to
 /// the bee's colony.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct BeeState {
     dicts: BTreeMap<String, Dict>,
+    /// Monotonic generation counter for transactional writes. Skipped in
+    /// serde — snapshots stay wire-identical to the pre-COW format, and a
+    /// restored state restarts at zero with every entry at generation 0.
+    #[serde(skip)]
+    gen: u64,
 }
+
+/// Equality compares dictionary contents only; the generation counter is
+/// execution-path bookkeeping.
+impl PartialEq for BeeState {
+    fn eq(&self, other: &Self) -> bool {
+        self.dicts == other.dicts
+    }
+}
+
+impl Eq for BeeState {}
 
 impl BeeState {
     /// Empty state.
@@ -145,8 +342,19 @@ impl BeeState {
         let mut conflicts = 0;
         for (name, dict) in other.dicts {
             let target = self.dicts.entry(name).or_default();
-            for (k, v) in dict.entries {
-                if target.entries.insert(k, v).is_some() {
+            for (k, e) in dict.entries {
+                // Absorbed entries are non-transactional writes: gen 0.
+                if target
+                    .entries
+                    .insert(
+                        k,
+                        Entry {
+                            value: e.value,
+                            gen: 0,
+                        },
+                    )
+                    .is_some()
+                {
                     conflicts += 1;
                 }
             }
@@ -155,48 +363,74 @@ impl BeeState {
     }
 }
 
-/// A buffered write.
-#[derive(Debug, Clone, PartialEq)]
-enum TxOp {
-    Put(Value),
-    Del,
+/// One undo record: enough to restore a single touched entry (or un-create a
+/// dictionary) during rollback.
+#[derive(Debug)]
+enum Undo {
+    /// `dict[key]` held `prev` (value + generation) when the current era
+    /// first touched it; `None` means the key was absent.
+    Entry {
+        dict: String,
+        key: Key,
+        prev: Option<(Value, u64)>,
+    },
+    /// The dictionary itself was created by this transaction.
+    CreatedDict { dict: String },
 }
 
-/// A transaction over a [`BeeState`]: reads see through the overlay, writes
-/// buffer until [`TxState::commit`].
+/// A point inside an open transaction. [`TxState::rollback_to`] unwinds all
+/// writes after it; [`TxState::take_journal_since`] drains their journal.
+#[derive(Debug, Clone)]
+pub struct Savepoint {
+    undo_len: usize,
+    redo_len: usize,
+    written_len: usize,
+}
+
+/// A transaction over a [`BeeState`]: copy-on-write, generation-stamped.
+///
+/// Writes apply directly to the base state; an undo log (previous value +
+/// generation of each first-touched entry) makes [`TxState::rollback`] and
+/// [`TxState::rollback_to`] O(touched keys). The redo journal preserves every
+/// op in execution order — byte-identical to the clone-based engine's commit
+/// journal — for colony replication.
 #[derive(Debug)]
 pub struct TxState<'a> {
     base: &'a mut BeeState,
-    ops: HashMap<(String, Key), TxOp>,
+    undo: Vec<Undo>,
     /// Ordered journal for deterministic replay (colony replication).
-    journal: Vec<(String, Key, TxOp)>,
+    redo: Vec<JournalOp>,
+    /// Every `(dict, key)` written, in op order (deduped on read).
+    written: Vec<(String, Key)>,
+    /// Entries with `gen >= era_floor` were first touched in the current
+    /// savepoint era and already have an undo record.
+    era_floor: u64,
 }
 
 impl<'a> TxState<'a> {
     /// Opens a transaction over `base`.
     pub fn begin(base: &'a mut BeeState) -> Self {
+        let era_floor = base.gen + 1;
         TxState {
             base,
-            ops: HashMap::new(),
-            journal: Vec::new(),
+            undo: Vec::new(),
+            redo: Vec::new(),
+            written: Vec::new(),
+            era_floor,
         }
     }
 
-    /// Raw read through the overlay.
+    /// Raw read: a refcount bump, never a byte copy.
     pub fn get_raw(&self, dict: &str, key: &str) -> Option<Value> {
-        match self.ops.get(&(dict.to_string(), key.to_string())) {
-            Some(TxOp::Put(v)) => Some(v.clone()),
-            Some(TxOp::Del) => None,
-            None => self.base.dict(dict).and_then(|d| d.get_raw(key)).cloned(),
-        }
+        self.base.dict(dict).and_then(|d| d.get_raw(key)).cloned()
     }
 
-    /// Typed read through the overlay.
+    /// Typed read.
     pub fn get<T: DeserializeOwned>(&self, dict: &str, key: &str) -> Result<Option<T>> {
-        match self.get_raw(dict, key) {
+        match self.base.dict(dict).and_then(|d| d.get_raw(key)) {
             None => Ok(None),
             Some(bytes) => {
-                beehive_wire::from_slice(&bytes)
+                beehive_wire::from_slice(bytes)
                     .map(Some)
                     .map_err(|e| Error::StateDecode {
                         dict: dict.to_string(),
@@ -207,95 +441,180 @@ impl<'a> TxState<'a> {
         }
     }
 
-    /// Raw buffered write.
-    pub fn put_raw(&mut self, dict: &str, key: impl Into<Key>, value: Value) {
-        let key = key.into();
-        self.ops
-            .insert((dict.to_string(), key.clone()), TxOp::Put(value.clone()));
-        self.journal.push((dict.to_string(), key, TxOp::Put(value)));
+    /// Ensures `dict` exists, recording its creation for rollback.
+    fn ensure_dict(&mut self, dict: &str) {
+        if !self.base.dicts.contains_key(dict) {
+            self.base.dicts.insert(dict.to_string(), Dict::new());
+            self.undo.push(Undo::CreatedDict {
+                dict: dict.to_string(),
+            });
+        }
     }
 
-    /// Typed buffered write.
+    /// Raw write.
+    pub fn put_raw(&mut self, dict: &str, key: impl Into<Key>, value: impl Into<Value>) {
+        let key = key.into();
+        let value: Value = value.into();
+        self.ensure_dict(dict);
+        self.base.gen += 1;
+        let gen = self.base.gen;
+        let d = self.base.dicts.get_mut(dict).expect("ensured above");
+        let prev = d.entries.insert(
+            key.clone(),
+            Entry {
+                value: value.clone(),
+                gen,
+            },
+        );
+        match prev {
+            // Already touched this era: its undo record restores the
+            // pre-era state, so this write needs none.
+            Some(e) if e.gen >= self.era_floor => {}
+            Some(e) => self.undo.push(Undo::Entry {
+                dict: dict.to_string(),
+                key: key.clone(),
+                prev: Some((e.value, e.gen)),
+            }),
+            None => self.undo.push(Undo::Entry {
+                dict: dict.to_string(),
+                key: key.clone(),
+                prev: None,
+            }),
+        }
+        self.redo.push(JournalOp::Put {
+            dict: dict.to_string(),
+            key: key.clone(),
+            value,
+        });
+        self.written.push((dict.to_string(), key));
+    }
+
+    /// Typed write.
     pub fn put<T: Serialize>(&mut self, dict: &str, key: impl Into<Key>, value: &T) -> Result<()> {
         self.put_raw(dict, key, beehive_wire::to_vec(value)?);
         Ok(())
     }
 
-    /// Buffered delete.
+    /// Delete. Like the clone-based engine's commit, this creates the
+    /// dictionary if missing (`dict_mut` semantics) — kept so state and
+    /// snapshot bytes stay identical across the engine swap.
     pub fn del(&mut self, dict: &str, key: &str) {
-        self.ops
-            .insert((dict.to_string(), key.to_string()), TxOp::Del);
-        self.journal
-            .push((dict.to_string(), key.to_string(), TxOp::Del));
-    }
-
-    /// Whether a key is visible through the overlay.
-    pub fn contains(&self, dict: &str, key: &str) -> bool {
-        match self.ops.get(&(dict.to_string(), key.to_string())) {
-            Some(TxOp::Put(_)) => true,
-            Some(TxOp::Del) => false,
-            None => self.base.dict(dict).is_some_and(|d| d.contains(key)),
+        self.ensure_dict(dict);
+        let d = self.base.dicts.get_mut(dict).expect("ensured above");
+        if let Some(e) = d.entries.remove(key) {
+            if e.gen < self.era_floor {
+                self.undo.push(Undo::Entry {
+                    dict: dict.to_string(),
+                    key: key.to_string(),
+                    prev: Some((e.value, e.gen)),
+                });
+            }
+            // else: first-touch undo record of this era already restores it.
         }
+        // Deleting an absent key needs no undo: nothing to restore.
+        self.redo.push(JournalOp::Del {
+            dict: dict.to_string(),
+            key: key.to_string(),
+        });
+        self.written.push((dict.to_string(), key.to_string()));
     }
 
-    /// Keys visible through the overlay for `dict`, in order.
+    /// Whether a key is visible.
+    pub fn contains(&self, dict: &str, key: &str) -> bool {
+        self.base.dict(dict).is_some_and(|d| d.contains(key))
+    }
+
+    /// Keys visible for `dict`, in order.
     pub fn keys(&self, dict: &str) -> Vec<Key> {
-        let mut keys: std::collections::BTreeSet<Key> = self
-            .base
+        self.base
             .dict(dict)
             .map(|d| d.keys().cloned().collect())
-            .unwrap_or_default();
-        for ((d, k), op) in &self.ops {
-            if d == dict {
-                match op {
-                    TxOp::Put(_) => {
-                        keys.insert(k.clone());
-                    }
-                    TxOp::Del => {
-                        keys.remove(k);
-                    }
-                }
-            }
-        }
-        keys.into_iter().collect()
+            .unwrap_or_default()
     }
 
     /// Keys *written* (put or deleted) so far — used by the platform to
-    /// detect writes outside the mapped cells.
+    /// detect writes outside the mapped cells. Deduplicated.
     pub fn written_keys(&self) -> impl Iterator<Item = (&String, &Key)> {
-        self.ops.keys().map(|(d, k)| (d, k))
+        self.written
+            .iter()
+            .map(|(d, k)| (d, k))
+            .collect::<BTreeSet<_>>()
+            .into_iter()
     }
 
-    /// True if no writes were buffered.
+    /// True if no writes have happened.
     pub fn is_read_only(&self) -> bool {
-        self.ops.is_empty()
+        self.written.is_empty()
     }
 
-    /// Applies all buffered writes to the base state, returning the write
-    /// journal (for replication).
-    pub fn commit(self) -> TxJournal {
-        let mut journal = Vec::with_capacity(self.journal.len());
-        for (dict, key, op) in self.journal {
-            match &op {
-                TxOp::Put(v) => self.base.dict_mut(&dict).put_raw(key.clone(), v.clone()),
-                TxOp::Del => {
-                    self.base.dict_mut(&dict).del(&key);
+    /// Marks a point in the transaction. Ops after it can be unwound with
+    /// [`TxState::rollback_to`] or drained with
+    /// [`TxState::take_journal_since`]. Starts a new undo era: the next write
+    /// to any entry — even one touched before the savepoint — records fresh
+    /// undo state.
+    pub fn savepoint(&mut self) -> Savepoint {
+        self.era_floor = self.base.gen + 1;
+        Savepoint {
+            undo_len: self.undo.len(),
+            redo_len: self.redo.len(),
+            written_len: self.written.len(),
+        }
+    }
+
+    /// Unwinds every write after `sp` by replaying the undo log in reverse:
+    /// O(keys touched since the savepoint). Writes before `sp` (including
+    /// journal already drained with [`TxState::take_journal_since`]) are
+    /// untouched.
+    pub fn rollback_to(&mut self, sp: &Savepoint) {
+        while self.undo.len() > sp.undo_len {
+            match self.undo.pop().expect("len checked") {
+                Undo::Entry { dict, key, prev } => match prev {
+                    Some((value, gen)) => {
+                        self.base
+                            .dicts
+                            .entry(dict)
+                            .or_default()
+                            .entries
+                            .insert(key, Entry { value, gen });
+                    }
+                    None => {
+                        if let Some(d) = self.base.dicts.get_mut(&dict) {
+                            d.entries.remove(&key);
+                        }
+                    }
+                },
+                Undo::CreatedDict { dict } => {
+                    self.base.dicts.remove(&dict);
                 }
             }
-            journal.push(match op {
-                TxOp::Put(v) => JournalOp::Put {
-                    dict,
-                    key,
-                    value: v,
-                },
-                TxOp::Del => JournalOp::Del { dict, key },
-            });
         }
-        TxJournal { ops: journal }
+        self.redo.truncate(sp.redo_len);
+        self.written.truncate(sp.written_len);
     }
 
-    /// Discards all buffered writes.
-    pub fn rollback(self) -> TxJournal {
+    /// Drains the journal of every op since `sp`, in order — the per-message
+    /// replication journal in a batched drain. The drained writes remain
+    /// applied to the base state.
+    pub fn take_journal_since(&mut self, sp: &Savepoint) -> TxJournal {
+        TxJournal {
+            ops: self.redo.split_off(sp.redo_len),
+        }
+    }
+
+    /// Closes the transaction, returning the (not yet drained) write journal
+    /// for replication. Writes are already applied — this is O(1).
+    pub fn commit(self) -> TxJournal {
+        TxJournal { ops: self.redo }
+    }
+
+    /// Discards the transaction, restoring the base state: O(touched keys).
+    pub fn rollback(mut self) -> TxJournal {
+        let sp = Savepoint {
+            undo_len: 0,
+            redo_len: 0,
+            written_len: 0,
+        };
+        self.rollback_to(&sp);
         TxJournal { ops: Vec::new() }
     }
 }
@@ -475,5 +794,472 @@ mod tests {
         assert_eq!(tx.written_keys().count(), 0);
         tx.put("S", "b", &2u32).unwrap();
         assert_eq!(tx.written_keys().count(), 1);
+        tx.put("S", "b", &3u32).unwrap();
+        assert_eq!(tx.written_keys().count(), 1); // deduped
+    }
+
+    #[test]
+    fn snapshot_bytes_match_pre_cow_format() {
+        // Pins the wire format: a BeeState must serialize exactly like the
+        // old derived `struct BeeState { dicts: BTreeMap<String, Dict> }`
+        // with `struct Dict { entries: BTreeMap<String, Vec<u8>> }`.
+        #[derive(Serialize)]
+        struct OldDict {
+            entries: BTreeMap<String, Vec<u8>>,
+        }
+        #[derive(Serialize)]
+        struct OldState {
+            dicts: BTreeMap<String, OldDict>,
+        }
+
+        let mut s = BeeState::new();
+        let mut tx = TxState::begin(&mut s);
+        tx.put("S", "sw1", &7u64).unwrap();
+        tx.put("S", "sw2", &"edge".to_string()).unwrap();
+        tx.put("T", "l1", &(1u32, 2u32)).unwrap();
+        tx.del("U", "ghost"); // creates empty dict "U", like the old engine
+        tx.commit();
+
+        let mut dicts = BTreeMap::new();
+        for name in s.dict_names() {
+            let d = s.dict(name).unwrap();
+            dicts.insert(
+                name.clone(),
+                OldDict {
+                    entries: d.iter().map(|(k, v)| (k.clone(), v.to_vec())).collect(),
+                },
+            );
+        }
+        assert_eq!(
+            s.snapshot().unwrap(),
+            beehive_wire::to_vec(&OldState { dicts }).unwrap()
+        );
+    }
+
+    #[test]
+    fn shared_bytes_serde_matches_vec() {
+        let v = vec![0u8, 1, 2, 255, 128, 7];
+        let sb = SharedBytes::from(v.clone());
+        assert_eq!(
+            beehive_wire::to_vec(&sb).unwrap(),
+            beehive_wire::to_vec(&v).unwrap()
+        );
+        let back: SharedBytes =
+            beehive_wire::from_slice(&beehive_wire::to_vec(&sb).unwrap()).unwrap();
+        assert_eq!(back, sb);
+    }
+
+    #[test]
+    fn journal_bytes_match_pre_cow_format() {
+        #[derive(Serialize)]
+        enum OldOp {
+            #[allow(dead_code)]
+            Put {
+                dict: String,
+                key: String,
+                value: Vec<u8>,
+            },
+            #[allow(dead_code)]
+            Del { dict: String, key: String },
+        }
+        #[derive(Serialize)]
+        struct OldJournal {
+            ops: Vec<OldOp>,
+        }
+
+        let mut s = BeeState::new();
+        let mut tx = TxState::begin(&mut s);
+        tx.put("S", "a", &42u64).unwrap();
+        tx.del("S", "b");
+        let j = tx.commit();
+
+        let old = OldJournal {
+            ops: vec![
+                OldOp::Put {
+                    dict: "S".into(),
+                    key: "a".into(),
+                    value: beehive_wire::to_vec(&42u64).unwrap(),
+                },
+                OldOp::Del {
+                    dict: "S".into(),
+                    key: "b".into(),
+                },
+            ],
+        };
+        assert_eq!(
+            beehive_wire::to_vec(&j).unwrap(),
+            beehive_wire::to_vec(&old).unwrap()
+        );
+    }
+
+    #[test]
+    fn savepoint_rollback_unwinds_exactly_one_message() {
+        let mut s = BeeState::new();
+        s.dict_mut("S").put("a", &1u32).unwrap();
+        let mut tx = TxState::begin(&mut s);
+
+        // Message 1: succeeds.
+        let sp1 = tx.savepoint();
+        tx.put("S", "a", &10u32).unwrap();
+        tx.put("S", "b", &20u32).unwrap();
+        let j1 = tx.take_journal_since(&sp1);
+        assert_eq!(j1.ops.len(), 2);
+
+        // Message 2: fails — rolled back, message 1's writes survive.
+        let sp2 = tx.savepoint();
+        tx.put("S", "a", &99u32).unwrap();
+        tx.del("S", "b");
+        tx.put("S", "c", &3u32).unwrap();
+        tx.del("T", "ghost"); // created dict must be un-created
+        tx.rollback_to(&sp2);
+
+        // Message 3: succeeds.
+        let sp3 = tx.savepoint();
+        tx.put("S", "c", &30u32).unwrap();
+        let j3 = tx.take_journal_since(&sp3);
+        assert_eq!(j3.ops.len(), 1);
+
+        tx.commit();
+        assert_eq!(s.dict("S").unwrap().get::<u32>("a").unwrap(), Some(10));
+        assert_eq!(s.dict("S").unwrap().get::<u32>("b").unwrap(), Some(20));
+        assert_eq!(s.dict("S").unwrap().get::<u32>("c").unwrap(), Some(30));
+        assert!(s.dict("T").is_none());
+    }
+
+    #[test]
+    fn savepoint_era_records_fresh_undo_for_pre_savepoint_writes() {
+        // A key written before a savepoint and again after must roll back to
+        // its value at the savepoint, not its pre-transaction value.
+        let mut s = BeeState::new();
+        s.dict_mut("S").put("k", &1u32).unwrap();
+        let mut tx = TxState::begin(&mut s);
+        tx.put("S", "k", &2u32).unwrap();
+        let sp = tx.savepoint();
+        tx.put("S", "k", &3u32).unwrap();
+        tx.put("S", "k", &4u32).unwrap(); // second write same era: no new undo
+        tx.rollback_to(&sp);
+        assert_eq!(tx.get::<u32>("S", "k").unwrap(), Some(2));
+        tx.commit();
+        assert_eq!(s.dict("S").unwrap().get::<u32>("k").unwrap(), Some(2));
+    }
+
+    #[test]
+    fn del_creates_dict_like_old_commit_and_rollback_removes_it() {
+        // Old engine: commit applied Del via dict_mut, creating an empty
+        // dict. Snapshot bytes depend on this, so the quirk is preserved.
+        let mut s = BeeState::new();
+        let mut tx = TxState::begin(&mut s);
+        tx.del("D", "nope");
+        let j = tx.commit();
+        assert_eq!(j.ops.len(), 1);
+        assert!(s.dict("D").is_some());
+        assert!(s.dict("D").unwrap().is_empty());
+
+        // And a rolled-back delete leaves no trace.
+        let mut s2 = BeeState::new();
+        let mut tx2 = TxState::begin(&mut s2);
+        tx2.del("D", "nope");
+        tx2.rollback();
+        assert!(s2.dict("D").is_none());
+    }
+
+    #[test]
+    fn rollback_after_absorb_and_snapshot_restore() {
+        // Gen stamps reset to 0 across snapshot/absorb; rollback must still
+        // restore the exact pre-transaction contents.
+        let mut donor = BeeState::new();
+        donor.dict_mut("S").put("x", &5u32).unwrap();
+        let mut s = BeeState::from_snapshot(&donor.snapshot().unwrap()).unwrap();
+        let mut extra = BeeState::new();
+        extra.dict_mut("S").put("y", &6u32).unwrap();
+        s.absorb(extra);
+
+        let before = s.clone();
+        let mut tx = TxState::begin(&mut s);
+        tx.put("S", "x", &50u32).unwrap();
+        tx.del("S", "y");
+        tx.put("S", "z", &7u32).unwrap();
+        tx.rollback();
+        assert_eq!(s, before);
+    }
+}
+
+#[cfg(test)]
+mod cow_equivalence {
+    //! Property tests: the COW engine is observationally equivalent to the
+    //! clone-based engine it replaced. `RefTx` below is a faithful port of
+    //! the old overlay-buffered implementation (including its quirks: every
+    //! op journaled in order, `dict_mut` creation on committed deletes).
+
+    use std::collections::{BTreeMap, HashMap};
+
+    use proptest::prelude::*;
+
+    use super::*;
+
+    /// The old engine's state: dict name → (key → value), where a dict may
+    /// exist and be empty (the committed-delete quirk).
+    #[derive(Debug, Clone, Default, PartialEq)]
+    struct RefState {
+        dicts: BTreeMap<String, BTreeMap<String, Vec<u8>>>,
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum RefOp {
+        Put(Vec<u8>),
+        Del,
+    }
+
+    /// Port of the pre-COW `TxState`: overlay-buffered reads, ops map +
+    /// ordered journal, commit applies in journal order via `dict_mut`.
+    #[derive(Debug, Default)]
+    struct RefTx {
+        ops: HashMap<(String, String), RefOp>,
+        journal: Vec<(String, String, RefOp)>,
+    }
+
+    impl RefTx {
+        fn get_raw(&self, base: &RefState, dict: &str, key: &str) -> Option<Vec<u8>> {
+            match self.ops.get(&(dict.to_string(), key.to_string())) {
+                Some(RefOp::Put(v)) => Some(v.clone()),
+                Some(RefOp::Del) => None,
+                None => base.dicts.get(dict).and_then(|d| d.get(key)).cloned(),
+            }
+        }
+
+        fn put_raw(&mut self, dict: &str, key: &str, value: Vec<u8>) {
+            self.ops.insert(
+                (dict.to_string(), key.to_string()),
+                RefOp::Put(value.clone()),
+            );
+            self.journal
+                .push((dict.to_string(), key.to_string(), RefOp::Put(value)));
+        }
+
+        fn del(&mut self, dict: &str, key: &str) {
+            self.ops
+                .insert((dict.to_string(), key.to_string()), RefOp::Del);
+            self.journal
+                .push((dict.to_string(), key.to_string(), RefOp::Del));
+        }
+
+        fn contains(&self, base: &RefState, dict: &str, key: &str) -> bool {
+            match self.ops.get(&(dict.to_string(), key.to_string())) {
+                Some(RefOp::Put(_)) => true,
+                Some(RefOp::Del) => false,
+                None => base.dicts.get(dict).is_some_and(|d| d.contains_key(key)),
+            }
+        }
+
+        fn keys(&self, base: &RefState, dict: &str) -> Vec<String> {
+            let mut keys: std::collections::BTreeSet<String> = base
+                .dicts
+                .get(dict)
+                .map(|d| d.keys().cloned().collect())
+                .unwrap_or_default();
+            for ((d, k), op) in &self.ops {
+                if d == dict {
+                    match op {
+                        RefOp::Put(_) => {
+                            keys.insert(k.clone());
+                        }
+                        RefOp::Del => {
+                            keys.remove(k);
+                        }
+                    }
+                }
+            }
+            keys.into_iter().collect()
+        }
+
+        fn commit(self, base: &mut RefState) -> Vec<(String, String, RefOp)> {
+            for (dict, key, op) in &self.journal {
+                let d = base.dicts.entry(dict.clone()).or_default();
+                match op {
+                    RefOp::Put(v) => {
+                        d.insert(key.clone(), v.clone());
+                    }
+                    RefOp::Del => {
+                        d.remove(key);
+                    }
+                }
+            }
+            self.journal
+        }
+    }
+
+    /// Extracts the observable contents of a [`BeeState`] for comparison,
+    /// including empty dicts (they are visible in snapshots and audits).
+    fn observe(s: &BeeState) -> RefState {
+        let mut out = RefState::default();
+        for name in s.dict_names() {
+            let d = s.dict(name).unwrap();
+            out.dicts.insert(
+                name.clone(),
+                d.iter().map(|(k, v)| (k.clone(), v.to_vec())).collect(),
+            );
+        }
+        out
+    }
+
+    fn journal_to_ref(j: &TxJournal) -> Vec<(String, String, RefOp)> {
+        j.ops
+            .iter()
+            .map(|op| match op {
+                JournalOp::Put { dict, key, value } => {
+                    (dict.clone(), key.clone(), RefOp::Put(value.to_vec()))
+                }
+                JournalOp::Del { dict, key } => (dict.clone(), key.clone(), RefOp::Del),
+            })
+            .collect()
+    }
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Put(u8, u8, Vec<u8>),
+        Del(u8, u8),
+        Get(u8, u8),
+        Contains(u8, u8),
+        Keys(u8),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (
+                0..4u8,
+                0..8u8,
+                proptest::collection::vec(any::<u8>(), 0..16)
+            )
+                .prop_map(|(d, k, v)| Op::Put(d, k, v)),
+            (0..4u8, 0..8u8).prop_map(|(d, k)| Op::Del(d, k)),
+            (0..4u8, 0..8u8).prop_map(|(d, k)| Op::Get(d, k)),
+            (0..4u8, 0..8u8).prop_map(|(d, k)| Op::Contains(d, k)),
+            (0..4u8).prop_map(Op::Keys),
+        ]
+    }
+
+    fn seed_states(seed: &[(u8, u8, Vec<u8>)]) -> (BeeState, RefState) {
+        let mut s = BeeState::new();
+        let mut r = RefState::default();
+        for (d, k, v) in seed {
+            let (dn, kn) = (format!("d{d}"), format!("k{k}"));
+            s.dict_mut(&dn).put_raw(kn.clone(), v.clone());
+            r.dicts.entry(dn).or_default().insert(kn, v.clone());
+        }
+        (s, r)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Random op sequences + commit/rollback behave exactly like the
+        /// clone-based engine: same read results, same journal, same final
+        /// state.
+        #[test]
+        fn cow_engine_matches_clone_engine(
+            seed in proptest::collection::vec(
+                (0..4u8, 0..8u8, proptest::collection::vec(any::<u8>(), 0..16)), 0..16),
+            ops in proptest::collection::vec(op_strategy(), 0..48),
+            commit in any::<bool>(),
+        ) {
+            let (mut s, mut r) = seed_states(&seed);
+            let r_before = r.clone();
+            let mut tx = TxState::begin(&mut s);
+            let mut rtx = RefTx::default();
+
+            for op in &ops {
+                match op {
+                    Op::Put(d, k, v) => {
+                        let (dn, kn) = (format!("d{d}"), format!("k{k}"));
+                        tx.put_raw(&dn, kn.clone(), v.clone());
+                        rtx.put_raw(&dn, &kn, v.clone());
+                    }
+                    Op::Del(d, k) => {
+                        let (dn, kn) = (format!("d{d}"), format!("k{k}"));
+                        tx.del(&dn, &kn);
+                        rtx.del(&dn, &kn);
+                    }
+                    Op::Get(d, k) => {
+                        let (dn, kn) = (format!("d{d}"), format!("k{k}"));
+                        let got = tx.get_raw(&dn, &kn).map(|v| v.to_vec());
+                        prop_assert_eq!(got, rtx.get_raw(&r, &dn, &kn));
+                    }
+                    Op::Contains(d, k) => {
+                        let (dn, kn) = (format!("d{d}"), format!("k{k}"));
+                        prop_assert_eq!(tx.contains(&dn, &kn), rtx.contains(&r, &dn, &kn));
+                    }
+                    Op::Keys(d) => {
+                        let dn = format!("d{d}");
+                        prop_assert_eq!(tx.keys(&dn), rtx.keys(&r, &dn));
+                    }
+                }
+            }
+
+            if commit {
+                let j = tx.commit();
+                let rj = rtx.commit(&mut r);
+                prop_assert_eq!(journal_to_ref(&j), rj);
+                prop_assert_eq!(observe(&s), r);
+            } else {
+                let j = tx.rollback();
+                prop_assert!(j.is_empty());
+                prop_assert_eq!(observe(&s), r_before);
+            }
+        }
+
+        /// Savepoint semantics: a batch of messages where each either takes
+        /// its journal or rolls back must (a) leave the base equal to a
+        /// fresh replica built by replaying only the taken journals, and
+        /// (b) leave no trace of rolled-back messages.
+        #[test]
+        fn savepoints_match_replayed_journals(
+            seed in proptest::collection::vec(
+                (0..4u8, 0..8u8, proptest::collection::vec(any::<u8>(), 0..16)), 0..8),
+            batch in proptest::collection::vec(
+                (proptest::collection::vec(op_strategy(), 1..12), any::<bool>()), 1..8),
+        ) {
+            let (mut s, _) = seed_states(&seed);
+            let mut replica = s.clone();
+            let mut journals: Vec<TxJournal> = Vec::new();
+
+            let mut tx = TxState::begin(&mut s);
+            for (ops, ok) in &batch {
+                let sp = tx.savepoint();
+                for op in ops {
+                    match op {
+                        Op::Put(d, k, v) => {
+                            tx.put_raw(&format!("d{d}"), format!("k{k}"), v.clone())
+                        }
+                        Op::Del(d, k) => tx.del(&format!("d{d}"), &format!("k{k}")),
+                        Op::Get(d, k) => {
+                            let _ = tx.get_raw(&format!("d{d}"), &format!("k{k}"));
+                        }
+                        Op::Contains(d, k) => {
+                            let _ = tx.contains(&format!("d{d}"), &format!("k{k}"));
+                        }
+                        Op::Keys(d) => {
+                            let _ = tx.keys(&format!("d{d}"));
+                        }
+                    }
+                }
+                if *ok {
+                    journals.push(tx.take_journal_since(&sp));
+                } else {
+                    tx.rollback_to(&sp);
+                }
+            }
+            let rest = tx.commit();
+            prop_assert!(rest.is_empty());
+
+            for j in &journals {
+                j.replay(&mut replica);
+            }
+            // Replay applies Put/Del via dict_mut exactly like a committed
+            // journal on a replica; primary and replica must agree on
+            // observable dict contents. (Empty dicts created by rolled-back
+            // deletes were un-created on the primary; replicas never saw
+            // them at all.)
+            prop_assert_eq!(observe(&s), observe(&replica));
+        }
     }
 }

@@ -1,0 +1,368 @@
+//! `bench-diff` — the bench-regression gate behind the CI `bench-gate` job.
+//!
+//! Compares a freshly produced `BENCH_*.json` summary against the committed
+//! baseline and fails (exit 1) when a tracked metric regresses by more than
+//! the threshold (default 15%).
+//!
+//! ```text
+//! bench-diff <baseline.json> <current.json> [--threshold 0.15] [--all]
+//! ```
+//!
+//! Tracked metrics are the machine-independent ratios — keys whose flattened
+//! path contains `speedup` — because absolute msgs/sec numbers vary with the
+//! CI runner's hardware while same-process speedup ratios do not. `--all`
+//! additionally gates every shared numeric metric (useful on a dedicated,
+//! stable bench machine). Non-tracked metrics are still printed with their
+//! deltas for the PR log.
+//!
+//! Skip paths (exit 0, so the gate never blocks bootstrapping):
+//! * the baseline file does not exist yet — first run on a fresh trajectory;
+//! * the baseline has `"provisional": true` — a seeded estimate that has not
+//!   been replaced by a CI-produced measurement yet.
+//!
+//! The JSON subset parsed here is exactly what the benches emit (objects,
+//! numbers, strings, booleans); the workspace deliberately has no JSON
+//! dependency, so a ~hundred-line reader keeps the gate self-contained.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Flattened numeric metrics (`a.b` paths) plus boolean flags from one file.
+#[derive(Default)]
+struct Summary {
+    numbers: BTreeMap<String, f64>,
+    bools: BTreeMap<String, bool>,
+}
+
+/// Minimal JSON reader over the bench summaries' subset. Produces flattened
+/// dotted paths for nested objects; arrays get numeric path segments.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    // The benches never emit escapes beyond these.
+                    self.pos += 1;
+                    match self.bytes.get(self.pos).copied() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(other) => out.push(other as char),
+                        None => return Err(self.error("unterminated escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_value(&mut self, path: &str, out: &mut Summary) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(path, out),
+            Some(b'[') => self.parse_array(path, out),
+            Some(b'"') => {
+                self.parse_string()?;
+                Ok(())
+            }
+            Some(b't') => self.parse_keyword("true", path, out, Some(true)),
+            Some(b'f') => self.parse_keyword("false", path, out, Some(false)),
+            Some(b'n') => self.parse_keyword("null", path, out, None),
+            Some(_) => self.parse_number(path, out),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(
+        &mut self,
+        word: &str,
+        path: &str,
+        out: &mut Summary,
+        flag: Option<bool>,
+    ) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            if let Some(b) = flag {
+                out.bools.insert(path.to_string(), b);
+            }
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{word}'")))
+        }
+    }
+
+    fn parse_number(&mut self, path: &str, out: &mut Summary) -> Result<(), String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        let value: f64 = text
+            .parse()
+            .map_err(|_| self.error(&format!("invalid number '{text}'")))?;
+        out.numbers.insert(path.to_string(), value);
+        Ok(())
+    }
+
+    fn parse_object(&mut self, path: &str, out: &mut Summary) -> Result<(), String> {
+        self.expect(b'{')?;
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let child = if path.is_empty() {
+                key
+            } else {
+                format!("{path}.{key}")
+            };
+            self.parse_value(&child, out)?;
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self, path: &str, out: &mut Summary) -> Result<(), String> {
+        self.expect(b'[')?;
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        let mut idx = 0usize;
+        loop {
+            self.parse_value(&format!("{path}.{idx}"), out)?;
+            idx += 1;
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+}
+
+fn parse_summary(text: &str) -> Result<Summary, String> {
+    let mut out = Summary::default();
+    let mut p = Parser::new(text);
+    p.parse_value("", &mut out)?;
+    p.skip_ws();
+    Ok(out)
+}
+
+/// Whether a larger value of this metric is better.
+fn higher_is_better(key: &str) -> bool {
+    key.contains("speedup") || key.contains("_per_sec")
+}
+
+/// Whether a smaller value of this metric is better.
+fn lower_is_better(key: &str) -> bool {
+    key.ends_with("_ns") || key.ends_with("_us") || key.ends_with("_ms") || key.contains("_ns.")
+}
+
+/// Whether the metric participates in the gate by default.
+fn tracked(key: &str) -> bool {
+    key.contains("speedup")
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut threshold = 0.15f64;
+    let mut gate_all = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--threshold" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if t > 0.0 => threshold = t,
+                _ => {
+                    eprintln!("bench-diff: --threshold needs a positive number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--all" => gate_all = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench-diff <baseline.json> <current.json> \
+                     [--threshold 0.15] [--all]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => paths.push(other),
+        }
+    }
+    let [baseline_path, current_path] = paths[..] else {
+        eprintln!("usage: bench-diff <baseline.json> <current.json> [--threshold 0.15] [--all]");
+        return ExitCode::from(2);
+    };
+
+    // Skip path 1: no baseline yet — the trajectory starts with this run.
+    let baseline_text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(_) => {
+            println!("bench-diff: no baseline at {baseline_path} — skipping gate (first run)");
+            return ExitCode::SUCCESS;
+        }
+    };
+    let current_text = match std::fs::read_to_string(current_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench-diff: cannot read current summary {current_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match parse_summary(&baseline_text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench-diff: malformed baseline {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let current = match parse_summary(&current_text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench-diff: malformed current summary {current_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Skip path 2: the baseline is a seeded estimate, not a measurement.
+    if baseline.bools.get("provisional").copied().unwrap_or(false) {
+        println!(
+            "bench-diff: baseline {baseline_path} is provisional — recording only, gate skipped"
+        );
+        println!("current metrics:");
+        for (key, value) in &current.numbers {
+            println!("  {key} = {value}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut regressions: Vec<String> = Vec::new();
+    println!(
+        "bench-diff: {current_path} vs baseline {baseline_path} (threshold {:.0}%)",
+        threshold * 100.0
+    );
+    for (key, &base) in &baseline.numbers {
+        let Some(&cur) = current.numbers.get(key) else {
+            println!("  {key}: {base} -> (missing in current)");
+            continue;
+        };
+        let delta = if base.abs() > f64::EPSILON {
+            (cur - base) / base.abs()
+        } else {
+            0.0
+        };
+        let gated = gate_all || tracked(key);
+        let regressed = if higher_is_better(key) {
+            delta < -threshold
+        } else if lower_is_better(key) {
+            delta > threshold
+        } else {
+            false
+        };
+        let marker = match (gated, regressed) {
+            (true, true) => "REGRESSED",
+            (true, false) => "ok",
+            (false, _) => "info",
+        };
+        println!(
+            "  {key}: {base} -> {cur} ({:+.1}%) [{marker}]",
+            delta * 100.0
+        );
+        if gated && regressed {
+            regressions.push(format!("{key}: {base} -> {cur} ({:+.1}%)", delta * 100.0));
+        }
+    }
+    for key in current.numbers.keys() {
+        if !baseline.numbers.contains_key(key) {
+            println!("  {key}: (new metric) = {}", current.numbers[key]);
+        }
+    }
+
+    if regressions.is_empty() {
+        println!(
+            "bench-diff: no tracked metric regressed more than {:.0}%",
+            threshold * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench-diff: {} tracked metric(s) regressed more than {:.0}%:",
+            regressions.len(),
+            threshold * 100.0
+        );
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        ExitCode::FAILURE
+    }
+}
