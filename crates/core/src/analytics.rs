@@ -55,6 +55,10 @@ pub struct Analytics {
     channel_acks: u64,
     /// Latest outbox-depth gauge per hive (last report wins).
     outbox_depth_per_hive: BTreeMap<u32, u64>,
+    /// When this analytics instance was created (drives the uptime gauge).
+    /// Not serialized: a deserialized instance reports zero uptime.
+    #[serde(skip)]
+    started: Option<std::time::Instant>,
 }
 
 /// One application's aggregate load.
@@ -75,7 +79,16 @@ pub struct AppLoad {
 impl Analytics {
     /// Empty analytics.
     pub fn new() -> Self {
-        Self::default()
+        Analytics {
+            started: Some(std::time::Instant::now()),
+            ..Self::default()
+        }
+    }
+
+    /// Seconds since [`Analytics::new`] was called (0.0 for deserialized or
+    /// `Default`-constructed instances).
+    pub fn uptime_seconds(&self) -> f64 {
+        self.started.map_or(0.0, |s| s.elapsed().as_secs_f64())
     }
 
     /// Folds one metrics report in.
@@ -244,6 +257,28 @@ impl Analytics {
     pub fn render_prometheus(&self) -> String {
         let mut out = String::with_capacity(4096);
 
+        out.push_str("# HELP beehive_build_info Build metadata; the value is always 1.\n");
+        out.push_str("# TYPE beehive_build_info gauge\n");
+        push_sample(
+            &mut out,
+            "beehive_build_info",
+            &[
+                ("version", env!("CARGO_PKG_VERSION")),
+                (
+                    "git_sha",
+                    option_env!("BEEHIVE_GIT_SHA").unwrap_or("unknown"),
+                ),
+            ],
+            1.0,
+        );
+        out.push_str("# HELP beehive_uptime_seconds Seconds since analytics started.\n");
+        out.push_str("# TYPE beehive_uptime_seconds gauge\n");
+        push_sample(
+            &mut out,
+            "beehive_uptime_seconds",
+            &[],
+            self.uptime_seconds(),
+        );
         out.push_str("# HELP beehive_app_messages_total Messages processed per application.\n");
         out.push_str("# TYPE beehive_app_messages_total counter\n");
         for (app, load) in &self.per_app {

@@ -35,9 +35,11 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
+use crate::events::{EventJournal, EventKind};
 use crate::id::{BeeId, HiveId};
 use crate::outbox::{JournalEntry, Outbox, OutboxState};
 use crate::supervision::backoff_delay_ms;
@@ -212,6 +214,13 @@ pub struct ReliableChannels {
     dups_suppressed: u64,
     acks_sent: u64,
     delta: ChannelDelta,
+    /// Flight-recorder journal for epoch-mint and compaction events.
+    /// `None` for bare channels (unit tests).
+    events: Option<Arc<EventJournal>>,
+    /// Whether this incarnation's epoch was freshly minted (as opposed to
+    /// restored from a durable journal) — reported by the
+    /// [`ReliableChannels::set_events`] mint event.
+    minted_fresh: bool,
 }
 
 impl ReliableChannels {
@@ -267,6 +276,8 @@ impl ReliableChannels {
             dups_suppressed: 0,
             acks_sent: 0,
             delta: ChannelDelta::default(),
+            events: None,
+            minted_fresh: fresh,
         };
         if fresh {
             ch.journal_append(JournalEntry::Epoch { epoch });
@@ -305,6 +316,25 @@ impl ReliableChannels {
     /// This incarnation's channel epoch.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Hands the channel the hive's event journal. The epoch is minted (or
+    /// restored) in [`ReliableChannels::new`], before the journal exists, so
+    /// the mint event is emitted here, once, on wiring.
+    pub fn set_events(&mut self, events: Arc<EventJournal>) {
+        events.record(
+            EventKind::ChannelEpochMint,
+            format!(
+                "epoch {} ({})",
+                self.epoch,
+                if self.minted_fresh {
+                    "freshly minted"
+                } else {
+                    "restored from outbox journal"
+                }
+            ),
+        );
+        self.events = Some(events);
     }
 
     /// Sequences `env_bytes` toward `to`, journals it, buffers it for
@@ -543,9 +573,22 @@ impl ReliableChannels {
         if journal.appends_since_compact() >= COMPACT_EVERY {
             let snapshot = self.snapshot_entries();
             if let Some(journal) = self.journal.as_mut() {
-                if let Err(e) = journal.compact(&snapshot) {
-                    eprintln!("beehive: hive {} outbox compaction failed ({e}); channel degrading to memory", self.id.0);
-                    self.journal = None;
+                match journal.compact(&snapshot) {
+                    Ok(bytes) => {
+                        if let Some(events) = &self.events {
+                            events.record(
+                                EventKind::OutboxCompaction,
+                                format!(
+                                    "rewrote journal to {} entries ({bytes} bytes)",
+                                    snapshot.len()
+                                ),
+                            );
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("beehive: hive {} outbox compaction failed ({e}); channel degrading to memory", self.id.0);
+                        self.journal = None;
+                    }
                 }
             }
         }

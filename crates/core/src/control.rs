@@ -75,6 +75,24 @@ pub enum ControlMsg {
         /// Serialized [`crate::state::BeeState`].
         state: Vec<u8>,
     },
+    /// Asks a hive for every retained trace span of `trace_id` (cross-hive
+    /// trace assembly, [`crate::trace::TraceHub`]). Best-effort: a hive
+    /// whose span ring already overwrote the trace returns an empty reply.
+    TraceQuery {
+        /// Correlates replies with the originating query.
+        query_id: u64,
+        /// The causal trace to collect.
+        trace_id: u64,
+    },
+    /// A hive's answer to [`ControlMsg::TraceQuery`].
+    TraceReply {
+        /// Echoed from the query.
+        query_id: u64,
+        /// Echoed from the query.
+        trace_id: u64,
+        /// All spans of the trace retained by the replying hive.
+        spans: Vec<crate::trace::TraceSpan>,
+    },
     /// Standalone cumulative ack for the reliable channel layer
     /// ([`crate::channel`]): every application frame of `ack_epoch` with
     /// sequence `<= upto` was delivered by the sending hive. Emitted only

@@ -21,6 +21,7 @@ use crate::cell::{Cell, Mapped};
 use crate::channel::{ChannelDelivery, ChannelTuning, ReliableChannels};
 use crate::clock::Clock;
 use crate::control::ControlMsg;
+use crate::events::{EventJournal, EventKind};
 use crate::executor::{BeeJob, Executor, Parker};
 use crate::id::{AppName, BeeId, HiveId};
 use crate::message::{Dst, Envelope, Message, MessageRegistry, Source, WireEnvelope};
@@ -33,8 +34,13 @@ use crate::state::{BeeState, TxState};
 use crate::supervision::{
     panic_detail, DeadLetter, DeadLetterStore, FailureKind, HandlerFaults, OverflowPolicy,
 };
-use crate::trace::{TraceCollector, TraceSpan};
+use crate::trace::{TraceCollector, TraceHub, TraceSpan};
 use crate::transport::{Frame, FrameKind, Transport};
+
+/// How long a cross-hive trace query waits for stragglers before the hub
+/// delivers whatever arrived (assembly is best-effort: an unreachable hive
+/// must not wedge introspection).
+const TRACE_QUERY_TIMEOUT_MS: u64 = 2_000;
 
 /// FNV-1a 64-bit over raw bytes — the same digest the chaos harness uses;
 /// tiny, dependency-free and byte-stable across platforms.
@@ -91,6 +97,10 @@ pub struct HiveConfig {
     /// Capacity of the causal-trace span ring buffer (see
     /// [`crate::trace::TraceCollector`]). Old spans are overwritten.
     pub trace_capacity: usize,
+    /// Capacity of the flight-recorder event journal (see
+    /// [`crate::events::EventJournal`]). Old events are overwritten; the
+    /// recorded total keeps counting.
+    pub event_capacity: usize,
     /// How many times a message whose handler failed (`Err` or panic) is
     /// redelivered before it is dead-lettered. 0 dead-letters on the first
     /// failure; the total attempts for a poisoned message is
@@ -162,6 +172,7 @@ impl HiveConfig {
             registry_storage_dir: None,
             workers: 1,
             trace_capacity: 4096,
+            event_capacity: 4096,
             max_redeliveries: 3,
             redelivery_backoff_ms: 100,
             quarantine_threshold: 10,
@@ -281,6 +292,13 @@ impl HiveHandle {
         let _ = self.tx.send(env);
         self.parker.unpark();
     }
+
+    /// Wakes the hive's run loop without sending a message. Used by the
+    /// status server after queueing work on a side channel the hive polls
+    /// in its step (e.g. a [`crate::trace::TraceHub`] query).
+    pub fn nudge(&self) {
+        self.parker.unpark();
+    }
 }
 
 enum RegBackend {
@@ -370,12 +388,24 @@ pub struct Hive {
     /// Parker for [`Hive::run`]'s idle wait, shared with every
     /// [`HiveHandle`] and handed to the transport as its waker.
     parker: Arc<Parker>,
+    /// Flight-recorder journal of lifecycle events, shared with the queens,
+    /// channels, shadows and the transport (see [`crate::events`]).
+    events: Arc<EventJournal>,
+    /// Cross-hive trace assembly hub: outside callers submit trace ids, the
+    /// step loop broadcasts [`ControlMsg::TraceQuery`] and feeds replies
+    /// back (see [`crate::trace::TraceHub`]).
+    trace_hub: Arc<TraceHub>,
+    /// In-flight trace queries and their expiry deadlines `(query_id, due)`.
+    trace_query_deadlines: Vec<(u64, u64)>,
+    /// Last observed registry Raft term/leader, for change events.
+    last_raft_term: u64,
+    last_raft_leader: Option<u64>,
 }
 
 impl Hive {
     /// Creates a hive. Install applications with [`Hive::install`] before
     /// stepping.
-    pub fn new(cfg: HiveConfig, clock: Arc<dyn Clock>, transport: Box<dyn Transport>) -> Self {
+    pub fn new(cfg: HiveConfig, clock: Arc<dyn Clock>, mut transport: Box<dyn Transport>) -> Self {
         assert_eq!(
             cfg.id,
             transport.local(),
@@ -443,7 +473,9 @@ impl Hive {
         };
         let tracer = Arc::new(TraceCollector::new(cfg.trace_capacity));
         let dead_letters = Arc::new(DeadLetterStore::new(cfg.dead_letter_capacity));
-        let channels = ReliableChannels::new(
+        let events = Arc::new(EventJournal::new(cfg.id, cfg.event_capacity, clock.clone()));
+        transport.set_events(events.clone());
+        let mut channels = ReliableChannels::new(
             cfg.id,
             ChannelTuning {
                 resend_ms: cfg.channel_resend_ms,
@@ -453,6 +485,9 @@ impl Hive {
             cfg.registry_storage_dir.as_deref(),
             clock.now_ms(),
         );
+        channels.set_events(events.clone());
+        let mut shadows = ShadowStore::new();
+        shadows.set_events(events.clone());
         let (handle_tx, handle_rx) = unbounded();
         let mut msg_registry = MessageRegistry::new();
         msg_registry.register::<Tick>();
@@ -484,7 +519,7 @@ impl Hive {
             last_app_tick_ms: 0,
             tick_seq: 0,
             applied_seq: 0,
-            shadows: ShadowStore::new(),
+            shadows,
             recovering: HashSet::new(),
             dead_letters,
             faults: Arc::new(HandlerFaults::new()),
@@ -495,10 +530,19 @@ impl Hive {
             last_outbox_depth: 0,
             executor,
             parker: Arc::new(Parker::new()),
+            events,
+            trace_hub: Arc::new(TraceHub::new()),
+            trace_query_deadlines: Vec::new(),
+            last_raft_term: 0,
+            last_raft_leader: None,
         };
         if let RegBackend::Raft(node) = &hive.registry {
-            // Restored durable state: start the fence at the snapshot point.
+            // Restored durable state: start the fence at the snapshot point,
+            // and the term/leader watermarks at the restored values so the
+            // journal only records genuine changes from here on.
             hive.applied_seq = node.last_applied();
+            hive.last_raft_term = node.term();
+            hive.last_raft_leader = node.leader_hint();
         }
         hive
     }
@@ -519,7 +563,9 @@ impl Hive {
         );
         app.register_messages(&mut self.msg_registry);
         self.app_idx.insert(app.name().clone(), self.apps.len());
-        self.queens.push(Queen::new(app.name().clone()));
+        let mut queen = Queen::new(app.name().clone());
+        queen.set_events(self.events.clone());
+        self.queens.push(queen);
         self.apps.push(Arc::new(app));
     }
 
@@ -546,6 +592,18 @@ impl Hive {
     /// This hive's causal-trace span collector.
     pub fn tracer(&self) -> Arc<TraceCollector> {
         self.tracer.clone()
+    }
+
+    /// This hive's flight-recorder event journal.
+    pub fn events(&self) -> Arc<EventJournal> {
+        self.events.clone()
+    }
+
+    /// The cross-hive trace assembly hub. Submit a trace id, wake the hive
+    /// ([`HiveHandle::nudge`]), and wait: the step loop pulls the trace's
+    /// spans from every reachable hive and completes the query.
+    pub fn trace_hub(&self) -> Arc<TraceHub> {
+        self.trace_hub.clone()
     }
 
     /// This hive's dead-letter queue.
@@ -894,6 +952,10 @@ impl Hive {
             }
         }
 
+        // 3b. Registry Raft term/leader watch: frames (phase 2) and ticks
+        // (phase 3) may have moved the group; record genuine changes.
+        self.poll_raft_events();
+
         // 4. Applied registry events.
         work += self.drain_applied();
 
@@ -938,6 +1000,14 @@ impl Hive {
             let mut still: Vec<(usize, BeeId, u64)> = Vec::new();
             for (app_idx, bee, until) in std::mem::take(&mut self.quarantine_timers) {
                 if now >= until {
+                    self.events.record_full(
+                        EventKind::QuarantineHalfOpen,
+                        0,
+                        self.apps[app_idx].name(),
+                        Some(bee),
+                        None,
+                        "cooldown expired; next message is the half-open probe",
+                    );
                     if self.queens[app_idx]
                         .bee(bee)
                         .is_some_and(|b| !b.mailbox.is_empty())
@@ -967,6 +1037,11 @@ impl Hive {
                 work += 1;
             }
         }
+
+        // 6e. Cross-hive trace assembly: broadcast freshly submitted trace
+        // queries to every peer and expire overdue ones with whatever
+        // replies arrived.
+        self.poll_trace_queries(now);
 
         // 7. Orphan retries. Retried orphans re-enter dispatch with their
         // ORIGINAL park time, so a message that keeps failing to route is
@@ -1024,6 +1099,63 @@ impl Hive {
             self.last_outbox_depth = outbox_depth;
         }
         work
+    }
+
+    /// Records registry Raft term and leader changes into the event journal.
+    /// Pure observation of already-deterministic state, so it cannot perturb
+    /// simulated replay.
+    fn poll_raft_events(&mut self) {
+        let RegBackend::Raft(node) = &self.registry else {
+            return;
+        };
+        let term = node.term();
+        let leader = node.leader_hint();
+        if term != self.last_raft_term {
+            let detail = format!("term {} -> {}", self.last_raft_term, term);
+            self.last_raft_term = term;
+            self.events.record(EventKind::RaftTermChange, detail);
+        }
+        if leader != self.last_raft_leader {
+            let peer = leader.map(HiveId::from_raft);
+            let detail = match leader {
+                Some(l) => format!("leader is hive-{l}"),
+                None => "no known leader".to_string(),
+            };
+            self.last_raft_leader = leader;
+            self.events
+                .record_full(EventKind::RaftLeaderChange, 0, "", None, peer, detail);
+        }
+    }
+
+    /// Drains trace queries submitted through the hub ([`Hive::trace_hub`]):
+    /// seeds each with the local span ring, broadcasts
+    /// [`ControlMsg::TraceQuery`] to every peer, and expires queries whose
+    /// deadline passed so a partitioned peer can't wedge the caller.
+    fn poll_trace_queries(&mut self, now: u64) {
+        for (query_id, trace_id) in self.trace_hub.take_requests() {
+            let peers = self.transport.peers();
+            let local = self.tracer.spans_for(trace_id);
+            self.trace_hub.start(query_id, peers.len(), local);
+            if peers.is_empty() {
+                continue;
+            }
+            for peer in peers {
+                self.send_control(peer, &ControlMsg::TraceQuery { query_id, trace_id });
+            }
+            self.trace_query_deadlines
+                .push((query_id, now + TRACE_QUERY_TIMEOUT_MS));
+        }
+        if !self.trace_query_deadlines.is_empty() {
+            let hub = self.trace_hub.clone();
+            self.trace_query_deadlines.retain(|&(query_id, due)| {
+                if now >= due {
+                    hub.expire(query_id);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
     }
 
     fn drain_applied(&mut self) -> usize {
@@ -1105,6 +1237,7 @@ impl Hive {
             || !self.orphans.is_empty()
             || !self.retry_queue.is_empty()
             || !self.quarantine_timers.is_empty()
+            || !self.trace_query_deadlines.is_empty()
             || self.channels.has_pending()
         {
             park = park.min(5);
@@ -1344,6 +1477,14 @@ impl Hive {
                         staged.repl_seq,
                     );
                     self.counters.migrations_in += 1;
+                    self.events.record_full(
+                        EventKind::MigrationCommit,
+                        0,
+                        app,
+                        Some(bee),
+                        None,
+                        "staged state activated on direct delivery",
+                    );
                 } else {
                     self.queens[app_idx].ensure_bee(bee, colony);
                 }
@@ -1483,6 +1624,14 @@ impl Hive {
     ) {
         self.counters.dead_letters += 1;
         self.instr.lock().dead_letters += 1;
+        self.events.record_full(
+            EventKind::DeadLettered,
+            env.trace.trace_id,
+            self.apps[app_idx].name(),
+            Some(bee),
+            None,
+            format!("{}: {detail}", kind.label()),
+        );
         let attempts = if kind.is_handler_failure() {
             env.deliveries + 1
         } else {
@@ -1567,6 +1716,14 @@ impl Hive {
         );
         if let Some(until) = tripped {
             self.counters.quarantines += 1;
+            self.events.record_full(
+                EventKind::QuarantineOpen,
+                0,
+                self.apps[app_idx].name(),
+                Some(bee),
+                None,
+                format!("breaker tripped; cooldown until {until}ms"),
+            );
             self.quarantine_timers.push((app_idx, bee, until));
             self.instr.lock().quarantined = self.quarantine_timers.len() as u64;
         }
@@ -1799,6 +1956,14 @@ impl Hive {
                 };
                 if from == self.cfg.id && to != self.cfg.id {
                     let mail = self.queens[ai].finish_migration_out(bee, to);
+                    self.events.record_full(
+                        EventKind::MigrationCommit,
+                        0,
+                        &app,
+                        Some(bee),
+                        Some(to),
+                        "source handoff complete; buffered mail forwarded",
+                    );
                     for (h, mut env) in mail {
                         env.dst = Dst::Bee {
                             app: app.clone(),
@@ -1817,6 +1982,14 @@ impl Hive {
                             staged.repl_seq,
                         );
                         self.counters.migrations_in += 1;
+                        self.events.record_full(
+                            EventKind::MigrationCommit,
+                            0,
+                            &app,
+                            Some(bee),
+                            Some(from),
+                            "staged state activated on move commit",
+                        );
                         if self.queens[ai].bee(bee).is_some_and(|b| b.runnable()) {
                             self.run_queue.push_back((ai, bee));
                         }
@@ -1831,6 +2004,14 @@ impl Hive {
                             .unwrap_or_default();
                         self.queens[ai].install_migrated(bee, shadow.state, colony, shadow.seq);
                         self.counters.failovers += 1;
+                        self.events.record_full(
+                            EventKind::MigrationCommit,
+                            0,
+                            &app,
+                            Some(bee),
+                            Some(from),
+                            "failover: promoted local shadow",
+                        );
                     } else {
                         self.queens[ai].stage_in(bee);
                     }
@@ -1878,6 +2059,14 @@ impl Hive {
                 }
                 if let Some((state, colony, repl_seq)) = self.queens[ai].start_migration(bee, to) {
                     self.counters.migrations_started += 1;
+                    self.events.record_full(
+                        EventKind::MigrationStart,
+                        0,
+                        &app,
+                        Some(bee),
+                        Some(to),
+                        "shipping state to destination",
+                    );
                     self.send_control(
                         to,
                         &ControlMsg::MigrateState {
@@ -1889,6 +2078,15 @@ impl Hive {
                         },
                     );
                     self.submit_tracked(RegistryOp::MoveBee { bee, to });
+                } else {
+                    self.events.record_full(
+                        EventKind::MigrationAbort,
+                        0,
+                        &app,
+                        Some(bee),
+                        Some(to),
+                        "bee unknown, inactive or already migrating",
+                    );
                 }
             }
             ControlMsg::MigrateState {
@@ -1920,6 +2118,14 @@ impl Hive {
                 if self.registry_view().hive_of(bee) == Some(self.cfg.id) {
                     self.queens[ai].install_migrated(bee, state, colony, repl_seq);
                     self.counters.migrations_in += 1;
+                    self.events.record_full(
+                        EventKind::MigrationCommit,
+                        0,
+                        &app,
+                        Some(bee),
+                        Some(from),
+                        "state installed and activated",
+                    );
                     if self.queens[ai].bee(bee).is_some_and(|b| b.runnable()) {
                         self.run_queue.push_back((ai, bee));
                     }
@@ -2020,6 +2226,22 @@ impl Hive {
             }
             ControlMsg::ChannelAck { ack_epoch, upto } => {
                 self.channels.on_ack(from, ack_epoch, upto);
+            }
+            ControlMsg::TraceQuery { query_id, trace_id } => {
+                let spans = self.tracer.spans_for(trace_id);
+                self.send_control(
+                    from,
+                    &ControlMsg::TraceReply {
+                        query_id,
+                        trace_id,
+                        spans,
+                    },
+                );
+            }
+            ControlMsg::TraceReply {
+                query_id, spans, ..
+            } => {
+                self.trace_hub.add_reply(query_id, spans);
             }
         }
     }

@@ -66,10 +66,12 @@ pub mod channel;
 pub mod clock;
 pub mod control;
 pub mod error;
+pub mod events;
 mod executor;
 pub mod feedback;
 pub mod hive;
 pub mod id;
+pub mod introspect;
 pub mod message;
 pub mod metrics;
 pub mod optimizer;
@@ -92,8 +94,10 @@ pub use channel::{
 };
 pub use clock::{Clock, SimClock, SystemClock};
 pub use error::{Error, Result};
+pub use events::{Event, EventJournal, EventKind};
 pub use hive::{Hive, HiveConfig, HiveCounters, HiveHandle};
 pub use id::{AppName, BeeId, HiveId};
+pub use introspect::{render_metrics, StatusContext, StatusServer};
 pub use message::{cast, Dst, Envelope, Message, MessageRegistry, Source, TypedMessage};
 pub use metrics::{
     BeeStats, BeeStatsSnapshot, ExecutorStats, HiveMetrics, Instrumentation, LatencyHistogram,
@@ -108,7 +112,9 @@ pub use state::{BeeState, Dict, JournalOp, Savepoint, SharedBytes, TxJournal, Tx
 pub use supervision::{
     backoff_delay_ms, DeadLetter, DeadLetterStore, FailureKind, HandlerFaults, OverflowPolicy,
 };
-pub use trace::{chrome_trace, TraceCollector, TraceContext, TraceSpan};
+pub use trace::{
+    chrome_trace, chrome_trace_merged, TraceCollector, TraceContext, TraceHub, TraceSpan,
+};
 pub use transport::{Frame, FrameKind, Loopback, Transport, TransportCounters, TransportSnapshot};
 
 /// Common imports for application authors.

@@ -263,7 +263,8 @@ impl Outbox {
     }
 
     /// Atomically replaces the journal with `snapshot` (tmp + rename).
-    pub fn compact(&mut self, snapshot: &[JournalEntry]) -> io::Result<()> {
+    /// Returns the size in bytes of the rewritten journal.
+    pub fn compact(&mut self, snapshot: &[JournalEntry]) -> io::Result<u64> {
         let tmp = self.path.with_extension("outbox.tmp");
         let mut buf = Vec::new();
         for entry in snapshot {
@@ -280,7 +281,7 @@ impl Outbox {
         std::fs::rename(&tmp, &self.path)?;
         self.file = OpenOptions::new().append(true).open(&self.path)?;
         self.appends_since_compact = 0;
-        Ok(())
+        Ok(buf.len() as u64)
     }
 
     /// The journal's path (diagnostics).

@@ -2,8 +2,10 @@
 //! state, mailboxes, lifecycle (creation, merge, migration) and tombstones.
 
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 use crate::cell::Cell;
+use crate::events::{EventJournal, EventKind};
 use crate::id::{AppName, BeeId, HiveId};
 use crate::message::Envelope;
 use crate::state::BeeState;
@@ -145,6 +147,9 @@ pub struct Queen {
     /// a merge event, so late mail addressed to a merged-away bee can be
     /// re-aimed at the surviving colony.
     merge_redirects: HashMap<BeeId, BeeId>,
+    /// The hive's flight-recorder journal, for bee spawn/retire and
+    /// quarantine-close events. `None` for bare queens (unit tests).
+    events: Option<Arc<EventJournal>>,
 }
 
 impl Queen {
@@ -158,6 +163,20 @@ impl Queen {
             early_merges: HashMap::new(),
             absorbed: HashSet::new(),
             merge_redirects: HashMap::new(),
+            events: None,
+        }
+    }
+
+    /// Hands this queen the hive's event journal (wired by
+    /// [`crate::hive::Hive::install`]).
+    pub fn set_events(&mut self, events: Arc<EventJournal>) {
+        self.events = Some(events);
+    }
+
+    /// Records a bee lifecycle event, if a journal is wired.
+    fn emit(&self, kind: EventKind, bee: BeeId, detail: &str) {
+        if let Some(events) = &self.events {
+            events.record_full(kind, 0, &self.app, Some(bee), None, detail);
         }
     }
 
@@ -220,6 +239,9 @@ impl Queen {
         colony: impl IntoIterator<Item = Cell>,
     ) -> &mut LocalBee {
         self.tombstones.remove(&id); // a bee can migrate back
+        if !self.bees.contains_key(&id) {
+            self.emit(EventKind::BeeSpawned, id, "created by cell routing");
+        }
         let bee = self
             .bees
             .entry(id)
@@ -234,6 +256,7 @@ impl Queen {
             return id;
         }
         let id = alloc();
+        self.emit(EventKind::BeeSpawned, id, "created as hive-local singleton");
         self.bees
             .insert(id, LocalBee::new(id, BTreeSet::new(), true));
         self.singleton = Some(id);
@@ -311,21 +334,30 @@ impl Queen {
         now_ms: u64,
     ) -> Option<u64> {
         let bee = self.bees.get_mut(&id)?;
+        let mut closed = false;
         if had_success {
             bee.consecutive_failures = trailing_failures;
             if trailing_failures == 0 {
-                bee.quarantined_until_ms = None;
+                closed = bee.quarantined_until_ms.take().is_some();
             }
         } else {
             bee.consecutive_failures = bee.consecutive_failures.saturating_add(trailing_failures);
         }
-        if threshold > 0 && bee.consecutive_failures >= threshold {
+        let tripped = if threshold > 0 && bee.consecutive_failures >= threshold {
             let until = now_ms + cooldown_ms;
             bee.quarantined_until_ms = Some(until);
             Some(until)
         } else {
             None
+        };
+        if closed && tripped.is_none() {
+            self.emit(
+                EventKind::QuarantineClose,
+                id,
+                "half-open probe succeeded; breaker closed",
+            );
         }
+        tripped
     }
 
     /// Whether `id` is quarantined at `now_ms`.
@@ -431,6 +463,11 @@ impl Queen {
         let Some(bee) = self.bees.remove(&id) else {
             return Vec::new();
         };
+        self.emit(
+            EventKind::BeeRetired,
+            id,
+            &format!("migrated out to hive-{}", to.0),
+        );
         self.tombstones.insert(id, to);
         bee.mailbox.into_iter().collect()
     }
@@ -445,6 +482,9 @@ impl Queen {
         repl_seq: u64,
     ) {
         self.tombstones.remove(&id);
+        if !self.bees.contains_key(&id) {
+            self.emit(EventKind::BeeSpawned, id, "created by migration install");
+        }
         let bee = self
             .bees
             .entry(id)
@@ -459,6 +499,13 @@ impl Queen {
     /// shipment is still in flight; its mailbox buffers until installation.
     pub fn stage_in(&mut self, id: BeeId) -> &mut LocalBee {
         self.tombstones.remove(&id);
+        if !self.bees.contains_key(&id) {
+            self.emit(
+                EventKind::BeeSpawned,
+                id,
+                "staged in ahead of state shipment",
+            );
+        }
         let bee = self
             .bees
             .entry(id)
@@ -540,6 +587,7 @@ impl Queen {
     /// so the hive can ship/forward them to the winner.
     pub fn remove_loser(&mut self, loser: BeeId) -> Option<(BeeState, Vec<(u16, Envelope)>)> {
         let bee = self.bees.remove(&loser)?;
+        self.emit(EventKind::BeeRetired, loser, "absorbed by colony merge");
         if self.singleton == Some(loser) {
             self.singleton = None;
         }
@@ -548,7 +596,9 @@ impl Queen {
 
     /// Removes a bee entirely (registry `Removed` event).
     pub fn remove(&mut self, id: BeeId) {
-        self.bees.remove(&id);
+        if self.bees.remove(&id).is_some() {
+            self.emit(EventKind::BeeRetired, id, "removed by registry event");
+        }
         if self.singleton == Some(id) {
             self.singleton = None;
         }

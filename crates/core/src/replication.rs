@@ -21,7 +21,9 @@
 //!   when the move commits.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use crate::events::{EventJournal, EventKind};
 use crate::id::{AppName, BeeId, HiveId};
 use crate::state::{BeeState, TxJournal};
 
@@ -40,6 +42,9 @@ pub struct ShadowBee {
 #[derive(Debug, Default)]
 pub struct ShadowStore {
     shadows: HashMap<(AppName, BeeId), ShadowBee>,
+    /// Flight-recorder journal for replica-gap events. `None` for bare
+    /// stores (unit tests).
+    events: Option<Arc<EventJournal>>,
 }
 
 /// Result of offering a journal to the store.
@@ -57,6 +62,12 @@ impl ShadowStore {
     /// Empty store.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Hands the store the hive's event journal (wired by the hive on
+    /// construction).
+    pub fn set_events(&mut self, events: Arc<EventJournal>) {
+        self.events = Some(events);
     }
 
     /// Number of shadows held.
@@ -82,7 +93,18 @@ impl ShadowStore {
         } else if seq <= shadow.seq {
             ApplyOutcome::Stale
         } else {
+            let expected = shadow.seq + 1;
             shadow.dirty = true;
+            if let Some(events) = &self.events {
+                events.record_full(
+                    EventKind::ReplicaGap,
+                    0,
+                    app,
+                    Some(bee),
+                    None,
+                    format!("expected seq {expected}, got {seq}; requesting full resync"),
+                );
+            }
             ApplyOutcome::NeedSync
         }
     }

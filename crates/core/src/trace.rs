@@ -214,32 +214,225 @@ pub fn chrome_trace(spans: &[TraceSpan], trace_id: u64) -> String {
             out.push(',');
         }
         first = false;
-        out.push_str("\n  {\"name\":\"");
-        escape_json(crate::analytics::short_type(&s.msg_type), &mut out);
-        out.push_str("\",\"cat\":\"");
-        escape_json(&s.app, &mut out);
-        out.push_str("\",\"ph\":\"X\",\"ts\":");
-        out.push_str(&(s.start_ms * 1000).to_string());
-        out.push_str(",\"dur\":");
-        out.push_str(&(s.runtime_ns / 1_000).max(1).to_string());
-        out.push_str(",\"pid\":");
-        out.push_str(&s.hive.0.to_string());
-        out.push_str(",\"tid\":");
-        out.push_str(&s.bee.0.to_string());
-        out.push_str(",\"args\":{\"trace\":");
-        out.push_str(&s.trace_id.to_string());
-        out.push_str(",\"span\":");
-        out.push_str(&s.span_id.to_string());
-        out.push_str(",\"parent\":");
-        out.push_str(&s.parent_span.to_string());
-        out.push_str(",\"queue_wait_us\":");
-        out.push_str(&s.queue_wait_us.to_string());
-        out.push_str(",\"ok\":");
-        out.push_str(if s.ok { "true" } else { "false" });
-        out.push_str("}}");
+        push_span_event(s, &mut out);
     }
     out.push_str("\n]\n");
     out
+}
+
+/// Renders one span as a chrome-trace complete ("X") event.
+fn push_span_event(s: &TraceSpan, out: &mut String) {
+    out.push_str("\n  {\"name\":\"");
+    escape_json(crate::analytics::short_type(&s.msg_type), out);
+    out.push_str("\",\"cat\":\"");
+    escape_json(&s.app, out);
+    out.push_str("\",\"ph\":\"X\",\"ts\":");
+    out.push_str(&(s.start_ms * 1000).to_string());
+    out.push_str(",\"dur\":");
+    out.push_str(&(s.runtime_ns / 1_000).max(1).to_string());
+    out.push_str(",\"pid\":");
+    out.push_str(&s.hive.0.to_string());
+    out.push_str(",\"tid\":");
+    out.push_str(&s.bee.0.to_string());
+    out.push_str(",\"args\":{\"trace\":");
+    out.push_str(&s.trace_id.to_string());
+    out.push_str(",\"span\":");
+    out.push_str(&s.span_id.to_string());
+    out.push_str(",\"parent\":");
+    out.push_str(&s.parent_span.to_string());
+    out.push_str(",\"queue_wait_us\":");
+    out.push_str(&s.queue_wait_us.to_string());
+    out.push_str(",\"ok\":");
+    out.push_str(if s.ok { "true" } else { "false" });
+    out.push_str("}}");
+}
+
+/// Renders a *cluster* trace — spans gathered from several hives — as one
+/// chrome-trace JSON array with a named process lane per hive. Per-hive
+/// clocks are not comparable, so timestamps stay in each hive's own
+/// timebase; the causal chain (`args.span` / `args.parent`) is the
+/// cross-lane link, not the time axis. Spans are deduplicated by
+/// `(hive, span_id)` and ordered by (start, span) within the whole array.
+pub fn chrome_trace_merged(spans: &[TraceSpan], trace_id: u64) -> String {
+    let mut spans: Vec<&TraceSpan> = spans.iter().filter(|s| s.trace_id == trace_id).collect();
+    spans.sort_by(|a, b| (a.hive, a.span_id, a.start_ms).cmp(&(b.hive, b.span_id, b.start_ms)));
+    spans.dedup_by_key(|s| (s.hive, s.span_id));
+    spans.sort_by(|a, b| (a.start_ms, a.span_id).cmp(&(b.start_ms, b.span_id)));
+
+    let mut hives: Vec<HiveId> = spans.iter().map(|s| s.hive).collect();
+    hives.sort();
+    hives.dedup();
+
+    let mut out = String::from("[");
+    let mut first = true;
+    for h in &hives {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n  {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":");
+        out.push_str(&h.0.to_string());
+        out.push_str(",\"args\":{\"name\":\"hive-");
+        out.push_str(&h.0.to_string());
+        out.push_str("\"}}");
+    }
+    for s in &spans {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        push_span_event(s, &mut out);
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Coordinates cross-hive trace assembly between a hive's step loop and
+/// outside callers (the HTTP status server, tests).
+///
+/// A caller [`TraceHub::submit`]s a trace id and blocks in
+/// [`TraceHub::wait`]; the owning hive drains the request in its next step
+/// via [`TraceHub::take_requests`], broadcasts
+/// [`crate::control::ControlMsg::TraceQuery`] to every peer, seeds the
+/// pending query with its local spans ([`TraceHub::start`]), and feeds each
+/// [`crate::control::ControlMsg::TraceReply`] back through
+/// [`TraceHub::add_reply`]. The query completes when every peer answered or
+/// when the hive [`TraceHub::expire`]s it — assembly is best-effort by
+/// design (an unreachable hive must not wedge introspection), so a result
+/// may be partial.
+#[derive(Default)]
+pub struct TraceHub {
+    inner: Mutex<HubInner>,
+    cv: parking_lot::Condvar,
+}
+
+#[derive(Default)]
+struct HubInner {
+    next_query: u64,
+    /// Submitted trace ids the hive has not picked up yet.
+    requests: Vec<(u64, u64)>,
+    pending: std::collections::BTreeMap<u64, PendingQuery>,
+}
+
+struct PendingQuery {
+    outstanding: usize,
+    spans: Vec<TraceSpan>,
+    done: bool,
+}
+
+impl TraceHub {
+    /// A hub with no pending queries.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a query for `trace_id` and returns its query id. The
+    /// caller should wake the owning hive (its handle's `nudge`) and then
+    /// [`TraceHub::wait`].
+    pub fn submit(&self, trace_id: u64) -> u64 {
+        let mut inner = self.inner.lock();
+        inner.next_query += 1;
+        let qid = inner.next_query;
+        inner.requests.push((qid, trace_id));
+        qid
+    }
+
+    /// Hive-side: drains submitted `(query_id, trace_id)` pairs.
+    pub fn take_requests(&self) -> Vec<(u64, u64)> {
+        std::mem::take(&mut self.inner.lock().requests)
+    }
+
+    /// Hive-side: opens the pending query after broadcasting `TraceQuery`
+    /// to `outstanding` peers, seeding it with the hive's local spans.
+    /// With no peers the query completes immediately.
+    pub fn start(&self, query_id: u64, outstanding: usize, local_spans: Vec<TraceSpan>) {
+        let mut inner = self.inner.lock();
+        inner.pending.insert(
+            query_id,
+            PendingQuery {
+                outstanding,
+                spans: local_spans,
+                done: outstanding == 0,
+            },
+        );
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// Hive-side: merges one peer's reply. Unknown query ids (already
+    /// expired or delivered) are ignored.
+    pub fn add_reply(&self, query_id: u64, spans: Vec<TraceSpan>) {
+        let mut inner = self.inner.lock();
+        if let Some(p) = inner.pending.get_mut(&query_id) {
+            p.spans.extend(spans);
+            p.outstanding = p.outstanding.saturating_sub(1);
+            if p.outstanding == 0 {
+                p.done = true;
+            }
+        }
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// Hive-side: completes the query with whatever has arrived (deadline
+    /// hit; some peers never answered).
+    pub fn expire(&self, query_id: u64) {
+        let mut inner = self.inner.lock();
+        if let Some(p) = inner.pending.get_mut(&query_id) {
+            p.done = true;
+        }
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// Non-blocking check: the merged spans if the query completed.
+    /// Consumes the query on success.
+    pub fn try_result(&self, query_id: u64) -> Option<Vec<TraceSpan>> {
+        let mut inner = self.inner.lock();
+        if inner.pending.get(&query_id).is_some_and(|p| p.done) {
+            let p = inner.pending.remove(&query_id).unwrap();
+            return Some(finish_spans(p.spans));
+        }
+        None
+    }
+
+    /// Blocks until the query completes or `timeout` passes, returning the
+    /// merged (possibly partial) spans. Consumes the query.
+    pub fn wait(&self, query_id: u64, timeout: std::time::Duration) -> Vec<TraceSpan> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        loop {
+            let done = inner.pending.get(&query_id).is_some_and(|p| p.done);
+            if done || std::time::Instant::now() >= deadline {
+                let spans = inner
+                    .pending
+                    .remove(&query_id)
+                    .map(|p| p.spans)
+                    .unwrap_or_default();
+                return finish_spans(spans);
+            }
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            self.cv.wait_for(&mut inner, remaining);
+        }
+    }
+}
+
+impl fmt::Debug for TraceHub {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("TraceHub")
+            .field("queued_requests", &inner.requests.len())
+            .field("pending", &inner.pending.len())
+            .finish()
+    }
+}
+
+/// Dedupes by `(hive, span_id)` and restores global (start, span) order.
+fn finish_spans(mut spans: Vec<TraceSpan>) -> Vec<TraceSpan> {
+    spans.sort_by(|a, b| (a.hive, a.span_id, a.start_ms).cmp(&(b.hive, b.span_id, b.start_ms)));
+    spans.dedup_by_key(|s| (s.hive, s.span_id));
+    spans.sort_by(|a, b| (a.start_ms, a.span_id).cmp(&(b.start_ms, b.span_id)));
+    spans
 }
 
 #[cfg(test)]
@@ -322,5 +515,77 @@ mod tests {
         assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
         assert!(json.contains("\"span\":2,\"parent\":1"));
         assert!(json.starts_with('[') && json.trim_end().ends_with(']'));
+    }
+
+    fn span_on(hive: u32, trace: u64, span_id: u64, parent: u64, start: u64) -> TraceSpan {
+        TraceSpan {
+            hive: HiveId(hive),
+            bee: BeeId::new(HiveId(hive), 1),
+            ..span(trace, span_id, parent, start)
+        }
+    }
+
+    #[test]
+    fn merged_trace_gets_one_named_lane_per_hive_and_dedupes() {
+        let spans = vec![
+            span_on(1, 7, 10, 0, 5),
+            span_on(2, 7, 11, 10, 6),
+            span_on(2, 7, 11, 10, 6), // duplicate reply
+            span_on(2, 9, 99, 0, 7),  // other trace
+        ];
+        let json = chrome_trace_merged(&spans, 7);
+        assert_eq!(json.matches("\"ph\":\"M\"").count(), 2, "{json}");
+        assert!(json.contains("\"name\":\"hive-1\""));
+        assert!(json.contains("\"name\":\"hive-2\""));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2, "{json}");
+        assert!(json.contains("\"span\":11,\"parent\":10"));
+        assert!(!json.contains("\"span\":99"));
+    }
+
+    #[test]
+    fn hub_completes_immediately_with_no_peers() {
+        let hub = TraceHub::new();
+        let qid = hub.submit(7);
+        assert_eq!(hub.take_requests(), vec![(qid, 7)]);
+        assert!(hub.take_requests().is_empty(), "drained once");
+        hub.start(qid, 0, vec![span(7, 1, 0, 1)]);
+        let spans = hub.try_result(qid).expect("no peers => done");
+        assert_eq!(spans.len(), 1);
+        assert!(hub.try_result(qid).is_none(), "consumed");
+    }
+
+    #[test]
+    fn hub_merges_replies_and_completes_on_last_peer() {
+        let hub = TraceHub::new();
+        let qid = hub.submit(7);
+        hub.take_requests();
+        hub.start(qid, 2, vec![span_on(1, 7, 10, 0, 5)]);
+        assert!(hub.try_result(qid).is_none(), "2 peers outstanding");
+        hub.add_reply(qid, vec![span_on(2, 7, 11, 10, 6)]);
+        assert!(hub.try_result(qid).is_none(), "1 peer outstanding");
+        hub.add_reply(qid, vec![]);
+        let spans = hub.wait(qid, std::time::Duration::from_millis(1));
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].span_id, 10);
+        assert_eq!(spans[1].parent_span, 10);
+    }
+
+    #[test]
+    fn hub_expire_yields_partial_result() {
+        let hub = TraceHub::new();
+        let qid = hub.submit(7);
+        hub.take_requests();
+        hub.start(qid, 3, vec![span_on(1, 7, 10, 0, 5)]);
+        hub.add_reply(qid, vec![span_on(2, 7, 11, 10, 6)]);
+        hub.expire(qid);
+        let spans = hub.try_result(qid).expect("expired => done");
+        assert_eq!(spans.len(), 2);
+    }
+
+    #[test]
+    fn hub_wait_times_out_to_empty_on_unknown_query() {
+        let hub = TraceHub::new();
+        let spans = hub.wait(12345, std::time::Duration::from_millis(5));
+        assert!(spans.is_empty());
     }
 }

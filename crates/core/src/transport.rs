@@ -244,6 +244,11 @@ pub trait Transport: Send {
     /// loopback, the simulator fabric) can ignore it — the caller drives
     /// them synchronously.
     fn set_waker(&mut self, _waker: std::sync::Arc<dyn Fn() + Send + Sync>) {}
+    /// Hands the transport the hive's flight-recorder journal so it can
+    /// record peer connect/disconnect and deferred-eviction events.
+    /// Transports without connection lifecycles (the loopback, the
+    /// simulator fabric) can ignore it.
+    fn set_events(&mut self, _events: std::sync::Arc<crate::events::EventJournal>) {}
 }
 
 /// Single-hive transport: sends to self loop back, sends to anyone else are

@@ -10,6 +10,7 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 
+use beehive_core::events::{EventJournal, EventKind};
 use beehive_core::transport::{Frame, FrameKind, Transport, TransportCounters};
 use beehive_core::HiveId;
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -18,6 +19,17 @@ use parking_lot::Mutex;
 /// Wakeup callback invoked by reader threads when a frame lands in the
 /// inbox (set after bind by `Hive::run` via [`Transport::set_waker`]).
 type SharedWaker = Arc<Mutex<Option<Arc<dyn Fn() + Send + Sync>>>>;
+
+/// The hive's flight-recorder journal, shared with reader threads (set
+/// after bind via [`Transport::set_events`], like the waker).
+type SharedEvents = Arc<Mutex<Option<Arc<EventJournal>>>>;
+
+/// Records a peer lifecycle event if a journal is wired.
+fn emit(events: &SharedEvents, kind: EventKind, peer: HiveId, detail: &str) {
+    if let Some(journal) = events.lock().clone() {
+        journal.record_full(kind, 0, "", None, Some(peer), detail);
+    }
+}
 
 const KIND_APP: u8 = 0;
 const KIND_RAFT: u8 = 1;
@@ -122,6 +134,7 @@ pub struct TcpTransport {
     shutdown: Arc<std::sync::atomic::AtomicBool>,
     waker: SharedWaker,
     counters: Arc<TransportCounters>,
+    events: SharedEvents,
 }
 
 impl TcpTransport {
@@ -138,11 +151,13 @@ impl TcpTransport {
         let shutdown = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let waker: SharedWaker = Arc::new(Mutex::new(None));
         let counters = Arc::new(TransportCounters::new());
+        let events: SharedEvents = Arc::new(Mutex::new(None));
 
         let accept_tx = inbox_tx.clone();
         let accept_shutdown = shutdown.clone();
         let accept_waker = waker.clone();
         let accept_counters = counters.clone();
+        let accept_events = events.clone();
         std::thread::Builder::new()
             .name(format!("bh-tcp-accept-{}", id.0))
             .spawn(move || {
@@ -155,9 +170,10 @@ impl TcpTransport {
                     let stop = accept_shutdown.clone();
                     let waker = accept_waker.clone();
                     let counters = accept_counters.clone();
+                    let events = accept_events.clone();
                     std::thread::Builder::new()
                         .name("bh-tcp-read".into())
-                        .spawn(move || reader_loop(stream, tx, stop, waker, counters))
+                        .spawn(move || reader_loop(stream, tx, stop, waker, counters, events))
                         .ok();
                 }
             })
@@ -174,6 +190,7 @@ impl TcpTransport {
             shutdown,
             waker,
             counters,
+            events,
         })
     }
 
@@ -220,8 +237,18 @@ impl TcpTransport {
                 .position(|f| f.kind == FrameKind::App)
                 .or_else(|| q.iter().position(|f| f.kind == FrameKind::Raft))
                 .unwrap_or(0);
+            let evicted_kind = q[victim].kind;
             q.remove(victim);
             self.counters.record_deferred_evicted();
+            emit(
+                &self.events,
+                EventKind::DeferredEvict,
+                to,
+                &format!(
+                    "deferred queue full ({DEFERRED_CAP}); evicted oldest {} frame",
+                    evicted_kind.label()
+                ),
+            );
         }
         q.push_back(frame);
         self.counters.record_deferred();
@@ -262,12 +289,19 @@ fn reader_loop(
     stop: Arc<std::sync::atomic::AtomicBool>,
     waker: SharedWaker,
     counters: Arc<TransportCounters>,
+    events: SharedEvents,
 ) {
     // The first frame must be a handshake naming the peer.
     let peer = match read_frame(&mut stream) {
         Ok((src, KIND_HANDSHAKE, _)) => src,
         _ => return,
     };
+    emit(
+        &events,
+        EventKind::PeerConnect,
+        peer,
+        "inbound connection accepted (handshake received)",
+    );
     while !stop.load(std::sync::atomic::Ordering::Relaxed) {
         match read_frame(&mut stream) {
             Ok((_src, kind_byte, payload)) => {
@@ -292,7 +326,15 @@ fn reader_loop(
                     wake();
                 }
             }
-            Err(_) => return,
+            Err(_) => {
+                emit(
+                    &events,
+                    EventKind::PeerDisconnect,
+                    peer,
+                    "inbound connection closed (peer went away or read error)",
+                );
+                return;
+            }
         }
     }
 }
@@ -331,6 +373,12 @@ impl Transport for TcpTransport {
                     Some(s) => {
                         self.connect_backoff.lock().remove(&to);
                         self.counters.record_connect_success(to);
+                        emit(
+                            &self.events,
+                            EventKind::PeerConnect,
+                            to,
+                            "outbound connection established",
+                        );
                         e.insert(s);
                     }
                     None => {
@@ -348,6 +396,12 @@ impl Transport for TcpTransport {
                         self.counters.record_connect_failure(to, window_ms);
                         drop(backoff);
                         drop(outgoing);
+                        emit(
+                            &self.events,
+                            EventKind::PeerDisconnect,
+                            to,
+                            &format!("connect failed; backing off {window_ms}ms"),
+                        );
                         self.defer(to, frame);
                         return;
                     }
@@ -390,6 +444,10 @@ impl Transport for TcpTransport {
 
     fn set_waker(&mut self, waker: Arc<dyn Fn() + Send + Sync>) {
         *self.waker.lock() = Some(waker);
+    }
+
+    fn set_events(&mut self, events: Arc<EventJournal>) {
+        *self.events.lock() = Some(events);
     }
 }
 

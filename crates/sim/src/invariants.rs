@@ -3,7 +3,7 @@
 //! After every virtual tick the chaos runner snapshots the whole cluster
 //! into a [`ClusterAudit`] — per-hive counters, colonies, dictionary
 //! contents, registry digests, plus fabric fault accounting — and runs the
-//! five checkers over it:
+//! six checkers over it:
 //!
 //! 1. **Ownership exclusivity** ([`check_ownership`]): no cell is owned by
 //!    two live active bees, and no bee is active on two hives.
@@ -20,10 +20,18 @@
 //!    crashes and restarts.
 //! 5. **Trace well-formedness** ([`check_traces`]): no recorded span has a
 //!    zero trace/span id or is its own parent.
+//! 6. **Event-journal well-formedness** ([`check_events`]): the flight
+//!    recorder never produced an event whose JSON rendering is malformed
+//!    (unbalanced quotes / raw control characters), as counted by the
+//!    journal's own self-audit.
 //!
 //! Audits also fold into a [`Digest`] that deliberately excludes wall-clock
 //! times and span ids (the only values that may differ between two runs of
 //! the same seed), so two runs of one seed produce byte-identical digests.
+//! The event-journal counter is likewise excluded: event counts depend on
+//! wall-clock-driven paths (connect backoff, half-open probes) and auditing
+//! them would make digests timing-sensitive; the checker gates on the
+//! *malformed* count instead, which must always be zero.
 
 use std::collections::BTreeMap;
 
@@ -37,7 +45,7 @@ use crate::cluster::SimCluster;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// The checker that fired (`"ownership"`, `"registry"`,
-    /// `"conservation"`, `"atomicity"`, `"traces"`).
+    /// `"conservation"`, `"atomicity"`, `"traces"`, `"events"`).
     pub checker: &'static str,
     /// Virtual tick at which the audit was taken.
     pub tick: u64,
@@ -146,6 +154,9 @@ pub struct HiveAudit {
     /// Recorded trace spans that are structurally malformed (zero ids, or a
     /// span that is its own parent).
     pub malformed_spans: u64,
+    /// Flight-recorder events whose JSON rendering failed the journal's
+    /// self-audit (unbalanced quotes or raw control characters).
+    pub malformed_events: u64,
 }
 
 /// A whole-cluster snapshot taken between virtual ticks, when no handler is
@@ -209,6 +220,7 @@ pub fn gather(
             colonies,
             dicts,
             malformed_spans,
+            malformed_events: hive.events().malformed(),
         });
     }
     live.sort_by_key(|a| a.id);
@@ -401,13 +413,34 @@ pub fn check_traces(audit: &ClusterAudit) -> Vec<Violation> {
         .collect()
 }
 
-/// Runs all five checkers over one audit.
+/// Event-journal well-formedness: the flight recorder's self-audit must
+/// never have counted a malformed JSON rendering. Unlike the other
+/// counters this one is *not* folded into the digest — event volume is
+/// timing-sensitive — but a nonzero malformed count is always a bug.
+pub fn check_events(audit: &ClusterAudit) -> Vec<Violation> {
+    audit
+        .live
+        .iter()
+        .filter(|h| h.malformed_events > 0)
+        .map(|h| Violation {
+            checker: "events",
+            tick: audit.tick,
+            detail: format!(
+                "hive {}: {} malformed flight-recorder events",
+                h.id, h.malformed_events
+            ),
+        })
+        .collect()
+}
+
+/// Runs all six checkers over one audit.
 pub fn check_all(audit: &ClusterAudit, left: &str, right: &str) -> Vec<Violation> {
     let mut out = check_ownership(audit);
     out.extend(check_registry_agreement(audit));
     out.extend(check_conservation(audit));
     out.extend(check_atomicity(audit, left, right));
     out.extend(check_traces(audit));
+    out.extend(check_events(audit));
     out
 }
 
@@ -555,6 +588,7 @@ mod tests {
             colonies: Vec::new(),
             dicts: Vec::new(),
             malformed_spans: 0,
+            malformed_events: 0,
         }
     }
 
@@ -658,6 +692,33 @@ mod tests {
         let v = check_atomicity(&audit, "left", "right");
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].checker, "atomicity");
+    }
+
+    #[test]
+    fn events_checker_flags_malformed_journal_entries() {
+        let mut audit = empty_audit(9);
+        let mut h = hive_audit(4);
+        h.malformed_events = 2;
+        audit.live = vec![hive_audit(1), h];
+        let v = check_events(&audit);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].checker, "events");
+        assert_eq!(v[0].tick, 9);
+        assert!(v[0].detail.contains("hive 4"));
+    }
+
+    #[test]
+    fn malformed_events_do_not_perturb_the_digest() {
+        // Event volume is timing-sensitive, so the journal's counters stay
+        // out of the digest; only the checker gates on them.
+        let mut a = Digest::new();
+        let mut b = Digest::new();
+        let mut audit = empty_audit(1);
+        audit.live = vec![hive_audit(1)];
+        audit.fold_into(&mut a);
+        audit.live[0].malformed_events = 7;
+        audit.fold_into(&mut b);
+        assert_eq!(a.finish(), b.finish());
     }
 
     #[test]

@@ -25,9 +25,13 @@
 //!   concurrently when N > 1 (default 1 = sequential)
 //! * `--apps LIST` — comma-separated: `nib,rib,paths,vnet,learning-switch,discovery` (default: all)
 //! * `--stats-every SECS` — print instrumentation analytics every N seconds (default 10; 0 = off)
+//! * `--status-addr ADDR` — serve the live introspection plane over HTTP:
+//!   `GET /metrics` (Prometheus), `/healthz`, `/events?n=K` (flight-recorder
+//!   journal), `/trace/<id>` (merged cluster chrome-trace), `/dlq`
 //! * `--metrics-dump PATH` — write Prometheus text exposition to PATH
 //!   periodically (atomic tmp+rename; scrape it with `cat` or node_exporter's
-//!   textfile collector)
+//!   textfile collector). Same render path as `GET /metrics` — the file dump
+//!   is the fallback for environments that cannot open a port
 //! * `--dump-every SECS` — metrics dump period (default 5)
 //! * `--dlq-dump PATH` — write the dead-letter queue (messages that
 //!   exhausted their redelivery budget or were rejected by quarantine /
@@ -56,10 +60,10 @@ use beehive::apps::{
     vnet::vnet_app,
 };
 use beehive::core::optimizer::OptimizerConfig;
-use beehive::core::transport::{FrameKind, TransportSnapshot};
 use beehive::core::SystemClock;
 use beehive::core::{
-    collector_app, optimizer_app, Analytics, App, Hive, HiveConfig, HiveId, HiveMetrics, Mapped,
+    collector_app, optimizer_app, render_metrics, Analytics, App, Hive, HiveConfig, HiveId,
+    HiveMetrics, Mapped, StatusContext, StatusServer,
 };
 use beehive::net::TcpTransport;
 
@@ -72,6 +76,7 @@ struct Args {
     workers: usize,
     apps: Vec<String>,
     stats_every: u64,
+    status_addr: Option<SocketAddr>,
     metrics_dump: Option<std::path::PathBuf>,
     dump_every: u64,
     dlq_dump: Option<std::path::PathBuf>,
@@ -85,8 +90,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: beehive-node --id N --listen ADDR [--peer ID=ADDR]... [--voters K] \
          [--replication R] [--workers N] [--apps a,b,c] [--stats-every SECS] \
-         [--metrics-dump PATH] [--dump-every SECS] [--dlq-dump PATH] [--storage-dir PATH] \
-         [--max-redeliveries N] [--mailbox-capacity N] [--inject-fault APP:MSG:TIMES]"
+         [--status-addr ADDR] [--metrics-dump PATH] [--dump-every SECS] [--dlq-dump PATH] \
+         [--storage-dir PATH] [--max-redeliveries N] [--mailbox-capacity N] \
+         [--inject-fault APP:MSG:TIMES]"
     );
     std::process::exit(2)
 }
@@ -110,6 +116,7 @@ fn parse_args() -> Args {
     .map(|s| s.to_string())
     .collect();
     let mut stats_every = 10;
+    let mut status_addr = None;
     let mut metrics_dump = None;
     let mut dump_every = 5;
     let mut dlq_dump = None;
@@ -136,6 +143,7 @@ fn parse_args() -> Args {
             "--workers" => workers = val().parse::<usize>().unwrap_or_else(|_| usage()).max(1),
             "--apps" => apps = val().split(',').map(|s| s.trim().to_string()).collect(),
             "--stats-every" => stats_every = val().parse().unwrap_or_else(|_| usage()),
+            "--status-addr" => status_addr = Some(val().parse().unwrap_or_else(|_| usage())),
             "--metrics-dump" => metrics_dump = Some(std::path::PathBuf::from(val())),
             "--dump-every" => dump_every = val().parse::<u64>().unwrap_or_else(|_| usage()).max(1),
             "--dlq-dump" => dlq_dump = Some(std::path::PathBuf::from(val())),
@@ -171,6 +179,7 @@ fn parse_args() -> Args {
         workers,
         apps,
         stats_every,
+        status_addr,
         metrics_dump,
         dump_every,
         dlq_dump,
@@ -179,90 +188,6 @@ fn parse_args() -> Args {
         mailbox_capacity,
         inject_faults,
     }
-}
-
-/// Renders the TCP transport counters as Prometheus text, appended to the
-/// analytics exposition in the dump file.
-fn render_transport(snap: &TransportSnapshot) -> String {
-    use std::fmt::Write;
-    let mut out = String::new();
-    out.push_str(
-        "# HELP beehive_transport_frames_total Frames exchanged by the TCP transport.\n\
-         # TYPE beehive_transport_frames_total counter\n",
-    );
-    for kind in FrameKind::ALL {
-        let (fo, _) = snap.sent(kind);
-        let (fi, _) = snap.received(kind);
-        let k = kind.label();
-        writeln!(
-            out,
-            "beehive_transport_frames_total{{kind=\"{k}\",direction=\"out\"}} {fo}"
-        )
-        .unwrap();
-        writeln!(
-            out,
-            "beehive_transport_frames_total{{kind=\"{k}\",direction=\"in\"}} {fi}"
-        )
-        .unwrap();
-    }
-    out.push_str(
-        "# HELP beehive_transport_bytes_total Wire bytes exchanged by the TCP transport.\n\
-         # TYPE beehive_transport_bytes_total counter\n",
-    );
-    for kind in FrameKind::ALL {
-        let (_, bo) = snap.sent(kind);
-        let (_, bi) = snap.received(kind);
-        let k = kind.label();
-        writeln!(
-            out,
-            "beehive_transport_bytes_total{{kind=\"{k}\",direction=\"out\"}} {bo}"
-        )
-        .unwrap();
-        writeln!(
-            out,
-            "beehive_transport_bytes_total{{kind=\"{k}\",direction=\"in\"}} {bi}"
-        )
-        .unwrap();
-    }
-    out.push_str(
-        "# HELP beehive_transport_connect_failures_total Failed connect attempts to peers.\n\
-         # TYPE beehive_transport_connect_failures_total counter\n",
-    );
-    writeln!(
-        out,
-        "beehive_transport_connect_failures_total {}",
-        snap.connect_failures
-    )
-    .unwrap();
-    out.push_str(
-        "# HELP beehive_transport_deferred_total Frames queued for retransmission on \
-         reconnect instead of sent (dead or backed-off peer).\n\
-         # TYPE beehive_transport_deferred_total counter\n",
-    );
-    writeln!(out, "beehive_transport_deferred_total {}", snap.deferred).unwrap();
-    out.push_str(
-        "# HELP beehive_transport_deferred_evicted_total Frames evicted from a full \
-         deferred queue (dropped; App/Raft recover via retransmission, Control does not).\n\
-         # TYPE beehive_transport_deferred_evicted_total counter\n",
-    );
-    writeln!(
-        out,
-        "beehive_transport_deferred_evicted_total {}",
-        snap.deferred_evicted
-    )
-    .unwrap();
-    out.push_str(
-        "# HELP beehive_transport_peer_backoff_ms Current dead-peer backoff window per peer.\n\
-         # TYPE beehive_transport_peer_backoff_ms gauge\n",
-    );
-    for (peer, ms) in &snap.peer_backoff_ms {
-        writeln!(
-            out,
-            "beehive_transport_peer_backoff_ms{{peer=\"{peer}\"}} {ms}"
-        )
-        .unwrap();
-    }
-    out
 }
 
 fn main() {
@@ -340,10 +265,10 @@ fn main() {
     let stop = Arc::new(AtomicBool::new(false));
 
     // Prometheus exposition: a local-singleton exporter app folds the
-    // collector's per-window reports into an Analytics store, and a dump
-    // thread renders it to the target file (tmp + rename, so scrapers never
-    // see a torn write).
-    if let Some(path) = args.metrics_dump.clone() {
+    // collector's per-window reports into an Analytics store, shared by the
+    // status server's GET /metrics and the --metrics-dump thread (one render
+    // path, two transports).
+    let analytics = if args.metrics_dump.is_some() || args.status_addr.is_some() {
         let analytics = Arc::new(std::sync::Mutex::new(Analytics::new()));
         let sink = analytics.clone();
         hive.install(
@@ -357,16 +282,25 @@ fn main() {
                 )
                 .build(),
         );
+        Some(analytics)
+    } else {
+        None
+    };
+
+    // The dump thread renders to the target file (tmp + rename, so scrapers
+    // never see a torn write).
+    if let Some(path) = args.metrics_dump.clone() {
+        let analytics = analytics.clone().expect("exporter installed");
         let stop2 = stop.clone();
         let every = args.dump_every;
-        let counters = tcp_counters;
+        let counters = tcp_counters.clone();
         std::thread::Builder::new()
             .name("bh-metrics-dump".into())
             .spawn(move || {
                 while !stop2.load(Ordering::Relaxed) {
                     std::thread::sleep(std::time::Duration::from_secs(every));
-                    let mut text = analytics.lock().unwrap().render_prometheus();
-                    text.push_str(&render_transport(&counters.snapshot()));
+                    let snap = counters.snapshot();
+                    let text = render_metrics(&analytics.lock().unwrap(), Some(&snap));
                     let tmp = path.with_extension("prom.tmp");
                     let ok = std::fs::write(&tmp, &text)
                         .and_then(|()| std::fs::rename(&tmp, &path))
@@ -382,6 +316,27 @@ fn main() {
             args.metrics_dump.as_ref().unwrap().display()
         );
     }
+
+    // Live introspection plane: /metrics, /healthz, /events, /trace/<id>,
+    // /dlq over plain HTTP/1.0.
+    let _status_server = args.status_addr.map(|addr| {
+        let handle = hive.handle();
+        let ctx = StatusContext {
+            analytics: analytics.clone().expect("exporter installed"),
+            transport: Some(tcp_counters.clone()),
+            dead_letters: hive.dead_letters(),
+            events: hive.events(),
+            tracer: hive.tracer(),
+            trace_hub: hive.trace_hub(),
+            nudge: Some(Arc::new(move || handle.nudge())),
+        };
+        let server = StatusServer::bind(addr, ctx).unwrap_or_else(|e| {
+            eprintln!("failed to bind status server on {addr}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("status endpoint on http://{}", server.local_addr());
+        server
+    });
 
     // Dead-letter dump: a periodic human-readable snapshot of the messages
     // that exhausted their redelivery budget or were rejected at admission

@@ -18,7 +18,10 @@
 //! Skip paths (exit 0, so the gate never blocks bootstrapping):
 //! * the baseline file does not exist yet — first run on a fresh trajectory;
 //! * the baseline has `"provisional": true` — a seeded estimate that has not
-//!   been replaced by a CI-produced measurement yet.
+//!   been replaced by a CI-produced measurement yet. This skip prints a loud
+//!   one-line `WARNING:` naming the skipped baseline; the CI bench-gate job
+//!   greps that line into its step summary so a silently-disarmed gate is
+//!   visible on the PR.
 //!
 //! The JSON subset parsed here is exactly what the benches emit (objects,
 //! numbers, strings, booleans); the workspace deliberately has no JSON
@@ -295,9 +298,12 @@ fn main() -> ExitCode {
     };
 
     // Skip path 2: the baseline is a seeded estimate, not a measurement.
+    // The warning is deliberately loud and one-line so CI can grep it into
+    // the job summary — a skipped gate must never pass silently.
     if baseline.bools.get("provisional").copied().unwrap_or(false) {
         println!(
-            "bench-diff: baseline {baseline_path} is provisional — recording only, gate skipped"
+            "bench-diff: WARNING: gate SKIPPED for provisional baseline(s): {baseline_path} \
+             (seeded estimate, not a CI measurement — no regression check was performed)"
         );
         println!("current metrics:");
         for (key, value) in &current.numbers {

@@ -9,7 +9,9 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use beehive::core::{chrome_trace, collector_app, Analytics, HiveMetrics, TraceSpan};
+use beehive::core::{
+    chrome_trace, chrome_trace_merged, collector_app, Analytics, HiveMetrics, TraceSpan,
+};
 use beehive::prelude::*;
 use beehive::sim::{ClusterConfig, SimCluster};
 use parking_lot::Mutex;
@@ -240,6 +242,31 @@ fn traces_cross_hives_and_latency_reaches_prometheus() {
     assert!(
         json.contains(&format!("\"parent\":{}", root.span_id)),
         "root's child links back to it: {json}"
+    );
+
+    // (b') the cross-hive merge view: one chrome-trace document with a
+    // process lane (metadata event) per hive and the causal links intact.
+    let merged = chrome_trace_merged(&spans, root.trace_id);
+    check_json(&merged).expect("merged chrome trace is valid JSON");
+    assert!(merged.contains("\"traceEvents\""), "merged: {merged}");
+    assert_eq!(
+        merged.matches("\"ph\":\"M\"").count(),
+        2,
+        "one process_name lane per hive: {merged}"
+    );
+    assert!(merged.contains("\"name\":\"hive-1\""), "merged: {merged}");
+    assert!(merged.contains("\"name\":\"hive-2\""), "merged: {merged}");
+    assert!(
+        merged.matches("\"ph\":\"X\"").count() >= 3,
+        "all three chain stages present in the merge: {merged}"
+    );
+    let linked = spans
+        .iter()
+        .filter(|s| s.parent_span != 0 && spans.iter().any(|p| p.span_id == s.parent_span))
+        .count();
+    assert!(
+        linked >= 2,
+        "root plus >=2 causally linked children (got {linked}): {spans:?}"
     );
 
     // (c) latency histograms reach the Prometheus exposition with counts
