@@ -143,6 +143,11 @@ pub struct ChannelStats {
     pub acks_sent: u64,
     /// Unacked envelopes currently buffered for resend, across all peers.
     pub outbox_depth: u64,
+    /// Unacked envelopes abandoned because their peer left the cluster
+    /// ([`ReliableChannels::retire_peer`]). These were counted in `sent` but
+    /// will never be delivered; the hive dead-letters them instead, and the
+    /// conservation audit subtracts them from in-transit.
+    pub expired: u64,
 }
 
 /// Increments since the last [`ReliableChannels::take_delta`], pushed into
@@ -213,6 +218,13 @@ pub struct ReliableChannels {
     retransmits: u64,
     dups_suppressed: u64,
     acks_sent: u64,
+    /// Sent/delivered counters of peers retired by membership removal, kept
+    /// so the cumulative stats stay monotonic after their per-peer state is
+    /// dropped.
+    retired_sent: u64,
+    retired_delivered: u64,
+    /// Unacked envelopes abandoned by [`ReliableChannels::retire_peer`].
+    expired: u64,
     delta: ChannelDelta,
     /// Flight-recorder journal for epoch-mint and compaction events.
     /// `None` for bare channels (unit tests).
@@ -275,6 +287,9 @@ impl ReliableChannels {
             retransmits: 0,
             dups_suppressed: 0,
             acks_sent: 0,
+            retired_sent: restored.retired_sent,
+            retired_delivered: restored.retired_delivered,
+            expired: restored.expired,
             delta: ChannelDelta::default(),
             events: None,
             minted_fresh: fresh,
@@ -511,24 +526,63 @@ impl ReliableChannels {
             || self.recv.values().any(|r| r.ack_due.is_some())
     }
 
-    /// Cumulative statistics snapshot.
+    /// Cumulative statistics snapshot. Counters of retired peers stay folded
+    /// in, so `sent`/`delivered` remain monotonic across membership changes.
     pub fn stats(&self) -> ChannelStats {
         ChannelStats {
             sent: self
                 .send
                 .values()
                 .map(|s| s.next_seq.saturating_sub(1))
-                .sum(),
+                .sum::<u64>()
+                + self.retired_sent,
             delivered: self
                 .recv
                 .values()
                 .map(|r| r.last_delivered + r.seen_ahead.len() as u64 + r.retired)
-                .sum(),
+                .sum::<u64>()
+                + self.retired_delivered,
             retransmits: self.retransmits,
             dups_suppressed: self.dups_suppressed,
             acks_sent: self.acks_sent,
             outbox_depth: self.send.values().map(|s| s.unacked.len() as u64).sum(),
+            expired: self.expired,
         }
+    }
+
+    /// Retires all channel state toward and from `peer` after it departed
+    /// the cluster, returning the serialized envelopes that were still
+    /// unacked (the caller dead-letters them — they will never be
+    /// delivered). Counters fold into the retirement accumulators so
+    /// [`ReliableChannels::stats`] stays monotonic, and the retirement is
+    /// journaled so a durable restart does not resurrect the peer.
+    /// Idempotent: retiring an unknown peer returns an empty vec.
+    pub fn retire_peer(&mut self, peer: HiveId) -> Vec<Vec<u8>> {
+        let mut undelivered = Vec::new();
+        let mut sent = 0;
+        let mut expired = 0;
+        if let Some(s) = self.send.remove(&peer.0) {
+            sent = s.next_seq.saturating_sub(1);
+            expired = s.unacked.len() as u64;
+            undelivered.extend(s.unacked.into_iter().map(|u| u.env));
+        }
+        let delivered = match self.recv.remove(&peer.0) {
+            Some(r) => r.last_delivered + r.seen_ahead.len() as u64 + r.retired,
+            None => 0,
+        };
+        if sent == 0 && delivered == 0 {
+            return undelivered;
+        }
+        self.retired_sent += sent;
+        self.retired_delivered += delivered;
+        self.expired += expired;
+        self.journal_append(JournalEntry::PeerRetired {
+            peer: peer.0,
+            sent,
+            delivered,
+            expired,
+        });
+        undelivered
     }
 
     /// Drains the increments accumulated since the last call (pushed into
@@ -597,6 +651,16 @@ impl ReliableChannels {
     /// The journal snapshot equivalent to the current in-memory state.
     fn snapshot_entries(&self) -> Vec<JournalEntry> {
         let mut out = vec![JournalEntry::Epoch { epoch: self.epoch }];
+        if self.retired_sent != 0 || self.retired_delivered != 0 || self.expired != 0 {
+            // Cumulative accumulator record; emitted before per-peer state so
+            // its replay-side state removal cannot clobber a live peer 0.
+            out.push(JournalEntry::PeerRetired {
+                peer: 0,
+                sent: self.retired_sent,
+                delivered: self.retired_delivered,
+                expired: self.expired,
+            });
+        }
         for (&to, s) in &self.send {
             out.push(JournalEntry::SendState {
                 to,
@@ -785,6 +849,57 @@ mod tests {
         // A fabric-delayed ghost from the dead incarnation is suppressed.
         assert_eq!(deliver(&mut b, 1, &f1, 5_001), ChannelDelivery::Duplicate);
         assert_eq!(b.stats().delivered, 3);
+    }
+
+    #[test]
+    fn retire_peer_returns_undelivered_and_keeps_stats_monotonic() {
+        let mut a = mem(1);
+        let e = a.epoch();
+        let _ = a.wrap(HiveId(2), vec![1], 0);
+        let _ = a.wrap(HiveId(2), vec![2], 0);
+        let _ = a.wrap(HiveId(3), vec![9], 0);
+        a.on_ack(HiveId(2), e, 1);
+        // Receive something from peer 2 too, so recv state also retires.
+        let mut b = mem(2);
+        let f = b.wrap(HiveId(1), vec![7], 0);
+        assert!(matches!(
+            deliver(&mut a, 2, &f, 0),
+            ChannelDelivery::Deliver(_)
+        ));
+        let before = a.stats();
+        assert_eq!(before.sent, 3);
+        assert_eq!(before.delivered, 1);
+        let undelivered = a.retire_peer(HiveId(2));
+        assert_eq!(undelivered, vec![vec![2]], "only the unacked env returns");
+        let st = a.stats();
+        assert_eq!(st.sent, 3, "sent stays monotonic after retirement");
+        assert_eq!(st.delivered, 1, "delivered stays monotonic");
+        assert_eq!(st.expired, 1);
+        assert_eq!(st.outbox_depth, 1, "peer 3's buffer is untouched");
+        // No retransmissions toward the retired peer ever again.
+        assert!(a.poll(100_000).retransmits.iter().all(|(p, _)| p.0 == 3));
+        // Idempotent.
+        assert!(a.retire_peer(HiveId(2)).is_empty());
+        assert_eq!(a.stats(), st);
+    }
+
+    #[test]
+    fn retirement_survives_a_durable_restart() {
+        let dir = tmp_dir("retire");
+        let tuning = ChannelTuning::default();
+        {
+            let mut a = ReliableChannels::new(HiveId(1), tuning, Some(&dir), 100);
+            let _ = a.wrap(HiveId(2), vec![5], 100);
+            let _ = a.wrap(HiveId(3), vec![6], 100);
+            let dropped = a.retire_peer(HiveId(2));
+            assert_eq!(dropped.len(), 1);
+        }
+        let a = ReliableChannels::new(HiveId(1), tuning, Some(&dir), 9_000);
+        let st = a.stats();
+        assert_eq!(st.sent, 2, "retired sent restored from the journal");
+        assert_eq!(st.expired, 1);
+        assert_eq!(st.outbox_depth, 1, "retired peer's buffer not resurrected");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     fn tmp_dir(tag: &str) -> std::path::PathBuf {

@@ -103,6 +103,41 @@ pub enum ControlMsg {
         /// Highest contiguous delivered sequence.
         upto: u64,
     },
+    /// Cluster membership lifecycle traffic (elastic scale-out/scale-in):
+    /// join/promote/demote/remove requests routed toward the registry
+    /// leader, the draining announcement, and the leader's final departure
+    /// ack. The authoritative transitions travel through the registry Raft
+    /// log as conf-change entries; these messages only request them or
+    /// announce side states the log does not carry.
+    MembershipChange {
+        /// The hive whose membership is changing.
+        node: HiveId,
+        /// The hive's transport address (joins only; empty otherwise).
+        addr: String,
+        /// The lifecycle operation.
+        op: MembershipOp,
+    },
+}
+
+/// What a [`ControlMsg::MembershipChange`] asks for or announces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MembershipOp {
+    /// `node` asks to be added to the registry group as a learner
+    /// (routed toward the leader; `addr` tells peers how to reach it).
+    JoinRequest,
+    /// A caught-up learner asks to be promoted to voter.
+    PromoteRequest,
+    /// A draining voter asks to be demoted back to learner.
+    DemoteRequest,
+    /// A drained learner asks to be removed from the configuration.
+    RemoveRequest,
+    /// `node` announces it is draining: stop placing bees on it.
+    Draining,
+    /// The leader's final ack to a removed hive: its `RemoveNode` conf
+    /// change committed and it may exit. Re-sent for stale
+    /// [`MembershipOp::RemoveRequest`]s, so a lost ack is recovered by the
+    /// drained hive's own retry.
+    Departed,
 }
 
 impl ControlMsg {

@@ -85,11 +85,18 @@ pub enum EventKind {
     /// A replica detected a replication-sequence gap and requested a full
     /// state sync.
     ReplicaGap,
+    /// Cluster membership changed: a hive joined as a learner, was promoted
+    /// to voter, announced draining, was demoted, or was removed — the
+    /// elastic scale-out/scale-in lifecycle.
+    MembershipChange,
+    /// A message addressed to a hive that has left the cluster was dropped
+    /// to the dead-letter path instead of being retried forever.
+    PeerDeparted,
 }
 
 impl EventKind {
     /// Every kind, in declaration order (stable for exposition and tests).
-    pub const ALL: [EventKind; 17] = [
+    pub const ALL: [EventKind; 19] = [
         EventKind::BeeSpawned,
         EventKind::BeeRetired,
         EventKind::MigrationStart,
@@ -107,6 +114,8 @@ impl EventKind {
         EventKind::PeerDisconnect,
         EventKind::DeferredEvict,
         EventKind::ReplicaGap,
+        EventKind::MembershipChange,
+        EventKind::PeerDeparted,
     ];
 
     /// Stable snake_case label, used by the JSON exposition and metrics.
@@ -129,6 +138,8 @@ impl EventKind {
             EventKind::PeerDisconnect => "peer_disconnect",
             EventKind::DeferredEvict => "deferred_evict",
             EventKind::ReplicaGap => "replica_gap",
+            EventKind::MembershipChange => "membership_change",
+            EventKind::PeerDeparted => "peer_departed",
         }
     }
 }

@@ -10,7 +10,7 @@
 //! [`Transport`]. The simulator calls `step` in virtual time; production
 //! deployments call [`Hive::run`] on a thread.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -20,12 +20,14 @@ use crate::app::{App, RcvCtx};
 use crate::cell::{Cell, Mapped};
 use crate::channel::{ChannelDelivery, ChannelTuning, ReliableChannels};
 use crate::clock::Clock;
-use crate::control::ControlMsg;
+use crate::control::{ControlMsg, MembershipOp};
 use crate::events::{EventJournal, EventKind};
 use crate::executor::{BeeJob, Executor, Parker};
 use crate::id::{AppName, BeeId, HiveId};
+use crate::lifecycle::{Lifecycle, LifecycleStage};
 use crate::message::{Dst, Envelope, Message, MessageRegistry, Source, WireEnvelope};
 use crate::metrics::Instrumentation;
+use crate::optimizer::{plan_migrations, BeeLoad, OptimizerConfig};
 use crate::platform::Tick;
 use crate::queen::{BeeStatus, Delivery, Queen};
 use crate::registry::{RegistryCommand, RegistryEvent, RegistryOp, RegistryState};
@@ -36,11 +38,18 @@ use crate::supervision::{
 };
 use crate::trace::{TraceCollector, TraceHub, TraceSpan};
 use crate::transport::{Frame, FrameKind, Transport};
+use beehive_raft::{ConfChange, ConfChangeKind};
 
 /// How long a cross-hive trace query waits for stragglers before the hub
 /// delivers whatever arrived (assembly is best-effort: an unreachable hive
 /// must not wedge introspection).
 const TRACE_QUERY_TIMEOUT_MS: u64 = 2_000;
+
+/// How many unanswered `RemoveRequest` retries a drained hive tolerates
+/// before assuming its removal committed and departing anyway. A removed
+/// node stops being replicated to, so the final ack is the only signal it
+/// gets — and that ack can be lost (the classic removed-server blind spot).
+const MAX_REMOVE_ATTEMPTS: u32 = 8;
 
 /// FNV-1a 64-bit over raw bytes — the same digest the chaos harness uses;
 /// tiny, dependency-free and byte-stable across platforms.
@@ -400,6 +409,22 @@ pub struct Hive {
     /// Last observed registry Raft term/leader, for change events.
     last_raft_term: u64,
     last_raft_leader: Option<u64>,
+    /// Shared membership-lifecycle cell: written by the step loop, read by
+    /// the status server (`/healthz`) and signal handlers (see
+    /// [`crate::lifecycle`]).
+    lifecycle: Arc<Lifecycle>,
+    /// The membership request currently pushed toward the registry leader:
+    /// `(op, last sent ms, attempts)`. Re-sent on the pending-retry timer
+    /// until the matching conf change (or the leader's `Departed` ack) is
+    /// observed.
+    pending_membership: Option<(MembershipOp, u64, u32)>,
+    /// Peers that announced they are draining: never a migration target.
+    draining_peers: HashSet<HiveId>,
+    /// This hive's advertised transport address, carried on join requests
+    /// so peers learn how to reach it (empty for simulated fabrics).
+    advertise_addr: String,
+    /// Last ms a draining leader (re-)issued its leadership transfer.
+    last_transfer_ms: u64,
 }
 
 impl Hive {
@@ -535,7 +560,15 @@ impl Hive {
             trace_query_deadlines: Vec::new(),
             last_raft_term: 0,
             last_raft_leader: None,
+            lifecycle: Arc::new(Lifecycle::default()),
+            pending_membership: None,
+            draining_peers: HashSet::new(),
+            advertise_addr: String::new(),
+            last_transfer_ms: 0,
         };
+        // Trace-hub waits measure against the hive's own clock (virtual in
+        // simulation), with the wall clock only as a safety net.
+        hive.trace_hub.set_clock(hive.clock.clone());
         if let RegBackend::Raft(node) = &hive.registry {
             // Restored durable state: start the fence at the snapshot point,
             // and the term/leader watermarks at the restored values so the
@@ -604,6 +637,88 @@ impl Hive {
     /// spans from every reachable hive and completes the query.
     pub fn trace_hub(&self) -> Arc<TraceHub> {
         self.trace_hub.clone()
+    }
+
+    /// The shared membership-lifecycle cell (also handed to
+    /// [`crate::introspect::StatusContext`] so `/healthz` reports the stage,
+    /// and polled by signal handlers driving a drain).
+    pub fn lifecycle(&self) -> Arc<Lifecycle> {
+        self.lifecycle.clone()
+    }
+
+    /// Peers that announced they are draining (sorted; never a migration
+    /// target until their removal commits).
+    pub fn draining_peers(&self) -> Vec<HiveId> {
+        let mut v: Vec<HiveId> = self.draining_peers.iter().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Starts the elastic-join lifecycle. Call once after construction on a
+    /// hive booted with `--join` into an existing cluster: its registry node
+    /// runs as a learner, and the step loop pushes a
+    /// [`MembershipOp::JoinRequest`] toward the leader until the
+    /// `AddLearner` conf change commits, then requests promotion to voter
+    /// once the learner has applied the whole committed log.
+    /// `advertise_addr` is this hive's transport address, carried on the
+    /// join request so every peer can connect back (empty for simulated
+    /// fabrics).
+    pub fn begin_join(&mut self, advertise_addr: &str) {
+        if !matches!(self.registry, RegBackend::Raft(_)) {
+            return; // a standalone hive has nothing to join
+        }
+        self.advertise_addr = advertise_addr.to_string();
+        self.lifecycle.set(LifecycleStage::Joining);
+        self.pending_membership = Some((MembershipOp::JoinRequest, 0, 0));
+        self.events.record(
+            EventKind::MembershipChange,
+            "join requested: booting as a registry learner".to_string(),
+        );
+    }
+
+    /// Starts the graceful scale-in lifecycle: marks the hive draining (so
+    /// `/healthz` reports it and peers stop placing bees here), then the
+    /// step loop evacuates every registry-owned bee onto survivors over the
+    /// live-migration path, waits for the channel outbox to be fully acked,
+    /// hands off registry leadership if held, demotes voter → learner →
+    /// removed, and finally moves the lifecycle to
+    /// [`LifecycleStage::Departed`] ([`Hive::run_elastic`] then returns).
+    pub fn begin_drain(&mut self) {
+        if self.lifecycle.is_leaving() {
+            return;
+        }
+        self.lifecycle.set(LifecycleStage::Draining);
+        self.events.record(
+            EventKind::MembershipChange,
+            "drain requested: evacuating bees and flushing channels".to_string(),
+        );
+        let peers: Vec<HiveId> = self
+            .cfg
+            .all_hives
+            .iter()
+            .copied()
+            .filter(|&h| h != self.cfg.id)
+            .collect();
+        for peer in peers {
+            self.send_control(
+                peer,
+                &ControlMsg::MembershipChange {
+                    node: self.cfg.id,
+                    addr: String::new(),
+                    op: MembershipOp::Draining,
+                },
+            );
+        }
+        // Unpin registry-owned bees so the evacuation migrations are not
+        // refused (per-hive singletons own no cells and die with the
+        // process).
+        for queen in &mut self.queens {
+            for id in queen.bee_ids() {
+                if queen.bee(id).is_some_and(|b| !b.colony.is_empty()) {
+                    queen.unpin(id);
+                }
+            }
+        }
     }
 
     /// This hive's dead-letter queue.
@@ -959,6 +1074,11 @@ impl Hive {
         // 4. Applied registry events.
         work += self.drain_applied();
 
+        // 4b. Committed membership (conf-change) entries, then this hive's
+        // own join/drain lifecycle machine.
+        work += self.drain_conf_changes();
+        self.poll_membership(now);
+
         // 5. Platform tick.
         if self.cfg.tick_interval_ms > 0
             && now.saturating_sub(self.last_app_tick_ms) >= self.cfg.tick_interval_ms
@@ -1202,9 +1322,29 @@ impl Hive {
     /// platform tick, pending-op retries), so timers never slip by more than
     /// their own granularity. Production entry point.
     pub fn run(&mut self, stop: &std::sync::atomic::AtomicBool) {
+        let never_drain = std::sync::atomic::AtomicBool::new(false);
+        self.run_elastic(stop, &never_drain);
+    }
+
+    /// Runs like [`Hive::run`], additionally honoring a drain-request flag
+    /// (typically set by a SIGTERM handler or a `--drain` CLI): the first
+    /// time `drain` reads true, [`Hive::begin_drain`] starts the graceful
+    /// scale-in, and the loop returns once the hive has fully departed the
+    /// cluster (zero owned cells, outbox acked, configuration entry
+    /// removed).
+    pub fn run_elastic(
+        &mut self,
+        stop: &std::sync::atomic::AtomicBool,
+        drain: &std::sync::atomic::AtomicBool,
+    ) {
         let parker = self.parker.clone();
         self.transport.set_waker(Arc::new(move || parker.unpark()));
-        while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+        while !stop.load(std::sync::atomic::Ordering::Relaxed)
+            && self.lifecycle.stage() != LifecycleStage::Departed
+        {
+            if drain.load(std::sync::atomic::Ordering::Relaxed) && !self.lifecycle.is_leaving() {
+                self.begin_drain();
+            }
             if self.step() == 0 {
                 let timeout = self.idle_park_ms(self.clock.now_ms());
                 self.parker.park(std::time::Duration::from_millis(timeout));
@@ -1239,6 +1379,8 @@ impl Hive {
             || !self.quarantine_timers.is_empty()
             || !self.trace_query_deadlines.is_empty()
             || self.channels.has_pending()
+            || self.pending_membership.is_some()
+            || self.lifecycle.is_leaving()
         {
             park = park.min(5);
         }
@@ -1847,6 +1989,560 @@ impl Hive {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Elastic membership (live join / drain)
+    // ------------------------------------------------------------------
+
+    /// Applies committed registry conf changes to the runtime layers:
+    /// connects/disconnects transport peers, updates the hive roster,
+    /// retires the reliable channel of a removed peer (dead-lettering its
+    /// undelivered envelopes) and advances this hive's own join/drain
+    /// lifecycle. Returns the number of changes applied.
+    fn drain_conf_changes(&mut self) -> usize {
+        let changes = match &mut self.registry {
+            RegBackend::Raft(node) => node.take_conf_changes(),
+            RegBackend::Local { .. } => Vec::new(),
+        };
+        let n = changes.len();
+        for cc in changes {
+            self.apply_membership_change(cc);
+        }
+        n
+    }
+
+    fn apply_membership_change(&mut self, cc: ConfChange) {
+        let peer = HiveId::from_raft(cc.node);
+        let me = self.cfg.id;
+        let label = match cc.kind {
+            ConfChangeKind::AddLearner => "added as learner",
+            ConfChangeKind::PromoteVoter => "promoted to voter",
+            ConfChangeKind::DemoteLearner => "demoted to learner",
+            ConfChangeKind::RemoveNode => "removed from the configuration",
+        };
+        self.events.record_full(
+            EventKind::MembershipChange,
+            0,
+            "",
+            None,
+            Some(peer),
+            format!("hive-{} {label}", peer.0),
+        );
+        match cc.kind {
+            ConfChangeKind::AddLearner => {
+                if peer == me {
+                    // Our own join request committed: stop re-sending it.
+                    // The promotion request fires once the learner has
+                    // applied the whole committed log (`poll_membership`).
+                    // Keyed on the pending op, not the lifecycle stage, so a
+                    // drain ordered mid-join does not leave a stale
+                    // JoinRequest blocking the drain staircase.
+                    let joining = matches!(
+                        self.pending_membership,
+                        Some((MembershipOp::JoinRequest, _, _))
+                    );
+                    if joining {
+                        self.pending_membership = None;
+                    }
+                } else {
+                    self.transport.connect_peer(peer, &cc.addr);
+                    if !self.cfg.all_hives.contains(&peer) {
+                        self.cfg.all_hives.push(peer);
+                        self.cfg.all_hives.sort();
+                    }
+                }
+            }
+            ConfChangeKind::PromoteVoter => {
+                if !self.cfg.registry_voters.contains(&peer) {
+                    self.cfg.registry_voters.push(peer);
+                    self.cfg.registry_voters.sort();
+                }
+                if peer == me {
+                    self.pending_membership = None;
+                    if self.lifecycle.stage() == LifecycleStage::Joining {
+                        self.lifecycle.set(LifecycleStage::Active);
+                    }
+                }
+            }
+            ConfChangeKind::DemoteLearner => {
+                self.cfg.registry_voters.retain(|&h| h != peer);
+                if peer == me {
+                    // Next drain step (RemoveRequest) fires from
+                    // `poll_drain`.
+                    self.pending_membership = None;
+                }
+            }
+            ConfChangeKind::RemoveNode => {
+                self.cfg.registry_voters.retain(|&h| h != peer);
+                if peer == me {
+                    self.pending_membership = None;
+                    self.lifecycle.set(LifecycleStage::Departed);
+                } else {
+                    self.retire_departed_peer(peer);
+                }
+            }
+        }
+    }
+
+    /// Removes a departed peer from every runtime layer. The leader's final
+    /// `Departed` ack leaves first — control frames bypass the reliable
+    /// channel, and the transport connection is still up at this point.
+    fn retire_departed_peer(&mut self, peer: HiveId) {
+        if self.is_registry_leader() {
+            self.send_control(
+                peer,
+                &ControlMsg::MembershipChange {
+                    node: peer,
+                    addr: String::new(),
+                    op: MembershipOp::Departed,
+                },
+            );
+        }
+        // Retire the reliable channel: whatever it never managed to deliver
+        // is dead-lettered (satisfying conservation — the audit subtracts
+        // expired envelopes from in-transit).
+        let undelivered = self.channels.retire_peer(peer);
+        for env_bytes in undelivered {
+            match WireEnvelope::to_envelope(&env_bytes, &self.msg_registry) {
+                Ok(env) => self.dead_letter_departed(env, peer),
+                Err(_) => self.note_decode_error(None),
+            }
+        }
+        // Drop the connection; frames still parked in the transport's
+        // deferred queue are duplicates of unacked channel entries (already
+        // dead-lettered above), so they are only counted.
+        let held = self.transport.disconnect_peer(peer);
+        if !held.is_empty() {
+            self.events.record_full(
+                EventKind::PeerDeparted,
+                0,
+                "",
+                None,
+                Some(peer),
+                format!(
+                    "{} deferred frame(s) dropped with the connection",
+                    held.len()
+                ),
+            );
+        }
+        self.cfg.all_hives.retain(|&h| h != peer);
+        self.draining_peers.remove(&peer);
+        self.decode_error_logged.remove(&peer);
+    }
+
+    /// Dead-letters a message that was owed to a peer that left the cluster
+    /// (instead of retrying it forever against a gone endpoint).
+    fn dead_letter_departed(&mut self, env: Envelope, peer: HiveId) {
+        let (app, bee) = match &env.dst {
+            Dst::Bee { app, bee, .. } => (app.clone(), *bee),
+            Dst::App(name) => (name.clone(), BeeId(0)),
+            Dst::Broadcast => (String::new(), BeeId(0)),
+        };
+        self.events.record_full(
+            EventKind::PeerDeparted,
+            env.trace.trace_id,
+            &app,
+            None,
+            Some(peer),
+            format!("undeliverable: hive-{} departed the cluster", peer.0),
+        );
+        self.counters.dead_letters += 1;
+        self.instr.lock().dead_letters += 1;
+        self.dead_letters.record(DeadLetter {
+            app,
+            bee,
+            handler: String::new(),
+            msg_type: env.msg.type_name().to_string(),
+            kind: FailureKind::PeerDeparted,
+            detail: format!("hive-{} departed the cluster", peer.0),
+            attempts: env.deliveries,
+            trace_id: env.trace.trace_id,
+            recorded_ms: self.clock.now_ms(),
+            envelope: env,
+        });
+    }
+
+    /// Handles an inbound [`ControlMsg::MembershipChange`].
+    fn on_membership_msg(&mut self, from: HiveId, node: HiveId, addr: String, op: MembershipOp) {
+        match op {
+            MembershipOp::Draining => {
+                if node != self.cfg.id && self.draining_peers.insert(node) {
+                    self.events.record_full(
+                        EventKind::MembershipChange,
+                        0,
+                        "",
+                        None,
+                        Some(node),
+                        format!("hive-{} is draining: no longer a placement target", node.0),
+                    );
+                }
+            }
+            MembershipOp::Departed => {
+                if node == self.cfg.id && self.lifecycle.stage() != LifecycleStage::Departed {
+                    self.pending_membership = None;
+                    self.lifecycle.set(LifecycleStage::Departed);
+                    self.events.record(
+                        EventKind::MembershipChange,
+                        "departure acknowledged by the leader".to_string(),
+                    );
+                }
+            }
+            MembershipOp::JoinRequest
+            | MembershipOp::PromoteRequest
+            | MembershipOp::DemoteRequest
+            | MembershipOp::RemoveRequest => {
+                self.propose_membership(from, node, addr, op);
+            }
+        }
+    }
+
+    /// Leader side of the membership request protocol: turns a request into
+    /// a single-node conf change, forwards it toward the leader when this
+    /// hive is not it, and answers stale retries idempotently. A dropped
+    /// request (no leader known, change already in flight) is recovered by
+    /// the requester's retry timer.
+    fn propose_membership(&mut self, from: HiveId, node: HiveId, addr: String, op: MembershipOp) {
+        enum Action {
+            Forward(HiveId),
+            AckDeparted,
+            Propose(ConfChangeKind),
+            Drop,
+        }
+        let action = match &self.registry {
+            // Standalone registries have no membership to change.
+            RegBackend::Local { .. } => Action::Drop,
+            RegBackend::Raft(raft) => {
+                if raft.is_leader() {
+                    let id = node.as_raft();
+                    let is_voter = raft.voters().contains(&id);
+                    let is_learner = raft.learners().contains(&id);
+                    match op {
+                        MembershipOp::JoinRequest if !is_voter && !is_learner => {
+                            Action::Propose(ConfChangeKind::AddLearner)
+                        }
+                        MembershipOp::PromoteRequest if is_learner => {
+                            Action::Propose(ConfChangeKind::PromoteVoter)
+                        }
+                        MembershipOp::DemoteRequest if is_voter => {
+                            Action::Propose(ConfChangeKind::DemoteLearner)
+                        }
+                        MembershipOp::RemoveRequest if is_voter || is_learner => {
+                            Action::Propose(ConfChangeKind::RemoveNode)
+                        }
+                        // A retry that outran its own commit: the node is
+                        // already gone from the configuration — re-ack so a
+                        // lost ack cannot strand the drained hive.
+                        MembershipOp::RemoveRequest => Action::AckDeparted,
+                        // Join/promote/demote retries that already applied
+                        // need no answer: the requester observes the
+                        // committed conf change through its own log.
+                        _ => Action::Drop,
+                    }
+                } else {
+                    match raft.leader_hint() {
+                        Some(l) => {
+                            let to = HiveId::from_raft(l);
+                            if to != self.cfg.id && to != from {
+                                Action::Forward(to)
+                            } else {
+                                Action::Drop
+                            }
+                        }
+                        None => Action::Drop,
+                    }
+                }
+            }
+        };
+        match action {
+            Action::Forward(to) => {
+                self.counters.forwarded_commands += 1;
+                self.send_control(to, &ControlMsg::MembershipChange { node, addr, op });
+            }
+            Action::AckDeparted => {
+                self.send_control(
+                    node,
+                    &ControlMsg::MembershipChange {
+                        node,
+                        addr: String::new(),
+                        op: MembershipOp::Departed,
+                    },
+                );
+            }
+            Action::Propose(kind) => {
+                let cc = ConfChange {
+                    node: node.as_raft(),
+                    addr,
+                    kind,
+                };
+                let outs = match &mut self.registry {
+                    RegBackend::Raft(raft) => match raft.propose_conf_change(&cc) {
+                        Ok((_token, outs)) => outs,
+                        // Another change in flight (or a just-lost
+                        // leadership): drop — the requester retries.
+                        Err(_) => Vec::new(),
+                    },
+                    RegBackend::Local { .. } => Vec::new(),
+                };
+                self.send_raft(outs);
+            }
+            Action::Drop => {}
+        }
+    }
+
+    /// Drives this hive's own membership lifecycle once per step: fires the
+    /// promotion request when a joiner caught up, walks the drain staircase
+    /// (evacuate → flush outbox → hand off leadership → demote → remove),
+    /// and re-sends the pending request toward the leader on the retry
+    /// timer.
+    fn poll_membership(&mut self, now: u64) {
+        match self.lifecycle.stage() {
+            LifecycleStage::Active | LifecycleStage::Departed => {}
+            LifecycleStage::Joining => {
+                if self.pending_membership.is_none() {
+                    // A learner that applied the whole committed prefix is
+                    // caught up (commit_index > 0 distinguishes a
+                    // replicating learner from one the cluster does not
+                    // know about yet): ask for promotion.
+                    let caught_up = match &self.registry {
+                        RegBackend::Raft(node) => {
+                            node.commit_index() > 0 && node.last_applied() >= node.commit_index()
+                        }
+                        RegBackend::Local { .. } => false,
+                    };
+                    if caught_up {
+                        self.pending_membership = Some((MembershipOp::PromoteRequest, 0, 0));
+                        self.events.record(
+                            EventKind::MembershipChange,
+                            "caught up with the registry log: requesting promotion".to_string(),
+                        );
+                    }
+                }
+            }
+            LifecycleStage::Draining => self.poll_drain(now),
+        }
+        self.flush_membership_request(now);
+    }
+
+    /// One tick of the drain staircase.
+    fn poll_drain(&mut self, now: u64) {
+        // Step 1: evacuate every registry-owned bee onto a survivor.
+        let owned = self.owned_bees();
+        if !owned.is_empty() {
+            self.evacuate(owned);
+            return;
+        }
+        // Step 2: the channel outbox must be fully acked — every envelope
+        // this hive relayed is confirmed on a survivor.
+        if self.channels.stats().outbox_depth > 0 {
+            return;
+        }
+        // A standalone hive has no configuration entry to leave.
+        let RegBackend::Raft(_) = self.registry else {
+            self.lifecycle.set(LifecycleStage::Departed);
+            self.events.record(
+                EventKind::MembershipChange,
+                "standalone drain complete".to_string(),
+            );
+            return;
+        };
+        let me = self.cfg.id.as_raft();
+        let (is_leader, is_voter, transfer_to) = match &self.registry {
+            RegBackend::Raft(node) => {
+                let voters = node.voters();
+                let transfer_to = voters
+                    .iter()
+                    .copied()
+                    .filter(|&v| v != me)
+                    .find(|&v| !self.draining_peers.contains(&HiveId::from_raft(v)));
+                (node.is_leader(), voters.contains(&me), transfer_to)
+            }
+            RegBackend::Local { .. } => unreachable!("guarded above"),
+        };
+        // Step 3: a draining leader hands leadership to a surviving voter
+        // before demoting itself (a leader cannot safely leave its own
+        // quorum).
+        if is_leader {
+            if let Some(to) = transfer_to {
+                if now.saturating_sub(self.last_transfer_ms) >= self.cfg.pending_retry_ms
+                    || self.last_transfer_ms == 0
+                {
+                    self.last_transfer_ms = now;
+                    let outs = match &mut self.registry {
+                        RegBackend::Raft(node) => node.transfer_leadership(to),
+                        RegBackend::Local { .. } => Vec::new(),
+                    };
+                    self.send_raft(outs);
+                    self.events.record_full(
+                        EventKind::MembershipChange,
+                        0,
+                        "",
+                        None,
+                        Some(HiveId::from_raft(to)),
+                        format!("handing registry leadership to hive-{} before demotion", to),
+                    );
+                }
+            }
+            return;
+        }
+        if self.pending_membership.is_some() {
+            return; // a demote/remove request is already in flight
+        }
+        // Step 4: voter → learner; step 5: learner → removed.
+        let op = if is_voter {
+            MembershipOp::DemoteRequest
+        } else {
+            MembershipOp::RemoveRequest
+        };
+        self.pending_membership = Some((op, 0, 0));
+        let detail = if is_voter {
+            "drained: requesting demotion to learner"
+        } else {
+            "drained: requesting removal from the configuration"
+        };
+        self.events
+            .record(EventKind::MembershipChange, detail.to_string());
+    }
+
+    /// Registry-owned bees currently placed on this hive, in deterministic
+    /// order.
+    fn owned_bees(&self) -> Vec<(AppName, BeeId)> {
+        let mut owned: Vec<(AppName, BeeId)> = self
+            .registry_view()
+            .bees()
+            .filter(|(_, rec)| rec.hive == self.cfg.id)
+            .map(|(b, rec)| (rec.app.clone(), *b))
+            .collect();
+        owned.sort();
+        owned
+    }
+
+    /// Mass-migrates this draining hive's bees onto survivors through the
+    /// placement optimizer's drain mode and the live-migration path.
+    /// Platform-app bees (which the optimizer never touches) and bees the
+    /// heuristic could not place fall back to the least-occupied survivor.
+    fn evacuate(&mut self, owned: Vec<(AppName, BeeId)>) {
+        let mut occupancy: BTreeMap<u32, usize> = BTreeMap::new();
+        for h in &self.cfg.all_hives {
+            occupancy.entry(h.0).or_insert(0);
+        }
+        for (_, rec) in self.registry_view().bees() {
+            *occupancy.entry(rec.hive.0).or_insert(0) += 1;
+        }
+        let loads: Vec<BeeLoad> = owned
+            .iter()
+            .filter_map(|(app, bee)| {
+                let &ai = self.app_idx.get(app)?;
+                let b = self.queens[ai].bee(*bee)?;
+                if b.status != BeeStatus::Active {
+                    return None; // already mid-migration
+                }
+                Some(BeeLoad {
+                    app: app.clone(),
+                    bee: *bee,
+                    hive: self.cfg.id,
+                    pinned: false,
+                    cells: b.colony.len() as u64,
+                    in_by_hive: BTreeMap::new(),
+                    p99_runtime_us: 0,
+                })
+            })
+            .collect();
+        if loads.is_empty() {
+            return; // all in flight; their MoveBee commits clear `owned`
+        }
+        let mut draining: Vec<u32> = self.draining_peers.iter().map(|h| h.0).collect();
+        draining.push(self.cfg.id.0);
+        draining.sort_unstable();
+        let cfg = OptimizerConfig {
+            min_messages: 0,
+            draining,
+            ..OptimizerConfig::default()
+        };
+        let plans = plan_migrations(&loads, &occupancy, &cfg);
+        let mut placed: HashSet<BeeId> = HashSet::new();
+        for p in &plans {
+            placed.insert(p.bee);
+            *occupancy.entry(p.to.0).or_insert(0) += 1;
+        }
+        let survivors: Vec<HiveId> = self
+            .cfg
+            .all_hives
+            .iter()
+            .copied()
+            .filter(|&h| h != self.cfg.id && !self.draining_peers.contains(&h))
+            .collect();
+        let me = self.cfg.id;
+        for p in plans {
+            self.request_migration(&p.app, p.bee, me, p.to);
+        }
+        if survivors.is_empty() {
+            return; // nothing left to evacuate onto; drain stalls until a peer appears
+        }
+        for (app, bee) in loads
+            .into_iter()
+            .filter(|l| !placed.contains(&l.bee))
+            .map(|l| (l.app, l.bee))
+        {
+            let to = survivors
+                .iter()
+                .copied()
+                .min_by_key(|h| (occupancy.get(&h.0).copied().unwrap_or(0), h.0))
+                .expect("survivors is non-empty");
+            *occupancy.entry(to.0).or_insert(0) += 1;
+            self.request_migration(&app, bee, me, to);
+        }
+    }
+
+    /// (Re-)sends the pending membership request toward the registry
+    /// leader. A joiner with no leader hint asks every configured peer —
+    /// whoever leads proposes the change, the rest forward or drop it.
+    fn flush_membership_request(&mut self, now: u64) {
+        let Some((op, last, attempts)) = self.pending_membership else {
+            return;
+        };
+        if last != 0 && now.saturating_sub(last) < self.cfg.pending_retry_ms {
+            return;
+        }
+        if op == MembershipOp::RemoveRequest && attempts >= MAX_REMOVE_ATTEMPTS {
+            // The cluster may already have removed (and forgotten) us and
+            // the final ack was lost: assume the removal committed and
+            // depart rather than retry forever.
+            self.pending_membership = None;
+            self.lifecycle.set(LifecycleStage::Departed);
+            self.events.record(
+                EventKind::MembershipChange,
+                "departure assumed after unanswered remove requests".to_string(),
+            );
+            return;
+        }
+        self.pending_membership = Some((op, now.max(1), attempts + 1));
+        let msg = ControlMsg::MembershipChange {
+            node: self.cfg.id,
+            addr: self.advertise_addr.clone(),
+            op,
+        };
+        let leader = match &self.registry {
+            RegBackend::Raft(node) => node.leader_hint(),
+            RegBackend::Local { .. } => None,
+        };
+        match leader {
+            Some(l) if HiveId::from_raft(l) != self.cfg.id => {
+                self.send_control(HiveId::from_raft(l), &msg);
+            }
+            _ => {
+                let peers: Vec<HiveId> = self
+                    .cfg
+                    .all_hives
+                    .iter()
+                    .copied()
+                    .filter(|&h| h != self.cfg.id)
+                    .collect();
+                for p in peers {
+                    self.send_control(p, &msg);
+                }
+            }
+        }
+    }
+
     fn on_registry_event(&mut self, cmd: RegistryCommand, event: RegistryEvent) {
         if cmd.origin == self.cfg.id {
             self.pending_ops.remove(&cmd.seq);
@@ -2057,6 +2753,19 @@ impl Hive {
                 if to == self.cfg.id {
                     return; // already here (or a stale order)
                 }
+                if self.draining_peers.contains(&to) {
+                    // A stale placement order racing the drain announcement:
+                    // never migrate onto a hive that is leaving.
+                    self.events.record_full(
+                        EventKind::MigrationAbort,
+                        0,
+                        &app,
+                        Some(bee),
+                        Some(to),
+                        "destination hive is draining",
+                    );
+                    return;
+                }
                 if let Some((state, colony, repl_seq)) = self.queens[ai].start_migration(bee, to) {
                     self.counters.migrations_started += 1;
                     self.events.record_full(
@@ -2242,6 +2951,9 @@ impl Hive {
                 query_id, spans, ..
             } => {
                 self.trace_hub.add_reply(query_id, spans);
+            }
+            ControlMsg::MembershipChange { node, addr, op } => {
+                self.on_membership_msg(from, node, addr, op);
             }
         }
     }

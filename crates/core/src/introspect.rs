@@ -8,7 +8,9 @@
 //! * `GET /metrics` — Prometheus text exposition ([`render_metrics`]).
 //! * `GET /healthz` — `200 ok` / `503 degraded` JSON verdict, degraded when
 //!   bees are quarantined, dead letters are retained, or the channel outbox
-//!   backs up past [`HEALTH_OUTBOX_LIMIT`].
+//!   backs up past [`HEALTH_OUTBOX_LIMIT`]. A hive mid-membership-change
+//!   reports its lifecycle stage (`joining`/`draining`/`departed`) with a
+//!   200 instead — a deliberate transition is not degradation.
 //! * `GET /events?n=K` — the last `K` flight-recorder events (default 100)
 //!   as a JSON array ([`crate::events::EventJournal`]).
 //! * `GET /trace/<id>` — one merged chrome://tracing JSON document for a
@@ -31,6 +33,7 @@ use std::time::Duration;
 
 use crate::analytics::Analytics;
 use crate::events::EventJournal;
+use crate::lifecycle::{Lifecycle, LifecycleStage};
 use crate::supervision::DeadLetterStore;
 use crate::trace::{chrome_trace_merged, TraceCollector, TraceHub};
 use crate::transport::{FrameKind, TransportCounters, TransportSnapshot};
@@ -69,6 +72,11 @@ pub struct StatusContext {
     /// Wakes the hive's run loop so it notices a submitted trace query.
     /// `None` degrades `/trace/<id>` to local spans only.
     pub nudge: Option<Arc<dyn Fn() + Send + Sync>>,
+    /// The hive's membership lifecycle cell. `None` reports `active`.
+    /// A non-`active` stage takes precedence over the degraded verdict on
+    /// `/healthz`: a draining hive dead-letters abandoned envelopes by
+    /// design and must still answer 200 so orchestration can watch it.
+    pub lifecycle: Option<Arc<Lifecycle>>,
 }
 
 /// Renders the full Prometheus exposition: analytics families plus (when
@@ -266,16 +274,30 @@ fn serve_connection(mut stream: TcpStream, ctx: &StatusContext) -> std::io::Resu
                 (analytics.quarantined_bees(), analytics.outbox_depth())
             };
             let dead_letters = ctx.dead_letters.len() as u64;
+            let stage = ctx
+                .lifecycle
+                .as_ref()
+                .map_or(LifecycleStage::Active, |l| l.stage());
             let healthy =
                 quarantined == 0 && dead_letters == 0 && outbox_depth <= HEALTH_OUTBOX_LIMIT;
+            // A deliberate lifecycle transition is not degradation: report
+            // the stage itself (joining/draining/departed) with a 200.
+            let verdict = if stage != LifecycleStage::Active {
+                stage.label()
+            } else if healthy {
+                "ok"
+            } else {
+                "degraded"
+            };
             let body = format!(
-                "{{\"status\":{},\"quarantined_bees\":{quarantined},\
+                "{{\"status\":\"{verdict}\",\"lifecycle\":\"{}\",\
+                 \"quarantined_bees\":{quarantined},\
                  \"dead_letters\":{dead_letters},\"outbox_depth\":{outbox_depth},\
                  \"events_recorded\":{}}}\n",
-                if healthy { "\"ok\"" } else { "\"degraded\"" },
+                stage.label(),
                 ctx.events.recorded(),
             );
-            let status = if healthy {
+            let status = if healthy || stage != LifecycleStage::Active {
                 "200 OK"
             } else {
                 "503 Service Unavailable"
@@ -397,7 +419,7 @@ mod tests {
     crate::impl_message!(Dummy);
 
     fn test_ctx() -> StatusContext {
-        let clock = Arc::new(SimClock::new(0));
+        let clock = Arc::new(SimClock::new());
         StatusContext {
             analytics: Arc::new(std::sync::Mutex::new(Analytics::new())),
             transport: Some(Arc::new(TransportCounters::new())),
@@ -406,6 +428,7 @@ mod tests {
             tracer: Arc::new(TraceCollector::new(16)),
             trace_hub: Arc::new(TraceHub::new()),
             nudge: None,
+            lifecycle: None,
         }
     }
 
@@ -491,11 +514,51 @@ mod tests {
         let server = StatusServer::bind("127.0.0.1:0".parse().unwrap(), ctx).unwrap();
         let (head, body) = http_get(server.local_addr(), "/trace/42");
         assert!(head.starts_with("HTTP/1.0 200"), "{head}");
-        assert!(body.contains("\"traceEvents\""), "{body}");
+        assert!(body.trim_start().starts_with('['), "{body}");
+        assert!(body.contains("\"ph\":\"X\""), "{body}");
         assert!(body.contains("\"pid\":1"), "{body}");
         // Hex form resolves to the same trace.
         let (_, hex_body) = http_get(server.local_addr(), "/trace/0x2a");
         assert_eq!(body, hex_body);
+    }
+
+    #[test]
+    fn healthz_reports_lifecycle_and_draining_stays_200() {
+        let lifecycle = Arc::new(Lifecycle::default());
+        let ctx = StatusContext {
+            lifecycle: Some(lifecycle.clone()),
+            ..test_ctx()
+        };
+        // Even with retained dead letters (abandoned envelopes are
+        // dead-lettered during a drain by design), a draining hive answers
+        // 200 and reports the stage.
+        ctx.dead_letters.record(crate::supervision::DeadLetter {
+            app: "te".into(),
+            bee: crate::id::BeeId::new(HiveId(1), 1),
+            handler: "h".into(),
+            msg_type: "M".into(),
+            kind: crate::supervision::FailureKind::Panic,
+            detail: "drain casualty".into(),
+            attempts: 1,
+            trace_id: 7,
+            recorded_ms: 1,
+            envelope: crate::message::Envelope {
+                msg: Arc::new(Dummy),
+                src: crate::message::Source::External(HiveId(1)),
+                dst: crate::message::Dst::Broadcast,
+                trace: crate::trace::TraceContext::root(HiveId(1)),
+                deliveries: 0,
+            },
+        });
+        let server = StatusServer::bind("127.0.0.1:0".parse().unwrap(), ctx).unwrap();
+        let (head, body) = http_get(server.local_addr(), "/healthz");
+        assert!(head.starts_with("HTTP/1.0 503"), "{head}");
+        assert!(body.contains("\"lifecycle\":\"active\""), "{body}");
+        lifecycle.set(LifecycleStage::Draining);
+        let (head, body) = http_get(server.local_addr(), "/healthz");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert!(body.contains("\"status\":\"draining\""), "{body}");
+        assert!(body.contains("\"lifecycle\":\"draining\""), "{body}");
     }
 
     #[test]

@@ -72,6 +72,7 @@ pub mod feedback;
 pub mod hive;
 pub mod id;
 pub mod introspect;
+pub mod lifecycle;
 pub mod message;
 pub mod metrics;
 pub mod optimizer;
@@ -93,11 +94,13 @@ pub use channel::{
     ReliableChannels,
 };
 pub use clock::{Clock, SimClock, SystemClock};
+pub use control::{ControlMsg, MembershipOp};
 pub use error::{Error, Result};
 pub use events::{Event, EventJournal, EventKind};
 pub use hive::{Hive, HiveConfig, HiveCounters, HiveHandle};
 pub use id::{AppName, BeeId, HiveId};
 pub use introspect::{render_metrics, StatusContext, StatusServer};
+pub use lifecycle::{Lifecycle, LifecycleStage};
 pub use message::{cast, Dst, Envelope, Message, MessageRegistry, Source, TypedMessage};
 pub use metrics::{
     BeeStats, BeeStatsSnapshot, ExecutorStats, HiveMetrics, Instrumentation, LatencyHistogram,

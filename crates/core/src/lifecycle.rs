@@ -1,0 +1,127 @@
+//! Cluster-membership lifecycle of a hive.
+//!
+//! Elastic membership (live join / drain) moves a hive through a small
+//! state machine: `joining → active → draining → departed` (a seed member
+//! starts directly at `active`). The current stage lives in a lock-free
+//! [`Lifecycle`] cell shared between the hive's step loop (which drives the
+//! transitions), the status server (which reports it on `/healthz`), and
+//! the process signal handler (which requests a drain). The authoritative
+//! membership transitions travel through the registry Raft log as
+//! conf-change entries; this cell only mirrors the side states observers
+//! care about.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Where a hive currently stands in the membership lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleStage {
+    /// A full voter (or standalone hive) serving traffic normally.
+    Active,
+    /// Booted with `--join`: following the registry log as a learner,
+    /// catching up before asking for promotion.
+    Joining,
+    /// Leaving the cluster: evacuating bees, flushing the channel outbox,
+    /// stepping down voter → learner → removed. Not a failure state —
+    /// `/healthz` reports it with a 200.
+    Draining,
+    /// Fully removed from the configuration; the process exits shortly.
+    Departed,
+}
+
+impl LifecycleStage {
+    /// Stable lower-case label (used on `/healthz` and in events).
+    pub fn label(self) -> &'static str {
+        match self {
+            LifecycleStage::Active => "active",
+            LifecycleStage::Joining => "joining",
+            LifecycleStage::Draining => "draining",
+            LifecycleStage::Departed => "departed",
+        }
+    }
+
+    fn from_u8(v: u8) -> LifecycleStage {
+        match v {
+            1 => LifecycleStage::Joining,
+            2 => LifecycleStage::Draining,
+            3 => LifecycleStage::Departed,
+            _ => LifecycleStage::Active,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            LifecycleStage::Active => 0,
+            LifecycleStage::Joining => 1,
+            LifecycleStage::Draining => 2,
+            LifecycleStage::Departed => 3,
+        }
+    }
+}
+
+/// A shared, lock-free cell holding a hive's [`LifecycleStage`].
+///
+/// Cloneable via `Arc`; safe to read from the status server and signal
+/// handlers while the hive's step loop writes it.
+#[derive(Debug, Default)]
+pub struct Lifecycle {
+    stage: AtomicU8,
+}
+
+impl Lifecycle {
+    /// A cell starting at `stage`.
+    pub fn new(stage: LifecycleStage) -> Lifecycle {
+        Lifecycle {
+            stage: AtomicU8::new(stage.as_u8()),
+        }
+    }
+
+    /// The current stage.
+    pub fn stage(&self) -> LifecycleStage {
+        LifecycleStage::from_u8(self.stage.load(Ordering::Relaxed))
+    }
+
+    /// Moves to `stage`.
+    pub fn set(&self, stage: LifecycleStage) {
+        self.stage.store(stage.as_u8(), Ordering::Relaxed);
+    }
+
+    /// True once the hive is draining or fully departed.
+    pub fn is_leaving(&self) -> bool {
+        matches!(
+            self.stage(),
+            LifecycleStage::Draining | LifecycleStage::Departed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_roundtrip_and_label() {
+        for stage in [
+            LifecycleStage::Active,
+            LifecycleStage::Joining,
+            LifecycleStage::Draining,
+            LifecycleStage::Departed,
+        ] {
+            let cell = Lifecycle::new(stage);
+            assert_eq!(cell.stage(), stage);
+            assert_eq!(LifecycleStage::from_u8(stage.as_u8()), stage);
+            assert!(!stage.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn default_is_active_and_transitions_apply() {
+        let cell = Lifecycle::default();
+        assert_eq!(cell.stage(), LifecycleStage::Active);
+        assert!(!cell.is_leaving());
+        cell.set(LifecycleStage::Draining);
+        assert!(cell.is_leaving());
+        cell.set(LifecycleStage::Departed);
+        assert_eq!(cell.stage(), LifecycleStage::Departed);
+        assert!(cell.is_leaving());
+    }
+}

@@ -353,7 +353,8 @@ impl Instrumentation {
         match kind {
             FailureKind::Error => self.handler_failures[0] += 1,
             FailureKind::Panic => self.handler_failures[1] += 1,
-            FailureKind::Quarantined | FailureKind::MailboxOverflow => {}
+            FailureKind::Quarantined | FailureKind::MailboxOverflow | FailureKind::PeerDeparted => {
+            }
         }
     }
 

@@ -46,6 +46,10 @@ pub struct OptimizerConfig {
     pub max_bees_per_hive: Option<usize>,
     /// Applications that must never be migrated (platform apps by default).
     pub frozen_apps: Vec<AppName>,
+    /// Hives leaving the cluster: never a migration target, and every
+    /// migratable bee still hosted on one is evacuated regardless of the
+    /// traffic-majority and `min_messages` thresholds.
+    pub draining: Vec<u32>,
 }
 
 impl Default for OptimizerConfig {
@@ -55,6 +59,7 @@ impl Default for OptimizerConfig {
             min_messages: 10,
             max_bees_per_hive: None,
             frozen_apps: vec![],
+            draining: vec![],
         }
     }
 }
@@ -76,7 +81,9 @@ pub struct MigrationPlan {
 ///
 /// Deterministic: bees are considered by descending p99 handler runtime
 /// (latency-hot apps claim scarce capacity first), then `(app, bee)` order;
-/// capacity is accounted as decisions accumulate.
+/// capacity is accounted as decisions accumulate. Bees hosted on a hive in
+/// [`OptimizerConfig::draining`] are evacuated unconditionally; everyone
+/// else follows the traffic-majority rule, never targeting a draining hive.
 pub fn plan_migrations(
     loads: &[BeeLoad],
     current_bees_per_hive: &BTreeMap<u32, usize>,
@@ -96,29 +103,15 @@ pub fn plan_migrations(
         if load.pinned || cfg.frozen_apps.contains(&load.app) || load.app.starts_with("beehive.") {
             continue;
         }
-        let total: u64 = load.in_by_hive.values().sum();
-        if total < cfg.min_messages {
-            continue;
-        }
-        let Some((&best_hive, &best_count)) = load
-            .in_by_hive
-            .iter()
-            .max_by_key(|(h, c)| (**c, std::cmp::Reverse(**h)))
-        else {
+        let target = if cfg.draining.contains(&load.hive.0) {
+            evacuation_target(load, &occupancy, cfg)
+        } else {
+            affinity_target(load, &occupancy, cfg)
+        };
+        let Some(to) = target else {
             continue;
         };
-        if HiveId(best_hive) == load.hive {
-            continue;
-        }
-        if (best_count as f64) <= cfg.majority_threshold * total as f64 {
-            continue;
-        }
-        if let Some(cap) = cfg.max_bees_per_hive {
-            if occupancy.get(&best_hive).copied().unwrap_or(0) >= cap {
-                continue;
-            }
-        }
-        *occupancy.entry(best_hive).or_insert(0) += 1;
+        *occupancy.entry(to).or_insert(0) += 1;
         if let Some(o) = occupancy.get_mut(&load.hive.0) {
             *o = o.saturating_sub(1);
         }
@@ -126,10 +119,69 @@ pub fn plan_migrations(
             app: load.app.clone(),
             bee: load.bee,
             from: load.hive,
-            to: HiveId(best_hive),
+            to: HiveId(to),
         });
     }
     plans
+}
+
+/// The paper's majority-traffic move for a normally placed bee, if any.
+fn affinity_target(
+    load: &BeeLoad,
+    occupancy: &BTreeMap<u32, usize>,
+    cfg: &OptimizerConfig,
+) -> Option<u32> {
+    let total: u64 = load.in_by_hive.values().sum();
+    if total < cfg.min_messages {
+        return None;
+    }
+    let (&best_hive, &best_count) = load
+        .in_by_hive
+        .iter()
+        .max_by_key(|(h, c)| (**c, std::cmp::Reverse(**h)))?;
+    if HiveId(best_hive) == load.hive || cfg.draining.contains(&best_hive) {
+        return None;
+    }
+    if (best_count as f64) <= cfg.majority_threshold * total as f64 {
+        return None;
+    }
+    if let Some(cap) = cfg.max_bees_per_hive {
+        if occupancy.get(&best_hive).copied().unwrap_or(0) >= cap {
+            return None;
+        }
+    }
+    Some(best_hive)
+}
+
+/// The evacuation move for a bee on a draining hive: its majority traffic
+/// source if that hive survives and has room, otherwise the least-occupied
+/// survivor. Capacity is a preference here rather than a veto — the drain
+/// must complete even when every survivor is nominally full.
+fn evacuation_target(
+    load: &BeeLoad,
+    occupancy: &BTreeMap<u32, usize>,
+    cfg: &OptimizerConfig,
+) -> Option<u32> {
+    let survives = |h: u32| h != load.hive.0 && !cfg.draining.contains(&h);
+    if let Some((&best, _)) = load
+        .in_by_hive
+        .iter()
+        .filter(|(h, _)| survives(**h))
+        .max_by_key(|(h, c)| (**c, std::cmp::Reverse(**h)))
+    {
+        let under_cap = match cfg.max_bees_per_hive {
+            Some(cap) => occupancy.get(&best).copied().unwrap_or(0) < cap,
+            None => true,
+        };
+        if under_cap {
+            return Some(best);
+        }
+    }
+    occupancy
+        .keys()
+        .copied()
+        .filter(|&h| survives(h))
+        .min_by_key(|&h| (occupancy.get(&h).copied().unwrap_or(0), h))
 }
 
 #[cfg(test)]
@@ -231,6 +283,50 @@ mod tests {
         let plans = plan_migrations(&loads, &BTreeMap::new(), &OptimizerConfig::default());
         assert_eq!(plans[0].bee, BeeId::new(HiveId(1), 1));
         assert_eq!(plans[1].bee, BeeId::new(HiveId(1), 2));
+    }
+
+    #[test]
+    fn draining_hive_is_evacuated_unconditionally() {
+        // Bee on draining hive 1 with almost no traffic: still evacuated,
+        // to its (surviving) majority source.
+        let loads = vec![load("te", 1, 1, &[(7, 2)])];
+        let cfg = OptimizerConfig {
+            draining: vec![1],
+            ..Default::default()
+        };
+        let plans = plan_migrations(&loads, &BTreeMap::new(), &cfg);
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].from, HiveId(1));
+        assert_eq!(plans[0].to, HiveId(7));
+    }
+
+    #[test]
+    fn evacuation_falls_back_to_least_occupied_survivor() {
+        // No observed traffic at all: the evacuation target comes from the
+        // occupancy map — the least-occupied non-draining hive.
+        let loads = vec![load("te", 1, 1, &[])];
+        let mut occupancy = BTreeMap::new();
+        occupancy.insert(1u32, 5usize);
+        occupancy.insert(2u32, 3usize);
+        occupancy.insert(3u32, 1usize);
+        let cfg = OptimizerConfig {
+            draining: vec![1],
+            ..Default::default()
+        };
+        let plans = plan_migrations(&loads, &occupancy, &cfg);
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].to, HiveId(3));
+    }
+
+    #[test]
+    fn draining_hive_is_never_a_target() {
+        // Majority source is draining: the bee stays put.
+        let loads = vec![load("te", 1, 1, &[(7, 100)])];
+        let cfg = OptimizerConfig {
+            draining: vec![7],
+            ..Default::default()
+        };
+        assert!(plan_migrations(&loads, &BTreeMap::new(), &cfg).is_empty());
     }
 
     #[test]

@@ -98,6 +98,21 @@ pub enum JournalEntry {
         /// Frames delivered under earlier epochs of this peer.
         retired: u64,
     },
+    /// Peer `peer` left the cluster: its send/recv state was dropped and its
+    /// counters folded into the channel-wide retirement accumulators so the
+    /// cumulative stats stay monotonic. `expired` counts the unacked
+    /// envelopes that will never be delivered (dead-lettered by the hive).
+    /// Compaction re-emits one cumulative record with `peer = 0`.
+    PeerRetired {
+        /// The departed peer (0 for the compaction accumulator record).
+        peer: u32,
+        /// Envelopes that had been sequenced toward the peer.
+        sent: u64,
+        /// Envelopes that had been delivered from the peer.
+        delivered: u64,
+        /// Unacked envelopes abandoned (returned for dead-lettering).
+        expired: u64,
+    },
 }
 
 /// Recovered send-side state for one peer.
@@ -133,6 +148,12 @@ pub struct OutboxState {
     pub send: BTreeMap<u32, SendRecovery>,
     /// Receive-side state per peer.
     pub recv: BTreeMap<u32, RecvRecovery>,
+    /// Envelopes sequenced toward peers retired since (membership removal).
+    pub retired_sent: u64,
+    /// Envelopes delivered from peers retired since.
+    pub retired_delivered: u64,
+    /// Unacked envelopes abandoned when their peer was retired.
+    pub expired: u64,
 }
 
 impl OutboxState {
@@ -196,6 +217,18 @@ impl OutboxState {
                 r.last_delivered = last_delivered;
                 r.seen_ahead = seen_ahead.into_iter().collect();
                 r.retired = retired;
+            }
+            JournalEntry::PeerRetired {
+                peer,
+                sent,
+                delivered,
+                expired,
+            } => {
+                self.send.remove(&peer);
+                self.recv.remove(&peer);
+                self.retired_sent += sent;
+                self.retired_delivered += delivered;
+                self.expired += expired;
             }
         }
     }
@@ -437,6 +470,32 @@ mod tests {
         assert_eq!(s.acked, 10);
         assert!(s.unacked.is_empty());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn peer_retired_drops_state_and_accumulates() {
+        let mut state = OutboxState::default();
+        state.apply(JournalEntry::Send {
+            to: 2,
+            seq: 1,
+            env: vec![0xAA],
+        });
+        state.apply(JournalEntry::Delivered {
+            from: 2,
+            epoch: 1,
+            seq: 1,
+        });
+        state.apply(JournalEntry::PeerRetired {
+            peer: 2,
+            sent: 1,
+            delivered: 1,
+            expired: 1,
+        });
+        assert!(state.send.is_empty(), "retired peer's send state lingers");
+        assert!(state.recv.is_empty(), "retired peer's recv state lingers");
+        assert_eq!(state.retired_sent, 1);
+        assert_eq!(state.retired_delivered, 1);
+        assert_eq!(state.expired, 1);
     }
 
     #[test]

@@ -594,6 +594,17 @@ impl Queen {
         Some((bee.state, bee.mailbox.into_iter().collect()))
     }
 
+    /// Clears a bee's pinned flag so a draining hive can evacuate its
+    /// hive-local singletons over the normal migration path. Returns whether
+    /// the bee was pinned. Pinning otherwise means "never migrate", so this
+    /// is only called once the whole hive is leaving the cluster.
+    pub fn unpin(&mut self, id: BeeId) -> bool {
+        match self.bees.get_mut(&id) {
+            Some(bee) => std::mem::replace(&mut bee.pinned, false),
+            None => false,
+        }
+    }
+
     /// Removes a bee entirely (registry `Removed` event).
     pub fn remove(&mut self, id: BeeId) {
         if self.bees.remove(&id).is_some() {
@@ -648,6 +659,16 @@ mod tests {
         assert!(q.bee(s1).unwrap().pinned);
         // Pinned bees refuse to migrate.
         assert!(q.start_migration(s1, HiveId(2)).is_none());
+    }
+
+    #[test]
+    fn unpin_allows_drain_migration() {
+        let mut q = Queen::new("a".into());
+        let s = q.ensure_singleton(|| bid(7));
+        assert!(q.unpin(s), "singleton was pinned");
+        assert!(!q.unpin(s), "second unpin reports already-unpinned");
+        assert!(!q.unpin(bid(99)), "unknown bee");
+        assert!(q.start_migration(s, HiveId(2)).is_some());
     }
 
     #[test]

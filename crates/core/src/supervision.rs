@@ -34,6 +34,10 @@ pub enum FailureKind {
     /// The bee's bounded mailbox was full and the overflow policy rejected
     /// the message.
     MailboxOverflow,
+    /// The message was owed to a hive that left the cluster (elastic
+    /// scale-in): its reliable channel was retired before the envelope was
+    /// acked, so it is dead-lettered instead of retried forever.
+    PeerDeparted,
 }
 
 impl FailureKind {
@@ -50,6 +54,7 @@ impl FailureKind {
             FailureKind::Panic => "panic",
             FailureKind::Quarantined => "quarantined",
             FailureKind::MailboxOverflow => "mailbox_overflow",
+            FailureKind::PeerDeparted => "peer_departed",
         }
     }
 }

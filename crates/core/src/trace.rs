@@ -21,6 +21,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
+use crate::clock::Clock;
 use crate::id::{AppName, BeeId, HiveId};
 
 /// Process-wide span/trace id counter. Ids only need to be unique within a
@@ -304,6 +305,12 @@ pub fn chrome_trace_merged(spans: &[TraceSpan], trace_id: u64) -> String {
 pub struct TraceHub {
     inner: Mutex<HubInner>,
     cv: parking_lot::Condvar,
+    /// The owning hive's clock. When wired ([`TraceHub::set_clock`]),
+    /// [`TraceHub::wait`] measures its timeout in this clock's (possibly
+    /// virtual) time instead of reading the wall clock directly, so trace
+    /// assembly under the simulator expires deterministically with the rest
+    /// of the hive.
+    clock: Mutex<Option<std::sync::Arc<dyn Clock>>>,
 }
 
 #[derive(Default)]
@@ -396,14 +403,33 @@ impl TraceHub {
         None
     }
 
+    /// Wires the owning hive's clock so [`TraceHub::wait`] timeouts run in
+    /// hive time (virtual under the simulator, wall in production).
+    pub fn set_clock(&self, clock: std::sync::Arc<dyn Clock>) {
+        *self.clock.lock() = Some(clock);
+    }
+
     /// Blocks until the query completes or `timeout` passes, returning the
     /// merged (possibly partial) spans. Consumes the query.
+    ///
+    /// With a wired clock the timeout is measured against it; the wall
+    /// clock only serves as a safety net of the same duration, so a frozen
+    /// simulated clock cannot wedge the calling thread forever.
     pub fn wait(&self, query_id: u64, timeout: std::time::Duration) -> Vec<TraceSpan> {
-        let deadline = std::time::Instant::now() + timeout;
+        let clock = self.clock.lock().clone();
+        let virtual_deadline = clock
+            .as_ref()
+            .map(|c| c.now_ms().saturating_add(timeout.as_millis() as u64));
+        let wall_deadline = std::time::Instant::now() + timeout;
         let mut inner = self.inner.lock();
         loop {
             let done = inner.pending.get(&query_id).is_some_and(|p| p.done);
-            if done || std::time::Instant::now() >= deadline {
+            let virtual_expired = match (&clock, virtual_deadline) {
+                (Some(c), Some(due)) => c.now_ms() >= due,
+                _ => false,
+            };
+            let now = std::time::Instant::now();
+            if done || virtual_expired || now >= wall_deadline {
                 let spans = inner
                     .pending
                     .remove(&query_id)
@@ -411,7 +437,12 @@ impl TraceHub {
                     .unwrap_or_default();
                 return finish_spans(spans);
             }
-            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            let mut remaining = wall_deadline.saturating_duration_since(now);
+            if clock.is_some() {
+                // A virtual clock advances outside the condvar protocol:
+                // wake in short slices to re-check the virtual deadline.
+                remaining = remaining.min(std::time::Duration::from_millis(10));
+            }
             self.cv.wait_for(&mut inner, remaining);
         }
     }
@@ -586,6 +617,51 @@ mod tests {
     fn hub_wait_times_out_to_empty_on_unknown_query() {
         let hub = TraceHub::new();
         let spans = hub.wait(12345, std::time::Duration::from_millis(5));
+        assert!(spans.is_empty());
+    }
+
+    #[test]
+    fn hub_wait_expires_in_virtual_time() {
+        use crate::clock::SimClock;
+        use std::sync::Arc;
+        let hub = Arc::new(TraceHub::new());
+        let clock = SimClock::new();
+        hub.set_clock(Arc::new(clock.clone()));
+        let qid = hub.submit(7);
+        hub.take_requests();
+        hub.start(qid, 1, vec![span_on(1, 7, 10, 0, 5)]);
+        // Advance virtual time past the deadline from another thread; the
+        // waiter's re-check slices must notice without any notify.
+        let t = {
+            let clock = clock.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                clock.advance(10_000);
+            })
+        };
+        // Wall safety net is 2s, but virtual expiry should fire in ~30ms.
+        let start = std::time::Instant::now();
+        let spans = hub.wait(qid, std::time::Duration::from_secs(2));
+        t.join().unwrap();
+        assert_eq!(spans.len(), 1, "partial result on expiry");
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(1),
+            "virtual expiry did not cut the wall wait short"
+        );
+    }
+
+    #[test]
+    fn hub_wait_with_frozen_virtual_clock_hits_the_wall_safety_net() {
+        use crate::clock::SimClock;
+        use std::sync::Arc;
+        let hub = TraceHub::new();
+        hub.set_clock(Arc::new(SimClock::new()));
+        let qid = hub.submit(7);
+        hub.take_requests();
+        hub.start(qid, 1, vec![]);
+        // Nobody advances the virtual clock: the wall-clock net of the same
+        // duration still returns the (empty) partial result.
+        let spans = hub.wait(qid, std::time::Duration::from_millis(30));
         assert!(spans.is_empty());
     }
 }

@@ -249,6 +249,18 @@ pub trait Transport: Send {
     /// Transports without connection lifecycles (the loopback, the
     /// simulator fabric) can ignore it.
     fn set_events(&mut self, _events: std::sync::Arc<crate::events::EventJournal>) {}
+    /// Adds `peer` (reachable at `addr`) to the peer set at runtime — a hive
+    /// that just joined the cluster. Idempotent; the address format is
+    /// transport-specific (`host:port` for TCP, ignored by the in-memory
+    /// fabric). Transports with a fixed peer set ignore it.
+    fn connect_peer(&self, _peer: HiveId, _addr: &str) {}
+    /// Removes `peer` from the peer set at runtime — a hive that left the
+    /// cluster. Returns any frames the transport was still holding for it
+    /// (deferred-queue contents), so the caller can dead-letter application
+    /// payloads instead of silently dropping them. Idempotent.
+    fn disconnect_peer(&self, _peer: HiveId) -> Vec<Frame> {
+        Vec::new()
+    }
 }
 
 /// Single-hive transport: sends to self loop back, sends to anyone else are

@@ -118,10 +118,21 @@ struct Shared {
     rng: Mutex<u64>, // xorshift state for fault coins (deterministic)
     stats: Mutex<FaultStats>,
     down: Mutex<HashSet<u32>>, // crashed hives: frames to/from them are lost
-    hives: Vec<HiveId>,
+    /// Hive roster. Behind a lock because elastic membership grows and
+    /// shrinks it at runtime (join adds a queue, departure retires one).
+    hives: Mutex<Vec<HiveId>>,
 }
 
 impl Shared {
+    /// Adds `id` to the roster (idempotent) and ensures it has a queue.
+    fn add_hive(&self, id: HiveId) {
+        let mut hives = self.hives.lock();
+        if !hives.contains(&id) {
+            hives.push(id);
+        }
+        self.queues.lock().entry(id.0).or_default();
+    }
+
     /// Next xorshift64* draw as a raw u64.
     fn rng_u64(&self) -> u64 {
         let mut rng = self.rng.lock();
@@ -162,7 +173,7 @@ impl MemFabric {
                 rng: Mutex::new(0x9E3779B97F4A7C15),
                 stats: Mutex::new(FaultStats::default()),
                 down: Mutex::new(HashSet::new()),
-                hives,
+                hives: Mutex::new(hives),
             }),
         }
     }
@@ -170,13 +181,31 @@ impl MemFabric {
     /// The endpoint for hive `id` (panics if `id` is not in the fabric).
     pub fn endpoint(&self, id: HiveId) -> MemEndpoint {
         assert!(
-            self.shared.hives.contains(&id),
+            self.shared.hives.lock().contains(&id),
             "hive {id} is not part of this fabric"
         );
         MemEndpoint {
             id,
             shared: self.shared.clone(),
         }
+    }
+
+    /// Adds a hive to the fabric at runtime (idempotent) — the roster grows
+    /// and the new hive gets an empty inbound queue. Call before
+    /// [`MemFabric::endpoint`] for a hive joining a live cluster.
+    pub fn add_hive(&self, id: HiveId) {
+        self.shared.add_hive(id);
+    }
+
+    /// Retires a hive from the fabric: drops its roster entry and inbound
+    /// queue, returning per-kind counts of whatever was still queued so
+    /// departure bookkeeping can absorb the discarded app frames.
+    pub fn remove_hive(&self, id: HiveId) -> ClearedFrames {
+        let cleared = self.clear_queue(id);
+        self.shared.queues.lock().remove(&id.0);
+        self.shared.hives.lock().retain(|h| *h != id);
+        self.shared.down.lock().remove(&id.0);
+        cleared
     }
 
     /// Snapshot of the traffic accounting.
@@ -268,9 +297,9 @@ impl MemFabric {
         *self.shared.stats.lock() = FaultStats::default();
     }
 
-    /// The hives on this fabric.
-    pub fn hives(&self) -> &[HiveId] {
-        &self.shared.hives
+    /// The hives currently on this fabric.
+    pub fn hives(&self) -> Vec<HiveId> {
+        self.shared.hives.lock().clone()
     }
 }
 
@@ -374,10 +403,25 @@ impl Transport for MemEndpoint {
     fn peers(&self) -> Vec<HiveId> {
         self.shared
             .hives
+            .lock()
             .iter()
             .copied()
             .filter(|&h| h != self.id)
             .collect()
+    }
+
+    fn connect_peer(&self, peer: HiveId, _addr: &str) {
+        // In-process fabric: the "address" is the roster entry itself.
+        self.shared.add_hive(peer);
+    }
+
+    fn disconnect_peer(&self, peer: HiveId) -> Vec<Frame> {
+        // The fabric's queues are per-receiver and shared by every sender,
+        // so a single endpoint has no private deferred frames to surrender;
+        // the harness retires the departed hive's queue via
+        // [`MemFabric::remove_hive`].
+        let _ = peer;
+        Vec::new()
     }
 }
 
@@ -596,6 +640,26 @@ mod tests {
         assert!(e2.try_recv().is_none(), "latency floor holds the frame");
         clock.advance(15); // latency + max jitter
         assert!(e2.try_recv().is_some());
+    }
+
+    #[test]
+    fn hives_join_and_retire_at_runtime() {
+        let (f, _clock) = fabric2();
+        f.add_hive(HiveId(3));
+        assert!(f.hives().contains(&HiveId(3)));
+        let e1 = f.endpoint(HiveId(1));
+        let e3 = f.endpoint(HiveId(3));
+        e1.send(HiveId(3), Frame::app(vec![5]));
+        assert_eq!(e3.try_recv().unwrap().1.bytes, vec![5]);
+        // Endpoints announce joins idempotently via the Transport trait.
+        e1.connect_peer(HiveId(3), "ignored-in-process");
+        assert_eq!(f.hives().len(), 3);
+        assert!(e1.peers().contains(&HiveId(3)));
+        // Retiring with a frame still queued counts it instead of leaking it.
+        e1.send(HiveId(3), Frame::app(vec![6]));
+        let cleared = f.remove_hive(HiveId(3));
+        assert_eq!(cleared.app, 1);
+        assert!(!f.hives().contains(&HiveId(3)));
     }
 
     #[test]

@@ -118,7 +118,10 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<(HiveId, u8, Vec<u8>)> 
 /// reader thread per connection feeds the shared inbox.
 pub struct TcpTransport {
     id: HiveId,
-    peers: HashMap<HiveId, SocketAddr>,
+    /// Peer address book. Behind a lock because elastic membership adds and
+    /// removes peers at runtime through `&self` trait methods
+    /// ([`Transport::connect_peer`] / [`Transport::disconnect_peer`]).
+    peers: Mutex<HashMap<HiveId, SocketAddr>>,
     outgoing: Mutex<HashMap<HiveId, TcpStream>>,
     /// Per-peer reconnect backoff: sends within the current window are
     /// deferred instead of paying a blocking connect timeout on the hive
@@ -181,7 +184,7 @@ impl TcpTransport {
 
         Ok(TcpTransport {
             id,
-            peers,
+            peers: Mutex::new(peers),
             outgoing: Mutex::new(HashMap::new()),
             connect_backoff: Mutex::new(HashMap::new()),
             deferred: Mutex::new(HashMap::new()),
@@ -208,13 +211,14 @@ impl TcpTransport {
     /// Adds (or updates) a peer's address after binding — lets clusters bind
     /// everyone on port 0 first and exchange the resulting addresses.
     pub fn add_peer(&mut self, id: HiveId, addr: SocketAddr) {
-        self.peers.insert(id, addr);
+        self.peers.lock().insert(id, addr);
     }
 
     fn connect(&self, to: HiveId) -> Option<TcpStream> {
-        let addr = self.peers.get(&to)?;
+        // Copy the address out so the blocking connect happens unlocked.
+        let addr = *self.peers.lock().get(&to)?;
         let mut stream =
-            TcpStream::connect_timeout(addr, std::time::Duration::from_millis(500)).ok()?;
+            TcpStream::connect_timeout(&addr, std::time::Duration::from_millis(500)).ok()?;
         stream.set_nodelay(true).ok();
         // Identify ourselves so the acceptor can label inbound frames.
         write_frame(&mut stream, self.id, KIND_HANDSHAKE, &[]).ok()?;
@@ -439,7 +443,53 @@ impl Transport for TcpTransport {
     }
 
     fn peers(&self) -> Vec<HiveId> {
-        self.peers.keys().copied().collect()
+        self.peers.lock().keys().copied().collect()
+    }
+
+    fn connect_peer(&self, peer: HiveId, addr: &str) {
+        let Ok(sock) = addr.parse::<SocketAddr>() else {
+            emit(
+                &self.events,
+                EventKind::PeerDisconnect,
+                peer,
+                &format!("join announced an unparseable address {addr:?}; peer not added"),
+            );
+            return;
+        };
+        self.peers.lock().insert(peer, sock);
+        // A joining peer is fresh — don't make it serve out a backoff window
+        // earned by whoever held this id before.
+        self.connect_backoff.lock().remove(&peer);
+        emit(
+            &self.events,
+            EventKind::PeerConnect,
+            peer,
+            &format!("peer added to the address book at {sock}"),
+        );
+    }
+
+    fn disconnect_peer(&self, peer: HiveId) -> Vec<Frame> {
+        self.peers.lock().remove(&peer);
+        self.connect_backoff.lock().remove(&peer);
+        if let Some(stream) = self.outgoing.lock().remove(&peer) {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        let held: Vec<Frame> = self
+            .deferred
+            .lock()
+            .remove(&peer)
+            .map(Vec::from)
+            .unwrap_or_default();
+        emit(
+            &self.events,
+            EventKind::PeerDisconnect,
+            peer,
+            &format!(
+                "peer removed from the address book; {} deferred frame(s) surrendered",
+                held.len()
+            ),
+        );
+        held
     }
 
     fn set_waker(&mut self, waker: Arc<dyn Fn() + Send + Sync>) {
@@ -652,6 +702,45 @@ mod tests {
         recv_blocking(&t2, 2000).expect("frame arrives");
         assert_eq!(t1.counters().peer_backoff_ms(HiveId(2)), None);
         assert_eq!(t1.counters().snapshot().connect_failures, 0);
+    }
+
+    #[test]
+    fn connect_peer_adds_address_at_runtime() {
+        // Neither transport knows the other at bind time — the joiner is
+        // announced later, exactly as a live membership change would.
+        let t1 =
+            TcpTransport::bind(HiveId(1), "127.0.0.1:0".parse().unwrap(), HashMap::new()).unwrap();
+        let t2 =
+            TcpTransport::bind(HiveId(2), "127.0.0.1:0".parse().unwrap(), HashMap::new()).unwrap();
+        t1.connect_peer(HiveId(2), &t2.local_addr().to_string());
+        t1.send(HiveId(2), Frame::app(vec![7]));
+        let (from, f) = recv_blocking(&t2, 2000).expect("frame reaches the runtime-added peer");
+        assert_eq!(from, HiveId(1));
+        assert_eq!(f.bytes, vec![7]);
+        // A garbage address is refused without touching the address book.
+        t1.connect_peer(HiveId(3), "not-an-address");
+        assert!(!t1.peers().contains(&HiveId(3)));
+    }
+
+    #[test]
+    fn disconnect_peer_surrenders_deferred_frames() {
+        let t =
+            TcpTransport::bind(HiveId(1), "127.0.0.1:0".parse().unwrap(), HashMap::new()).unwrap();
+        let peer = HiveId(4);
+        t.defer(peer, Frame::app(vec![1]));
+        t.defer(
+            peer,
+            Frame {
+                kind: FrameKind::Control,
+                bytes: vec![2],
+            },
+        );
+        let held = t.disconnect_peer(peer);
+        assert_eq!(held.len(), 2, "both queued frames come back to the caller");
+        assert_eq!(held[0].bytes, vec![1]);
+        assert_eq!(held[1].kind, FrameKind::Control);
+        assert!(t.deferred.lock().get(&peer).is_none());
+        assert!(!t.peers().contains(&peer));
     }
 
     #[test]

@@ -53,7 +53,9 @@ pub use node::{Applied, Outbound, ProposeError, RaftNode, Role};
 pub use storage::{
     FileStorage, HardState, MemStorage, PersistedState, SharedMemStorage, SnapshotRecord, Storage,
 };
-pub use types::{Entry, EntryKind, LogIndex, NodeId, RaftMessage, Term};
+pub use types::{
+    ConfChange, ConfChangeKind, Entry, EntryKind, LogIndex, NodeId, RaftMessage, Term,
+};
 
 /// The replicated state machine interface.
 ///

@@ -8,8 +8,23 @@ use rand::{Rng, SeedableRng};
 use crate::config::Config;
 use crate::log::RaftLog;
 use crate::storage::{HardState, SnapshotRecord, Storage};
-use crate::types::{Entry, EntryKind, LogIndex, NodeId, RaftMessage, Term};
+use serde::{Deserialize, Serialize};
+
+use crate::types::{
+    ConfChange, ConfChangeKind, Entry, EntryKind, LogIndex, NodeId, RaftMessage, Term,
+};
 use crate::StateMachine;
+
+/// What a snapshot actually carries on the wire and on disk: the membership
+/// configuration at the snapshot point plus the serialized state machine.
+/// Configuration must ride snapshots — a joiner that catches up via
+/// `InstallSnapshot` would otherwise never learn who the members are.
+#[derive(Serialize, Deserialize)]
+struct SnapshotBlob {
+    voters: Vec<NodeId>,
+    learners: Vec<NodeId>,
+    data: Vec<u8>,
+}
 
 /// A node's current role.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,12 +68,18 @@ pub enum ProposeError {
     /// Only leaders accept proposals; the hint (if any) names the likely
     /// leader for the embedder to forward to.
     NotLeader(Option<NodeId>),
+    /// A membership change is already in the log but not yet applied; only
+    /// one may be in flight at a time (single-server change safety).
+    ConfChangeInFlight,
 }
 
 impl std::fmt::Display for ProposeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ProposeError::NotLeader(hint) => write!(f, "not the leader (hint: {hint:?})"),
+            ProposeError::ConfChangeInFlight => {
+                write!(f, "a membership change is already in flight")
+            }
         }
     }
 }
@@ -102,6 +123,12 @@ pub struct RaftNode<SM: StateMachine> {
     next_token: u64,
     pending: HashMap<LogIndex, (Term, u64)>,
     applied_buf: Vec<Applied<SM::Output>>,
+    /// Set once a committed [`ConfChangeKind::RemoveNode`] named this node;
+    /// a removed node stops campaigning and the embedder retires it.
+    removed: bool,
+    /// Committed membership changes not yet drained by the embedder
+    /// ([`RaftNode::take_conf_changes`]).
+    conf_changes: Vec<ConfChange>,
 }
 
 impl<SM: StateMachine> RaftNode<SM> {
@@ -169,6 +196,8 @@ impl<SM: StateMachine> RaftNode<SM> {
             next_token: 1,
             pending: HashMap::new(),
             applied_buf: Vec::new(),
+            removed: false,
+            conf_changes: Vec::new(),
         };
         if let Some(persisted) = node.storage.load() {
             node.term = persisted.hard_state.term;
@@ -179,7 +208,7 @@ impl<SM: StateMachine> RaftNode<SM> {
                 persisted.entries,
             );
             if let Some(snap) = persisted.snapshot {
-                node.sm.restore(&snap.data);
+                node.restore_snapshot(&snap.data);
                 node.commit_index = snap.index;
                 node.last_applied = snap.index;
             }
@@ -256,6 +285,99 @@ impl<SM: StateMachine> RaftNode<SM> {
     /// Drains entries applied since the last call.
     pub fn take_applied(&mut self) -> Vec<Applied<SM::Output>> {
         std::mem::take(&mut self.applied_buf)
+    }
+
+    /// Drains membership changes committed (and applied to this node's
+    /// configuration) since the last call, in commit order. The embedder
+    /// reacts by adding/removing transport peers, announcing the change, etc.
+    pub fn take_conf_changes(&mut self) -> Vec<ConfChange> {
+        std::mem::take(&mut self.conf_changes)
+    }
+
+    /// Whether a committed `RemoveNode` has named this node: it no longer
+    /// belongs to the configuration and should be retired by the embedder.
+    pub fn removed(&self) -> bool {
+        self.removed
+    }
+
+    /// The current voting members, including this node when it votes.
+    pub fn voters(&self) -> Vec<NodeId> {
+        let mut v = self.peers.clone();
+        if !self.is_learner && !self.removed {
+            v.push(self.id);
+        }
+        v.sort_unstable();
+        v
+    }
+
+    /// The current non-voting learners this configuration replicates to
+    /// (excluding this node; check [`RaftNode::is_learner`] for self).
+    pub fn learners(&self) -> &[NodeId] {
+        &self.learners
+    }
+
+    /// Whether an appended membership change has not yet been applied.
+    /// While one is in flight, [`RaftNode::propose_conf_change`] refuses
+    /// further changes (single-server change safety: any two successive
+    /// configurations share a quorum).
+    pub fn conf_change_in_flight(&self) -> bool {
+        let mut idx = self.log.last_index();
+        while idx > self.last_applied && idx > self.log.snapshot_index() {
+            if self
+                .log
+                .entry_at(idx)
+                .is_some_and(|e| e.kind == EntryKind::ConfChange)
+            {
+                return true;
+            }
+            idx -= 1;
+        }
+        false
+    }
+
+    /// Proposes a single-node membership change. Leader-only; refuses while
+    /// another change is in flight. The change is applied by every member
+    /// when the entry commits and surfaces through
+    /// [`RaftNode::take_conf_changes`].
+    pub fn propose_conf_change(
+        &mut self,
+        cc: &ConfChange,
+    ) -> Result<(u64, Vec<Outbound>), ProposeError> {
+        if self.role != Role::Leader {
+            return Err(ProposeError::NotLeader(self.leader_hint()));
+        }
+        if self.conf_change_in_flight() {
+            return Err(ProposeError::ConfChangeInFlight);
+        }
+        let index = self
+            .log
+            .append_new(self.term, cc.encode(), EntryKind::ConfChange);
+        let token = self.next_token;
+        self.next_token += 1;
+        self.pending.insert(index, (self.term, token));
+        self.persist_log();
+        self.advance_commit();
+        Ok((token, self.broadcast_appends()))
+    }
+
+    /// Starts a leadership transfer to `to` (a voter): if the target's log
+    /// is caught up it is told to campaign immediately via
+    /// [`RaftMessage::TimeoutNow`]; otherwise the missing entries are shipped
+    /// and the embedder retries once the target catches up. No-op on
+    /// non-leaders. Used by a draining leader to hand off before demoting
+    /// itself.
+    pub fn transfer_leadership(&mut self, to: NodeId) -> Vec<Outbound> {
+        if self.role != Role::Leader || !self.peers.contains(&to) {
+            return Vec::new();
+        }
+        if self.match_index.get(&to).copied().unwrap_or(0) >= self.log.last_index() {
+            vec![Outbound {
+                to,
+                msg: RaftMessage::TimeoutNow { term: self.term },
+            }]
+        } else {
+            vec![self.append_for(to)]
+        }
     }
 
     /// Advances logical time by one tick, possibly starting an election or
@@ -364,7 +486,19 @@ impl<SM: StateMachine> RaftNode<SM> {
             RaftMessage::PreVoteResp { term, granted } => {
                 self.on_pre_vote_resp(from, term, granted)
             }
+            RaftMessage::TimeoutNow { term } => self.on_timeout_now(term),
         }
+    }
+
+    /// A transferring leader told us to campaign right now: start a real
+    /// election immediately, skipping the election timeout and the pre-vote
+    /// probe (the transfer is deliberate, so disturbing the old leader is
+    /// the point).
+    fn on_timeout_now(&mut self, term: Term) -> Vec<Outbound> {
+        if term < self.term || self.is_learner || self.removed {
+            return Vec::new();
+        }
+        self.start_election()
     }
 
     // ----- elections -----
@@ -535,7 +669,7 @@ impl<SM: StateMachine> RaftNode<SM> {
                     term: self.term,
                     last_index: self.log.snapshot_index(),
                     last_term: self.log.snapshot_term(),
-                    data: self.sm.snapshot(),
+                    data: self.snapshot_blob(),
                 },
             };
         }
@@ -709,23 +843,155 @@ impl<SM: StateMachine> RaftNode<SM> {
                 .cloned()
                 .expect("applying entry that was compacted before application");
             self.last_applied = idx;
-            if entry.kind == EntryKind::Normal {
-                let output = self.sm.apply(entry.index, &entry.data);
-                let token = match self.pending.remove(&idx) {
-                    Some((t, tok)) if t == entry.term => Some(tok),
-                    _ => None,
-                };
-                self.applied_buf.push(Applied {
-                    index: entry.index,
-                    term: entry.term,
-                    token,
-                    output,
-                });
-            } else {
-                self.pending.remove(&idx);
+            match entry.kind {
+                EntryKind::Normal => {
+                    let output = self.sm.apply(entry.index, &entry.data);
+                    let token = match self.pending.remove(&idx) {
+                        Some((t, tok)) if t == entry.term => Some(tok),
+                        _ => None,
+                    };
+                    self.applied_buf.push(Applied {
+                        index: entry.index,
+                        term: entry.term,
+                        token,
+                        output,
+                    });
+                }
+                EntryKind::ConfChange => {
+                    self.pending.remove(&idx);
+                    if let Ok(cc) = ConfChange::decode(&entry.data) {
+                        self.apply_conf_change(&cc);
+                        self.conf_changes.push(cc);
+                    }
+                }
+                EntryKind::Noop => {
+                    self.pending.remove(&idx);
+                }
             }
         }
         self.maybe_compact();
+    }
+
+    /// Mutates the configuration for a committed membership change. Runs on
+    /// every member at apply time, so all members transition at the same log
+    /// index.
+    fn apply_conf_change(&mut self, cc: &ConfChange) {
+        let n = cc.node;
+        match cc.kind {
+            ConfChangeKind::AddLearner => {
+                if n != self.id && !self.peers.contains(&n) && !self.learners.contains(&n) {
+                    self.learners.push(n);
+                    if self.role == Role::Leader {
+                        self.next_index.insert(n, self.log.last_index() + 1);
+                        self.match_index.insert(n, 0);
+                    }
+                }
+            }
+            ConfChangeKind::PromoteVoter => {
+                if n == self.id {
+                    self.is_learner = false;
+                } else {
+                    self.learners.retain(|&l| l != n);
+                    if !self.peers.contains(&n) {
+                        self.peers.push(n);
+                        if self.role == Role::Leader {
+                            let next = self.log.last_index() + 1;
+                            self.next_index.entry(n).or_insert(next);
+                            self.match_index.entry(n).or_insert(0);
+                        }
+                    }
+                }
+            }
+            ConfChangeKind::DemoteLearner => {
+                if n == self.id {
+                    self.is_learner = true;
+                    if self.role != Role::Follower {
+                        // A demoted leader/candidate must stop leading; it
+                        // should have transferred leadership already.
+                        let term = self.term;
+                        self.become_follower(term, None);
+                    }
+                } else {
+                    self.peers.retain(|&p| p != n);
+                    if !self.learners.contains(&n) {
+                        self.learners.push(n);
+                    }
+                }
+            }
+            ConfChangeKind::RemoveNode => {
+                if n == self.id {
+                    self.removed = true;
+                    self.is_learner = true;
+                    if self.role != Role::Follower {
+                        let term = self.term;
+                        self.become_follower(term, None);
+                    }
+                } else {
+                    self.peers.retain(|&p| p != n);
+                    self.learners.retain(|&l| l != n);
+                    self.next_index.remove(&n);
+                    self.match_index.remove(&n);
+                    self.votes.remove(&n);
+                    self.pre_votes.remove(&n);
+                }
+            }
+        }
+        // A voter removal shrinks the quorum: entries that were one ack
+        // short may now be committed without another round trip.
+        self.advance_commit();
+    }
+
+    /// Serializes the state machine together with the current configuration
+    /// (see [`SnapshotBlob`]).
+    fn snapshot_blob(&self) -> Vec<u8> {
+        let mut voters = self.peers.clone();
+        let mut learners = self.learners.clone();
+        if self.is_learner {
+            learners.push(self.id);
+        } else {
+            voters.push(self.id);
+        }
+        voters.sort_unstable();
+        learners.sort_unstable();
+        beehive_wire::to_vec(&SnapshotBlob {
+            voters,
+            learners,
+            data: self.sm.snapshot(),
+        })
+        .expect("snapshot encodes")
+    }
+
+    /// Restores state machine and configuration from snapshot bytes. Bytes
+    /// that do not decode as a [`SnapshotBlob`] are treated as a bare state
+    /// machine image (pre-membership snapshots) and leave the static
+    /// configuration untouched.
+    fn restore_snapshot(&mut self, data: &[u8]) {
+        match beehive_wire::from_slice::<SnapshotBlob>(data) {
+            Ok(blob) => {
+                self.peers = blob
+                    .voters
+                    .iter()
+                    .copied()
+                    .filter(|&p| p != self.id)
+                    .collect();
+                self.learners = blob
+                    .learners
+                    .iter()
+                    .copied()
+                    .filter(|&l| l != self.id)
+                    .collect();
+                if blob.voters.contains(&self.id) {
+                    self.is_learner = false;
+                } else if blob.learners.contains(&self.id) {
+                    self.is_learner = true;
+                }
+                // A node in neither set keeps its standing flags: the
+                // snapshot may predate its own AddLearner entry, which it
+                // will apply right after catching up past the snapshot.
+                self.sm.restore(&blob.data);
+            }
+            Err(_) => self.sm.restore(data),
+        }
     }
 
     fn maybe_compact(&mut self) {
@@ -733,7 +999,7 @@ impl<SM: StateMachine> RaftNode<SM> {
             return;
         }
         if self.last_applied - self.log.snapshot_index() >= self.cfg.snapshot_threshold {
-            let data = self.sm.snapshot();
+            let data = self.snapshot_blob();
             let term = self
                 .log
                 .term_at(self.last_applied)
@@ -776,7 +1042,7 @@ impl<SM: StateMachine> RaftNode<SM> {
                 },
             }];
         }
-        self.sm.restore(&data);
+        self.restore_snapshot(&data);
         self.log.reset_to_snapshot(last_index, last_term);
         self.commit_index = last_index;
         self.last_applied = last_index;

@@ -19,6 +19,52 @@ pub enum EntryKind {
     /// An empty entry a new leader appends to commit entries from prior terms
     /// (Raft §5.4.2 / §8).
     Noop,
+    /// A cluster membership change ([`ConfChange`] encoded in the entry
+    /// data). Applied when the entry commits; at most one may be in flight
+    /// at a time — the single-server special case of joint consensus that
+    /// keeps any two successive configurations' quorums overlapping
+    /// (Raft §6 / etcd's one-at-a-time changes).
+    ConfChange,
+}
+
+/// What a [`ConfChange`] does to the addressed node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConfChangeKind {
+    /// Adds the node as a non-voting learner (replicated to, no quorum).
+    AddLearner,
+    /// Promotes a caught-up learner to a voting member.
+    PromoteVoter,
+    /// Demotes a voter back to a learner (drain step 1).
+    DemoteLearner,
+    /// Removes the node from the configuration entirely (drain step 2).
+    RemoveNode,
+}
+
+/// A single-node membership change, carried in a log entry of kind
+/// [`EntryKind::ConfChange`] and applied by every member when the entry
+/// commits.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfChange {
+    /// The node being added / promoted / demoted / removed.
+    pub node: NodeId,
+    /// Transport address of the node (empty when not applicable, e.g.
+    /// removals). Rides the log so every member — including ones that catch
+    /// up later from a snapshot — learns how to reach a joiner.
+    pub addr: String,
+    /// What to do with `node`.
+    pub kind: ConfChangeKind,
+}
+
+impl ConfChange {
+    /// Serializes for embedding in a log entry.
+    pub fn encode(&self) -> Vec<u8> {
+        beehive_wire::to_vec(self).expect("conf change encodes")
+    }
+
+    /// Decodes from log-entry bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, beehive_wire::Error> {
+        beehive_wire::from_slice(bytes)
+    }
 }
 
 /// A single replicated log entry.
@@ -114,6 +160,14 @@ pub enum RaftMessage {
         /// Whether a real vote would be granted.
         granted: bool,
     },
+    /// Leadership transfer (Raft §3.10 / etcd `MsgTimeoutNow`): the leader
+    /// tells a caught-up voter to start an election *immediately*, skipping
+    /// both its election timeout and the pre-vote probe, so a draining
+    /// leader can hand off before demoting itself.
+    TimeoutNow {
+        /// The transferring leader's term.
+        term: Term,
+    },
 }
 
 impl RaftMessage {
@@ -127,7 +181,8 @@ impl RaftMessage {
             | RaftMessage::InstallSnapshot { term, .. }
             | RaftMessage::InstallSnapshotResp { term, .. }
             | RaftMessage::PreVote { term, .. }
-            | RaftMessage::PreVoteResp { term, .. } => *term,
+            | RaftMessage::PreVoteResp { term, .. }
+            | RaftMessage::TimeoutNow { term } => *term,
         }
     }
 
@@ -181,6 +236,7 @@ mod tests {
                 term: 5,
                 match_index: 100,
             },
+            RaftMessage::TimeoutNow { term: 6 },
         ];
         for m in msgs {
             let buf = beehive_wire::to_vec(&m).unwrap();
@@ -188,6 +244,17 @@ mod tests {
             assert_eq!(back, m);
             assert_eq!(m.encoded_len(), buf.len());
         }
+    }
+
+    #[test]
+    fn conf_change_roundtrips() {
+        let cc = ConfChange {
+            node: 4,
+            addr: "127.0.0.1:9404".to_string(),
+            kind: ConfChangeKind::AddLearner,
+        };
+        let back = ConfChange::decode(&cc.encode()).unwrap();
+        assert_eq!(back, cc);
     }
 
     #[test]

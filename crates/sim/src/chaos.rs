@@ -113,6 +113,12 @@ pub enum FaultKind {
     },
     /// Force-migrate one workload bee to the next live hive.
     ForceMigration,
+    /// Elastic-membership churn: a brand-new hive joins the cluster at the
+    /// window start (learner → caught up → voter) and is drained back out
+    /// once the window elapses and the join completed — evacuation,
+    /// outbox flush, demotion, removal. At most one churn is in flight at a
+    /// time; extra windows while one is active do nothing.
+    MembershipChurn,
     /// TEST-ONLY deliberate bug: force a second hive to claim a cell it
     /// does not own, bypassing the registry. Exists to prove the ownership
     /// checker catches real violations.
@@ -130,6 +136,7 @@ impl std::fmt::Display for FaultKind {
             FaultKind::Crash { hive } => write!(f, "crash(hive {hive})"),
             FaultKind::HandlerFault { times } => write!(f, "handler-fault(×{times})"),
             FaultKind::ForceMigration => write!(f, "force-migration"),
+            FaultKind::MembershipChurn => write!(f, "membership-churn"),
             FaultKind::OwnershipBug => write!(f, "ownership-bug"),
         }
     }
@@ -189,7 +196,7 @@ impl FaultSchedule {
             // Candidate kinds, gated by the config. The draw happens
             // unconditionally so schedules with different gates still share
             // the RNG stream prefix.
-            let kind = match rng.gen_range(0..8u32) {
+            let kind = match rng.gen_range(0..9u32) {
                 0 if cfg.wire_faults => FaultKind::Drop {
                     permille: rng.gen_range(50..=300),
                 },
@@ -226,6 +233,7 @@ impl FaultSchedule {
                     }
                 }
                 6 if cfg.migrations => FaultKind::ForceMigration,
+                7 if cfg.membership && cfg.hives >= 2 => FaultKind::MembershipChurn,
                 _ => FaultKind::HandlerFault {
                     times: rng.gen_range(1..=3),
                 },
@@ -255,8 +263,12 @@ impl FaultSchedule {
     /// reliable channel layer masks every link fault — drop, duplicate,
     /// reorder, delay and partition windows are retransmitted through or
     /// deduplicated — so only crashes (and the deliberate ownership bug)
-    /// may still destroy messages. Lossless runs get extra final
-    /// assertions: everything drains, nothing stays queued or in transit.
+    /// may still destroy messages. Membership churn is lossless too: a
+    /// drained hive evacuates its bees and flushes its outbox before
+    /// leaving, and whatever its peers still held unacked for it is
+    /// dead-lettered with full accounting, not silently lost. Lossless runs
+    /// get extra final assertions: everything drains, nothing stays queued
+    /// or in transit.
     pub fn is_lossless(&self) -> bool {
         self.windows
             .iter()
@@ -294,6 +306,8 @@ pub struct ChaosConfig {
     pub crashes: bool,
     /// Allow forced migrations.
     pub migrations: bool,
+    /// Allow elastic-membership churn (live hive join + drain windows).
+    pub membership: bool,
     /// Append the TEST-ONLY ownership bug to the schedule.
     pub inject_ownership_bug: bool,
     /// Stop the run at the first violating tick (what the minimizer wants);
@@ -317,6 +331,7 @@ impl Default for ChaosConfig {
             wire_faults: true,
             crashes: true,
             migrations: true,
+            membership: true,
             inject_ownership_bug: false,
             stop_on_violation: true,
         }
@@ -399,6 +414,12 @@ pub fn run(schedule: &FaultSchedule, cfg: &ChaosConfig) -> RunReport {
     let mut wl = StdRng::seed_from_u64(schedule.seed ^ 0xD6E8_FEB8_6659_FD93);
     let mut emits = 0u64;
     let mut ledger = CrashLedger::default();
+    // Membership-churn runtime state: the hive a churn window booted, and
+    // the tick at which it starts draining (the window end). Hives that
+    // completed their drain are remembered so the crash-reconcile loop never
+    // tries to "restart" a slot that left the cluster for good.
+    let mut churn: Option<(HiveId, u64)> = None;
+    let mut departed: std::collections::BTreeSet<HiveId> = std::collections::BTreeSet::new();
     let mut digest = Digest::new();
     let mut violations: Vec<Violation> = Vec::new();
     let total_ticks = schedule.ticks + cfg.quiet_ticks;
@@ -419,6 +440,9 @@ pub fn run(schedule: &FaultSchedule, cfg: &ChaosConfig) -> RunReport {
         // Crash / restart: reconcile each hive against the active windows
         // (quiet phase restarts everything), in deterministic id order.
         for id in cluster.ids() {
+            if departed.contains(&id) {
+                continue; // drained out of the cluster, never restarted
+            }
             let should_be_down = active
                 .iter()
                 .any(|w| matches!(w.kind, FaultKind::Crash { hive } if hive == id.0));
@@ -494,6 +518,14 @@ pub fn run(schedule: &FaultSchedule, cfg: &ChaosConfig) -> RunReport {
                             .request_migration(CHAOS_APP, bee, src, dst);
                     }
                 }
+                FaultKind::MembershipChurn => {
+                    // One churn at a time: extra windows while a join/drain
+                    // cycle is in flight do nothing.
+                    if churn.is_none() {
+                        let id = cluster.join();
+                        churn = Some((id, w.at + w.for_ticks));
+                    }
+                }
                 FaultKind::OwnershipBug => {
                     let live = cluster.live_ids();
                     let found = live.first().and_then(|&first| {
@@ -514,6 +546,28 @@ pub fn run(schedule: &FaultSchedule, cfg: &ChaosConfig) -> RunReport {
                 }
                 _ => {}
             }
+        }
+
+        // Membership churn: the joined hive drains once its window elapsed
+        // AND its join completed (drain-while-joining is legal but would
+        // make schedules race the promotion; waiting keeps runs exercising
+        // the full staircase). Hives that finished draining are folded into
+        // the ledger like crashed ones — minus the losses: a clean drain
+        // leaves nothing queued — and leave the cluster for good.
+        if let Some((id, drain_at)) = churn {
+            if t >= drain_at
+                && cluster.is_up(id)
+                && cluster.hive(id).lifecycle().stage() == beehive_core::LifecycleStage::Active
+            {
+                cluster.drain(id);
+            }
+        }
+        for dead in cluster.reap_departed() {
+            if churn.is_some_and(|(id, _)| id == dead.id()) {
+                churn = None;
+            }
+            departed.insert(dead.id());
+            ledger.absorb(&dead, "ChaosOp");
         }
 
         // Workload: a few ops per active tick, to a random live hive.
@@ -704,6 +758,7 @@ mod tests {
             wire_faults: false,
             crashes: false,
             migrations: false,
+            membership: false,
             ..Default::default()
         };
         for seed in 0..16 {
@@ -732,6 +787,44 @@ mod tests {
                 .count(),
             1
         );
+    }
+
+    #[test]
+    fn membership_gate_controls_churn_windows() {
+        let on = ChaosConfig::default();
+        assert!(
+            (0..64).any(|seed| {
+                FaultSchedule::generate(seed, &on)
+                    .windows
+                    .iter()
+                    .any(|w| w.kind == FaultKind::MembershipChurn)
+            }),
+            "no churn window across 64 seeds with the gate on"
+        );
+        let off = ChaosConfig {
+            membership: false,
+            ..Default::default()
+        };
+        for seed in 0..64 {
+            assert!(FaultSchedule::generate(seed, &off)
+                .windows
+                .iter()
+                .all(|w| w.kind != FaultKind::MembershipChurn));
+        }
+    }
+
+    #[test]
+    fn churn_windows_are_lossless() {
+        let s = FaultSchedule {
+            seed: 0,
+            ticks: 20,
+            windows: vec![FaultWindow {
+                at: 3,
+                for_ticks: 6,
+                kind: FaultKind::MembershipChurn,
+            }],
+        };
+        assert!(s.is_lossless(), "a clean drain is not message loss");
     }
 
     #[test]

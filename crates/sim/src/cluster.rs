@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use beehive_core::{Hive, HiveConfig, HiveId, SimClock};
+use beehive_core::{Hive, HiveConfig, HiveId, LifecycleStage, SimClock};
 use beehive_net::{ClearedFrames, FabricFaults, MemFabric, TrafficMatrix};
 
 /// Parameters for a [`SimCluster`].
@@ -240,6 +240,52 @@ impl SimCluster {
         self.hives[slot] = Some(hive);
     }
 
+    /// Boots a brand-new hive into the running cluster. The fabric learns
+    /// it, the hive starts as a registry learner and announces itself over
+    /// the membership protocol ([`Hive::begin_join`]); once caught up it
+    /// requests promotion to voter on its own. Returns the new hive's id.
+    pub fn join(&mut self) -> HiveId {
+        let id = HiveId(self.hives.len() as u32 + 1);
+        self.fabric.add_hive(id);
+        let mut ids = self.ids.clone();
+        ids.push(id);
+        let mut hive = build_hive(&self.cfg, &ids, id, &self.clock, &self.fabric);
+        (self.install)(&mut hive);
+        hive.begin_join(&format!("sim://{}", id.0));
+        self.ids.push(id);
+        self.hives.push(Some(hive));
+        id
+    }
+
+    /// Starts draining a live hive ([`Hive::begin_drain`]): its bees are
+    /// evacuated onto survivors, its outbox flushed, and it leaves the
+    /// registry configuration. Poll [`SimCluster::reap_departed`] to collect
+    /// it once the staircase reaches `Departed`.
+    pub fn drain(&mut self, id: HiveId) {
+        self.hive_mut(id).begin_drain();
+    }
+
+    /// Removes hives that completed their drain (lifecycle `Departed`) from
+    /// the cluster and the fabric, returning them for post-mortem
+    /// accounting — their counters must be absorbed into the caller's
+    /// ledger like a crashed hive's, minus the losses: a clean drain leaves
+    /// nothing queued.
+    pub fn reap_departed(&mut self) -> Vec<Hive> {
+        let mut reaped = Vec::new();
+        for slot in self.hives.iter_mut() {
+            let departed = slot
+                .as_ref()
+                .is_some_and(|h| h.lifecycle().stage() == LifecycleStage::Departed);
+            if departed {
+                if let Some(hive) = slot.take() {
+                    self.fabric.remove_hive(hive.id());
+                    reaped.push(hive);
+                }
+            }
+        }
+        reaped
+    }
+
     /// Steps every live hive once; returns total work done.
     pub fn step_all(&mut self) -> usize {
         self.hives
@@ -474,6 +520,72 @@ mod tests {
         c.advance(5_000, 50);
         let total: usize = c.hives().map(|h| h.local_bee_count("counter")).sum();
         assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn hive_joins_live_and_drains_out() {
+        let mut c = SimCluster::new(
+            ClusterConfig {
+                hives: 3,
+                voters: 3,
+                ..Default::default()
+            },
+            |h| h.install(counter_app()),
+        );
+        c.elect_registry(60_000).unwrap();
+        // Seed six colonies, all born on hive 1 (message origin).
+        for k in 0..6 {
+            c.hive_mut(HiveId(1)).emit(Inc {
+                key: format!("k{k}"),
+            });
+        }
+        c.advance(5_000, 50);
+        assert_eq!(c.hive(HiveId(1)).local_bee_count("counter"), 6);
+
+        // A fourth hive joins the running cluster and is promoted to voter.
+        let new = c.join();
+        assert_eq!(new, HiveId(4));
+        c.advance(15_000, 50);
+        assert_eq!(
+            c.hive(new).lifecycle().stage(),
+            LifecycleStage::Active,
+            "joiner caught up and was promoted"
+        );
+
+        // Drain hive 1: its colonies evacuate and it departs cleanly.
+        c.drain(HiveId(1));
+        c.advance(30_000, 50);
+        let reaped = c.reap_departed();
+        assert_eq!(reaped.len(), 1, "hive 1 completed its drain");
+        assert_eq!(reaped[0].id(), HiveId(1));
+        assert_eq!(reaped[0].local_bee_count("counter"), 0, "all bees left");
+        assert_eq!(
+            reaped[0].channel_stats().outbox_depth,
+            0,
+            "outbox fully acked"
+        );
+        assert!(!c.live_ids().contains(&HiveId(1)));
+
+        // Survivors own every colony exactly once and keep serving traffic.
+        let total: usize = c.hives().map(|h| h.local_bee_count("counter")).sum();
+        assert_eq!(total, 6, "every evacuated colony has exactly one owner");
+        c.hive_mut(HiveId(2)).emit(Inc { key: "k1".into() });
+        c.advance(5_000, 50);
+        let owner = c
+            .hives()
+            .find(|h| {
+                h.local_bees("counter")
+                    .iter()
+                    .any(|(b, _)| h.peek_state::<u64>("counter", *b, "c", "k1").is_some())
+            })
+            .expect("k1 has an owner");
+        let (bee, _) = owner
+            .local_bees("counter")
+            .into_iter()
+            .find(|(b, _)| owner.peek_state::<u64>("counter", *b, "c", "k1").is_some())
+            .unwrap();
+        let count: u64 = owner.peek_state("counter", bee, "c", "k1").unwrap();
+        assert_eq!(count, 2, "state survived the evacuation");
     }
 
     #[test]

@@ -82,6 +82,9 @@ pub struct CrashLedger {
     /// Channel deliveries recorded by crashed hives (`chan_delivered` at
     /// crash time).
     pub chan_delivered: u64,
+    /// Channel envelopes expired by peer retirement on crashed hives —
+    /// already dead-lettered there, so they must leave the in-transit term.
+    pub chan_expired: u64,
 }
 
 impl CrashLedger {
@@ -100,6 +103,7 @@ impl CrashLedger {
         let ch = hive.channel_stats();
         self.chan_sent += ch.sent;
         self.chan_delivered += ch.delivered;
+        self.chan_expired += ch.expired;
     }
 
     /// Subtracts a durably restarted hive's recovered channel accounting:
@@ -111,6 +115,7 @@ impl CrashLedger {
         let ch = hive.channel_stats();
         self.chan_sent = self.chan_sent.saturating_sub(ch.sent);
         self.chan_delivered = self.chan_delivered.saturating_sub(ch.delivered);
+        self.chan_expired = self.chan_expired.saturating_sub(ch.expired);
     }
 
     /// Total messages the ledger accounts for (channel counters excluded —
@@ -143,6 +148,9 @@ pub struct HiveAudit {
     pub chan_sent: u64,
     /// Channel deliveries accepted by dedup (monotonic across peer epochs).
     pub chan_delivered: u64,
+    /// Channel envelopes expired by peer retirement (dead-lettered at the
+    /// departed-peer boundary — they will never be delivered).
+    pub chan_expired: u64,
     /// Channel frames retransmitted after an ack timeout.
     pub retransmits: u64,
     /// Duplicate channel frames suppressed by receiver dedup.
@@ -215,6 +223,7 @@ pub fn gather(
             queued: hive.queued_messages(suffix),
             chan_sent: ch.sent,
             chan_delivered: ch.delivered,
+            chan_expired: ch.expired,
             retransmits: ch.retransmits,
             dups_suppressed: ch.dups_suppressed,
             colonies,
@@ -322,7 +331,7 @@ pub fn check_conservation(audit: &ClusterAudit) -> Vec<Violation> {
             .map(|h| {
                 format!(
                     "{}: handled={} dead={} orphans={} nobee={} queued={} \
-                     chan_sent={} chan_delivered={}",
+                     chan_sent={} chan_delivered={} chan_expired={}",
                     h.id,
                     h.handled,
                     h.dead,
@@ -330,7 +339,8 @@ pub fn check_conservation(audit: &ClusterAudit) -> Vec<Violation> {
                     h.nobee,
                     h.queued,
                     h.chan_sent,
-                    h.chan_delivered
+                    h.chan_delivered,
+                    h.chan_expired
                 )
             })
             .collect();
@@ -490,7 +500,12 @@ impl ClusterAudit {
         let sent: u64 = self.live.iter().map(|h| h.chan_sent).sum::<u64>() + self.ledger.chan_sent;
         let delivered: u64 =
             self.live.iter().map(|h| h.chan_delivered).sum::<u64>() + self.ledger.chan_delivered;
-        i128::from(sent) - i128::from(delivered)
+        // Envelopes expired by peer retirement were counted at send time but
+        // will never be delivered — the retiring hive dead-lettered them, so
+        // they re-enter the books through its `dead` counter instead.
+        let expired: u64 =
+            self.live.iter().map(|h| h.chan_expired).sum::<u64>() + self.ledger.chan_expired;
+        i128::from(sent) - i128::from(delivered) - i128::from(expired)
     }
 
     /// Folds this audit into `d`. Deliberately excludes wall-clock times
@@ -514,6 +529,7 @@ impl ClusterAudit {
             d.write_u64(h.queued);
             d.write_u64(h.chan_sent);
             d.write_u64(h.chan_delivered);
+            d.write_u64(h.chan_expired);
             d.write_u64(h.malformed_spans);
             d.write_u64(h.colonies.len() as u64);
             for (bee, colony) in &h.colonies {
@@ -553,6 +569,7 @@ impl ClusterAudit {
         d.write_u64(self.ledger.total());
         d.write_u64(self.ledger.chan_sent);
         d.write_u64(self.ledger.chan_delivered);
+        d.write_u64(self.ledger.chan_expired);
     }
 }
 
@@ -583,6 +600,7 @@ mod tests {
             queued: 0,
             chan_sent: 0,
             chan_delivered: 0,
+            chan_expired: 0,
             retransmits: 0,
             dups_suppressed: 0,
             colonies: Vec::new(),
@@ -674,6 +692,24 @@ mod tests {
         audit.ledger.handled = 1; // the first delivery, absorbed at crash
         audit.ledger.chan_delivered = 1;
         assert_eq!(audit.in_transit(), -1);
+        assert!(check_conservation(&audit).is_empty());
+    }
+
+    #[test]
+    fn conservation_subtracts_expired_channel_envelopes() {
+        // A departed peer's unacked envelopes are dead-lettered by the
+        // retiring sender: they leave the in-transit term via `chan_expired`
+        // and re-enter the books as `dead`.
+        let mut audit = empty_audit(0);
+        audit.emits = 4;
+        let mut h = hive_audit(1);
+        h.handled = 2;
+        h.dead = 2; // the retired envelopes
+        h.chan_sent = 4;
+        h.chan_delivered = 2;
+        h.chan_expired = 2;
+        audit.live = vec![h];
+        assert_eq!(audit.in_transit(), 0);
         assert!(check_conservation(&audit).is_empty());
     }
 

@@ -19,6 +19,15 @@
 //! * `--id N` — this hive's id (1-based; required)
 //! * `--listen ADDR` — TCP listen address (required)
 //! * `--peer ID=ADDR` — repeatable; every other hive in the cluster
+//! * `--join ID=ADDR` — join a *running* cluster through the named member:
+//!   the hive boots as a non-voting learner, catches up on the registry
+//!   log, then asks for promotion to voter; every peer adds it at runtime.
+//!   List further members with `--peer` as usual. `--voters` should name
+//!   the existing cluster's voter count (default: all listed peers)
+//! * `--drain` — start draining immediately after boot (testing); in normal
+//!   operation send the process SIGTERM instead: the hive evacuates its
+//!   bees, flushes its outbox, steps down voter → learner → removed and
+//!   exits cleanly
 //! * `--voters K` — registry Raft voters (the first K ids; default: all)
 //! * `--replication R` — colony replication factor (default 1 = off)
 //! * `--workers N` — executor worker threads; disjoint-colony bees run
@@ -71,6 +80,8 @@ struct Args {
     id: u32,
     listen: SocketAddr,
     peers: HashMap<HiveId, SocketAddr>,
+    join: bool,
+    drain: bool,
     voters: Option<usize>,
     replication: usize,
     workers: usize,
@@ -88,7 +99,8 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: beehive-node --id N --listen ADDR [--peer ID=ADDR]... [--voters K] \
+        "usage: beehive-node --id N --listen ADDR [--peer ID=ADDR]... [--join ID=ADDR] \
+         [--drain] [--voters K] \
          [--replication R] [--workers N] [--apps a,b,c] [--stats-every SECS] \
          [--status-addr ADDR] [--metrics-dump PATH] [--dump-every SECS] [--dlq-dump PATH] \
          [--storage-dir PATH] [--max-redeliveries N] [--mailbox-capacity N] \
@@ -101,6 +113,8 @@ fn parse_args() -> Args {
     let mut id = None;
     let mut listen = None;
     let mut peers = HashMap::new();
+    let mut join = false;
+    let mut drain = false;
     let mut voters = None;
     let mut replication = 1;
     let mut workers = 1usize;
@@ -138,6 +152,17 @@ fn parse_args() -> Args {
                     addr.parse().unwrap_or_else(|_| usage()),
                 );
             }
+            "--join" => {
+                // The join target is just a peer we also bootstrap through.
+                let v = val();
+                let (pid, addr) = v.split_once('=').unwrap_or_else(|| usage());
+                peers.insert(
+                    HiveId(pid.parse().unwrap_or_else(|_| usage())),
+                    addr.parse().unwrap_or_else(|_| usage()),
+                );
+                join = true;
+            }
+            "--drain" => drain = true,
             "--voters" => voters = Some(val().parse().unwrap_or_else(|_| usage())),
             "--replication" => replication = val().parse().unwrap_or_else(|_| usage()),
             "--workers" => workers = val().parse::<usize>().unwrap_or_else(|_| usage()).max(1),
@@ -174,6 +199,8 @@ fn parse_args() -> Args {
         id: id.unwrap_or_else(|| usage()),
         listen: listen.unwrap_or_else(|| usage()),
         peers,
+        join,
+        drain,
         voters,
         replication,
         workers,
@@ -190,6 +217,28 @@ fn parse_args() -> Args {
     }
 }
 
+/// Set by `--drain` at boot or by SIGTERM at runtime; `run_elastic` notices
+/// the flip and walks the hive through evacuation → demotion → removal.
+static DRAIN: AtomicBool = AtomicBool::new(false);
+
+/// Routes SIGTERM to the drain flag, so `kill <pid>` asks the hive to leave
+/// the cluster cleanly instead of dying with its bees. Raw `signal(2)`
+/// through the C ABI keeps the binary dependency-free; flipping a relaxed
+/// atomic is async-signal-safe.
+#[cfg(unix)]
+fn install_sigterm_drain() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_sigterm(_signum: i32) {
+        DRAIN.store(true, Ordering::Relaxed);
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm as extern "C" fn(i32) as usize);
+    }
+}
+
 fn main() {
     let args = parse_args();
     let me = HiveId(args.id);
@@ -198,7 +247,8 @@ fn main() {
         eprintln!("failed to bind {}: {e}", args.listen);
         std::process::exit(1);
     });
-    eprintln!("hive {me} listening on {}", transport.local_addr());
+    let advertise = transport.local_addr();
+    eprintln!("hive {me} listening on {advertise}");
     let tcp_counters = transport.counters();
 
     let mut all: Vec<HiveId> = args
@@ -208,7 +258,10 @@ fn main() {
         .chain(std::iter::once(me))
         .collect();
     all.sort();
-    let voters = args.voters.unwrap_or(all.len()).min(all.len());
+    // A joiner must boot outside the voter set (a learner): by default the
+    // existing members — everyone but us — are the voters.
+    let default_voters = if args.join { all.len() - 1 } else { all.len() };
+    let voters = args.voters.unwrap_or(default_voters).min(all.len());
     let mut cfg = if all.len() == 1 {
         HiveConfig::standalone(me)
     } else {
@@ -261,8 +314,22 @@ fn main() {
         args.apps, args.replication
     );
 
-    // Ctrl-C → graceful stop.
+    // SIGTERM → drain; the stop flag remains for embedders and the dump
+    // threads (Ctrl-C still kills the process the blunt way).
+    #[cfg(unix)]
+    install_sigterm_drain();
     let stop = Arc::new(AtomicBool::new(false));
+
+    if args.join {
+        // Boot as a learner and announce ourselves to the running cluster;
+        // peers learn our address from the announcement and add us live.
+        hive.begin_join(&advertise.to_string());
+        eprintln!("hive {me} joining the cluster as a learner (advertising {advertise})");
+    }
+    if args.drain {
+        DRAIN.store(true, Ordering::Relaxed);
+        eprintln!("hive {me} will drain immediately after boot (--drain)");
+    }
 
     // Prometheus exposition: a local-singleton exporter app folds the
     // collector's per-window reports into an Analytics store, shared by the
@@ -329,6 +396,7 @@ fn main() {
             tracer: hive.tracer(),
             trace_hub: hive.trace_hub(),
             nudge: Some(Arc::new(move || handle.nudge())),
+            lifecycle: Some(hive.lifecycle()),
         };
         let server = StatusServer::bind(addr, ctx).unwrap_or_else(|e| {
             eprintln!("failed to bind status server on {addr}: {e}");
@@ -415,6 +483,17 @@ fn main() {
             .expect("spawn stats thread");
     }
 
-    eprintln!("hive {me} running; Ctrl-C to stop");
-    hive.run(&stop);
+    eprintln!("hive {me} running; SIGTERM to drain, Ctrl-C to stop");
+    hive.run_elastic(&stop, &DRAIN);
+    stop.store(true, Ordering::Relaxed);
+    let app_names: Vec<String> = hive.apps().iter().map(|a| a.name().clone()).collect();
+    let owned_cells: usize = app_names
+        .iter()
+        .flat_map(|name| hive.local_bees(name))
+        .map(|(_, cells)| cells)
+        .sum();
+    eprintln!(
+        "hive {me} exited as {} with {owned_cells} owned cell(s)",
+        hive.lifecycle().stage().label()
+    );
 }

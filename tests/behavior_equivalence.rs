@@ -431,6 +431,7 @@ fn chaos_lite_workers_one_vs_four_equivalent() {
         wire_faults: false,
         crashes: false,
         migrations: false,
+        membership: false,
         min_windows: 2,
         max_windows: 4,
         ..Default::default()

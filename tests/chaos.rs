@@ -162,6 +162,43 @@ fn link_faults_only_matches_the_fault_free_run() {
     assert!(a.dups_suppressed > 0, "duplicates are absorbed by dedup");
 }
 
+/// Elastic membership under audit: a crafted churn window boots a fourth
+/// hive into the running cluster (learner → voter) and drains it back out
+/// mid-workload, with every invariant checker armed through scale-out and
+/// scale-in. Nothing may be lost to a clean drain, and two runs of the
+/// same schedule must fold to byte-identical digests.
+#[test]
+fn membership_churn_is_clean_and_deterministic() {
+    let cfg = ChaosConfig {
+        ticks: 30,
+        quiet_ticks: 30,
+        wire_faults: false,
+        crashes: false,
+        migrations: false,
+        ..Default::default()
+    };
+    let schedule = FaultSchedule {
+        seed: 21,
+        ticks: cfg.ticks,
+        windows: vec![FaultWindow {
+            at: 4,
+            for_ticks: 8,
+            kind: FaultKind::MembershipChurn,
+        }],
+    };
+    assert!(schedule.is_lossless(), "churn is not message loss");
+    let a = run(&schedule, &cfg);
+    assert!(
+        a.violations.is_empty(),
+        "checkers must stay green through join and drain: {:?}",
+        a.violations
+    );
+    assert_eq!(a.lost, 0, "a clean drain loses nothing");
+    let b = run(&schedule, &cfg);
+    assert_eq!(a.digest, b.digest, "churn digests are byte-identical");
+    assert_eq!(a.final_left, b.final_left);
+}
+
 /// The negative control the harness is judged by: plant a deliberate
 /// double-ownership bug (test-only `debug_force_own`) mid-run. The
 /// ownership checker must flag it, and the minimizer must shrink the
@@ -178,6 +215,7 @@ fn injected_ownership_bug_is_caught_and_minimized() {
         wire_faults: false,
         crashes: false,
         migrations: false,
+        membership: false,
         inject_ownership_bug: true,
         ..Default::default()
     };

@@ -107,6 +107,7 @@ fn status_server_assembles_a_cross_hive_trace_over_tcp() {
                 tracer: hive.tracer(),
                 trace_hub: hive.trace_hub(),
                 nudge: Some(Arc::new(move || handle.nudge())),
+                lifecycle: Some(hive.lifecycle()),
             });
         }
         let stop2 = stop.clone();
@@ -212,6 +213,7 @@ fn metrics_dump_and_status_endpoint_share_one_render_path() {
         tracer: Arc::new(TraceCollector::new(16)),
         trace_hub: Arc::new(TraceHub::new()),
         nudge: None,
+        lifecycle: None,
     };
     let server = StatusServer::bind("127.0.0.1:0".parse().unwrap(), ctx).expect("bind");
 
