@@ -1,0 +1,247 @@
+//! Transport throughput: frames/second through real loopback TCP, threaded
+//! engine versus the non-blocking reactor.
+//!
+//! The reactor's claim is that lock-cheap ring enqueues plus vectored
+//! batched flushes beat one blocking `write` per frame, most visibly on
+//! small frames fanned out to many peers (the SDN control-plane shape:
+//! thousands of tiny OpenFlow events). The bench measures four shapes per
+//! engine: small frames to 1 peer, small frames to 8 peers, large frames
+//! to 1 peer (where the wire dominates and batching matters less), and a
+//! send-one-wait-one ping mode that deliberately denies the reactor any
+//! batching (its ratio should hover near 1x — batching, not magic, is the
+//! win).
+//!
+//! Besides the criterion groups, the bench writes a hand-rolled JSON
+//! summary to `BENCH_transport.json` at the repo root so CI can track the
+//! perf trajectory across PRs (see `src/bin/bench-diff.rs` and the
+//! bench-gate CI job); `reactor_speedup_small_8peer` is the headline
+//! number (expected ≥ 5 per the reactor's acceptance bar). Setting
+//! `BEEHIVE_BENCH_SUMMARY_ONLY=1` skips criterion and only produces the
+//! summary — CI quick mode.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use beehive_core::transport::{Frame, Transport, TransportPreference};
+use beehive_core::HiveId;
+use beehive_net::bind_tcp;
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+
+const SMALL: usize = 32;
+const LARGE: usize = 64 * 1024;
+
+/// A receiving hive: its transport lives on a dedicated thread that counts
+/// inbound frames (parking on the transport waker) until `expect` arrive.
+struct Sink {
+    id: HiveId,
+    addr: SocketAddr,
+    count: Arc<AtomicUsize>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+fn spawn_sink(pref: TransportPreference, id: HiveId, expect: usize) -> Sink {
+    let (t, addr, _counters) = bind_tcp(pref, id, "127.0.0.1:0".parse().unwrap(), HashMap::new())
+        .expect("bind sink transport");
+    let count = Arc::new(AtomicUsize::new(0));
+    let counter = count.clone();
+    let handle = std::thread::spawn(move || {
+        let mut t = t;
+        let me = std::thread::current();
+        t.set_waker(Arc::new(move || me.unpark()));
+        while counter.load(Ordering::Relaxed) < expect {
+            match t.try_recv() {
+                Some(_) => {
+                    counter.fetch_add(1, Ordering::Release);
+                }
+                None => std::thread::park_timeout(Duration::from_millis(1)),
+            }
+        }
+    });
+    Sink {
+        id,
+        addr,
+        count,
+        handle,
+    }
+}
+
+fn wait_count(sink: &Sink, target: usize) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while sink.count.load(Ordering::Acquire) < target {
+        assert!(
+            Instant::now() < deadline,
+            "sink {} stuck at {}/{} frames",
+            sink.id,
+            sink.count.load(Ordering::Acquire),
+            target
+        );
+        std::thread::yield_now();
+    }
+}
+
+/// Frames/second for `frames_per_peer` frames of `payload` bytes to each of
+/// `n_peers` sinks. `batched: false` waits for every frame before sending
+/// the next — the no-batching control case.
+fn run_case(
+    pref: TransportPreference,
+    payload: usize,
+    n_peers: usize,
+    frames_per_peer: usize,
+    batched: bool,
+) -> f64 {
+    // +1 for the warmup frame that forces the connection up before timing.
+    let expect = frames_per_peer + 1;
+    let sinks: Vec<Sink> = (1..=n_peers)
+        .map(|i| spawn_sink(pref, HiveId(i as u32), expect))
+        .collect();
+    let (sender, _addr, _counters) = bind_tcp(
+        pref,
+        HiveId(100),
+        "127.0.0.1:0".parse().unwrap(),
+        HashMap::new(),
+    )
+    .expect("bind sender transport");
+    for s in &sinks {
+        sender.connect_peer(s.id, &s.addr.to_string());
+        sender.send(s.id, Frame::app(vec![0u8; payload]));
+    }
+    for s in &sinks {
+        wait_count(s, 1);
+    }
+
+    let started = Instant::now();
+    if batched {
+        for _ in 0..frames_per_peer {
+            for s in &sinks {
+                sender.send(s.id, Frame::app(vec![0u8; payload]));
+            }
+        }
+        for s in &sinks {
+            wait_count(s, expect);
+        }
+    } else {
+        for f in 0..frames_per_peer {
+            for s in &sinks {
+                sender.send(s.id, Frame::app(vec![0u8; payload]));
+                wait_count(s, f + 2);
+            }
+        }
+    }
+    let secs = started.elapsed().as_secs_f64();
+    for s in sinks {
+        s.handle.join().expect("sink thread");
+    }
+    (frames_per_peer * n_peers) as f64 / secs.max(1e-9)
+}
+
+fn bench_transport(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport");
+    group.sample_size(10);
+    let engines = [
+        ("threaded", TransportPreference::Threaded),
+        ("reactor", TransportPreference::Reactor),
+    ];
+    for (name, pref) in engines {
+        group.throughput(Throughput::Elements(2_000));
+        group.bench_with_input(BenchmarkId::new(name, "small_1peer"), &pref, |b, &pref| {
+            b.iter(|| criterion::black_box(run_case(pref, SMALL, 1, 2_000, true)));
+        });
+        group.throughput(Throughput::Elements(8 * 500));
+        group.bench_with_input(BenchmarkId::new(name, "small_8peer"), &pref, |b, &pref| {
+            b.iter(|| criterion::black_box(run_case(pref, SMALL, 8, 500, true)));
+        });
+        group.throughput(Throughput::Elements(200));
+        group.bench_with_input(BenchmarkId::new(name, "large_1peer"), &pref, |b, &pref| {
+            b.iter(|| criterion::black_box(run_case(pref, LARGE, 1, 200, true)));
+        });
+        group.throughput(Throughput::Elements(500));
+        group.bench_with_input(BenchmarkId::new(name, "single_wait"), &pref, |b, &pref| {
+            b.iter(|| criterion::black_box(run_case(pref, SMALL, 1, 500, false)));
+        });
+    }
+    group.finish();
+}
+
+/// Hand-rolled JSON (the workspace's wire format is a custom binary serde;
+/// no JSON crate is available). The single-frame ratio is deliberately NOT
+/// named `*speedup*`: it hovers near 1x by design and would be pure noise
+/// under bench-diff's regression tracking.
+fn json_summary() -> String {
+    let t_small_1 = run_case(TransportPreference::Threaded, SMALL, 1, 20_000, true);
+    let r_small_1 = run_case(TransportPreference::Reactor, SMALL, 1, 20_000, true);
+    let t_small_8 = run_case(TransportPreference::Threaded, SMALL, 8, 2_500, true);
+    let r_small_8 = run_case(TransportPreference::Reactor, SMALL, 8, 2_500, true);
+    let t_large_1 = run_case(TransportPreference::Threaded, LARGE, 1, 1_000, true);
+    let r_large_1 = run_case(TransportPreference::Reactor, LARGE, 1, 1_000, true);
+    let t_single = run_case(TransportPreference::Threaded, SMALL, 1, 2_000, false);
+    let r_single = run_case(TransportPreference::Reactor, SMALL, 1, 2_000, false);
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"transport\",\n",
+            "  \"provisional\": false,\n",
+            "  \"small_bytes\": {},\n",
+            "  \"large_bytes\": {},\n",
+            "  \"threaded_frames_per_sec\": {{ \"small_1peer\": {:.0}, \"small_8peer\": {:.0}, ",
+            "\"large_1peer\": {:.0}, \"small_1peer_single\": {:.0} }},\n",
+            "  \"reactor_frames_per_sec\": {{ \"small_1peer\": {:.0}, \"small_8peer\": {:.0}, ",
+            "\"large_1peer\": {:.0}, \"small_1peer_single\": {:.0} }},\n",
+            "  \"reactor_speedup_small_1peer\": {:.3},\n",
+            "  \"reactor_speedup_small_8peer\": {:.3},\n",
+            "  \"reactor_speedup_large_1peer\": {:.3},\n",
+            "  \"reactor_single_frame_ratio\": {:.3}\n",
+            "}}\n"
+        ),
+        SMALL,
+        LARGE,
+        t_small_1,
+        t_small_8,
+        t_large_1,
+        t_single,
+        r_small_1,
+        r_small_8,
+        r_large_1,
+        r_single,
+        r_small_1 / t_small_1.max(1e-9),
+        r_small_8 / t_small_8.max(1e-9),
+        r_large_1 / t_large_1.max(1e-9),
+        r_single / t_single.max(1e-9),
+    )
+}
+
+fn write_summary() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_transport.json");
+    let json = json_summary();
+    print!("{json}");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not write {path}: {e}");
+    }
+}
+
+criterion_group!(benches, bench_transport);
+
+fn main() {
+    // `cargo test` runs benches with `--test`; keep that (and `--list`)
+    // fast by skipping both criterion and the summary measurement.
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--test" || a == "--list");
+    if quick {
+        // Smoke: a tiny burst through each engine proves both paths work.
+        let threaded = run_case(TransportPreference::Threaded, SMALL, 1, 32, true);
+        let reactor = run_case(TransportPreference::Reactor, SMALL, 1, 32, true);
+        assert!(threaded > 0.0 && reactor > 0.0);
+        println!("transport bench smoke ok (threaded {threaded:.0} f/s, reactor {reactor:.0} f/s)");
+        return;
+    }
+    // CI quick mode: only the JSON summary, no criterion sampling.
+    if std::env::var_os("BEEHIVE_BENCH_SUMMARY_ONLY").is_some() {
+        write_summary();
+        return;
+    }
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+    write_summary();
+}

@@ -162,6 +162,11 @@ pub struct HiveConfig {
     /// parallel executor (`workers > 1`), which always drains the whole
     /// checked-out mailbox as one batch.
     pub max_drain_batch: usize,
+    /// Which TCP engine a real deployment binds for the inter-hive wire
+    /// (`--transport` on beehive-node). Purely advisory inside the core —
+    /// the transport is constructed by the binary and handed in — but kept
+    /// in the config so deployment tooling and status output agree on it.
+    pub transport: crate::transport::TransportPreference,
 }
 
 impl HiveConfig {
@@ -194,6 +199,7 @@ impl HiveConfig {
             channel_window: 1024,
             channel_ack_flush_ms: 5,
             max_drain_batch: 1,
+            transport: crate::transport::TransportPreference::default(),
         }
     }
 

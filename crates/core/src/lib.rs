@@ -118,7 +118,10 @@ pub use supervision::{
 pub use trace::{
     chrome_trace, chrome_trace_merged, TraceCollector, TraceContext, TraceHub, TraceSpan,
 };
-pub use transport::{Frame, FrameKind, Loopback, Transport, TransportCounters, TransportSnapshot};
+pub use transport::{
+    Frame, FrameKind, Loopback, Transport, TransportCounters, TransportPreference,
+    TransportSnapshot,
+};
 
 /// Common imports for application authors.
 pub mod prelude {

@@ -1,0 +1,1044 @@
+//! Non-blocking reactor transport: one event loop per hive owns every peer
+//! socket.
+//!
+//! This is the fast-path engine behind `--transport reactor`. Where the
+//! threaded transport ([`crate::TcpTransport`]) pays a thread per inbound
+//! connection plus a blocking write per frame on the *hive* thread, the
+//! reactor moves all wire I/O onto a single `poll(2)` loop:
+//!
+//! * **Sends are lock-cheap enqueues.** [`Transport::send`] encodes the
+//!   frame outside any lock, pushes it onto the peer's [`SendRing`], and
+//!   pokes the loop through a wake pipe. The hive thread never touches a
+//!   socket.
+//! * **Flushes are batched.** The loop drains each ring with
+//!   `writev`-style vectored writes, coalescing up to
+//!   [`crate::buffer::FLUSH_BATCH`] frames — app envelopes, channel acks
+//!   and Raft traffic mixed — into one syscall.
+//! * **Decoding is streaming.** Each connection reads into one reusable
+//!   [`FrameDecoder`] buffer and slices complete frames out, whatever the
+//!   TCP segmentation.
+//!
+//! Semantics are byte-for-byte those of the threaded engine — same wire
+//! format (mixed clusters interoperate), same [`TransportCounters`]
+//! accounting, same dead-peer backoff schedule, deferred-queue
+//! reconnect-flush ordering, eviction priorities and
+//! `connect_peer`/`disconnect_peer` behaviour. The conformance suite
+//! (`tests/conformance.rs`) runs both engines through one harness to keep
+//! it that way.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, FromRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use beehive_core::events::{EventJournal, EventKind};
+use beehive_core::transport::{Frame, Transport, TransportCounters};
+use beehive_core::HiveId;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::buffer::{ConnectBackoff, EncodedFrame, FlushOutcome, SendRing, DEFERRED_CAP};
+use crate::frame::{byte_to_kind, encode_frame, kind_to_byte, FrameDecoder, KIND_HANDSHAKE};
+
+/// Wakeup callback invoked when a frame lands in the inbox (set after bind
+/// by `Hive::run` via [`Transport::set_waker`]).
+type SharedWaker = Arc<Mutex<Option<Arc<dyn Fn() + Send + Sync>>>>;
+
+/// The hive's flight-recorder journal (set after bind via
+/// [`Transport::set_events`]).
+type SharedEvents = Arc<Mutex<Option<Arc<EventJournal>>>>;
+
+/// How long a non-blocking connect may sit half-open before it is declared
+/// failed — mirrors the threaded engine's `connect_timeout`.
+const CONNECT_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Default poll timeout when nothing is scheduled: a liveness backstop, not
+/// a latency floor (the wake pipe interrupts it for every send).
+const IDLE_POLL_MS: i32 = 500;
+
+/// Records a peer lifecycle event if a journal is wired.
+fn emit(events: &SharedEvents, kind: EventKind, peer: HiveId, detail: &str) {
+    if let Some(journal) = events.lock().clone() {
+        journal.record_full(kind, 0, "", None, Some(peer), detail);
+    }
+}
+
+/// Outbound state for one peer, shared between the hive-facing API and the
+/// reactor thread.
+#[derive(Default)]
+struct PeerOut {
+    /// Encoded frames awaiting the wire; doubles as the deferred queue
+    /// while the peer is down (bounded at [`DEFERRED_CAP`]).
+    ring: SendRing,
+    /// How many frames at the front of `ring` have already been counted
+    /// `deferred` — so a later connect failure only counts the new tail,
+    /// matching the threaded engine's one-count-per-frame accounting.
+    counted: usize,
+    /// Dead-peer reconnect backoff (None = healthy or never attempted).
+    backoff: Option<ConnectBackoff>,
+    /// Whether an established outbound connection exists right now.
+    connected: bool,
+}
+
+/// State shared between [`ReactorTransport`] (the hive-facing API) and the
+/// reactor thread.
+struct Shared {
+    id: HiveId,
+    peers: Mutex<HashMap<HiveId, SocketAddr>>,
+    outs: Mutex<HashMap<HiveId, PeerOut>>,
+    /// Peers whose outbound connection the reactor must close
+    /// (`disconnect_peer` ran on the hive side).
+    closing: Mutex<Vec<HiveId>>,
+    counters: Arc<TransportCounters>,
+    waker: SharedWaker,
+    events: SharedEvents,
+    shutdown: AtomicBool,
+    /// Write end of the wake pipe; `wake_pending` keeps it to at most one
+    /// in-flight byte so waking is O(1) whatever the send rate.
+    wake_tx: Mutex<UnixStream>,
+    wake_pending: AtomicBool,
+}
+
+impl Shared {
+    /// Pokes the reactor loop out of `poll`.
+    fn wake(&self) {
+        if !self.wake_pending.swap(true, Ordering::AcqRel) {
+            let _ = self.wake_tx.lock().write(&[1]);
+        }
+    }
+}
+
+/// An inbound connection owned by the reactor thread.
+struct InConn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Learned from the handshake; frames before it close the connection.
+    peer: Option<HiveId>,
+}
+
+/// An outbound connection owned by the reactor thread.
+struct OutConn {
+    stream: TcpStream,
+    /// `Some(deadline)` while the non-blocking connect is still in flight.
+    connecting: Option<Instant>,
+}
+
+/// Non-blocking reactor [`Transport`]. See the module docs.
+pub struct ReactorTransport {
+    shared: Arc<Shared>,
+    inbox_rx: Receiver<(HiveId, Frame)>,
+    local_addr: SocketAddr,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ReactorTransport {
+    /// Binds `listen` for hive `id` and starts the reactor thread. The peer
+    /// address book must contain every other hive in the cluster (more can
+    /// be added later via [`Transport::connect_peer`]).
+    pub fn bind(
+        id: HiveId,
+        listen: SocketAddr,
+        peers: HashMap<HiveId, SocketAddr>,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(listen)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let (wake_rx, wake_tx) = UnixStream::pair()?;
+        wake_rx.set_nonblocking(true)?;
+        let (inbox_tx, inbox_rx) = unbounded();
+
+        let shared = Arc::new(Shared {
+            id,
+            peers: Mutex::new(peers),
+            outs: Mutex::new(HashMap::new()),
+            closing: Mutex::new(Vec::new()),
+            counters: Arc::new(TransportCounters::new()),
+            waker: Arc::new(Mutex::new(None)),
+            events: Arc::new(Mutex::new(None)),
+            shutdown: AtomicBool::new(false),
+            wake_tx: Mutex::new(wake_tx),
+            wake_pending: AtomicBool::new(false),
+        });
+
+        let loop_shared = shared.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("bh-reactor-{}", id.0))
+            .spawn(move || reactor_loop(loop_shared, listener, wake_rx, inbox_tx))
+            .expect("spawn reactor thread");
+
+        Ok(ReactorTransport {
+            shared,
+            inbox_rx,
+            local_addr,
+            handle: Some(handle),
+        })
+    }
+
+    /// Per-[`FrameKind`] traffic counters; snapshot them for metric
+    /// exposition.
+    pub fn counters(&self) -> Arc<TransportCounters> {
+        self.shared.counters.clone()
+    }
+
+    /// The address this transport actually listens on (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Adds (or updates) a peer's address after binding — lets clusters
+    /// bind everyone on port 0 first and exchange the resulting addresses.
+    pub fn add_peer(&mut self, id: HiveId, addr: SocketAddr) {
+        self.shared.peers.lock().insert(id, addr);
+    }
+}
+
+impl Transport for ReactorTransport {
+    fn local(&self) -> HiveId {
+        self.shared.id
+    }
+
+    fn send(&self, to: HiveId, frame: Frame) {
+        if to == self.shared.id {
+            return; // hives never send to themselves over TCP
+        }
+        // Encode outside the lock: the critical section is a queue push.
+        let encoded = EncodedFrame {
+            kind: Some(frame.kind),
+            bytes: encode_frame(self.shared.id, kind_to_byte(frame.kind), &frame.bytes),
+            acct_len: frame.wire_len(),
+        };
+        {
+            let mut outs = self.shared.outs.lock();
+            let po = outs.entry(to).or_default();
+            if !po.connected && po.ring.len() >= DEFERRED_CAP {
+                if let Some((idx, kind)) = po.ring.evict_lowest() {
+                    if idx < po.counted {
+                        po.counted -= 1;
+                    }
+                    self.shared.counters.record_deferred_evicted();
+                    emit(
+                        &self.shared.events,
+                        EventKind::DeferredEvict,
+                        to,
+                        &format!(
+                            "deferred queue full ({DEFERRED_CAP}); evicted oldest {} frame",
+                            kind.label()
+                        ),
+                    );
+                }
+            }
+            po.ring.push(encoded);
+            // Inside an open backoff window a frame is deferred the moment
+            // it is queued (the threaded engine's defer-without-probing
+            // path); outside one it only becomes deferred if the connect
+            // the reactor is about to attempt fails.
+            if !po.connected && po.backoff.is_some_and(|b| b.active()) {
+                po.counted += 1;
+                self.shared.counters.record_deferred();
+            }
+        }
+        self.shared.wake();
+    }
+
+    fn try_recv(&self) -> Option<(HiveId, Frame)> {
+        self.inbox_rx.try_recv().ok()
+    }
+
+    fn peers(&self) -> Vec<HiveId> {
+        self.shared.peers.lock().keys().copied().collect()
+    }
+
+    fn connect_peer(&self, peer: HiveId, addr: &str) {
+        let Ok(sock) = addr.parse::<SocketAddr>() else {
+            emit(
+                &self.shared.events,
+                EventKind::PeerDisconnect,
+                peer,
+                &format!("join announced an unparseable address {addr:?}; peer not added"),
+            );
+            return;
+        };
+        self.shared.peers.lock().insert(peer, sock);
+        // A joining peer is fresh — don't make it serve out a backoff
+        // window earned by whoever held this id before.
+        if let Some(po) = self.shared.outs.lock().get_mut(&peer) {
+            po.backoff = None;
+        }
+        emit(
+            &self.shared.events,
+            EventKind::PeerConnect,
+            peer,
+            &format!("peer added to the address book at {sock}"),
+        );
+        self.shared.wake();
+    }
+
+    fn disconnect_peer(&self, peer: HiveId) -> Vec<Frame> {
+        self.shared.peers.lock().remove(&peer);
+        let held: Vec<Frame> = self
+            .shared
+            .outs
+            .lock()
+            .remove(&peer)
+            .map(|mut po| {
+                po.ring
+                    .drain_frames()
+                    .into_iter()
+                    .filter_map(EncodedFrame::into_frame)
+                    .collect()
+            })
+            .unwrap_or_default();
+        self.shared.closing.lock().push(peer);
+        self.shared.wake();
+        emit(
+            &self.shared.events,
+            EventKind::PeerDisconnect,
+            peer,
+            &format!(
+                "peer removed from the address book; {} deferred frame(s) surrendered",
+                held.len()
+            ),
+        );
+        held
+    }
+
+    fn set_waker(&mut self, waker: Arc<dyn Fn() + Send + Sync>) {
+        *self.shared.waker.lock() = Some(waker);
+    }
+
+    fn set_events(&mut self, events: Arc<EventJournal>) {
+        *self.shared.events.lock() = Some(events);
+    }
+}
+
+impl Drop for ReactorTransport {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wake();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Starts a non-blocking connect to `addr`; `Ok` means in flight (or
+/// already established — `SO_ERROR` settles it either way on `POLLOUT`).
+fn start_connect(addr: SocketAddr) -> std::io::Result<TcpStream> {
+    let (domain, storage, len) = sockaddr_of(addr);
+    let fd = unsafe {
+        libc::socket(
+            domain,
+            libc::SOCK_STREAM | libc::SOCK_NONBLOCK | libc::SOCK_CLOEXEC,
+            0,
+        )
+    };
+    if fd < 0 {
+        return Err(std::io::Error::last_os_error());
+    }
+    let rc = unsafe { libc::connect(fd, &storage as *const _ as *const libc::sockaddr, len) };
+    if rc != 0 {
+        let err = std::io::Error::last_os_error();
+        if err.raw_os_error() != Some(libc::EINPROGRESS) {
+            unsafe { libc::close(fd) };
+            return Err(err);
+        }
+    }
+    Ok(unsafe { TcpStream::from_raw_fd(fd) })
+}
+
+/// Converts a [`SocketAddr`] into the raw sockaddr `connect(2)` wants.
+fn sockaddr_of(addr: SocketAddr) -> (libc::c_int, libc::sockaddr_storage, libc::socklen_t) {
+    let mut storage: libc::sockaddr_storage = unsafe { std::mem::zeroed() };
+    match addr {
+        SocketAddr::V4(v4) => {
+            let sin = libc::sockaddr_in {
+                sin_family: libc::AF_INET as libc::sa_family_t,
+                sin_port: v4.port().to_be(),
+                sin_addr: libc::in_addr {
+                    s_addr: u32::from_ne_bytes(v4.ip().octets()),
+                },
+                ..unsafe { std::mem::zeroed() }
+            };
+            unsafe { std::ptr::write(&mut storage as *mut _ as *mut libc::sockaddr_in, sin) };
+            (
+                libc::AF_INET,
+                storage,
+                std::mem::size_of::<libc::sockaddr_in>() as libc::socklen_t,
+            )
+        }
+        SocketAddr::V6(v6) => {
+            let sin6 = libc::sockaddr_in6 {
+                sin6_family: libc::AF_INET6 as libc::sa_family_t,
+                sin6_port: v6.port().to_be(),
+                sin6_flowinfo: v6.flowinfo(),
+                sin6_addr: libc::in6_addr {
+                    s6_addr: v6.ip().octets(),
+                },
+                sin6_scope_id: v6.scope_id(),
+                ..unsafe { std::mem::zeroed() }
+            };
+            unsafe { std::ptr::write(&mut storage as *mut _ as *mut libc::sockaddr_in6, sin6) };
+            (
+                libc::AF_INET6,
+                storage,
+                std::mem::size_of::<libc::sockaddr_in6>() as libc::socklen_t,
+            )
+        }
+    }
+}
+
+/// Reads and clears a socket's pending error (the `SO_ERROR` half of the
+/// non-blocking connect protocol).
+fn take_socket_error(fd: RawFd) -> std::io::Result<()> {
+    let mut err: libc::c_int = 0;
+    let mut len = std::mem::size_of::<libc::c_int>() as libc::socklen_t;
+    let rc = unsafe {
+        libc::getsockopt(
+            fd,
+            libc::SOL_SOCKET,
+            libc::SO_ERROR,
+            &mut err as *mut _ as *mut libc::c_void,
+            &mut len,
+        )
+    };
+    if rc != 0 {
+        return Err(std::io::Error::last_os_error());
+    }
+    if err != 0 {
+        return Err(std::io::Error::from_raw_os_error(err));
+    }
+    Ok(())
+}
+
+/// Bound on reads drained from one connection per loop iteration so a
+/// firehose peer cannot starve the others.
+const READS_PER_CONN: usize = 16;
+
+/// What the reactor decided to do with one connection after processing it.
+enum ConnFate {
+    Keep,
+    Close,
+}
+
+/// The event loop: accepts, reads, connects and flushes every peer socket
+/// of one hive.
+fn reactor_loop(
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    mut wake_rx: UnixStream,
+    inbox_tx: Sender<(HiveId, Frame)>,
+) {
+    let mut in_conns: Vec<InConn> = Vec::new();
+    let mut out_conns: HashMap<HiveId, OutConn> = HashMap::new();
+
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        // Close outbound connections for peers the hive disconnected.
+        for peer in shared.closing.lock().drain(..) {
+            out_conns.remove(&peer);
+        }
+
+        // Start connects for peers with queued frames and no connection,
+        // unless an open backoff window says not to bother yet.
+        start_pending_connects(&shared, &mut out_conns);
+
+        // Opportunistic flush: the common case is a send() wake with the
+        // socket writable, where the writev below succeeds without a
+        // POLLOUT round trip.
+        flush_established(&shared, &mut out_conns);
+
+        let timeout = poll_timeout(&shared, &out_conns);
+        let mut pollfds: Vec<libc::pollfd> =
+            Vec::with_capacity(2 + in_conns.len() + out_conns.len());
+        pollfds.push(pollfd(wake_rx.as_raw_fd(), libc::POLLIN));
+        pollfds.push(pollfd(listener.as_raw_fd(), libc::POLLIN));
+        for c in &in_conns {
+            pollfds.push(pollfd(c.stream.as_raw_fd(), libc::POLLIN));
+        }
+        let out_order: Vec<HiveId> = out_conns.keys().copied().collect();
+        for peer in &out_order {
+            let conn = &out_conns[peer];
+            let mut ev = libc::POLLIN; // EOF / reset detection
+            let pending = shared
+                .outs
+                .lock()
+                .get(peer)
+                .is_some_and(|po| !po.ring.is_empty());
+            if conn.connecting.is_some() || pending {
+                ev |= libc::POLLOUT;
+            }
+            pollfds.push(pollfd(conn.stream.as_raw_fd(), ev));
+        }
+
+        let rc =
+            unsafe { libc::poll(pollfds.as_mut_ptr(), pollfds.len() as libc::nfds_t, timeout) };
+        if rc < 0 {
+            let err = std::io::Error::last_os_error();
+            if err.kind() == std::io::ErrorKind::Interrupted {
+                continue;
+            }
+            break; // poll itself failing is unrecoverable
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+
+        // Wake pipe: drain *before* clearing the pending flag. A sender
+        // whose wake was elided (flag already set) must have set the flag
+        // before this store, i.e. after pushing its frame — and the
+        // pre-poll phases below run after the store, so the frame is seen.
+        // The reverse order could drain a byte whose flag outlives it and
+        // sleep through the next send.
+        if pollfds[0].revents != 0 {
+            let mut sink = [0u8; 16];
+            while matches!(wake_rx.read(&mut sink), Ok(n) if n > 0) {}
+            shared.wake_pending.store(false, Ordering::Release);
+        }
+
+        // Accept every waiting inbound connection.
+        if pollfds[1].revents != 0 {
+            while let Ok((stream, _)) = listener.accept() {
+                stream.set_nonblocking(true).ok();
+                stream.set_nodelay(true).ok();
+                in_conns.push(InConn {
+                    stream,
+                    decoder: FrameDecoder::new(),
+                    peer: None,
+                });
+            }
+        }
+
+        // Drain readable inbound connections. Capture the count pollfds
+        // was built with: removals below must not shift the outbound base.
+        let n_in = in_conns.len();
+        let mut delivered = false;
+        let mut idx = 0;
+        while idx < in_conns.len() {
+            let revents = pollfds[2 + idx].revents;
+            let fate = if revents & (libc::POLLIN | libc::POLLHUP | libc::POLLERR) != 0 {
+                read_inbound(&shared, &mut in_conns[idx], &inbox_tx, &mut delivered)
+            } else {
+                ConnFate::Keep
+            };
+            match fate {
+                ConnFate::Keep => idx += 1,
+                ConnFate::Close => {
+                    // swap_remove reorders the tail, but pollfds is indexed
+                    // by the *old* order — rebuild next iteration, and only
+                    // process the swapped-in element then too.
+                    in_conns.swap_remove(idx);
+                    break;
+                }
+            }
+        }
+
+        // Outbound connections: settle in-flight connects, detect EOF.
+        let out_base = 2 + n_in;
+        for (i, peer) in out_order.iter().enumerate() {
+            let Some(conn) = out_conns.get_mut(peer) else {
+                continue;
+            };
+            let pfd_idx = out_base + i;
+            let revents = if pfd_idx < pollfds.len() {
+                pollfds[pfd_idx].revents
+            } else {
+                0
+            };
+            let mut close = false;
+            if let Some(deadline) = conn.connecting {
+                let settled = revents & (libc::POLLOUT | libc::POLLERR | libc::POLLHUP) != 0;
+                if settled {
+                    match take_socket_error(conn.stream.as_raw_fd()) {
+                        Ok(()) => {
+                            conn.connecting = None;
+                            on_connect_established(&shared, *peer, &conn.stream);
+                        }
+                        Err(_) => close = true,
+                    }
+                } else if Instant::now() >= deadline {
+                    close = true;
+                }
+                if close {
+                    on_connect_failed(&shared, *peer);
+                    out_conns.remove(peer);
+                    continue;
+                }
+            } else if revents & (libc::POLLIN | libc::POLLHUP | libc::POLLERR) != 0 {
+                // Established outbound sockets never carry inbound frames
+                // (each direction dials its own connection), so readable
+                // means closed or reset.
+                let mut probe = [0u8; 64];
+                match conn.stream.read(&mut probe) {
+                    Ok(0) => close = true,
+                    Ok(_) => {} // stray bytes: ignore
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                    Err(_) => close = true,
+                }
+                if close {
+                    on_connect_lost(&shared, *peer);
+                    out_conns.remove(peer);
+                    continue;
+                }
+            }
+        }
+
+        // Flush whatever became writable or was enqueued meanwhile.
+        flush_established(&shared, &mut out_conns);
+
+        if delivered {
+            if let Some(wake) = shared.waker.lock().clone() {
+                wake();
+            }
+        }
+    }
+    // Dropping the listener and connection maps closes every socket.
+}
+
+/// Shorthand for a [`libc::pollfd`] entry.
+fn pollfd(fd: RawFd, events: libc::c_short) -> libc::pollfd {
+    libc::pollfd {
+        fd,
+        events,
+        revents: 0,
+    }
+}
+
+/// Computes how long the loop may sleep: the nearest backoff expiry of a
+/// peer with queued frames, or the nearest connect deadline.
+fn poll_timeout(shared: &Shared, out_conns: &HashMap<HiveId, OutConn>) -> i32 {
+    let now = Instant::now();
+    let mut nearest: Option<Duration> = None;
+    let mut consider = |d: Duration| {
+        nearest = Some(nearest.map_or(d, |n| n.min(d)));
+    };
+    for conn in out_conns.values() {
+        if let Some(deadline) = conn.connecting {
+            consider(deadline.saturating_duration_since(now));
+        }
+    }
+    for (peer, po) in shared.outs.lock().iter() {
+        if po.ring.is_empty() || po.connected || out_conns.contains_key(peer) {
+            continue;
+        }
+        match po.backoff {
+            Some(b) if b.active() => consider(b.remaining()),
+            _ => consider(Duration::ZERO),
+        }
+    }
+    match nearest {
+        Some(d) => (d.as_millis() as i32).clamp(0, IDLE_POLL_MS),
+        None => IDLE_POLL_MS,
+    }
+}
+
+/// Starts non-blocking connects for every peer with queued frames, no
+/// connection, and no open backoff window.
+fn start_pending_connects(shared: &Arc<Shared>, out_conns: &mut HashMap<HiveId, OutConn>) {
+    let pending: Vec<HiveId> = shared
+        .outs
+        .lock()
+        .iter()
+        .filter(|(peer, po)| {
+            !po.ring.is_empty()
+                && !po.connected
+                && !out_conns.contains_key(peer)
+                && !po.backoff.is_some_and(|b| b.active())
+        })
+        .map(|(peer, _)| *peer)
+        .collect();
+    for peer in pending {
+        let addr = shared.peers.lock().get(&peer).copied();
+        let started = addr.and_then(|a| start_connect(a).ok());
+        match started {
+            Some(stream) => {
+                out_conns.insert(
+                    peer,
+                    OutConn {
+                        stream,
+                        connecting: Some(Instant::now() + CONNECT_TIMEOUT),
+                    },
+                );
+            }
+            // No address on file or an immediate connect error: both are
+            // connect failures (the threaded engine defers identically).
+            None => on_connect_failed(shared, peer),
+        }
+    }
+}
+
+/// A non-blocking connect settled successfully: reset backoff, queue the
+/// handshake ahead of the backlog, and mark the peer writable.
+fn on_connect_established(shared: &Arc<Shared>, peer: HiveId, stream: &TcpStream) {
+    stream.set_nodelay(true).ok();
+    shared.counters.record_connect_success(peer);
+    let mut outs = shared.outs.lock();
+    if let Some(po) = outs.get_mut(&peer) {
+        po.backoff = None;
+        po.connected = true;
+        po.ring.reset_progress();
+        // Identify ourselves before any queued traffic, exactly like the
+        // threaded dialer. Unaccounted and never surrendered.
+        po.ring.push_front(EncodedFrame {
+            kind: None,
+            bytes: encode_frame(shared.id, KIND_HANDSHAKE, &[]),
+            acct_len: 0,
+        });
+    }
+    drop(outs);
+    emit(
+        &shared.events,
+        EventKind::PeerConnect,
+        peer,
+        "outbound connection established",
+    );
+}
+
+/// A connect attempt failed: bump the backoff window and count every frame
+/// in the ring that was not already deferred.
+fn on_connect_failed(shared: &Arc<Shared>, peer: HiveId) {
+    let mut outs = shared.outs.lock();
+    let Some(po) = outs.get_mut(&peer) else {
+        return;
+    };
+    po.connected = false;
+    let window_ms = ConnectBackoff::bump(&mut po.backoff, peer);
+    let newly_deferred = po.ring.len() - po.counted;
+    po.counted = po.ring.len();
+    drop(outs);
+    shared.counters.record_connect_failure(peer, window_ms);
+    for _ in 0..newly_deferred {
+        shared.counters.record_deferred();
+    }
+    emit(
+        &shared.events,
+        EventKind::PeerDisconnect,
+        peer,
+        &format!("connect failed; backing off {window_ms}ms"),
+    );
+}
+
+/// An established outbound connection died: forget partial-write progress
+/// so the torn frame retransmits whole on the next connect (no backoff —
+/// the peer was just alive, so the reconnect is attempted immediately,
+/// like the threaded engine's write-error retry).
+fn on_connect_lost(shared: &Arc<Shared>, peer: HiveId) {
+    let mut outs = shared.outs.lock();
+    if let Some(po) = outs.get_mut(&peer) {
+        po.connected = false;
+        po.ring.reset_progress();
+    }
+    drop(outs);
+    emit(
+        &shared.events,
+        EventKind::PeerDisconnect,
+        peer,
+        "outbound connection closed (peer went away or write error)",
+    );
+}
+
+/// Vector-flushes every established outbound connection with queued frames.
+fn flush_established(shared: &Arc<Shared>, out_conns: &mut HashMap<HiveId, OutConn>) {
+    let mut lost: Vec<HiveId> = Vec::new();
+    {
+        let mut outs = shared.outs.lock();
+        for (peer, conn) in out_conns.iter_mut() {
+            if conn.connecting.is_some() {
+                continue;
+            }
+            let Some(po) = outs.get_mut(peer) else {
+                continue;
+            };
+            if po.ring.is_empty() {
+                continue;
+            }
+            let PeerOut {
+                ref mut ring,
+                ref mut counted,
+                ..
+            } = *po;
+            let counters = &shared.counters;
+            match ring.flush(&mut conn.stream, |kind, acct_len| {
+                counters.record_out(kind, acct_len);
+                *counted = counted.saturating_sub(1);
+            }) {
+                Ok(FlushOutcome::Drained) | Ok(FlushOutcome::WouldBlock) => {}
+                Err(_) => lost.push(*peer),
+            }
+        }
+    }
+    for peer in lost {
+        on_connect_lost(shared, peer);
+        out_conns.remove(&peer);
+    }
+}
+
+/// Drains one readable inbound connection into the inbox.
+fn read_inbound(
+    shared: &Arc<Shared>,
+    conn: &mut InConn,
+    inbox_tx: &Sender<(HiveId, Frame)>,
+    delivered: &mut bool,
+) -> ConnFate {
+    for _ in 0..READS_PER_CONN {
+        match conn.decoder.read_from(&mut conn.stream) {
+            Ok(0) => {
+                if let Some(peer) = conn.peer {
+                    emit(
+                        &shared.events,
+                        EventKind::PeerDisconnect,
+                        peer,
+                        "inbound connection closed (peer went away or read error)",
+                    );
+                }
+                return ConnFate::Close;
+            }
+            Ok(_) => loop {
+                match conn.decoder.next_frame() {
+                    Ok(Some(decoded)) => {
+                        if conn.peer.is_none() {
+                            // The first frame must be the handshake.
+                            if decoded.kind != KIND_HANDSHAKE {
+                                return ConnFate::Close;
+                            }
+                            conn.peer = Some(decoded.src);
+                            emit(
+                                &shared.events,
+                                EventKind::PeerConnect,
+                                decoded.src,
+                                "inbound connection accepted (handshake received)",
+                            );
+                            continue;
+                        }
+                        let Some(kind) = byte_to_kind(decoded.kind) else {
+                            continue; // unknown kinds are skipped, not fatal
+                        };
+                        let peer = conn.peer.expect("handshake seen");
+                        shared.counters.record_in(kind, decoded.payload.len() + 8);
+                        if inbox_tx
+                            .send((
+                                peer,
+                                Frame {
+                                    kind,
+                                    bytes: decoded.payload,
+                                },
+                            ))
+                            .is_err()
+                        {
+                            return ConnFate::Close;
+                        }
+                        *delivered = true;
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        if let Some(peer) = conn.peer {
+                            emit(
+                                &shared.events,
+                                EventKind::PeerDisconnect,
+                                peer,
+                                "inbound connection dropped (malformed frame)",
+                            );
+                        }
+                        return ConnFate::Close;
+                    }
+                }
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return ConnFate::Keep,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                if let Some(peer) = conn.peer {
+                    emit(
+                        &shared.events,
+                        EventKind::PeerDisconnect,
+                        peer,
+                        "inbound connection closed (peer went away or read error)",
+                    );
+                }
+                return ConnFate::Close;
+            }
+        }
+    }
+    ConnFate::Keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beehive_core::transport::FrameKind;
+
+    fn pair() -> (ReactorTransport, ReactorTransport) {
+        let mut t1 =
+            ReactorTransport::bind(HiveId(1), "127.0.0.1:0".parse().unwrap(), HashMap::new())
+                .unwrap();
+        let mut t2 =
+            ReactorTransport::bind(HiveId(2), "127.0.0.1:0".parse().unwrap(), HashMap::new())
+                .unwrap();
+        let a1 = t1.local_addr();
+        let a2 = t2.local_addr();
+        t1.add_peer(HiveId(2), a2);
+        t2.add_peer(HiveId(1), a1);
+        (t1, t2)
+    }
+
+    fn recv_blocking(t: &ReactorTransport, timeout_ms: u64) -> Option<(HiveId, Frame)> {
+        let deadline = Instant::now() + Duration::from_millis(timeout_ms);
+        while Instant::now() < deadline {
+            if let Some(x) = t.try_recv() {
+                return Some(x);
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        None
+    }
+
+    #[test]
+    fn frames_flow_both_ways() {
+        let (t1, t2) = pair();
+        t1.send(HiveId(2), Frame::app(vec![1, 2, 3]));
+        let (from, f) = recv_blocking(&t2, 2000).expect("frame arrives");
+        assert_eq!(from, HiveId(1));
+        assert_eq!(f.kind, FrameKind::App);
+        assert_eq!(f.bytes, vec![1, 2, 3]);
+
+        t2.send(HiveId(1), Frame::raft(vec![9]));
+        let (from, f) = recv_blocking(&t1, 2000).expect("reply arrives");
+        assert_eq!(from, HiveId(2));
+        assert_eq!(f.kind, FrameKind::Raft);
+        assert_eq!(f.bytes, vec![9]);
+    }
+
+    #[test]
+    fn burst_is_delivered_in_order() {
+        let (t1, t2) = pair();
+        for i in 0..200u32 {
+            t1.send(HiveId(2), Frame::app(i.to_le_bytes().to_vec()));
+        }
+        for i in 0..200u32 {
+            let (_, f) = recv_blocking(&t2, 2000).expect("burst frame arrives");
+            assert_eq!(f.bytes, i.to_le_bytes().to_vec());
+        }
+        let snap = t1.counters().snapshot();
+        assert_eq!(snap.sent(FrameKind::App).0, 200);
+    }
+
+    #[test]
+    fn dead_peer_enters_backoff_and_defers() {
+        let dead_addr = TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap();
+        let mut peers = HashMap::new();
+        peers.insert(HiveId(2), dead_addr);
+        let t1 = ReactorTransport::bind(HiveId(1), "127.0.0.1:0".parse().unwrap(), peers).unwrap();
+        t1.send(HiveId(2), Frame::app(vec![1]));
+        // The connect is asynchronous: wait for the failure to register.
+        let deadline = Instant::now() + Duration::from_millis(2000);
+        while t1.counters().snapshot().connect_failures == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(t1.counters().snapshot().connect_failures, 1);
+        assert!(
+            t1.counters().peer_backoff_ms(HiveId(2)).unwrap() >= crate::buffer::BACKOFF_BASE_MS
+        );
+        // Sends inside the window defer without probing.
+        t1.send(HiveId(2), Frame::app(vec![2]));
+        t1.send(HiveId(2), Frame::app(vec![3]));
+        std::thread::sleep(Duration::from_millis(50));
+        let snap = t1.counters().snapshot();
+        assert_eq!(snap.connect_failures, 1, "no probe inside the window");
+        assert_eq!(snap.deferred, 3);
+        assert_eq!(snap.sent(FrameKind::App), (0, 0));
+    }
+
+    #[test]
+    fn deferred_frames_flush_on_reconnect_in_order() {
+        let dead_addr = TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap();
+        let mut peers = HashMap::new();
+        peers.insert(HiveId(2), dead_addr);
+        let t1 = ReactorTransport::bind(HiveId(1), "127.0.0.1:0".parse().unwrap(), peers).unwrap();
+        t1.send(HiveId(2), Frame::app(vec![1]));
+        t1.send(HiveId(2), Frame::app(vec![2]));
+        let deadline = Instant::now() + Duration::from_millis(2000);
+        while t1.counters().snapshot().deferred < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Revive hive 2 on the same address; once the window expires the
+        // reactor reconnects on its own (no new send needed) and flushes.
+        let t2 = ReactorTransport::bind(HiveId(2), dead_addr, HashMap::new()).unwrap();
+        for expect in 1..=2u8 {
+            let (from, f) = recv_blocking(&t2, 5000).expect("deferred frame arrives");
+            assert_eq!(from, HiveId(1));
+            assert_eq!(f.bytes, vec![expect]);
+        }
+        assert_eq!(t1.counters().snapshot().sent(FrameKind::App).0, 2);
+        assert_eq!(t1.counters().peer_backoff_ms(HiveId(2)), None);
+    }
+
+    #[test]
+    fn disconnect_peer_surrenders_queued_frames() {
+        let dead_addr = TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap();
+        let mut peers = HashMap::new();
+        peers.insert(HiveId(4), dead_addr);
+        let t = ReactorTransport::bind(HiveId(1), "127.0.0.1:0".parse().unwrap(), peers).unwrap();
+        t.send(HiveId(4), Frame::app(vec![1]));
+        t.send(HiveId(4), Frame::control(vec![2]));
+        let deadline = Instant::now() + Duration::from_millis(2000);
+        while t.counters().snapshot().connect_failures == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let held = t.disconnect_peer(HiveId(4));
+        assert_eq!(held.len(), 2, "both queued frames come back to the caller");
+        assert_eq!(held[0].bytes, vec![1]);
+        assert_eq!(held[1].kind, FrameKind::Control);
+        assert!(!t.peers().contains(&HiveId(4)));
+    }
+
+    #[test]
+    fn reactor_interoperates_with_threaded_transport() {
+        // A mixed cluster: hive 1 reactor, hive 2 classic threaded. Both
+        // directions must deliver — the engines share one wire format.
+        let mut r =
+            ReactorTransport::bind(HiveId(1), "127.0.0.1:0".parse().unwrap(), HashMap::new())
+                .unwrap();
+        let mut th =
+            crate::TcpTransport::bind(HiveId(2), "127.0.0.1:0".parse().unwrap(), HashMap::new())
+                .unwrap();
+        let ra = r.local_addr();
+        let ta = th.local_addr();
+        r.add_peer(HiveId(2), ta);
+        th.add_peer(HiveId(1), ra);
+        r.send(HiveId(2), Frame::app(vec![42]));
+        let deadline = Instant::now() + Duration::from_millis(2000);
+        let mut got = None;
+        while got.is_none() && Instant::now() < deadline {
+            got = th.try_recv();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let (from, f) = got.expect("threaded receives from reactor");
+        assert_eq!(from, HiveId(1));
+        assert_eq!(f.bytes, vec![42]);
+
+        th.send(HiveId(1), Frame::raft(vec![7]));
+        let (from, f) = recv_blocking(&r, 2000).expect("reactor receives from threaded");
+        assert_eq!(from, HiveId(2));
+        assert_eq!(f.kind, FrameKind::Raft);
+        assert_eq!(f.bytes, vec![7]);
+    }
+
+    #[test]
+    fn shutdown_joins_the_reactor_thread() {
+        let (t1, t2) = pair();
+        t1.send(HiveId(2), Frame::app(vec![1]));
+        recv_blocking(&t2, 2000).expect("frame arrives");
+        drop(t1);
+        drop(t2); // Drop joins; reaching here without hanging is the test
+    }
+}

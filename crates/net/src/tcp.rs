@@ -1,12 +1,16 @@
-//! TCP transport for multi-process deployments.
+//! Threaded TCP transport for multi-process deployments.
 //!
-//! Framing: every frame is `[u32 len][u32 src_hive][u8 kind][payload]`, all
-//! integers little-endian. On connect, the dialer immediately sends a
-//! handshake frame (`kind = 0xFF`, empty payload) identifying itself.
+//! This is the classic engine (`--transport threaded`): one listener thread
+//! accepts inbound peers, a blocking reader thread serves each connection,
+//! and sends write synchronously on the caller's thread. It shares its wire
+//! format and framing code ([`crate::frame`]) with the non-blocking reactor
+//! ([`crate::ReactorTransport`]) — mixed clusters interoperate — and is kept
+//! for one release as the reactor's differential baseline before removal
+//! (see DESIGN.md §3.14).
+//!
 //! Outgoing connections are established lazily and re-established on error.
 
 use std::collections::{HashMap, VecDeque};
-use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 
@@ -15,6 +19,9 @@ use beehive_core::transport::{Frame, FrameKind, Transport, TransportCounters};
 use beehive_core::HiveId;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+
+use crate::buffer::{ConnectBackoff, DEFERRED_CAP};
+use crate::frame::{byte_to_kind, kind_to_byte, read_frame, write_frame, KIND_HANDSHAKE};
 
 /// Wakeup callback invoked by reader threads when a frame lands in the
 /// inbox (set after bind by `Hive::run` via [`Transport::set_waker`]).
@@ -29,89 +36,6 @@ fn emit(events: &SharedEvents, kind: EventKind, peer: HiveId, detail: &str) {
     if let Some(journal) = events.lock().clone() {
         journal.record_full(kind, 0, "", None, Some(peer), detail);
     }
-}
-
-const KIND_APP: u8 = 0;
-const KIND_RAFT: u8 = 1;
-const KIND_CONTROL: u8 = 2;
-const KIND_HANDSHAKE: u8 = 0xFF;
-
-/// First dead-peer backoff window after a failed connect.
-const BACKOFF_BASE_MS: u64 = 500;
-/// Dead-peer backoff cap: a long-dead peer is probed at least this often.
-const BACKOFF_CAP_MS: u64 = 10_000;
-/// Jitter range added to each window so restarting clusters don't reconnect
-/// in lockstep.
-const BACKOFF_JITTER_MS: u64 = 250;
-/// Per-peer cap on frames deferred while the peer is down; past it the
-/// oldest frame is dropped (everything above this layer retransmits).
-const DEFERRED_CAP: usize = 1024;
-
-/// Per-peer reconnect state: consecutive failures and the current window.
-#[derive(Debug, Clone, Copy)]
-struct ConnectBackoff {
-    failures: u32,
-    last_fail: std::time::Instant,
-    window: std::time::Duration,
-}
-
-/// Exponential backoff with deterministic jitter: `base * 2^(failures-1)`,
-/// capped, plus a per-peer/attempt offset (no RNG dependency — spread, not
-/// unpredictability, is what matters here).
-fn backoff_window_ms(peer: HiveId, failures: u32) -> u64 {
-    let exp = BACKOFF_BASE_MS << u64::from(failures.saturating_sub(1).min(5));
-    let jitter = (u64::from(peer.0) * 31 + u64::from(failures) * 17) % BACKOFF_JITTER_MS;
-    exp.min(BACKOFF_CAP_MS) + jitter
-}
-
-fn kind_to_byte(kind: FrameKind) -> u8 {
-    match kind {
-        FrameKind::App => KIND_APP,
-        FrameKind::Raft => KIND_RAFT,
-        FrameKind::Control => KIND_CONTROL,
-    }
-}
-
-fn byte_to_kind(b: u8) -> Option<FrameKind> {
-    match b {
-        KIND_APP => Some(FrameKind::App),
-        KIND_RAFT => Some(FrameKind::Raft),
-        KIND_CONTROL => Some(FrameKind::Control),
-        _ => None,
-    }
-}
-
-fn write_frame(
-    stream: &mut TcpStream,
-    src: HiveId,
-    kind: u8,
-    payload: &[u8],
-) -> std::io::Result<()> {
-    let len = (payload.len() + 5) as u32;
-    let mut header = [0u8; 9];
-    header[..4].copy_from_slice(&len.to_le_bytes());
-    header[4..8].copy_from_slice(&src.0.to_le_bytes());
-    header[8] = kind;
-    stream.write_all(&header)?;
-    stream.write_all(payload)?;
-    Ok(())
-}
-
-fn read_frame(stream: &mut TcpStream) -> std::io::Result<(HiveId, u8, Vec<u8>)> {
-    let mut len_buf = [0u8; 4];
-    stream.read_exact(&mut len_buf)?;
-    let len = u32::from_le_bytes(len_buf) as usize;
-    if !(5..=64 * 1024 * 1024).contains(&len) {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            "bad frame length",
-        ));
-    }
-    let mut rest = vec![0u8; len];
-    stream.read_exact(&mut rest)?;
-    let src = HiveId(u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]));
-    let kind = rest[4];
-    Ok((src, kind, rest[5..].to_vec()))
 }
 
 /// TCP-backed [`Transport`]. One listener thread accepts inbound peers; a
@@ -169,6 +93,9 @@ impl TcpTransport {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
+                    // Frames are latency-sensitive control traffic and each
+                    // is written whole; never let Nagle sit on a reply.
+                    stream.set_nodelay(true).ok();
                     let tx = accept_tx.clone();
                     let stop = accept_shutdown.clone();
                     let waker = accept_waker.clone();
@@ -359,9 +286,7 @@ impl Transport for TcpTransport {
         // probe per BACKOFF_CAP_MS.
         {
             let backoff = self.connect_backoff.lock();
-            if backoff
-                .get(&to)
-                .is_some_and(|b| b.last_fail.elapsed() < b.window)
+            if backoff.get(&to).is_some_and(|b| b.active())
                 && !self.outgoing.lock().contains_key(&to)
             {
                 drop(backoff);
@@ -387,16 +312,9 @@ impl Transport for TcpTransport {
                     }
                     None => {
                         let mut backoff = self.connect_backoff.lock();
-                        let now = std::time::Instant::now();
-                        let entry = backoff.entry(to).or_insert(ConnectBackoff {
-                            failures: 0,
-                            last_fail: now,
-                            window: std::time::Duration::ZERO,
-                        });
-                        entry.failures = entry.failures.saturating_add(1);
-                        entry.last_fail = now;
-                        let window_ms = backoff_window_ms(to, entry.failures);
-                        entry.window = std::time::Duration::from_millis(window_ms);
+                        let mut entry = backoff.remove(&to);
+                        let window_ms = ConnectBackoff::bump(&mut entry, to);
+                        backoff.insert(to, entry.expect("bump always fills the entry"));
                         self.counters.record_connect_failure(to, window_ms);
                         drop(backoff);
                         drop(outgoing);
@@ -513,6 +431,8 @@ impl Drop for TcpTransport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::buffer::{backoff_window_ms, BACKOFF_BASE_MS, BACKOFF_JITTER_MS};
+    use crate::frame::KIND_CONTROL;
 
     fn pair() -> (TcpTransport, TcpTransport) {
         let mut t1 =

@@ -55,6 +55,12 @@
 //! * `--inject-fault APP:MSG:TIMES` — repeatable, testing only: fail the
 //!   next TIMES deliveries of MSG (wire-name suffix match) to APP, to
 //!   exercise supervised redelivery in smoke tests
+//! * `--transport reactor|threaded` — which TCP engine carries inter-hive
+//!   frames (default `reactor`: one non-blocking event loop, batched
+//!   vectored writes). `threaded` keeps the classic
+//!   one-reader-thread-per-connection engine for one more release as the
+//!   differential baseline; both speak the same wire format, so a mixed
+//!   cluster interoperates
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -72,9 +78,9 @@ use beehive::core::optimizer::OptimizerConfig;
 use beehive::core::SystemClock;
 use beehive::core::{
     collector_app, optimizer_app, render_metrics, Analytics, App, Hive, HiveConfig, HiveId,
-    HiveMetrics, Mapped, StatusContext, StatusServer,
+    HiveMetrics, Mapped, StatusContext, StatusServer, TransportPreference,
 };
-use beehive::net::TcpTransport;
+use beehive::net::bind_tcp;
 
 struct Args {
     id: u32,
@@ -95,6 +101,7 @@ struct Args {
     max_redeliveries: Option<u32>,
     mailbox_capacity: Option<usize>,
     inject_faults: Vec<(String, String, u32)>,
+    transport: TransportPreference,
 }
 
 fn usage() -> ! {
@@ -104,7 +111,7 @@ fn usage() -> ! {
          [--replication R] [--workers N] [--apps a,b,c] [--stats-every SECS] \
          [--status-addr ADDR] [--metrics-dump PATH] [--dump-every SECS] [--dlq-dump PATH] \
          [--storage-dir PATH] [--max-redeliveries N] [--mailbox-capacity N] \
-         [--inject-fault APP:MSG:TIMES]"
+         [--inject-fault APP:MSG:TIMES] [--transport reactor|threaded]"
     );
     std::process::exit(2)
 }
@@ -138,6 +145,7 @@ fn parse_args() -> Args {
     let mut max_redeliveries = None;
     let mut mailbox_capacity = None;
     let mut inject_faults = Vec::new();
+    let mut transport = TransportPreference::default();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         let mut val = || it.next().unwrap_or_else(|| usage());
@@ -191,6 +199,7 @@ fn parse_args() -> Args {
                     parts[2].parse().unwrap_or_else(|_| usage()),
                 ));
             }
+            "--transport" => transport = val().parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -214,6 +223,7 @@ fn parse_args() -> Args {
         max_redeliveries,
         mailbox_capacity,
         inject_faults,
+        transport,
     }
 }
 
@@ -243,13 +253,15 @@ fn main() {
     let args = parse_args();
     let me = HiveId(args.id);
 
-    let transport = TcpTransport::bind(me, args.listen, args.peers.clone()).unwrap_or_else(|e| {
-        eprintln!("failed to bind {}: {e}", args.listen);
-        std::process::exit(1);
-    });
-    let advertise = transport.local_addr();
-    eprintln!("hive {me} listening on {advertise}");
-    let tcp_counters = transport.counters();
+    let (transport, advertise, tcp_counters) =
+        bind_tcp(args.transport, me, args.listen, args.peers.clone()).unwrap_or_else(|e| {
+            eprintln!("failed to bind {}: {e}", args.listen);
+            std::process::exit(1);
+        });
+    eprintln!(
+        "hive {me} listening on {advertise} ({} transport)",
+        args.transport.label()
+    );
 
     let mut all: Vec<HiveId> = args
         .peers
@@ -282,8 +294,9 @@ fn main() {
     if let Some(n) = args.mailbox_capacity {
         cfg.mailbox_capacity = n;
     }
+    cfg.transport = args.transport;
 
-    let mut hive = Hive::new(cfg, Arc::new(SystemClock::new()), Box::new(transport));
+    let mut hive = Hive::new(cfg, Arc::new(SystemClock::new()), transport);
 
     for app in &args.apps {
         match app.as_str() {

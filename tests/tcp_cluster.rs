@@ -1,13 +1,14 @@
 //! A real multi-threaded deployment: three hives over TCP on localhost,
 //! each on its own thread with the system clock — the production code path
-//! (no simulator involved).
+//! (no simulator involved). Runs once per TCP engine: the threaded
+//! transport and the non-blocking reactor must both carry a live cluster.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use beehive::core::{Hive, HiveConfig, HiveHandle, Transport};
-use beehive::net::TcpTransport;
+use beehive::core::{Hive, HiveConfig, HiveHandle, Transport, TransportPreference};
+use beehive::net::bind_tcp;
 use beehive::prelude::*;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -70,20 +71,28 @@ fn counter(answers: Arc<Mutex<Vec<Answer>>>) -> App {
         .build()
 }
 
-#[test]
-fn three_hives_over_tcp_route_consistently() {
+fn run_cluster(pref: TransportPreference) {
     let n = 3u32;
     // Bind everyone on port 0 first, then exchange addresses.
-    let mut transports: Vec<TcpTransport> = (1..=n)
-        .map(|i| {
-            TcpTransport::bind(HiveId(i), "127.0.0.1:0".parse().unwrap(), HashMap::new()).unwrap()
-        })
+    let mut transports = Vec::new();
+    for i in 1..=n {
+        let (t, addr, _counters) = bind_tcp(
+            pref,
+            HiveId(i),
+            "127.0.0.1:0".parse().unwrap(),
+            HashMap::new(),
+        )
+        .unwrap();
+        transports.push((HiveId(i), t, addr));
+    }
+    let addrs: Vec<_> = transports
+        .iter()
+        .map(|(id, _, addr)| (*id, *addr))
         .collect();
-    let addrs: Vec<_> = transports.iter().map(|t| t.local_addr()).collect();
-    for (i, t) in transports.iter_mut().enumerate() {
-        for (j, &addr) in addrs.iter().enumerate() {
-            if i != j {
-                t.add_peer(HiveId(j as u32 + 1), addr);
+    for (id, t, _) in transports.iter_mut() {
+        for (peer, addr) in &addrs {
+            if *peer != *id {
+                t.connect_peer(*peer, &addr.to_string());
             }
         }
     }
@@ -94,13 +103,13 @@ fn three_hives_over_tcp_route_consistently() {
     let mut handles: Vec<HiveHandle> = Vec::new();
     let mut threads = Vec::new();
 
-    for transport in transports {
-        let id = transport.local();
+    for (id, transport, _) in transports {
         let mut cfg = HiveConfig::clustered(id, all.clone(), 3);
         cfg.tick_interval_ms = 0;
         cfg.raft_tick_ms = 5;
         cfg.pending_retry_ms = 200;
-        let mut hive = Hive::new(cfg, Arc::new(SystemClock::new()), Box::new(transport));
+        cfg.transport = pref;
+        let mut hive = Hive::new(cfg, Arc::new(SystemClock::new()), transport);
         hive.install(counter(answers.clone()));
         handles.push(hive.handle());
         let stop2 = stop.clone();
@@ -147,4 +156,14 @@ fn three_hives_over_tcp_route_consistently() {
         cell_bees, 1,
         "exactly one colony for key k (got {total_bees} bees total)"
     );
+}
+
+#[test]
+fn three_hives_over_tcp_route_consistently() {
+    run_cluster(TransportPreference::Threaded);
+}
+
+#[test]
+fn three_hives_over_reactor_route_consistently() {
+    run_cluster(TransportPreference::Reactor);
 }
