@@ -55,6 +55,14 @@ pub struct Analytics {
     channel_acks: u64,
     /// Latest outbox-depth gauge per hive (last report wins).
     outbox_depth_per_hive: BTreeMap<u32, u64>,
+    /// Latest registry snapshot-index gauge per hive (last report wins).
+    snapshot_index_per_hive: BTreeMap<u32, u64>,
+    /// Latest registry snapshot-lag gauge per hive (last report wins).
+    snapshot_lag_per_hive: BTreeMap<u32, u64>,
+    /// Registry snapshots installed from peers across all hives.
+    snapshot_installs: u64,
+    /// Torn journal tails truncated during recovery across all hives.
+    journal_torn_truncations: u64,
     /// When this analytics instance was created (drives the uptime gauge).
     /// Not serialized: a deserialized instance reports zero uptime.
     #[serde(skip)]
@@ -132,6 +140,12 @@ impl Analytics {
         self.channel_acks += report.channel_acks;
         self.outbox_depth_per_hive
             .insert(report.hive.0, report.outbox_depth);
+        self.snapshot_index_per_hive
+            .insert(report.hive.0, report.snapshot_index);
+        self.snapshot_lag_per_hive
+            .insert(report.hive.0, report.snapshot_lag);
+        self.snapshot_installs += report.snapshot_installs;
+        self.journal_torn_truncations += report.journal_torn_truncations;
         // Recompute bee counts.
         let mut bees_per_app: BTreeMap<&String, u64> = BTreeMap::new();
         for (app, _) in self.per_bee.keys() {
@@ -248,6 +262,35 @@ impl Analytics {
     /// from each hive.
     pub fn outbox_depth(&self) -> u64 {
         self.outbox_depth_per_hive.values().sum()
+    }
+
+    /// Highest registry compaction index reported by any hive.
+    pub fn snapshot_index(&self) -> u64 {
+        self.snapshot_index_per_hive
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Worst (largest) registry snapshot lag across the latest gauge from
+    /// each hive — applied entries not yet covered by a durable snapshot.
+    pub fn snapshot_lag(&self) -> u64 {
+        self.snapshot_lag_per_hive
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Registry snapshots installed from peers across all hives.
+    pub fn snapshot_installs(&self) -> u64 {
+        self.snapshot_installs
+    }
+
+    /// Torn journal tails truncated during recovery across all hives.
+    pub fn journal_torn_truncations(&self) -> u64 {
+        self.journal_torn_truncations
     }
 
     /// Renders everything as Prometheus text exposition format. Each metric
@@ -468,6 +511,48 @@ impl Analytics {
             "beehive_outbox_depth",
             &[],
             self.outbox_depth() as f64,
+        );
+        // Durability families render unconditionally too: the restart-storm
+        // smoke job greps these for snapshot installs and corruption counts.
+        out.push_str(
+            "# HELP beehive_snapshot_index Highest registry log index covered by a durable snapshot.\n",
+        );
+        out.push_str("# TYPE beehive_snapshot_index gauge\n");
+        push_sample(
+            &mut out,
+            "beehive_snapshot_index",
+            &[],
+            self.snapshot_index() as f64,
+        );
+        out.push_str(
+            "# HELP beehive_snapshot_lag Applied registry entries not yet covered by a snapshot (worst hive).\n",
+        );
+        out.push_str("# TYPE beehive_snapshot_lag gauge\n");
+        push_sample(
+            &mut out,
+            "beehive_snapshot_lag",
+            &[],
+            self.snapshot_lag() as f64,
+        );
+        out.push_str(
+            "# HELP beehive_snapshot_installs_total Registry snapshots installed from peers.\n",
+        );
+        out.push_str("# TYPE beehive_snapshot_installs_total counter\n");
+        push_sample(
+            &mut out,
+            "beehive_snapshot_installs_total",
+            &[],
+            self.snapshot_installs as f64,
+        );
+        out.push_str(
+            "# HELP beehive_journal_torn_truncations_total Torn journal tails truncated during recovery.\n",
+        );
+        out.push_str("# TYPE beehive_journal_torn_truncations_total counter\n");
+        push_sample(
+            &mut out,
+            "beehive_journal_torn_truncations_total",
+            &[],
+            self.journal_torn_truncations as f64,
         );
         push_histogram_family(
             &mut out,
@@ -739,6 +824,10 @@ mod tests {
             dups_suppressed: 0,
             channel_acks: 0,
             outbox_depth: 0,
+            snapshot_index: 0,
+            snapshot_lag: 0,
+            snapshot_installs: 0,
+            journal_torn_truncations: 0,
         }
     }
 
@@ -922,6 +1011,53 @@ mod tests {
         assert!(text.contains("beehive_dups_suppressed_total 2"), "{text}");
         assert!(text.contains("beehive_channel_acks_total 3"), "{text}");
         assert!(text.contains("beehive_outbox_depth 2"), "{text}");
+    }
+
+    #[test]
+    fn durability_counters_aggregate_and_render_unconditionally() {
+        let mut a = Analytics::new();
+        // Zero-state exposition still carries every durability family, so
+        // the restart-storm smoke job can grep before any snapshot exists.
+        let text = a.render_prometheus();
+        assert!(text.contains("beehive_snapshot_index 0"), "{text}");
+        assert!(text.contains("beehive_snapshot_lag 0"), "{text}");
+        assert!(text.contains("beehive_snapshot_installs_total 0"), "{text}");
+        assert!(
+            text.contains("beehive_journal_torn_truncations_total 0"),
+            "{text}"
+        );
+
+        let mut r1 = report(1, "ls", 1, 5);
+        r1.snapshot_index = 32;
+        r1.snapshot_lag = 4;
+        r1.snapshot_installs = 1;
+        r1.journal_torn_truncations = 1;
+        a.ingest(&r1);
+        // Counters accumulate; the gauges are replaced per hive and the
+        // cluster view takes the worst (max) hive.
+        let mut r1b = report(1, "ls", 1, 5);
+        r1b.snapshot_index = 64;
+        r1b.snapshot_lag = 0;
+        a.ingest(&r1b);
+        let mut r2 = report(2, "ls", 2, 5);
+        r2.snapshot_index = 40;
+        r2.snapshot_lag = 7;
+        r2.snapshot_installs = 2;
+        a.ingest(&r2);
+
+        assert_eq!(a.snapshot_index(), 64);
+        assert_eq!(a.snapshot_lag(), 7, "worst hive wins");
+        assert_eq!(a.snapshot_installs(), 3);
+        assert_eq!(a.journal_torn_truncations(), 1);
+
+        let text = a.render_prometheus();
+        assert!(text.contains("beehive_snapshot_index 64"), "{text}");
+        assert!(text.contains("beehive_snapshot_lag 7"), "{text}");
+        assert!(text.contains("beehive_snapshot_installs_total 3"), "{text}");
+        assert!(
+            text.contains("beehive_journal_torn_truncations_total 1"),
+            "{text}"
+        );
     }
 
     #[test]

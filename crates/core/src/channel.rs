@@ -233,6 +233,13 @@ pub struct ReliableChannels {
     /// restored from a durable journal) — reported by the
     /// [`ReliableChannels::set_events`] mint event.
     minted_fresh: bool,
+    /// Set when the outbox journal exists but failed checksum validation
+    /// (interior corruption). The hive polls this right after construction
+    /// and fail-stops: running in memory on top of a corrupt journal would
+    /// re-deliver envelopes the old incarnation already acked.
+    storage_fault: Option<String>,
+    /// Torn tail records truncated during this incarnation's recovery.
+    torn_truncations: u64,
 }
 
 impl ReliableChannels {
@@ -251,12 +258,20 @@ impl ReliableChannels {
     ) -> ReliableChannels {
         let mut journal = None;
         let mut restored = OutboxState::default();
+        let mut storage_fault = None;
         if let Some(dir) = storage_dir {
             let path = dir.join(format!("hive-{}.outbox", id.0));
             match Outbox::open(&path) {
                 Ok((ob, state)) => {
                     journal = Some(ob);
                     restored = state;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                    // Interior corruption: the journal exists but cannot be
+                    // trusted. Falling back to memory would mint a fresh
+                    // epoch and re-deliver history the old incarnation
+                    // already acked — the hive must halt instead.
+                    storage_fault = Some(e.to_string());
                 }
                 Err(e) => {
                     eprintln!(
@@ -293,6 +308,8 @@ impl ReliableChannels {
             delta: ChannelDelta::default(),
             events: None,
             minted_fresh: fresh,
+            storage_fault,
+            torn_truncations: restored.torn_truncations,
         };
         if fresh {
             ch.journal_append(JournalEntry::Epoch { epoch });
@@ -333,6 +350,19 @@ impl ReliableChannels {
         self.epoch
     }
 
+    /// Interior corruption detected in the outbox journal at recovery, if
+    /// any. The hive treats this as fatal (fail-stop) right after wiring the
+    /// event journal.
+    pub fn storage_fault(&self) -> Option<&str> {
+        self.storage_fault.as_deref()
+    }
+
+    /// Torn tail records truncated off the outbox journal during this
+    /// incarnation's recovery.
+    pub fn torn_truncations(&self) -> u64 {
+        self.torn_truncations
+    }
+
     /// Hands the channel the hive's event journal. The epoch is minted (or
     /// restored) in [`ReliableChannels::new`], before the journal exists, so
     /// the mint event is emitted here, once, on wiring.
@@ -349,6 +379,15 @@ impl ReliableChannels {
                 }
             ),
         );
+        if self.torn_truncations > 0 {
+            events.record(
+                EventKind::JournalTornTail,
+                format!(
+                    "outbox journal lost {} torn tail record(s) to a crash mid-append",
+                    self.torn_truncations
+                ),
+            );
+        }
         self.events = Some(events);
     }
 

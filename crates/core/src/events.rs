@@ -92,11 +92,21 @@ pub enum EventKind {
     /// A message addressed to a hive that has left the cluster was dropped
     /// to the dead-letter path instead of being retried forever.
     PeerDeparted,
+    /// The registry Raft node installed a snapshot shipped by the leader
+    /// (catch-up past the compaction horizon), or took one locally.
+    SnapshotInstall,
+    /// Durable storage failed (IO error or interior corruption). Recorded
+    /// immediately before the hive fail-stops — the last entry a halted
+    /// hive's flight recorder explains itself with.
+    StorageFault,
+    /// A journal recovery discarded a torn tail record (crash mid-append).
+    /// Expected after a hard kill; benign, but counted.
+    JournalTornTail,
 }
 
 impl EventKind {
     /// Every kind, in declaration order (stable for exposition and tests).
-    pub const ALL: [EventKind; 19] = [
+    pub const ALL: [EventKind; 22] = [
         EventKind::BeeSpawned,
         EventKind::BeeRetired,
         EventKind::MigrationStart,
@@ -116,6 +126,9 @@ impl EventKind {
         EventKind::ReplicaGap,
         EventKind::MembershipChange,
         EventKind::PeerDeparted,
+        EventKind::SnapshotInstall,
+        EventKind::StorageFault,
+        EventKind::JournalTornTail,
     ];
 
     /// Stable snake_case label, used by the JSON exposition and metrics.
@@ -140,6 +153,9 @@ impl EventKind {
             EventKind::ReplicaGap => "replica_gap",
             EventKind::MembershipChange => "membership_change",
             EventKind::PeerDeparted => "peer_departed",
+            EventKind::SnapshotInstall => "snapshot_install",
+            EventKind::StorageFault => "storage_fault",
+            EventKind::JournalTornTail => "journal_torn_tail",
         }
     }
 }

@@ -96,6 +96,23 @@ pub struct HiveConfig {
     /// snapshots). `None` keeps it in memory — fine for simulations; set it
     /// in production so a restarted hive rejoins with its Raft state intact.
     pub registry_storage_dir: Option<std::path::PathBuf>,
+    /// Registry snapshot interval: how many applied entries may accumulate
+    /// past the last snapshot before the registry state machine is
+    /// serialized and the Raft log compacted behind it. Lagging peers and
+    /// joining learners below the compaction horizon then catch up via
+    /// `InstallSnapshot` (O(state), not O(history)). `0` defers to
+    /// [`beehive_raft::Config::snapshot_threshold`] (whose own 0 disables
+    /// compaction); nonzero overrides it.
+    pub snapshot_interval: u64,
+    /// Fsync policy for durable registry storage. [`FsyncPolicy::Always`]
+    /// (the default) syncs before every atomic rename — the Raft
+    /// correctness requirement. [`FsyncPolicy::Never`] skips the sync for
+    /// benches and tests: crash-atomic, but a power loss can lose
+    /// acknowledged writes.
+    ///
+    /// [`FsyncPolicy::Always`]: beehive_raft::FsyncPolicy::Always
+    /// [`FsyncPolicy::Never`]: beehive_raft::FsyncPolicy::Never
+    pub fsync: beehive_raft::FsyncPolicy,
     /// Number of executor worker threads for bee handlers. `1` (the
     /// default) runs every handler on the hive thread — today's sequential
     /// semantics. `> 1` spawns a worker pool and runs disjoint-colony bees
@@ -184,6 +201,8 @@ impl HiveConfig {
             orphan_ttl_ms: 10_000,
             replication_factor: 1,
             registry_storage_dir: None,
+            snapshot_interval: 0,
+            fsync: beehive_raft::FsyncPolicy::Always,
             workers: 1,
             trace_capacity: 4096,
             event_capacity: 4096,
@@ -415,6 +434,11 @@ pub struct Hive {
     /// Last observed registry Raft term/leader, for change events.
     last_raft_term: u64,
     last_raft_leader: Option<u64>,
+    /// Last observed registry snapshot index / install count / lag, for
+    /// change events and the instrumentation gauges.
+    last_snapshot_index: u64,
+    last_snapshot_installs: u64,
+    last_snapshot_lag: u64,
     /// Shared membership-lifecycle cell: written by the step loop, read by
     /// the status server (`/healthz`) and signal handlers (see
     /// [`crate::lifecycle`]).
@@ -442,6 +466,13 @@ impl Hive {
             transport.local(),
             "transport endpoint must match hive id"
         );
+        // The flight recorder comes up first so durable-storage faults found
+        // while restoring state land in the journal before the hive halts.
+        let events = Arc::new(EventJournal::new(cfg.id, cfg.event_capacity, clock.clone()));
+        let storage_fatal = |events: &EventJournal, detail: String| -> ! {
+            events.record(EventKind::StorageFault, detail.clone());
+            panic!("hive {}: fatal storage fault: {detail}", cfg.id.0);
+        };
         let registry = if cfg.registry_voters.is_empty() {
             RegBackend::Local {
                 state: RegistryState::new(),
@@ -460,17 +491,31 @@ impl Hive {
                 rng_seed: cfg.raft.rng_seed
                     ^ me.wrapping_mul(0xA076_1D64_78BD_642F)
                     ^ cfg.rng_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                // A hive-level snapshot interval overrides the raw raft
+                // threshold (0 = keep whatever the raft config says).
+                snapshot_threshold: if cfg.snapshot_interval > 0 {
+                    cfg.snapshot_interval
+                } else {
+                    cfg.raft.snapshot_threshold
+                },
                 ..cfg.raft.clone()
             };
             let storage: Box<dyn beehive_raft::Storage> = match &cfg.registry_storage_dir {
                 Some(dir) => {
-                    std::fs::create_dir_all(dir).expect("create registry storage dir");
-                    Box::new(
-                        beehive_raft::FileStorage::open(
-                            dir.join(format!("hive-{}.raft", cfg.id.0)),
-                        )
-                        .expect("open registry storage"),
-                    )
+                    if let Err(e) = std::fs::create_dir_all(dir) {
+                        storage_fatal(
+                            &events,
+                            format!("create registry storage dir {}: {e}", dir.display()),
+                        );
+                    }
+                    let path = dir.join(format!("hive-{}.raft", cfg.id.0));
+                    match beehive_raft::FileStorage::open_with(&path, cfg.fsync) {
+                        Ok(s) => Box::new(s),
+                        Err(e) => storage_fatal(
+                            &events,
+                            format!("open registry storage {}: {e}", path.display()),
+                        ),
+                    }
                 }
                 None => Box::new(beehive_raft::MemStorage::new()),
             };
@@ -495,6 +540,9 @@ impl Hive {
                     storage,
                 )
             };
+            if let Some(e) = node.storage_fault() {
+                storage_fatal(&events, format!("registry state unusable at boot: {e}"));
+            }
             RegBackend::Raft(Box::new(node))
         };
         let executor = if cfg.workers > 1 {
@@ -504,7 +552,6 @@ impl Hive {
         };
         let tracer = Arc::new(TraceCollector::new(cfg.trace_capacity));
         let dead_letters = Arc::new(DeadLetterStore::new(cfg.dead_letter_capacity));
-        let events = Arc::new(EventJournal::new(cfg.id, cfg.event_capacity, clock.clone()));
         transport.set_events(events.clone());
         let mut channels = ReliableChannels::new(
             cfg.id,
@@ -517,6 +564,12 @@ impl Hive {
             clock.now_ms(),
         );
         channels.set_events(events.clone());
+        if let Some(detail) = channels.storage_fault() {
+            storage_fatal(
+                &events,
+                format!("outbox journal unusable at boot: {detail}"),
+            );
+        }
         let mut shadows = ShadowStore::new();
         shadows.set_events(events.clone());
         let (handle_tx, handle_rx) = unbounded();
@@ -566,6 +619,9 @@ impl Hive {
             trace_query_deadlines: Vec::new(),
             last_raft_term: 0,
             last_raft_leader: None,
+            last_snapshot_index: 0,
+            last_snapshot_installs: 0,
+            last_snapshot_lag: 0,
             lifecycle: Arc::new(Lifecycle::default()),
             pending_membership: None,
             draining_peers: HashSet::new(),
@@ -582,6 +638,13 @@ impl Hive {
             hive.applied_seq = node.last_applied();
             hive.last_raft_term = node.term();
             hive.last_raft_leader = node.leader_hint();
+            hive.last_snapshot_index = node.snapshot_index();
+            hive.last_snapshot_installs = node.snapshots_installed();
+            hive.last_snapshot_lag = node.snapshot_lag();
+        }
+        let torn = hive.channels.torn_truncations();
+        if torn > 0 {
+            hive.instr.lock().journal_torn_truncations += torn;
         }
         hive
     }
@@ -781,6 +844,31 @@ impl Hive {
             RegBackend::Local { .. } => true,
             RegBackend::Raft(node) => node.is_leader(),
         }
+    }
+
+    /// Index the registry log has been compacted through (0 in local mode or
+    /// before the first snapshot).
+    pub fn registry_snapshot_index(&self) -> u64 {
+        match &self.registry {
+            RegBackend::Local { .. } => 0,
+            RegBackend::Raft(node) => node.snapshot_index(),
+        }
+    }
+
+    /// Number of snapshots this hive has had installed by a peer (catch-up
+    /// below the compaction horizon).
+    pub fn registry_snapshot_installs(&self) -> u64 {
+        match &self.registry {
+            RegBackend::Local { .. } => 0,
+            RegBackend::Raft(node) => node.snapshots_installed(),
+        }
+    }
+
+    /// Torn tail records truncated off the outbox journal when this
+    /// incarnation booted — nonzero means the previous process died
+    /// mid-append and recovery discarded the half-written record.
+    pub fn journal_torn_truncations(&self) -> u64 {
+        self.channels.torn_truncations()
     }
 
     /// The installed applications (shared with executor workers).
@@ -1227,13 +1315,20 @@ impl Hive {
         work
     }
 
-    /// Records registry Raft term and leader changes into the event journal.
+    /// Records registry Raft term and leader changes into the event journal,
+    /// tracks snapshot/compaction progress for the instrumentation gauges,
+    /// and fail-stops the hive if the registry node latched a storage fault.
     /// Pure observation of already-deterministic state, so it cannot perturb
     /// simulated replay.
     fn poll_raft_events(&mut self) {
         let RegBackend::Raft(node) = &self.registry else {
             return;
         };
+        if let Some(e) = node.storage_fault() {
+            let detail = format!("registry storage fault: {e}");
+            self.events.record(EventKind::StorageFault, detail.clone());
+            panic!("hive {}: fatal storage fault: {detail}", self.cfg.id.0);
+        }
         let term = node.term();
         let leader = node.leader_hint();
         if term != self.last_raft_term {
@@ -1250,6 +1345,27 @@ impl Hive {
             self.last_raft_leader = leader;
             self.events
                 .record_full(EventKind::RaftLeaderChange, 0, "", None, peer, detail);
+        }
+        let snap_index = node.snapshot_index();
+        let installs = node.snapshots_installed();
+        let lag = node.snapshot_lag();
+        if snap_index != self.last_snapshot_index
+            || installs != self.last_snapshot_installs
+            || lag != self.last_snapshot_lag
+        {
+            if installs > self.last_snapshot_installs {
+                self.events.record(
+                    EventKind::SnapshotInstall,
+                    format!("registry snapshot installed through index {snap_index}"),
+                );
+            }
+            let mut instr = self.instr.lock();
+            instr.snapshot_index = snap_index;
+            instr.snapshot_lag = lag;
+            instr.snapshot_installs += installs - self.last_snapshot_installs;
+            self.last_snapshot_index = snap_index;
+            self.last_snapshot_installs = installs;
+            self.last_snapshot_lag = lag;
         }
     }
 

@@ -269,9 +269,13 @@ fn serve_connection(mut stream: TcpStream, ctx: &StatusContext) -> std::io::Resu
             respond(&mut stream, "200 OK", "text/plain; version=0.0.4", &text)
         }
         "/healthz" => {
-            let (quarantined, outbox_depth) = {
+            let (quarantined, outbox_depth, snapshot_lag) = {
                 let analytics = ctx.analytics.lock().unwrap();
-                (analytics.quarantined_bees(), analytics.outbox_depth())
+                (
+                    analytics.quarantined_bees(),
+                    analytics.outbox_depth(),
+                    analytics.snapshot_lag(),
+                )
             };
             let dead_letters = ctx.dead_letters.len() as u64;
             let stage = ctx
@@ -293,6 +297,7 @@ fn serve_connection(mut stream: TcpStream, ctx: &StatusContext) -> std::io::Resu
                 "{{\"status\":\"{verdict}\",\"lifecycle\":\"{}\",\
                  \"quarantined_bees\":{quarantined},\
                  \"dead_letters\":{dead_letters},\"outbox_depth\":{outbox_depth},\
+                 \"snapshot_lag\":{snapshot_lag},\
                  \"events_recorded\":{}}}\n",
                 stage.label(),
                 ctx.events.recorded(),
@@ -480,6 +485,7 @@ mod tests {
         let (head, body) = http_get(addr, "/healthz");
         assert!(head.starts_with("HTTP/1.0 200"), "{head}");
         assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(body.contains("\"snapshot_lag\":0"), "{body}");
         assert!(body.contains("\"events_recorded\":1"), "{body}");
 
         let (head, body) = http_get(addr, "/events?n=10");

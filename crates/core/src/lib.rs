@@ -88,6 +88,7 @@ pub mod transport;
 
 pub use analytics::{Analytics, AppLoad, ProvenanceRow};
 pub use app::{App, AppBuilder, HandlerResult, MapSpec, RcvCtx};
+pub use beehive_raft::{FsyncPolicy, StorageError};
 pub use cell::{Cell, Mapped};
 pub use channel::{
     ChannelDelivery, ChannelDelta, ChannelFrame, ChannelStats, ChannelTuning, ChannelWork,

@@ -314,6 +314,17 @@ pub struct Instrumentation {
     /// Unacked envelopes currently buffered for resend across all peers
     /// (gauge; retained by [`Instrumentation::take`] like `quarantined`).
     pub outbox_depth: u64,
+    /// Index the registry raft log has been compacted through (gauge;
+    /// retained by [`Instrumentation::take`]).
+    pub snapshot_index: u64,
+    /// Applied entries ahead of the last durable snapshot (gauge; retained
+    /// by [`Instrumentation::take`]).
+    pub snapshot_lag: u64,
+    /// Registry snapshots installed from a peer since the previous report
+    /// (delta).
+    pub snapshot_installs: u64,
+    /// Torn journal tails truncated during durable-state recovery (delta).
+    pub journal_torn_truncations: u64,
 }
 
 impl Instrumentation {
@@ -402,9 +413,13 @@ impl Instrumentation {
         self.retransmits += delta.retransmits;
         self.dups_suppressed += delta.dups_suppressed;
         self.channel_acks += delta.channel_acks;
+        self.snapshot_installs += delta.snapshot_installs;
+        self.journal_torn_truncations += delta.journal_torn_truncations;
         // Gauges: worker deltas always carry 0; the hive sets them directly.
         self.quarantined = self.quarantined.max(delta.quarantined);
         self.outbox_depth = self.outbox_depth.max(delta.outbox_depth);
+        self.snapshot_index = self.snapshot_index.max(delta.snapshot_index);
+        self.snapshot_lag = self.snapshot_lag.max(delta.snapshot_lag);
     }
 
     /// Takes the counter deltas, leaving the store empty. Metadata (pinned
@@ -417,6 +432,8 @@ impl Instrumentation {
         self.msg_matrix = taken.msg_matrix.clone();
         self.quarantined = taken.quarantined;
         self.outbox_depth = taken.outbox_depth;
+        self.snapshot_index = taken.snapshot_index;
+        self.snapshot_lag = taken.snapshot_lag;
         taken
     }
 
@@ -493,6 +510,15 @@ pub struct HiveMetrics {
     pub channel_acks: u64,
     /// Unacked envelopes buffered for resend on this hive (gauge).
     pub outbox_depth: u64,
+    /// Index the registry raft log is compacted through (gauge).
+    pub snapshot_index: u64,
+    /// Applied entries ahead of the last durable snapshot (gauge).
+    pub snapshot_lag: u64,
+    /// Registry snapshots installed from a peer since the previous report.
+    pub snapshot_installs: u64,
+    /// Torn journal tails truncated during recovery since the previous
+    /// report.
+    pub journal_torn_truncations: u64,
 }
 crate::impl_message!(HiveMetrics);
 
@@ -756,6 +782,33 @@ mod tests {
         assert_eq!(agg.retransmits, 4);
         assert_eq!(agg.dups_suppressed, 5);
         assert_eq!(agg.outbox_depth, 7, "gauge merges by max, not sum");
+    }
+
+    #[test]
+    fn snapshot_counters_flow_and_the_gauges_are_retained() {
+        let mut inst = Instrumentation::default();
+        inst.snapshot_index = 40;
+        inst.snapshot_lag = 3;
+        inst.snapshot_installs = 2;
+        inst.journal_torn_truncations = 1;
+        let taken = inst.take();
+        assert_eq!(taken.snapshot_installs, 2);
+        assert_eq!(taken.journal_torn_truncations, 1);
+        // Deltas reset; the compaction gauges survive the take.
+        assert_eq!(inst.snapshot_installs, 0);
+        assert_eq!(inst.journal_torn_truncations, 0);
+        assert_eq!(inst.snapshot_index, 40);
+        assert_eq!(inst.snapshot_lag, 3);
+        let mut agg = Instrumentation::default();
+        agg.merge_delta(taken);
+        agg.merge_delta(Instrumentation {
+            snapshot_index: 24,
+            snapshot_installs: 1,
+            ..Default::default()
+        });
+        assert_eq!(agg.snapshot_installs, 3);
+        assert_eq!(agg.journal_torn_truncations, 1);
+        assert_eq!(agg.snapshot_index, 40, "gauge merges by max, not sum");
     }
 
     #[test]

@@ -10,17 +10,24 @@
 //! dedup state is restored so redelivered envelopes are suppressed instead
 //! of double-applied.
 //!
-//! The format is a flat sequence of `[u32 length][beehive-wire bytes]`
-//! records. Appends go straight to the file descriptor (no userspace
-//! buffering), so a SIGKILLed process loses at most the record being
-//! written; a truncated tail record is tolerated on load. Compaction
-//! rewrites the journal as a state snapshot (atomic tmp + rename) once
-//! enough incremental records accumulate.
+//! The format is a flat sequence of checksummed
+//! `[u32 length][u64 fnv1a][beehive-wire bytes]` records
+//! ([`beehive_wire::record`]). Appends go straight to the file descriptor
+//! (no userspace buffering), so a SIGKILLed process loses at most the
+//! record being written. Recovery follows the durability contract
+//! (DESIGN.md §3.15): a torn tail — a crash mid-append — is truncated off
+//! and counted, while interior corruption (a flipped bit inside a verified
+//! prefix) fails the open with `InvalidData` so the hive halts instead of
+//! silently diverging from its peers. Compaction rewrites the journal as a
+//! state snapshot (atomic tmp + rename) once enough incremental records
+//! accumulate.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Write};
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+
+use beehive_wire::record::{encode_record, scan_records};
 
 use serde::{Deserialize, Serialize};
 
@@ -154,6 +161,10 @@ pub struct OutboxState {
     pub retired_delivered: u64,
     /// Unacked envelopes abandoned when their peer was retired.
     pub expired: u64,
+    /// Torn tail records discarded (and truncated off the file) during this
+    /// recovery: each one is a crash mid-append whose record never became
+    /// durable. Surfaced as `beehive_journal_torn_truncations_total`.
+    pub torn_truncations: u64,
 }
 
 impl OutboxState {
@@ -251,18 +262,54 @@ impl std::fmt::Debug for Outbox {
 }
 
 impl Outbox {
-    /// Opens (or creates) the journal at `path` and replays it. A truncated
-    /// tail record — a crash mid-append — is silently discarded.
+    /// Opens (or creates) the journal at `path` and replays it.
+    ///
+    /// A torn tail record — a crash mid-append — is truncated off the file
+    /// (so later appends extend the verified prefix, not the garbage) and
+    /// counted in [`OutboxState::torn_truncations`]. Interior corruption
+    /// fails with `InvalidData`: callers must treat that as fatal, because
+    /// a journal that fails its checksums mid-file cannot be trusted to
+    /// reproduce the dedup/resend state the peers have observed.
     pub fn open(path: impl Into<PathBuf>) -> io::Result<(Outbox, OutboxState)> {
         let path = path.into();
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)?;
         }
         let mut state = OutboxState::default();
-        if let Ok(bytes) = std::fs::read(&path) {
-            for entry in decode_records(&bytes) {
-                state.apply(entry);
+        match std::fs::read(&path) {
+            Ok(bytes) => {
+                let scan = scan_records(&bytes).map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("outbox journal {}: {e}", path.display()),
+                    )
+                })?;
+                for payload in &scan.payloads {
+                    // A record that passed its checksum but does not decode
+                    // is not a torn write — it is a format-level fault, and
+                    // skipping it would replay a different history than the
+                    // one acked to peers.
+                    let entry = beehive_wire::from_slice::<JournalEntry>(payload).map_err(|e| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!(
+                                "outbox journal {}: verified record does not decode: {e}",
+                                path.display()
+                            ),
+                        )
+                    })?;
+                    state.apply(entry);
+                }
+                if let Some(torn) = &scan.torn {
+                    state.torn_truncations += 1;
+                    let keep = torn.valid_len as u64;
+                    let f = OpenOptions::new().write(true).open(&path)?;
+                    f.set_len(keep)?;
+                    f.sync_data()?;
+                }
             }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
         }
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         Ok((
@@ -281,9 +328,7 @@ impl Outbox {
     pub fn append(&mut self, entry: &JournalEntry) -> io::Result<()> {
         let bytes = beehive_wire::to_vec(entry)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        let mut rec = Vec::with_capacity(4 + bytes.len());
-        rec.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
-        rec.extend_from_slice(&bytes);
+        let rec = beehive_wire::record::record_frame(&bytes);
         self.file.write_all(&rec)?;
         self.appends_since_compact += 1;
         Ok(())
@@ -303,8 +348,7 @@ impl Outbox {
         for entry in snapshot {
             let bytes = beehive_wire::to_vec(entry)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-            buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
-            buf.extend_from_slice(&bytes);
+            encode_record(&bytes, &mut buf);
         }
         {
             let mut f = File::create(&tmp)?;
@@ -321,29 +365,6 @@ impl Outbox {
     pub fn path(&self) -> &Path {
         &self.path
     }
-}
-
-/// Decodes `[u32 len][bytes]` records, stopping at the first truncated or
-/// undecodable record (a crash mid-append leaves at most one).
-fn decode_records(mut bytes: &[u8]) -> Vec<JournalEntry> {
-    let mut out = Vec::new();
-    loop {
-        let mut len_buf = [0u8; 4];
-        if bytes.read_exact(&mut len_buf).is_err() {
-            break;
-        }
-        let len = u32::from_le_bytes(len_buf) as usize;
-        if bytes.len() < len {
-            break;
-        }
-        let (rec, rest) = bytes.split_at(len);
-        match beehive_wire::from_slice::<JournalEntry>(rec) {
-            Ok(entry) => out.push(entry),
-            Err(_) => break,
-        }
-        bytes = rest;
-    }
-    out
 }
 
 #[cfg(test)]
@@ -423,9 +444,81 @@ mod tests {
         // Simulate a crash mid-append: chop the last few bytes off.
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 2]).unwrap();
+        let torn_file_len;
+        {
+            let (_ob, state) = Outbox::open(&path).unwrap();
+            assert_eq!(state.epoch, Some(1));
+            assert!(state.send.is_empty(), "torn record must be discarded");
+            assert_eq!(state.torn_truncations, 1, "torn tail must be counted");
+            torn_file_len = std::fs::metadata(&path).unwrap().len();
+        }
+        // The garbage tail was physically truncated, so the journal ends at
+        // the verified prefix and a second recovery is clean.
+        assert!(torn_file_len < bytes.len() as u64 - 2);
         let (_ob, state) = Outbox::open(&path).unwrap();
         assert_eq!(state.epoch, Some(1));
-        assert!(state.send.is_empty(), "torn record must be discarded");
+        assert_eq!(state.torn_truncations, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn appends_after_torn_tail_survive_the_next_recovery() {
+        let path = tmp_journal("torn-append");
+        {
+            let (mut ob, _) = Outbox::open(&path).unwrap();
+            ob.append(&JournalEntry::Epoch { epoch: 3 }).unwrap();
+            ob.append(&JournalEntry::Send {
+                to: 2,
+                seq: 1,
+                env: vec![9],
+            })
+            .unwrap();
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 1]).unwrap();
+        {
+            // Reopen over the torn tail and append a fresh record: it must
+            // land right after the verified prefix, not after the garbage
+            // (the pre-checksum format appended after the torn bytes, which
+            // silently dropped every later record on the NEXT replay).
+            let (mut ob, state) = Outbox::open(&path).unwrap();
+            assert_eq!(state.torn_truncations, 1);
+            ob.append(&JournalEntry::Send {
+                to: 2,
+                seq: 1,
+                env: vec![7],
+            })
+            .unwrap();
+        }
+        let (_ob, state) = Outbox::open(&path).unwrap();
+        assert_eq!(state.epoch, Some(3));
+        assert_eq!(state.send[&2].unacked[&1], vec![7]);
+        assert_eq!(state.torn_truncations, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn interior_bit_flip_fails_the_open() {
+        let path = tmp_journal("corrupt");
+        {
+            let (mut ob, _) = Outbox::open(&path).unwrap();
+            ob.append(&JournalEntry::Epoch { epoch: 2 }).unwrap();
+            ob.append(&JournalEntry::Send {
+                to: 5,
+                seq: 1,
+                env: vec![1, 2, 3, 4],
+            })
+            .unwrap();
+            ob.append(&JournalEntry::Acked { to: 5, upto: 1 }).unwrap();
+        }
+        // Flip a bit inside the FIRST record: interior corruption, not a
+        // torn tail — recovery must refuse rather than replay a divergent
+        // history.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[13] ^= 0x08;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = Outbox::open(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         let _ = std::fs::remove_file(&path);
     }
 

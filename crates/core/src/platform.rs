@@ -54,6 +54,10 @@ pub fn collector_app(instr: Arc<Mutex<Instrumentation>>) -> App {
                 && delta.dups_suppressed == 0
                 && delta.channel_acks == 0
                 && delta.outbox_depth == 0
+                && delta.snapshot_index == 0
+                && delta.snapshot_lag == 0
+                && delta.snapshot_installs == 0
+                && delta.journal_torn_truncations == 0
             {
                 return Ok(());
             }
@@ -97,6 +101,10 @@ pub fn collector_app(instr: Arc<Mutex<Instrumentation>>) -> App {
                 dups_suppressed: delta.dups_suppressed,
                 channel_acks: delta.channel_acks,
                 outbox_depth: delta.outbox_depth,
+                snapshot_index: delta.snapshot_index,
+                snapshot_lag: delta.snapshot_lag,
+                snapshot_installs: delta.snapshot_installs,
+                journal_torn_truncations: delta.journal_torn_truncations,
             });
             Ok(())
         })

@@ -7,7 +7,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::config::Config;
 use crate::log::RaftLog;
-use crate::storage::{HardState, SnapshotRecord, Storage};
+use crate::storage::{HardState, SnapshotRecord, Storage, StorageError};
 use serde::{Deserialize, Serialize};
 
 use crate::types::{
@@ -129,6 +129,16 @@ pub struct RaftNode<SM: StateMachine> {
     /// Committed membership changes not yet drained by the embedder
     /// ([`RaftNode::take_conf_changes`]).
     conf_changes: Vec<ConfChange>,
+    /// First durable-storage failure. Once set the node is inert (fail-stop):
+    /// its persisted state may trail its in-memory state, so voting,
+    /// campaigning or acking appends could violate election/log safety. The
+    /// embedder polls [`RaftNode::storage_fault`], records the event, and
+    /// halts.
+    fatal: Option<StorageError>,
+    /// Snapshots this node has taken locally (compactions).
+    snapshots_taken: u64,
+    /// Snapshots this node has restored from a leader's `InstallSnapshot`.
+    snapshots_installed: u64,
 }
 
 impl<SM: StateMachine> RaftNode<SM> {
@@ -198,20 +208,30 @@ impl<SM: StateMachine> RaftNode<SM> {
             applied_buf: Vec::new(),
             removed: false,
             conf_changes: Vec::new(),
+            fatal: None,
+            snapshots_taken: 0,
+            snapshots_installed: 0,
         };
-        if let Some(persisted) = node.storage.load() {
-            node.term = persisted.hard_state.term;
-            node.voted_for = persisted.hard_state.voted_for;
-            node.log = RaftLog::from_parts(
-                persisted.snapshot_index,
-                persisted.snapshot_term,
-                persisted.entries,
-            );
-            if let Some(snap) = persisted.snapshot {
-                node.restore_snapshot(&snap.data);
-                node.commit_index = snap.index;
-                node.last_applied = snap.index;
+        match node.storage.load() {
+            Ok(Some(persisted)) => {
+                node.term = persisted.hard_state.term;
+                node.voted_for = persisted.hard_state.voted_for;
+                node.log = RaftLog::from_parts(
+                    persisted.snapshot_index,
+                    persisted.snapshot_term,
+                    persisted.entries,
+                );
+                if let Some(snap) = persisted.snapshot {
+                    node.restore_snapshot(&snap.data);
+                    node.commit_index = snap.index;
+                    node.last_applied = snap.index;
+                }
             }
+            Ok(None) => {}
+            // Untrusted persisted state: the node must not participate with
+            // a forgotten vote or truncated log. It comes up inert and the
+            // embedder decides how loudly to die.
+            Err(e) => node.fatal = Some(e),
         }
         node.reset_election_timer();
         node
@@ -227,9 +247,41 @@ impl<SM: StateMachine> RaftNode<SM> {
         self.role
     }
 
-    /// Whether this node currently believes it is the leader.
+    /// Whether this node currently believes it is the leader. A node with a
+    /// latched storage fault never advertises leadership, even if it held
+    /// (or just won) the role in memory: leadership it cannot persist is
+    /// leadership it must not exercise.
     pub fn is_leader(&self) -> bool {
-        self.role == Role::Leader
+        self.fatal.is_none() && self.role == Role::Leader
+    }
+
+    /// The first durable-storage failure, if any. A faulted node is inert:
+    /// `tick`/`step` emit nothing and proposals are refused, because acting
+    /// on state that may not be persisted can elect two leaders in one term
+    /// or un-ack replicated entries. Fail-stop is the only safe response.
+    pub fn storage_fault(&self) -> Option<&StorageError> {
+        self.fatal.as_ref()
+    }
+
+    /// The index the log has been compacted up to (0 before any snapshot).
+    pub fn snapshot_index(&self) -> LogIndex {
+        self.log.snapshot_index()
+    }
+
+    /// How many entries the local state machine has applied beyond the last
+    /// local snapshot — the log replay a restart would need.
+    pub fn snapshot_lag(&self) -> u64 {
+        self.last_applied.saturating_sub(self.log.snapshot_index())
+    }
+
+    /// Snapshots taken locally (log compactions).
+    pub fn snapshots_taken(&self) -> u64 {
+        self.snapshots_taken
+    }
+
+    /// Snapshots restored from a leader via `InstallSnapshot`.
+    pub fn snapshots_installed(&self) -> u64 {
+        self.snapshots_installed
     }
 
     /// Whether this node is a non-voting learner.
@@ -343,7 +395,7 @@ impl<SM: StateMachine> RaftNode<SM> {
         &mut self,
         cc: &ConfChange,
     ) -> Result<(u64, Vec<Outbound>), ProposeError> {
-        if self.role != Role::Leader {
+        if self.fatal.is_some() || self.role != Role::Leader {
             return Err(ProposeError::NotLeader(self.leader_hint()));
         }
         if self.conf_change_in_flight() {
@@ -357,6 +409,9 @@ impl<SM: StateMachine> RaftNode<SM> {
         self.pending.insert(index, (self.term, token));
         self.persist_log();
         self.advance_commit();
+        if self.fatal.is_some() {
+            return Ok((token, Vec::new()));
+        }
         Ok((token, self.broadcast_appends()))
     }
 
@@ -367,7 +422,7 @@ impl<SM: StateMachine> RaftNode<SM> {
     /// non-leaders. Used by a draining leader to hand off before demoting
     /// itself.
     pub fn transfer_leadership(&mut self, to: NodeId) -> Vec<Outbound> {
-        if self.role != Role::Leader || !self.peers.contains(&to) {
+        if self.fatal.is_some() || self.role != Role::Leader || !self.peers.contains(&to) {
             return Vec::new();
         }
         if self.match_index.get(&to).copied().unwrap_or(0) >= self.log.last_index() {
@@ -383,6 +438,20 @@ impl<SM: StateMachine> RaftNode<SM> {
     /// Advances logical time by one tick, possibly starting an election or
     /// emitting heartbeats.
     pub fn tick(&mut self) -> Vec<Outbound> {
+        if self.fatal.is_some() {
+            return Vec::new();
+        }
+        let out = self.tick_inner();
+        // A persist failure during the tick (e.g. the self-vote of a fresh
+        // election) means the messages describe state that never reached
+        // disk — suppress them and go inert.
+        if self.fatal.is_some() {
+            return Vec::new();
+        }
+        out
+    }
+
+    fn tick_inner(&mut self) -> Vec<Outbound> {
         match self.role {
             Role::Leader => {
                 self.heartbeat_elapsed += 1;
@@ -412,7 +481,7 @@ impl<SM: StateMachine> RaftNode<SM> {
     /// Proposes a command. Returns a token that will come back in
     /// [`Applied::token`] when the entry commits and applies locally.
     pub fn propose(&mut self, data: Vec<u8>) -> Result<u64, ProposeError> {
-        if self.role != Role::Leader {
+        if self.fatal.is_some() || self.role != Role::Leader {
             return Err(ProposeError::NotLeader(self.leader_hint()));
         }
         let index = self.log.append_new(self.term, data, EntryKind::Normal);
@@ -428,11 +497,28 @@ impl<SM: StateMachine> RaftNode<SM> {
     /// to replicate the entry, instead of waiting for the next heartbeat.
     pub fn propose_now(&mut self, data: Vec<u8>) -> Result<(u64, Vec<Outbound>), ProposeError> {
         let token = self.propose(data)?;
+        if self.fatal.is_some() {
+            return Ok((token, Vec::new()));
+        }
         Ok((token, self.broadcast_appends()))
     }
 
     /// Processes an inbound RPC from `from`, returning replies / follow-ups.
     pub fn step(&mut self, from: NodeId, msg: RaftMessage) -> Vec<Outbound> {
+        if self.fatal.is_some() {
+            // Inert: answering RPCs from unpersisted state breaks safety.
+            return Vec::new();
+        }
+        let out = self.step_inner(from, msg);
+        // A persist failure mid-step means the replies (a granted vote, an
+        // append ack) describe unpersisted state — suppress them.
+        if self.fatal.is_some() {
+            return Vec::new();
+        }
+        out
+    }
+
+    fn step_inner(&mut self, from: NodeId, msg: RaftMessage) -> Vec<Outbound> {
         let is_pre_vote = matches!(
             msg,
             RaftMessage::PreVote { .. } | RaftMessage::PreVoteResp { .. }
@@ -1004,11 +1090,18 @@ impl<SM: StateMachine> RaftNode<SM> {
                 .log
                 .term_at(self.last_applied)
                 .unwrap_or(self.log.snapshot_term());
-            self.storage.save_snapshot(&SnapshotRecord {
+            // The snapshot must be durable BEFORE the log is truncated
+            // behind it: if the save fails, keep the log intact (nothing is
+            // lost — a restart replays it) and fail stop.
+            if let Err(e) = self.storage.save_snapshot(&SnapshotRecord {
                 index: self.last_applied,
                 term,
                 data,
-            });
+            }) {
+                self.fatal.get_or_insert(e);
+                return;
+            }
+            self.snapshots_taken += 1;
             self.log.compact(self.last_applied);
             self.persist_log();
         }
@@ -1046,11 +1139,17 @@ impl<SM: StateMachine> RaftNode<SM> {
         self.log.reset_to_snapshot(last_index, last_term);
         self.commit_index = last_index;
         self.last_applied = last_index;
-        self.storage.save_snapshot(&SnapshotRecord {
+        self.snapshots_installed += 1;
+        if let Err(e) = self.storage.save_snapshot(&SnapshotRecord {
             index: last_index,
             term: last_term,
             data,
-        });
+        }) {
+            // The in-memory restore already happened; going inert here is
+            // safe (a restart re-requests the snapshot) but acking is not.
+            self.fatal.get_or_insert(e);
+            return Vec::new();
+        }
         self.persist_log();
         vec![Outbound {
             to: from,
@@ -1083,20 +1182,31 @@ impl<SM: StateMachine> RaftNode<SM> {
     }
 
     // ----- persistence -----
+    //
+    // Failures latch into `fatal` rather than propagating through every
+    // state-transition path: the transition itself has already happened in
+    // memory, and the latch guarantees the node emits nothing and accepts
+    // nothing from that point on, which is indistinguishable (to the rest of
+    // the cluster) from having crashed just before the transition.
 
     fn persist_hard_state(&mut self) {
-        self.storage.save_hard_state(&HardState {
+        let hs = HardState {
             term: self.term,
             voted_for: self.voted_for,
-        });
+        };
+        if let Err(e) = self.storage.save_hard_state(&hs) {
+            self.fatal.get_or_insert(e);
+        }
     }
 
     fn persist_log(&mut self) {
-        self.storage.save_log(
+        if let Err(e) = self.storage.save_log(
             self.log.snapshot_index(),
             self.log.snapshot_term(),
             self.log.entries(),
-        );
+        ) {
+            self.fatal.get_or_insert(e);
+        }
     }
 }
 

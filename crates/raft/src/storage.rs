@@ -3,13 +3,72 @@
 //! [`MemStorage`] is the default for simulations and tests; [`FileStorage`]
 //! persists through `beehive-wire` for single-process durability demos and
 //! restart tests.
+//!
+//! Every `save_*` returns a [`StorageError`] instead of panicking: a raft
+//! node that cannot persist must *fail stop* (an unpersisted vote or entry
+//! that the node later acts on can elect two leaders in one term), but the
+//! decision to halt — and the flight-recorder event that explains why —
+//! belongs to the embedder, not to an `expect()` deep in the write path.
 
+use std::fmt;
 use std::io::{Read, Write};
 use std::path::PathBuf;
 
 use serde::{Deserialize, Serialize};
 
 use crate::types::{Entry, LogIndex, Term};
+
+/// Why a durable operation failed. Fail-stop: after any `save_*` error the
+/// node's persisted state may trail its in-memory state, so the node must
+/// stop participating (see `RaftNode::storage_fault`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The underlying IO failed (disk full, permission, device error).
+    Io {
+        /// Which durable operation was in flight.
+        op: &'static str,
+        /// OS-level detail.
+        detail: String,
+    },
+    /// Persisted bytes exist but fail checksum or structural validation.
+    /// Never auto-healed: restarting from guessed state diverges replicas.
+    Corrupt {
+        /// What failed to validate.
+        detail: String,
+    },
+    /// The in-memory state could not be serialized (a bug, not a disk
+    /// condition — surfaced rather than panicking so it reaches the journal).
+    Encode {
+        /// Serializer error.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io { op, detail } => write!(f, "durable {op} failed: {detail}"),
+            StorageError::Corrupt { detail } => write!(f, "durable state corrupt: {detail}"),
+            StorageError::Encode { detail } => write!(f, "durable state encode failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// When file-backed storage calls `fsync`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` before every rename (the raft correctness requirement: term,
+    /// vote and log entries must hit the platter before the node answers).
+    #[default]
+    Always,
+    /// Skip `fsync`; the rename is still atomic, so a process crash loses at
+    /// most the tail since the last OS writeback and never corrupts the
+    /// file. A power loss can lose acknowledged writes — benches and tests
+    /// only.
+    Never,
+}
 
 /// Term/vote pair that must be fsynced before answering RPCs (Raft Fig. 2).
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -32,16 +91,22 @@ pub struct SnapshotRecord {
 }
 
 /// Persistence interface. Implementations must make `save_*` durable before
-/// returning (MemStorage trivially so).
+/// returning `Ok` (MemStorage trivially so).
 pub trait Storage: Send + 'static {
     /// Persists term and vote.
-    fn save_hard_state(&mut self, hs: &HardState);
+    fn save_hard_state(&mut self, hs: &HardState) -> Result<(), StorageError>;
     /// Persists the entire suffix of the log (called after mutation).
-    fn save_log(&mut self, snapshot_index: LogIndex, snapshot_term: Term, entries: &[Entry]);
+    fn save_log(
+        &mut self,
+        snapshot_index: LogIndex,
+        snapshot_term: Term,
+        entries: &[Entry],
+    ) -> Result<(), StorageError>;
     /// Persists a snapshot blob.
-    fn save_snapshot(&mut self, snap: &SnapshotRecord);
-    /// Loads persisted state, if any.
-    fn load(&mut self) -> Option<PersistedState>;
+    fn save_snapshot(&mut self, snap: &SnapshotRecord) -> Result<(), StorageError>;
+    /// Loads persisted state, if any. `Err` means bytes exist but cannot be
+    /// trusted — the caller must fail stop, not start fresh.
+    fn load(&mut self) -> Result<Option<PersistedState>, StorageError>;
 }
 
 /// Everything a node needs to restart.
@@ -57,6 +122,15 @@ pub struct PersistedState {
     pub entries: Vec<Entry>,
     /// Latest snapshot blob.
     pub snapshot: Option<SnapshotRecord>,
+}
+
+impl PersistedState {
+    fn is_empty(&self) -> bool {
+        self.hard_state == HardState::default()
+            && self.entries.is_empty()
+            && self.snapshot.is_none()
+            && self.snapshot_index == 0
+    }
 }
 
 /// Volatile storage: keeps everything in memory. Restart tests can clone the
@@ -84,28 +158,33 @@ impl MemStorage {
 }
 
 impl Storage for MemStorage {
-    fn save_hard_state(&mut self, hs: &HardState) {
+    fn save_hard_state(&mut self, hs: &HardState) -> Result<(), StorageError> {
         self.state.hard_state = hs.clone();
+        Ok(())
     }
 
-    fn save_log(&mut self, snapshot_index: LogIndex, snapshot_term: Term, entries: &[Entry]) {
+    fn save_log(
+        &mut self,
+        snapshot_index: LogIndex,
+        snapshot_term: Term,
+        entries: &[Entry],
+    ) -> Result<(), StorageError> {
         self.state.snapshot_index = snapshot_index;
         self.state.snapshot_term = snapshot_term;
         self.state.entries = entries.to_vec();
+        Ok(())
     }
 
-    fn save_snapshot(&mut self, snap: &SnapshotRecord) {
+    fn save_snapshot(&mut self, snap: &SnapshotRecord) -> Result<(), StorageError> {
         self.state.snapshot = Some(snap.clone());
+        Ok(())
     }
 
-    fn load(&mut self) -> Option<PersistedState> {
-        if self.state.hard_state == HardState::default()
-            && self.state.entries.is_empty()
-            && self.state.snapshot.is_none()
-        {
-            None
+    fn load(&mut self) -> Result<Option<PersistedState>, StorageError> {
+        if self.state.is_empty() {
+            Ok(None)
         } else {
-            Some(self.state.clone())
+            Ok(Some(self.state.clone()))
         }
     }
 }
@@ -139,44 +218,65 @@ impl SharedMemStorage {
 }
 
 impl Storage for SharedMemStorage {
-    fn save_hard_state(&mut self, hs: &HardState) {
+    fn save_hard_state(&mut self, hs: &HardState) -> Result<(), StorageError> {
         self.state.lock().hard_state = hs.clone();
+        Ok(())
     }
 
-    fn save_log(&mut self, snapshot_index: LogIndex, snapshot_term: Term, entries: &[Entry]) {
+    fn save_log(
+        &mut self,
+        snapshot_index: LogIndex,
+        snapshot_term: Term,
+        entries: &[Entry],
+    ) -> Result<(), StorageError> {
         let mut st = self.state.lock();
         st.snapshot_index = snapshot_index;
         st.snapshot_term = snapshot_term;
         st.entries = entries.to_vec();
+        Ok(())
     }
 
-    fn save_snapshot(&mut self, snap: &SnapshotRecord) {
+    fn save_snapshot(&mut self, snap: &SnapshotRecord) -> Result<(), StorageError> {
         self.state.lock().snapshot = Some(snap.clone());
+        Ok(())
     }
 
-    fn load(&mut self) -> Option<PersistedState> {
+    fn load(&mut self) -> Result<Option<PersistedState>, StorageError> {
         let st = self.state.lock();
-        if st.hard_state == HardState::default() && st.entries.is_empty() && st.snapshot.is_none() {
-            None
+        if st.is_empty() {
+            Ok(None)
         } else {
-            Some(st.clone())
+            Ok(Some(st.clone()))
         }
     }
 }
 
-/// File-backed storage. The whole persisted state is rewritten on each save —
-/// simple and adequate for a control-plane registry whose log is compacted
+/// File-backed storage. The whole persisted state is rewritten on each save
+/// as a single checksummed `beehive-wire` record (tmp + fsync + rename), so
+/// a crash leaves either the old file or the new one — never a blend — and a
+/// flipped bit is caught at reopen instead of replayed into the registry.
+/// Simple and adequate for a control-plane registry whose log is compacted
 /// aggressively; a production deployment would use an append-only segment
 /// format.
 #[derive(Debug)]
 pub struct FileStorage {
     path: PathBuf,
     state: PersistedState,
+    fsync: FsyncPolicy,
 }
 
 impl FileStorage {
-    /// Opens (or creates) storage at `path`.
+    /// Opens (or creates) storage at `path`, fsyncing every save.
     pub fn open(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        Self::open_with(path, FsyncPolicy::Always)
+    }
+
+    /// Opens (or creates) storage at `path` with an explicit fsync policy.
+    ///
+    /// `InvalidData` means the file exists but fails its checksum or does
+    /// not decode — corruption, which callers must treat as fatal rather
+    /// than starting from an empty state on top of a lost vote.
+    pub fn open_with(path: impl Into<PathBuf>, fsync: FsyncPolicy) -> std::io::Result<Self> {
         let path = path.into();
         let state = match std::fs::File::open(&path) {
             Ok(mut f) => {
@@ -185,53 +285,92 @@ impl FileStorage {
                 if buf.is_empty() {
                     PersistedState::default()
                 } else {
-                    beehive_wire::from_slice(&buf).map_err(|e| {
-                        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
-                    })?
+                    Self::decode(&buf)
+                        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => PersistedState::default(),
             Err(e) => return Err(e),
         };
-        Ok(FileStorage { path, state })
+        Ok(FileStorage { path, state, fsync })
     }
 
-    fn flush(&self) {
-        let buf = beehive_wire::to_vec(&self.state).expect("serialize persisted state");
+    /// Decodes a storage file: one checksummed record holding the wire-coded
+    /// `PersistedState`. The file is written atomically as a whole, so there
+    /// is no torn-tail case to tolerate here — anything short of a single
+    /// clean record is corruption. (No fallback to the pre-checksum bare
+    /// format: garbage can decode as "valid" wire bytes, which is exactly
+    /// the silent divergence the checksum exists to stop.)
+    fn decode(buf: &[u8]) -> Result<PersistedState, String> {
+        match beehive_wire::record::scan_records(buf) {
+            Ok(scan) if scan.torn.is_none() && scan.payloads.len() == 1 => {
+                beehive_wire::from_slice(&scan.payloads[0])
+                    .map_err(|e| format!("checksummed state does not decode: {e}"))
+            }
+            Ok(scan) => match scan.torn {
+                Some(t) => Err(format!(
+                    "state file is not one whole record ({} after {} valid bytes)",
+                    t.reason, t.valid_len
+                )),
+                None => Err(format!(
+                    "state file holds {} records, expected exactly 1",
+                    scan.payloads.len()
+                )),
+            },
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    fn flush(&self) -> Result<(), StorageError> {
+        let body = beehive_wire::to_vec(&self.state).map_err(|e| StorageError::Encode {
+            detail: e.to_string(),
+        })?;
+        let buf = beehive_wire::record::record_frame(&body);
+        let io_err = |op: &'static str| {
+            move |e: std::io::Error| StorageError::Io {
+                op,
+                detail: e.to_string(),
+            }
+        };
         let tmp = self.path.with_extension("tmp");
-        let mut f = std::fs::File::create(&tmp).expect("create raft storage tmp");
-        f.write_all(&buf).expect("write raft storage");
-        f.sync_all().expect("sync raft storage");
-        std::fs::rename(&tmp, &self.path).expect("atomically replace raft storage");
+        let mut f = std::fs::File::create(&tmp).map_err(io_err("create raft storage tmp"))?;
+        f.write_all(&buf).map_err(io_err("write raft storage"))?;
+        if self.fsync == FsyncPolicy::Always {
+            f.sync_all().map_err(io_err("sync raft storage"))?;
+        }
+        drop(f);
+        std::fs::rename(&tmp, &self.path).map_err(io_err("replace raft storage"))
     }
 }
 
 impl Storage for FileStorage {
-    fn save_hard_state(&mut self, hs: &HardState) {
+    fn save_hard_state(&mut self, hs: &HardState) -> Result<(), StorageError> {
         self.state.hard_state = hs.clone();
-        self.flush();
+        self.flush()
     }
 
-    fn save_log(&mut self, snapshot_index: LogIndex, snapshot_term: Term, entries: &[Entry]) {
+    fn save_log(
+        &mut self,
+        snapshot_index: LogIndex,
+        snapshot_term: Term,
+        entries: &[Entry],
+    ) -> Result<(), StorageError> {
         self.state.snapshot_index = snapshot_index;
         self.state.snapshot_term = snapshot_term;
         self.state.entries = entries.to_vec();
-        self.flush();
+        self.flush()
     }
 
-    fn save_snapshot(&mut self, snap: &SnapshotRecord) {
+    fn save_snapshot(&mut self, snap: &SnapshotRecord) -> Result<(), StorageError> {
         self.state.snapshot = Some(snap.clone());
-        self.flush();
+        self.flush()
     }
 
-    fn load(&mut self) -> Option<PersistedState> {
-        if self.state.hard_state == HardState::default()
-            && self.state.entries.is_empty()
-            && self.state.snapshot.is_none()
-        {
-            None
+    fn load(&mut self) -> Result<Option<PersistedState>, StorageError> {
+        if self.state.is_empty() {
+            Ok(None)
         } else {
-            Some(self.state.clone())
+            Ok(Some(self.state.clone()))
         }
     }
 }
@@ -258,48 +397,103 @@ mod tests {
         ]
     }
 
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bh-raft-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
     #[test]
     fn mem_storage_roundtrip() {
         let mut s = MemStorage::new();
-        assert!(s.load().is_none());
+        assert!(s.load().unwrap().is_none());
         s.save_hard_state(&HardState {
             term: 3,
             voted_for: Some(2),
-        });
-        s.save_log(0, 0, &sample_entries());
-        let loaded = s.load().unwrap();
+        })
+        .unwrap();
+        s.save_log(0, 0, &sample_entries()).unwrap();
+        let loaded = s.load().unwrap().unwrap();
         assert_eq!(loaded.hard_state.term, 3);
         assert_eq!(loaded.entries.len(), 2);
     }
 
     #[test]
     fn file_storage_survives_reopen() {
-        let dir = std::env::temp_dir().join(format!("bh-raft-test-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("node1.raft");
-        let _ = std::fs::remove_file(&path);
-
+        let path = temp_path("node1.raft");
         {
             let mut s = FileStorage::open(&path).unwrap();
-            assert!(s.load().is_none());
+            assert!(s.load().unwrap().is_none());
             s.save_hard_state(&HardState {
                 term: 7,
                 voted_for: None,
-            });
-            s.save_log(1, 1, &sample_entries());
+            })
+            .unwrap();
+            s.save_log(1, 1, &sample_entries()).unwrap();
             s.save_snapshot(&SnapshotRecord {
                 index: 1,
                 term: 1,
                 data: vec![42],
-            });
+            })
+            .unwrap();
         }
         {
             let mut s = FileStorage::open(&path).unwrap();
-            let loaded = s.load().unwrap();
+            let loaded = s.load().unwrap().unwrap();
             assert_eq!(loaded.hard_state.term, 7);
             assert_eq!(loaded.snapshot_index, 1);
             assert_eq!(loaded.snapshot.unwrap().data, vec![42]);
         }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_storage_rejects_flipped_bit() {
+        let path = temp_path("node2.raft");
+        {
+            let mut s = FileStorage::open(&path).unwrap();
+            s.save_hard_state(&HardState {
+                term: 9,
+                voted_for: Some(1),
+            })
+            .unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = FileStorage::open(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_storage_rejects_truncated_state() {
+        let path = temp_path("node3.raft");
+        {
+            let mut s = FileStorage::open(&path).unwrap();
+            s.save_log(1, 1, &sample_entries()).unwrap();
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        // A half-written state file can only come from a non-atomic writer
+        // (or a mangled rename) — reject it rather than booting empty.
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let err = FileStorage::open(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fsync_never_still_roundtrips() {
+        let path = temp_path("node4.raft");
+        {
+            let mut s = FileStorage::open_with(&path, FsyncPolicy::Never).unwrap();
+            s.save_log(2, 1, &sample_entries()).unwrap();
+        }
+        let mut s = FileStorage::open_with(&path, FsyncPolicy::Never).unwrap();
+        assert_eq!(s.load().unwrap().unwrap().snapshot_index, 2);
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,0 +1,306 @@
+//! Snapshot shipping end to end: once the log is compacted past genesis,
+//! the only way a fresh learner or a lagging restarted voter can catch up is
+//! `InstallSnapshot` — AppendEntries cannot reach below the compaction
+//! horizon. These tests prove catch-up is O(state), not O(history), and that
+//! a snapshot-restored state machine is byte-equivalent to full log replay.
+
+use beehive_raft::{
+    ConfChange, ConfChangeKind, Config, KvCounter, RaftMessage, RaftNode, SharedMemStorage,
+};
+
+/// Compact aggressively so a handful of proposals moves the horizon.
+const SNAPSHOT_THRESHOLD: u64 = 4;
+
+fn config(id: u64) -> Config {
+    Config {
+        rng_seed: id,
+        snapshot_threshold: SNAPSHOT_THRESHOLD,
+        ..Config::default()
+    }
+}
+
+/// Hand-delivers messages between nodes, keyed by node id (nodes can be
+/// added mid-test, unlike a dense index).
+struct Net {
+    nodes: Vec<(u64, RaftNode<KvCounter>)>,
+    queue: Vec<(u64, u64, RaftMessage)>,
+    storages: Vec<(u64, SharedMemStorage)>,
+}
+
+impl Net {
+    fn new(voters: &[u64]) -> Self {
+        let mut net = Net {
+            nodes: Vec::new(),
+            queue: Vec::new(),
+            storages: Vec::new(),
+        };
+        for &id in voters {
+            let peers: Vec<u64> = voters.iter().copied().filter(|&p| p != id).collect();
+            let storage = SharedMemStorage::new();
+            net.storages.push((id, storage.handle()));
+            net.nodes.push((
+                id,
+                RaftNode::new(
+                    id,
+                    peers,
+                    config(id),
+                    KvCounter::default(),
+                    Box::new(storage),
+                ),
+            ));
+        }
+        net
+    }
+
+    fn node(&self, id: u64) -> &RaftNode<KvCounter> {
+        &self.nodes.iter().find(|(n, _)| *n == id).unwrap().1
+    }
+
+    fn node_mut(&mut self, id: u64) -> &mut RaftNode<KvCounter> {
+        &mut self.nodes.iter_mut().find(|(n, _)| *n == id).unwrap().1
+    }
+
+    fn storage(&self, id: u64) -> SharedMemStorage {
+        self.storages
+            .iter()
+            .find(|(n, _)| *n == id)
+            .unwrap()
+            .1
+            .handle()
+    }
+
+    fn ids(&self) -> Vec<u64> {
+        self.nodes.iter().map(|(id, _)| *id).collect()
+    }
+
+    fn tick_all(&mut self) {
+        for id in self.ids() {
+            let out = self.node_mut(id).tick();
+            for o in out {
+                self.queue.push((id, o.to, o.msg));
+            }
+        }
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        while let Some((from, to, msg)) = self.queue.pop() {
+            if !self.nodes.iter().any(|(id, _)| *id == to) {
+                continue; // crashed or not-yet-joined node
+            }
+            let out = self.node_mut(to).step(from, msg);
+            for o in out {
+                self.queue.push((to, o.to, o.msg));
+            }
+        }
+    }
+
+    fn run_until_leader(&mut self) -> u64 {
+        for _ in 0..500 {
+            self.tick_all();
+            if let Some(l) = self.ids().into_iter().find(|&id| self.node(id).is_leader()) {
+                return l;
+            }
+        }
+        panic!("no leader");
+    }
+
+    fn propose(&mut self, leader: u64, data: Vec<u8>) {
+        let (_, out) = self.node_mut(leader).propose_now(data).unwrap();
+        for o in out {
+            self.queue.push((leader, o.to, o.msg));
+        }
+        self.drain();
+    }
+
+    fn propose_conf(&mut self, leader: u64, cc: ConfChange) {
+        let (_, out) = self.node_mut(leader).propose_conf_change(&cc).unwrap();
+        for o in out {
+            self.queue.push((leader, o.to, o.msg));
+        }
+        self.drain();
+    }
+
+    /// Removes the node from the net (it stops ticking; queued messages to
+    /// it are dropped). Its durable state lives on in `self.storages`.
+    fn crash(&mut self, id: u64) {
+        self.nodes.retain(|(n, _)| *n != id);
+    }
+}
+
+/// Drives enough proposals through the leader to compact every voter's log
+/// past genesis, and returns the expected state-machine total.
+fn compact_past_genesis(net: &mut Net, leader: u64) -> u64 {
+    let mut total = 0u64;
+    for i in 0..(3 * SNAPSHOT_THRESHOLD) {
+        let b = (i % 251 + 1) as u8;
+        total += b as u64;
+        net.propose(leader, vec![b]);
+    }
+    for _ in 0..10 {
+        net.tick_all();
+    }
+    for id in net.ids() {
+        assert!(
+            net.node(id).snapshot_index() > 0,
+            "node {id} never compacted"
+        );
+        assert!(net.node(id).snapshots_taken() > 0);
+    }
+    total
+}
+
+#[test]
+fn learner_joining_after_compaction_catches_up_via_snapshot_alone() {
+    let voters = vec![1u64, 2, 3];
+    let mut net = Net::new(&voters);
+    let leader = net.run_until_leader();
+    let total = compact_past_genesis(&mut net, leader);
+    let horizon = net.node(leader).snapshot_index();
+    assert!(horizon > 0, "leader log must be compacted past genesis");
+
+    // Join node 4 as a learner with a completely empty log.
+    net.propose_conf(
+        leader,
+        ConfChange {
+            node: 4,
+            addr: String::new(),
+            kind: ConfChangeKind::AddLearner,
+        },
+    );
+    let storage = SharedMemStorage::new();
+    net.storages.push((4, storage.handle()));
+    net.nodes.push((
+        4,
+        RaftNode::new_learner(
+            4,
+            voters.clone(),
+            config(4),
+            KvCounter::default(),
+            Box::new(storage),
+        ),
+    ));
+    for _ in 0..50 {
+        net.tick_all();
+    }
+
+    let learner = net.node(4);
+    assert_eq!(
+        learner.state_machine().total,
+        total,
+        "learner did not reach the replicated state"
+    );
+    assert!(
+        learner.snapshots_installed() >= 1,
+        "learner must have been shipped a snapshot"
+    );
+    // The learner's log starts at (or beyond) the leader's compaction
+    // horizon: it never saw the compacted prefix, so the snapshot was the
+    // only possible source of the early state.
+    assert!(
+        learner.snapshot_index() >= horizon,
+        "learner log begins at {} but the leader compacted to {horizon}",
+        learner.snapshot_index()
+    );
+    assert_eq!(
+        learner.state_machine().applied,
+        net.node(leader).state_machine().applied,
+        "snapshot-restored apply count diverges from full-replay replicas"
+    );
+}
+
+#[test]
+fn restarted_voter_behind_compaction_horizon_catches_up_via_snapshot() {
+    let voters = vec![1u64, 2, 3];
+    let mut net = Net::new(&voters);
+    let leader = net.run_until_leader();
+    net.propose(leader, vec![10]);
+
+    // Crash a follower, then push the surviving quorum far past the
+    // compaction horizon so AppendEntries can no longer reach it.
+    let down = voters.iter().copied().find(|&v| v != leader).unwrap();
+    net.crash(down);
+    let mut expected = net.node(leader).state_machine().total;
+    for i in 0..(3 * SNAPSHOT_THRESHOLD) {
+        let b = (i % 97 + 1) as u8;
+        expected += b as u64;
+        net.propose(leader, vec![b]);
+    }
+    for _ in 0..10 {
+        net.tick_all();
+    }
+    assert!(net.node(leader).snapshot_index() > 0);
+
+    // Restart the crashed voter from its own durable state (which predates
+    // the compaction) — the leader must ship it a snapshot.
+    let peers: Vec<u64> = voters.iter().copied().filter(|&p| p != down).collect();
+    let restored = RaftNode::new(
+        down,
+        peers,
+        config(down),
+        KvCounter::default(),
+        Box::new(net.storage(down)),
+    );
+    let installed_before = restored.snapshots_installed();
+    net.nodes.push((down, restored));
+    for _ in 0..50 {
+        net.tick_all();
+    }
+
+    assert_eq!(
+        net.node(down).state_machine().total,
+        expected,
+        "restarted voter did not converge"
+    );
+    assert!(
+        net.node(down).snapshots_installed() > installed_before,
+        "restarted voter should have caught up via InstallSnapshot"
+    );
+    // All three replicas agree — snapshot-restored and full-replay alike.
+    for id in net.ids() {
+        assert_eq!(net.node(id).state_machine().total, expected);
+    }
+}
+
+#[test]
+fn snapshot_restored_node_equals_full_replay_node() {
+    // Node A applies every entry from the log; node B is restored from a
+    // snapshot. Their state machines (and apply counters, which ride the
+    // snapshot) must be identical — the invariant the chaos harness checks
+    // with registry digests.
+    let voters = vec![1u64, 2, 3];
+    let mut net = Net::new(&voters);
+    let leader = net.run_until_leader();
+    let total = compact_past_genesis(&mut net, leader);
+
+    net.propose_conf(
+        leader,
+        ConfChange {
+            node: 4,
+            addr: String::new(),
+            kind: ConfChangeKind::AddLearner,
+        },
+    );
+    let storage = SharedMemStorage::new();
+    net.storages.push((4, storage.handle()));
+    net.nodes.push((
+        4,
+        RaftNode::new_learner(
+            4,
+            voters.clone(),
+            config(4),
+            KvCounter::default(),
+            Box::new(storage),
+        ),
+    ));
+    for _ in 0..50 {
+        net.tick_all();
+    }
+
+    let replayed = net.node(leader).state_machine();
+    let restored = net.node(4).state_machine();
+    assert_eq!(restored.total, replayed.total);
+    assert_eq!(restored.applied, replayed.applied);
+    assert_eq!(restored.total, total);
+    assert!(net.node(4).snapshots_installed() >= 1);
+}

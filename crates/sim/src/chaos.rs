@@ -5,8 +5,9 @@
 //! One `u64` seed derives everything: the fault timeline
 //! ([`FaultSchedule::generate`]) — partitions and heals, drop / duplicate /
 //! reorder / delay windows on the fabric, hive crashes and restarts through
-//! the durable-registry path, injected handler faults, forced migrations —
-//! and the interleaved workload. Every run folds its per-tick audits into a
+//! the durable-registry path, disk-fault restart storms that tear the
+//! outbox journal's tail before every revival, injected handler faults,
+//! forced migrations — and the interleaved workload. Every run folds its per-tick audits into a
 //! [`Digest`]; two runs of the same seed must produce byte-identical
 //! digests, which is both the determinism proof and the property CI's
 //! `chaos-smoke` job asserts.
@@ -104,6 +105,16 @@ pub enum FaultKind {
         /// The hive to kill.
         hive: u32,
     },
+    /// A restart storm with a sick disk: bounce the hive down and up on
+    /// alternating ticks of the window, and before every restart append a
+    /// half-written record to its durable outbox journal — exactly the torn
+    /// tail a crash mid-append leaves behind. Every revival must truncate
+    /// the torn tail, replay the journal, and rejoin the registry via the
+    /// snapshot/restore path without diverging from its peers.
+    DiskFault {
+        /// The hive whose disk misbehaves.
+        hive: u32,
+    },
     /// Arm an injected handler fault on every live hive: the next `times`
     /// workload deliveries fail as if the handler returned `Err`.
     HandlerFault {
@@ -134,6 +145,7 @@ impl std::fmt::Display for FaultKind {
             FaultKind::Reorder { permille } => write!(f, "reorder({permille}‰)"),
             FaultKind::Delay { ms } => write!(f, "delay({ms}ms)"),
             FaultKind::Crash { hive } => write!(f, "crash(hive {hive})"),
+            FaultKind::DiskFault { hive } => write!(f, "disk-fault(hive {hive})"),
             FaultKind::HandlerFault { times } => write!(f, "handler-fault(×{times})"),
             FaultKind::ForceMigration => write!(f, "force-migration"),
             FaultKind::MembershipChurn => write!(f, "membership-churn"),
@@ -196,7 +208,7 @@ impl FaultSchedule {
             // Candidate kinds, gated by the config. The draw happens
             // unconditionally so schedules with different gates still share
             // the RNG stream prefix.
-            let kind = match rng.gen_range(0..9u32) {
+            let kind = match rng.gen_range(0..10u32) {
                 0 if cfg.wire_faults => FaultKind::Drop {
                     permille: rng.gen_range(50..=300),
                 },
@@ -234,6 +246,22 @@ impl FaultSchedule {
                 }
                 6 if cfg.migrations => FaultKind::ForceMigration,
                 7 if cfg.membership && cfg.hives >= 2 => FaultKind::MembershipChurn,
+                8 if cfg.disk_faults => {
+                    // Disk faults bounce a hive repeatedly; like crashes, at
+                    // most one hive may be down at a time or the registry
+                    // loses quorum for the whole window.
+                    let end = at + for_ticks;
+                    let overlaps = crash_busy.iter().any(|&(s, e)| at < e && s < end);
+                    let hive = rng.gen_range(1..=cfg.hives as u32);
+                    if overlaps {
+                        FaultKind::HandlerFault {
+                            times: rng.gen_range(1..=3),
+                        }
+                    } else {
+                        crash_busy.push((at, end));
+                        FaultKind::DiskFault { hive }
+                    }
+                }
                 _ => FaultKind::HandlerFault {
                     times: rng.gen_range(1..=3),
                 },
@@ -270,9 +298,12 @@ impl FaultSchedule {
     /// get extra final assertions: everything drains, nothing stays queued
     /// or in transit.
     pub fn is_lossless(&self) -> bool {
-        self.windows
-            .iter()
-            .all(|w| !matches!(w.kind, FaultKind::Crash { .. } | FaultKind::OwnershipBug))
+        self.windows.iter().all(|w| {
+            !matches!(
+                w.kind,
+                FaultKind::Crash { .. } | FaultKind::DiskFault { .. } | FaultKind::OwnershipBug
+            )
+        })
     }
 }
 
@@ -304,6 +335,8 @@ pub struct ChaosConfig {
     pub wire_faults: bool,
     /// Allow hive crash + restart windows.
     pub crashes: bool,
+    /// Allow disk-fault windows (restart storms with torn outbox tails).
+    pub disk_faults: bool,
     /// Allow forced migrations.
     pub migrations: bool,
     /// Allow elastic-membership churn (live hive join + drain windows).
@@ -330,6 +363,7 @@ impl Default for ChaosConfig {
             max_windows: 8,
             wire_faults: true,
             crashes: true,
+            disk_faults: true,
             migrations: true,
             membership: true,
             inject_ownership_bug: false,
@@ -366,6 +400,13 @@ pub struct RunReport {
     pub retransmits: u64,
     /// Duplicate channel frames suppressed by live hives' receiver dedup.
     pub dups_suppressed: u64,
+    /// Torn outbox-journal tails truncated across every durable restart —
+    /// nonzero proves the disk-fault windows actually bit.
+    pub torn_truncations: u64,
+    /// Registry snapshots installed from peers across the run (summed over
+    /// every hive incarnation) — nonzero proves catch-up went through the
+    /// snapshot-shipping path rather than full log replay.
+    pub snapshot_installs: u64,
     /// Workload messages still queued at the end.
     pub queued: u64,
     /// App frames still on the fabric at the end.
@@ -381,9 +422,30 @@ fn unique_storage_dir() -> std::path::PathBuf {
     std::env::temp_dir().join(format!("beehive-chaos-{}-{n}", std::process::id()))
 }
 
+/// Appends a half-written record to a hive's durable outbox journal: a
+/// header promising more payload bytes than follow, which is exactly what a
+/// crash between `write` and `fsync` leaves behind. The next boot must
+/// truncate it (torn tail) and replay the intact prefix. The bytes are fixed
+/// so mutilation never perturbs run determinism. (Interior bit flips are
+/// deliberately NOT injected into randomized schedules: they are fail-stop
+/// by contract — a hive that detects one halts — and are covered by the
+/// dedicated codec and storage tests instead.)
+fn tear_outbox_tail(dir: &std::path::Path, id: HiveId) {
+    use std::io::Write;
+    let path = dir.join(format!("hive-{}.outbox", id.0));
+    let Ok(mut f) = std::fs::OpenOptions::new().append(true).open(&path) else {
+        return; // no journal yet — nothing to tear
+    };
+    let mut torn = Vec::new();
+    torn.extend_from_slice(&64u32.to_le_bytes()); // length: 64 bytes promised...
+    torn.extend_from_slice(&0xDEAD_BEEF_DEAD_BEEFu64.to_le_bytes());
+    torn.extend_from_slice(&[0xAB; 5]); // ...5 delivered
+    let _ = f.write_all(&torn);
+}
+
 /// Runs one chaos schedule to completion and reports what happened.
 pub fn run(schedule: &FaultSchedule, cfg: &ChaosConfig) -> RunReport {
-    let storage = cfg.crashes.then(unique_storage_dir);
+    let storage = (cfg.crashes || cfg.disk_faults).then(unique_storage_dir);
     let ccfg = ClusterConfig {
         hives: cfg.hives,
         voters: cfg.voters,
@@ -420,8 +482,15 @@ pub fn run(schedule: &FaultSchedule, cfg: &ChaosConfig) -> RunReport {
     // tries to "restart" a slot that left the cluster for good.
     let mut churn: Option<(HiveId, u64)> = None;
     let mut departed: std::collections::BTreeSet<HiveId> = std::collections::BTreeSet::new();
+    // Hives whose next restart must find a torn outbox tail on disk.
+    let mut torn_pending: std::collections::BTreeSet<HiveId> = std::collections::BTreeSet::new();
     let mut digest = Digest::new();
     let mut violations: Vec<Violation> = Vec::new();
+    let mut torn_truncations = 0u64;
+    // Per-hive watermark of the install counter (which resets with each
+    // incarnation), so the run total sums increments across restarts.
+    let mut installs_seen: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut snapshot_installs = 0u64;
     let total_ticks = schedule.ticks + cfg.quiet_ticks;
     let mut last_audit = None;
 
@@ -439,22 +508,39 @@ pub fn run(schedule: &FaultSchedule, cfg: &ChaosConfig) -> RunReport {
 
         // Crash / restart: reconcile each hive against the active windows
         // (quiet phase restarts everything), in deterministic id order.
+        // Crash windows keep the hive down for the whole window; disk-fault
+        // windows bounce it on alternating ticks (a restart storm), tearing
+        // its outbox journal's tail before every revival.
         for id in cluster.ids() {
             if departed.contains(&id) {
                 continue; // drained out of the cluster, never restarted
             }
-            let should_be_down = active
+            let crash_down = active
                 .iter()
                 .any(|w| matches!(w.kind, FaultKind::Crash { hive } if hive == id.0));
-            if should_be_down && cluster.is_up(id) {
+            let disk_down = active.iter().any(|w| {
+                matches!(w.kind, FaultKind::DiskFault { hive }
+                    if hive == id.0 && (t - w.at) % 2 == 0)
+            });
+            if (crash_down || disk_down) && cluster.is_up(id) {
                 // The cleared fabric frames are not folded in: their senders'
                 // reliable channels retransmit them after the restart.
                 let (dead, _cleared) = cluster.crash(id);
                 ledger.absorb(&dead, "ChaosOp");
-            } else if !should_be_down && !cluster.is_up(id) {
+                if disk_down {
+                    torn_pending.insert(id);
+                }
+            } else if !(crash_down || disk_down) && !cluster.is_up(id) {
+                if torn_pending.remove(&id) {
+                    if let Some(dir) = &storage {
+                        tear_outbox_tail(dir, id);
+                    }
+                }
                 cluster.restart(id);
-                // The revived hive replayed its outbox journal; its restored
-                // channel accounting comes back out of the ledger.
+                // The revived hive replayed its outbox journal (truncating
+                // any torn tail); its restored channel accounting comes back
+                // out of the ledger.
+                torn_truncations += cluster.hive(id).journal_torn_truncations();
                 ledger.restore(cluster.hive(id));
             }
         }
@@ -600,6 +686,14 @@ pub fn run(schedule: &FaultSchedule, cfg: &ChaosConfig) -> RunReport {
         // Audit the whole cluster and fold it into the digest.
         let audit = gather(&cluster, CHAOS_APP, "ChaosOp", t, emits, &ledger);
         audit.fold_into(&mut digest);
+        // Sum install-counter increments per hive; the counter restarts at
+        // zero with each incarnation, so decreases are new baselines.
+        for h in &audit.live {
+            let prev = installs_seen
+                .insert(h.id.0, h.snapshot_installs)
+                .unwrap_or(0);
+            snapshot_installs += h.snapshot_installs.saturating_sub(prev);
+        }
         let v = check_all(&audit, "left", "right");
         let stop = !v.is_empty() && cfg.stop_on_violation;
         violations.extend(v);
@@ -654,6 +748,8 @@ pub fn run(schedule: &FaultSchedule, cfg: &ChaosConfig) -> RunReport {
             + ledger.nobee,
         retransmits: audit.live.iter().map(|h| h.retransmits).sum(),
         dups_suppressed: audit.live.iter().map(|h| h.dups_suppressed).sum(),
+        torn_truncations,
+        snapshot_installs,
         queued,
         in_flight_app: audit.in_flight_app,
         final_left,
@@ -757,6 +853,7 @@ mod tests {
         let cfg = ChaosConfig {
             wire_faults: false,
             crashes: false,
+            disk_faults: false,
             migrations: false,
             membership: false,
             ..Default::default()
@@ -829,13 +926,20 @@ mod tests {
 
     #[test]
     fn crash_windows_never_overlap() {
+        // Crash AND disk-fault windows share the busy list: two hives down
+        // at once would cost the 3-voter registry its quorum.
         let cfg = ChaosConfig::default();
         for seed in 0..32 {
             let s = FaultSchedule::generate(seed, &cfg);
             let crashes: Vec<(u64, u64)> = s
                 .windows
                 .iter()
-                .filter(|w| matches!(w.kind, FaultKind::Crash { .. }))
+                .filter(|w| {
+                    matches!(
+                        w.kind,
+                        FaultKind::Crash { .. } | FaultKind::DiskFault { .. }
+                    )
+                })
                 .map(|w| (w.at, w.at + w.for_ticks))
                 .collect();
             for (i, &(s1, e1)) in crashes.iter().enumerate() {
@@ -844,5 +948,42 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn disk_fault_gate_controls_disk_windows_and_losslessness() {
+        let on = ChaosConfig::default();
+        assert!(
+            (0..64).any(|seed| {
+                FaultSchedule::generate(seed, &on)
+                    .windows
+                    .iter()
+                    .any(|w| matches!(w.kind, FaultKind::DiskFault { .. }))
+            }),
+            "no disk-fault window across 64 seeds with the gate on"
+        );
+        let off = ChaosConfig {
+            disk_faults: false,
+            ..Default::default()
+        };
+        for seed in 0..64 {
+            assert!(FaultSchedule::generate(seed, &off)
+                .windows
+                .iter()
+                .all(|w| !matches!(w.kind, FaultKind::DiskFault { .. })));
+        }
+        let storm = FaultSchedule {
+            seed: 0,
+            ticks: 20,
+            windows: vec![FaultWindow {
+                at: 3,
+                for_ticks: 6,
+                kind: FaultKind::DiskFault { hive: 2 },
+            }],
+        };
+        assert!(
+            !storm.is_lossless(),
+            "a restart storm may legitimately lose in-memory messages"
+        );
     }
 }

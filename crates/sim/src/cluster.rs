@@ -122,7 +122,7 @@ fn build_hive(
         // A lone restarted voter can only restore its registry mirror from
         // a snapshot (the commit index is volatile), so snapshot every
         // committed event.
-        hive_cfg.raft.snapshot_threshold = 1;
+        hive_cfg.snapshot_interval = 1;
     }
     Hive::new(
         hive_cfg,

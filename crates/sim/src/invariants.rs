@@ -134,6 +134,17 @@ pub struct HiveAudit {
     pub applied_seq: u64,
     /// FNV-1a digest of the serialized registry mirror.
     pub registry_digest: u64,
+    /// Index the registry raft log has been compacted through. Recovery
+    /// mechanism, not state — report-only (excluded from the digest fold,
+    /// like `malformed_events`), but the snapshots checker bounds it by the
+    /// applied fence.
+    pub snapshot_index: u64,
+    /// Registry snapshots installed from peers in this hive incarnation.
+    /// Nonzero means this hive's registry mirror was (at least partly)
+    /// snapshot-restored rather than log-replayed — and its
+    /// `registry_digest` must still agree with every full-replay peer at the
+    /// same `applied_seq`, which `check_registry_agreement` enforces.
+    pub snapshot_installs: u64,
     /// Handler invocations that committed.
     pub handled: u64,
     /// Messages dead-lettered.
@@ -216,6 +227,8 @@ pub fn gather(
             id: hive.id(),
             applied_seq: hive.applied_seq(),
             registry_digest: hive.registry_digest(),
+            snapshot_index: hive.registry_snapshot_index(),
+            snapshot_installs: hive.registry_snapshot_installs(),
             handled: c.handled_ok,
             dead: c.dead_letters,
             orphans: c.dropped_orphans,
@@ -443,7 +456,31 @@ pub fn check_events(audit: &ClusterAudit) -> Vec<Violation> {
         .collect()
 }
 
-/// Runs all six checkers over one audit.
+/// Snapshot/compaction sanity: the compaction horizon must never pass the
+/// applied fence — a log truncated beyond what the state machine has applied
+/// would leave a gap no replay can cross. Together with
+/// [`check_registry_agreement`] (digests must match at equal `applied_seq`)
+/// this is the snapshot-vs-replay equivalence invariant: a hive whose
+/// mirror was restored from a shipped snapshot (`snapshot_installs > 0`)
+/// participates in the same digest comparison as its full-replay peers, so
+/// any divergence introduced by the snapshot path is caught the same tick.
+pub fn check_snapshots(audit: &ClusterAudit) -> Vec<Violation> {
+    audit
+        .live
+        .iter()
+        .filter(|h| h.snapshot_index > h.applied_seq)
+        .map(|h| Violation {
+            checker: "snapshots",
+            tick: audit.tick,
+            detail: format!(
+                "hive {}: compaction horizon {} is past the applied fence {}",
+                h.id, h.snapshot_index, h.applied_seq
+            ),
+        })
+        .collect()
+}
+
+/// Runs all seven checkers over one audit.
 pub fn check_all(audit: &ClusterAudit, left: &str, right: &str) -> Vec<Violation> {
     let mut out = check_ownership(audit);
     out.extend(check_registry_agreement(audit));
@@ -451,6 +488,7 @@ pub fn check_all(audit: &ClusterAudit, left: &str, right: &str) -> Vec<Violation
     out.extend(check_atomicity(audit, left, right));
     out.extend(check_traces(audit));
     out.extend(check_events(audit));
+    out.extend(check_snapshots(audit));
     out
 }
 
@@ -593,6 +631,8 @@ mod tests {
             id: HiveId(id),
             applied_seq: 0,
             registry_digest: 0,
+            snapshot_index: 0,
+            snapshot_installs: 0,
             handled: 0,
             dead: 0,
             orphans: 0,
@@ -741,6 +781,43 @@ mod tests {
         assert_eq!(v[0].checker, "events");
         assert_eq!(v[0].tick, 9);
         assert!(v[0].detail.contains("hive 4"));
+    }
+
+    #[test]
+    fn snapshots_checker_bounds_horizon_by_applied_fence() {
+        let mut audit = empty_audit(5);
+        let mut ok = hive_audit(1);
+        ok.applied_seq = 10;
+        ok.snapshot_index = 10; // compacted right up to the fence: legal
+        ok.snapshot_installs = 2;
+        audit.live = vec![ok];
+        assert!(check_snapshots(&audit).is_empty());
+
+        let mut bad = hive_audit(2);
+        bad.applied_seq = 4;
+        bad.snapshot_index = 7; // truncated past what was applied: a gap
+        audit.live.push(bad);
+        let v = check_snapshots(&audit);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].checker, "snapshots");
+        assert_eq!(v[0].tick, 5);
+        assert!(v[0].detail.contains("hive 2"));
+    }
+
+    #[test]
+    fn snapshot_counters_do_not_perturb_the_digest() {
+        // Like malformed_events: recovery-mechanism counters stay out of
+        // the fold; the checkers (snapshots, registry agreement) gate on
+        // them instead.
+        let mut a = Digest::new();
+        let mut b = Digest::new();
+        let mut audit = empty_audit(1);
+        audit.live = vec![hive_audit(1)];
+        audit.fold_into(&mut a);
+        audit.live[0].snapshot_index = 3;
+        audit.live[0].snapshot_installs = 2;
+        audit.fold_into(&mut b);
+        assert_eq!(a.finish(), b.finish());
     }
 
     #[test]

@@ -12,6 +12,7 @@ pub mod chaos;
 pub mod cluster;
 pub mod fleet;
 pub mod invariants;
+pub mod storage;
 pub mod topology;
 pub mod workload;
 
@@ -23,7 +24,8 @@ pub use cluster::{ClusterConfig, SimCluster};
 pub use fleet::SwitchFleet;
 pub use invariants::{
     check_all, check_atomicity, check_conservation, check_ownership, check_registry_agreement,
-    check_traces, gather, ClusterAudit, CrashLedger, Digest, HiveAudit, Violation,
+    check_snapshots, check_traces, gather, ClusterAudit, CrashLedger, Digest, HiveAudit, Violation,
 };
+pub use storage::{DiskOp, FaultHandle, FaultyStorage};
 pub use topology::{Level, Link, SwitchNode, Topology};
 pub use workload::{generate_flows, FlowSpec, WorkloadConfig};

@@ -31,6 +31,7 @@
 
 mod de;
 mod error;
+pub mod record;
 mod ser;
 mod varint;
 

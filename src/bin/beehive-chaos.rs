@@ -1,11 +1,12 @@
 //! `beehive-chaos` — deterministic chaos-test driver.
 //!
 //! Derives a fault schedule from each seed (partitions, drops, duplicates,
-//! reorders, delays, hive crash+restarts, handler faults, forced
-//! migrations), runs it against a simulated cluster in virtual time, and
-//! audits five invariants after every tick: cell-ownership exclusivity,
-//! registry agreement, message conservation, transaction atomicity and
-//! trace-tree well-formedness.
+//! reorders, delays, hive crash+restarts, disk-fault restart storms with
+//! torn journal tails, handler faults, forced migrations), runs it against a
+//! simulated cluster in virtual time, and audits seven invariants after
+//! every tick: cell-ownership exclusivity, registry agreement, message
+//! conservation, transaction atomicity, trace-tree well-formedness,
+//! event-journal well-formedness and snapshot/compaction sanity.
 //!
 //! Every run prints one stable line `seed N digest 0x…` — the fold of every
 //! per-tick audit. The same seed always produces the same digest, so CI can

@@ -49,6 +49,12 @@
 //!   snapshots and the reliable-channel outbox journal live here, so a
 //!   SIGKILLed node restarts with its registry mirror, unacked sends and
 //!   dedup state intact
+//! * `--snapshot-interval N` — take a registry snapshot and compact the
+//!   Raft log every N applied entries (default with `--storage-dir`: 1, so
+//!   a lone restarted voter always restores from a snapshot)
+//! * `--fsync always|never` — fsync policy for durable registry state
+//!   (default `always`; `never` trades crash durability for throughput,
+//!   e.g. in CI storms that only SIGKILL the process, not the machine)
 //! * `--max-redeliveries N` — retries per failed handler delivery before a
 //!   message dead-letters (default 3)
 //! * `--mailbox-capacity N` — per-bee mailbox bound; 0 = unbounded (default)
@@ -98,6 +104,8 @@ struct Args {
     dump_every: u64,
     dlq_dump: Option<std::path::PathBuf>,
     storage_dir: Option<std::path::PathBuf>,
+    snapshot_interval: Option<u64>,
+    fsync: beehive::core::FsyncPolicy,
     max_redeliveries: Option<u32>,
     mailbox_capacity: Option<usize>,
     inject_faults: Vec<(String, String, u32)>,
@@ -110,7 +118,8 @@ fn usage() -> ! {
          [--drain] [--voters K] \
          [--replication R] [--workers N] [--apps a,b,c] [--stats-every SECS] \
          [--status-addr ADDR] [--metrics-dump PATH] [--dump-every SECS] [--dlq-dump PATH] \
-         [--storage-dir PATH] [--max-redeliveries N] [--mailbox-capacity N] \
+         [--storage-dir PATH] [--snapshot-interval N] [--fsync always|never] \
+         [--max-redeliveries N] [--mailbox-capacity N] \
          [--inject-fault APP:MSG:TIMES] [--transport reactor|threaded]"
     );
     std::process::exit(2)
@@ -142,6 +151,8 @@ fn parse_args() -> Args {
     let mut dump_every = 5;
     let mut dlq_dump = None;
     let mut storage_dir = None;
+    let mut snapshot_interval = None;
+    let mut fsync = beehive::core::FsyncPolicy::Always;
     let mut max_redeliveries = None;
     let mut mailbox_capacity = None;
     let mut inject_faults = Vec::new();
@@ -181,6 +192,16 @@ fn parse_args() -> Args {
             "--dump-every" => dump_every = val().parse::<u64>().unwrap_or_else(|_| usage()).max(1),
             "--dlq-dump" => dlq_dump = Some(std::path::PathBuf::from(val())),
             "--storage-dir" => storage_dir = Some(std::path::PathBuf::from(val())),
+            "--snapshot-interval" => {
+                snapshot_interval = Some(val().parse::<u64>().unwrap_or_else(|_| usage()).max(1))
+            }
+            "--fsync" => {
+                fsync = match val().as_str() {
+                    "always" => beehive::core::FsyncPolicy::Always,
+                    "never" => beehive::core::FsyncPolicy::Never,
+                    _ => usage(),
+                }
+            }
             "--max-redeliveries" => {
                 max_redeliveries = Some(val().parse().unwrap_or_else(|_| usage()))
             }
@@ -220,6 +241,8 @@ fn parse_args() -> Args {
         dump_every,
         dlq_dump,
         storage_dir,
+        snapshot_interval,
+        fsync,
         max_redeliveries,
         mailbox_capacity,
         inject_faults,
@@ -284,9 +307,19 @@ fn main() {
     if let Some(dir) = &args.storage_dir {
         cfg.registry_storage_dir = Some(dir.clone());
         // A lone restarted voter can only restore its registry mirror from a
-        // snapshot (the commit index is volatile), so snapshot every event.
-        cfg.raft.snapshot_threshold = 1;
-        eprintln!("durable state (registry + outbox) -> {}", dir.display());
+        // snapshot (the commit index is volatile), so snapshot every event
+        // unless the operator asked for a wider interval.
+        cfg.snapshot_interval = args.snapshot_interval.unwrap_or(1);
+        cfg.fsync = args.fsync;
+        eprintln!(
+            "durable state (registry + outbox) -> {} (snapshot every {} applied, fsync {})",
+            dir.display(),
+            cfg.snapshot_interval,
+            match cfg.fsync {
+                beehive::core::FsyncPolicy::Always => "always",
+                beehive::core::FsyncPolicy::Never => "never",
+            }
+        );
     }
     if let Some(n) = args.max_redeliveries {
         cfg.max_redeliveries = n;

@@ -430,6 +430,7 @@ fn chaos_lite_workers_one_vs_four_equivalent() {
         quiet_ticks: 20,
         wire_faults: false,
         crashes: false,
+        disk_faults: false,
         migrations: false,
         membership: false,
         min_windows: 2,

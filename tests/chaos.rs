@@ -1,8 +1,10 @@
 //! Chaos harness integration tests: the determinism proof (same seed →
-//! byte-identical digest), a clean multi-seed sweep with all five invariant
-//! checkers armed, conservation accounting under a crafted crash + drop
-//! schedule, and the negative control — a deliberately injected ownership
-//! bug must be caught and minimized to a strictly shorter schedule.
+//! byte-identical digest), a clean multi-seed sweep with every invariant
+//! checker armed, conservation accounting under a crafted crash + drop
+//! schedule, disk-fault restart storms with torn-tail recovery, snapshot
+//! shipping to joining hives, and the negative control — a deliberately
+//! injected ownership bug must be caught and minimized to a strictly
+//! shorter schedule.
 
 use beehive::sim::chaos::{
     minimize, run, run_seed, sweep, ChaosConfig, FaultKind, FaultSchedule, FaultWindow,
@@ -41,8 +43,8 @@ fn same_seed_twice_is_byte_identical() {
     assert_ne!(a.digest, c.digest, "different seeds diverge");
 }
 
-/// A small sweep with every fault kind enabled: all five checkers must stay
-/// green on every seed, and sweeping twice must reproduce every digest.
+/// A small sweep with every fault kind enabled: all seven checkers must
+/// stay green on every seed, and sweeping twice must reproduce every digest.
 #[test]
 fn clean_sweep_over_small_seed_range() {
     let cfg = small();
@@ -199,6 +201,83 @@ fn membership_churn_is_clean_and_deterministic() {
     assert_eq!(a.final_left, b.final_left);
 }
 
+/// Disk-fault chaos: a restart storm bounces one hive through repeated
+/// kill/recover cycles, tearing its outbox journal's tail (a half-written
+/// record, as a crash mid-append leaves) before every revival. Recovery must
+/// truncate the torn tail and replay the intact prefix; all seven invariant
+/// checkers must stay green through every bounce; and two runs of the same
+/// schedule must fold to byte-identical digests — torn-tail recovery is
+/// deterministic, not best-effort.
+#[test]
+fn disk_fault_storm_recovers_torn_tails_deterministically() {
+    let cfg = ChaosConfig {
+        ticks: 30,
+        quiet_ticks: 24,
+        ..Default::default()
+    };
+    let schedule = FaultSchedule {
+        seed: 33,
+        ticks: cfg.ticks,
+        windows: vec![FaultWindow {
+            at: 5,
+            for_ticks: 8,
+            kind: FaultKind::DiskFault { hive: 2 },
+        }],
+    };
+    assert!(!schedule.is_lossless(), "a restart storm is not lossless");
+    let a = run(&schedule, &cfg);
+    assert!(
+        a.violations.is_empty(),
+        "checkers must stay green through the storm: {:?}",
+        a.violations
+    );
+    assert!(
+        a.torn_truncations > 0,
+        "the torn-tail injection must actually bite (journal recovered {} times)",
+        a.torn_truncations
+    );
+    let b = run(&schedule, &cfg);
+    assert_eq!(a.digest, b.digest, "torn-tail recovery is deterministic");
+    assert_eq!(a.final_left, b.final_left);
+    assert_eq!(a.torn_truncations, b.torn_truncations);
+}
+
+/// Snapshot shipping under chaos: the durable cluster compacts its registry
+/// log aggressively (snapshot interval 1), so a hive joining mid-run starts
+/// below every peer's compaction horizon — AppendEntries cannot reach it,
+/// and the only way to registry agreement is `InstallSnapshot`. The
+/// registry-agreement checker then proves the snapshot-restored mirror is
+/// byte-identical to its full-replay peers at every equal applied fence.
+#[test]
+fn compacted_cluster_ships_snapshots_to_joining_hives() {
+    let cfg = ChaosConfig {
+        ticks: 30,
+        quiet_ticks: 30,
+        wire_faults: false,
+        migrations: false,
+        ..Default::default()
+    };
+    let schedule = FaultSchedule {
+        seed: 58,
+        ticks: cfg.ticks,
+        windows: vec![FaultWindow {
+            at: 4,
+            for_ticks: 10,
+            kind: FaultKind::MembershipChurn,
+        }],
+    };
+    let report = run(&schedule, &cfg);
+    assert!(
+        report.violations.is_empty(),
+        "snapshot-restored hives must agree with full-replay peers: {:?}",
+        report.violations
+    );
+    assert!(
+        report.snapshot_installs > 0,
+        "catch-up must have gone through the snapshot-shipping path"
+    );
+}
+
 /// The negative control the harness is judged by: plant a deliberate
 /// double-ownership bug (test-only `debug_force_own`) mid-run. The
 /// ownership checker must flag it, and the minimizer must shrink the
@@ -210,10 +289,12 @@ fn injected_ownership_bug_is_caught_and_minimized() {
         quiet_ticks: 10,
         min_windows: 3,
         max_windows: 5,
-        // Pure schedule around the bug: no wire faults or crashes, so the
-        // run is fast and the only possible violation is the planted one.
+        // Pure schedule around the bug: no wire faults, crashes or disk
+        // faults, so the run is fast and the only possible violation is the
+        // planted one.
         wire_faults: false,
         crashes: false,
+        disk_faults: false,
         migrations: false,
         membership: false,
         inject_ownership_bug: true,
